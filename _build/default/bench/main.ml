@@ -1,0 +1,529 @@
+(* Benchmark harness regenerating every figure and quantitative claim
+   of the paper (see DESIGN.md's experiment index and EXPERIMENTS.md
+   for recorded results):
+
+     baseline      Section 3's "solves 9x9 sudokus in far less than a
+                   second" claim, per corpus puzzle.
+     fig1/2/3      The three networks of Section 5: timing on both
+                   engines plus the unfolding topology (pipeline depth,
+                   split replicas, box instances) against the paper's
+                   bounds 81, 9 per stage / 729 total, and the throttle.
+     fig3-sweep    Fig. 3's control parameters: throttle width and
+                   star cutoff.
+     dataparallel  Section 3's claim that addNumber/findMinTrues
+                   parallelise for free: with-loop kernels across board
+                   sizes and domain counts.
+     scaling       Hybrid networks across domain counts.
+     combinators   Per-record overhead of each S-Net combinator on both
+                   engines.
+     interpreted   Mini-SaC source boxes vs native OCaml boxes.
+     engines       The same network on the sequential, actor and
+                   thread-per-box engines.
+     ablation      Actor batch size, thread-engine channel capacity,
+                   determinism overhead on a real workload.
+     propagation   Constraint deduction vs pure search inside Fig. 1.
+
+   Run all:        dune exec bench/main.exe
+   Run one:        dune exec bench/main.exe -- fig3-sweep *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+
+let run_tests ?(quota = 0.5) tests =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+  else Printf.sprintf "%8.1f ns" ns
+
+let print_results title results =
+  Printf.printf "\n-- %s %s\n" title
+    (String.make (max 1 (66 - String.length title)) '-');
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-44s %s/run\n" name (pretty_ns est))
+    (List.sort compare rows);
+  flush stdout
+
+let bench title ?quota tests =
+  print_results title (run_tests ?quota (Test.make_grouped ~name:"" tests))
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures                                                     *)
+
+let conc_pool = lazy (Scheduler.Pool.create ~num_domains:2 ())
+
+let board_of name = (Sudoku.Puzzles.find name).Sudoku.Puzzles.board
+
+let net_of = function
+  | "fig1" -> Sudoku.Networks.fig1 ()
+  | "fig2" -> Sudoku.Networks.fig2 ()
+  | "fig3" -> Sudoku.Networks.fig3 ()
+  | other -> invalid_arg other
+
+let run_network_seq net board =
+  Snet.Engine_seq.run net [ Sudoku.Boxes.inject_board board ]
+
+let run_network_conc net board =
+  Snet.Engine_conc.run ~pool:(Lazy.force conc_pool) net
+    [ Sudoku.Boxes.inject_board board ]
+
+(* ------------------------------------------------------------------ *)
+(* baseline: Section 3's sub-second claim                              *)
+
+let exp_baseline () =
+  Printf.printf "\n== baseline: pure-SaC sequential solver (Section 3) ==\n";
+  bench "solver, min-options heuristic"
+    (List.map
+       (fun e ->
+         let board = e.Sudoku.Puzzles.board in
+         Test.make ~name:("solve/" ^ e.Sudoku.Puzzles.name)
+           (Staged.stage (fun () -> Sudoku.Solver.solve board)))
+       Sudoku.Puzzles.all);
+  bench "solver, 16x16 board"
+    [
+      Test.make ~name:"solve/16x16-60holes"
+        (Staged.stage (fun () -> Sudoku.Solver.solve Sudoku.Puzzles.sixteen));
+    ];
+  (* The findFirst-vs-findMinTrues refinement the paper motivates. *)
+  let medium = board_of "medium" in
+  bench "heuristic refinement (findFirst vs findMinTrues)"
+    [
+      Test.make ~name:"solve/medium/findFirst"
+        (Staged.stage (fun () ->
+             Sudoku.Solver.solve ~choice:Sudoku.Heuristics.Find_first medium));
+      Test.make ~name:"solve/medium/findMinTrues"
+        (Staged.stage (fun () ->
+             Sudoku.Solver.solve ~choice:Sudoku.Heuristics.Min_trues medium));
+    ];
+  Printf.printf
+    "\n  paper claim: 9x9 boards solve 'in far less than a second'.\n"
+
+(* ------------------------------------------------------------------ *)
+(* figs 1-3: timing and topology                                       *)
+
+let topology_row name net board =
+  let stats = Snet.Stats.create () in
+  let out =
+    Snet.Engine_seq.run ~stats net [ Sudoku.Boxes.inject_board board ]
+  in
+  let solutions = List.length (Sudoku.Networks.solved_boards out) in
+  let s = Snet.Stats.snapshot stats in
+  Printf.printf "  %-22s %9d %8d %8d %9d %10d\n" name solutions
+    s.Snet.Stats.max_star_depth s.Snet.Stats.split_replicas
+    s.Snet.Stats.instances s.Snet.Stats.box_invocations
+
+let exp_fig ~figure () =
+  Printf.printf "\n== %s: network of Section 5 ==\n" figure;
+  let puzzles = [ "easy"; "medium"; "gen-hard-55" ] in
+  bench (figure ^ " timing, sequential engine")
+    (List.map
+       (fun p ->
+         let board = board_of p and net = net_of figure in
+         Test.make ~name:(figure ^ "/seq/" ^ p)
+           (Staged.stage (fun () -> run_network_seq net board)))
+       puzzles);
+  bench (figure ^ " timing, concurrent engine") ~quota:1.0
+    (List.map
+       (fun p ->
+         let board = board_of p and net = net_of figure in
+         Test.make ~name:(figure ^ "/conc/" ^ p)
+           (Staged.stage (fun () -> run_network_conc net board)))
+       [ "easy"; "medium" ]);
+  Printf.printf
+    "\n  topology (paper bounds: depth <= 81; fig2 <= 9 replicas/stage, <= 729 boxes; fig3 <= throttle/stage)\n";
+  Printf.printf "  %-22s %9s %8s %8s %9s %10s\n" "puzzle" "solutions" "depth"
+    "splits" "instances" "box-invocs";
+  List.iter (fun p -> topology_row p (net_of figure) (board_of p)) puzzles;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* fig3 parameter sweep                                                *)
+
+let exp_fig3_sweep () =
+  Printf.printf "\n== fig3-sweep: throttle width and star cutoff (Section 5) ==\n";
+  let board = board_of "medium" in
+  bench "throttle sweep (cutoff 40)"
+    (List.map
+       (fun w ->
+         let net = Sudoku.Networks.fig3 ~throttle:w () in
+         Test.make ~name:(Printf.sprintf "fig3/throttle=%d" w)
+           (Staged.stage (fun () -> run_network_seq net board)))
+       [ 1; 2; 4; 8 ]);
+  bench "cutoff sweep (throttle 4)"
+    (List.map
+       (fun c ->
+         let net = Sudoku.Networks.fig3 ~cutoff:c () in
+         Test.make ~name:(Printf.sprintf "fig3/cutoff=%d" c)
+           (Staged.stage (fun () -> run_network_seq net board)))
+       [ 0; 20; 40; 60; 80 ]);
+  Printf.printf "\n  unfolding under the sweep:\n";
+  Printf.printf "  %-22s %9s %8s %8s %9s %10s\n" "config" "solutions" "depth"
+    "splits" "instances" "box-invocs";
+  List.iter
+    (fun w ->
+      topology_row
+        (Printf.sprintf "throttle=%d cutoff=40" w)
+        (Sudoku.Networks.fig3 ~throttle:w ())
+        board)
+    [ 1; 2; 4; 8 ];
+  List.iter
+    (fun c ->
+      topology_row
+        (Printf.sprintf "throttle=4 cutoff=%d" c)
+        (Sudoku.Networks.fig3 ~cutoff:c ())
+        board)
+    [ 0; 20; 40; 60; 80 ];
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* dataparallel: with-loop kernels across sizes and domains            *)
+
+let exp_dataparallel () =
+  Printf.printf
+    "\n== dataparallel: with-loop kernels (Section 3's 'for free' claim) ==\n";
+  let pools =
+    ("seq", None)
+    :: List.map
+         (fun d ->
+           ( Printf.sprintf "%dd" d,
+             Some (Scheduler.Pool.create ~num_domains:d ()) ))
+         [ 1; 2; 4 ]
+  in
+  let boards =
+    List.map
+      (fun n -> (n, Sudoku.Generate.puzzle ~seed:11 ~n ~holes:(8 * n * n) ()))
+      [ 3; 4; 5 ]
+  in
+  bench "computeOpts (init_options) across board sizes and domains" ~quota:1.0
+    (List.concat_map
+       (fun (n, board) ->
+         List.map
+           (fun (pname, pool) ->
+             Test.make
+               ~name:(Printf.sprintf "initOptions/n=%d/%s" n pname)
+               (Staged.stage (fun () -> Sudoku.Rules.init_options ?pool board)))
+           pools)
+       boards);
+  bench "single addNumber on a 25x25 board"
+    (let board = Sudoku.Board.empty 5 in
+     let opts = Sudoku.Rules.all_options 25 in
+     List.map
+       (fun (pname, pool) ->
+         Test.make ~name:("addNumber/n=5/" ^ pname)
+           (Staged.stage (fun () ->
+                Sudoku.Rules.add_number ?pool ~i:12 ~j:12 ~k:7 board opts)))
+       pools);
+  bench "raw with-loop genarray 512x512" ~quota:1.0
+    (List.map
+       (fun (pname, pool) ->
+         Test.make ~name:("genarray/512x512/" ^ pname)
+           (Staged.stage (fun () ->
+                Sacarray.With_loop.genarray_init ?pool ~shape:[| 512; 512 |]
+                  (fun iv -> iv.(0) * iv.(1) land 1023))))
+       pools);
+  bench "raw fold with-loop over 1M elements" ~quota:1.0
+    (List.map
+       (fun (pname, pool) ->
+         Test.make ~name:("fold/1M/" ^ pname)
+           (Staged.stage (fun () ->
+                Sacarray.With_loop.fold ?pool ~neutral:0 ~combine:( + )
+                  [
+                    ( Sacarray.With_loop.range [| 0 |] [| 1_000_000 |],
+                      fun iv -> iv.(0) land 7 );
+                  ])))
+       pools);
+  List.iter (fun (_, p) -> Option.iter Scheduler.Pool.shutdown p) pools
+
+(* ------------------------------------------------------------------ *)
+(* scaling: networks across domain counts                              *)
+
+let exp_scaling () =
+  Printf.printf
+    "\n== scaling: hybrid networks across domain counts (Section 5) ==\n";
+  let board = board_of "gen-hard-55" in
+  let pools =
+    List.map (fun d -> (d, Scheduler.Pool.create ~num_domains:d ())) [ 0; 1; 2; 4 ]
+  in
+  bench "fig2 on the concurrent engine" ~quota:2.0
+    (List.map
+       (fun (d, pool) ->
+         let net = Sudoku.Networks.fig2 () in
+         Test.make ~name:(Printf.sprintf "fig2/conc/domains=%d" d)
+           (Staged.stage (fun () ->
+                Snet.Engine_conc.run ~pool net
+                  [ Sudoku.Boxes.inject_board board ])))
+       pools);
+  bench "fig3 on the concurrent engine" ~quota:2.0
+    (List.map
+       (fun (d, pool) ->
+         let net = Sudoku.Networks.fig3 () in
+         Test.make ~name:(Printf.sprintf "fig3/conc/domains=%d" d)
+           (Staged.stage (fun () ->
+                Snet.Engine_conc.run ~pool net
+                  [ Sudoku.Boxes.inject_board board ])))
+       pools);
+  List.iter (fun (_, p) -> Scheduler.Pool.shutdown p) pools
+
+(* ------------------------------------------------------------------ *)
+(* combinators: per-record overhead                                    *)
+
+let exp_combinators () =
+  Printf.printf "\n== combinators: per-record overhead (Section 4) ==\n";
+  let module Net = Snet.Net in
+  let module Box = Snet.Box in
+  let idbox name =
+    Box.make ~name ~input:[ Box.T "x" ] ~outputs:[ [ Box.T "x" ] ]
+      (fun ~emit -> function
+        | [ Tag x ] -> emit 1 [ Tag x ]
+        | _ -> assert false)
+  in
+  let countdown =
+    Box.make ~name:"countdown" ~input:[ T "x" ]
+      ~outputs:[ [ T "x" ]; [ T "x"; T "done" ] ]
+      (fun ~emit -> function
+        | [ Tag x ] ->
+            if x <= 0 then emit 2 [ Tag 0; Tag 1 ] else emit 1 [ Tag (x - 1) ]
+        | _ -> assert false)
+  in
+  let done_p = Snet.Pattern.make ~fields:[] ~tags:[ "done" ] () in
+  let batch = 200 in
+  let inputs =
+    List.init batch (fun i -> Snet.record ~tags:[ ("x", i); ("k", i mod 8) ] ())
+  in
+  let star_inputs =
+    List.init batch (fun i -> Snet.record ~tags:[ ("x", i mod 10) ] ())
+  in
+  let nets =
+    [
+      ("box", Net.box (idbox "id"));
+      ( "chain8",
+        Net.serial_list
+          (List.init 8 (fun i -> Net.box (idbox (Printf.sprintf "id%d" i)))) );
+      ( "filter",
+        Net.filter
+          (Snet.Filter.make
+             (Snet.Pattern.make ~fields:[] ~tags:[ "x" ] ())
+             [
+               [
+                 Snet.Filter.Set_tag
+                   ("x", Snet.Pattern.Add (Snet.Pattern.Tag "x", Snet.Pattern.Const 1));
+               ];
+             ]) );
+      ("choice", Net.choice (Net.box (idbox "l")) (Net.box (idbox "r")));
+      ("choice-det", Net.choice ~det:true (Net.box (idbox "l")) (Net.box (idbox "r")));
+      ("star10", Net.star (Net.box countdown) done_p);
+      ("star10-det", Net.star ~det:true (Net.box countdown) done_p);
+      ("split8", Net.split (Net.box (idbox "s")) "k");
+      ("split8-det", Net.split ~det:true (Net.box (idbox "s")) "k");
+    ]
+  in
+  let inputs_for name =
+    if String.length name >= 4 && String.sub name 0 4 = "star" then star_inputs
+    else inputs
+  in
+  bench "sequential engine (200-record batch)"
+    (List.map
+       (fun (name, net) ->
+         let ins = inputs_for name in
+         Test.make ~name:("seq/" ^ name)
+           (Staged.stage (fun () -> Snet.Engine_seq.run net ins)))
+       nets);
+  bench "concurrent engine (200-record batch, incl. graph build)" ~quota:1.0
+    (List.map
+       (fun (name, net) ->
+         let ins = inputs_for name in
+         Test.make ~name:("conc/" ^ name)
+           (Staged.stage (fun () ->
+                Snet.Engine_conc.run ~pool:(Lazy.force conc_pool) net ins)))
+       nets);
+  Printf.printf "\n  (divide by %d for per-record cost)\n" batch
+
+(* ------------------------------------------------------------------ *)
+(* interpreted: the mini-SaC front end vs native box bodies           *)
+
+let exp_interpreted () =
+  Printf.printf
+    "\n== interpreted: mini-SaC boxes vs native OCaml boxes ==\n";
+  let sac_net =
+    Snet_lang.Elaborate.elaborate
+      (Saclang.Sac_sudoku.registry ())
+      (Snet_lang.Parser.parse_string Saclang.Sac_sudoku.fig2_snet)
+  in
+  let native_net = Sudoku.Networks.fig2 () in
+  bench "fig2 on the sequential engine, easy puzzle" ~quota:1.0
+    [
+      Test.make ~name:"fig2/native"
+        (Staged.stage (fun () ->
+             Snet.Engine_seq.run native_net
+               [ Sudoku.Boxes.inject_board Sudoku.Puzzles.easy ]));
+      Test.make ~name:"fig2/mini-SaC"
+        (Staged.stage (fun () ->
+             Snet.Engine_seq.run sac_net
+               [ Saclang.Sac_sudoku.inject_board Sudoku.Puzzles.easy ]));
+    ];
+  let prog = Saclang.Sac_sudoku.program () in
+  let v_board = Saclang.Svalue.of_int_nd (Sudoku.Board.empty 3) in
+  let v_opts = Saclang.Svalue.of_bool_nd (Sudoku.Rules.all_options 9) in
+  bench "one addNumber call"
+    [
+      Test.make ~name:"addNumber/native"
+        (Staged.stage (fun () ->
+             Sudoku.Rules.add_number ~i:4 ~j:5 ~k:7 (Sudoku.Board.empty 3)
+               (Sudoku.Rules.all_options 9)));
+      Test.make ~name:"addNumber/mini-SaC"
+        (Staged.stage (fun () ->
+             Saclang.Sac_interp.call prog "addNumber"
+               [
+                 Saclang.Svalue.int 4; Saclang.Svalue.int 5;
+                 Saclang.Svalue.int 7; v_board; v_opts;
+               ]));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* engines: one workload on all three execution engines               *)
+
+let exp_engines () =
+  Printf.printf "\n== engines: the same network on all three engines ==\n";
+  let board = board_of "medium" in
+  let net = Sudoku.Networks.fig2 () in
+  let inputs () = [ Sudoku.Boxes.inject_board board ] in
+  bench "fig2 on the medium puzzle" ~quota:1.5
+    [
+      Test.make ~name:"engine/seq"
+        (Staged.stage (fun () -> Snet.Engine_seq.run net (inputs ())));
+      Test.make ~name:"engine/actors"
+        (Staged.stage (fun () ->
+             Snet.Engine_conc.run ~pool:(Lazy.force conc_pool) net (inputs ())));
+      Test.make ~name:"engine/threads"
+        (Staged.stage (fun () -> Snet.Engine_thread.run net (inputs ())));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* ablation: engine tuning knobs called out in DESIGN.md              *)
+
+let exp_ablation () =
+  Printf.printf
+    "\n== ablation: actor batch size and thread-engine channel capacity ==\n";
+  let board = board_of "medium" in
+  let net = Sudoku.Networks.fig2 () in
+  let inputs () = [ Sudoku.Boxes.inject_board board ] in
+  bench "actor engine batch size (fig2, medium)" ~quota:1.0
+    (List.map
+       (fun b ->
+         Test.make ~name:(Printf.sprintf "actors/batch=%d" b)
+           (Staged.stage (fun () ->
+                Snet.Engine_conc.run ~pool:(Lazy.force conc_pool) ~batch:b net
+                  (inputs ()))))
+       [ 1; 8; 64; 512 ]);
+  bench "thread engine channel capacity (fig2, medium)" ~quota:1.0
+    (List.map
+       (fun c ->
+         Test.make ~name:(Printf.sprintf "threads/capacity=%d" c)
+           (Staged.stage (fun () ->
+                Snet.Engine_thread.run ~capacity:c net (inputs ()))))
+       [ 1; 8; 64; 512 ]);
+  bench "determinism overhead on the real workload" ~quota:1.0
+    [
+      Test.make ~name:"fig2/nondet"
+        (Staged.stage (fun () ->
+             Snet.Engine_conc.run ~pool:(Lazy.force conc_pool)
+               (Sudoku.Networks.fig2 ()) (inputs ())));
+      Test.make ~name:"fig2/det"
+        (Staged.stage (fun () ->
+             Snet.Engine_conc.run ~pool:(Lazy.force conc_pool)
+               (Sudoku.Networks.fig2 ~det:true ())
+               (inputs ())));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* propagation: deduction vs search (extension ablation)              *)
+
+let exp_propagation () =
+  Printf.printf
+    "\n== propagation: constraint deduction vs pure search ==\n";
+  bench "fig1 with and without the propagate box" ~quota:1.0
+    (List.concat_map
+       (fun p ->
+         let board = board_of p in
+         [
+           Test.make ~name:(Printf.sprintf "fig1/plain/%s" p)
+             (Staged.stage (fun () ->
+                  run_network_seq (Sudoku.Networks.fig1 ()) board));
+           Test.make ~name:(Printf.sprintf "fig1/propagating/%s" p)
+             (Staged.stage (fun () ->
+                  run_network_seq (Sudoku.Propagate.fig1_propagating ()) board));
+         ])
+       [ "easy"; "medium"; "escargot" ]);
+  Printf.printf "\n  search-tree size:\n";
+  Printf.printf "  %-26s %9s %8s %8s %9s %10s\n" "config" "solutions" "depth"
+    "splits" "instances" "box-invocs";
+  List.iter
+    (fun p ->
+      topology_row (p ^ " plain") (Sudoku.Networks.fig1 ()) (board_of p);
+      topology_row (p ^ " propagating")
+        (Sudoku.Propagate.fig1_propagating ())
+        (board_of p))
+    [ "easy"; "medium"; "escargot" ];
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("baseline", exp_baseline);
+    ("fig1", exp_fig ~figure:"fig1");
+    ("fig2", exp_fig ~figure:"fig2");
+    ("fig3", exp_fig ~figure:"fig3");
+    ("fig3-sweep", exp_fig3_sweep);
+    ("dataparallel", exp_dataparallel);
+    ("scaling", exp_scaling);
+    ("combinators", exp_combinators);
+    ("interpreted", exp_interpreted);
+    ("engines", exp_engines);
+    ("ablation", exp_ablation);
+    ("propagation", exp_propagation);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  Printf.printf
+    "S-Net/SaC benchmark harness (%d domain(s) recommended on this host)\n"
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested;
+  if Lazy.is_val conc_pool then Scheduler.Pool.shutdown (Lazy.force conc_pool)

@@ -1,0 +1,88 @@
+(* sacrun: execute mini-SaC programs from the command line.
+
+     sacrun prog.sac --fn concat --arg "[1,2]" --arg "[3,4,5]"
+
+   Arguments are mini-SaC expressions, evaluated before the call. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run file fname args list_only domains =
+  let pool =
+    if domains > 0 then Some (Scheduler.Pool.create ~num_domains:domains ())
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Scheduler.Pool.shutdown pool)
+    (fun () ->
+      let prog = Saclang.Sac_interp.load ?pool (read_file file) in
+      if list_only then
+        List.iter
+          (fun name ->
+            match Saclang.Sac_interp.find_function prog name with
+            | Some f ->
+                Printf.printf "%s %s(%s)\n"
+                  (match f.Saclang.Sac_ast.return_types with
+                  | [] -> "void"
+                  | tys ->
+                      String.concat ", "
+                        (List.map Saclang.Sac_ast.type_to_string tys))
+                  name
+                  (String.concat ", "
+                     (List.map
+                        (fun (p : Saclang.Sac_ast.param) ->
+                          Saclang.Sac_ast.type_to_string p.param_type
+                          ^ " " ^ p.param_name)
+                        f.Saclang.Sac_ast.params))
+            | None -> ())
+          (Saclang.Sac_interp.functions prog)
+      else begin
+        let values =
+          List.map
+            (fun src ->
+              Saclang.Sac_interp.eval_expr prog
+                (Saclang.Sac_parser.parse_expr_string src))
+            args
+        in
+        let emitted = ref 0 in
+        let emit variant vs =
+          incr emitted;
+          Printf.printf "snet_out(%d%s)\n" variant
+            (String.concat ""
+               (List.map (fun v -> ", " ^ Saclang.Svalue.to_string v) vs))
+        in
+        let results = Saclang.Sac_interp.call ~emit prog fname values in
+        List.iteri
+          (fun i v ->
+            Printf.printf "result %d: %s\n" i (Saclang.Svalue.to_string v))
+          results;
+        if results = [] && !emitted = 0 then print_endline "(no results)"
+      end)
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-SaC source file.")
+  in
+  let fname =
+    Arg.(value & opt string "main" & info [ "fn" ] ~doc:"Function to call.")
+  in
+  let args =
+    Arg.(value & opt_all string [] & info [ "arg" ] ~doc:"Argument (a mini-SaC expression); repeatable.")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the program's functions and exit.")
+  in
+  let domains =
+    Arg.(value & opt int 0 & info [ "domains" ] ~doc:"Worker domains for data-parallel with-loops.")
+  in
+  Cmd.v
+    (Cmd.info "sacrun" ~doc:"Run mini-SaC programs")
+    Term.(const run $ file $ fname $ args $ list_only $ domains)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,126 @@
+(* Command-line driver: solve sudoku puzzles with the pure sequential
+   solver or any of the paper's three hybrid networks, on either
+   engine. *)
+
+open Cmdliner
+
+type network_kind = Baseline | Fig1 | Fig2 | Fig3
+type engine_kind = Seq | Conc | Threads
+
+let load_board puzzle file =
+  match (puzzle, file) with
+  | Some name, None -> (
+      match List.find_opt (fun e -> e.Sudoku.Puzzles.name = name) Sudoku.Puzzles.all with
+      | Some e -> e.Sudoku.Puzzles.board
+      | None ->
+          let known =
+            String.concat ", "
+              (List.map (fun e -> e.Sudoku.Puzzles.name) Sudoku.Puzzles.all)
+          in
+          failwith (Printf.sprintf "unknown puzzle %S (known: %s)" name known))
+  | None, Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Sudoku.Board.parse s
+  | None, None -> Sudoku.Puzzles.easy
+  | Some _, Some _ -> failwith "give either --puzzle or --file, not both"
+
+let build_network kind pool det throttle cutoff side =
+  match kind with
+  | Baseline -> None
+  | Fig1 -> Some (Sudoku.Networks.fig1 ~pool ~det ())
+  | Fig2 -> Some (Sudoku.Networks.fig2 ~pool ~det ())
+  | Fig3 -> Some (Sudoku.Networks.fig3 ~pool ~det ~throttle ~cutoff ~side ())
+
+let run_solver kind engine det throttle cutoff domains verbose stats_flag
+    puzzle file =
+  let board = load_board puzzle file in
+  let side = Sudoku.Board.side board in
+  let pool = Scheduler.Pool.create ~num_domains:domains () in
+  let t0 = Unix.gettimeofday () in
+  let stats = Snet.Stats.create () in
+  let observer =
+    if verbose then
+      Some (fun ~edge r ->
+          Printf.eprintf "-- %s <= %s\n%!" edge (Snet.Record.to_string r))
+    else None
+  in
+  let solutions, label =
+    match build_network kind pool det throttle cutoff side with
+    | None ->
+        let outcome = Sudoku.Solver.solve ~pool board in
+        let sols =
+          if outcome.Sudoku.Solver.solved then [ outcome.Sudoku.Solver.board ]
+          else []
+        in
+        (sols, "baseline solver")
+    | Some net ->
+        let inputs = [ Sudoku.Boxes.inject_board board ] in
+        let outputs =
+          match engine with
+          | Seq -> Snet.Engine_seq.run ?observer ~stats net inputs
+          | Conc -> Snet.Engine_conc.run ~pool ?observer ~stats net inputs
+          | Threads -> Snet.Engine_thread.run ?observer ~stats net inputs
+        in
+        (Sudoku.Networks.solved_boards outputs, "network")
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "puzzle (%d givens):\n%s\n" (Sudoku.Board.count_filled board)
+    (Sudoku.Board.to_string board);
+  (match solutions with
+  | [] -> print_endline "no solution found"
+  | first :: rest ->
+      Printf.printf "solution:\n%s\n" (Sudoku.Board.to_string first);
+      if rest <> [] then
+        Printf.printf "(%d further solutions found)\n" (List.length rest));
+  Printf.printf "%s finished in %.4fs\n" label elapsed;
+  if stats_flag then
+    Format.printf "%a@." Snet.Stats.pp (Snet.Stats.snapshot stats);
+  Scheduler.Pool.shutdown pool
+
+let network_conv =
+  Arg.enum
+    [ ("baseline", Baseline); ("fig1", Fig1); ("fig2", Fig2); ("fig3", Fig3) ]
+
+let engine_conv = Arg.enum [ ("seq", Seq); ("conc", Conc); ("threads", Threads) ]
+
+let cmd =
+  let network =
+    Arg.(value & opt network_conv Fig2 & info [ "network"; "n" ] ~doc:"Solver: baseline, fig1, fig2 or fig3.")
+  in
+  let engine =
+    Arg.(value & opt engine_conv Conc & info [ "engine"; "e" ] ~doc:"Engine: seq, conc or threads.")
+  in
+  let det =
+    Arg.(value & flag & info [ "det" ] ~doc:"Use deterministic combinator variants.")
+  in
+  let throttle =
+    Arg.(value & opt int 4 & info [ "throttle" ] ~doc:"Fig. 3 split width.")
+  in
+  let cutoff =
+    Arg.(value & opt int 40 & info [ "cutoff" ] ~doc:"Fig. 3 star exit level.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "d" ] ~doc:"Worker domains.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace records on stderr.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print unfolding statistics.")
+  in
+  let puzzle =
+    Arg.(value & opt (some string) None & info [ "puzzle"; "p" ] ~doc:"Named corpus puzzle.")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~doc:"Puzzle file.")
+  in
+  Cmd.v
+    (Cmd.info "snet-sudoku" ~doc:"Hybrid SaC/S-Net sudoku solver")
+    Term.(
+      const run_solver $ network $ engine $ det $ throttle $ cutoff $ domains
+      $ verbose $ stats $ puzzle $ file)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,79 @@
+(* snetc: parse and type-check S-Net programs without running them.
+
+   Prints the normalised program, the bottom-up declared signature
+   (when the strict inference succeeds), and the result of flowing a
+   user-supplied input variant through the network. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check file expr input_pattern show_optimized =
+  let ast, net =
+    match (file, expr) with
+    | Some path, None ->
+        let nd = Snet_lang.Parser.parse_string (read_file path) in
+        (Snet_lang.Ast.net_to_string nd, Snet_lang.Elaborate.elaborate_with_stubs nd)
+    | None, Some src ->
+        (* Bare expressions may only use filters (no named boxes). *)
+        let e = Snet_lang.Parser.parse_expr_string src in
+        ( Snet_lang.Ast.expr_to_string e,
+          Snet_lang.Elaborate.expr_to_net [] ~declared:[] e )
+    | _ -> failwith "give exactly one of FILE or --expr"
+  in
+  print_endline "parsed:";
+  print_endline ast;
+  Printf.printf "network: %s\n" (Snet.Net.to_string net);
+  if show_optimized then
+    Printf.printf "optimized: %s\n"
+      (Snet.Net.to_string (Snet.Optimize.optimize net));
+  Printf.printf "acceptance type: %s\n"
+    (Snet.Rectype.to_string (Snet.Typecheck.input_type net));
+  (match Snet.Typecheck.infer net with
+  | sg ->
+      Printf.printf "declared signature: %s\n"
+        (Snet.Rectype.signature_to_string sg)
+  | exception Snet.Typecheck.Type_error msg ->
+      Printf.printf
+        "declared signature: (not strictly typable: %s)\n" msg);
+  match input_pattern with
+  | None -> ()
+  | Some pat ->
+      let p = Snet_lang.Parser.parse_pattern_string pat in
+      let v =
+        Snet.Rectype.Variant.make ~fields:p.Snet_lang.Ast.pat_fields
+          ~tags:p.Snet_lang.Ast.pat_tags
+      in
+      (match Snet.Typecheck.flow [ v ] net with
+      | out ->
+          Printf.printf "flow %s => %s\n"
+            (Snet.Rectype.Variant.to_string v)
+            (Snet.Rectype.to_string out)
+      | exception Snet.Typecheck.Type_error msg ->
+          Printf.printf "flow %s => type error: %s\n"
+            (Snet.Rectype.Variant.to_string v)
+            msg)
+
+let cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"S-Net source file.")
+  in
+  let expr =
+    Arg.(value & opt (some string) None & info [ "expr" ] ~doc:"Check a bare connect expression instead of a file.")
+  in
+  let input =
+    Arg.(value & opt (some string) None & info [ "input" ] ~doc:"Input variant to flow through, e.g. \"{board}\".")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"Also print the optimized network.")
+  in
+  Cmd.v
+    (Cmd.info "snetc" ~doc:"S-Net parser and type checker")
+    Term.(const check $ file $ expr $ input $ optimize)
+
+let () = exit (Cmd.eval cmd)

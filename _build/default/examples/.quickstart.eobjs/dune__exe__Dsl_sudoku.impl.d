@@ -1,0 +1,1 @@
+examples/dsl_sudoku.ml: List Printf Snet Snet_lang Sudoku

@@ -1,0 +1,1 @@
+examples/full_paper_stack.ml: List Printf Saclang Snet Snet_lang String Sudoku Unix

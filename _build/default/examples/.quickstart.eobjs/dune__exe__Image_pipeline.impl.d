@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array List Printf Sacarray Scheduler Snet Unix

@@ -1,0 +1,1 @@
+examples/jacobi_hybrid.ml: Array List Printf Sacarray Scheduler Snet Unix

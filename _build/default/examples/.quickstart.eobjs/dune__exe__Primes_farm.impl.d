@@ -1,0 +1,1 @@
+examples/primes_farm.ml: Array List Printf Sacarray Scheduler Snet Unix

@@ -1,0 +1,1 @@
+examples/primes_farm.mli:

@@ -1,0 +1,1 @@
+examples/stereo_join.ml: Array Fun List Printf Sacarray Scheduler Snet

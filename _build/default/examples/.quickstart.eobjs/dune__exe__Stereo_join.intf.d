@@ -1,0 +1,1 @@
+examples/stereo_join.mli:

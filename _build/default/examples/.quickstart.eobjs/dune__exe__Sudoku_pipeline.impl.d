@@ -1,0 +1,1 @@
+examples/sudoku_pipeline.ml: List Printf Snet Sudoku Unix

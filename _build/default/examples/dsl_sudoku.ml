@@ -1,0 +1,45 @@
+(* The two-layer model exactly as the paper stages it: the coordination
+   program is S-Net *text*, the computation is host-language code. The
+   S-Net source below is Figure 2 verbatim (modulo concrete syntax);
+   the registry supplies the SaC-style box implementations.
+
+   Run with: dune exec examples/dsl_sudoku.exe *)
+
+let source =
+  {|
+  // Figure 2: full unfolding.
+  net sudoku
+  {
+    box computeOpts ((board) -> (board, opts));
+    box solveOneLevelK ((board, opts) -> (board, opts, <k>) | (board, <done>));
+  } connect
+    computeOpts .. [{} -> {<k>=1}] .. ((solveOneLevelK !! <k>) ** {<done>});
+|}
+
+let () =
+  let ast = Snet_lang.Parser.parse_string source in
+  print_endline "parsed S-Net program:";
+  print_string (Snet_lang.Ast.net_to_string ast);
+  let registry =
+    [
+      ("computeOpts", Sudoku.Boxes.compute_opts ());
+      ("solveOneLevelK", Sudoku.Boxes.solve_one_level_k ());
+    ]
+  in
+  let net = Snet_lang.Elaborate.elaborate registry ast in
+  Printf.printf "\nelaborated: %s\n" (Snet.Net.to_string net);
+  Printf.printf "acceptance type: %s\n\n"
+    (Snet.Rectype.to_string (Snet.Typecheck.input_type net));
+  List.iter
+    (fun entry ->
+      let board = entry.Sudoku.Puzzles.board in
+      let out = Snet.Engine_seq.run net [ Sudoku.Boxes.inject_board board ] in
+      let solutions = Sudoku.Networks.solved_boards out in
+      Printf.printf "%-14s -> %d solution(s)\n" entry.Sudoku.Puzzles.name
+        (List.length solutions);
+      match solutions with
+      | first :: _ -> assert (Sudoku.Board.solved first)
+      | [] -> ())
+    (List.filter
+       (fun e -> e.Sudoku.Puzzles.difficulty <> Sudoku.Puzzles.Hard)
+       Sudoku.Puzzles.all)

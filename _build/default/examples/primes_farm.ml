@@ -1,0 +1,111 @@
+(* A task farm with best-match routing.
+
+   Work records carry a half-open range [<lo>, <hi>) and the farm
+   counts the primes in it. Ranges wider than a grain size are SPLIT by
+   a filter into two halves that re-enter the serial replicator; narrow
+   ranges are marked leaf and counted by a data-parallel box. The
+   parallel composition routes each record by its labels: counted
+   results ({<lo>,<hi>,<primes>}) exit, uncounted work loops.
+
+     (dispatch .. work) ** {<primes>}
+
+   where dispatch = wide-splitter || leaf-marker (best match decides)
+   — entirely tag-level coordination, no queues in user code.
+
+   Run with: dune exec examples/primes_farm.exe *)
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+(* Count primes in [lo, hi) with a fold with-loop. *)
+let count_range ?pool lo hi =
+  Sacarray.With_loop.fold ?pool ~neutral:0 ~combine:( + )
+    [
+      ( Sacarray.With_loop.range [| lo |] [| hi |],
+        fun iv -> if is_prime iv.(0) then 1 else 0 );
+    ]
+
+let grain = 5_000
+
+(* box mark_leaf ((<lo>, <hi>) -> (<lo>, <hi>, <leaf>)) for narrow
+   ranges; the splitter filter handles the rest. Best-match needs the
+   two branches to want different labels, so the splitter demands
+   <wide>, which this box never produces. *)
+let classify =
+  Snet.Box.make ~name:"classify"
+    ~input:[ T "lo"; T "hi" ]
+    ~outputs:
+      [
+        [ T "lo"; T "hi"; T "wide" ] (* needs splitting *);
+        [ T "lo"; T "hi"; T "leaf" ] (* small enough to count *);
+      ]
+    (fun ~emit -> function
+      | [ Tag lo; Tag hi ] ->
+          if hi - lo > grain then emit 1 [ Tag lo; Tag hi; Tag 1 ]
+          else emit 2 [ Tag lo; Tag hi; Tag 1 ]
+      | _ -> assert false)
+
+(* [{<lo>,<hi>,<wide>} -> {<lo>,<hi>=...}; {<lo>=...,<hi>}] — split a
+   wide range into two halves, S-Net-level only. *)
+let halve =
+  Snet.Filter.make ~name:"halve"
+    (Snet.Pattern.make ~fields:[] ~tags:[ "lo"; "hi"; "wide" ] ())
+    [
+      [
+        Snet.Filter.Set_tag ("lo", Snet.Pattern.Tag "lo");
+        Snet.Filter.Set_tag
+          ( "hi",
+            Snet.Pattern.Div
+              (Snet.Pattern.Add (Snet.Pattern.Tag "lo", Snet.Pattern.Tag "hi"),
+               Snet.Pattern.Const 2) );
+      ];
+      [
+        Snet.Filter.Set_tag
+          ( "lo",
+            Snet.Pattern.Div
+              (Snet.Pattern.Add (Snet.Pattern.Tag "lo", Snet.Pattern.Tag "hi"),
+               Snet.Pattern.Const 2) );
+        Snet.Filter.Set_tag ("hi", Snet.Pattern.Tag "hi");
+      ];
+    ]
+
+let count_box ?pool () =
+  Snet.Box.make ~name:"count"
+    ~input:[ T "lo"; T "hi"; T "leaf" ]
+    ~outputs:[ [ T "lo"; T "hi"; T "primes" ] ]
+    (fun ~emit -> function
+      | [ Tag lo; Tag hi; Tag _ ] ->
+          emit 1 [ Tag lo; Tag hi; Tag (count_range ?pool lo hi) ]
+      | _ -> assert false)
+
+let () =
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  let body =
+    Snet.Net.serial
+      (Snet.Net.box classify)
+      (Snet.Net.choice
+         (Snet.Net.filter halve)
+         (Snet.Net.box (count_box ())))
+  in
+  let net =
+    Snet.Net.star body (Snet.Pattern.make ~fields:[] ~tags:[ "primes" ] ())
+  in
+  Printf.printf "network: %s\n" (Snet.Net.to_string net);
+  let lo = 2 and hi = 60_000 in
+  let t0 = Unix.gettimeofday () in
+  let out =
+    Snet.Engine_conc.run ~pool net
+      [ Snet.Record.of_list ~fields:[] ~tags:[ ("lo", lo); ("hi", hi) ] ]
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let total =
+    List.fold_left (fun acc r -> acc + Snet.Record.tag_exn "primes" r) 0 out
+  in
+  Printf.printf "primes in [%d, %d) = %d (from %d leaf ranges, %.4fs)\n" lo hi
+    total (List.length out) dt;
+  assert (total = count_range lo hi);
+  Scheduler.Pool.shutdown pool

@@ -1,0 +1,78 @@
+(* Quickstart: a tiny streaming network.
+
+   Records carry an integer vector in field [xs]. The network
+
+     normalise .. (step ** ({<sum>} | <sum> <= 100))
+
+   repeatedly doubles the smallest element until the vector's sum
+   exceeds 100; the serial replicator's guarded exit pattern decides
+   when a record is done — no loop appears in any component.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Nd = Sacarray.Nd
+
+let vec_field : int Nd.t Snet.Value.Key.key =
+  Snet.Value.Key.create ~to_string:(Nd.to_string string_of_int) "xs"
+
+(* box normalise ((xs) -> (xs, <sum>)) *)
+let normalise =
+  Snet.Box.make ~name:"normalise" ~input:[ F "xs" ]
+    ~outputs:[ [ F "xs"; T "sum" ] ]
+    (fun ~emit -> function
+      | [ Field v ] ->
+          let xs = Snet.Value.project_exn vec_field v in
+          emit 1 [ Field v; Tag (Sacarray.Builtins.sum xs) ]
+      | _ -> assert false)
+
+(* box step ((xs, <sum>) -> (xs, <sum>)): double every minimal element
+   — a pure, data-parallel with-loop, as with-loop semantics require
+   (the body may run in any order, so no element may depend on how
+   many others were already visited). Vectors must be positive for the
+   sum to grow. *)
+let step =
+  Snet.Box.make ~name:"step"
+    ~input:[ F "xs"; T "sum" ]
+    ~outputs:[ [ F "xs"; T "sum" ] ]
+    (fun ~emit -> function
+      | [ Field v; Tag _ ] ->
+          let xs = Snet.Value.project_exn vec_field v in
+          let m = Sacarray.Builtins.minval xs in
+          let xs' = Sacarray.Builtins.map (fun x -> if x = m then 2 * x else x) xs in
+          emit 1
+            [
+              Field (Snet.Value.inject vec_field xs');
+              Tag (Sacarray.Builtins.sum xs');
+            ]
+      | _ -> assert false)
+
+let () =
+  let exit_pattern =
+    Snet.Pattern.make ~fields:[] ~tags:[ "sum" ]
+      ~guard:(Snet.Pattern.Cmp (Gt, Tag "sum", Const 100))
+      ()
+  in
+  let net =
+    Snet.Net.serial (Snet.Net.box normalise)
+      (Snet.Net.star (Snet.Net.box step) exit_pattern)
+  in
+  Printf.printf "network: %s\n" (Snet.Net.to_string net);
+  let input xs =
+    Snet.Record.of_list
+      ~fields:[ ("xs", Snet.Value.inject vec_field (Nd.vector xs)) ]
+      ~tags:[]
+  in
+  let outputs =
+    Snet.Engine_seq.run net [ input [ 1; 2; 3 ]; input [ 50; 60 ]; input [ 7 ] ]
+  in
+  List.iter
+    (fun r -> Printf.printf "out: %s\n" (Snet.Record.to_string r))
+    outputs;
+  (* The same run, concurrently. *)
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  let conc =
+    Snet.Engine_conc.run ~pool net
+      [ input [ 1; 2; 3 ]; input [ 50; 60 ]; input [ 7 ] ]
+  in
+  Printf.printf "concurrent engine produced %d records\n" (List.length conc);
+  Scheduler.Pool.shutdown pool

@@ -1,0 +1,140 @@
+(* Synchrocells joining two asynchronous pipelines.
+
+   Two "camera" pipelines process frames independently — a left and a
+   right image per frame number — and a per-frame synchrocell inside a
+   parallel replicator pairs them back up to compute a disparity
+   score:
+
+     (preprocessL || preprocessR) .. ([|{left},{right}|] !! <frame>) .. disparity
+
+   The parallel composition routes each record to the matching
+   preprocessor by its labels; the replicator creates one synchrocell
+   per <frame> value, so frames pair correctly no matter how the two
+   pipelines interleave; flow inheritance carries <frame> through every
+   stage untouched.
+
+   Run with: dune exec examples/stereo_join.exe *)
+
+module Nd = Sacarray.Nd
+
+let image_field : float Nd.t Snet.Value.Key.key =
+  Snet.Value.Key.create "image"
+
+let make_frame ~seed ~shift =
+  Nd.init [| 24; 32 |] (fun iv ->
+      sin ((float_of_int (iv.(1) + shift) /. 5.3) +. float_of_int seed)
+      +. cos (float_of_int iv.(0) /. 7.1))
+
+(* Box bodies: a blur pass per side (data-parallel with-loop), then a
+   disparity estimate comparing the two images column-shift by
+   column-shift. *)
+let blur img =
+  let shp = Nd.shape img in
+  Sacarray.With_loop.modarray img
+    [
+      ( Sacarray.With_loop.range [| 0; 1 |] [| shp.(0); shp.(1) - 1 |],
+        fun iv ->
+          (Nd.get img [| iv.(0); iv.(1) - 1 |]
+          +. Nd.get img iv
+          +. Nd.get img [| iv.(0); iv.(1) + 1 |])
+          /. 3.0 );
+    ]
+
+let difference a b shift =
+  let shp = Nd.shape a in
+  Sacarray.With_loop.fold ~neutral:0.0 ~combine:( +. )
+    [
+      ( Sacarray.With_loop.range [| 0; shift |] [| shp.(0); shp.(1) |],
+        fun iv ->
+          abs_float
+            (Nd.get a iv -. Nd.get b [| iv.(0); iv.(1) - shift |]) );
+    ]
+
+let preprocess side =
+  Snet.Box.make ~name:("preprocess" ^ side)
+    ~input:[ F side ]
+    ~outputs:[ [ F side ] ]
+    (fun ~emit -> function
+      | [ Field v ] ->
+          let img = Snet.Value.project_exn image_field v in
+          emit 1 [ Field (Snet.Value.inject image_field (blur img)) ]
+      | _ -> assert false)
+
+let disparity =
+  Snet.Box.make ~name:"disparity"
+    ~input:[ F "left"; F "right"; T "frame" ]
+    ~outputs:[ [ T "frame"; T "disparity" ] ]
+    (fun ~emit -> function
+      | [ Field l; Field r; Tag frame ] ->
+          let l = Snet.Value.project_exn image_field l in
+          let r = Snet.Value.project_exn image_field r in
+          (* Pick the column shift minimising the image difference. *)
+          let best = ref 0 and best_score = ref infinity in
+          for shift = 0 to 8 do
+            (* left is the right image displaced by the true shift:
+               right[x] should match left[x - shift]. *)
+            let score = difference r l shift in
+            if score < !best_score then begin
+              best_score := score;
+              best := shift
+            end
+          done;
+          emit 1 [ Tag frame; Tag !best ]
+      | _ -> assert false)
+
+let () =
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  let pair_cell =
+    Snet.Net.sync
+      [
+        Snet.Pattern.make ~fields:[ "left" ] ~tags:[] ();
+        Snet.Pattern.make ~fields:[ "right" ] ~tags:[] ();
+      ]
+  in
+  (* A synchrocell's output type includes the un-merged pass-through
+     variants (a spent cell forwards records unchanged), so the static
+     flow check demands a path for them: the standard idiom is a
+     best-match choice whose other branch is a deletion filter — the
+     joined {left,right} record out-scores it at the disparity box,
+     stragglers fall through and are discarded. *)
+  let discard = Snet.Filter.make ~name:"discard" (Snet.Pattern.make ~fields:[] ~tags:[] ()) [] in
+  let net =
+    Snet.Net.serial_list
+      [
+        Snet.Net.choice (Snet.Net.box (preprocess "left"))
+          (Snet.Net.box (preprocess "right"));
+        Snet.Net.split pair_cell "frame";
+        Snet.Net.choice (Snet.Net.box disparity) (Snet.Net.filter discard);
+      ]
+  in
+  Printf.printf "network: %s\n" (Snet.Net.to_string net);
+  let frames = 6 in
+  let true_shift frame = 2 + (frame mod 4) in
+  let inputs =
+    List.concat_map
+      (fun frame ->
+        let base = make_frame ~seed:frame ~shift:0 in
+        let shifted = make_frame ~seed:frame ~shift:(true_shift frame) in
+        [
+          Snet.Record.of_list
+            ~fields:[ ("right", Snet.Value.inject image_field base) ]
+            ~tags:[ ("frame", frame) ];
+          Snet.Record.of_list
+            ~fields:[ ("left", Snet.Value.inject image_field shifted) ]
+            ~tags:[ ("frame", frame) ];
+        ])
+      (List.init frames Fun.id)
+  in
+  let out = Snet.Engine_conc.run ~pool net inputs in
+  List.iter
+    (fun r ->
+      let frame = Snet.Record.tag_exn "frame" r in
+      Printf.printf "frame %d: disparity %d (true shift %d)\n" frame
+        (Snet.Record.tag_exn "disparity" r)
+        (true_shift frame))
+    (List.sort
+       (fun a b ->
+         compare (Snet.Record.tag "frame" a) (Snet.Record.tag "frame" b))
+       out);
+  assert (List.length out = frames);
+  Scheduler.Pool.shutdown pool

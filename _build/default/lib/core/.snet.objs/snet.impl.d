@@ -1,0 +1,1 @@
+lib/core/snet.ml: Box Detmerge Engine_conc Engine_seq Engine_thread Errors Filter Net Optimize Pattern Record Rectype Stats Trace Typecheck Value

@@ -1,0 +1,1 @@
+lib/core/box.ml: List Printf Record Rectype String Value

@@ -1,0 +1,1 @@
+lib/core/detmerge.ml: Hashtbl Int List Mutex Option Printf Record

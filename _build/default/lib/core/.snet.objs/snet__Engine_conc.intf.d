@@ -1,0 +1,1 @@
+lib/core/engine_conc.mli: Net Record Scheduler Stats

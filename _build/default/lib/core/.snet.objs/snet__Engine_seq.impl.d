@@ -1,0 +1,1 @@
+lib/core/engine_seq.ml: Array Box Errors Filter Hashtbl List Net Option Pattern Printf Record Rectype Stats Typecheck

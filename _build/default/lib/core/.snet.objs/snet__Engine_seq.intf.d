@@ -1,0 +1,1 @@
+lib/core/engine_seq.mli: Net Record Stats

@@ -1,0 +1,1 @@
+lib/core/engine_thread.ml: Array Box Detmerge Errors Filter Hashtbl List Mutex Net Option Pattern Printf Record Rectype Stats Streams Thread Typecheck

@@ -1,0 +1,1 @@
+lib/core/engine_thread.mli: Net Record Stats

@@ -1,0 +1,1 @@
+lib/core/filter.ml: List Pattern Printf Record Rectype String

@@ -1,0 +1,1 @@
+lib/core/net.ml: Box Filter List Pattern String

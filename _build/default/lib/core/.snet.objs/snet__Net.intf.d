@@ -1,0 +1,1 @@
+lib/core/net.mli: Box Filter Pattern

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Filter List Net Pattern Rectype

@@ -1,0 +1,1 @@
+lib/core/rectype.ml: List Printf Record Set String

@@ -1,0 +1,1 @@
+lib/core/rectype.mli: Record

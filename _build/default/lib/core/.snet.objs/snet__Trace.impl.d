@@ -1,0 +1,1 @@
+lib/core/trace.ml: List Mutex Printf Record String

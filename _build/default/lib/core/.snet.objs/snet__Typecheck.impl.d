@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Box Filter Hashtbl List Net Pattern Printf Rectype

@@ -1,0 +1,123 @@
+type label =
+  | F of string
+  | T of string
+
+type arg =
+  | Field of Value.t
+  | Tag of int
+
+type emitter = int -> arg list -> unit
+type impl = emit:emitter -> arg list -> unit
+
+type t = {
+  bname : string;
+  input : label list;
+  outputs : label list list;
+  impl : impl;
+}
+
+let label_name = function F f -> f | T t -> t
+let label_to_string = function F f -> f | T t -> "<" ^ t ^ ">"
+
+let tuple_to_string labels =
+  "(" ^ String.concat "," (List.map label_to_string labels) ^ ")"
+
+let check_distinct what labels =
+  let rec go seen = function
+    | [] -> ()
+    | l :: rest ->
+        let key = (match l with F _ -> "f:" | T _ -> "t:") ^ label_name l in
+        if List.mem key seen then
+          invalid_arg
+            (Printf.sprintf "Box: duplicate label %s in %s"
+               (label_to_string l) what)
+        else go (key :: seen) rest
+  in
+  go [] labels
+
+let make ~name ~input ~outputs impl =
+  check_distinct "input tuple" input;
+  if outputs = [] then invalid_arg "Box: empty output disjunction";
+  List.iteri
+    (fun i v -> check_distinct (Printf.sprintf "output variant %d" (i + 1)) v)
+    outputs;
+  { bname = name; input; outputs; impl }
+
+let name t = t.bname
+let input_labels t = t.input
+let output_variants t = t.outputs
+
+let variant_of_labels labels =
+  let fields = List.filter_map (function F f -> Some f | T _ -> None) labels in
+  let tags = List.filter_map (function T t -> Some t | F _ -> None) labels in
+  Rectype.Variant.make ~fields ~tags
+
+let signature t =
+  {
+    Rectype.input = [ variant_of_labels t.input ];
+    output = Rectype.normalise (List.map variant_of_labels t.outputs);
+  }
+
+let to_string t =
+  Printf.sprintf "box %s (%s -> %s)" t.bname (tuple_to_string t.input)
+    (String.concat " | " (List.map tuple_to_string t.outputs))
+
+let project t r =
+  List.map
+    (fun l ->
+      match l with
+      | F f -> (
+          match Record.field f r with
+          | Some v -> Field v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Box %s: record %s lacks field %s" t.bname
+                   (Record.to_string r) f))
+      | T tag -> (
+          match Record.tag tag r with
+          | Some v -> Tag v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Box %s: record %s lacks tag <%s>" t.bname
+                   (Record.to_string r) tag)))
+    t.input
+
+let build_output t variant args =
+  if variant < 1 || variant > List.length t.outputs then
+    invalid_arg
+      (Printf.sprintf "Box %s: snet_out variant %d of %d" t.bname variant
+         (List.length t.outputs));
+  let labels = List.nth t.outputs (variant - 1) in
+  if List.length labels <> List.length args then
+    invalid_arg
+      (Printf.sprintf "Box %s: snet_out variant %d expects %d values, got %d"
+         t.bname variant (List.length labels) (List.length args));
+  List.fold_left2
+    (fun out l a ->
+      match (l, a) with
+      | F f, Field v -> Record.with_field f v out
+      | T tag, Tag v -> Record.with_tag tag v out
+      | F f, Tag _ ->
+          invalid_arg
+            (Printf.sprintf "Box %s: field %s given a tag value" t.bname f)
+      | T tag, Field _ ->
+          invalid_arg
+            (Printf.sprintf "Box %s: tag <%s> given a field value" t.bname tag))
+    Record.empty labels args
+
+let execute t r =
+  let args = project t r in
+  let emitted = ref [] in
+  let emit variant out_args =
+    emitted := build_output t variant out_args :: !emitted
+  in
+  t.impl ~emit args;
+  let consumed_fields =
+    List.filter_map (function F f -> Some f | T _ -> None) t.input
+  in
+  let consumed_tags =
+    List.filter_map (function T tag -> Some tag | F _ -> None) t.input
+  in
+  let excess = Record.excess ~consumed_fields ~consumed_tags r in
+  (* [emitted] is in reverse emission order; rev_map restores it. *)
+  List.rev_map (fun out -> Record.inherit_from ~excess out) !emitted

@@ -1,0 +1,108 @@
+type region = {
+  id : int;
+  mutex : Mutex.t;
+  counts : (int, int) Hashtbl.t; (* seq -> in-flight descendants *)
+  mutable next_seq : int;
+  mutable notify : int -> unit;
+  (* Collector-private state (single consumer): *)
+  buffers : (int, (int list * meta * Record.t) list) Hashtbl.t;
+  done_seqs : (int, unit) Hashtbl.t;
+  mutable next_release : int;
+}
+
+and token = {
+  region : region;
+  seq : int;
+}
+
+and meta = {
+  tokens : token list;
+  path : int list;
+}
+
+let root_meta i = { tokens = []; path = [ i ] }
+let child_meta meta i = { meta with path = i :: meta.path }
+
+let create_region ~id =
+  {
+    id;
+    mutex = Mutex.create ();
+    counts = Hashtbl.create 32;
+    next_seq = 0;
+    notify = (fun _ -> ());
+    buffers = Hashtbl.create 32;
+    done_seqs = Hashtbl.create 32;
+    next_release = 0;
+  }
+
+let region_id r = r.id
+let set_notify r f = r.notify <- f
+
+let stamp r meta =
+  Mutex.lock r.mutex;
+  let seq = r.next_seq in
+  r.next_seq <- seq + 1;
+  Hashtbl.replace r.counts seq 1;
+  Mutex.unlock r.mutex;
+  { meta with tokens = { region = r; seq } :: meta.tokens }
+
+(* Adjust one region's count by [delta]; returns true when it reached
+   zero. *)
+let adjust r seq delta =
+  Mutex.lock r.mutex;
+  let c = Option.value ~default:0 (Hashtbl.find_opt r.counts seq) + delta in
+  if c <= 0 then Hashtbl.remove r.counts seq else Hashtbl.replace r.counts seq c;
+  Mutex.unlock r.mutex;
+  c = 0
+
+let account meta n =
+  List.iter
+    (fun tok ->
+      if adjust tok.region tok.seq (n - 1) then tok.region.notify tok.seq)
+    meta.tokens
+
+(* DFS emission order: compare reversed paths from the root. *)
+let path_compare a b = List.compare Int.compare (List.rev a) (List.rev b)
+
+let rec flush r acc =
+  if Hashtbl.mem r.done_seqs r.next_release then begin
+    let s = r.next_release in
+    let entries =
+      match Hashtbl.find_opt r.buffers s with
+      | Some es ->
+          List.sort
+            (fun (p1, _, _) (p2, _, _) -> path_compare p1 p2)
+            (List.rev es)
+      | None -> []
+    in
+    Hashtbl.remove r.buffers s;
+    Hashtbl.remove r.done_seqs s;
+    r.next_release <- s + 1;
+    let released = List.map (fun (_, m, rec_) -> (m, rec_)) entries in
+    (* [acc] is kept reversed; prepend the in-order batch reversed. *)
+    flush r (List.rev_append released acc)
+  end
+  else List.rev acc
+
+let collector_complete r seq =
+  Hashtbl.replace r.done_seqs seq ();
+  flush r []
+
+let collector_data r meta record =
+  match meta.tokens with
+  | tok :: rest when tok.region == r ->
+      let inner = { tokens = rest; path = meta.path } in
+      let prior = Option.value ~default:[] (Hashtbl.find_opt r.buffers tok.seq) in
+      Hashtbl.replace r.buffers tok.seq ((meta.path, inner, record) :: prior);
+      (* The record has left the region: retire it. *)
+      if adjust r tok.seq (-1) then begin
+        Hashtbl.replace r.done_seqs tok.seq ();
+        flush r []
+      end
+      else []
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "Detmerge: record without matching token for region %d" r.id)
+
+let buffered r = Hashtbl.length r.buffers

@@ -1,0 +1,349 @@
+type observer = edge:string -> Record.t -> unit
+
+(* Messages between component actors. [Data] carries the record plus
+   deterministic-merge metadata; [Complete seq] tells a collector that
+   sequence number [seq] has drained (see {!Detmerge}). *)
+type amsg =
+  | Data of Detmerge.meta * Record.t
+  | Complete of int
+
+type target = amsg Streams.Actors.t
+
+type instance = {
+  sys : Streams.Actors.system;
+  istats : Stats.t;
+  observer : observer option;
+  imutex : Mutex.t;
+  mutable regions : Detmerge.region list;
+  mutable results : Record.t list;
+  mutable next_input : int;
+  mutable next_region_id : int;
+  mutable entry : target option;
+  net : Net.t;
+  (* Input variants already admission-checked via Typecheck.flow. *)
+  checked : (string list * string list, unit) Hashtbl.t;
+}
+
+let send_outputs ~down meta outs =
+  List.iteri
+    (fun i out ->
+      Streams.Actors.send down (Data (Detmerge.child_meta meta i, out)))
+    outs
+
+let observe_edge eng path r =
+  match eng.observer with Some f -> f ~edge:path r | None -> ()
+
+let new_region eng =
+  Mutex.lock eng.imutex;
+  let id = eng.next_region_id in
+  eng.next_region_id <- id + 1;
+  let r = Detmerge.create_region ~id in
+  eng.regions <- r :: eng.regions;
+  Mutex.unlock eng.imutex;
+  r
+
+(* The collector actor of a deterministic region: buffers descendants,
+   releases complete sequence numbers in order. *)
+let make_collector eng ~name region ~down =
+  let release entries =
+    List.iter
+      (fun (meta, record) -> Streams.Actors.send down (Data (meta, record)))
+      entries
+  in
+  let handler = function
+    | Complete s -> release (Detmerge.collector_complete region s)
+    | Data (meta, record) ->
+        release (Detmerge.collector_data region meta record)
+  in
+  let col = Streams.Actors.spawn eng.sys ~name handler in
+  Detmerge.set_notify region (fun seq ->
+      Streams.Actors.send col (Complete seq));
+  col
+
+(* A component that consumes one record and emits [outs]: account every
+   enclosing deterministic region before forwarding. *)
+let consume_emit eng ~down meta outs =
+  Stats.record_emission eng.istats (List.length outs);
+  Detmerge.account meta (List.length outs);
+  send_outputs ~down meta outs
+
+let stray path =
+  failwith (Printf.sprintf "Engine_conc(%s): stray Complete" path)
+
+let rec build eng path net ~down : target =
+  match net with
+  | Net.Box b ->
+      let path = path ^ "/box:" ^ Box.name b in
+      Stats.record_instance eng.istats;
+      let handler = function
+        | Complete _ -> stray path
+        | Data (meta, r) ->
+            observe_edge eng path r;
+            Stats.record_box_invocation eng.istats;
+            consume_emit eng ~down meta (Box.execute b r)
+      in
+      Streams.Actors.spawn eng.sys ~name:path handler
+  | Net.Filter f ->
+      let path = path ^ "/filter:" ^ Filter.name f in
+      Stats.record_instance eng.istats;
+      let handler = function
+        | Complete _ -> stray path
+        | Data (meta, r) ->
+            observe_edge eng path r;
+            Stats.record_filter_invocation eng.istats;
+            consume_emit eng ~down meta (Filter.apply f r)
+      in
+      Streams.Actors.spawn eng.sys ~name:path handler
+  | Net.Sync patterns ->
+      let path = path ^ "/sync" in
+      Stats.record_instance eng.istats;
+      let slots = Array.make (List.length patterns) None in
+      let spent = ref false in
+      let pats = Array.of_list patterns in
+      let handler = function
+        | Complete _ -> stray path
+        | Data (meta, r) ->
+            observe_edge eng path r;
+            if !spent then consume_emit eng ~down meta [ r ]
+            else begin
+              let slot = ref None in
+              Array.iteri
+                (fun i p ->
+                  if !slot = None && slots.(i) = None && Pattern.matches p r
+                  then slot := Some i)
+                pats;
+              match !slot with
+              | None -> consume_emit eng ~down meta [ r ]
+              | Some i ->
+                  slots.(i) <- Some r;
+                  if Array.for_all Option.is_some slots then begin
+                    spent := true;
+                    (* Merge in pattern order; earlier patterns win on
+                       label collisions. The merged record continues
+                       the triggering record's causal line. *)
+                    let merged =
+                      Array.fold_left
+                        (fun acc stored ->
+                          match (acc, stored) with
+                          | None, s -> s
+                          | Some acc, Some stored ->
+                              Some (Record.inherit_from ~excess:stored acc)
+                          | Some acc, None -> Some acc)
+                        None slots
+                    in
+                    consume_emit eng ~down meta [ Option.get merged ]
+                  end
+                  else
+                    (* Stored: the record leaves its causal line. *)
+                    Detmerge.account meta 0
+            end
+      in
+      Streams.Actors.spawn eng.sys ~name:path handler
+  | Net.Observe { tag; body } ->
+      let opath = path ^ "/" ^ tag in
+      let inner = build eng opath body ~down in
+      let handler = function
+        | Complete _ -> stray opath
+        | Data (meta, r) ->
+            observe_edge eng opath r;
+            Streams.Actors.send inner (Data (meta, r))
+      in
+      Streams.Actors.spawn eng.sys ~name:opath handler
+  | Net.Serial (a, b) ->
+      let cb = build eng (path ^ "/R") b ~down in
+      build eng (path ^ "/L") a ~down:cb
+  | Net.Choice { left; right; det } ->
+      let left_in = Typecheck.input_type left in
+      let right_in = Typecheck.input_type right in
+      let region = if det then Some (new_region eng) else None in
+      let merge_down =
+        match region with
+        | Some rg -> make_collector eng ~name:(path ^ "/choice-col") rg ~down
+        | None -> down
+      in
+      let cl = build eng (path ^ "/l") left ~down:merge_down in
+      let cr = build eng (path ^ "/r") right ~down:merge_down in
+      let handler = function
+        | Complete _ -> stray path
+        | Data (meta, r) ->
+            let meta =
+              match region with
+              | None -> meta
+              | Some rg -> Detmerge.stamp rg meta
+            in
+            let sl = Rectype.match_score left_in r in
+            let sr = Rectype.match_score right_in r in
+            let branch =
+              match (sl, sr) with
+              | None, None ->
+                  raise
+                    (Errors.Route_error
+                       (Printf.sprintf "record %s matches neither branch at %s"
+                          (Record.to_string r) path))
+              | Some _, None -> cl
+              | None, Some _ -> cr
+              | Some a, Some b -> if a >= b then cl else cr
+            in
+            Streams.Actors.send branch (Data (meta, r))
+      in
+      Streams.Actors.spawn eng.sys ~name:(path ^ "/choice") handler
+  | Net.Split { body; tag; det } ->
+      let region = if det then Some (new_region eng) else None in
+      let merge_down =
+        match region with
+        | Some rg -> make_collector eng ~name:(path ^ "/split-col") rg ~down
+        | None -> down
+      in
+      let replicas : (int, target) Hashtbl.t = Hashtbl.create 8 in
+      let handler = function
+        | Complete _ -> stray path
+        | Data (meta, r) ->
+            let v =
+              match Record.tag tag r with
+              | Some v -> v
+              | None ->
+                  raise
+                    (Errors.Route_error
+                       (Printf.sprintf "record %s lacks split tag <%s> at %s"
+                          (Record.to_string r) tag path))
+            in
+            let replica =
+              match Hashtbl.find_opt replicas v with
+              | Some t -> t
+              | None ->
+                  let t =
+                    build eng
+                      (Printf.sprintf "%s/split[%s=%d]" path tag v)
+                      body ~down:merge_down
+                  in
+                  Hashtbl.add replicas v t;
+                  Stats.record_split_replica eng.istats;
+                  t
+            in
+            let meta =
+              match region with
+              | None -> meta
+              | Some rg -> Detmerge.stamp rg meta
+            in
+            Streams.Actors.send replica (Data (meta, r))
+      in
+      Streams.Actors.spawn eng.sys ~name:(path ^ "/split") handler
+  | Net.Star { body; exit; det } ->
+      let region = if det then Some (new_region eng) else None in
+      let exit_target =
+        match region with
+        | Some rg -> make_collector eng ~name:(path ^ "/star-col") rg ~down
+        | None -> down
+      in
+      (* Tap [d] sits before replica [d+1]; tap 0 is the star's entry
+         and, for a deterministic star, the region entry. *)
+      let rec make_tap d : target =
+        let tap_path = Printf.sprintf "%s/star@%d" path d in
+        let next_stage : target option ref = ref None in
+        let handler = function
+          | Complete _ -> stray tap_path
+          | Data (meta, r) ->
+              let meta =
+                match region with
+                | Some rg when d = 0 -> Detmerge.stamp rg meta
+                | _ -> meta
+              in
+              if Pattern.matches exit r then
+                Streams.Actors.send exit_target (Data (meta, r))
+              else begin
+                let stage =
+                  match !next_stage with
+                  | Some s -> s
+                  | None ->
+                      let next_tap = make_tap (d + 1) in
+                      let s =
+                        build eng
+                          (Printf.sprintf "%s/stage@%d" path (d + 1))
+                          body ~down:next_tap
+                      in
+                      next_stage := Some s;
+                      Stats.record_star_stage eng.istats ~depth:(d + 1);
+                      s
+                in
+                Streams.Actors.send stage (Data (meta, r))
+              end
+        in
+        Streams.Actors.spawn eng.sys ~name:tap_path handler
+      in
+      make_tap 0
+
+let start ?pool ?batch ?observer ?stats net =
+  let sys = Streams.Actors.system ?pool ?batch () in
+  let istats = match stats with Some s -> s | None -> Stats.create () in
+  let eng =
+    {
+      sys;
+      istats;
+      observer;
+      imutex = Mutex.create ();
+      regions = [];
+      results = [];
+      next_input = 0;
+      next_region_id = 0;
+      entry = None;
+      net;
+      checked = Hashtbl.create 8;
+    }
+  in
+  let results_actor =
+    Streams.Actors.spawn sys ~name:"/output" (function
+      | Complete _ -> stray "/output"
+      | Data (meta, r) ->
+          if meta.Detmerge.tokens <> [] then
+            failwith "Engine_conc(output): unclosed deterministic region";
+          Mutex.lock eng.imutex;
+          eng.results <- r :: eng.results;
+          Mutex.unlock eng.imutex)
+  in
+  eng.entry <- Some (build eng "" net ~down:results_actor);
+  eng
+
+let feed eng r =
+  (* Admission check, once per distinct input variant. *)
+  let v = Rectype.Variant.of_record r in
+  let key = (Rectype.Variant.fields v, Rectype.Variant.tags v) in
+  Mutex.lock eng.imutex;
+  let fresh = not (Hashtbl.mem eng.checked key) in
+  if fresh then Hashtbl.add eng.checked key ();
+  Mutex.unlock eng.imutex;
+  if fresh then ignore (Typecheck.flow [ v ] eng.net);
+  Mutex.lock eng.imutex;
+  let i = eng.next_input in
+  eng.next_input <- i + 1;
+  Mutex.unlock eng.imutex;
+  let entry =
+    match eng.entry with
+    | Some e -> e
+    | None -> failwith "Engine_conc: engine not initialised"
+  in
+  Streams.Actors.send entry (Data (Detmerge.root_meta i, r))
+
+let finish eng =
+  Streams.Actors.await_quiescence eng.sys;
+  (* Sanity: a quiescent network must have drained every deterministic
+     collector. *)
+  Mutex.lock eng.imutex;
+  let regions = eng.regions in
+  let results = List.rev eng.results in
+  Mutex.unlock eng.imutex;
+  List.iter
+    (fun r ->
+      if Detmerge.buffered r > 0 then
+        failwith
+          (Printf.sprintf
+             "Engine_conc: deterministic region %d still buffers records after quiescence"
+             (Detmerge.region_id r)))
+    regions;
+  results
+
+let stats eng = Stats.snapshot eng.istats
+
+let run ?pool ?batch ?observer ?stats net inputs =
+  let eng = start ?pool ?batch ?observer ?stats net in
+  List.iter (feed eng) inputs;
+  finish eng

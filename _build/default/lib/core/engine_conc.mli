@@ -1,0 +1,73 @@
+(** Concurrent engine: networks as actor graphs over a domain pool.
+
+    Every component instance — box, filter, dispatcher, star tap —
+    becomes an actor ({!Streams.Actors}); serial replicators unfold
+    into new pipeline stages and parallel replicators into new replicas
+    {e lazily}, when the first record demands them, exactly as the
+    paper describes the demand-driven unfolding of [**] and [!!].
+
+    {2 Determinism}
+
+    Nondeterministic combinators merge output streams by arrival: "any
+    record produced proceeds as soon as possible". The deterministic
+    variants ([|], [*], [!]) are implemented with a sequencing protocol
+    equivalent to S-Net's sort records:
+
+    - the combinator's entry stamps each incoming record with a
+      sequence number and registers it in a per-combinator in-flight
+      count;
+    - every component adjusts the count of each enclosing deterministic
+      combinator when it turns one record into [n] (boxes may emit any
+      number of records, including none);
+    - records additionally carry the path of emission indices that led
+      to them, so the collector can restore the depth-first emission
+      order within one sequence number;
+    - the collector buffers descendants per sequence number and
+      releases sequence numbers in order, each one's records sorted by
+      emission path.
+
+    Consequently a network built solely from deterministic combinators
+    produces {e exactly} the output of {!Engine_seq}; nondeterministic
+    merges produce a permutation that respects each merged stream's
+    internal order. *)
+
+type observer = edge:string -> Record.t -> unit
+
+type instance
+
+val start :
+  ?pool:Scheduler.Pool.t ->
+  ?batch:int ->
+  ?observer:observer ->
+  ?stats:Stats.t ->
+  Net.t ->
+  instance
+(** Build the network's initial actor graph. Actors run on [pool]
+    (default {!Scheduler.Pool.default}[ ()]); [batch] is the actor
+    activation batch size (see {!Streams.Actors.system}). *)
+
+val feed : instance -> Record.t -> unit
+(** Inject one record into the network's input stream. Never blocks.
+    The first record of each distinct variant is admission-checked
+    against the network with {!Typecheck.flow}.
+    @raise Typecheck.Type_error when the record cannot flow through
+    the network. *)
+
+val finish : instance -> Record.t list
+(** Wait until the network is quiescent (every injected record fully
+    processed) and return all output records produced so far, in
+    arrival order at the global output stream. Re-raises the first
+    component exception, if any. May be called repeatedly, with more
+    {!feed}s in between; outputs accumulate. *)
+
+val stats : instance -> Stats.snapshot
+
+val run :
+  ?pool:Scheduler.Pool.t ->
+  ?batch:int ->
+  ?observer:observer ->
+  ?stats:Stats.t ->
+  Net.t ->
+  Record.t list ->
+  Record.t list
+(** [start], [feed] each record, [finish]. *)

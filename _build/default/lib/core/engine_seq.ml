@@ -1,0 +1,177 @@
+type observer = edge:string -> Record.t -> unit
+
+exception Route_error = Errors.Route_error
+
+type ctx = {
+  observer : observer option;
+  stats : Stats.t option;
+  (* Component instances that have already seen a record, keyed by
+     path; used to count dynamic unfolding. *)
+  seen : (string, unit) Hashtbl.t;
+}
+
+let observe ctx path r =
+  match ctx.observer with Some f -> f ~edge:path r | None -> ()
+
+let with_stats ctx f = match ctx.stats with Some s -> f s | None -> ()
+
+let first_visit ctx path =
+  if Hashtbl.mem ctx.seen path then false
+  else begin
+    Hashtbl.add ctx.seen path ();
+    true
+  end
+
+(* A compiled component: given a downstream continuation, consume one
+   record. *)
+type comp = (Record.t -> unit) -> Record.t -> unit
+
+let rec compile ctx path net : comp =
+  match net with
+  | Net.Box b ->
+      let path = path ^ "/box:" ^ Box.name b in
+      fun emit r ->
+        observe ctx path r;
+        if first_visit ctx path then with_stats ctx Stats.record_instance;
+        with_stats ctx Stats.record_box_invocation;
+        let outs = Box.execute b r in
+        with_stats ctx (fun s -> Stats.record_emission s (List.length outs));
+        List.iter emit outs
+  | Net.Filter f ->
+      let path = path ^ "/filter:" ^ Filter.name f in
+      fun emit r ->
+        observe ctx path r;
+        if first_visit ctx path then with_stats ctx Stats.record_instance;
+        with_stats ctx Stats.record_filter_invocation;
+        let outs = Filter.apply f r in
+        with_stats ctx (fun s -> Stats.record_emission s (List.length outs));
+        List.iter emit outs
+  | Net.Sync patterns ->
+      let path = path ^ "/sync" in
+      let slots = Array.make (List.length patterns) None in
+      let spent = ref false in
+      let pats = Array.of_list patterns in
+      fun emit r ->
+        observe ctx path r;
+        if first_visit ctx path then with_stats ctx Stats.record_instance;
+        if !spent then emit r
+        else begin
+          let slot = ref None in
+          Array.iteri
+            (fun i p ->
+              if !slot = None && slots.(i) = None && Pattern.matches p r then
+                slot := Some i)
+            pats;
+          match !slot with
+          | None -> emit r
+          | Some i ->
+              slots.(i) <- Some r;
+              if Array.for_all Option.is_some slots then begin
+                spent := true;
+                (* Merge in pattern order; earlier patterns win on
+                   label collisions. *)
+                let merged =
+                  Array.fold_left
+                    (fun acc stored ->
+                      match (acc, stored) with
+                      | None, s -> s
+                      | Some acc, Some stored ->
+                          Some (Record.inherit_from ~excess:stored acc)
+                      | Some acc, None -> Some acc)
+                    None slots
+                in
+                with_stats ctx (fun s -> Stats.record_emission s 1);
+                emit (Option.get merged)
+              end
+        end
+  | Net.Observe { tag; body } ->
+      let inner = compile ctx (path ^ "/" ^ tag) body in
+      fun emit r ->
+        observe ctx (path ^ "/" ^ tag) r;
+        inner emit r
+  | Net.Serial (a, b) ->
+      let ca = compile ctx (path ^ "/L") a in
+      let cb = compile ctx (path ^ "/R") b in
+      fun emit r -> ca (cb emit) r
+  | Net.Choice { left; right; det = _ } ->
+      let left_in = Typecheck.input_type left in
+      let right_in = Typecheck.input_type right in
+      let cl = compile ctx (path ^ "/l") left in
+      let cr = compile ctx (path ^ "/r") right in
+      fun emit r ->
+        (* Best-match routing; on a tie the left branch is chosen (a
+           legal resolution of the nondeterministic choice, and the
+           deterministic one for [A | B]). *)
+        let sl = Rectype.match_score left_in r in
+        let sr = Rectype.match_score right_in r in
+        (match (sl, sr) with
+        | None, None ->
+            raise
+              (Route_error
+                 (Printf.sprintf
+                    "record %s matches neither branch of %s at %s"
+                    (Record.to_string r) (Net.to_string net) path))
+        | Some _, None -> cl emit r
+        | None, Some _ -> cr emit r
+        | Some a, Some b -> if a >= b then cl emit r else cr emit r)
+  | Net.Star { body; exit; det = _ } ->
+      let star_path = path ^ "/star" in
+      (* Stage [d] of the unfolding compiles the body lazily on first
+         use — the demand-driven unfolding of the paper. *)
+      let stages : (int, comp) Hashtbl.t = Hashtbl.create 8 in
+      let stage_body ctx d =
+        match Hashtbl.find_opt stages d with
+        | Some c -> c
+        | None ->
+            let c = compile ctx (Printf.sprintf "%s@%d" star_path d) body in
+            Hashtbl.add stages d c;
+            c
+      in
+      fun emit r ->
+        let rec tap d r =
+          if Pattern.matches exit r then emit r
+          else begin
+            let stage_path = Printf.sprintf "%s@%d" star_path (d + 1) in
+            if first_visit ctx (stage_path ^ "#stage") then
+              with_stats ctx (fun s ->
+                  Stats.record_star_stage s ~depth:(d + 1));
+            (stage_body ctx (d + 1)) (tap (d + 1)) r
+          end
+        in
+        tap 0 r
+  | Net.Split { body; tag; det = _ } ->
+      let split_path = path ^ "/split" in
+      let replicas : (int, comp) Hashtbl.t = Hashtbl.create 8 in
+      fun emit r ->
+        let v =
+          match Record.tag tag r with
+          | Some v -> v
+          | None ->
+              raise
+                (Route_error
+                   (Printf.sprintf "record %s lacks split tag <%s> at %s"
+                      (Record.to_string r) tag path))
+        in
+        let replica =
+          match Hashtbl.find_opt replicas v with
+          | Some c -> c
+          | None ->
+              let c =
+                compile ctx (Printf.sprintf "%s[%s=%d]" split_path tag v) body
+              in
+              Hashtbl.add replicas v c;
+              with_stats ctx Stats.record_split_replica;
+              c
+        in
+        replica emit r
+
+let run ?observer ?stats net inputs =
+  (* Admission check with the precise variants of the actual inputs;
+     see {!Typecheck.flow}. *)
+  let variants = List.map Rectype.Variant.of_record inputs in
+  if variants <> [] then ignore (Typecheck.flow variants net);
+  let ctx = { observer; stats; seen = Hashtbl.create 64 } in
+  let compiled = compile ctx "" net in
+  let out = ref [] in
+  List.iter (fun r -> compiled (fun o -> out := o :: !out) r) inputs;
+  List.rev !out

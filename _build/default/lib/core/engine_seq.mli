@@ -1,0 +1,37 @@
+(** Sequential reference engine.
+
+    A deterministic, single-threaded interpreter with the obvious
+    depth-first semantics: input records are processed one at a time,
+    and every record a component emits is carried through the rest of
+    the network before the component's next emission is looked at.
+    Deterministic and nondeterministic combinator variants therefore
+    coincide here. This engine defines the reference output against
+    which the concurrent engine is tested: a deterministic network run
+    concurrently must produce exactly this output; a nondeterministic
+    one must produce a permutation of it.
+
+    Replica instantiation is tracked structurally (a star stage or
+    split replica counts when the first record reaches it), so the
+    paper's unfolding bounds can be checked without real threads. *)
+
+type observer = edge:string -> Record.t -> unit
+(** Called with the path of the component a record is about to enter.
+    Paths look like ["/star@1/split[k=3]/box:solveOneLevel"]. *)
+
+exception Route_error of string
+(** A record reached a parallel composition no branch of which accepts
+    it, or a star that can neither pass it out nor into the body. *)
+
+val run :
+  ?observer:observer ->
+  ?stats:Stats.t ->
+  Net.t ->
+  Record.t list ->
+  Record.t list
+(** Checks that every input record's variant can flow through the
+    network ({!Typecheck.flow}), then feeds the records through in
+    order.
+    @raise Typecheck.Type_error on ill-typed networks.
+    @raise Route_error on routing failures the static check cannot
+    exclude (records supplied at run time may carry fewer labels than
+    any branch wants). *)

@@ -1,0 +1,472 @@
+type observer = edge:string -> Record.t -> unit
+
+type msg =
+  | Data of Detmerge.meta * Record.t
+  | Complete of int
+
+(* A channel endpoint with producer reference counting: the channel
+   closes when the last registered producer releases it, which is how
+   end-of-stream cascades through dynamically growing networks. *)
+type port = {
+  ch : msg Streams.Channel.t;
+  pmutex : Mutex.t;
+  mutable producers : int;
+}
+
+let new_port ~capacity () =
+  {
+    ch = Streams.Channel.create ~capacity ();
+    pmutex = Mutex.create ();
+    producers = 0;
+  }
+
+let add_producer p =
+  Mutex.lock p.pmutex;
+  p.producers <- p.producers + 1;
+  Mutex.unlock p.pmutex
+
+let release_producer p =
+  Mutex.lock p.pmutex;
+  p.producers <- p.producers - 1;
+  let last = p.producers <= 0 in
+  Mutex.unlock p.pmutex;
+  if last then Streams.Channel.close p.ch
+
+let send p m = Streams.Channel.send p.ch m
+let recv p = Streams.Channel.recv p.ch
+
+type instance = {
+  capacity : int;
+  istats : Stats.t;
+  observer : observer option;
+  imutex : Mutex.t;
+  mutable regions : Detmerge.region list;
+  mutable threads : Thread.t list;
+  mutable first_error : exn option;
+  mutable next_region_id : int;
+  mutable next_input : int;
+  mutable closed : bool;
+  net : Net.t;
+  checked : (string list * string list, unit) Hashtbl.t;
+  mutable entry : port option;
+  output : port;
+}
+
+let observe_edge eng path r =
+  match eng.observer with Some f -> f ~edge:path r | None -> ()
+
+let record_error eng e =
+  Mutex.lock eng.imutex;
+  if eng.first_error = None then eng.first_error <- Some e;
+  Mutex.unlock eng.imutex
+
+let spawn_thread eng f =
+  let t = Thread.create f () in
+  Mutex.lock eng.imutex;
+  eng.threads <- t :: eng.threads;
+  Mutex.unlock eng.imutex
+
+let new_region eng =
+  Mutex.lock eng.imutex;
+  let id = eng.next_region_id in
+  eng.next_region_id <- id + 1;
+  let r = Detmerge.create_region ~id in
+  eng.regions <- r :: eng.regions;
+  Mutex.unlock eng.imutex;
+  r
+
+let send_outputs ~down meta outs =
+  List.iteri
+    (fun i out -> send down (Data (Detmerge.child_meta meta i, out)))
+    outs
+
+(* A one-input, one-output component thread. [handle] maps one record
+   to its emissions; after a failure the component degrades to a sink
+   that keeps the deterministic accounting alive so the network can
+   still drain. *)
+let component eng ~path ~down handle : port =
+  let input = new_port ~capacity:eng.capacity () in
+  add_producer down;
+  Stats.record_instance eng.istats;
+  spawn_thread eng (fun () ->
+      let broken = ref false in
+      let rec loop () =
+        match recv input with
+        | None -> release_producer down
+        | Some (Complete _) ->
+            record_error eng
+              (Failure
+                 (Printf.sprintf "Engine_thread(%s): stray Complete" path));
+            loop ()
+        | Some (Data (meta, r)) ->
+            (if !broken then Detmerge.account meta 0
+             else
+               match handle r with
+               | outs ->
+                   Stats.record_emission eng.istats (List.length outs);
+                   Detmerge.account meta (List.length outs);
+                   send_outputs ~down meta outs
+               | exception e ->
+                   record_error eng e;
+                   broken := true;
+                   Detmerge.account meta 0);
+            loop ()
+      in
+      loop ());
+  input
+
+(* The collector thread of a deterministic region. *)
+let make_collector eng region ~down : port =
+  let input = new_port ~capacity:eng.capacity () in
+  add_producer down;
+  Detmerge.set_notify region (fun seq -> send input (Complete seq));
+  spawn_thread eng (fun () ->
+      let release entries =
+        List.iter (fun (meta, record) -> send down (Data (meta, record))) entries
+      in
+      let rec loop () =
+        match recv input with
+        | None -> release_producer down
+        | Some (Complete s) ->
+            release (Detmerge.collector_complete region s);
+            loop ()
+        | Some (Data (meta, record)) ->
+            release (Detmerge.collector_data region meta record);
+            loop ()
+      in
+      loop ());
+  input
+
+let rec build eng path net ~down : port =
+  match net with
+  | Net.Box b ->
+      let path = path ^ "/box:" ^ Box.name b in
+      component eng ~path ~down (fun r ->
+          observe_edge eng path r;
+          Stats.record_box_invocation eng.istats;
+          Box.execute b r)
+  | Net.Filter f ->
+      let path = path ^ "/filter:" ^ Filter.name f in
+      component eng ~path ~down (fun r ->
+          observe_edge eng path r;
+          Stats.record_filter_invocation eng.istats;
+          Filter.apply f r)
+  | Net.Sync patterns ->
+      let path = path ^ "/sync" in
+      let slots = Array.make (List.length patterns) None in
+      let spent = ref false in
+      let pats = Array.of_list patterns in
+      component eng ~path ~down (fun r ->
+          observe_edge eng path r;
+          if !spent then [ r ]
+          else begin
+            let slot = ref None in
+            Array.iteri
+              (fun i p ->
+                if !slot = None && slots.(i) = None && Pattern.matches p r then
+                  slot := Some i)
+              pats;
+            match !slot with
+            | None -> [ r ]
+            | Some i ->
+                slots.(i) <- Some r;
+                if Array.for_all Option.is_some slots then begin
+                  spent := true;
+                  let merged =
+                    Array.fold_left
+                      (fun acc stored ->
+                        match (acc, stored) with
+                        | None, s -> s
+                        | Some acc, Some stored ->
+                            Some (Record.inherit_from ~excess:stored acc)
+                        | Some acc, None -> Some acc)
+                      None slots
+                  in
+                  [ Option.get merged ]
+                end
+                else []
+          end)
+  | Net.Observe { tag; body } ->
+      let opath = path ^ "/" ^ tag in
+      let inner = build eng opath body ~down in
+      let input = new_port ~capacity:eng.capacity () in
+      add_producer inner;
+      spawn_thread eng (fun () ->
+          let rec loop () =
+            match recv input with
+            | None -> release_producer inner
+            | Some (Data (meta, r)) ->
+                observe_edge eng opath r;
+                send inner (Data (meta, r));
+                loop ()
+            | Some (Complete _) ->
+                record_error eng (Failure "Engine_thread(observe): stray Complete");
+                loop ()
+          in
+          loop ());
+      input
+  | Net.Serial (a, b) ->
+      let cb = build eng (path ^ "/R") b ~down in
+      build eng (path ^ "/L") a ~down:cb
+  | Net.Choice { left; right; det } ->
+      let left_in = Typecheck.input_type left in
+      let right_in = Typecheck.input_type right in
+      let region = if det then Some (new_region eng) else None in
+      let merge_down =
+        match region with
+        | Some rg -> make_collector eng rg ~down
+        | None -> down
+      in
+      let cl = build eng (path ^ "/l") left ~down:merge_down in
+      let cr = build eng (path ^ "/r") right ~down:merge_down in
+      let input = new_port ~capacity:eng.capacity () in
+      add_producer cl;
+      add_producer cr;
+      spawn_thread eng (fun () ->
+          let rec loop () =
+            match recv input with
+            | None ->
+                release_producer cl;
+                release_producer cr
+            | Some (Complete _) ->
+                record_error eng (Failure "Engine_thread(choice): stray Complete");
+                loop ()
+            | Some (Data (meta, r)) ->
+                let meta =
+                  match region with
+                  | None -> meta
+                  | Some rg -> Detmerge.stamp rg meta
+                in
+                let sl = Rectype.match_score left_in r in
+                let sr = Rectype.match_score right_in r in
+                (match (sl, sr) with
+                | None, None ->
+                    record_error eng
+                      (Errors.Route_error
+                         (Printf.sprintf
+                            "record %s matches neither branch at %s"
+                            (Record.to_string r) path));
+                    (* Drop the record but keep the deterministic
+                       accounting alive: consumed, zero outputs. *)
+                    Detmerge.account meta 0
+                | Some _, None -> send cl (Data (meta, r))
+                | None, Some _ -> send cr (Data (meta, r))
+                | Some a, Some b ->
+                    if a >= b then send cl (Data (meta, r))
+                    else send cr (Data (meta, r)));
+                loop ()
+          in
+          loop ());
+      input
+  | Net.Split { body; tag; det } ->
+      let region = if det then Some (new_region eng) else None in
+      let merge_down =
+        match region with
+        | Some rg -> make_collector eng rg ~down
+        | None -> down
+      in
+      (* The dispatcher may create replicas for as long as it lives;
+         hold a producer reference on the merge point so it cannot
+         close early. *)
+      add_producer merge_down;
+      let replicas : (int, port) Hashtbl.t = Hashtbl.create 8 in
+      let input = new_port ~capacity:eng.capacity () in
+      spawn_thread eng (fun () ->
+          let rec loop () =
+            match recv input with
+            | None ->
+                Hashtbl.iter (fun _ p -> release_producer p) replicas;
+                release_producer merge_down
+            | Some (Complete _) ->
+                record_error eng (Failure "Engine_thread(split): stray Complete");
+                loop ()
+            | Some (Data (meta, r)) -> (
+                match Record.tag tag r with
+                | None ->
+                    record_error eng
+                      (Errors.Route_error
+                         (Printf.sprintf
+                            "record %s lacks split tag <%s> at %s"
+                            (Record.to_string r) tag path));
+                    Detmerge.account meta 0;
+                    loop ()
+                | Some v ->
+                    let replica =
+                      match Hashtbl.find_opt replicas v with
+                      | Some p -> p
+                      | None ->
+                          let p =
+                            build eng
+                              (Printf.sprintf "%s/split[%s=%d]" path tag v)
+                              body ~down:merge_down
+                          in
+                          add_producer p;
+                          Hashtbl.add replicas v p;
+                          Stats.record_split_replica eng.istats;
+                          p
+                    in
+                    let meta =
+                      match region with
+                      | None -> meta
+                      | Some rg -> Detmerge.stamp rg meta
+                    in
+                    send replica (Data (meta, r));
+                    loop ())
+          in
+          loop ());
+      input
+  | Net.Star { body; exit; det } ->
+      let region = if det then Some (new_region eng) else None in
+      let exit_target =
+        match region with
+        | Some rg -> make_collector eng rg ~down
+        | None -> down
+      in
+      let rec make_tap d : port =
+        let tap_path = Printf.sprintf "%s/star@%d" path d in
+        let input = new_port ~capacity:eng.capacity () in
+        add_producer exit_target;
+        let next_stage : port option ref = ref None in
+        spawn_thread eng (fun () ->
+            let rec loop () =
+              match recv input with
+              | None ->
+                  Option.iter release_producer !next_stage;
+                  release_producer exit_target
+              | Some (Complete _) ->
+                  record_error eng
+                    (Failure
+                       (Printf.sprintf "Engine_thread(%s): stray Complete"
+                          tap_path));
+                  loop ()
+              | Some (Data (meta, r)) ->
+                  let meta =
+                    match region with
+                    | Some rg when d = 0 -> Detmerge.stamp rg meta
+                    | _ -> meta
+                  in
+                  if Pattern.matches exit r then
+                    send exit_target (Data (meta, r))
+                  else begin
+                    let stage =
+                      match !next_stage with
+                      | Some s -> s
+                      | None ->
+                          let next_tap = make_tap (d + 1) in
+                          let s =
+                            build eng
+                              (Printf.sprintf "%s/stage@%d" path (d + 1))
+                              body ~down:next_tap
+                          in
+                          add_producer s;
+                          next_stage := Some s;
+                          Stats.record_star_stage eng.istats ~depth:(d + 1);
+                          s
+                    in
+                    send stage (Data (meta, r))
+                  end;
+                  loop ()
+            in
+            loop ());
+        input
+      in
+      make_tap 0
+
+let start ?(capacity = 64) ?observer ?stats net =
+  if capacity < 1 then invalid_arg "Engine_thread.start: capacity < 1";
+  let istats = match stats with Some s -> s | None -> Stats.create () in
+  let eng =
+    {
+      capacity;
+      istats;
+      observer;
+      imutex = Mutex.create ();
+      regions = [];
+      threads = [];
+      first_error = None;
+      next_region_id = 0;
+      next_input = 0;
+      closed = false;
+      net;
+      checked = Hashtbl.create 8;
+      entry = None;
+      output = new_port ~capacity:max_int ();
+    }
+  in
+  let entry = build eng "" net ~down:eng.output in
+  add_producer entry;
+  eng.entry <- Some entry;
+  eng
+
+let feed eng r =
+  let v = Rectype.Variant.of_record r in
+  let key = (Rectype.Variant.fields v, Rectype.Variant.tags v) in
+  Mutex.lock eng.imutex;
+  if eng.closed then begin
+    Mutex.unlock eng.imutex;
+    failwith "Engine_thread: feed after finish"
+  end;
+  let fresh = not (Hashtbl.mem eng.checked key) in
+  if fresh then Hashtbl.add eng.checked key ();
+  let i = eng.next_input in
+  eng.next_input <- i + 1;
+  Mutex.unlock eng.imutex;
+  if fresh then ignore (Typecheck.flow [ v ] eng.net);
+  match eng.entry with
+  | Some entry -> send entry (Data (Detmerge.root_meta i, r))
+  | None -> failwith "Engine_thread: engine not initialised"
+
+let finish eng =
+  Mutex.lock eng.imutex;
+  let already = eng.closed in
+  eng.closed <- true;
+  Mutex.unlock eng.imutex;
+  if already then failwith "Engine_thread: finish called twice";
+  (match eng.entry with
+  | Some entry -> release_producer entry
+  | None -> ());
+  (* Drain the output stream until the close cascades through. *)
+  let rec drain acc =
+    match recv eng.output with
+    | None -> List.rev acc
+    | Some (Data (meta, r)) ->
+        if meta.Detmerge.tokens <> [] then
+          record_error eng
+            (Failure "Engine_thread(output): unclosed deterministic region");
+        drain (r :: acc)
+    | Some (Complete _) ->
+        record_error eng (Failure "Engine_thread(output): stray Complete");
+        drain acc
+  in
+  let results = drain [] in
+  Mutex.lock eng.imutex;
+  let threads = eng.threads and regions = eng.regions in
+  let err = eng.first_error in
+  Mutex.unlock eng.imutex;
+  List.iter Thread.join threads;
+  (match err with Some e -> raise e | None -> ());
+  List.iter
+    (fun r ->
+      if Detmerge.buffered r > 0 then
+        failwith
+          (Printf.sprintf
+             "Engine_thread: deterministic region %d still buffers records"
+             (Detmerge.region_id r)))
+    regions;
+  results
+
+let stats eng = Stats.snapshot eng.istats
+
+let run ?capacity ?observer ?stats net inputs =
+  let eng = start ?capacity ?observer ?stats net in
+  (* Feed from a helper thread: with bounded channels the network can
+     push back before the caller reaches [finish]. *)
+  let feeder =
+    Thread.create
+      (fun () ->
+        try List.iter (feed eng) inputs
+        with e -> record_error eng e)
+      ()
+  in
+  Thread.join feeder;
+  finish eng

@@ -1,0 +1,61 @@
+(** Thread engine: one OS thread per component, bounded channels.
+
+    This mirrors the original S-Net runtime organisation the paper era
+    used (one pthread per box, blocking streams) as opposed to
+    {!Engine_conc}'s actor multiplexing:
+
+    - every component instance runs its own thread and blocks on its
+      input channel;
+    - channels are bounded, so the network exerts {e backpressure}: a
+      fast producer stalls until downstream catches up (the actor
+      engine's mailboxes are unbounded);
+    - serial and parallel replicators still unfold on demand — a new
+      pipeline stage or replica brings a new thread;
+    - termination is by end-of-stream propagation with producer
+      reference counting, not quiescence detection: {!finish} closes
+      the network input, waits for the close to cascade through every
+      component, joins all threads and returns the outputs.
+
+    Deterministic combinators use the same {!Detmerge} protocol as the
+    actor engine, so deterministic networks again reproduce
+    {!Engine_seq}'s output exactly.
+
+    An exception escaping a box is recorded (first one wins); the
+    failing component then drains and discards its remaining input so
+    the network still shuts down cleanly, and {!finish} re-raises. *)
+
+type observer = edge:string -> Record.t -> unit
+
+type instance
+
+val start :
+  ?capacity:int ->
+  ?observer:observer ->
+  ?stats:Stats.t ->
+  Net.t ->
+  instance
+(** Spawn the initial component threads. [capacity] (default 64) is the
+    bound of every internal channel. *)
+
+val feed : instance -> Record.t -> unit
+(** Inject one record. May block when the network is backed up — this
+    is the backpressure the actor engine does not provide.
+    @raise Typecheck.Type_error on the first record of an
+    inadmissible variant. *)
+
+val finish : instance -> Record.t list
+(** Close the input stream, wait for the network to drain, join every
+    thread and return the outputs in arrival order. One-shot: the
+    instance cannot be fed again afterwards. *)
+
+val run :
+  ?capacity:int ->
+  ?observer:observer ->
+  ?stats:Stats.t ->
+  Net.t ->
+  Record.t list ->
+  Record.t list
+(** [start], [feed] each record, [finish]. The inputs are fed from a
+    helper thread so a bounded network cannot deadlock the caller. *)
+
+val stats : instance -> Stats.snapshot

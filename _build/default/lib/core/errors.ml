@@ -1,0 +1,6 @@
+(** Runtime errors shared by both engines. *)
+
+exception Route_error of string
+(** A record reached a routing point that cannot place it: a parallel
+    composition no branch of which accepts it, or a parallel replicator
+    fed a record lacking the routing tag. *)

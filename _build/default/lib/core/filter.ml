@@ -1,0 +1,104 @@
+type item =
+  | Copy_field of string
+  | Rename_field of { target : string; source : string }
+  | Set_tag of string * Pattern.expr
+
+type spec = item list
+
+type t = {
+  fname : string;
+  pattern : Pattern.t;
+  specs : spec list;
+}
+
+let item_to_string = function
+  | Copy_field f -> f
+  | Rename_field { target; source } -> target ^ "=" ^ source
+  | Set_tag (t, e) -> "<" ^ t ^ ">=" ^ Pattern.expr_to_string e
+
+let spec_to_string spec =
+  "{" ^ String.concat ", " (List.map item_to_string spec) ^ "}"
+
+let to_string t =
+  "["
+  ^ Pattern.to_string t.pattern
+  ^ " -> "
+  ^ String.concat "; " (List.map spec_to_string t.specs)
+  ^ "]"
+
+let make ?name pattern specs =
+  Pattern.validate pattern;
+  let pat_fields = Rectype.Variant.fields pattern.Pattern.variant in
+  let pat_tags = Rectype.Variant.tags pattern.Pattern.variant in
+  let check_field f =
+    if not (List.mem f pat_fields) then
+      invalid_arg
+        (Printf.sprintf "Filter: field %S not in pattern %s" f
+           (Pattern.to_string pattern))
+  in
+  let check_tag tag =
+    if not (List.mem tag pat_tags) then
+      invalid_arg
+        (Printf.sprintf "Filter: tag <%s> not in pattern %s" tag
+           (Pattern.to_string pattern))
+  in
+  List.iter
+    (List.iter (function
+      | Copy_field f -> check_field f
+      | Rename_field { source; _ } -> check_field source
+      | Set_tag (_, e) -> List.iter check_tag (Pattern.expr_tags e)))
+    specs;
+  let t = { fname = ""; pattern; specs } in
+  let fname = match name with Some n -> n | None -> to_string t in
+  { t with fname }
+
+let name t = t.fname
+let pattern t = t.pattern
+let specs t = t.specs
+
+let apply t r =
+  if not (Pattern.matches t.pattern r) then
+    invalid_arg
+      (Printf.sprintf "Filter %s applied to non-matching record %s" t.fname
+         (Record.to_string r));
+  let lookup tag = Record.tag_exn tag r in
+  let build spec =
+    List.fold_left
+      (fun out item ->
+        match item with
+        | Copy_field f -> Record.with_field f (Record.field_exn f r) out
+        | Rename_field { target; source } ->
+            Record.with_field target (Record.field_exn source r) out
+        | Set_tag (tag, e) ->
+            Record.with_tag tag (Pattern.eval_expr lookup e) out)
+      Record.empty spec
+  in
+  let excess =
+    Record.excess
+      ~consumed_fields:(Rectype.Variant.fields t.pattern.Pattern.variant)
+      ~consumed_tags:(Rectype.Variant.tags t.pattern.Pattern.variant)
+      r
+  in
+  List.map (fun spec -> Record.inherit_from ~excess (build spec)) t.specs
+
+let signature t =
+  let out_variant spec =
+    let fields =
+      List.filter_map
+        (function
+          | Copy_field f -> Some f
+          | Rename_field { target; _ } -> Some target
+          | Set_tag _ -> None)
+        spec
+    in
+    let tags =
+      List.filter_map
+        (function Set_tag (tag, _) -> Some tag | _ -> None)
+        spec
+    in
+    Rectype.Variant.make ~fields ~tags
+  in
+  {
+    Rectype.input = [ t.pattern.Pattern.variant ];
+    output = Rectype.normalise (List.map out_variant t.specs);
+  }

@@ -1,0 +1,76 @@
+type t =
+  | Box of Box.t
+  | Filter of Filter.t
+  | Sync of Pattern.t list
+  | Serial of t * t
+  | Choice of { left : t; right : t; det : bool }
+  | Star of { body : t; exit : Pattern.t; det : bool }
+  | Split of { body : t; tag : string; det : bool }
+  | Observe of { tag : string; body : t }
+
+let box b = Box b
+let filter f = Filter f
+
+let sync patterns =
+  if List.length patterns < 2 then
+    invalid_arg "Net.sync: a synchrocell needs at least two patterns";
+  List.iter Pattern.validate patterns;
+  Sync patterns
+let serial a b = Serial (a, b)
+let choice ?(det = false) left right = Choice { left; right; det }
+let star ?(det = false) body exit = Star { body; exit; det }
+let split ?(det = false) body tag = Split { body; tag; det }
+let observe tag body = Observe { tag; body }
+
+let choice_list ?det = function
+  | [] -> invalid_arg "Net.choice_list: empty"
+  | [ _ ] -> invalid_arg "Net.choice_list: needs at least two networks"
+  | first :: rest ->
+      List.fold_left (fun acc n -> choice ?det acc n) first rest
+
+let serial_list = function
+  | [] -> invalid_arg "Net.serial_list: empty"
+  | first :: rest -> List.fold_left serial first rest
+
+module Infix = struct
+  let ( >>> ) = serial
+  let ( ||| ) a b = choice a b
+  let ( |&| ) a b = choice ~det:true a b
+end
+
+let rec to_string = function
+  | Box b -> Box.name b
+  | Filter f -> Filter.to_string f
+  | Sync ps ->
+      "[|" ^ String.concat ", " (List.map Pattern.to_string ps) ^ "|]"
+  | Serial (a, b) -> "(" ^ to_string a ^ " .. " ^ to_string b ^ ")"
+  | Choice { left; right; det } ->
+      let op = if det then " | " else " || " in
+      "(" ^ to_string left ^ op ^ to_string right ^ ")"
+  | Star { body; exit; det } ->
+      let op = if det then " * " else " ** " in
+      "(" ^ to_string body ^ op ^ Pattern.to_string exit ^ ")"
+  | Split { body; tag; det } ->
+      let op = if det then " ! " else " !! " in
+      "(" ^ to_string body ^ op ^ "<" ^ tag ^ ">)"
+  | Observe { tag; body } -> "observe[" ^ tag ^ "](" ^ to_string body ^ ")"
+
+let rec iter_components f t =
+  f t;
+  match t with
+  | Box _ | Filter _ | Sync _ -> ()
+  | Serial (a, b) ->
+      iter_components f a;
+      iter_components f b
+  | Choice { left; right; _ } ->
+      iter_components f left;
+      iter_components f right
+  | Star { body; _ } | Split { body; _ } | Observe { body; _ } ->
+      iter_components f body
+
+let count_boxes t =
+  let n = ref 0 in
+  iter_components
+    (function Box _ | Filter _ | Sync _ -> incr n | _ -> ())
+    t;
+  !n

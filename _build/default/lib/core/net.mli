@@ -1,0 +1,94 @@
+(** Streaming networks: the four S-Net combinators.
+
+    Networks are algebraic formulae over boxes and filters — S-Net has
+    no explicit stream objects. Every network is SISO (single input,
+    single output stream), which is what makes the combinators
+    compose (Section 4):
+
+    - serial composition [A .. B]: pipeline;
+    - parallel composition [A || B] (nondet) / [A | B] (det): records
+      are routed to the branch whose input type matches best;
+    - serial replication [A ** p] / [A * p]: a demand-driven infinite
+      pipeline of replicas of [A], tapped {e before} every replica
+      against the exit pattern [p];
+    - parallel replication [A !! <t>] / [A ! <t>]: an infinite parallel
+      disjunction of replicas indexed by the value of tag [<t>]; equal
+      tag values always reach the same replica.
+
+    Deterministic variants (single-symbol forms) preserve the causal
+    order of records across the merge; nondeterministic variants merge
+    output streams as soon as records arrive. *)
+
+type t =
+  | Box of Box.t
+  | Filter of Filter.t
+  | Sync of Pattern.t list
+      (** A synchrocell [\[| p1, ..., pn |\]] — not used in the IPPS'07
+          paper but part of S-Net proper (the paper's companion
+          reports): it stores one record per pattern and, once every
+          pattern has been matched, emits the union of the stored
+          records (labels of earlier patterns win on collision), after
+          which the cell is spent and passes records through
+          unchanged. A record matching only already-filled patterns
+          also passes through. Stored records leave the causal line of
+          any enclosing deterministic combinator; the merged record
+          continues the triggering record's line. *)
+  | Serial of t * t
+  | Choice of { left : t; right : t; det : bool }
+  | Star of { body : t; exit : Pattern.t; det : bool }
+  | Split of { body : t; tag : string; det : bool }
+  | Observe of { tag : string; body : t }
+      (** Transparent observation point: records entering [body] are
+          reported to the engine's observer under [tag]. The paper's
+          "all streams can be observed individually". *)
+
+(** {1 Constructors} *)
+
+val box : Box.t -> t
+val filter : Filter.t -> t
+
+val sync : Pattern.t list -> t
+(** @raise Invalid_argument with fewer than two patterns. *)
+
+val serial : t -> t -> t
+(** [A .. B]. *)
+
+val choice : ?det:bool -> t -> t -> t
+(** [A || B]; [~det:true] is [A | B]. *)
+
+val star : ?det:bool -> t -> Pattern.t -> t
+(** [A ** pattern]; [~det:true] is [A * pattern]. *)
+
+val split : ?det:bool -> t -> string -> t
+(** [A !! <tag>]; [~det:true] is [A ! <tag>]. *)
+
+val observe : string -> t -> t
+
+val choice_list : ?det:bool -> t list -> t
+(** Right-nested parallel composition of two or more networks. *)
+
+val serial_list : t list -> t
+(** Right-nested pipeline of one or more networks. *)
+
+module Infix : sig
+  val ( >>> ) : t -> t -> t
+  (** Serial composition. *)
+
+  val ( ||| ) : t -> t -> t
+  (** Nondeterministic parallel composition. *)
+
+  val ( |&| ) : t -> t -> t
+  (** Deterministic parallel composition. *)
+end
+
+(** {1 Inspection} *)
+
+val to_string : t -> string
+(** Paper-style algebraic rendering, e.g.
+    [(computeOpts .. (solveOneLevel ** {<done>}))]. *)
+
+val iter_components : (t -> unit) -> t -> unit
+(** Visit every node, leaves included, parents before children. *)
+
+val count_boxes : t -> int
+(** Static box and filter count (replication not expanded). *)

@@ -1,0 +1,160 @@
+(* Constant folding over tag expressions. Division and modulo by a
+   constant zero are left in place: they must keep failing at run
+   time. *)
+let rec fold_expr (e : Pattern.expr) : Pattern.expr =
+  let open Pattern in
+  match e with
+  | Const _ | Tag _ -> e
+  | Neg e -> (
+      match fold_expr e with
+      | Const n -> Const (-n)
+      | Neg inner -> inner
+      | e -> Neg e)
+  | Abs e -> (
+      match fold_expr e with Const n -> Const (abs n) | e -> Abs e)
+  | Add (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y -> Const (x + y)
+      | Const 0, e | e, Const 0 -> e
+      | a, b -> Add (a, b))
+  | Sub (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y -> Const (x - y)
+      | e, Const 0 -> e
+      | a, b -> Sub (a, b))
+  | Mul (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y -> Const (x * y)
+      | Const 1, e | e, Const 1 -> e
+      | (Const 0, _ | _, Const 0) -> Const 0
+      | a, b -> Mul (a, b))
+  | Div (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y when y <> 0 -> Const (x / y)
+      | e, Const 1 -> e
+      | a, b -> Div (a, b))
+  | Mod (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y when y <> 0 -> Const (x mod y)
+      | _, Const 1 -> Const 0
+      | a, b -> Mod (a, b))
+  | Min (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y -> Const (min x y)
+      | a, b -> Min (a, b))
+  | Max (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y -> Const (max x y)
+      | a, b -> Max (a, b))
+
+let rec fold_guard (g : Pattern.guard) : Pattern.guard =
+  let open Pattern in
+  match g with
+  | True -> True
+  | Cmp (op, a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Const x, Const y ->
+          let holds =
+            match op with
+            | Eq -> x = y
+            | Ne -> x <> y
+            | Lt -> x < y
+            | Le -> x <= y
+            | Gt -> x > y
+            | Ge -> x >= y
+          in
+          if holds then True else Not True
+      | a, b -> Cmp (op, a, b))
+  | And (a, b) -> (
+      match (fold_guard a, fold_guard b) with
+      | True, g | g, True -> g
+      | (Not True as f), _ | _, (Not True as f) -> f
+      | a, b -> And (a, b))
+  | Or (a, b) -> (
+      match (fold_guard a, fold_guard b) with
+      | True, _ | _, True -> True
+      | Not True, g | g, Not True -> g
+      | a, b -> Or (a, b))
+  | Not g -> (
+      match fold_guard g with
+      | Not inner -> inner
+      | g -> Not g)
+
+let fold_pattern (p : Pattern.t) : Pattern.t =
+  { p with Pattern.guard = fold_guard p.Pattern.guard }
+
+let fold_filter f =
+  let specs =
+    List.map
+      (List.map (function
+        | Filter.Set_tag (t, e) -> Filter.Set_tag (t, fold_expr e)
+        | item -> item))
+      (Filter.specs f)
+  in
+  Filter.make ~name:(Filter.name f) (fold_pattern (Filter.pattern f)) specs
+
+let rec map_net f (net : Net.t) : Net.t =
+  let net =
+    match net with
+    | Net.Box _ | Net.Filter _ | Net.Sync _ -> net
+    | Net.Serial (a, b) -> Net.Serial (map_net f a, map_net f b)
+    | Net.Choice { left; right; det } ->
+        Net.Choice { left = map_net f left; right = map_net f right; det }
+    | Net.Star { body; exit; det } ->
+        Net.Star { body = map_net f body; exit; det }
+    | Net.Split { body; tag; det } ->
+        Net.Split { body = map_net f body; tag; det }
+    | Net.Observe { tag; body } -> Net.Observe { tag; body = map_net f body }
+  in
+  f net
+
+let fold_expressions net =
+  map_net
+    (function
+      | Net.Filter f -> Net.Filter (fold_filter f)
+      | Net.Star { body; exit; det } ->
+          Net.Star { body; exit = fold_pattern exit; det }
+      | Net.Sync patterns -> Net.Sync (List.map fold_pattern patterns)
+      | net -> net)
+    net
+
+(* A filter with an empty, guardless pattern and a single empty
+   specifier consumes nothing and inherits everything: identity. *)
+let is_identity_filter f =
+  let p = Filter.pattern f in
+  Rectype.Variant.arity p.Pattern.variant = 0
+  && p.Pattern.guard = Pattern.True
+  && Filter.specs f = [ [] ]
+
+let drop_identity_filters net =
+  map_net
+    (function
+      | Net.Serial (Net.Filter f, b) when is_identity_filter f -> b
+      | Net.Serial (a, Net.Filter f) when is_identity_filter f -> a
+      | net -> net)
+    net
+
+let strip_observe net =
+  map_net (function Net.Observe { body; _ } -> body | net -> net) net
+
+(* Right-nest serial chains: ((a .. b) .. c) becomes (a .. (b .. c)). *)
+let rec reassociate_serial net =
+  map_net
+    (function
+      | Net.Serial (Net.Serial (a, b), c) ->
+          reassociate_serial (Net.Serial (a, Net.Serial (b, c)))
+      | net -> net)
+    net
+
+let optimize ?(keep_observers = false) net =
+  let pass net =
+    let net = fold_expressions net in
+    let net = drop_identity_filters net in
+    let net = if keep_observers then net else strip_observe net in
+    reassociate_serial net
+  in
+  let rec fix net =
+    let net' = pass net in
+    if Net.to_string net' = Net.to_string net then net else fix net'
+  in
+  fix net

@@ -1,0 +1,35 @@
+(** Network rewriting passes.
+
+    The S-Net compiler performs semantics-preserving network
+    transformations before deployment; this module implements the
+    classic ones expressible on our combinator AST:
+
+    - {!fold_expressions}: constant-fold tag expressions and simplify
+      guards in filters and star exit patterns ([<k>%1] never routes
+      anywhere but replica 0, [(1+2)*<x>] becomes [3*<x>], [!!g]
+      becomes [g], [true && g] becomes [g], a comparison of constants
+      becomes [true] or its negation);
+    - {!drop_identity_filters}: a filter [\[{} -> {}\]] copies nothing
+      and inherits everything — it is the identity and disappears from
+      serial compositions;
+    - {!strip_observe}: remove {!Net.Observe} probe points (debugging
+      instrumentation) for production runs;
+    - {!reassociate_serial}: right-nest serial compositions into the
+      canonical pipeline form (no semantic effect; normalises rendering
+      and recursion depth).
+
+    {!optimize} runs all of them to a fixpoint. Every pass preserves
+    the network's observable behaviour on every engine, which
+    [test/test_optimize.ml] checks on randomly generated networks. *)
+
+val fold_expr : Pattern.expr -> Pattern.expr
+val fold_guard : Pattern.guard -> Pattern.guard
+
+val fold_expressions : Net.t -> Net.t
+val drop_identity_filters : Net.t -> Net.t
+val strip_observe : Net.t -> Net.t
+val reassociate_serial : Net.t -> Net.t
+
+val optimize : ?keep_observers:bool -> Net.t -> Net.t
+(** All passes, iterated until the network stops changing.
+    [~keep_observers:true] skips {!strip_observe}. *)

@@ -1,0 +1,151 @@
+type expr =
+  | Const of int
+  | Tag of string
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Mod of expr * expr
+  | Min of expr * expr
+  | Max of expr * expr
+  | Abs of expr
+
+exception Eval_error of string
+
+let rec eval_expr lookup = function
+  | Const n -> n
+  | Tag t -> lookup t
+  | Neg e -> -eval_expr lookup e
+  | Abs e -> abs (eval_expr lookup e)
+  | Add (a, b) -> eval_expr lookup a + eval_expr lookup b
+  | Sub (a, b) -> eval_expr lookup a - eval_expr lookup b
+  | Mul (a, b) -> eval_expr lookup a * eval_expr lookup b
+  | Div (a, b) ->
+      let d = eval_expr lookup b in
+      if d = 0 then raise (Eval_error "division by zero")
+      else eval_expr lookup a / d
+  | Mod (a, b) ->
+      let d = eval_expr lookup b in
+      if d = 0 then raise (Eval_error "modulo by zero")
+      else eval_expr lookup a mod d
+  | Min (a, b) -> min (eval_expr lookup a) (eval_expr lookup b)
+  | Max (a, b) -> max (eval_expr lookup a) (eval_expr lookup b)
+
+let rec collect_expr_tags acc = function
+  | Const _ -> acc
+  | Tag t -> t :: acc
+  | Neg e | Abs e -> collect_expr_tags acc e
+  | Add (a, b)
+  | Sub (a, b)
+  | Mul (a, b)
+  | Div (a, b)
+  | Mod (a, b)
+  | Min (a, b)
+  | Max (a, b) ->
+      collect_expr_tags (collect_expr_tags acc a) b
+
+let expr_tags e = List.sort_uniq compare (collect_expr_tags [] e)
+
+let rec expr_to_string = function
+  | Const n -> string_of_int n
+  | Tag t -> "<" ^ t ^ ">"
+  | Neg e -> "-(" ^ expr_to_string e ^ ")"
+  | Abs e -> "abs(" ^ expr_to_string e ^ ")"
+  | Add (a, b) -> bin a "+" b
+  | Sub (a, b) -> bin a "-" b
+  | Mul (a, b) -> bin a "*" b
+  | Div (a, b) -> bin a "/" b
+  | Mod (a, b) -> bin a "%" b
+  | Min (a, b) -> "min(" ^ expr_to_string a ^ "," ^ expr_to_string b ^ ")"
+  | Max (a, b) -> "max(" ^ expr_to_string a ^ "," ^ expr_to_string b ^ ")"
+
+and bin a op b = "(" ^ expr_to_string a ^ op ^ expr_to_string b ^ ")"
+
+type guard =
+  | True
+  | Cmp of cmp * expr * expr
+  | And of guard * guard
+  | Or of guard * guard
+  | Not of guard
+
+and cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let eval_cmp = function
+  | Eq -> ( = )
+  | Ne -> ( <> )
+  | Lt -> ( < )
+  | Le -> ( <= )
+  | Gt -> ( > )
+  | Ge -> ( >= )
+
+let rec eval_guard lookup = function
+  | True -> true
+  | Cmp (op, a, b) ->
+      eval_cmp op (eval_expr lookup a) (eval_expr lookup b)
+  | And (a, b) -> eval_guard lookup a && eval_guard lookup b
+  | Or (a, b) -> eval_guard lookup a || eval_guard lookup b
+  | Not g -> not (eval_guard lookup g)
+
+let rec collect_guard_tags acc = function
+  | True -> acc
+  | Cmp (_, a, b) -> collect_expr_tags (collect_expr_tags acc a) b
+  | And (a, b) | Or (a, b) ->
+      collect_guard_tags (collect_guard_tags acc a) b
+  | Not g -> collect_guard_tags acc g
+
+let guard_tags g = List.sort_uniq compare (collect_guard_tags [] g)
+
+let cmp_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec guard_to_string = function
+  | True -> "true"
+  | Cmp (op, a, b) ->
+      expr_to_string a ^ " " ^ cmp_to_string op ^ " " ^ expr_to_string b
+  | And (a, b) -> "(" ^ guard_to_string a ^ " && " ^ guard_to_string b ^ ")"
+  | Or (a, b) -> "(" ^ guard_to_string a ^ " || " ^ guard_to_string b ^ ")"
+  | Not g -> "!(" ^ guard_to_string g ^ ")"
+
+type t = {
+  variant : Rectype.Variant.t;
+  guard : guard;
+}
+
+let make ?(guard = True) ~fields ~tags () =
+  { variant = Rectype.Variant.make ~fields ~tags; guard }
+
+let of_variant ?(guard = True) variant = { variant; guard }
+
+exception Unbound_tag
+
+let matches t r =
+  Rectype.Variant.accepts t.variant r
+  &&
+  let lookup tag =
+    match Record.tag tag r with Some v -> v | None -> raise Unbound_tag
+  in
+  try eval_guard lookup t.guard with
+  | Unbound_tag -> false
+  | Eval_error _ -> false
+
+let validate t =
+  let available = Rectype.Variant.tags t.variant in
+  List.iter
+    (fun tag ->
+      if not (List.mem tag available) then
+        invalid_arg
+          (Printf.sprintf "Pattern: guard references tag <%s> not in pattern %s"
+             tag
+             (Rectype.Variant.to_string t.variant)))
+    (guard_tags t.guard)
+
+let to_string t =
+  match t.guard with
+  | True -> Rectype.Variant.to_string t.variant
+  | g -> Rectype.Variant.to_string t.variant ^ " | " ^ guard_to_string g

@@ -1,0 +1,75 @@
+(** Type patterns with tag guards.
+
+    Patterns gate the exits of serial replicators and the left-hand
+    side of filters. A pattern matches a record when the record carries
+    at least the pattern's labels ({e structural} match, the same
+    subtyping rule as component inputs) and the optional guard — an
+    integer expression over the pattern's tags — evaluates to true,
+    e.g. the paper's throttled-star exit [{<level>} | <level> > 40]. *)
+
+(** {1 Tag expressions} *)
+
+type expr =
+  | Const of int
+  | Tag of string  (** Value of a tag of the matched record. *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr  (** Truncating; division by zero is an error. *)
+  | Mod of expr * expr
+      (** The paper's [%], e.g. [<k>=<k>%4]; result has the sign of the
+          dividend, as in C and SaC. *)
+  | Min of expr * expr
+  | Max of expr * expr
+  | Abs of expr
+
+exception Eval_error of string
+
+val eval_expr : (string -> int) -> expr -> int
+(** [eval_expr lookup e]; [lookup] supplies tag values.
+    @raise Eval_error on unbound tags or division by zero. *)
+
+val expr_tags : expr -> string list
+(** Tags referenced, sorted, deduplicated. *)
+
+val expr_to_string : expr -> string
+
+(** {1 Guards} *)
+
+type guard =
+  | True
+  | Cmp of cmp * expr * expr
+  | And of guard * guard
+  | Or of guard * guard
+  | Not of guard
+
+and cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+val eval_guard : (string -> int) -> guard -> bool
+val guard_tags : guard -> string list
+val guard_to_string : guard -> string
+
+(** {1 Patterns} *)
+
+type t = {
+  variant : Rectype.Variant.t;
+  guard : guard;
+}
+
+val make : ?guard:guard -> fields:string list -> tags:string list -> unit -> t
+
+val of_variant : ?guard:guard -> Rectype.Variant.t -> t
+
+val matches : t -> Record.t -> bool
+(** Structural match and guard satisfied. Guards may reference any tag
+    of the record, not only pattern tags (the structural part already
+    guarantees pattern tags exist; referencing an absent tag makes the
+    guard false rather than an error, mirroring S-Net's treatment of
+    unmatchable guards). *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if the guard references a tag absent from
+    the pattern — a static error in S-Net. *)
+
+val to_string : t -> string

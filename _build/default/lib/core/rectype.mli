@@ -1,0 +1,71 @@
+(** Record types, multivariant types and structural subtyping.
+
+    A {e variant} is a set of field labels and tag labels; a {e type}
+    is a non-empty disjunction of variants. Subtyping is structural and
+    contravariant in width (Section 4): a record type [t1] is a subtype
+    of [t2] iff [t2 ⊆ t1] — more labels means more specific. A
+    multivariant type [x] is a subtype of [y] iff every variant of [x]
+    is a subtype of some variant of [y]. *)
+
+module Variant : sig
+  type t
+
+  val make : fields:string list -> tags:string list -> t
+  val fields : t -> string list
+  (** Sorted. *)
+
+  val tags : t -> string list
+  (** Sorted. *)
+
+  val empty : t
+  val arity : t -> int
+  val equal : t -> t -> bool
+  val union : t -> t -> t
+  val diff : t -> t -> t
+  val subtype : t -> t -> bool
+  (** [subtype v w]: [v] is a subtype of [w], i.e. [w]'s labels are a
+      subset of [v]'s. *)
+
+  val of_record : Record.t -> t
+  val accepts : t -> Record.t -> bool
+  (** [accepts v r]: the record has at least [v]'s labels — it can be
+      consumed by a component with input variant [v]. *)
+
+  val match_score : t -> Record.t -> int option
+  (** [None] when [v] does not accept [r]; otherwise a specificity
+      score used for best-match routing (the number of labels of [v]
+      that the record supplies, i.e. [arity v] — a more demanding
+      accepted variant is a better match). *)
+
+  val to_string : t -> string
+  (** E.g. [{board, opts, <k>}]. *)
+end
+
+type t = Variant.t list
+(** Invariant: non-empty for any well-formed component type. *)
+
+val subtype : t -> t -> bool
+
+val accepts : t -> Record.t -> bool
+(** Some variant accepts the record. *)
+
+val match_score : t -> Record.t -> int option
+(** Best score over all variants. *)
+
+val union : t -> t -> t
+(** Disjunction of the variants, deduplicated. *)
+
+val normalise : t -> t
+(** Deduplicate and sort variants. *)
+
+val to_string : t -> string
+(** E.g. [{c} | {c,d,<e>}]. *)
+
+type signature = {
+  input : t;
+  output : t;
+}
+(** A component's type signature [input -> output]. For boxes the input
+    is a single variant; networks may accept several. *)
+
+val signature_to_string : signature -> string

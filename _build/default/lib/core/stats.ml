@@ -1,0 +1,62 @@
+type t = {
+  box_invocations : int Atomic.t;
+  filter_invocations : int Atomic.t;
+  records_emitted : int Atomic.t;
+  star_stages : int Atomic.t;
+  max_star_depth : int Atomic.t;
+  split_replicas : int Atomic.t;
+  instances : int Atomic.t;
+}
+
+let create () =
+  {
+    box_invocations = Atomic.make 0;
+    filter_invocations = Atomic.make 0;
+    records_emitted = Atomic.make 0;
+    star_stages = Atomic.make 0;
+    max_star_depth = Atomic.make 0;
+    split_replicas = Atomic.make 0;
+    instances = Atomic.make 0;
+  }
+
+let record_box_invocation t = Atomic.incr t.box_invocations
+let record_filter_invocation t = Atomic.incr t.filter_invocations
+let record_emission t n = ignore (Atomic.fetch_and_add t.records_emitted n)
+
+let rec update_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then update_max cell v
+
+let record_star_stage t ~depth =
+  Atomic.incr t.star_stages;
+  update_max t.max_star_depth depth
+
+let record_split_replica t = Atomic.incr t.split_replicas
+let record_instance t = Atomic.incr t.instances
+
+type snapshot = {
+  box_invocations : int;
+  filter_invocations : int;
+  records_emitted : int;
+  star_stages : int;
+  max_star_depth : int;
+  split_replicas : int;
+  instances : int;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    box_invocations = Atomic.get t.box_invocations;
+    filter_invocations = Atomic.get t.filter_invocations;
+    records_emitted = Atomic.get t.records_emitted;
+    star_stages = Atomic.get t.star_stages;
+    max_star_depth = Atomic.get t.max_star_depth;
+    split_replicas = Atomic.get t.split_replicas;
+    instances = Atomic.get t.instances;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>box invocations:    %d@,filter invocations: %d@,records emitted:    %d@,star stages:        %d@,max star depth:     %d@,split replicas:     %d@,instances:          %d@]"
+    s.box_invocations s.filter_invocations s.records_emitted s.star_stages
+    s.max_star_depth s.split_replicas s.instances

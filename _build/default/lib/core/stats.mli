@@ -1,0 +1,40 @@
+(** Execution counters shared by both engines.
+
+    These are the quantities the paper reasons about: how far the
+    serial replicators unfold (bounded by 81 for 9×9 sudoku), how many
+    box instances exist at once (bounded by 9×81 = 729 in the fully
+    unfolded network, by 4 per stage in the throttled one), and how
+    much work the boxes do. Counters are thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording (engine-internal)} *)
+
+val record_box_invocation : t -> unit
+val record_filter_invocation : t -> unit
+val record_emission : t -> int -> unit
+(** Number of records a component emitted for one input. *)
+
+val record_star_stage : t -> depth:int -> unit
+(** A star instantiated the replica at [depth] (1-based). *)
+
+val record_split_replica : t -> unit
+val record_instance : t -> unit
+(** A component instance (actor or interpreter node) was created. *)
+
+(** {1 Reading} *)
+
+type snapshot = {
+  box_invocations : int;
+  filter_invocations : int;
+  records_emitted : int;
+  star_stages : int;  (** Star replicas instantiated, all stars summed. *)
+  max_star_depth : int;  (** Deepest star replica instantiated. *)
+  split_replicas : int;  (** Split replicas instantiated, all splits summed. *)
+  instances : int;  (** Component instances created. *)
+}
+
+val snapshot : t -> snapshot
+val pp : Format.formatter -> snapshot -> unit

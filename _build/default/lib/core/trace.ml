@@ -1,0 +1,44 @@
+type entry = {
+  index : int;
+  edge : string;
+  record : Record.t;
+}
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let recorder () =
+  let mutex = Mutex.create () in
+  let entries = ref [] in
+  let count = ref 0 in
+  let observer ~edge record =
+    Mutex.lock mutex;
+    entries := { index = !count; edge; record } :: !entries;
+    incr count;
+    Mutex.unlock mutex
+  in
+  let get () =
+    Mutex.lock mutex;
+    let es = List.rev !entries in
+    Mutex.unlock mutex;
+    es
+  in
+  (observer, get)
+
+let printer ?(prefix = "") out ~edge record =
+  Printf.fprintf out "%s%s <= %s\n%!" prefix edge (Record.to_string record)
+
+let on_edge needle f ~edge record = if contains ~needle edge then f record
+
+let edges entries =
+  List.rev
+    (List.fold_left
+       (fun acc e -> if List.mem e.edge acc then acc else e.edge :: acc)
+       [] entries)
+
+let records_on needle entries =
+  List.filter_map
+    (fun e -> if contains ~needle e.edge then Some e.record else None)
+    entries

@@ -1,0 +1,38 @@
+(** Stream observation utilities.
+
+    The paper argues that with S-Net "debugging the concurrent
+    behaviour becomes rather straightforward as all streams can be
+    observed individually". Every engine accepts an [?observer]
+    callback invoked with the component path a record is about to
+    enter; this module provides ready-made observers. *)
+
+type entry = {
+  index : int;  (** Global arrival index, starting at 0. *)
+  edge : string;  (** Component path, e.g. ["/star@3/box:solveOneLevel"]. *)
+  record : Record.t;
+}
+
+val recorder : unit -> (edge:string -> Record.t -> unit) * (unit -> entry list)
+(** [let observer, entries = recorder ()]: a thread-safe observer that
+    records every event; [entries ()] returns them in arrival order.
+    Usable while the network is still running. *)
+
+val printer :
+  ?prefix:string -> out_channel -> edge:string -> Record.t -> unit
+(** An observer that prints one line per event, flushing each. *)
+
+val on_edge :
+  string ->
+  (Record.t -> unit) ->
+  edge:string ->
+  Record.t ->
+  unit
+(** [on_edge needle f] fires [f] only for edges containing [needle] —
+    observe one stream individually. *)
+
+val edges : entry list -> string list
+(** Distinct edges in first-seen order. *)
+
+val records_on : string -> entry list -> Record.t list
+(** Records that entered edges containing the given substring, in
+    order. *)

@@ -1,0 +1,50 @@
+(** Type signature inference for networks.
+
+    Box and filter signatures are declared; network signatures are
+    inferred bottom-up, accounting for subtyping and flow inheritance
+    (Section 4): when the serial rule routes an output variant [v] of
+    [A] into the best-matching input variant [w] of [B], the leftover
+    labels [v \ w] are attached to each of [B]'s output variants.
+
+    The inference is a sound static approximation: it works from
+    declared minima, so labels a record carries {e above} a component's
+    declared input (which flow through at run time) do not appear in
+    the inferred output type — exactly as in S-Net, where the inferred
+    signature describes guaranteed labels. *)
+
+exception Type_error of string
+(** Raised when composition is ill-typed: a serial stage emits a
+    variant no downstream input accepts, a star body emits a variant
+    that can neither exit nor re-enter, or a split body cannot see its
+    routing tag. The message names the offending sub-network. *)
+
+val infer : Net.t -> Rectype.signature
+(** Infer the declared-minimum signature bottom-up, checking serial
+    composition against declared outputs only. This is deliberately
+    strict: a network that is only well-typed because flow inheritance
+    re-attaches labels the declarations do not mention (the paper's
+    refined sudoku networks are of this kind — their [{} -> {<k>=1}]
+    filter declares output [{<k>}], yet the records keep [board] and
+    [opts] at run time) is rejected here but accepted by {!flow}.
+    @raise Type_error as described above. *)
+
+val check : Net.t -> unit
+(** {!infer} for its checks only. *)
+
+val input_type : Net.t -> Rectype.t
+(** The network's acceptance type, bottom-up; never fails. This is the
+    type parallel composition routes by. *)
+
+val flow : Rectype.t -> Net.t -> Rectype.t
+(** [flow given net]: the variants leaving [net] when the variants
+    [given] enter it, with flow inheritance tracked exactly. This is
+    the engines' admission check: both engines call it with the precise
+    variants of the records actually injected. Star bodies are
+    iterated to a fixpoint over the (finite) variant lattice.
+    @raise Type_error when some variant gets stuck: no branch accepts
+    it, a star can neither pass it out nor loop it, or it lacks a
+    split's routing tag. *)
+
+val routable : Rectype.t -> Rectype.Variant.t -> bool
+(** [routable input v]: a record of variant [v] would be accepted by a
+    component with input type [input]. *)

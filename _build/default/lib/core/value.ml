@@ -1,0 +1,65 @@
+(* Type-safe universal type via an extensible GADT-style key: each key
+   owns a private extension constructor. *)
+
+module Key = struct
+  type 'a key = {
+    uid : int;
+    key_name : string;
+    to_string : ('a -> string) option;
+    inject : 'a -> exn;
+    project : exn -> 'a option;
+  }
+
+  let next_uid = Atomic.make 0
+
+  let create (type a) ?to_string name : a key =
+    let module M = struct
+      exception E of a
+    end in
+    {
+      uid = Atomic.fetch_and_add next_uid 1;
+      key_name = name;
+      to_string;
+      inject = (fun v -> M.E v);
+      project = (function M.E v -> Some v | _ -> None);
+    }
+
+  let name k = k.key_name
+end
+
+type t = {
+  key_uid : int;
+  key_name : string;
+  packed : exn;
+  show : unit -> string;
+}
+
+let inject (k : 'a Key.key) (v : 'a) =
+  {
+    key_uid = k.Key.uid;
+    key_name = k.Key.key_name;
+    packed = k.Key.inject v;
+    show =
+      (fun () ->
+        match k.Key.to_string with
+        | Some f -> f v
+        | None -> "<" ^ k.Key.key_name ^ ">");
+  }
+
+let project (k : 'a Key.key) t : 'a option =
+  if t.key_uid <> k.Key.uid then None else k.Key.project t.packed
+
+let project_exn k t =
+  match project k t with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Value.project_exn: value of key %S read with key %S"
+           t.key_name (Key.name k))
+
+let key_name t = t.key_name
+let to_string t = t.show ()
+
+let int_key = Key.create ~to_string:string_of_int "int"
+let of_int i = inject int_key i
+let to_int t = project int_key t

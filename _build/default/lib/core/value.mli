@@ -1,0 +1,42 @@
+(** Opaque field values.
+
+    S-Net never inspects field contents: "fields are associated with
+    values from the SaC domain that are entirely opaque to S-Net"
+    (Section 4). This module is a type-safe universal type: application
+    code creates one {!Key.t} per payload type it wants to ship through
+    a network, injects values when emitting records and projects them
+    back inside box functions. A projection with the wrong key fails
+    explicitly rather than silently. *)
+
+type t
+
+module Key : sig
+  type 'a key
+
+  val create : ?to_string:('a -> string) -> string -> 'a key
+  (** [create name] makes a fresh key. [name] and [to_string] are used
+      only for diagnostics and stream observation. Two keys created
+      with the same name are still distinct. *)
+
+  val name : 'a key -> string
+end
+
+val inject : 'a Key.key -> 'a -> t
+
+val project : 'a Key.key -> t -> 'a option
+(** [None] when the value was injected under a different key. *)
+
+val project_exn : 'a Key.key -> t -> 'a
+(** @raise Invalid_argument naming both keys on mismatch. *)
+
+val key_name : t -> string
+(** Name of the key the value was injected under. *)
+
+val to_string : t -> string
+(** Uses the key's [to_string] when provided, else
+    ["<name>"]. *)
+
+val of_int : int -> t
+val to_int : t -> int option
+(** Convenience instances under a shared built-in integer key, used by
+    tests and small examples. *)

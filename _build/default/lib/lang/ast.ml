@@ -1,0 +1,117 @@
+(** Abstract syntax of the S-Net surface language.
+
+    Guards and tag expressions reuse the runtime representations
+    ({!Snet.Pattern.expr}, {!Snet.Pattern.guard}) directly — the parser
+    builds them as it goes, so elaboration has nothing to translate. *)
+
+type label =
+  | Field of string
+  | Tag of string
+
+type pattern = {
+  pat_fields : string list;
+  pat_tags : string list;
+  pat_guard : Snet.Pattern.guard option;
+}
+
+type filter_item =
+  | FCopy of string  (** [a] *)
+  | FRename of string * string  (** [new=old] *)
+  | FSetTag of string * Snet.Pattern.expr option
+      (** [<t>=expr]; [None] means the default initialisation 0. *)
+
+type filter_def = {
+  filt_pattern : pattern;
+  filt_specs : filter_item list list;
+}
+
+type expr =
+  | Ref of string  (** A box or nested net, by name. *)
+  | FilterE of filter_def
+  | SyncE of pattern list  (** A synchrocell [[| p1, ..., pn |]]. *)
+  | SerialE of expr * expr
+  | ChoiceE of { left : expr; right : expr; det : bool }
+  | StarE of { body : expr; exit : pattern; det : bool }
+  | SplitE of { body : expr; tag : string; det : bool }
+
+type box_decl = {
+  box_name : string;
+  box_input : label list;
+  box_outputs : label list list;
+}
+
+type net_def = {
+  net_name : string;
+  decls : decl list;
+  body : expr;
+}
+
+and decl =
+  | DBox of box_decl
+  | DNet of net_def
+
+(** {1 Pretty-printing} *)
+
+let label_to_string = function
+  | Field f -> f
+  | Tag t -> "<" ^ t ^ ">"
+
+let pattern_to_string p =
+  let items =
+    p.pat_fields @ List.map (fun t -> "<" ^ t ^ ">") p.pat_tags
+  in
+  let base = "{" ^ String.concat "," items ^ "}" in
+  match p.pat_guard with
+  | None -> base
+  | Some g -> "(" ^ base ^ " | " ^ Snet.Pattern.guard_to_string g ^ ")"
+
+let filter_item_to_string = function
+  | FCopy f -> f
+  | FRename (n, o) -> n ^ "=" ^ o
+  | FSetTag (t, None) -> "<" ^ t ^ ">"
+  | FSetTag (t, Some e) -> "<" ^ t ^ ">=" ^ Snet.Pattern.expr_to_string e
+
+let filter_to_string f =
+  let spec s = "{" ^ String.concat ", " (List.map filter_item_to_string s) ^ "}" in
+  "["
+  ^ pattern_to_string { f.filt_pattern with pat_guard = None }
+  ^ (match f.filt_pattern.pat_guard with
+    | None -> ""
+    | Some g -> " | " ^ Snet.Pattern.guard_to_string g)
+  ^ " -> "
+  ^ String.concat "; " (List.map spec f.filt_specs)
+  ^ "]"
+
+let rec expr_to_string = function
+  | Ref n -> n
+  | FilterE f -> filter_to_string f
+  | SyncE ps ->
+      "[|" ^ String.concat ", " (List.map pattern_to_string ps) ^ "|]"
+  | SerialE (a, b) -> "(" ^ expr_to_string a ^ " .. " ^ expr_to_string b ^ ")"
+  | ChoiceE { left; right; det } ->
+      let op = if det then " | " else " || " in
+      "(" ^ expr_to_string left ^ op ^ expr_to_string right ^ ")"
+  | StarE { body; exit; det } ->
+      let op = if det then " * " else " ** " in
+      "(" ^ expr_to_string body ^ op ^ pattern_to_string exit ^ ")"
+  | SplitE { body; tag; det } ->
+      let op = if det then " ! " else " !! " in
+      "(" ^ expr_to_string body ^ op ^ "<" ^ tag ^ ">)"
+
+let box_decl_to_string b =
+  let tuple ls = "(" ^ String.concat "," (List.map label_to_string ls) ^ ")" in
+  Printf.sprintf "box %s (%s -> %s);" b.box_name (tuple b.box_input)
+    (String.concat " | " (List.map tuple b.box_outputs))
+
+let rec net_to_string ?(indent = "") nd =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (indent ^ "net " ^ nd.net_name ^ "\n" ^ indent ^ "{\n");
+  List.iter
+    (function
+      | DBox b -> Buffer.add_string buf (indent ^ "  " ^ box_decl_to_string b ^ "\n")
+      | DNet n ->
+          Buffer.add_string buf (net_to_string ~indent:(indent ^ "  ") n))
+    nd.decls;
+  Buffer.add_string buf
+    (indent ^ "} connect " ^ expr_to_string nd.body ^ ";\n");
+  Buffer.contents buf

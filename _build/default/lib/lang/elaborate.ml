@@ -1,0 +1,92 @@
+exception Elab_error of string
+
+type registry = (string * Snet.Box.t) list
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+let pattern (p : Ast.pattern) =
+  Snet.Pattern.make
+    ?guard:p.Ast.pat_guard
+    ~fields:p.Ast.pat_fields ~tags:p.Ast.pat_tags ()
+
+let filter_item = function
+  | Ast.FCopy f -> Snet.Filter.Copy_field f
+  | Ast.FRename (target, source) -> Snet.Filter.Rename_field { target; source }
+  | Ast.FSetTag (t, Some e) -> Snet.Filter.Set_tag (t, e)
+  | Ast.FSetTag (t, None) -> Snet.Filter.Set_tag (t, Snet.Pattern.Const 0)
+
+let filter (f : Ast.filter_def) =
+  Snet.Filter.make (pattern f.Ast.filt_pattern)
+    (List.map (List.map filter_item) f.Ast.filt_specs)
+
+let label = function
+  | Ast.Field f -> Snet.Box.F f
+  | Ast.Tag t -> Snet.Box.T t
+
+let check_box_signature (decl : Ast.box_decl) box =
+  let declared_input = List.map label decl.Ast.box_input in
+  let declared_outputs = List.map (List.map label) decl.Ast.box_outputs in
+  if
+    Snet.Box.input_labels box <> declared_input
+    || Snet.Box.output_variants box <> declared_outputs
+  then
+    fail "box %s: registered implementation %s does not match declaration"
+      decl.Ast.box_name (Snet.Box.to_string box)
+
+let rec expr_to_net registry ~declared e =
+  let recurse = expr_to_net registry ~declared in
+  match e with
+  | Ast.Ref name -> (
+      match List.assoc_opt name declared with
+      | Some net -> net
+      | None -> fail "connect expression references undeclared name %s" name)
+  | Ast.FilterE f -> Snet.Net.filter (filter f)
+  | Ast.SyncE ps -> Snet.Net.sync (List.map pattern ps)
+  | Ast.SerialE (a, b) -> Snet.Net.serial (recurse a) (recurse b)
+  | Ast.ChoiceE { left; right; det } ->
+      Snet.Net.choice ~det (recurse left) (recurse right)
+  | Ast.StarE { body; exit; det } ->
+      Snet.Net.star ~det (recurse body) (pattern exit)
+  | Ast.SplitE { body; tag; det } -> Snet.Net.split ~det (recurse body) tag
+
+let rec elaborate_net lookup_box (nd : Ast.net_def) =
+  let declared =
+    List.fold_left
+      (fun declared decl ->
+        match decl with
+        | Ast.DBox b ->
+            if List.mem_assoc b.Ast.box_name declared then
+              fail "net %s: duplicate declaration of %s" nd.Ast.net_name
+                b.Ast.box_name;
+            let box = lookup_box b in
+            (b.Ast.box_name, Snet.Net.box box) :: declared
+        | Ast.DNet inner ->
+            if List.mem_assoc inner.Ast.net_name declared then
+              fail "net %s: duplicate declaration of %s" nd.Ast.net_name
+                inner.Ast.net_name;
+            (inner.Ast.net_name, elaborate_net lookup_box inner) :: declared)
+      [] nd.Ast.decls
+  in
+  expr_to_net [] ~declared nd.Ast.body
+
+let elaborate registry nd =
+  let lookup (decl : Ast.box_decl) =
+    match List.assoc_opt decl.Ast.box_name registry with
+    | None -> fail "box %s: no registered implementation" decl.Ast.box_name
+    | Some box ->
+        check_box_signature decl box;
+        box
+  in
+  elaborate_net lookup nd
+
+let elaborate_with_stubs nd =
+  let stub (decl : Ast.box_decl) =
+    Snet.Box.make ~name:decl.Ast.box_name
+      ~input:(List.map label decl.Ast.box_input)
+      ~outputs:(List.map (List.map label) decl.Ast.box_outputs)
+      (fun ~emit:_ _ ->
+        failwith
+          (Printf.sprintf "box %s: stub implementation executed"
+             decl.Ast.box_name))
+  in
+  elaborate_net stub nd

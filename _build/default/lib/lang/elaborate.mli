@@ -1,0 +1,39 @@
+(** Elaboration: surface syntax to runtime networks.
+
+    A parsed [net] definition names its boxes; the runtime behaviour of
+    each box comes from a {e registry} supplied by the host program
+    (the SaC side of the paper's two-layer model). Elaboration checks
+    that every declared box is registered under a matching signature —
+    the "dual mapping" interface contract of the paper's conclusion:
+    the S-Net type signature and the host-language parameter tuple must
+    agree, in order. *)
+
+exception Elab_error of string
+
+type registry = (string * Snet.Box.t) list
+(** Box implementations by declared name. *)
+
+val elaborate : registry -> Ast.net_def -> Snet.Net.t
+(** @raise Elab_error when a declared box is missing from the registry,
+    its registered signature differs from the declaration, a connect
+    expression references an undeclared name, or a filter is malformed
+    (via [Invalid_argument] from {!Snet.Filter.make}). Nested net
+    definitions are elaborated recursively and are referable by name in
+    enclosing connect expressions. *)
+
+val elaborate_with_stubs : Ast.net_def -> Snet.Net.t
+(** Elaborate using stub implementations synthesised from the declared
+    signatures (each stub raises if executed). The result supports
+    static analysis — {!Snet.Typecheck.infer}, {!Snet.Typecheck.flow},
+    rendering — but not execution. This powers the [snetc] checker. *)
+
+val expr_to_net :
+  registry ->
+  declared:(string * Snet.Net.t) list ->
+  Ast.expr ->
+  Snet.Net.t
+(** Elaborate a bare connect expression against already-elaborated
+    named components. *)
+
+val pattern : Ast.pattern -> Snet.Pattern.t
+val filter : Ast.filter_def -> Snet.Filter.t

@@ -1,0 +1,240 @@
+type position = {
+  line : int;
+  column : int;
+}
+
+exception Lex_error of position * string
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let position st = { line = st.line; column = st.pos - st.bol + 1 }
+
+let error st msg = raise (Lex_error (position st, msg))
+
+let peek st =
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1]
+  else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let read_while st p =
+  let start = st.pos in
+  while (match peek st with Some c when p c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let skip_line_comment st =
+  while (match peek st with Some c when c <> '\n' -> true | _ -> false) do
+    advance st
+  done
+
+let skip_block_comment st =
+  let opened_at = position st in
+  let rec go () =
+    match (peek st, peek2 st) with
+    | Some '*', Some '/' ->
+        advance st;
+        advance st
+    | Some _, _ ->
+        advance st;
+        go ()
+    | None, _ ->
+        raise (Lex_error (opened_at, "unterminated block comment"))
+  in
+  go ()
+
+let keyword = function
+  | "net" -> Some Token.KW_NET
+  | "box" -> Some Token.KW_BOX
+  | "connect" -> Some Token.KW_CONNECT
+  | _ -> None
+
+(* [<] starts a tag exactly when an identifier followed by [>] comes
+   next (no intervening whitespace). *)
+let try_tag st =
+  let save = (st.pos, st.line, st.bol) in
+  advance st;
+  match peek st with
+  | Some c when is_ident_start c ->
+      let name = read_while st is_ident_char in
+      (match peek st with
+      | Some '>' ->
+          advance st;
+          Some name
+      | _ ->
+          let p, l, b = save in
+          st.pos <- p;
+          st.line <- l;
+          st.bol <- b;
+          None)
+  | _ ->
+      let p, l, b = save in
+      st.pos <- p;
+      st.line <- l;
+      st.bol <- b;
+      None
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let two tok =
+    let p = position st in
+    advance st;
+    advance st;
+    emit tok p
+  in
+  let one tok =
+    let p = position st in
+    advance st;
+    emit tok p
+  in
+  let rec loop () =
+    match peek st with
+    | None -> emit Token.EOF (position st)
+    | Some c -> (
+        match (c, peek2 st) with
+        | (' ' | '\t' | '\r' | '\n'), _ ->
+            advance st;
+            loop ()
+        | '/', Some '/' ->
+            skip_line_comment st;
+            loop ()
+        | '/', Some '*' ->
+            advance st;
+            advance st;
+            skip_block_comment st;
+            loop ()
+        | '-', Some '>' ->
+            two Token.ARROW;
+            loop ()
+        | '-', _ ->
+            one Token.MINUS;
+            loop ()
+        | '.', Some '.' ->
+            two Token.DOTDOT;
+            loop ()
+        | '.', _ -> error st "unexpected '.' (did you mean '..'?)"
+        | '|', Some '|' ->
+            two Token.BARBAR;
+            loop ()
+        | '|', Some ']' ->
+            two Token.BARRBRACK;
+            loop ()
+        | '|', _ ->
+            one Token.BAR;
+            loop ()
+        | '*', Some '*' ->
+            two Token.STARSTAR;
+            loop ()
+        | '*', _ ->
+            one Token.STAR;
+            loop ()
+        | '!', Some '!' ->
+            two Token.BANGBANG;
+            loop ()
+        | '!', Some '=' ->
+            two Token.NE;
+            loop ()
+        | '!', _ ->
+            one Token.BANG;
+            loop ()
+        | '=', Some '=' ->
+            two Token.EQEQ;
+            loop ()
+        | '=', _ ->
+            one Token.EQ;
+            loop ()
+        | '&', Some '&' ->
+            two Token.ANDAND;
+            loop ()
+        | '&', _ -> error st "unexpected '&' (did you mean '&&'?)"
+        | '<', Some '=' ->
+            two Token.LE;
+            loop ()
+        | '<', _ -> (
+            let p = position st in
+            match try_tag st with
+            | Some name ->
+                emit (Token.TAG name) p;
+                loop ()
+            | None ->
+                one Token.LT;
+                loop ())
+        | '>', Some '=' ->
+            two Token.GE;
+            loop ()
+        | '>', _ ->
+            one Token.GT;
+            loop ()
+        | '{', _ ->
+            one Token.LBRACE;
+            loop ()
+        | '}', _ ->
+            one Token.RBRACE;
+            loop ()
+        | '(', _ ->
+            one Token.LPAREN;
+            loop ()
+        | ')', _ ->
+            one Token.RPAREN;
+            loop ()
+        | '[', Some '|' ->
+            two Token.LBRACKBAR;
+            loop ()
+        | '[', _ ->
+            one Token.LBRACKET;
+            loop ()
+        | ']', _ ->
+            one Token.RBRACKET;
+            loop ()
+        | ',', _ ->
+            one Token.COMMA;
+            loop ()
+        | ';', _ ->
+            one Token.SEMI;
+            loop ()
+        | '+', _ ->
+            one Token.PLUS;
+            loop ()
+        | '/', _ ->
+            one Token.SLASH;
+            loop ()
+        | '%', _ ->
+            one Token.PERCENT;
+            loop ()
+        | c, _ when is_digit c ->
+            let p = position st in
+            let digits = read_while st is_digit in
+            emit (Token.INT (int_of_string digits)) p;
+            loop ()
+        | c, _ when is_ident_start c ->
+            let p = position st in
+            let word = read_while st is_ident_char in
+            (match keyword word with
+            | Some kw -> emit kw p
+            | None -> emit (Token.IDENT word) p);
+            loop ()
+        | c, _ -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  loop ();
+  List.rev !tokens

@@ -1,0 +1,18 @@
+(** Hand-written lexer for the S-Net surface syntax.
+
+    Supports [//] line comments and [/* ... */] block comments.
+    A [<] immediately followed by an identifier and [>] lexes as a tag
+    token; otherwise [<] is the comparison operator (so the paper's
+    guard [<level> > 40] lexes as [TAG level; GT; INT 40]). *)
+
+type position = {
+  line : int;  (** 1-based. *)
+  column : int;  (** 1-based. *)
+}
+
+exception Lex_error of position * string
+
+val tokenize : string -> (Token.t * position) list
+(** The token stream, terminated by [EOF].
+    @raise Lex_error on unexpected characters or unterminated
+    comments. *)

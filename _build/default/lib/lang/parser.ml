@@ -1,0 +1,375 @@
+exception Parse_error of Lexer.position * string
+
+type state = {
+  tokens : (Token.t * Lexer.position) array;
+  mutable cursor : int;
+}
+
+let peek st = fst st.tokens.(st.cursor)
+let pos st = snd st.tokens.(st.cursor)
+let advance st = if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let error st msg = raise (Parse_error (pos st, msg))
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s%s" (Token.to_string tok)
+         (Token.to_string (peek st))
+         (if what = "" then "" else " while parsing " ^ what))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st what =
+  match peek st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> error st (Printf.sprintf "expected identifier in %s, found %s" what (Token.to_string t))
+
+let tag st what =
+  match peek st with
+  | Token.TAG name ->
+      advance st;
+      name
+  | t -> error st (Printf.sprintf "expected tag in %s, found %s" what (Token.to_string t))
+
+(* ---------- tag expressions and guards ---------- *)
+
+let rec parse_sum st =
+  let lhs = parse_prod st in
+  let rec go lhs =
+    if accept st Token.PLUS then go (Snet.Pattern.Add (lhs, parse_prod st))
+    else if accept st Token.MINUS then go (Snet.Pattern.Sub (lhs, parse_prod st))
+    else lhs
+  in
+  go lhs
+
+and parse_prod st =
+  let lhs = parse_unary st in
+  let rec go lhs =
+    if accept st Token.STAR then go (Snet.Pattern.Mul (lhs, parse_unary st))
+    else if accept st Token.SLASH then go (Snet.Pattern.Div (lhs, parse_unary st))
+    else if accept st Token.PERCENT then go (Snet.Pattern.Mod (lhs, parse_unary st))
+    else lhs
+  in
+  go lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      Snet.Pattern.Neg (parse_unary st)
+  | Token.INT n ->
+      advance st;
+      Snet.Pattern.Const n
+  | Token.TAG t ->
+      advance st;
+      Snet.Pattern.Tag t
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_sum st in
+      expect st Token.RPAREN "arithmetic expression";
+      e
+  | t -> error st ("expected tag expression, found " ^ Token.to_string t)
+
+let parse_cmp st =
+  let lhs = parse_sum st in
+  let op =
+    match peek st with
+    | Token.EQEQ -> Some Snet.Pattern.Eq
+    | Token.NE -> Some Snet.Pattern.Ne
+    | Token.LT -> Some Snet.Pattern.Lt
+    | Token.LE -> Some Snet.Pattern.Le
+    | Token.GT -> Some Snet.Pattern.Gt
+    | Token.GE -> Some Snet.Pattern.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> error st "expected a comparison operator in guard"
+  | Some op ->
+      advance st;
+      Snet.Pattern.Cmp (op, lhs, parse_sum st)
+
+let rec parse_guard st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st Token.BARBAR then Snet.Pattern.Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept st Token.ANDAND then Snet.Pattern.And (lhs, parse_and st) else lhs
+
+and parse_not st =
+  match peek st with
+  | Token.BANG ->
+      advance st;
+      Snet.Pattern.Not (parse_not st)
+  | Token.LPAREN ->
+      (* Could be a parenthesised guard or a parenthesised arithmetic
+         operand; try the guard reading first and fall back. *)
+      let save = st.cursor in
+      (try
+         advance st;
+         let g = parse_guard st in
+         expect st Token.RPAREN "guard";
+         g
+       with Parse_error _ ->
+         st.cursor <- save;
+         parse_cmp st)
+  | _ -> parse_cmp st
+
+(* ---------- patterns ---------- *)
+
+let parse_braced_pattern st : Ast.pattern =
+  expect st Token.LBRACE "pattern";
+  let fields = ref [] and tags = ref [] in
+  if peek st <> Token.RBRACE then begin
+    let item () =
+      match peek st with
+      | Token.IDENT f ->
+          advance st;
+          fields := f :: !fields
+      | Token.TAG t ->
+          advance st;
+          tags := t :: !tags
+      | t -> error st ("expected field or tag in pattern, found " ^ Token.to_string t)
+    in
+    item ();
+    while accept st Token.COMMA do
+      item ()
+    done
+  end;
+  expect st Token.RBRACE "pattern";
+  {
+    Ast.pat_fields = List.rev !fields;
+    pat_tags = List.rev !tags;
+    pat_guard = None;
+  }
+
+(* After ** or *: either a bare pattern or a parenthesised guarded
+   pattern [({<level>} | <level> > 40)]. *)
+let parse_star_pattern st =
+  match peek st with
+  | Token.LBRACE -> parse_braced_pattern st
+  | Token.LPAREN ->
+      advance st;
+      let p = parse_braced_pattern st in
+      let p =
+        if accept st Token.BAR then
+          { p with Ast.pat_guard = Some (parse_guard st) }
+        else p
+      in
+      expect st Token.RPAREN "guarded exit pattern";
+      p
+  | t -> error st ("expected exit pattern, found " ^ Token.to_string t)
+
+(* A pattern inside a synchrocell: bare, bare with guard, or the
+   parenthesised guarded form. *)
+let parse_sync_pattern st =
+  match peek st with
+  | Token.LPAREN -> parse_star_pattern st
+  | _ ->
+      let p = parse_braced_pattern st in
+      if accept st Token.BAR then
+        { p with Ast.pat_guard = Some (parse_guard st) }
+      else p
+
+(* ---------- filters ---------- *)
+
+let parse_filter_item st : Ast.filter_item =
+  match peek st with
+  | Token.IDENT target ->
+      advance st;
+      if accept st Token.EQ then Ast.FRename (target, ident st "filter item")
+      else Ast.FCopy target
+  | Token.TAG t ->
+      advance st;
+      if accept st Token.EQ then Ast.FSetTag (t, Some (parse_sum st))
+      else Ast.FSetTag (t, None)
+  | t -> error st ("expected filter item, found " ^ Token.to_string t)
+
+let parse_spec st =
+  expect st Token.LBRACE "filter record specifier";
+  let items = ref [] in
+  if peek st <> Token.RBRACE then begin
+    items := [ parse_filter_item st ];
+    while accept st Token.COMMA do
+      items := parse_filter_item st :: !items
+    done
+  end;
+  expect st Token.RBRACE "filter record specifier";
+  List.rev !items
+
+let parse_filter st : Ast.filter_def =
+  expect st Token.LBRACKET "filter";
+  let pat = parse_braced_pattern st in
+  let pat =
+    if accept st Token.BAR then
+      { pat with Ast.pat_guard = Some (parse_guard st) }
+    else pat
+  in
+  expect st Token.ARROW "filter";
+  let specs = ref [] in
+  if peek st <> Token.RBRACKET then begin
+    specs := [ parse_spec st ];
+    while accept st Token.SEMI do
+      specs := parse_spec st :: !specs
+    done
+  end;
+  expect st Token.RBRACKET "filter";
+  { Ast.filt_pattern = pat; filt_specs = List.rev !specs }
+
+(* ---------- network expressions ---------- *)
+
+let rec parse_expr st = parse_par st
+
+and parse_par st =
+  let lhs = parse_ser st in
+  let rec go lhs =
+    if accept st Token.BARBAR then
+      go (Ast.ChoiceE { left = lhs; right = parse_ser st; det = false })
+    else if accept st Token.BAR then
+      go (Ast.ChoiceE { left = lhs; right = parse_ser st; det = true })
+    else lhs
+  in
+  go lhs
+
+and parse_ser st =
+  let lhs = parse_post st in
+  let rec go lhs =
+    if accept st Token.DOTDOT then go (Ast.SerialE (lhs, parse_post st))
+    else lhs
+  in
+  go lhs
+
+and parse_post st =
+  let atom = parse_atom st in
+  let rec go body =
+    match peek st with
+    | Token.STARSTAR ->
+        advance st;
+        go (Ast.StarE { body; exit = parse_star_pattern st; det = false })
+    | Token.STAR ->
+        advance st;
+        go (Ast.StarE { body; exit = parse_star_pattern st; det = true })
+    | Token.BANGBANG ->
+        advance st;
+        go (Ast.SplitE { body; tag = tag st "parallel replication"; det = false })
+    | Token.BANG ->
+        advance st;
+        go (Ast.SplitE { body; tag = tag st "parallel replication"; det = true })
+    | _ -> body
+  in
+  go atom
+
+and parse_atom st =
+  match peek st with
+  | Token.IDENT name ->
+      advance st;
+      Ast.Ref name
+  | Token.LBRACKET -> Ast.FilterE (parse_filter st)
+  | Token.LBRACKBAR ->
+      advance st;
+      let patterns = ref [ parse_sync_pattern st ] in
+      while accept st Token.COMMA do
+        patterns := parse_sync_pattern st :: !patterns
+      done;
+      expect st Token.BARRBRACK "synchrocell";
+      if List.length !patterns < 2 then
+        error st "a synchrocell needs at least two patterns";
+      Ast.SyncE (List.rev !patterns)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN "parenthesised network";
+      e
+  | t -> error st ("expected a network, found " ^ Token.to_string t)
+
+(* ---------- declarations ---------- *)
+
+let parse_label st =
+  match peek st with
+  | Token.IDENT f ->
+      advance st;
+      Ast.Field f
+  | Token.TAG t ->
+      advance st;
+      Ast.Tag t
+  | t -> error st ("expected field or tag, found " ^ Token.to_string t)
+
+let parse_tuple st =
+  expect st Token.LPAREN "box signature tuple";
+  let labels = ref [] in
+  if peek st <> Token.RPAREN then begin
+    labels := [ parse_label st ];
+    while accept st Token.COMMA do
+      labels := parse_label st :: !labels
+    done
+  end;
+  expect st Token.RPAREN "box signature tuple";
+  List.rev !labels
+
+let parse_box_decl st : Ast.box_decl =
+  expect st Token.KW_BOX "box declaration";
+  let name = ident st "box declaration" in
+  expect st Token.LPAREN "box signature";
+  let input = parse_tuple st in
+  expect st Token.ARROW "box signature";
+  let outputs = ref [ parse_tuple st ] in
+  while accept st Token.BAR do
+    outputs := parse_tuple st :: !outputs
+  done;
+  expect st Token.RPAREN "box signature";
+  expect st Token.SEMI "box declaration";
+  { Ast.box_name = name; box_input = input; box_outputs = List.rev !outputs }
+
+let rec parse_net st : Ast.net_def =
+  expect st Token.KW_NET "net definition";
+  let name = ident st "net definition" in
+  expect st Token.LBRACE "net definition";
+  let decls = ref [] in
+  let rec decl_loop () =
+    match peek st with
+    | Token.KW_BOX ->
+        decls := Ast.DBox (parse_box_decl st) :: !decls;
+        decl_loop ()
+    | Token.KW_NET ->
+        decls := Ast.DNet (parse_net st) :: !decls;
+        decl_loop ()
+    | _ -> ()
+  in
+  decl_loop ();
+  expect st Token.RBRACE "net definition";
+  expect st Token.KW_CONNECT "net definition";
+  let body = parse_expr st in
+  expect st Token.SEMI "net definition";
+  { Ast.net_name = name; decls = List.rev !decls; body }
+
+let make_state src =
+  { tokens = Array.of_list (Lexer.tokenize src); cursor = 0 }
+
+let parse_string src =
+  let st = make_state src in
+  let nd = parse_net st in
+  expect st Token.EOF "program";
+  nd
+
+let parse_expr_string src =
+  let st = make_state src in
+  let e = parse_expr st in
+  expect st Token.EOF "expression";
+  e
+
+let parse_pattern_string src =
+  let st = make_state src in
+  let p = parse_braced_pattern st in
+  expect st Token.EOF "pattern";
+  p

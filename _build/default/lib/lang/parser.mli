@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the S-Net surface syntax.
+
+    The grammar follows the paper's notation:
+
+    {v
+    net sudoku
+    {
+      box computeOpts ((board) -> (board, opts));
+      box solveOneLevel ((board, opts)
+                          -> (board, opts, <k>) | (board, <done>));
+    } connect
+      computeOpts .. [{} -> {<k>=1}]
+                  .. ((solveOneLevel !! <k>) ** {<done>});
+    v}
+
+    Combinator precedence, tightest first: postfix replication
+    ([**], [*], [!!], [!]), serial [..], parallel [||] / [|] (all
+    left-associative). A guarded star pattern is parenthesised:
+    [A * ({<level>} | <level> > 40)]. Filters may carry a bare guard
+    before the arrow. [//] and [/* ... */] are comments. *)
+
+exception Parse_error of Lexer.position * string
+
+val parse_string : string -> Ast.net_def
+(** @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a bare connect-expression (no [net] wrapper); used by tests
+    and the REPL-style tooling. *)
+
+val parse_pattern_string : string -> Ast.pattern
+(** Parse a pattern like ["{board,<k>}"], used by the [snetc] checker
+    to describe input variants on the command line. *)

@@ -1,0 +1,79 @@
+(** Lexical tokens of the S-Net surface syntax. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | TAG of string  (** [<name>] *)
+  | KW_NET
+  | KW_BOX
+  | KW_CONNECT
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACKBAR  (** [[|] *)
+  | BARRBRACK  (** [|]] *)
+  | ARROW  (** [->] *)
+  | DOTDOT  (** [..] *)
+  | BARBAR  (** [||] *)
+  | BAR  (** [|] *)
+  | STARSTAR  (** [**] *)
+  | STAR  (** [*] *)
+  | BANGBANG  (** [!!] *)
+  | BANG  (** [!] *)
+  | COMMA
+  | SEMI
+  | EQ  (** [=] *)
+  | EQEQ  (** [==] *)
+  | NE  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | ANDAND  (** [&&] *)
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | TAG s -> Printf.sprintf "tag <%s>" s
+  | KW_NET -> "'net'"
+  | KW_BOX -> "'box'"
+  | KW_CONNECT -> "'connect'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LBRACKBAR -> "'[|'"
+  | BARRBRACK -> "'|]'"
+  | ARROW -> "'->'"
+  | DOTDOT -> "'..'"
+  | BARBAR -> "'||'"
+  | BAR -> "'|'"
+  | STARSTAR -> "'**'"
+  | STAR -> "'*'"
+  | BANGBANG -> "'!!'"
+  | BANG -> "'!'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | EQ -> "'='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | ANDAND -> "'&&'"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/sacarray/builtins.ml: Array Nd Printf Shape With_loop

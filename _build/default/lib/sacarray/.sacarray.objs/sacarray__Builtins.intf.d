@@ -1,0 +1,1 @@
+lib/sacarray/builtins.mli: Nd Scheduler Shape

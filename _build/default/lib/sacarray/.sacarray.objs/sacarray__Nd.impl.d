@@ -1,0 +1,1 @@
+lib/sacarray/nd.ml: Array Format List Printf Shape

@@ -1,0 +1,1 @@
+lib/sacarray/nd.mli: Format Shape

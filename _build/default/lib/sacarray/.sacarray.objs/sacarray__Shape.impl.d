@@ -1,0 +1,1 @@
+lib/sacarray/shape.ml: Array Printf Stdlib String

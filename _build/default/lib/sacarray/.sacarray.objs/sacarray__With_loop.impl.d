@@ -1,0 +1,1 @@
+lib/sacarray/with_loop.ml: Array List Nd Printf Scheduler Shape

@@ -1,0 +1,1 @@
+lib/sacarray/with_loop.mli: Nd Scheduler Shape

@@ -1,0 +1,239 @@
+let full_range shape = With_loop.range (Shape.zeros (Shape.rank shape)) shape
+
+let iota ?pool n =
+  With_loop.genarray ?pool ~shape:[| n |] ~default:0
+    [ (With_loop.range [| 0 |] [| n |], fun iv -> iv.(0)) ]
+
+let constant shp v = Nd.create shp v
+
+let concat ?pool a b =
+  let sa = Nd.shape a and sb = Nd.shape b in
+  if Shape.rank sa <> Shape.rank sb || Shape.rank sa = 0 then
+    invalid_arg "Builtins.concat: rank mismatch or scalar operands";
+  for d = 1 to Shape.rank sa - 1 do
+    if sa.(d) <> sb.(d) then
+      invalid_arg
+        (Printf.sprintf "Builtins.concat: shapes %s and %s disagree on axis %d"
+           (Shape.to_string sa) (Shape.to_string sb) d)
+  done;
+  let rshp = Array.copy sa in
+  rshp.(0) <- sa.(0) + sb.(0);
+  let lower_b = Shape.zeros (Shape.rank sa) in
+  lower_b.(0) <- sa.(0);
+  (* Mirrors the paper's definition of [++]: two generators, the second
+     offset by [shape a] along the concatenation axis. *)
+  if Shape.size rshp = 0 then Nd.of_array rshp [||]
+  else begin
+    let default = Nd.unsafe_get_flat (if Nd.size a > 0 then a else b) 0 in
+    With_loop.genarray ?pool ~shape:rshp ~default
+      [
+        (With_loop.range (Shape.zeros (Shape.rank sa)) sa, Nd.get a);
+        ( With_loop.range lower_b rshp,
+          fun iv ->
+            let jv = Array.copy iv in
+            jv.(0) <- iv.(0) - sa.(0);
+            Nd.get b jv );
+      ]
+  end
+
+let resolve_take shp v d =
+  (* (offset, extent) kept along axis [d] for a take-vector [v]. *)
+  if d >= Array.length v then (0, shp.(d))
+  else begin
+    let c = v.(d) in
+    if abs c > shp.(d) then
+      invalid_arg
+        (Printf.sprintf "Builtins.take/drop: %d exceeds extent %d" c shp.(d));
+    if c >= 0 then (0, c) else (shp.(d) + c, -c)
+  end
+
+let subarray ?pool a offsets extents =
+  With_loop.genarray_init ?pool ~shape:extents (fun iv ->
+      Nd.get a (Shape.add iv offsets))
+
+let take ?pool v a =
+  let shp = Nd.shape a in
+  if Array.length v > Shape.rank shp then
+    invalid_arg "Builtins.take: vector longer than rank";
+  let offs = Array.make (Shape.rank shp) 0 in
+  let exts = Array.copy shp in
+  for d = 0 to Shape.rank shp - 1 do
+    let o, e = resolve_take shp v d in
+    offs.(d) <- o;
+    exts.(d) <- e
+  done;
+  subarray ?pool a offs exts
+
+let drop ?pool v a =
+  let shp = Nd.shape a in
+  if Array.length v > Shape.rank shp then
+    invalid_arg "Builtins.drop: vector longer than rank";
+  let offs = Array.make (Shape.rank shp) 0 in
+  let exts = Array.copy shp in
+  for d = 0 to Shape.rank shp - 1 do
+    if d < Array.length v then begin
+      let c = v.(d) in
+      if abs c > shp.(d) then
+        invalid_arg
+          (Printf.sprintf "Builtins.drop: %d exceeds extent %d" c shp.(d));
+      if c >= 0 then begin
+        offs.(d) <- c;
+        exts.(d) <- shp.(d) - c
+      end
+      else exts.(d) <- shp.(d) + c
+    end
+  done;
+  subarray ?pool a offs exts
+
+let tile ?pool shp off a =
+  let ashp = Nd.shape a in
+  if
+    Array.length shp <> Shape.rank ashp
+    || Array.length off <> Shape.rank ashp
+  then invalid_arg "Builtins.tile: rank mismatch";
+  for d = 0 to Array.length shp - 1 do
+    if off.(d) < 0 || off.(d) + shp.(d) > ashp.(d) then
+      invalid_arg "Builtins.tile: tile escapes the array"
+  done;
+  subarray ?pool a off (Array.copy shp)
+
+let axis_check name a axis =
+  if axis < 0 || axis >= Nd.dim a then
+    invalid_arg (Printf.sprintf "Builtins.%s: axis %d of rank-%d array" name axis (Nd.dim a))
+
+let remap ?pool name axis a f =
+  axis_check name a axis;
+  With_loop.genarray_init ?pool ~shape:(Nd.shape a) (fun iv ->
+      let jv = Array.copy iv in
+      jv.(axis) <- f iv.(axis);
+      Nd.get a jv)
+
+let reverse ?pool axis a =
+  let n = (Nd.shape a).(axis) in
+  remap ?pool "reverse" axis a (fun i -> n - 1 - i)
+
+let rotate ?pool axis k a =
+  axis_check "rotate" a axis;
+  let n = (Nd.shape a).(axis) in
+  if n = 0 then a
+  else
+    let k = ((k mod n) + n) mod n in
+    remap ?pool "rotate" axis a (fun i -> (i - k + n) mod n)
+
+let shift ?pool axis k fill a =
+  axis_check "shift" a axis;
+  let shp = Nd.shape a in
+  let n = shp.(axis) in
+  With_loop.genarray_init ?pool ~shape:shp (fun iv ->
+      let src = iv.(axis) - k in
+      if src < 0 || src >= n then fill
+      else begin
+        let jv = Array.copy iv in
+        jv.(axis) <- src;
+        Nd.get a jv
+      end)
+
+let transpose ?perm a =
+  let r = Nd.dim a in
+  let perm =
+    match perm with
+    | Some p -> p
+    | None -> Array.init r (fun i -> r - 1 - i)
+  in
+  if Array.length perm <> r then
+    invalid_arg "Builtins.transpose: permutation rank mismatch";
+  let seen = Array.make r false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= r || seen.(p) then
+        invalid_arg "Builtins.transpose: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let shp = Nd.shape a in
+  let tshp = Array.init r (fun d -> shp.(perm.(d))) in
+  Nd.init tshp (fun iv ->
+      let jv = Array.make r 0 in
+      for d = 0 to r - 1 do
+        jv.(perm.(d)) <- iv.(d)
+      done;
+      Nd.get a jv)
+
+let zipwith ?pool f a b =
+  let sa = Nd.shape a and sb = Nd.shape b in
+  if not (Shape.equal sa sb) then
+    invalid_arg
+      (Printf.sprintf "Builtins.zipwith: shapes %s and %s" (Shape.to_string sa)
+         (Shape.to_string sb));
+  With_loop.genarray_init ?pool ~shape:sa (fun iv ->
+      f (Nd.get a iv) (Nd.get b iv))
+
+let map ?pool f a =
+  With_loop.genarray_init ?pool ~shape:(Nd.shape a) (fun iv ->
+      f (Nd.get a iv))
+
+let where ?pool cond a b =
+  let sc = Nd.shape cond in
+  if not (Shape.equal sc (Nd.shape a) && Shape.equal sc (Nd.shape b)) then
+    invalid_arg "Builtins.where: shape mismatch";
+  With_loop.genarray_init ?pool ~shape:sc (fun iv ->
+      if Nd.get cond iv then Nd.get a iv else Nd.get b iv)
+
+let reduce_axis ?pool ~axis ~neutral ~combine a =
+  let shp = Nd.shape a in
+  let r = Shape.rank shp in
+  if r = 0 then invalid_arg "Builtins.reduce_axis: rank-0 array";
+  axis_check "reduce_axis" a axis;
+  let out_shp =
+    Array.init (r - 1) (fun d -> if d < axis then shp.(d) else shp.(d + 1))
+  in
+  let n = shp.(axis) in
+  With_loop.genarray_init ?pool ~shape:out_shp (fun ov ->
+      let iv = Array.make r 0 in
+      for d = 0 to r - 2 do
+        if d < axis then iv.(d) <- ov.(d) else iv.(d + 1) <- ov.(d)
+      done;
+      let acc = ref neutral in
+      for i = 0 to n - 1 do
+        iv.(axis) <- i;
+        acc := combine !acc (Nd.get a iv)
+      done;
+      !acc)
+
+let sum_axis ?pool ~axis a = reduce_axis ?pool ~axis ~neutral:0 ~combine:( + ) a
+
+let matmul ?pool a b =
+  let sa = Nd.shape a and sb = Nd.shape b in
+  if Shape.rank sa <> 2 || Shape.rank sb <> 2 || sa.(1) <> sb.(0) then
+    invalid_arg
+      (Printf.sprintf "Builtins.matmul: shapes %s and %s" (Shape.to_string sa)
+         (Shape.to_string sb));
+  let k = sa.(1) in
+  With_loop.genarray_init ?pool ~shape:[| sa.(0); sb.(1) |] (fun iv ->
+      let acc = ref 0 in
+      for x = 0 to k - 1 do
+        acc := !acc + (Nd.get a [| iv.(0); x |] * Nd.get b [| x; iv.(1) |])
+      done;
+      !acc)
+
+let reduce ?pool ~neutral ~combine a =
+  let shp = Nd.shape a in
+  With_loop.fold ?pool ~neutral ~combine
+    [ (full_range shp, Nd.get a) ]
+
+let sum ?pool a = reduce ?pool ~neutral:0 ~combine:( + ) a
+let sum_float ?pool a = reduce ?pool ~neutral:0.0 ~combine:( +. ) a
+let prod ?pool a = reduce ?pool ~neutral:1 ~combine:( * ) a
+let count ?pool a =
+  With_loop.fold ?pool ~neutral:0 ~combine:( + )
+    [ (full_range (Nd.shape a), fun iv -> if Nd.get a iv then 1 else 0) ]
+
+let any ?pool a = reduce ?pool ~neutral:false ~combine:( || ) a
+let all ?pool a = reduce ?pool ~neutral:true ~combine:( && ) a
+
+let extremum name op ?pool a =
+  if Nd.size a = 0 then invalid_arg ("Builtins." ^ name ^ ": empty array");
+  let first = Nd.unsafe_get_flat a 0 in
+  reduce ?pool ~neutral:first ~combine:op a
+
+let maxval ?pool a = extremum "maxval" max ?pool a
+let minval ?pool a = extremum "minval" min ?pool a

@@ -1,0 +1,97 @@
+(** A SaC-style standard library of array operations, implemented with
+    with-loops exactly as the paper implements vector concatenation
+    [++] (Section 2). All functions are pure; [?pool] makes the
+    underlying with-loops data-parallel. *)
+
+(** {1 Index-space constructors} *)
+
+val iota : ?pool:Scheduler.Pool.t -> int -> int Nd.t
+(** [iota n] = [[0,1,...,n-1]] — the paper's second with-loop example. *)
+
+val constant : Shape.t -> 'a -> 'a Nd.t
+(** Uniform array, like the paper's 3×5 array of 42s. *)
+
+(** {1 Structural operations} *)
+
+val concat : ?pool:Scheduler.Pool.t -> 'a Nd.t -> 'a Nd.t -> 'a Nd.t
+(** The paper's [++], generalised to any rank: concatenation along
+    axis 0. Shapes must agree on all other axes.
+    @raise Invalid_argument otherwise. *)
+
+val take : ?pool:Scheduler.Pool.t -> int array -> 'a Nd.t -> 'a Nd.t
+(** [take v a]: for each axis [d < length v], keep the first [v.(d)]
+    elements (or the last [-v.(d)] when negative, as in SaC).
+    Remaining axes are kept whole. *)
+
+val drop : ?pool:Scheduler.Pool.t -> int array -> 'a Nd.t -> 'a Nd.t
+(** [drop v a]: drop the first [v.(d)] (last when negative) elements
+    along each axis [d < length v]. *)
+
+val tile :
+  ?pool:Scheduler.Pool.t -> Shape.t -> int array -> 'a Nd.t -> 'a Nd.t
+(** [tile shp off a]: the subarray of shape [shp] anchored at [off]. *)
+
+val reverse : ?pool:Scheduler.Pool.t -> int -> 'a Nd.t -> 'a Nd.t
+(** Reverse along the given axis. *)
+
+val rotate : ?pool:Scheduler.Pool.t -> int -> int -> 'a Nd.t -> 'a Nd.t
+(** [rotate axis k a]: cyclic rotation by [k] (any sign) along
+    [axis]. *)
+
+val shift :
+  ?pool:Scheduler.Pool.t -> int -> int -> 'a -> 'a Nd.t -> 'a Nd.t
+(** [shift axis k fill a]: non-cyclic shift; vacated positions take
+    [fill]. *)
+
+val transpose : ?perm:int array -> 'a Nd.t -> 'a Nd.t
+(** Axis permutation (default: reverse all axes).
+    @raise Invalid_argument if [perm] is not a permutation of
+    [0..dim-1]. *)
+
+(** {1 Element-wise operations} *)
+
+val zipwith :
+  ?pool:Scheduler.Pool.t -> ('a -> 'b -> 'c) -> 'a Nd.t -> 'b Nd.t -> 'c Nd.t
+
+val map : ?pool:Scheduler.Pool.t -> ('a -> 'b) -> 'a Nd.t -> 'b Nd.t
+
+val where : ?pool:Scheduler.Pool.t -> bool Nd.t -> 'a Nd.t -> 'a Nd.t -> 'a Nd.t
+(** Element-wise selection: condition, then-array, else-array, all of
+    one shape. *)
+
+(** {1 Axis operations} *)
+
+val reduce_axis :
+  ?pool:Scheduler.Pool.t ->
+  axis:int ->
+  neutral:'a ->
+  combine:('a -> 'a -> 'a) ->
+  'a Nd.t ->
+  'a Nd.t
+(** Fold along one axis: the result drops that axis, e.g. summing a
+    [3×4] matrix along axis 0 yields a 4-vector. [combine] must be
+    associative with unit [neutral].
+    @raise Invalid_argument on a bad axis or rank-0 input. *)
+
+val sum_axis : ?pool:Scheduler.Pool.t -> axis:int -> int Nd.t -> int Nd.t
+
+val matmul : ?pool:Scheduler.Pool.t -> int Nd.t -> int Nd.t -> int Nd.t
+(** Integer matrix product via a genarray with-loop over the result
+    index space, the classic SaC formulation.
+    @raise Invalid_argument unless shapes are [m×k] and [k×n]. *)
+
+(** {1 Reductions (fold with-loops)} *)
+
+val sum : ?pool:Scheduler.Pool.t -> int Nd.t -> int
+val sum_float : ?pool:Scheduler.Pool.t -> float Nd.t -> float
+val prod : ?pool:Scheduler.Pool.t -> int Nd.t -> int
+val count : ?pool:Scheduler.Pool.t -> bool Nd.t -> int
+(** Number of [true] elements. *)
+
+val any : ?pool:Scheduler.Pool.t -> bool Nd.t -> bool
+val all : ?pool:Scheduler.Pool.t -> bool Nd.t -> bool
+val maxval : ?pool:Scheduler.Pool.t -> int Nd.t -> int
+(** @raise Invalid_argument on empty arrays. *)
+
+val minval : ?pool:Scheduler.Pool.t -> int Nd.t -> int
+(** @raise Invalid_argument on empty arrays. *)

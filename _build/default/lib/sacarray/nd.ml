@@ -1,0 +1,136 @@
+type 'a t = {
+  shp : Shape.t;
+  data : 'a array;
+}
+
+let create shp v =
+  Shape.validate shp;
+  { shp = Array.copy shp; data = Array.make (Shape.size shp) v }
+
+let init shp f =
+  Shape.validate shp;
+  let n = Shape.size shp in
+  let data =
+    Array.init n (fun off -> f (Shape.unravel shp off))
+  in
+  { shp = Array.copy shp; data }
+
+let scalar v = { shp = [||]; data = [| v |] }
+
+let of_array shp data =
+  Shape.validate shp;
+  if Array.length data <> Shape.size shp then
+    invalid_arg
+      (Printf.sprintf "Nd.of_array: %d elements for shape %s"
+         (Array.length data) (Shape.to_string shp));
+  { shp = Array.copy shp; data = Array.copy data }
+
+let vector xs = of_array [| List.length xs |] (Array.of_list xs)
+
+let matrix rows =
+  match rows with
+  | [] -> of_array [| 0; 0 |] [||]
+  | first :: rest ->
+      let cols = List.length first in
+      List.iter
+        (fun r ->
+          if List.length r <> cols then invalid_arg "Nd.matrix: ragged rows")
+        rest;
+      of_array
+        [| List.length rows; cols |]
+        (Array.of_list (List.concat rows))
+
+let dim a = Shape.rank a.shp
+let shape a = Array.copy a.shp
+let size a = Array.length a.data
+let is_scalar a = dim a = 0
+
+let get a idx = a.data.(Shape.ravel a.shp idx)
+
+let get_scalar a =
+  if dim a <> 0 then
+    invalid_arg
+      (Printf.sprintf "Nd.get_scalar: array of shape %s"
+         (Shape.to_string a.shp));
+  a.data.(0)
+
+let sel a idx =
+  let k = Array.length idx in
+  let r = dim a in
+  if k > r then
+    invalid_arg
+      (Printf.sprintf "Nd.sel: index of rank %d into array of rank %d" k r);
+  let cell_shp = Shape.drop k a.shp in
+  let outer_shp = Shape.take k a.shp in
+  let cell_size = Shape.size cell_shp in
+  let off = Shape.ravel outer_shp idx * cell_size in
+  { shp = cell_shp; data = Array.sub a.data off cell_size }
+
+let set a idx v =
+  let off = Shape.ravel a.shp idx in
+  let data = Array.copy a.data in
+  data.(off) <- v;
+  { a with data }
+
+let map f a = { a with data = Array.map f a.data }
+
+let mapi f a =
+  {
+    a with
+    data = Array.mapi (fun off v -> f (Shape.unravel a.shp off) v) a.data;
+  }
+
+let map2 f a b =
+  if not (Shape.equal a.shp b.shp) then
+    invalid_arg
+      (Printf.sprintf "Nd.map2: shapes %s and %s" (Shape.to_string a.shp)
+         (Shape.to_string b.shp));
+  { a with data = Array.map2 f a.data b.data }
+
+let fold f acc a = Array.fold_left f acc a.data
+
+let iteri f a =
+  Array.iteri (fun off v -> f (Shape.unravel a.shp off) v) a.data
+
+let equal eq a b =
+  Shape.equal a.shp b.shp
+  && (let ok = ref true in
+      for i = 0 to Array.length a.data - 1 do
+        if not (eq a.data.(i) b.data.(i)) then ok := false
+      done;
+      !ok)
+
+let reshape shp a =
+  Shape.validate shp;
+  if Shape.size shp <> Array.length a.data then
+    invalid_arg
+      (Printf.sprintf "Nd.reshape: %s has %d elements, %s wants %d"
+         (Shape.to_string a.shp) (Array.length a.data) (Shape.to_string shp)
+         (Shape.size shp));
+  { shp = Array.copy shp; data = Array.copy a.data }
+
+let to_flat_array a = Array.copy a.data
+let to_list a = Array.to_list a.data
+
+let pp pp_elt fmt a =
+  (* Render nested brackets by recursing over axes. *)
+  let rec go fmt shp off =
+    match shp with
+    | [] -> pp_elt fmt a.data.(off)
+    | d :: rest ->
+        let stride = List.fold_left (fun acc x -> acc * x) 1 rest in
+        Format.fprintf fmt "[";
+        for i = 0 to d - 1 do
+          if i > 0 then Format.fprintf fmt ",";
+          go fmt rest (off + (i * stride))
+        done;
+        Format.fprintf fmt "]"
+  in
+  go fmt (Array.to_list a.shp) 0
+
+let to_string elt_to_string a =
+  Format.asprintf "%a" (pp (fun fmt v -> Format.fprintf fmt "%s" (elt_to_string v))) a
+
+let unsafe_data a = a.data
+let unsafe_of_array shp data = { shp; data }
+let unsafe_get_flat a i = a.data.(i)

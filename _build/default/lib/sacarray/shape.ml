@@ -1,0 +1,91 @@
+type t = int array
+
+let rank = Array.length
+
+let size shp = Array.fold_left (fun acc d -> acc * d) 1 shp
+
+let validate shp =
+  Array.iter
+    (fun d ->
+      if d < 0 then invalid_arg "Shape: negative extent")
+    shp
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string shp =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int shp)) ^ "]"
+
+let scalar : t = [||]
+
+let check_rank shp idx =
+  if Array.length idx <> Array.length shp then
+    invalid_arg
+      (Printf.sprintf "Shape: index of rank %d against shape %s"
+         (Array.length idx) (to_string shp))
+
+let ravel shp idx =
+  check_rank shp idx;
+  let off = ref 0 in
+  for d = 0 to Array.length shp - 1 do
+    let c = idx.(d) in
+    if c < 0 || c >= shp.(d) then
+      invalid_arg
+        (Printf.sprintf "Shape: index %d out of bounds on axis %d of %s" c d
+           (to_string shp));
+    off := (!off * shp.(d)) + c
+  done;
+  !off
+
+let unravel_into shp off buf =
+  let o = ref off in
+  for d = Array.length shp - 1 downto 0 do
+    buf.(d) <- !o mod shp.(d);
+    o := !o / shp.(d)
+  done
+
+let unravel shp off =
+  let buf = Array.make (Array.length shp) 0 in
+  unravel_into shp off buf;
+  buf
+
+let mem shp idx =
+  Array.length idx = Array.length shp
+  && (let ok = ref true in
+      for d = 0 to Array.length shp - 1 do
+        if idx.(d) < 0 || idx.(d) >= shp.(d) then ok := false
+      done;
+      !ok)
+
+let iter shp f =
+  let n = size shp in
+  for off = 0 to n - 1 do
+    f (unravel shp off)
+  done
+
+let concat = Array.append
+
+let take n shp = Array.sub shp 0 n
+let drop n shp = Array.sub shp n (Array.length shp - n)
+
+let zeros n = Array.make n 0
+
+let binop name op a b =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Shape." ^ name ^ ": rank mismatch");
+  Array.init (Array.length a) (fun i -> op a.(i) b.(i))
+
+let add a b = binop "add" ( + ) a b
+let sub a b = binop "sub" ( - ) a b
+
+let all2 name op a b =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Shape." ^ name ^ ": rank mismatch");
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if not (op a.(i) b.(i)) then ok := false
+  done;
+  !ok
+
+let le a b = all2 "le" ( <= ) a b
+let lt a b = all2 "lt" ( < ) a b

@@ -1,0 +1,71 @@
+(** Shapes and index vectors.
+
+    A shape is an [int array] giving the extent of each axis of an
+    n-dimensional array; an index vector is an [int array] addressing
+    one element. Scalars have the empty shape [[||]] (rank 0), exactly
+    as in SaC where scalars are rank-0 arrays. All layouts are
+    row-major. *)
+
+type t = int array
+
+val rank : t -> int
+(** Number of axes. *)
+
+val size : t -> int
+(** Number of elements: the product of all extents; [1] for scalars. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if any extent is negative. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+(** E.g. ["[3,5]"]; ["[]"] for scalars. *)
+
+val scalar : t
+(** The empty shape [[||]]. *)
+
+val ravel : t -> int array -> int
+(** [ravel shp idx] is the row-major linear offset of [idx] in an
+    array of shape [shp].
+    @raise Invalid_argument if ranks differ or [idx] is out of
+    bounds. *)
+
+val unravel : t -> int -> int array
+(** Inverse of {!ravel}: the index vector for a linear offset. *)
+
+val unravel_into : t -> int -> int array -> unit
+(** Allocation-free {!unravel} into a caller-provided buffer of length
+    [rank shp]. *)
+
+val mem : t -> int array -> bool
+(** [mem shp idx] is true when [idx] has rank [rank shp] and each
+    component [c] satisfies [0 <= c < extent]. *)
+
+val iter : t -> (int array -> unit) -> unit
+(** Apply the function to every index vector of the shape in row-major
+    order. The vector is freshly allocated for each call. *)
+
+val concat : t -> t -> t
+(** Shape concatenation, e.g. [[3] ++ [4,5] = [3,4,5]]. *)
+
+val take : int -> t -> t
+(** First [n] components. *)
+
+val drop : int -> t -> t
+(** All but the first [n] components. *)
+
+val zeros : int -> int array
+(** An index vector of [n] zeros — the canonical lower bound. *)
+
+val add : int array -> int array -> int array
+(** Component-wise sum of two equal-rank vectors. *)
+
+val sub : int array -> int array -> int array
+(** Component-wise difference of two equal-rank vectors. *)
+
+val le : int array -> int array -> bool
+(** Component-wise [<=] on equal-rank vectors. *)
+
+val lt : int array -> int array -> bool
+(** Component-wise [<] on equal-rank vectors. *)

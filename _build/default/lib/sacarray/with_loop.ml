@@ -1,0 +1,165 @@
+type generator = {
+  lower : int array;
+  upper : int array; (* exclusive *)
+  step : int array;
+  counts : int array; (* index points per axis *)
+}
+
+let make_generator lower upper step =
+  let r = Array.length lower in
+  if Array.length upper <> r then
+    invalid_arg "With_loop.range: lower/upper rank mismatch";
+  if Array.length step <> r then
+    invalid_arg "With_loop.range: step rank mismatch";
+  Array.iter
+    (fun s -> if s < 1 then invalid_arg "With_loop.range: step < 1")
+    step;
+  let counts =
+    Array.init r (fun d ->
+        let extent = upper.(d) - lower.(d) in
+        if extent <= 0 then 0 else ((extent - 1) / step.(d)) + 1)
+  in
+  {
+    lower = Array.copy lower;
+    upper = Array.copy upper;
+    step = Array.copy step;
+    counts;
+  }
+
+let range ?step lower upper =
+  let step =
+    match step with
+    | Some s -> s
+    | None -> Array.make (Array.length lower) 1
+  in
+  make_generator lower upper step
+
+let range_incl ?step lower upper =
+  let upper_excl = Array.map (fun c -> c + 1) upper in
+  range ?step lower upper_excl
+
+let generator_size g = Shape.size g.counts
+let generator_rank g = Array.length g.lower
+
+let generator_mem g idx =
+  Array.length idx = generator_rank g
+  && (let ok = ref true in
+      for d = 0 to Array.length idx - 1 do
+        let c = idx.(d) in
+        if
+          c < g.lower.(d)
+          || c >= g.upper.(d)
+          || (c - g.lower.(d)) mod g.step.(d) <> 0
+        then ok := false
+      done;
+      !ok)
+
+(* The [k]-th index point of [g] in row-major order over the point grid. *)
+let nth_point g k =
+  let idx = Shape.unravel g.counts k in
+  for d = 0 to Array.length idx - 1 do
+    idx.(d) <- g.lower.(d) + (idx.(d) * g.step.(d))
+  done;
+  idx
+
+let generator_iter g f =
+  let n = generator_size g in
+  for k = 0 to n - 1 do
+    f (nth_point g k)
+  done
+
+type 'a part = generator * (int array -> 'a)
+
+let check_generator ~shape g =
+  if generator_rank g <> Shape.rank shape then
+    invalid_arg
+      (Printf.sprintf "With_loop: generator rank %d against shape %s"
+         (generator_rank g) (Shape.to_string shape));
+  if generator_size g > 0 then begin
+    (* The extreme points bound the whole rectangle. *)
+    let top =
+      Array.init (generator_rank g) (fun d ->
+          g.lower.(d) + ((g.counts.(d) - 1) * g.step.(d)))
+    in
+    if not (Shape.mem shape g.lower && Shape.mem shape top) then
+      invalid_arg
+        (Printf.sprintf
+           "With_loop: generator %s..%s escapes shape %s"
+           (Shape.to_string g.lower) (Shape.to_string g.upper)
+           (Shape.to_string shape))
+  end
+
+(* Sequential cutoff: ranges smaller than this are not worth forking. *)
+let parallel_cutoff = 512
+
+let run_part ?pool ~shape data (g, body) =
+  check_generator ~shape g;
+  let n = generator_size g in
+  let apply k =
+    let idx = nth_point g k in
+    let v = body idx in
+    data.(Shape.ravel shape idx) <- v
+  in
+  match pool with
+  | Some pool when n >= parallel_cutoff ->
+      Scheduler.Pool.parallel_for pool ~lo:0 ~hi:n apply
+  | _ ->
+      for k = 0 to n - 1 do
+        apply k
+      done
+
+let genarray ?pool ~shape ~default parts =
+  Shape.validate shape;
+  let data = Array.make (Shape.size shape) default in
+  List.iter (run_part ?pool ~shape data) parts;
+  Nd.unsafe_of_array (Array.copy shape) data
+
+let genarray_init ?pool ~shape body =
+  Shape.validate shape;
+  let n = Shape.size shape in
+  if n = 0 then Nd.unsafe_of_array (Array.copy shape) [||]
+  else begin
+    let g = range (Shape.zeros (Shape.rank shape)) shape in
+    (* Seed the buffer with the first element's value, then fill the
+       rest; every index is evaluated exactly once. *)
+    let first = body (nth_point g 0) in
+    let data = Array.make n first in
+    let apply k =
+      if k > 0 then begin
+        let idx = nth_point g k in
+        data.(Shape.ravel shape idx) <- body idx
+      end
+    in
+    (match pool with
+    | Some pool when n >= parallel_cutoff ->
+        Scheduler.Pool.parallel_for pool ~lo:1 ~hi:n apply
+    | _ ->
+        for k = 1 to n - 1 do
+          apply k
+        done);
+    Nd.unsafe_of_array (Array.copy shape) data
+  end
+
+let modarray ?pool src parts =
+  let shape = Nd.shape src in
+  let data = Nd.to_flat_array src in
+  List.iter (run_part ?pool ~shape data) parts;
+  Nd.unsafe_of_array shape data
+
+let fold ?pool ~neutral ~combine parts =
+  let fold_part acc (g, body) =
+    let n = generator_size g in
+    let value k = body (nth_point g k) in
+    match pool with
+    | Some pool when n >= parallel_cutoff ->
+        combine acc
+          (Scheduler.Pool.parallel_for_reduce pool ~lo:0 ~hi:n ~combine
+             ~init:neutral value)
+    | _ ->
+        let acc = ref acc in
+        for k = 0 to n - 1 do
+          acc := combine !acc (value k)
+        done;
+        !acc
+  in
+  List.fold_left fold_part neutral parts

@@ -1,0 +1,1 @@
+lib/saclang/sac_ast.ml: List Printf String Svalue

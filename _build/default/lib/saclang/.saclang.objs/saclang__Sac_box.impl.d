@@ -1,0 +1,1 @@
+lib/saclang/sac_box.ml: List Printf Sac_ast Sac_interp Snet Svalue

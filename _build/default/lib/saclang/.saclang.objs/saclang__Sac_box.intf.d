@@ -1,0 +1,1 @@
+lib/saclang/sac_box.mli: Sac_interp Snet Snet_lang Svalue

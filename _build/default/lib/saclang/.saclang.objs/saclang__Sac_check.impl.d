@@ -1,0 +1,1 @@
+lib/saclang/sac_check.ml: Hashtbl List Map Printf Sac_ast String Svalue

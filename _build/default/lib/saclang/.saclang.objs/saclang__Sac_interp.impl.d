@@ -1,0 +1,1 @@
+lib/saclang/sac_interp.ml: Array Hashtbl List Map Printf Sac_ast Sac_check Sac_parser Sacarray Scheduler String Svalue

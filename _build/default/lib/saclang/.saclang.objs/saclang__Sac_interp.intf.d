@@ -1,0 +1,1 @@
+lib/saclang/sac_interp.mli: Sac_ast Scheduler Svalue

@@ -1,0 +1,1 @@
+lib/saclang/sac_lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/saclang/sac_parser.ml: Array List Printf Sac_ast Sac_lexer Svalue

@@ -1,0 +1,1 @@
+lib/saclang/sac_parser.mli: Sac_ast Sac_lexer

@@ -1,0 +1,1 @@
+lib/saclang/sac_pp.ml: List Printf Sac_ast String

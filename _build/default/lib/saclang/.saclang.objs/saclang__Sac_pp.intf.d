@@ -1,0 +1,1 @@
+lib/saclang/sac_pp.mli: Sac_ast

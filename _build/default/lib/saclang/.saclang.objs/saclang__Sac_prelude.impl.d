@@ -1,0 +1,1 @@
+lib/saclang/sac_prelude.ml: Sac_interp

@@ -1,0 +1,1 @@
+lib/saclang/sac_sudoku.ml: Sac_box Sac_interp Snet Svalue

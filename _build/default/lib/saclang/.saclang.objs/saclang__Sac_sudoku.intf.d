@@ -1,0 +1,1 @@
+lib/saclang/sac_sudoku.mli: Sac_interp Sacarray Scheduler Snet Snet_lang

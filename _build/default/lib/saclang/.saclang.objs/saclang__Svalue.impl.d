@@ -1,0 +1,1 @@
+lib/saclang/svalue.ml: Array Bool Int Printf Sacarray

@@ -1,0 +1,1 @@
+lib/saclang/svalue.mli: Sacarray Scheduler

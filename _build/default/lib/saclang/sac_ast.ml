@@ -1,0 +1,133 @@
+(** Abstract syntax of mini-SaC — the paper's "Core SaC": a functional,
+    side-effect-free variant of C extended with n-dimensional stateless
+    arrays and with-loop array comprehensions (Section 2). *)
+
+(** Type annotations are parsed and kept for documentation and arity
+    checking; element kinds are enforced dynamically. *)
+type sac_type = {
+  elem : elem_kind;
+  shape_spec : shape_spec;
+}
+
+and elem_kind =
+  | KInt
+  | KBool
+
+and shape_spec =
+  | Scalar  (** [int] *)
+  | Fixed of int list  (** [int\[3,7\]] *)
+  | Ranked of int  (** [int\[.,.\]] — fixed rank. *)
+  | Any  (** [int\[*\]] *)
+
+type binop = Svalue.binop
+
+type expr =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Vector_lit of expr list  (** [\[1, 2, i+1\]] *)
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Select of expr * expr list
+      (** [a\[i, j\]]; a single vector-valued index is an index
+          vector. *)
+  | Call of string * expr list
+      (** User functions returning exactly one value, and builtins
+          ([dim], [shape], [min], [max], [abs]). *)
+  | With_loop of with_loop
+
+and with_loop = {
+  generators : generator list;
+  operation : operation;
+}
+
+and generator = {
+  lower : expr;
+  lower_incl : bool;  (** [<=] vs [<] *)
+  var : string;  (** The index vector variable. *)
+  upper_incl : bool;
+  upper : expr;
+  body : expr;
+}
+
+and operation =
+  | Genarray of expr * expr  (** shape, default *)
+  | Modarray of expr
+  | Fold of binop * expr  (** fold operator, neutral *)
+
+type stmt =
+  | Assign of string list * expr
+      (** [x = e;] or [a, b = f(...);] — multiple targets need a call
+          to a multi-result function. *)
+  | Index_assign of string * expr list * expr
+      (** [board\[i,j\] = k;] — functional update of the binding. *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt * expr * stmt * block
+      (** C-style sugar, as in the paper's solve loop. *)
+  | Return of expr list
+  | Snet_out of expr * expr list
+      (** [snet_out(variant, args...)] — the S-Net emission
+          interface. *)
+
+and block = stmt list
+
+type param = {
+  param_type : sac_type;
+  param_name : string;
+}
+
+type fundef = {
+  fun_name : string;
+  return_types : sac_type list;
+  params : param list;
+  body : block;
+}
+
+type program = fundef list
+
+(** {1 Rendering (for diagnostics and tests)} *)
+
+let elem_to_string = function KInt -> "int" | KBool -> "bool"
+
+let type_to_string t =
+  let base = elem_to_string t.elem in
+  match t.shape_spec with
+  | Scalar -> base
+  | Any -> base ^ "[*]"
+  | Ranked r -> base ^ "[" ^ String.concat "," (List.init r (fun _ -> ".")) ^ "]"
+  | Fixed dims -> base ^ "[" ^ String.concat "," (List.map string_of_int dims) ^ "]"
+
+let rec expr_to_string = function
+  | Int_lit n -> string_of_int n
+  | Bool_lit b -> string_of_bool b
+  | Vector_lit es -> "[" ^ String.concat ", " (List.map expr_to_string es) ^ "]"
+  | Var v -> v
+  | Binop (op, a, b) ->
+      "(" ^ expr_to_string a ^ " " ^ Svalue.binop_to_string op ^ " "
+      ^ expr_to_string b ^ ")"
+  | Neg e -> "-" ^ expr_to_string e
+  | Not e -> "!" ^ expr_to_string e
+  | Select (a, idx) ->
+      expr_to_string a ^ "[" ^ String.concat ", " (List.map expr_to_string idx) ^ "]"
+  | Call (f, args) ->
+      f ^ "(" ^ String.concat ", " (List.map expr_to_string args) ^ ")"
+  | With_loop w ->
+      let gen g =
+        Printf.sprintf "(%s %s %s %s %s) : %s;" (expr_to_string g.lower)
+          (if g.lower_incl then "<=" else "<")
+          g.var
+          (if g.upper_incl then "<=" else "<")
+          (expr_to_string g.upper) (expr_to_string g.body)
+      in
+      let op =
+        match w.operation with
+        | Genarray (s, d) ->
+            Printf.sprintf "genarray(%s, %s)" (expr_to_string s) (expr_to_string d)
+        | Modarray a -> Printf.sprintf "modarray(%s)" (expr_to_string a)
+        | Fold (op, n) ->
+            Printf.sprintf "fold(%s, %s)" (Svalue.binop_to_string op)
+              (expr_to_string n)
+      in
+      "with { " ^ String.concat " " (List.map gen w.generators) ^ " } : " ^ op

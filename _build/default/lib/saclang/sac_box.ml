@@ -1,0 +1,64 @@
+let sac_field : Svalue.t Snet.Value.Key.key =
+  Snet.Value.Key.create ~to_string:Svalue.to_string "sac"
+
+let field_of_value v = Snet.Value.inject sac_field v
+let value_of_field f = Snet.Value.project_exn sac_field f
+
+let box_of_function prog ~fname ~input ~outputs =
+  let f =
+    match Sac_interp.find_function prog fname with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Sac_box: no function %s" fname)
+  in
+  if List.length f.Sac_ast.params <> List.length input then
+    invalid_arg
+      (Printf.sprintf
+         "Sac_box: %s takes %d parameters but the box input tuple has %d labels"
+         fname
+         (List.length f.Sac_ast.params)
+         (List.length input));
+  let impl ~emit args =
+    let sac_args =
+      List.map
+        (function
+          | Snet.Box.Field v -> value_of_field v
+          | Snet.Box.Tag n -> Svalue.int n)
+        args
+    in
+    let emit_record variant values =
+      if variant < 1 || variant > List.length outputs then
+        raise
+          (Sac_interp.Runtime_error
+             (Printf.sprintf "%s: snet_out variant %d of %d" fname variant
+                (List.length outputs)));
+      let labels = List.nth outputs (variant - 1) in
+      if List.length labels <> List.length values then
+        raise
+          (Sac_interp.Runtime_error
+             (Printf.sprintf "%s: snet_out variant %d expects %d values, got %d"
+                fname variant (List.length labels) (List.length values)));
+      let box_args =
+        List.map2
+          (fun label v ->
+            match label with
+            | Snet.Box.F _ -> Snet.Box.Field (field_of_value v)
+            | Snet.Box.T _ -> (
+                match Svalue.to_int v with
+                | n -> Snet.Box.Tag n
+                | exception Svalue.Sac_error msg ->
+                    raise
+                      (Sac_interp.Runtime_error
+                         (Printf.sprintf "%s: tag emission: %s" fname msg))))
+          labels values
+      in
+      emit variant box_args
+    in
+    ignore (Sac_interp.call ~emit:emit_record prog fname sac_args)
+  in
+  Snet.Box.make ~name:fname ~input ~outputs impl
+
+let registry_of_program prog specs =
+  List.map
+    (fun (fname, input, outputs) ->
+      (fname, box_of_function prog ~fname ~input ~outputs))
+    specs

@@ -1,0 +1,36 @@
+(** The dual-mapping interface between mini-SaC and S-Net.
+
+    This is the paper's box contract made concrete: an S-Net box
+    signature on one side, a SaC parameter tuple on the other, matched
+    positionally. Fields arrive as SaC array values, tags as integer
+    scalars; [snet_out(n, args...)] inside the SaC function emits
+    output records according to the box's [n]-th output variant. *)
+
+val sac_field : Svalue.t Snet.Value.Key.key
+(** The field key under which SaC values travel through networks. *)
+
+val field_of_value : Svalue.t -> Snet.Value.t
+val value_of_field : Snet.Value.t -> Svalue.t
+(** @raise Invalid_argument when the field holds a non-SaC payload. *)
+
+val box_of_function :
+  Sac_interp.t ->
+  fname:string ->
+  input:Snet.Box.label list ->
+  outputs:Snet.Box.label list list ->
+  Snet.Box.t
+(** [box_of_function prog ~fname ~input ~outputs] wraps the SaC
+    function [fname] as a box named [fname]. The function's arity must
+    equal [length input]; fields map to array parameters and tags to
+    integer scalars, in order. Emitted tag values must be integer
+    scalars.
+    @raise Invalid_argument when [fname] is undefined or the arity
+    disagrees — the "dual mapping" check. *)
+
+val registry_of_program :
+  Sac_interp.t ->
+  (string * Snet.Box.label list * Snet.Box.label list list) list ->
+  Snet_lang.Elaborate.registry
+(** Build an elaboration registry from several functions of one
+    program: [(function-and-box name, input tuple, output variants)]
+    triples. *)

@@ -1,0 +1,474 @@
+module SMap = Map.Make (String)
+
+exception Type_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+type shp =
+  | SScalar
+  | SFixed of int list
+  | SRanked of int
+  | SAny
+
+type sty = {
+  kind : Sac_ast.elem_kind;
+  shp : shp;
+}
+
+let shp_to_string = function
+  | SScalar -> ""
+  | SFixed dims -> "[" ^ String.concat "," (List.map string_of_int dims) ^ "]"
+  | SRanked r -> "[" ^ String.concat "," (List.init r (fun _ -> ".")) ^ "]"
+  | SAny -> "[*]"
+
+let sty_to_string t = Sac_ast.elem_to_string t.kind ^ shp_to_string t.shp
+
+let rank_of = function
+  | SScalar -> Some 0
+  | SFixed dims -> Some (List.length dims)
+  | SRanked r -> Some r
+  | SAny -> None
+
+let join_shp a b =
+  match (a, b) with
+  | SScalar, SScalar -> SScalar
+  | SFixed x, SFixed y when x = y -> SFixed x
+  | _ -> (
+      match (rank_of a, rank_of b) with
+      | Some ra, Some rb when ra = rb -> SRanked ra
+      | _ -> SAny)
+
+let join a b =
+  if a.kind <> b.kind then
+    fail "conflicting element kinds %s and %s" (sty_to_string a)
+      (sty_to_string b)
+  else { kind = a.kind; shp = join_shp a.shp b.shp }
+
+let of_annotation (t : Sac_ast.sac_type) =
+  {
+    kind = t.Sac_ast.elem;
+    shp =
+      (match t.Sac_ast.shape_spec with
+      | Sac_ast.Scalar -> SScalar
+      | Sac_ast.Fixed dims -> SFixed dims
+      | Sac_ast.Ranked r -> SRanked r
+      | Sac_ast.Any -> SAny);
+  }
+
+let conforms t (annot : Sac_ast.sac_type) =
+  t.kind = annot.Sac_ast.elem
+  &&
+  match (annot.Sac_ast.shape_spec, t.shp) with
+  | Sac_ast.Any, _ -> true
+  | _, SAny -> true (* unknown conforms to anything *)
+  | Sac_ast.Scalar, SScalar -> true
+  | Sac_ast.Scalar, SFixed [] -> true
+  | Sac_ast.Scalar, _ -> false
+  | Sac_ast.Fixed dims, SFixed dims' -> dims = dims'
+  | Sac_ast.Fixed dims, SRanked r -> List.length dims = r
+  | Sac_ast.Fixed _, SScalar -> false
+  | Sac_ast.Ranked r, SFixed dims -> List.length dims = r
+  | Sac_ast.Ranked r, SRanked r' -> r = r'
+  | Sac_ast.Ranked _, SScalar -> false
+
+let is_scalar t = t.shp = SScalar || t.shp = SFixed []
+let maybe_scalar t = is_scalar t || rank_of t.shp = None
+
+let int_scalar = { kind = Sac_ast.KInt; shp = SScalar }
+let bool_scalar = { kind = Sac_ast.KBool; shp = SScalar }
+
+(* Element-wise combination with broadcasting: result shape. *)
+let broadcast_shp ctx a b =
+  match (is_scalar a, is_scalar b) with
+  | true, _ -> b.shp
+  | _, true -> a.shp
+  | false, false -> (
+      match (a.shp, b.shp) with
+      | SFixed x, SFixed y when x <> y ->
+          fail "%s: shapes %s and %s do not match" ctx (sty_to_string a)
+            (sty_to_string b)
+      | x, y -> (
+          match (rank_of x, rank_of y) with
+          | Some rx, Some ry when rx <> ry ->
+              fail "%s: ranks %d and %d do not match" ctx rx ry
+          | _ -> join_shp x y))
+
+(* The shape of an index-vector expression, and if the expression is a
+   literal vector of constants, its value. *)
+let static_vector = function
+  | Sac_ast.Vector_lit es ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | Sac_ast.Int_lit n :: rest -> go (n :: acc) rest
+        | _ -> None
+      in
+      go [] es
+  | _ -> None
+
+type fenv = {
+  funs : (string, Sac_ast.fundef) Hashtbl.t;
+}
+
+let builtin_result name args ctx =
+  let one () =
+    match args with
+    | [ a ] -> a
+    | _ -> fail "%s: %s expects one argument" ctx name
+  in
+  let two () =
+    match args with
+    | [ a; b ] -> (a, b)
+    | _ -> fail "%s: %s expects two arguments" ctx name
+  in
+  match name with
+  | "dim" ->
+      ignore (one ());
+      Some int_scalar
+  | "shape" ->
+      let a = one () in
+      Some
+        {
+          kind = Sac_ast.KInt;
+          shp =
+            (match rank_of a.shp with
+            | Some r -> SFixed [ r ]
+            | None -> SRanked 1);
+        }
+  | "abs" ->
+      let a = one () in
+      if a.kind <> Sac_ast.KInt then fail "%s: abs needs an integer" ctx;
+      Some a
+  | "min" | "max" ->
+      let a, b = two () in
+      if a.kind <> Sac_ast.KInt || b.kind <> Sac_ast.KInt then
+        fail "%s: %s needs integers" ctx name;
+      Some { kind = Sac_ast.KInt; shp = broadcast_shp ctx a b }
+  | "sum" ->
+      let a = one () in
+      if a.kind <> Sac_ast.KInt then fail "%s: sum needs an integer array" ctx;
+      Some int_scalar
+  | "any" | "all" ->
+      let a = one () in
+      if a.kind <> Sac_ast.KBool then
+        fail "%s: %s needs a boolean array" ctx name;
+      Some bool_scalar
+  | _ -> None
+
+let rec infer fenv env ctx (e : Sac_ast.expr) : sty =
+  match e with
+  | Int_lit _ -> int_scalar
+  | Bool_lit _ -> bool_scalar
+  | Vector_lit es ->
+      List.iter
+        (fun e ->
+          let t = infer fenv env ctx e in
+          if t.kind <> Sac_ast.KInt || not (maybe_scalar t) then
+            fail "%s: vector literals take integer scalars, got %s" ctx
+              (sty_to_string t))
+        es;
+      { kind = Sac_ast.KInt; shp = SFixed [ List.length es ] }
+  | Var v -> (
+      match SMap.find_opt v env with
+      | Some t -> t
+      | None -> fail "%s: unbound variable %s" ctx v)
+  | Neg e ->
+      let t = infer fenv env ctx e in
+      if t.kind <> Sac_ast.KInt then fail "%s: unary - needs an integer" ctx;
+      t
+  | Not e ->
+      let t = infer fenv env ctx e in
+      if t.kind <> Sac_ast.KBool then fail "%s: ! needs a boolean" ctx;
+      t
+  | Binop (op, a, b) -> (
+      let ta = infer fenv env ctx a in
+      let tb = infer fenv env ctx b in
+      let shp () = broadcast_shp ctx ta tb in
+      match op with
+      | Svalue.Add | Svalue.Sub | Svalue.Mul | Svalue.Div | Svalue.Mod
+      | Svalue.Min | Svalue.Max ->
+          if ta.kind <> Sac_ast.KInt || tb.kind <> Sac_ast.KInt then
+            fail "%s: %s needs integer operands, got %s and %s" ctx
+              (Svalue.binop_to_string op) (sty_to_string ta) (sty_to_string tb);
+          { kind = Sac_ast.KInt; shp = shp () }
+      | Svalue.Lt | Svalue.Le | Svalue.Gt | Svalue.Ge ->
+          if ta.kind <> Sac_ast.KInt || tb.kind <> Sac_ast.KInt then
+            fail "%s: comparison needs integer operands" ctx;
+          { kind = Sac_ast.KBool; shp = shp () }
+      | Svalue.Eq | Svalue.Ne ->
+          if ta.kind <> tb.kind then
+            fail "%s: %s compares values of one kind" ctx
+              (Svalue.binop_to_string op);
+          { kind = Sac_ast.KBool; shp = shp () }
+      | Svalue.And | Svalue.Or ->
+          if ta.kind <> Sac_ast.KBool || tb.kind <> Sac_ast.KBool then
+            fail "%s: %s needs boolean operands" ctx
+              (Svalue.binop_to_string op);
+          { kind = Sac_ast.KBool; shp = shp () })
+  | Select (a, idx) -> (
+      let ta = infer fenv env ctx a in
+      let index_count =
+        match idx with
+        | [ single ] -> (
+            let ti = infer fenv env ctx single in
+            if ti.kind <> Sac_ast.KInt then
+              fail "%s: selection index must be integer" ctx;
+            if is_scalar ti then Some 1
+            else
+              match ti.shp with
+              | SFixed [ n ] -> Some n
+              | _ -> None (* index vector of unknown length *))
+        | several ->
+            List.iter
+              (fun e ->
+                let t = infer fenv env ctx e in
+                if t.kind <> Sac_ast.KInt || not (maybe_scalar t) then
+                  fail "%s: selection indices must be integer scalars" ctx)
+              several;
+            Some (List.length several)
+      in
+      match (index_count, ta.shp) with
+      | Some k, SFixed dims ->
+          if k > List.length dims then
+            fail "%s: selecting %d axes from %s" ctx k (sty_to_string ta);
+          { ta with shp = (match List.filteri (fun i _ -> i >= k) dims with
+                          | [] -> SScalar
+                          | rest -> SFixed rest) }
+      | Some k, SRanked r ->
+          if k > r then fail "%s: selecting %d axes from rank %d" ctx k r;
+          { ta with shp = (if k = r then SScalar else SRanked (r - k)) }
+      | Some _, SScalar -> fail "%s: selecting from a scalar" ctx
+      | _, _ -> { ta with shp = SAny })
+  | Call (f, args) -> (
+      let targs = List.map (infer fenv env ctx) args in
+      match Hashtbl.find_opt fenv.funs f with
+      | Some fd -> (
+          check_call fenv ctx fd targs;
+          match fd.Sac_ast.return_types with
+          | [ rt ] -> of_annotation rt
+          | [] -> fail "%s: void function %s used in an expression" ctx f
+          | _ ->
+              fail "%s: function %s returns several values in expression context"
+                ctx f)
+      | None -> (
+          match builtin_result f targs ctx with
+          | Some t -> t
+          | None -> fail "%s: unknown function %s" ctx f))
+  | With_loop w -> infer_with fenv env ctx w
+
+and check_call _fenv ctx (fd : Sac_ast.fundef) targs =
+  if List.length targs <> List.length fd.Sac_ast.params then
+    fail "%s: %s expects %d arguments, got %d" ctx fd.Sac_ast.fun_name
+      (List.length fd.Sac_ast.params)
+      (List.length targs);
+  List.iter2
+    (fun (p : Sac_ast.param) t ->
+      if not (conforms t p.Sac_ast.param_type) then
+        fail "%s: argument %s of %s expects %s, got %s" ctx
+          p.Sac_ast.param_name fd.Sac_ast.fun_name
+          (Sac_ast.type_to_string p.Sac_ast.param_type)
+          (sty_to_string t))
+    fd.Sac_ast.params targs
+
+and infer_with fenv env ctx (w : Sac_ast.with_loop) =
+  (* Generators: bounds are integer vectors; the index variable has
+     their rank when statically known. *)
+  let generator_var_ty (g : Sac_ast.generator) =
+    let tl = infer fenv env ctx g.Sac_ast.lower in
+    let tu = infer fenv env ctx g.Sac_ast.upper in
+    if tl.kind <> Sac_ast.KInt || tu.kind <> Sac_ast.KInt then
+      fail "%s: generator bounds must be integer vectors" ctx;
+    let rank_bound t =
+      match t.shp with SFixed [ n ] -> Some n | _ -> None
+    in
+    match (rank_bound tl, rank_bound tu) with
+    | Some a, Some b when a <> b ->
+        fail "%s: generator bounds have lengths %d and %d" ctx a b
+    | Some n, _ | _, Some n -> { kind = Sac_ast.KInt; shp = SFixed [ n ] }
+    | None, None -> { kind = Sac_ast.KInt; shp = SRanked 1 }
+  in
+  let body_ty (g : Sac_ast.generator) =
+    let env = SMap.add g.Sac_ast.var (generator_var_ty g) env in
+    infer fenv env ctx g.Sac_ast.body
+  in
+  let check_bodies expected_kind =
+    List.iter
+      (fun g ->
+        let t = body_ty g in
+        if t.kind <> expected_kind then
+          fail "%s: with-loop body yields %s where %s is needed" ctx
+            (sty_to_string t)
+            (Sac_ast.elem_to_string expected_kind);
+        if not (maybe_scalar t) then
+          fail "%s: with-loop bodies must yield scalars, got %s" ctx
+            (sty_to_string t))
+      w.Sac_ast.generators
+  in
+  match w.Sac_ast.operation with
+  | Sac_ast.Genarray (shape_e, default_e) ->
+      let ts = infer fenv env ctx shape_e in
+      if ts.kind <> Sac_ast.KInt then
+        fail "%s: genarray shape must be an integer vector" ctx;
+      let td = infer fenv env ctx default_e in
+      if not (maybe_scalar td) then
+        fail "%s: genarray default must be a scalar" ctx;
+      check_bodies td.kind;
+      let shp =
+        match static_vector shape_e with
+        | Some dims when List.for_all (fun d -> d >= 0) dims -> SFixed dims
+        | _ -> (
+            match ts.shp with
+            | SFixed [ n ] -> SRanked n
+            | _ -> SAny)
+      in
+      { kind = td.kind; shp }
+  | Sac_ast.Modarray src ->
+      let tsrc = infer fenv env ctx src in
+      check_bodies tsrc.kind;
+      tsrc
+  | Sac_ast.Fold (op, neutral) ->
+      let tn = infer fenv env ctx neutral in
+      if not (maybe_scalar tn) then
+        fail "%s: fold neutral must be a scalar" ctx;
+      let expected =
+        match op with
+        | Svalue.And | Svalue.Or -> Sac_ast.KBool
+        | _ -> Sac_ast.KInt
+      in
+      if tn.kind <> expected then
+        fail "%s: fold(%s) needs a %s neutral" ctx
+          (Svalue.binop_to_string op)
+          (Sac_ast.elem_to_string expected);
+      check_bodies expected;
+      { kind = expected; shp = SScalar }
+
+(* Statement checking threads an environment; branches are joined. *)
+let rec check_block fenv env ctx stmts =
+  List.fold_left (fun env s -> check_stmt fenv env ctx s) env stmts
+
+and merge_envs ctx a b =
+  SMap.union
+    (fun name ta tb ->
+      if ta.kind <> tb.kind then
+        fail "%s: %s has kind %s in one branch and %s in the other" ctx name
+          (Sac_ast.elem_to_string ta.kind)
+          (Sac_ast.elem_to_string tb.kind)
+      else Some (join ta tb))
+    a b
+
+and check_stmt fenv env ctx (s : Sac_ast.stmt) =
+  match s with
+  | Assign ([ x ], e) -> SMap.add x (infer fenv env ctx e) env
+  | Assign (xs, Call (f, args)) -> (
+      let targs = List.map (infer fenv env ctx) args in
+      match Hashtbl.find_opt fenv.funs f with
+      | None -> fail "%s: unknown function %s" ctx f
+      | Some fd ->
+          check_call fenv ctx fd targs;
+          if List.length fd.Sac_ast.return_types <> List.length xs then
+            fail "%s: %s returns %d values for %d targets" ctx f
+              (List.length fd.Sac_ast.return_types)
+              (List.length xs);
+          List.fold_left2
+            (fun env x rt -> SMap.add x (of_annotation rt) env)
+            env xs fd.Sac_ast.return_types)
+  | Assign (_, _) ->
+      fail "%s: multiple assignment needs a function call" ctx
+  | Index_assign (x, idx, e) -> (
+      match SMap.find_opt x env with
+      | None -> fail "%s: unbound variable %s" ctx x
+      | Some tx ->
+          List.iter
+            (fun ie ->
+              let t = infer fenv env ctx ie in
+              if t.kind <> Sac_ast.KInt then
+                fail "%s: index into %s must be integer" ctx x)
+            idx;
+          let tv = infer fenv env ctx e in
+          if tv.kind <> tx.kind then
+            fail "%s: updating %s (%s) with %s" ctx x (sty_to_string tx)
+              (sty_to_string tv);
+          env)
+  | If (cond, then_, else_) ->
+      let tc = infer fenv env ctx cond in
+      if tc.kind <> Sac_ast.KBool || not (maybe_scalar tc) then
+        fail "%s: if condition must be a boolean scalar, got %s" ctx
+          (sty_to_string tc);
+      let env_t = check_block fenv env ctx then_ in
+      let env_e = check_block fenv env ctx else_ in
+      merge_envs ctx env_t env_e
+  | While (cond, body) ->
+      let tc = infer fenv env ctx cond in
+      if tc.kind <> Sac_ast.KBool || not (maybe_scalar tc) then
+        fail "%s: while condition must be a boolean scalar" ctx;
+      (* Two passes so assignments inside the loop reach the condition
+         and later iterations with their joined types. *)
+      let env' = merge_envs ctx env (check_block fenv env ctx body) in
+      ignore (check_block fenv env' ctx body);
+      env'
+  | For (init, cond, update, body) ->
+      let env = check_stmt fenv env ctx init in
+      let tc = infer fenv env ctx cond in
+      if tc.kind <> Sac_ast.KBool || not (maybe_scalar tc) then
+        fail "%s: for condition must be a boolean scalar" ctx;
+      let env' =
+        merge_envs ctx env
+          (check_stmt fenv (check_block fenv env ctx body) ctx update)
+      in
+      ignore (check_stmt fenv (check_block fenv env' ctx body) ctx update);
+      env'
+  | Return es ->
+      ignore (List.map (infer fenv env ctx) es);
+      env
+  | Snet_out (variant, args) ->
+      let tv = infer fenv env ctx variant in
+      if tv.kind <> Sac_ast.KInt || not (maybe_scalar tv) then
+        fail "%s: snet_out variant must be an integer scalar" ctx;
+      ignore (List.map (infer fenv env ctx) args);
+      env
+
+(* Collect every Return in a block (syntactically) to check arities. *)
+let rec returns_of block =
+  List.concat_map
+    (function
+      | Sac_ast.Return es -> [ es ]
+      | Sac_ast.If (_, t, e) -> returns_of t @ returns_of e
+      | Sac_ast.While (_, b) -> returns_of b
+      | Sac_ast.For (_, _, _, b) -> returns_of b
+      | _ -> [])
+    block
+
+let check_fundef fenv (fd : Sac_ast.fundef) =
+  let ctx = fd.Sac_ast.fun_name in
+  let env =
+    List.fold_left
+      (fun env (p : Sac_ast.param) ->
+        SMap.add p.Sac_ast.param_name (of_annotation p.Sac_ast.param_type) env)
+      SMap.empty fd.Sac_ast.params
+  in
+  List.iter
+    (fun es ->
+      if List.length es <> List.length fd.Sac_ast.return_types then
+        fail "%s: return of %d values, declared %d" ctx (List.length es)
+          (List.length fd.Sac_ast.return_types))
+    (returns_of fd.Sac_ast.body);
+  ignore (check_block fenv env ctx fd.Sac_ast.body)
+
+let check_program program =
+  let funs = Hashtbl.create 16 in
+  List.iter
+    (fun (fd : Sac_ast.fundef) ->
+      if Hashtbl.mem funs fd.Sac_ast.fun_name then
+        fail "duplicate function %s" fd.Sac_ast.fun_name;
+      Hashtbl.add funs fd.Sac_ast.fun_name fd)
+    program;
+  let fenv = { funs } in
+  List.iter (check_fundef fenv) program
+
+let infer_expr ~env ~program e =
+  let funs = Hashtbl.create 16 in
+  List.iter
+    (fun (fd : Sac_ast.fundef) -> Hashtbl.replace funs fd.Sac_ast.fun_name fd)
+    program;
+  infer { funs }
+    (List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty env)
+    "<expr>" e

@@ -1,0 +1,57 @@
+(** Static checking for mini-SaC.
+
+    SaC's array types form a hierarchy — fixed shape ([int\[3,7\]]),
+    fixed rank ([int\[.,.\]]), any rank ([int\[*\]]), with scalars as
+    rank-0 arrays — and the compiler checks element kinds and shape
+    conformance statically where it can. This module implements a
+    best-effort version of that discipline over the mini-SaC AST:
+
+    - element kinds (int/bool) are checked exactly: arithmetic needs
+      integers, logic needs booleans, comparisons yield booleans,
+      with-loop bodies must match their operation's element kind;
+    - shapes are tracked through the {!sty} lattice (fixed shape ⊑
+      fixed rank ⊑ any); conformance is checked when both sides are
+      known and assumed when either side is unknown, so the checker
+      never rejects a program for information it cannot have;
+    - scoping: unbound variables, unknown functions, call and return
+      arities, and assignment-target counts are rejected;
+    - branches are merged by joining types; a variable assigned in only
+      one branch keeps its type but may be refuted later by the
+      interpreter (documented divergence from full SaC, which requires
+      both branches to define it).
+
+    The checker accepts every paper listing shipped in {!Sac_sudoku}
+    and is run by default from {!Sac_interp.load}. *)
+
+exception Type_error of string
+
+(** Inferred static types. *)
+type shp =
+  | SScalar
+  | SFixed of int list
+  | SRanked of int
+  | SAny
+
+type sty = {
+  kind : Sac_ast.elem_kind;
+  shp : shp;
+}
+
+val sty_to_string : sty -> string
+
+val join_shp : shp -> shp -> shp
+(** Least upper bound in the shape lattice. *)
+
+val conforms : sty -> Sac_ast.sac_type -> bool
+(** Can a value of inferred type [sty] be passed where the annotation
+    demands [sac_type]? Unknown information conforms. *)
+
+val check_program : Sac_ast.program -> unit
+(** @raise Type_error naming the function and the offence. *)
+
+val infer_expr :
+  env:(string * sty) list ->
+  program:Sac_ast.program ->
+  Sac_ast.expr ->
+  sty
+(** Expression-level entry point used by tests and tooling. *)

@@ -1,0 +1,276 @@
+module SMap = Map.Make (String)
+module WL = Sacarray.With_loop
+module Nd = Sacarray.Nd
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type t = {
+  funs : (string, Sac_ast.fundef) Hashtbl.t;
+  order : string list;
+  pool : Scheduler.Pool.t option;
+}
+
+type emitter = int -> Svalue.t list -> unit
+
+exception Return_exc of Svalue.t list
+
+let of_program ?pool program =
+  let funs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Sac_ast.fundef) ->
+      if Hashtbl.mem funs f.Sac_ast.fun_name then
+        fail "duplicate function %s" f.Sac_ast.fun_name;
+      Hashtbl.add funs f.Sac_ast.fun_name f)
+    program;
+  { funs; order = List.map (fun f -> f.Sac_ast.fun_name) program; pool }
+
+let load ?pool ?(check = true) src =
+  let program = Sac_parser.parse_program src in
+  if check then Sac_check.check_program program;
+  of_program ?pool program
+
+let functions t = t.order
+let find_function t name = Hashtbl.find_opt t.funs name
+
+(* Environments are persistent maps held in a ref per activation:
+   statements rebind, with-loop bodies capture a read-only snapshot so
+   they can run on any domain. *)
+let lookup env name =
+  match SMap.find_opt name !env with
+  | Some v -> v
+  | None -> fail "unbound variable %s" name
+
+let protect_sac f =
+  try f () with Svalue.Sac_error msg -> raise (Runtime_error msg)
+
+(* Generator bounds: SaC normalises to lower <= iv < upper. *)
+let generator_range ~lower_incl ~upper_incl lower upper =
+  let lo = Svalue.to_index_vector lower in
+  let hi = Svalue.to_index_vector upper in
+  if Array.length lo <> Array.length hi then
+    fail "generator bounds have ranks %d and %d" (Array.length lo)
+      (Array.length hi);
+  let lo = if lower_incl then lo else Array.map (fun c -> c + 1) lo in
+  let hi = if upper_incl then Array.map (fun c -> c + 1) hi else hi in
+  WL.range lo hi
+
+let rec eval t env ~emit (e : Sac_ast.expr) : Svalue.t =
+  match e with
+  | Int_lit n -> Svalue.int n
+  | Bool_lit b -> Svalue.bool b
+  | Var v -> lookup env v
+  | Vector_lit es ->
+      let xs =
+        List.map (fun e -> protect_sac (fun () -> Svalue.to_int (eval t env ~emit e))) es
+      in
+      Svalue.vector xs
+  | Binop (op, a, b) ->
+      let va = eval t env ~emit a in
+      let vb = eval t env ~emit b in
+      protect_sac (fun () -> Svalue.apply_binop ?pool:t.pool op va vb)
+  | Neg e -> protect_sac (fun () -> Svalue.neg (eval t env ~emit e))
+  | Not e -> protect_sac (fun () -> Svalue.not_ (eval t env ~emit e))
+  | Select (a, idx) ->
+      let va = eval t env ~emit a in
+      let iv = eval_index t env ~emit idx in
+      protect_sac (fun () -> Svalue.select va iv)
+  | Call (f, args) -> (
+      let vargs = List.map (eval t env ~emit) args in
+      match call_function t ~emit f vargs with
+      | [ v ] -> v
+      | [] -> fail "function %s returns no value in expression context" f
+      | _ -> fail "function %s returns several values in expression context" f)
+  | With_loop w -> eval_with t env ~emit w
+
+(* An index list is either scalars [a\[i,j\]] or a single index vector
+   [a\[iv\]], as in the paper's code. *)
+and eval_index t env ~emit idx =
+  match idx with
+  | [ single ] -> (
+      let v = eval t env ~emit single in
+      protect_sac (fun () -> Svalue.to_index_vector v))
+  | several ->
+      Array.of_list
+        (List.map
+           (fun e -> protect_sac (fun () -> Svalue.to_int (eval t env ~emit e)))
+           several)
+
+and eval_with t env ~emit (w : Sac_ast.with_loop) =
+  let snapshot = !env in
+  let parts_for to_elem =
+    List.map
+      (fun (g : Sac_ast.generator) ->
+        let range =
+          generator_range ~lower_incl:g.lower_incl ~upper_incl:g.upper_incl
+            (eval t env ~emit g.lower) (eval t env ~emit g.upper)
+        in
+        let body iv =
+          let cell_env = ref (SMap.add g.var (Svalue.of_int_nd (Nd.of_array [| Array.length iv |] iv)) snapshot) in
+          to_elem (eval t cell_env ~emit g.body)
+        in
+        (range, body))
+      w.generators
+  in
+  protect_sac (fun () ->
+      match w.operation with
+      | Genarray (shape_e, default_e) -> (
+          let shape =
+            Svalue.to_index_vector (eval t env ~emit shape_e)
+          in
+          match eval t env ~emit default_e with
+          | Svalue.VInt d when Nd.is_scalar d ->
+              Svalue.of_int_nd
+                (WL.genarray ?pool:t.pool ~shape ~default:(Nd.get_scalar d)
+                   (parts_for Svalue.to_int))
+          | Svalue.VBool d when Nd.is_scalar d ->
+              Svalue.of_bool_nd
+                (WL.genarray ?pool:t.pool ~shape ~default:(Nd.get_scalar d)
+                   (parts_for Svalue.to_bool))
+          | v ->
+              fail "genarray default must be a scalar, got %s"
+                (Svalue.to_string v))
+      | Modarray src_e -> (
+          match eval t env ~emit src_e with
+          | Svalue.VInt src ->
+              Svalue.of_int_nd
+                (WL.modarray ?pool:t.pool src (parts_for Svalue.to_int))
+          | Svalue.VBool src ->
+              Svalue.of_bool_nd
+                (WL.modarray ?pool:t.pool src (parts_for Svalue.to_bool)))
+      | Fold (op, neutral_e) ->
+          let neutral = eval t env ~emit neutral_e in
+          let parts =
+            List.map
+              (fun (g : Sac_ast.generator) ->
+                let range =
+                  generator_range ~lower_incl:g.lower_incl
+                    ~upper_incl:g.upper_incl
+                    (eval t env ~emit g.lower) (eval t env ~emit g.upper)
+                in
+                let body iv =
+                  let cell_env =
+                    ref
+                      (SMap.add g.var
+                         (Svalue.of_int_nd (Nd.of_array [| Array.length iv |] iv))
+                         snapshot)
+                  in
+                  eval t cell_env ~emit g.body
+                in
+                (range, body))
+              w.generators
+          in
+          WL.fold ?pool:t.pool ~neutral
+            ~combine:(fun a b -> Svalue.apply_binop op a b)
+            parts)
+
+and call_function t ~emit name args =
+  match Hashtbl.find_opt t.funs name with
+  | Some f -> call_user t ~emit f args
+  | None -> builtin t name args
+
+and call_user t ~emit (f : Sac_ast.fundef) args =
+  if List.length args <> List.length f.params then
+    fail "function %s expects %d arguments, got %d" f.fun_name
+      (List.length f.params) (List.length args);
+  let env =
+    ref
+      (List.fold_left2
+         (fun m (p : Sac_ast.param) v -> SMap.add p.param_name v m)
+         SMap.empty f.params args)
+  in
+  match exec_block t env ~emit f.body with
+  | () -> []
+  | exception Return_exc vs ->
+      if
+        f.return_types <> []
+        && List.length vs <> List.length f.return_types
+      then
+        fail "function %s declares %d results but returns %d" f.fun_name
+          (List.length f.return_types) (List.length vs)
+      else vs
+
+and builtin t name args =
+  let one f =
+    match args with [ a ] -> f a | _ -> fail "%s expects one argument" name
+  in
+  let two f =
+    match args with
+    | [ a; b ] -> f a b
+    | _ -> fail "%s expects two arguments" name
+  in
+  protect_sac (fun () ->
+      match name with
+      | "dim" -> [ one Svalue.dim ]
+      | "shape" -> [ one Svalue.shape ]
+      | "abs" -> [ one Svalue.abs_ ]
+      | "min" -> [ two (Svalue.apply_binop ?pool:t.pool Svalue.Min) ]
+      | "max" -> [ two (Svalue.apply_binop ?pool:t.pool Svalue.Max) ]
+      | "sum" ->
+          [
+            one (fun v ->
+                Svalue.int (Sacarray.Builtins.sum ?pool:t.pool (Svalue.to_int_nd v)));
+          ]
+      | "any" ->
+          [
+            one (fun v ->
+                Svalue.bool (Sacarray.Builtins.any ?pool:t.pool (Svalue.to_bool_nd v)));
+          ]
+      | "all" ->
+          [
+            one (fun v ->
+                Svalue.bool (Sacarray.Builtins.all ?pool:t.pool (Svalue.to_bool_nd v)));
+          ]
+      | _ -> fail "unknown function %s" name)
+
+and exec_block t env ~emit stmts = List.iter (exec_stmt t env ~emit) stmts
+
+and exec_stmt t env ~emit (s : Sac_ast.stmt) =
+  match s with
+  | Assign ([ x ], e) -> env := SMap.add x (eval t env ~emit e) !env
+  | Assign (xs, Call (f, args)) ->
+      let vargs = List.map (eval t env ~emit) args in
+      let results = call_function t ~emit f vargs in
+      if List.length results <> List.length xs then
+        fail "%s returned %d values for %d targets" f (List.length results)
+          (List.length xs);
+      List.iter2 (fun x v -> env := SMap.add x v !env) xs results
+  | Assign (_, _) ->
+      fail "multiple assignment needs a function call on the right-hand side"
+  | Index_assign (x, idx, e) ->
+      let iv = eval_index t env ~emit idx in
+      let v = eval t env ~emit e in
+      let updated = protect_sac (fun () -> Svalue.update (lookup env x) iv v) in
+      env := SMap.add x updated !env
+  | If (cond, then_, else_) ->
+      let c = protect_sac (fun () -> Svalue.to_bool (eval t env ~emit cond)) in
+      exec_block t env ~emit (if c then then_ else else_)
+  | While (cond, body) ->
+      while protect_sac (fun () -> Svalue.to_bool (eval t env ~emit cond)) do
+        exec_block t env ~emit body
+      done
+  | For (init, cond, update, body) ->
+      exec_stmt t env ~emit init;
+      while protect_sac (fun () -> Svalue.to_bool (eval t env ~emit cond)) do
+        exec_block t env ~emit body;
+        exec_stmt t env ~emit update
+      done
+  | Return es -> raise (Return_exc (List.map (eval t env ~emit) es))
+  | Snet_out (variant_e, args) -> (
+      let variant =
+        protect_sac (fun () -> Svalue.to_int (eval t env ~emit variant_e))
+      in
+      let vargs = List.map (eval t env ~emit) args in
+      match emit with
+      | Some f -> f variant vargs
+      | None -> fail "snet_out outside of a box context")
+
+let call ?emit t name args =
+  match Hashtbl.find_opt t.funs name with
+  | None -> fail "unknown function %s" name
+  | Some f -> call_user t ~emit f args
+
+let eval_expr ?pool t e =
+  let t = { t with pool = (match pool with Some _ -> pool | None -> t.pool) } in
+  eval t (ref SMap.empty) ~emit:None e

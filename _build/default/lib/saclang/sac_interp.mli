@@ -1,0 +1,46 @@
+(** The mini-SaC evaluator.
+
+    Programs are interpreted with the state-based semantics of the
+    literally identical C code, which per the paper coincides with the
+    functional reading (assignment sequences as nested lets, branches
+    as conditionals, loops as tail recursion). With-loops execute on
+    {!Sacarray.With_loop} and are data-parallel when the interpreter
+    holds a pool. *)
+
+type t
+
+exception Runtime_error of string
+(** Wraps {!Svalue.Sac_error} and interpreter-level failures (unbound
+    variables, arity mismatches, unknown functions) with context. *)
+
+val load : ?pool:Scheduler.Pool.t -> ?check:bool -> string -> t
+(** Parse, statically check (unless [~check:false]) and index a
+    program.
+    @raise Sac_parser.Parse_error / {!Sac_lexer.Lex_error} on syntax
+    errors, {!Sac_check.Type_error} on static type errors,
+    [Runtime_error] on duplicate function names. *)
+
+val of_program : ?pool:Scheduler.Pool.t -> Sac_ast.program -> t
+
+val functions : t -> string list
+(** Defined function names, in definition order. *)
+
+val find_function : t -> string -> Sac_ast.fundef option
+
+type emitter = int -> Svalue.t list -> unit
+(** The [snet_out] hook: variant number (1-based) and argument
+    values. *)
+
+val call : ?emit:emitter -> t -> string -> Svalue.t list -> Svalue.t list
+(** [call t f args]: invoke a defined function. Returns the values of
+    its [return]; an emission-only ([void]) function returns [].
+    @raise Runtime_error on any dynamic failure, including
+    [snet_out] without an [emit] hook. *)
+
+val eval_expr : ?pool:Scheduler.Pool.t -> t -> Sac_ast.expr -> Svalue.t
+(** Evaluate a closed expression in the program's context (top-level
+    function calls allowed); used by tests and tooling. *)
+
+(** Built-in functions available to programs: [dim], [shape], [abs],
+    [min], [max] (binary), [sum], [any], [all] (documented extensions
+    over the paper's kernel). *)

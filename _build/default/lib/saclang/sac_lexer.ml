@@ -1,0 +1,212 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_INT
+  | KW_BOOL
+  | KW_TRUE
+  | KW_FALSE
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | KW_RETURN
+  | KW_WITH
+  | KW_GENARRAY
+  | KW_MODARRAY
+  | KW_FOLD
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | BARBAR | BANG
+  | PLUSPLUS
+  | EOF
+
+type position = {
+  line : int;
+  column : int;
+}
+
+exception Lex_error of position * string
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW_INT -> "'int'"
+  | KW_BOOL -> "'bool'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_FOR -> "'for'"
+  | KW_WHILE -> "'while'"
+  | KW_RETURN -> "'return'"
+  | KW_WITH -> "'with'"
+  | KW_GENARRAY -> "'genarray'"
+  | KW_MODARRAY -> "'modarray'"
+  | KW_FOLD -> "'fold'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | BARBAR -> "'||'"
+  | BANG -> "'!'"
+  | PLUSPLUS -> "'++'"
+  | EOF -> "end of input"
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "bool" -> Some KW_BOOL
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "for" -> Some KW_FOR
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | "with" -> Some KW_WITH
+  | "genarray" -> Some KW_GENARRAY
+  | "modarray" -> Some KW_MODARRAY
+  | "fold" -> Some KW_FOLD
+  | _ -> None
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;
+}
+
+let position st = { line = st.line; column = st.pos - st.bol + 1 }
+let error st msg = raise (Lex_error (position st, msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let read_while st p =
+  let start = st.pos in
+  while (match peek st with Some c when p c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let out = ref [] in
+  let emit tok pos = out := (tok, pos) :: !out in
+  let one tok =
+    let p = position st in
+    advance st;
+    emit tok p
+  in
+  let two tok =
+    let p = position st in
+    advance st;
+    advance st;
+    emit tok p
+  in
+  let rec loop () =
+    match peek st with
+    | None -> emit EOF (position st)
+    | Some c -> (
+        match (c, peek2 st) with
+        | (' ' | '\t' | '\r' | '\n'), _ ->
+            advance st;
+            loop ()
+        | '/', Some '/' ->
+            while (match peek st with Some c when c <> '\n' -> true | _ -> false) do
+              advance st
+            done;
+            loop ()
+        | '/', Some '*' ->
+            let opened = position st in
+            advance st;
+            advance st;
+            let rec skip () =
+              match (peek st, peek2 st) with
+              | Some '*', Some '/' ->
+                  advance st;
+                  advance st
+              | Some _, _ ->
+                  advance st;
+                  skip ()
+              | None, _ -> raise (Lex_error (opened, "unterminated comment"))
+            in
+            skip ();
+            loop ()
+        | '+', Some '+' -> two PLUSPLUS; loop ()
+        | '+', _ -> one PLUS; loop ()
+        | '-', _ -> one MINUS; loop ()
+        | '*', _ -> one STAR; loop ()
+        | '/', _ -> one SLASH; loop ()
+        | '%', _ -> one PERCENT; loop ()
+        | '=', Some '=' -> two EQ; loop ()
+        | '=', _ -> one ASSIGN; loop ()
+        | '!', Some '=' -> two NE; loop ()
+        | '!', _ -> one BANG; loop ()
+        | '<', Some '=' -> two LE; loop ()
+        | '<', _ -> one LT; loop ()
+        | '>', Some '=' -> two GE; loop ()
+        | '>', _ -> one GT; loop ()
+        | '&', Some '&' -> two ANDAND; loop ()
+        | '&', _ -> error st "unexpected '&'"
+        | '|', Some '|' -> two BARBAR; loop ()
+        | '|', _ -> error st "unexpected '|'"
+        | '{', _ -> one LBRACE; loop ()
+        | '}', _ -> one RBRACE; loop ()
+        | '(', _ -> one LPAREN; loop ()
+        | ')', _ -> one RPAREN; loop ()
+        | '[', _ -> one LBRACKET; loop ()
+        | ']', _ -> one RBRACKET; loop ()
+        | ',', _ -> one COMMA; loop ()
+        | ';', _ -> one SEMI; loop ()
+        | ':', _ -> one COLON; loop ()
+        | '.', _ -> one DOT; loop ()
+        | c, _ when is_digit c ->
+            let p = position st in
+            emit (INT (int_of_string (read_while st is_digit))) p;
+            loop ()
+        | c, _ when is_ident_start c ->
+            let p = position st in
+            let word = read_while st is_ident_char in
+            (match keyword word with
+            | Some kw -> emit kw p
+            | None -> emit (IDENT word) p);
+            loop ()
+        | c, _ -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  loop ();
+  List.rev !out

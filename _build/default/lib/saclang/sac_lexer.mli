@@ -1,0 +1,39 @@
+(** Lexer for mini-SaC's C-like surface syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_INT
+  | KW_BOOL
+  | KW_TRUE
+  | KW_FALSE
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | KW_RETURN
+  | KW_WITH
+  | KW_GENARRAY
+  | KW_MODARRAY
+  | KW_FOLD
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT
+  | ASSIGN  (** [=] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | BARBAR | BANG
+  | PLUSPLUS  (** [++] — for-loop increment sugar *)
+  | EOF
+
+type position = {
+  line : int;
+  column : int;
+}
+
+exception Lex_error of position * string
+
+val tokenize : string -> (token * position) list
+(** [//] and [/* ... */] comments are skipped.
+    @raise Lex_error on unexpected input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,482 @@
+open Sac_lexer
+
+exception Parse_error of Sac_lexer.position * string
+
+type state = {
+  tokens : (token * position) array;
+  mutable cursor : int;
+}
+
+let peek st = fst st.tokens.(st.cursor)
+let peek2 st =
+  if st.cursor + 1 < Array.length st.tokens then fst st.tokens.(st.cursor + 1)
+  else EOF
+
+let pos st = snd st.tokens.(st.cursor)
+let advance st =
+  if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let error st msg = raise (Parse_error (pos st, msg))
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s while parsing %s"
+         (token_to_string tok)
+         (token_to_string (peek st))
+         what)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st what =
+  match peek st with
+  | IDENT name ->
+      advance st;
+      name
+  | t ->
+      error st
+        (Printf.sprintf "expected identifier in %s, found %s" what
+           (token_to_string t))
+
+(* ---------- types ---------- *)
+
+let parse_type st : Sac_ast.sac_type =
+  let elem =
+    match peek st with
+    | KW_INT ->
+        advance st;
+        Sac_ast.KInt
+    | KW_BOOL ->
+        advance st;
+        Sac_ast.KBool
+    | t -> error st ("expected a type, found " ^ token_to_string t)
+  in
+  let shape_spec =
+    if accept st LBRACKET then begin
+      let spec =
+        match peek st with
+        | STAR ->
+            advance st;
+            Sac_ast.Any
+        | DOT ->
+            advance st;
+            let rank = ref 1 in
+            while accept st COMMA do
+              expect st DOT "ranked type";
+              incr rank
+            done;
+            Sac_ast.Ranked !rank
+        | INT n ->
+            advance st;
+            let dims = ref [ n ] in
+            while accept st COMMA do
+              match peek st with
+              | INT d ->
+                  advance st;
+                  dims := d :: !dims
+              | t -> error st ("expected a dimension, found " ^ token_to_string t)
+            done;
+            Sac_ast.Fixed (List.rev !dims)
+        | t -> error st ("expected a shape specifier, found " ^ token_to_string t)
+      in
+      expect st RBRACKET "type";
+      spec
+    end
+    else Sac_ast.Scalar
+  in
+  { Sac_ast.elem; shape_spec }
+
+let starts_type st = match peek st with KW_INT | KW_BOOL -> true | _ -> false
+
+(* ---------- expressions ---------- *)
+
+let fold_op st =
+  match peek st with
+  | PLUS ->
+      advance st;
+      Svalue.Add
+  | STAR ->
+      advance st;
+      Svalue.Mul
+  | ANDAND ->
+      advance st;
+      Svalue.And
+  | BARBAR ->
+      advance st;
+      Svalue.Or
+  | IDENT "min" ->
+      advance st;
+      Svalue.Min
+  | IDENT "max" ->
+      advance st;
+      Svalue.Max
+  | t -> error st ("expected a fold operator, found " ^ token_to_string t)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st BARBAR then Sac_ast.Binop (Svalue.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_equality st in
+  if accept st ANDAND then Sac_ast.Binop (Svalue.And, lhs, parse_and st)
+  else lhs
+
+and parse_equality st =
+  let lhs = parse_relational st in
+  match peek st with
+  | EQ ->
+      advance st;
+      Sac_ast.Binop (Svalue.Eq, lhs, parse_relational st)
+  | NE ->
+      advance st;
+      Sac_ast.Binop (Svalue.Ne, lhs, parse_relational st)
+  | _ -> lhs
+
+and parse_relational st =
+  let lhs = parse_additive st in
+  match peek st with
+  | LT ->
+      advance st;
+      Sac_ast.Binop (Svalue.Lt, lhs, parse_additive st)
+  | LE ->
+      advance st;
+      Sac_ast.Binop (Svalue.Le, lhs, parse_additive st)
+  | GT ->
+      advance st;
+      Sac_ast.Binop (Svalue.Gt, lhs, parse_additive st)
+  | GE ->
+      advance st;
+      Sac_ast.Binop (Svalue.Ge, lhs, parse_additive st)
+  | _ -> lhs
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec go lhs =
+    match peek st with
+    | PLUS ->
+        advance st;
+        go (Sac_ast.Binop (Svalue.Add, lhs, parse_multiplicative st))
+    | MINUS ->
+        advance st;
+        go (Sac_ast.Binop (Svalue.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec go lhs =
+    match peek st with
+    | STAR ->
+        advance st;
+        go (Sac_ast.Binop (Svalue.Mul, lhs, parse_unary st))
+    | SLASH ->
+        advance st;
+        go (Sac_ast.Binop (Svalue.Div, lhs, parse_unary st))
+    | PERCENT ->
+        advance st;
+        go (Sac_ast.Binop (Svalue.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+      advance st;
+      Sac_ast.Neg (parse_unary st)
+  | BANG ->
+      advance st;
+      Sac_ast.Not (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let atom = parse_primary st in
+  let rec go e =
+    if peek st = LBRACKET then begin
+      advance st;
+      let idx = parse_expr_list st RBRACKET in
+      expect st RBRACKET "selection";
+      go (Sac_ast.Select (e, idx))
+    end
+    else e
+  in
+  go atom
+
+and parse_expr_list st closing =
+  if peek st = closing then []
+  else begin
+    let first = parse_expr st in
+    let rec go acc =
+      if accept st COMMA then go (parse_expr st :: acc) else List.rev acc
+    in
+    go [ first ]
+  end
+
+and parse_primary st =
+  match peek st with
+  | INT n ->
+      advance st;
+      Sac_ast.Int_lit n
+  | KW_TRUE ->
+      advance st;
+      Sac_ast.Bool_lit true
+  | KW_FALSE ->
+      advance st;
+      Sac_ast.Bool_lit false
+  | LBRACKET ->
+      advance st;
+      let items = parse_expr_list st RBRACKET in
+      expect st RBRACKET "vector literal";
+      Sac_ast.Vector_lit items
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "parenthesised expression";
+      e
+  | KW_WITH -> Sac_ast.With_loop (parse_with st)
+  | IDENT name ->
+      advance st;
+      if accept st LPAREN then begin
+        let args = parse_expr_list st RPAREN in
+        expect st RPAREN "call";
+        Sac_ast.Call (name, args)
+      end
+      else Sac_ast.Var name
+  | t -> error st ("expected an expression, found " ^ token_to_string t)
+
+and parse_with st =
+  expect st KW_WITH "with-loop";
+  expect st LBRACE "with-loop";
+  let generators = ref [] in
+  while peek st = LPAREN do
+    advance st;
+    (* Bounds are additive expressions: the <= / < belong to the
+       generator syntax, not to the bound. *)
+    let lower = parse_additive st in
+    let lower_incl =
+      if accept st LE then true
+      else if accept st LT then false
+      else error st "expected <= or < after the lower bound"
+    in
+    let var = ident st "generator" in
+    let upper_incl =
+      if accept st LE then true
+      else if accept st LT then false
+      else error st "expected <= or < after the index variable"
+    in
+    let upper = parse_additive st in
+    expect st RPAREN "generator";
+    expect st COLON "generator";
+    let body = parse_expr st in
+    expect st SEMI "generator";
+    generators :=
+      { Sac_ast.lower; lower_incl; var; upper_incl; upper; body } :: !generators
+  done;
+  expect st RBRACE "with-loop";
+  expect st COLON "with-loop";
+  let operation =
+    match peek st with
+    | KW_GENARRAY ->
+        advance st;
+        expect st LPAREN "genarray";
+        let shp = parse_expr st in
+        expect st COMMA "genarray";
+        let default = parse_expr st in
+        expect st RPAREN "genarray";
+        Sac_ast.Genarray (shp, default)
+    | KW_MODARRAY ->
+        advance st;
+        expect st LPAREN "modarray";
+        let a = parse_expr st in
+        expect st RPAREN "modarray";
+        Sac_ast.Modarray a
+    | KW_FOLD ->
+        advance st;
+        expect st LPAREN "fold";
+        let op = fold_op st in
+        expect st COMMA "fold";
+        let neutral = parse_expr st in
+        expect st RPAREN "fold";
+        Sac_ast.Fold (op, neutral)
+    | t -> error st ("expected genarray/modarray/fold, found " ^ token_to_string t)
+  in
+  if !generators = [] then error st "with-loop needs at least one generator";
+  { Sac_ast.generators = List.rev !generators; operation }
+
+(* ---------- statements ---------- *)
+
+(* Simple assignments usable in for-loop headers: [x = e] and [x++]. *)
+let parse_simple_assign st =
+  let name = ident st "assignment" in
+  if accept st PLUSPLUS then
+    Sac_ast.Assign ([ name ], Sac_ast.Binop (Svalue.Add, Var name, Int_lit 1))
+  else begin
+    expect st ASSIGN "assignment";
+    Sac_ast.Assign ([ name ], parse_expr st)
+  end
+
+let rec parse_stmt st : Sac_ast.stmt =
+  match peek st with
+  | KW_IF ->
+      advance st;
+      expect st LPAREN "if";
+      let cond = parse_expr st in
+      expect st RPAREN "if";
+      let then_ = parse_block st in
+      let else_ =
+        if accept st KW_ELSE then
+          (* C-style else-if chains without braces. *)
+          if peek st = KW_IF then [ parse_stmt st ] else parse_block st
+        else []
+      in
+      Sac_ast.If (cond, then_, else_)
+  | KW_WHILE ->
+      advance st;
+      expect st LPAREN "while";
+      let cond = parse_expr st in
+      expect st RPAREN "while";
+      Sac_ast.While (cond, parse_block st)
+  | KW_FOR ->
+      advance st;
+      expect st LPAREN "for";
+      let init = parse_simple_assign st in
+      expect st SEMI "for";
+      let cond = parse_expr st in
+      expect st SEMI "for";
+      let update = parse_simple_assign st in
+      expect st RPAREN "for";
+      Sac_ast.For (init, cond, update, parse_block st)
+  | KW_RETURN ->
+      advance st;
+      let values =
+        if accept st LPAREN then begin
+          let es = parse_expr_list st RPAREN in
+          expect st RPAREN "return";
+          es
+        end
+        else []
+      in
+      expect st SEMI "return";
+      Sac_ast.Return values
+  | KW_INT | KW_BOOL ->
+      (* Typed local declaration; the type is documentation. *)
+      let _ty = parse_type st in
+      let name = ident st "declaration" in
+      expect st ASSIGN "declaration";
+      let e = parse_expr st in
+      expect st SEMI "declaration";
+      Sac_ast.Assign ([ name ], e)
+  | IDENT "snet_out" when peek2 st = LPAREN ->
+      advance st;
+      advance st;
+      let args = parse_expr_list st RPAREN in
+      expect st RPAREN "snet_out";
+      expect st SEMI "snet_out";
+      (match args with
+      | variant :: rest -> Sac_ast.Snet_out (variant, rest)
+      | [] -> error st "snet_out needs a variant number")
+  | IDENT _ -> (
+      match peek2 st with
+      | LBRACKET ->
+          let name = ident st "indexed assignment" in
+          expect st LBRACKET "indexed assignment";
+          let idx = parse_expr_list st RBRACKET in
+          expect st RBRACKET "indexed assignment";
+          expect st ASSIGN "indexed assignment";
+          let e = parse_expr st in
+          expect st SEMI "indexed assignment";
+          Sac_ast.Index_assign (name, idx, e)
+      | PLUSPLUS ->
+          let s = parse_simple_assign st in
+          expect st SEMI "increment";
+          s
+      | _ ->
+          let first = ident st "assignment" in
+          let targets = ref [ first ] in
+          while accept st COMMA do
+            targets := ident st "assignment" :: !targets
+          done;
+          expect st ASSIGN "assignment";
+          let e = parse_expr st in
+          expect st SEMI "assignment";
+          Sac_ast.Assign (List.rev !targets, e))
+  | t -> error st ("expected a statement, found " ^ token_to_string t)
+
+and parse_block st : Sac_ast.block =
+  expect st LBRACE "block";
+  let stmts = ref [] in
+  while peek st <> RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st RBRACE "block";
+  List.rev !stmts
+
+(* ---------- functions and programs ---------- *)
+
+let parse_fundef st : Sac_ast.fundef =
+  let return_types =
+    (* [void] for emission-only box functions, as in the paper's
+       solveOneLevel. *)
+    if peek st = IDENT "void" then begin
+      advance st;
+      ref []
+    end
+    else begin
+      let tys = ref [ parse_type st ] in
+      while accept st COMMA do
+        tys := parse_type st :: !tys
+      done;
+      tys
+    end
+  in
+  let fun_name = ident st "function definition" in
+  expect st LPAREN "function definition";
+  let params = ref [] in
+  if peek st <> RPAREN then begin
+    let param () =
+      let param_type = parse_type st in
+      let param_name = ident st "parameter" in
+      { Sac_ast.param_type; param_name }
+    in
+    params := [ param () ];
+    while accept st COMMA do
+      params := param () :: !params
+    done
+  end;
+  expect st RPAREN "function definition";
+  let body = parse_block st in
+  {
+    Sac_ast.fun_name;
+    return_types = List.rev !return_types;
+    params = List.rev !params;
+    body;
+  }
+
+let make_state src = { tokens = Array.of_list (tokenize src); cursor = 0 }
+
+let starts_fundef st = starts_type st || peek st = IDENT "void"
+
+let parse_program src =
+  let st = make_state src in
+  let funs = ref [] in
+  while starts_fundef st do
+    funs := parse_fundef st :: !funs
+  done;
+  expect st EOF "program";
+  if !funs = [] then error st "a program needs at least one function";
+  List.rev !funs
+
+let parse_expr_string src =
+  let st = make_state src in
+  let e = parse_expr st in
+  expect st EOF "expression";
+  e

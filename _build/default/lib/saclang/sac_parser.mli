@@ -1,0 +1,33 @@
+(** Recursive-descent parser for mini-SaC.
+
+    The accepted grammar covers the paper's Section 2 and 3 listings:
+
+    {v
+    int[*], bool[*] addNumber(int i, int j, int k,
+                              int[*] board, bool[*] opts)
+    {
+      board[i, j] = k;
+      k = k - 1;
+      is = (i / 3) * 3;
+      js = (j / 3) * 3;
+      opts = with {
+        ([i,j,0]   <= iv <= [i,j,8])  : false;
+        ([i,0,k]   <= iv <= [i,8,k])  : false;
+        ([0,j,k]   <= iv <= [8,j,k])  : false;
+        ([is,js,k] <= iv <= [is+2,js+2,k]) : false;
+      } : modarray(opts);
+      return (board, opts);
+    }
+    v}
+
+    C-style [if]/[else], [while], [for] (with [i++] sugar), multiple
+    assignment from multi-result calls, [snet_out(...)] statements, and
+    with-loops with [genarray]/[modarray]/[fold] operators. Local
+    declarations may carry a type ([int x = ...]) or not ([x = ...]);
+    types are kept for documentation, element kinds are checked
+    dynamically. *)
+
+exception Parse_error of Sac_lexer.position * string
+
+val parse_program : string -> Sac_ast.program
+val parse_expr_string : string -> Sac_ast.expr

@@ -1,0 +1,62 @@
+let print_expr = Sac_ast.expr_to_string
+
+let pad n = String.make n ' '
+
+let rec print_stmt ?(indent = 0) (s : Sac_ast.stmt) =
+  let ind = pad indent in
+  match s with
+  | Assign (xs, e) ->
+      Printf.sprintf "%s%s = %s;" ind (String.concat ", " xs) (print_expr e)
+  | Index_assign (x, idx, e) ->
+      Printf.sprintf "%s%s[%s] = %s;" ind x
+        (String.concat ", " (List.map print_expr idx))
+        (print_expr e)
+  | If (cond, then_, []) ->
+      Printf.sprintf "%sif (%s) %s" ind (print_expr cond)
+        (print_block ~indent then_)
+  | If (cond, then_, else_) ->
+      Printf.sprintf "%sif (%s) %s else %s" ind (print_expr cond)
+        (print_block ~indent then_) (print_block ~indent else_)
+  | While (cond, body) ->
+      Printf.sprintf "%swhile (%s) %s" ind (print_expr cond)
+        (print_block ~indent body)
+  | For (init, cond, update, body) ->
+      Printf.sprintf "%sfor (%s %s; %s) %s" ind
+        (String.trim (print_stmt init))
+        (print_expr cond)
+        (let u = String.trim (print_stmt update) in
+         String.sub u 0 (String.length u - 1) (* drop the ';' *))
+        (print_block ~indent body)
+  | Return es ->
+      Printf.sprintf "%sreturn (%s);" ind
+        (String.concat ", " (List.map print_expr es))
+  | Snet_out (variant, args) ->
+      Printf.sprintf "%ssnet_out(%s%s);" ind (print_expr variant)
+        (String.concat "" (List.map (fun e -> ", " ^ print_expr e) args))
+
+and print_block ~indent stmts =
+  if stmts = [] then "{ }"
+  else
+    Printf.sprintf "{\n%s\n%s}"
+      (String.concat "\n"
+         (List.map (print_stmt ~indent:(indent + 2)) stmts))
+      (pad indent)
+
+let print_fundef (f : Sac_ast.fundef) =
+  let rets =
+    match f.Sac_ast.return_types with
+    | [] -> "void"
+    | tys -> String.concat ", " (List.map Sac_ast.type_to_string tys)
+  in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (p : Sac_ast.param) ->
+           Sac_ast.type_to_string p.Sac_ast.param_type ^ " " ^ p.Sac_ast.param_name)
+         f.Sac_ast.params)
+  in
+  Printf.sprintf "%s %s(%s)\n%s" rets f.Sac_ast.fun_name params
+    (print_block ~indent:0 f.Sac_ast.body)
+
+let print_program program =
+  String.concat "\n\n" (List.map print_fundef program) ^ "\n"

@@ -1,0 +1,12 @@
+(** Pretty-printing mini-SaC back to concrete syntax.
+
+    The printer produces parseable source: for every program [p],
+    [parse (print p)] is structurally identical to [p] (a qcheck
+    property over the shipped sources plus hand-written corpora in
+    [test/test_sac_check.ml]). Used by tooling ([sacrun --list]) and
+    for golden tests. *)
+
+val print_expr : Sac_ast.expr -> string
+val print_stmt : ?indent:int -> Sac_ast.stmt -> string
+val print_fundef : Sac_ast.fundef -> string
+val print_program : Sac_ast.program -> string

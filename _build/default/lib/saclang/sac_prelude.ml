@@ -1,0 +1,71 @@
+let source =
+  {|
+// The mini-SaC prelude: array operations as with-loop library code,
+// in the style the paper demonstrates for ++ (Section 2). Vector
+// (rank-1) variants; see Sacarray.Builtins for the native rank-
+// general versions.
+
+int[*] iota(int n)
+{
+  return (with { ([0] <= iv < [n]) : iv[0]; } : genarray([n], 0));
+}
+
+int[*] concat(int[*] a, int[*] b)
+{
+  rshp = shape(a) + shape(b);
+  res = with { ([0] <= iv < shape(a)) : a[iv];
+               (shape(a) <= iv < rshp) : b[iv - shape(a)];
+             } : genarray(rshp, 0);
+  return (res);
+}
+
+int[*] take(int n, int[*] a)
+{
+  return (with { ([0] <= iv < [n]) : a[iv]; } : genarray([n], 0));
+}
+
+int[*] drop(int n, int[*] a)
+{
+  rest = shape(a) - [n];
+  return (with { ([0] <= iv < rest) : a[iv + [n]]; } : genarray(rest, 0));
+}
+
+int[*] reverse(int[*] a)
+{
+  last = shape(a)[0] - 1;
+  return (with { ([0] <= iv < shape(a)) : a[last - iv[0]]; }
+          : genarray(shape(a), 0));
+}
+
+int[*] rotate(int r, int[*] a)
+{
+  n = shape(a)[0];
+  r = ((r % n) + n) % n;
+  return (with { ([0] <= iv < shape(a)) : a[((iv[0] - r) % n + n) % n]; }
+          : genarray(shape(a), 0));
+}
+
+int count_eq(int v, int[*] a)
+{
+  c = 0;
+  n = shape(a)[0];
+  for (i = 0; i < n; i++) {
+    if (a[i] == v) { c = c + 1; }
+  }
+  return (c);
+}
+
+int maxval(int[*] a)
+{
+  return (with { ([0] <= iv < shape(a)) : a[iv]; } : fold(max, a[0]));
+}
+
+int minval(int[*] a)
+{
+  return (with { ([0] <= iv < shape(a)) : a[iv]; } : fold(min, a[0]));
+}
+|}
+
+let with_prelude user = source ^ "\n" ^ user
+
+let program () = Sac_interp.load source

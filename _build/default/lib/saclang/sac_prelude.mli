@@ -1,0 +1,18 @@
+(** A small standard library written {e in} mini-SaC.
+
+    SaC ships its array operations as library code built from
+    with-loops (the paper demonstrates the technique on [++]); this
+    prelude does the same for the mini-SaC interpreter: concatenation,
+    take/drop, reverse, rotate, iota, element counting. Load it behind
+    a program with {!with_prelude}, or access the combined source
+    directly. The test suite checks every function against the native
+    {!Sacarray.Builtins} implementation. *)
+
+val source : string
+
+val with_prelude : string -> string
+(** [with_prelude user_source]: the prelude followed by the user's
+    program, ready for {!Sac_interp.load}. *)
+
+val program : unit -> Sac_interp.t
+(** The prelude alone, loaded. *)

@@ -1,0 +1,177 @@
+let source =
+  {|
+// Section 3 of the paper, in mini-SaC. Boards are 9x9 as in the
+// paper; opts[i,j,k] is true while number k+1 is still possible at
+// position (i,j).
+
+int[*], bool[*] addNumber(int i, int j, int k,
+                          int[*] board, bool[*] opts)
+{
+  board[i, j] = k;
+  k = k - 1;
+  is = (i / 3) * 3;
+  js = (j / 3) * 3;
+  opts = with {
+    ([i, j, 0]   <= iv <= [i, j, 8])           : false;
+    ([i, 0, k]   <= iv <= [i, 8, k])           : false;
+    ([0, j, k]   <= iv <= [8, j, k])           : false;
+    ([is, js, k] <= iv <= [is + 2, js + 2, k]) : false;
+  } : modarray(opts);
+  return (board, opts);
+}
+
+bool isCompleted(int[*] board)
+{
+  return (with { ([0, 0] <= iv < [9, 9]) : board[iv] != 0; }
+          : fold(&&, true));
+}
+
+bool isStuck(int[*] board, bool[*] opts)
+{
+  return (with {
+            ([0, 0] <= iv < [9, 9]) :
+              board[iv] == 0 &&
+              !(with { ([0] <= kv < [9]) : opts[iv[0], iv[1], kv[0]]; }
+                : fold(||, false));
+          } : fold(||, false));
+}
+
+// The paper's improved heuristic: a free position with a minimum
+// number of options left.
+int, int findMinTrues(int[*] board, bool[*] opts)
+{
+  bi = 0;
+  bj = 0;
+  bc = 10;
+  for (i = 0; i < 9; i++) {
+    for (j = 0; j < 9; j++) {
+      if (board[i, j] == 0) {
+        c = 0;
+        for (k = 0; k < 9; k++) {
+          if (opts[i, j, k]) { c = c + 1; }
+        }
+        if (c < bc) { bc = c; bi = i; bj = j; }
+      }
+    }
+  }
+  return (bi, bj);
+}
+
+// box computeOpts ((board) -> (board, opts))
+void computeOpts(int[*] board)
+{
+  opts = with { ([0, 0, 0] <= iv < [9, 9, 9]) : true; }
+         : genarray([9, 9, 9], true);
+  for (i = 0; i < 9; i++) {
+    for (j = 0; j < 9; j++) {
+      if (board[i, j] != 0) {
+        board, opts = addNumber(i, j, board[i, j], board, opts);
+      }
+    }
+  }
+  snet_out(1, board, opts);
+}
+
+// box solveOneLevel ((board, opts) -> (board, opts) | (board, <done>))
+// Figure 1, with the text's semantics: completed boards leave on the
+// <done> variant.
+void solveOneLevel(int[*] board, bool[*] opts)
+{
+  if (isCompleted(board)) { snet_out(2, board, 1); }
+  else {
+    if (!isStuck(board, opts)) {
+      i, j = findMinTrues(board, opts);
+      mem_board = board;
+      mem_opts = opts;
+      go = true;
+      for (k = 1; k <= 9; k++) {
+        if (go && mem_opts[i, j, k - 1]) {
+          board, opts = addNumber(i, j, k, mem_board, mem_opts);
+          if (isCompleted(board)) { snet_out(2, board, 1); go = false; }
+          else { snet_out(1, board, opts); }
+        }
+      }
+    }
+  }
+}
+
+// box solveOneLevelK ((board, opts) -> (board, opts, <k>) | (board, <done>))
+// Figure 2: children additionally carry <k> for the parallel
+// replicator.
+void solveOneLevelK(int[*] board, bool[*] opts)
+{
+  if (isCompleted(board)) { snet_out(2, board, 1); }
+  else {
+    if (!isStuck(board, opts)) {
+      i, j = findMinTrues(board, opts);
+      mem_board = board;
+      mem_opts = opts;
+      go = true;
+      for (k = 1; k <= 9; k++) {
+        if (go && mem_opts[i, j, k - 1]) {
+          board, opts = addNumber(i, j, k, mem_board, mem_opts);
+          if (isCompleted(board)) { snet_out(2, board, 1); go = false; }
+          else { snet_out(1, board, opts, k); }
+        }
+      }
+    }
+  }
+}
+|}
+
+let fig1_snet =
+  {|
+  // Figure 1: the serial replicator turns the recursion into a
+  // pipeline.
+  net sudoku
+  {
+    box computeOpts ((board) -> (board, opts));
+    box solveOneLevel ((board, opts) -> (board, opts) | (board, <done>));
+  } connect computeOpts .. (solveOneLevel ** {<done>});
+|}
+
+let fig2_snet =
+  {|
+  // Figure 2: full unfolding with the parallel replicator.
+  net sudoku
+  {
+    box computeOpts ((board) -> (board, opts));
+    box solveOneLevelK ((board, opts) -> (board, opts, <k>) | (board, <done>));
+  } connect computeOpts .. [{} -> {<k>=1}] .. ((solveOneLevelK !! <k>) ** {<done>});
+|}
+
+let program () = Sac_interp.load source
+
+let registry ?pool () =
+  let prog = Sac_interp.load ?pool source in
+  Sac_box.registry_of_program prog
+    [
+      ("computeOpts", [ Snet.Box.F "board" ], [ [ Snet.Box.F "board"; Snet.Box.F "opts" ] ]);
+      ( "solveOneLevel",
+        [ Snet.Box.F "board"; Snet.Box.F "opts" ],
+        [
+          [ Snet.Box.F "board"; Snet.Box.F "opts" ];
+          [ Snet.Box.F "board"; Snet.Box.T "done" ];
+        ] );
+      ( "solveOneLevelK",
+        [ Snet.Box.F "board"; Snet.Box.F "opts" ],
+        [
+          [ Snet.Box.F "board"; Snet.Box.F "opts"; Snet.Box.T "k" ];
+          [ Snet.Box.F "board"; Snet.Box.T "done" ];
+        ] );
+    ]
+
+let inject_board board =
+  Snet.Record.of_list
+    ~fields:[ ("board", Sac_box.field_of_value (Svalue.of_int_nd board)) ]
+    ~tags:[]
+
+let board_of_record r =
+  match Snet.Record.field "board" r with
+  | None -> invalid_arg "Sac_sudoku: record lacks a board field"
+  | Some f -> (
+      match Sac_box.value_of_field f with
+      | Svalue.VInt b -> b
+      | Svalue.VBool _ -> invalid_arg "Sac_sudoku: board is not an integer array"
+      | exception Invalid_argument _ ->
+          invalid_arg "Sac_sudoku: board is not a SaC value")

@@ -1,0 +1,41 @@
+(** The paper's sudoku kernel written in mini-SaC source text.
+
+    This is the complete two-layer setup of the paper with {e both}
+    layers as programs: the computation layer below is Section 3's SaC
+    code (generalised only in style, fixed to 9×9 boards as in the
+    paper), and {!fig1_snet}/{!fig2_snet} are the Section 5
+    coordination programs. {!registry} wires the SaC functions to the
+    S-Net box names, so
+
+    {[
+      let net =
+        Snet_lang.Elaborate.elaborate
+          (Sac_sudoku.registry ())
+          (Snet_lang.Parser.parse_string Sac_sudoku.fig2_snet)
+    ]}
+
+    is the paper's hybrid solver, end to end from source. *)
+
+val source : string
+(** [addNumber], [isCompleted], [isStuck], [findMinTrues],
+    [computeOpts], [solveOneLevel] and [solveOneLevelK] in mini-SaC. *)
+
+val program : unit -> Sac_interp.t
+(** {!source}, loaded. *)
+
+val fig1_snet : string
+(** The Figure 1 coordination program (S-Net source). *)
+
+val fig2_snet : string
+(** The Figure 2 coordination program (S-Net source). *)
+
+val registry : ?pool:Scheduler.Pool.t -> unit -> Snet_lang.Elaborate.registry
+(** Box implementations for [computeOpts], [solveOneLevel] and
+    [solveOneLevelK], interpreted from {!source}. *)
+
+val inject_board : int Sacarray.Nd.t -> Snet.Record.t
+(** A [{board}] input record carrying the board as a SaC value. *)
+
+val board_of_record : Snet.Record.t -> int Sacarray.Nd.t
+(** Project the [board] field of an output record.
+    @raise Invalid_argument if absent or not a SaC integer array. *)

@@ -1,0 +1,169 @@
+module Nd = Sacarray.Nd
+module B = Sacarray.Builtins
+
+type t =
+  | VInt of int Nd.t
+  | VBool of bool Nd.t
+
+exception Sac_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sac_error s)) fmt
+
+let int n = VInt (Nd.scalar n)
+let bool b = VBool (Nd.scalar b)
+let vector xs = VInt (Nd.vector xs)
+let of_int_nd a = VInt a
+let of_bool_nd a = VBool a
+
+let kind_name = function VInt _ -> "int" | VBool _ -> "bool"
+
+let shape_of = function VInt a -> Nd.shape a | VBool a -> Nd.shape a
+let rank v = Array.length (shape_of v)
+
+let to_int = function
+  | VInt a when Nd.is_scalar a -> Nd.get_scalar a
+  | v -> fail "expected an integer scalar, got %s %s" (kind_name v)
+           (Sacarray.Shape.to_string (shape_of v))
+
+let to_bool = function
+  | VBool a when Nd.is_scalar a -> Nd.get_scalar a
+  | v -> fail "expected a boolean scalar, got %s %s" (kind_name v)
+           (Sacarray.Shape.to_string (shape_of v))
+
+let to_int_nd = function
+  | VInt a -> a
+  | VBool _ -> fail "expected an integer array, got a boolean one"
+
+let to_bool_nd = function
+  | VBool a -> a
+  | VInt _ -> fail "expected a boolean array, got an integer one"
+
+let to_index_vector = function
+  | VInt a when Nd.dim a = 1 -> Nd.to_flat_array a
+  | VInt a when Nd.is_scalar a -> [| Nd.get_scalar a |]
+  | v -> fail "expected an index vector, got %s %s" (kind_name v)
+           (Sacarray.Shape.to_string (shape_of v))
+
+let dim v = int (rank v)
+let shape v = VInt (Nd.of_array [| rank v |] (shape_of v))
+
+let select v iv =
+  let sel (type a) (a : a Nd.t) (wrap : a Nd.t -> t) =
+    if Array.length iv > Nd.dim a then
+      fail "selection rank %d exceeds array rank %d" (Array.length iv) (Nd.dim a);
+    match Nd.sel a iv with
+    | sub -> wrap sub
+    | exception Invalid_argument msg -> fail "selection: %s" msg
+  in
+  match v with
+  | VInt a -> sel a (fun x -> VInt x)
+  | VBool a -> sel a (fun x -> VBool x)
+
+let update v iv x =
+  match (v, x) with
+  | VInt a, VInt s when Nd.is_scalar s -> (
+      match Nd.set a iv (Nd.get_scalar s) with
+      | a -> VInt a
+      | exception Invalid_argument msg -> fail "update: %s" msg)
+  | VBool a, VBool s when Nd.is_scalar s -> (
+      match Nd.set a iv (Nd.get_scalar s) with
+      | a -> VBool a
+      | exception Invalid_argument msg -> fail "update: %s" msg)
+  | _ ->
+      fail "update: array of %s updated with %s" (kind_name v) (kind_name x)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Min | Max
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Min -> "min" | Max -> "max"
+
+(* Element-wise combination with scalar broadcasting on either side. *)
+let broadcast ?pool (f : 'a -> 'a -> 'b) (a : 'a Nd.t) (b : 'a Nd.t) : 'b Nd.t =
+  if Nd.is_scalar a && not (Nd.is_scalar b) then begin
+    let x = Nd.get_scalar a in
+    B.map ?pool (fun y -> f x y) b
+  end
+  else if Nd.is_scalar b && not (Nd.is_scalar a) then begin
+    let y = Nd.get_scalar b in
+    B.map ?pool (fun x -> f x y) a
+  end
+  else
+    match B.zipwith ?pool f a b with
+    | r -> r
+    | exception Invalid_argument msg -> fail "shape mismatch: %s" msg
+
+let arith ?pool name f a b =
+  match (a, b) with
+  | VInt x, VInt y -> VInt (broadcast ?pool f x y)
+  | _ -> fail "%s needs integer operands (%s, %s)" name (kind_name a) (kind_name b)
+
+let compare_int ?pool f a b =
+  match (a, b) with
+  | VInt x, VInt y -> VBool (broadcast ?pool f x y)
+  | _ -> fail "comparison needs integer operands (%s, %s)" (kind_name a) (kind_name b)
+
+let logic ?pool name f a b =
+  match (a, b) with
+  | VBool x, VBool y -> VBool (broadcast ?pool f x y)
+  | _ -> fail "%s needs boolean operands (%s, %s)" name (kind_name a) (kind_name b)
+
+let checked_div a b =
+  if b = 0 then fail "division by zero" else a / b
+
+let checked_mod a b =
+  if b = 0 then fail "modulo by zero" else a mod b
+
+let apply_binop ?pool op a b =
+  match op with
+  | Add -> arith ?pool "+" ( + ) a b
+  | Sub -> arith ?pool "-" ( - ) a b
+  | Mul -> arith ?pool "*" ( * ) a b
+  | Div -> arith ?pool "/" checked_div a b
+  | Mod -> arith ?pool "%" checked_mod a b
+  | Min -> arith ?pool "min" min a b
+  | Max -> arith ?pool "max" max a b
+  | Lt -> compare_int ?pool ( < ) a b
+  | Le -> compare_int ?pool ( <= ) a b
+  | Gt -> compare_int ?pool ( > ) a b
+  | Ge -> compare_int ?pool ( >= ) a b
+  | And -> logic ?pool "&&" ( && ) a b
+  | Or -> logic ?pool "||" ( || ) a b
+  | Eq -> (
+      match (a, b) with
+      | VInt x, VInt y -> VBool (broadcast ?pool Int.equal x y)
+      | VBool x, VBool y -> VBool (broadcast ?pool Bool.equal x y)
+      | _ -> fail "== needs operands of one kind (%s, %s)" (kind_name a) (kind_name b))
+  | Ne -> (
+      match (a, b) with
+      | VInt x, VInt y -> VBool (broadcast ?pool (fun p q -> p <> q) x y)
+      | VBool x, VBool y -> VBool (broadcast ?pool (fun p q -> p <> q) x y)
+      | _ -> fail "!= needs operands of one kind (%s, %s)" (kind_name a) (kind_name b))
+
+let neg = function
+  | VInt a -> VInt (Nd.map (fun x -> -x) a)
+  | VBool _ -> fail "unary - needs an integer operand"
+
+let not_ = function
+  | VBool a -> VBool (Nd.map not a)
+  | VInt _ -> fail "! needs a boolean operand"
+
+let abs_ = function
+  | VInt a -> VInt (Nd.map abs a)
+  | VBool _ -> fail "abs needs an integer operand"
+
+let equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> Nd.equal Int.equal x y
+  | VBool x, VBool y -> Nd.equal Bool.equal x y
+  | _ -> false
+
+let to_string = function
+  | VInt a -> Nd.to_string string_of_int a
+  | VBool a -> Nd.to_string (fun b -> if b then "true" else "false") a

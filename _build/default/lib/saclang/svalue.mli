@@ -1,0 +1,81 @@
+(** Values of the mini-SaC interpreter.
+
+    Everything is an n-dimensional stateless array ({!Sacarray.Nd}) of
+    integers or booleans; scalars are rank-0 arrays, exactly as in SaC.
+    Operations implement SaC's element-wise semantics with
+    scalar-with-array broadcasting. *)
+
+type t =
+  | VInt of int Sacarray.Nd.t
+  | VBool of bool Sacarray.Nd.t
+
+exception Sac_error of string
+(** Any dynamic failure of a mini-SaC program: shape mismatch, kind
+    mismatch, out-of-bounds selection, division by zero, ... *)
+
+val int : int -> t
+(** An integer scalar. *)
+
+val bool : bool -> t
+
+val vector : int list -> t
+(** A rank-1 integer array. *)
+
+val of_int_nd : int Sacarray.Nd.t -> t
+val of_bool_nd : bool Sacarray.Nd.t -> t
+
+val to_int : t -> int
+(** @raise Sac_error unless an integer scalar. *)
+
+val to_bool : t -> bool
+(** @raise Sac_error unless a boolean scalar. *)
+
+val to_int_nd : t -> int Sacarray.Nd.t
+(** @raise Sac_error on boolean values. *)
+
+val to_bool_nd : t -> bool Sacarray.Nd.t
+
+val to_index_vector : t -> int array
+(** Interpret as an index vector: a rank-1 integer array (or an
+    integer scalar, treated as a 1-element vector).
+    @raise Sac_error otherwise. *)
+
+val dim : t -> t
+(** SaC's [dim]: the rank, as an integer scalar. *)
+
+val shape : t -> t
+(** SaC's [shape]: the shape vector. *)
+
+val select : t -> int array -> t
+(** SaC selection [a\[iv\]]: prefix selection; a full-rank index yields
+    a scalar. @raise Sac_error out of bounds. *)
+
+val update : t -> int array -> t -> t
+(** Functional element update [a with \[iv\] = v]; [v] must be a scalar
+    of the array's kind. *)
+
+(** {1 Operators} *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Min | Max
+
+val binop_to_string : binop -> string
+
+val apply_binop : ?pool:Scheduler.Pool.t -> binop -> t -> t -> t
+(** Element-wise with scalar broadcasting on either side. Arithmetic
+    needs integers, logic needs booleans, comparisons yield booleans
+    ([Eq]/[Ne] work on both kinds).
+    @raise Sac_error on kind or shape mismatch, division by zero. *)
+
+val neg : t -> t
+val not_ : t -> t
+val abs_ : t -> t
+
+val equal : t -> t -> bool
+(** Structural equality (same kind, shape and elements). *)
+
+val kind_name : t -> string
+val to_string : t -> string

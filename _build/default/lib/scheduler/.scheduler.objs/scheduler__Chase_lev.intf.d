@@ -1,0 +1,1 @@
+lib/scheduler/chase_lev.mli:

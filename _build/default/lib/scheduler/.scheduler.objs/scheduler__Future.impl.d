@@ -1,0 +1,1 @@
+lib/scheduler/future.ml: Condition Mutex

@@ -1,0 +1,1 @@
+lib/scheduler/pool.ml: Array Atomic Condition Domain Future List Mutex Printexc Printf Queue Sync

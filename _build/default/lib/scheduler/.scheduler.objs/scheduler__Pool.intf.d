@@ -1,0 +1,1 @@
+lib/scheduler/pool.mli: Future

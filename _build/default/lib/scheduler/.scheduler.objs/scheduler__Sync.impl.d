@@ -1,0 +1,1 @@
+lib/scheduler/sync.ml: Condition Mutex

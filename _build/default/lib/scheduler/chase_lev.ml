@@ -1,0 +1,96 @@
+(* Chase & Lev, "Dynamic circular work-stealing deque", SPAA 2005,
+   with the memory-ordering fixes of Lê et al. (PPoPP 2013) as far as
+   OCaml's sequentially-consistent [Atomic] requires (OCaml atomics are
+   SC, so the subtle fences of the C11 version are implicit). *)
+
+type 'a buffer = {
+  log_size : int;
+  elements : 'a option array;
+}
+
+let buffer_create log_size =
+  { log_size; elements = Array.make (1 lsl log_size) None }
+
+let buffer_get buf i = buf.elements.(i land ((1 lsl buf.log_size) - 1))
+let buffer_set buf i v = buf.elements.(i land ((1 lsl buf.log_size) - 1)) <- v
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let log2_ceil n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Chase_lev.create: capacity < 1";
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (buffer_create (max 4 (log2_ceil capacity)));
+  }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let is_empty t = size t = 0
+
+let grow t bottom top =
+  let old = Atomic.get t.buf in
+  let fresh = buffer_create (old.log_size + 1) in
+  for i = top to bottom - 1 do
+    buffer_set fresh i (buffer_get old i)
+  done;
+  Atomic.set t.buf fresh;
+  fresh
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf =
+    if b - tp >= (1 lsl buf.log_size) - 1 then grow t b tp else buf
+  in
+  buffer_set buf b (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let buf = Atomic.get t.buf in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Deque was empty; restore the canonical empty state. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let v = buffer_get buf b in
+    if b > tp then begin
+      buffer_set buf b None;
+      v
+    end
+    else begin
+      (* Last element: race against thieves for it with a CAS on top. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        buffer_set buf b None;
+        v
+      end
+      else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let buf = Atomic.get t.buf in
+    let v = buffer_get buf tp in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else None
+  end

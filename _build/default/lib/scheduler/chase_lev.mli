@@ -1,0 +1,27 @@
+(** Chase–Lev work-stealing deque (SPAA 2005), dynamically growing.
+
+    A single owner pushes and pops at the bottom; any number of thieves
+    steal from the top. Lock-free except for buffer growth, which only
+    the owner performs. This is the per-worker run queue of the actor
+    engine and an optional backend for the {!Pool}. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 64) is rounded up to a power of two. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: push at the bottom, growing the buffer if full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: pop the most recently pushed element (LIFO). *)
+
+val steal : 'a t -> 'a option
+(** Any thread: steal the oldest element (FIFO). Returns [None] when
+    the deque looks empty or the steal races with a conflicting
+    operation. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the number of stored elements. *)
+
+val is_empty : 'a t -> bool

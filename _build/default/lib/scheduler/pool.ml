@@ -1,0 +1,228 @@
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  workers : int;
+}
+
+let spawn_worker t =
+  Domain.spawn (fun () ->
+      let rec loop () =
+        Mutex.lock t.mutex;
+        while Queue.is_empty t.queue && not t.closed do
+          Condition.wait t.nonempty t.mutex
+        done;
+        if Queue.is_empty t.queue && t.closed then Mutex.unlock t.mutex
+        else begin
+          let task = Queue.pop t.queue in
+          Mutex.unlock t.mutex;
+          (try task ()
+           with e ->
+             (* Tasks are expected to contain their own failures
+                (futures capture them); anything escaping here would
+                otherwise kill the worker domain. *)
+             Printf.eprintf "Pool worker: uncaught exception: %s\n%!"
+               (Printexc.to_string e));
+          loop ()
+        end
+      in
+      loop ())
+
+let create ?num_domains () =
+  let workers =
+    match num_domains with
+    | Some n ->
+        if n < 0 then invalid_arg "Pool.create: negative num_domains";
+        n
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+      workers;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> spawn_worker t);
+  t
+
+let num_workers t = t.workers
+let parallelism t = t.workers + 1
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: submit to a shut-down pool"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let task = Queue.take_opt t.queue in
+  Mutex.unlock t.mutex;
+  task
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  if not was_closed then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let post = submit
+
+let help t =
+  match try_pop t with
+  | Some task ->
+      task ();
+      true
+  | None -> false
+
+let async t f =
+  let fut = Future.create () in
+  submit t (fun () -> Future.run fut f);
+  fut
+
+(* Wait for [fut] while helping to drain the queue, so that a task that
+   itself calls [run] cannot starve the pool. *)
+let await_helping t fut =
+  let rec loop () =
+    match Future.peek fut with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> (
+        match try_pop t with
+        | Some task ->
+            task ();
+            loop ()
+        | None ->
+            if t.workers = 0 then begin
+              (* No workers: the task must be in flight in this thread's
+                 own call chain or just enqueued; spin briefly. *)
+              Domain.cpu_relax ();
+              loop ()
+            end
+            else Future.await fut)
+  in
+  loop ()
+
+let run t f = await_helping t (async t f)
+
+exception Stop
+
+let default_chunk t n =
+  (* Aim for ~8 chunks per participant to absorb imbalance, but never
+     below 1 index per chunk. *)
+  max 1 (n / (parallelism t * 8))
+
+let parallel_for_reduce t ?chunk ~lo ~hi ~combine ~init body =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Pool.parallel_for: chunk < 1";
+          c
+      | None -> default_chunk t n
+    in
+    let next = Atomic.make lo in
+    let failure = Atomic.make None in
+    let participants = min (parallelism t) ((n + chunk - 1) / chunk) in
+    let helpers = participants - 1 in
+    let latch = Sync.Latch.create helpers in
+    let work () =
+      let acc = ref init in
+      (try
+         let rec grab () =
+           if Atomic.get failure <> None then raise Stop;
+           let start = Atomic.fetch_and_add next chunk in
+           if start < hi then begin
+             let stop = min hi (start + chunk) in
+             for i = start to stop - 1 do
+               acc := combine !acc (body i)
+             done;
+             grab ()
+           end
+         in
+         grab ()
+       with
+      | Stop -> ()
+      | e ->
+          (* Record the first failure; later ones are dropped. *)
+          ignore (Atomic.compare_and_set failure None (Some e)));
+      !acc
+    in
+    let partials = Array.make participants init in
+    for k = 1 to helpers do
+      submit t (fun () ->
+          partials.(k) <- work ();
+          Sync.Latch.count_down latch)
+    done;
+    partials.(0) <- work ();
+    (* Help drain the queue while waiting so nested parallel_for from
+       inside pool tasks cannot deadlock. *)
+    let rec wait () =
+      if Sync.Latch.pending latch > 0 then begin
+        (match try_pop t with
+        | Some task -> task ()
+        | None -> Domain.cpu_relax ());
+        wait ()
+      end
+    in
+    if t.workers = 0 then Sync.Latch.await latch else wait ();
+    Sync.Latch.await latch;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None -> Array.fold_left combine init partials
+  end
+
+let parallel_for t ?chunk ~lo ~hi body =
+  parallel_for_reduce t ?chunk ~lo ~hi ~combine:(fun () () -> ()) ~init:()
+    (fun i -> body i)
+
+let parallel_map_array t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let first = f a.(0) in
+    let out = Array.make n first in
+    parallel_for t ~lo:1 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let default_size = ref None
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let set_default_num_domains n =
+  Mutex.lock default_mutex;
+  default_size := Some n;
+  Mutex.unlock default_mutex
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create ?num_domains:!default_size () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  pool

@@ -1,0 +1,78 @@
+(** A fixed pool of worker domains with a shared task queue.
+
+    This is the execution substrate standing in for SaC's multithreaded
+    runtime: data-parallel with-loops are partitioned into chunks and
+    executed by the pool ({!parallel_for} and friends), and the S-Net
+    actor engine runs component activations on it ({!async}).
+
+    The calling thread always participates in the bracketed operations
+    ([parallel_for], [run]), so a pool created with [num_domains:0] is
+    a correct, purely sequential executor — useful on single-core
+    machines and for deterministic tests. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ~num_domains ()] spawns [num_domains] worker domains
+    (default: [Domain.recommended_domain_count () - 1]). *)
+
+val num_workers : t -> int
+(** Number of spawned worker domains (excludes the caller). *)
+
+val parallelism : t -> int
+(** [num_workers t + 1]: total parties executing a bracketed
+    operation. *)
+
+val shutdown : t -> unit
+(** Wait for queued tasks to drain and join all workers. Idempotent.
+    Submitting to a shut-down pool raises [Invalid_argument]. *)
+
+val async : t -> (unit -> 'a) -> 'a Future.t
+(** Submit a task; the future resolves with its result or exception. *)
+
+val help : t -> bool
+(** Run one queued task on the calling thread if any is available;
+    returns whether one ran. Lets a thread that is waiting on pool
+    work make progress on pools created with [num_domains:0]. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Fire-and-forget submission; the task must not raise (an escaping
+    exception terminates the worker's current activation and is
+    re-raised there). Used by the actor engine, which does its own
+    error containment. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] submits [f] and waits, helping to execute other queued
+    tasks while waiting (so nested [run] from inside a task cannot
+    deadlock the pool). *)
+
+val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi body] executes [body i] for [lo <= i < hi]
+    with no ordering guarantee, partitioned into chunks of [chunk]
+    indices (default: a heuristic based on range size and
+    parallelism). The first exception raised by any [body] is
+    re-raised in the caller after all participants stop. *)
+
+val parallel_for_reduce :
+  t ->
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  (int -> 'a) ->
+  'a
+(** [parallel_for_reduce t ~lo ~hi ~combine ~init body] folds the
+    results of [body i] with [combine], which must be
+    associative with unit [init]; the combination order across chunks
+    is unspecified. *)
+
+val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Element-wise map over an array using {!parallel_for}. *)
+
+val default : unit -> t
+(** A process-global pool, created on first use. *)
+
+val set_default_num_domains : int -> unit
+(** Configure the size of the pool returned by {!default}; only
+    effective before the first call to [default]. *)

@@ -1,0 +1,70 @@
+module Latch = struct
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable count : int;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Latch.create: negative count";
+    { mutex = Mutex.create (); cond = Condition.create (); count = n }
+
+  let count_down t =
+    Mutex.lock t.mutex;
+    if t.count > 0 then begin
+      t.count <- t.count - 1;
+      if t.count = 0 then Condition.broadcast t.cond
+    end;
+    Mutex.unlock t.mutex
+
+  let await t =
+    Mutex.lock t.mutex;
+    while t.count > 0 do
+      Condition.wait t.cond t.mutex
+    done;
+    Mutex.unlock t.mutex
+
+  let pending t =
+    Mutex.lock t.mutex;
+    let n = t.count in
+    Mutex.unlock t.mutex;
+    n
+end
+
+module Barrier = struct
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    parties : int;
+    mutable waiting : int;
+    mutable generation : int;
+  }
+
+  let create n =
+    if n < 1 then invalid_arg "Barrier.create: need at least one party";
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      parties = n;
+      waiting = 0;
+      generation = 0;
+    }
+
+  let await t =
+    Mutex.lock t.mutex;
+    let gen = t.generation in
+    t.waiting <- t.waiting + 1;
+    let index = t.parties - t.waiting in
+    if t.waiting = t.parties then begin
+      (* Last arrival trips the barrier and starts the next generation. *)
+      t.waiting <- 0;
+      t.generation <- gen + 1;
+      Condition.broadcast t.cond
+    end
+    else
+      while t.generation = gen do
+        Condition.wait t.cond t.mutex
+      done;
+    Mutex.unlock t.mutex;
+    index
+end

@@ -1,0 +1,1 @@
+lib/streams/actors.ml: Atomic Condition Domain Mutex Printf Queue Scheduler

@@ -1,0 +1,1 @@
+lib/streams/actors.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/streams/channel.ml: Condition List Mutex Queue

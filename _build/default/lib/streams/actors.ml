@@ -1,0 +1,148 @@
+type system = {
+  pool : Scheduler.Pool.t;
+  batch : int;
+  mutex : Mutex.t;
+  quiescent : Condition.t;
+  mutable in_flight : int;
+  mutable first_error : exn option;
+  next_id : int Atomic.t;
+}
+
+let system ?pool ?(batch = 64) () =
+  if batch < 1 then invalid_arg "Actors.system: batch < 1";
+  let pool = match pool with Some p -> p | None -> Scheduler.Pool.default () in
+  {
+    pool;
+    batch;
+    mutex = Mutex.create ();
+    quiescent = Condition.create ();
+    in_flight = 0;
+    first_error = None;
+    next_id = Atomic.make 0;
+  }
+
+let pool sys = sys.pool
+
+let message_sent sys =
+  Mutex.lock sys.mutex;
+  sys.in_flight <- sys.in_flight + 1;
+  Mutex.unlock sys.mutex
+
+let message_done sys =
+  Mutex.lock sys.mutex;
+  sys.in_flight <- sys.in_flight - 1;
+  if sys.in_flight = 0 then Condition.broadcast sys.quiescent;
+  Mutex.unlock sys.mutex
+
+let record_error sys e =
+  Mutex.lock sys.mutex;
+  if sys.first_error = None then sys.first_error <- Some e;
+  Mutex.unlock sys.mutex
+
+type 'm t = {
+  sys : system;
+  actor_name : string;
+  handler : 'm -> unit;
+  qmutex : Mutex.t;
+  queue : 'm Queue.t;
+  (* true when an activation is scheduled or running; protected by
+     [qmutex] so the schedule/idle transition and queue emptiness are
+     decided atomically. *)
+  mutable active : bool;
+}
+
+let spawn sys ?name handler =
+  let id = Atomic.fetch_and_add sys.next_id 1 in
+  let actor_name =
+    match name with Some n -> n | None -> Printf.sprintf "actor-%d" id
+  in
+  {
+    sys;
+    actor_name;
+    handler;
+    qmutex = Mutex.create ();
+    queue = Queue.create ();
+    active = false;
+  }
+
+let name a = a.actor_name
+
+(* Handle up to [sys.batch] messages per pool activation, then yield
+   the worker so that long message trains cannot starve other
+   actors. *)
+let rec activation a () =
+  let rec step budget =
+    let msg =
+      Mutex.lock a.qmutex;
+      let m = Queue.take_opt a.queue in
+      if m = None then a.active <- false;
+      Mutex.unlock a.qmutex;
+      m
+    in
+    match msg with
+    | None -> ()
+    | Some m ->
+        (try a.handler m with e -> record_error a.sys e);
+        message_done a.sys;
+        if budget > 1 then step (budget - 1)
+        else begin
+          (* Yield: hand the rest of the queue to a fresh activation. *)
+          Mutex.lock a.qmutex;
+          let more = not (Queue.is_empty a.queue) in
+          if not more then a.active <- false;
+          Mutex.unlock a.qmutex;
+          if more then Scheduler.Pool.post a.sys.pool (activation a)
+        end
+  in
+  step a.sys.batch
+
+let send a m =
+  message_sent a.sys;
+  Mutex.lock a.qmutex;
+  Queue.push m a.queue;
+  let need_schedule = not a.active in
+  if need_schedule then a.active <- true;
+  Mutex.unlock a.qmutex;
+  if need_schedule then Scheduler.Pool.post a.sys.pool (activation a)
+
+let await_quiescence sys =
+  (* On a pool without worker domains the caller must execute the
+     activations itself; otherwise it can simply sleep on the
+     condition. *)
+  if Scheduler.Pool.num_workers sys.pool = 0 then begin
+    let quiet () =
+      Mutex.lock sys.mutex;
+      let q = sys.in_flight = 0 in
+      Mutex.unlock sys.mutex;
+      q
+    in
+    while not (quiet ()) do
+      if not (Scheduler.Pool.help sys.pool) then Domain.cpu_relax ()
+    done
+  end
+  else begin
+    Mutex.lock sys.mutex;
+    while sys.in_flight > 0 do
+      Condition.wait sys.quiescent sys.mutex
+    done;
+    Mutex.unlock sys.mutex
+  end;
+  let err =
+    Mutex.lock sys.mutex;
+    let e = sys.first_error in
+    Mutex.unlock sys.mutex;
+    e
+  in
+  match err with Some e -> raise e | None -> ()
+
+let pending sys =
+  Mutex.lock sys.mutex;
+  let n = sys.in_flight in
+  Mutex.unlock sys.mutex;
+  n
+
+let failure sys =
+  Mutex.lock sys.mutex;
+  let e = sys.first_error in
+  Mutex.unlock sys.mutex;
+  e

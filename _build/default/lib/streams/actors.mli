@@ -1,0 +1,54 @@
+(** A lightweight actor layer over the domain {!Scheduler.Pool}.
+
+    This substitutes for S-Net's LPEL (light-weight parallel execution
+    layer): a running network may contain hundreds of box instances
+    (the paper bounds its sudoku network at 729 concurrently existing
+    boxes), far more than the sensible number of OCaml domains, so each
+    component instance becomes an {e actor} — a mailbox plus a
+    single-threaded message handler — and actors with pending messages
+    are multiplexed over the pool's worker domains.
+
+    Guarantees:
+    - per-actor FIFO: messages from one sender to one actor are handled
+      in send order, and at most one activation of an actor's handler
+      runs at a time;
+    - quiescence: {!await_quiescence} returns only when every message
+      sent into the system has been fully handled (including messages
+      sent from inside handlers);
+    - containment: an exception escaping a handler is recorded (first
+      one wins) and re-raised by {!await_quiescence}; the message is
+      still accounted as handled so the system cannot hang. *)
+
+type system
+
+val system : ?pool:Scheduler.Pool.t -> ?batch:int -> unit -> system
+(** Actors of this system run on [pool] (default:
+    {!Scheduler.Pool.default}[ ()]). [batch] (default 64) is the
+    maximum number of messages one activation handles before yielding
+    its worker — the fairness/throughput trade-off measured by the
+    [ablation] benchmark. *)
+
+val pool : system -> Scheduler.Pool.t
+
+type 'm t
+(** An actor accepting messages of type ['m]. *)
+
+val spawn : system -> ?name:string -> ('m -> unit) -> 'm t
+(** Create an actor whose handler is invoked once per message. The
+    handler may {!send} to any actor, including itself. *)
+
+val send : 'm t -> 'm -> unit
+(** Enqueue a message and schedule the actor. Never blocks. *)
+
+val name : 'm t -> string
+
+val await_quiescence : system -> unit
+(** Block the calling thread until no message is pending or being
+    handled anywhere in the system, then re-raise the first handler
+    exception if any occurred. *)
+
+val pending : system -> int
+(** Racy snapshot of unprocessed messages across the system. *)
+
+val failure : system -> exn option
+(** First handler exception recorded so far, if any. *)

@@ -1,0 +1,84 @@
+exception Closed
+
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Channel.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    queue = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let send t v =
+  Mutex.lock t.mutex;
+  while Queue.length t.queue >= t.capacity && not t.closed do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end;
+  Queue.push v t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+let recv t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let v = Queue.take_opt t.queue in
+  if v <> None then Condition.signal t.not_full;
+  Mutex.unlock t.mutex;
+  v
+
+let try_recv t =
+  Mutex.lock t.mutex;
+  let v = Queue.take_opt t.queue in
+  if v <> None then Condition.signal t.not_full;
+  Mutex.unlock t.mutex;
+  v
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex
+
+let is_closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let to_list t =
+  let rec go acc =
+    match recv t with
+    | Some v -> go (v :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let of_list ?(close = true) xs =
+  let t = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (fun x -> send t x) xs;
+  if close then t.closed <- true;
+  t

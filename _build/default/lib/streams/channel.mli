@@ -1,0 +1,43 @@
+(** Bounded blocking FIFO channels.
+
+    These are the edges between a running S-Net network and the outside
+    world (the network's global input and output streams): producers
+    block when the channel is full, consumers block when it is empty,
+    and {!close} lets consumers observe end-of-stream after the buffer
+    drains. Internal network edges use actor mailboxes instead
+    ({!Actors}). *)
+
+type 'a t
+
+exception Closed
+(** Raised by {!send} on a closed channel. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 1024) must be at least 1. *)
+
+val send : 'a t -> 'a -> unit
+(** Block while full. @raise Closed if the channel was closed. *)
+
+val recv : 'a t -> 'a option
+(** Block while empty; [None] once the channel is closed {e and}
+    drained. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive; [None] when currently empty (closed or
+    not). *)
+
+val close : 'a t -> unit
+(** Idempotent. Buffered elements remain receivable. *)
+
+val is_closed : 'a t -> bool
+
+val length : 'a t -> int
+(** Racy snapshot of the buffered element count. *)
+
+val to_list : 'a t -> 'a list
+(** Receive until end-of-stream; only sensible on a channel that will
+    be closed by its producer. *)
+
+val of_list : ?close:bool -> 'a list -> 'a t
+(** A channel pre-filled with the list (capacity grows to fit), closed
+    afterwards unless [~close:false]. *)

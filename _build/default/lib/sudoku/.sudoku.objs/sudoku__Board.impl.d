@@ -1,0 +1,1 @@
+lib/sudoku/board.ml: Array Buffer Char Int List Printf Sacarray Seq String

@@ -1,0 +1,1 @@
+lib/sudoku/board.mli: Sacarray

@@ -1,0 +1,1 @@
+lib/sudoku/boxes.ml: Board Heuristics Printf Rules Sacarray Snet Solver

@@ -1,0 +1,1 @@
+lib/sudoku/boxes.mli: Board Scheduler Snet

@@ -1,0 +1,1 @@
+lib/sudoku/generate.ml: Array Board Fun Random Sacarray

@@ -1,0 +1,1 @@
+lib/sudoku/generate.mli: Board

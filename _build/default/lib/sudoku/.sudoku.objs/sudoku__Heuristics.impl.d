@@ -1,0 +1,1 @@
+lib/sudoku/heuristics.ml: Board Option Rules

@@ -1,0 +1,1 @@
+lib/sudoku/heuristics.mli: Board

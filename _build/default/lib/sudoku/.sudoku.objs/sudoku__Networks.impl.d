@@ -1,0 +1,1 @@
+lib/sudoku/networks.ml: Board Boxes List Printf Snet

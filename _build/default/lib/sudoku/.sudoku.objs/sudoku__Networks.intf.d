@@ -1,0 +1,1 @@
+lib/sudoku/networks.mli: Board Scheduler Snet

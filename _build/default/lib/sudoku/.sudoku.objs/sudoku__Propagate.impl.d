@@ -1,0 +1,1 @@
+lib/sudoku/propagate.ml: Board Boxes List Rules Sacarray Snet

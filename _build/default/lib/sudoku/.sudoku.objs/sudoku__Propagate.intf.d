@@ -1,0 +1,1 @@
+lib/sudoku/propagate.mli: Board Scheduler Snet

@@ -1,0 +1,1 @@
+lib/sudoku/puzzles.ml: Board Generate List

@@ -1,0 +1,1 @@
+lib/sudoku/puzzles.mli: Board

@@ -1,0 +1,1 @@
+lib/sudoku/rules.ml: Array Board Fun List Printf Sacarray

@@ -1,0 +1,1 @@
+lib/sudoku/rules.mli: Board Scheduler

@@ -1,0 +1,1 @@
+lib/sudoku/solver.ml: Board Heuristics Rules Sacarray

@@ -1,0 +1,1 @@
+lib/sudoku/solver.mli: Board Heuristics Scheduler

@@ -1,0 +1,50 @@
+(** The paper's SaC functions wrapped as S-Net boxes (Section 5).
+
+    Field keys: boards travel under {!board_field}, options arrays
+    under {!opts_field}. Three variants of [solveOneLevel] exist
+    because the paper refines the box signature from network to
+    network:
+
+    - Fig. 1: [{board,opts} -> {board,opts} | {board,<done>}];
+    - Fig. 2: [{board,opts} -> {board,opts,<k>} | {board,<done>}] —
+      [<k>] drives the parallel replicator;
+    - Fig. 3: [{board,opts} -> {board,opts,<k>,<level>}] — [<level>]
+      (numbers placed so far) replaces [<done>] so the star's exit can
+      throttle the serial unfolding.
+
+    All box bodies accept [?pool] to run their with-loops
+    data-parallel. *)
+
+val board_field : Board.t Snet.Value.Key.key
+val opts_field : Board.opts Snet.Value.Key.key
+
+val inject_board : Board.t -> Snet.Record.t
+(** The [{board}] record fed into each network. *)
+
+val board_of_record : Snet.Record.t -> Board.t
+(** Project the [board] field. @raise Invalid_argument if absent. *)
+
+val opts_of_record : Snet.Record.t -> Board.opts
+
+val compute_opts : ?pool:Scheduler.Pool.t -> unit -> Snet.Box.t
+(** [box computeOpts ((board) -> (board, opts))]. *)
+
+val solve_one_level : ?pool:Scheduler.Pool.t -> unit -> Snet.Box.t
+(** The Fig. 1 box. One refinement over the paper's listing: an input
+    board that is already complete is emitted on the [<done>] variant
+    instead of being dropped, so fully-given puzzles terminate. *)
+
+val solve_one_level_k : ?pool:Scheduler.Pool.t -> unit -> Snet.Box.t
+(** The Fig. 2 box: children additionally carry [<k>], the number just
+    examined, for the parallel replicator. *)
+
+val solve_one_level_level :
+  ?pool:Scheduler.Pool.t -> unit -> Snet.Box.t
+(** The Fig. 3 box: every emission carries [<k>] and [<level>] (the
+    count of placed numbers). Complete boards are emitted once more
+    with their final level so they leave through the star's guarded
+    exit. *)
+
+val solve_box : ?pool:Scheduler.Pool.t -> unit -> Snet.Box.t
+(** [box solve ((board, opts) -> (board, opts))]: the paper's full
+    sequential solver as a residual box for Fig. 3. *)

@@ -1,0 +1,61 @@
+module Nd = Sacarray.Nd
+
+let solved_board n =
+  if n < 1 then invalid_arg "Generate.solved_board: box size < 1";
+  let s = n * n in
+  Nd.init [| s; s |] (fun iv ->
+      let i = iv.(0) and j = iv.(1) in
+      (((i * n) + (i / n) + j) mod s) + 1)
+
+let permutation st k =
+  let p = Array.init k Fun.id in
+  for i = k - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p
+
+let relabel ?(seed = 42) board =
+  let s = Board.side board in
+  let st = Random.State.make [| seed |] in
+  let p = permutation st s in
+  Sacarray.Builtins.map (fun v -> if v = 0 then 0 else p.(v - 1) + 1) board
+
+(* Permute rows within each band and columns within each stack — the
+   standard validity-preserving symmetries. *)
+let shuffle_lines st board =
+  let s = Board.side board in
+  let n = Board.box_size board in
+  (* A fresh within-band permutation per band. *)
+  let perm_of () =
+    let p = Array.make s 0 in
+    for band = 0 to n - 1 do
+      let within = permutation st n in
+      for r = 0 to n - 1 do
+        p.((band * n) + r) <- (band * n) + within.(r)
+      done
+    done;
+    p
+  in
+  let rows = perm_of () and cols = perm_of () in
+  Nd.init [| s; s |] (fun iv -> Board.get board rows.(iv.(0)) cols.(iv.(1)))
+
+let puzzle ?(seed = 42) ~n ~holes () =
+  let s = n * n in
+  if holes < 0 || holes > s * s then
+    invalid_arg "Generate.puzzle: hole count out of range";
+  let st = Random.State.make [| seed; n; holes |] in
+  let p = permutation st s in
+  let relabelled =
+    Sacarray.Builtins.map (fun v -> p.(v - 1) + 1) (solved_board n)
+  in
+  let shuffled = shuffle_lines st relabelled in
+  let cells = permutation st (s * s) in
+  let board = ref shuffled in
+  for h = 0 to holes - 1 do
+    let c = cells.(h) in
+    board := Board.set !board (c / s) (c mod s) 0
+  done;
+  !board

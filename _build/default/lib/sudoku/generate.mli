@@ -1,0 +1,24 @@
+(** Deterministic puzzle construction for any board size.
+
+    The paper's motivation for the hybrid networks is that "sudokus can
+    be played on any board of size n² × n²" where "parallelisation
+    becomes essential for bigger puzzles"; this module supplies those
+    bigger workloads without shipping puzzle files: a closed-form
+    solved board for any [n], plus seeded hole-digging and relabelling
+    to derive puzzle instances. All randomness is from an explicit seed
+    so benchmarks are reproducible. *)
+
+val solved_board : int -> Board.t
+(** [solved_board n]: the canonical valid solution of box size [n] via
+    the shift pattern [cell(i,j) = ((i*n + i/n + j) mod n²) + 1]. *)
+
+val puzzle : ?seed:int -> n:int -> holes:int -> unit -> Board.t
+(** Dig [holes] cells (chosen without replacement) out of a relabelled,
+    row/column-permuted solved board. The result is solvable by
+    construction; uniqueness is not guaranteed (the solvers return the
+    first solution).
+    @raise Invalid_argument if [holes] exceeds the cell count. *)
+
+val relabel : ?seed:int -> Board.t -> Board.t
+(** Apply a random permutation of the numbers [1..n²]; validity is
+    preserved. *)

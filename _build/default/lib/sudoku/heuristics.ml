@@ -1,0 +1,32 @@
+type choice =
+  | Find_first
+  | Min_trues
+
+let find_first board =
+  let s = Board.side board in
+  let rec go i j =
+    if i >= s then None
+    else if j >= s then go (i + 1) 0
+    else if Board.get board i j = 0 then Some (i, j)
+    else go i (j + 1)
+  in
+  go 0 0
+
+let find_min_trues board opts =
+  let s = Board.side board in
+  let best = ref None in
+  for i = 0 to s - 1 do
+    for j = 0 to s - 1 do
+      if Board.get board i j = 0 then begin
+        let c = Rules.count_options_at opts ~i ~j in
+        match !best with
+        | Some (_, _, bc) when bc <= c -> ()
+        | _ -> best := Some (i, j, c)
+      end
+    done
+  done;
+  Option.map (fun (i, j, _) -> (i, j)) !best
+
+let pick = function
+  | Find_first -> fun board _opts -> find_first board
+  | Min_trues -> find_min_trues

@@ -1,0 +1,19 @@
+(** Position-selection heuristics for the backtracking search.
+
+    The paper first uses [findFirst] (the first empty position) and
+    then replaces it with [findMinTrues], which "selects a free
+    position with a minimum number of options left" to keep the search
+    tree narrow. *)
+
+type choice =
+  | Find_first
+  | Min_trues
+
+val find_first : Board.t -> (int * int) option
+(** First empty cell in row-major order; [None] when complete. *)
+
+val find_min_trues : Board.t -> Board.opts -> (int * int) option
+(** Empty cell with the fewest remaining options (earliest in
+    row-major order on ties); [None] when complete. *)
+
+val pick : choice -> Board.t -> Board.opts -> (int * int) option

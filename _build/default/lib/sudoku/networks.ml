@@ -1,0 +1,73 @@
+module Net = Snet.Net
+module Filter = Snet.Filter
+module Pattern = Snet.Pattern
+
+let done_pattern = Pattern.make ~fields:[] ~tags:[ "done" ] ()
+
+let fig1 ?pool ?det () =
+  Net.serial
+    (Net.box (Boxes.compute_opts ?pool ()))
+    (Net.star ?det (Net.box (Boxes.solve_one_level ?pool ())) done_pattern)
+
+(* [{} -> {<k>=1}] — extends any record with the routing tag; board and
+   opts flow-inherit through it. *)
+let add_k_filter () =
+  Filter.make ~name:"addK"
+    (Pattern.make ~fields:[] ~tags:[] ())
+    [ [ Filter.Set_tag ("k", Pattern.Const 1) ] ]
+
+let fig2 ?pool ?det () =
+  Net.serial_list
+    [
+      Net.box (Boxes.compute_opts ?pool ());
+      Net.filter (add_k_filter ());
+      Net.star ?det
+        (Net.split ?det (Net.box (Boxes.solve_one_level_k ?pool ())) "k")
+        done_pattern;
+    ]
+
+let fig3 ?pool ?det ?(throttle = 4) ?(cutoff = 40) ?(side = 9) () =
+  if throttle < 1 then invalid_arg "Networks.fig3: throttle < 1";
+  if cutoff < 0 || cutoff >= side * side then
+    invalid_arg
+      (Printf.sprintf "Networks.fig3: cutoff %d outside [0, %d)" cutoff
+         (side * side));
+  (* [{<k>} -> {<k>=<k>%throttle}] — the paper's throttling filter. *)
+  let throttle_filter =
+    Filter.make ~name:"throttleK"
+      (Pattern.make ~fields:[] ~tags:[ "k" ] ())
+      [
+        [
+          Filter.Set_tag
+            ("k", Pattern.Mod (Pattern.Tag "k", Pattern.Const throttle));
+        ];
+      ]
+  in
+  let exit =
+    Pattern.make ~fields:[] ~tags:[ "level" ]
+      ~guard:(Pattern.Cmp (Pattern.Gt, Pattern.Tag "level", Pattern.Const cutoff))
+      ()
+  in
+  Net.serial_list
+    [
+      Net.box (Boxes.compute_opts ?pool ());
+      Net.filter (add_k_filter ());
+      Net.star ?det
+        (Net.serial
+           (Net.filter throttle_filter)
+           (Net.split ?det
+              (Net.box (Boxes.solve_one_level_level ?pool ()))
+              "k"))
+        exit;
+      Net.box (Boxes.solve_box ?pool ());
+    ]
+
+let solved_boards records =
+  List.filter_map
+    (fun r ->
+      match Snet.Record.field "board" r with
+      | None -> None
+      | Some v ->
+          let board = Snet.Value.project_exn Boxes.board_field v in
+          if Board.solved board then Some board else None)
+    records

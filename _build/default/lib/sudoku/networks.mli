@@ -1,0 +1,40 @@
+(** The three hybrid SaC/S-Net sudoku networks of Section 5.
+
+    Feed records built with {!Boxes.inject_board}; solved boards come
+    out as records carrying a [board] field (plus [<done>] for Figs. 1
+    and 2, [<k>]/[<level>] for Fig. 3). Because the streaming networks
+    perform an exhaustive search, a puzzle with several solutions
+    yields several output records, and a puzzle with none yields none —
+    unlike the sequential solver, which reports where it got stuck. *)
+
+val fig1 : ?pool:Scheduler.Pool.t -> ?det:bool -> unit -> Snet.Net.t
+(** [computeOpts .. (solveOneLevel ** {<done>})] — the serial
+    replicator turns the solver's recursion into a pipeline, unfolding
+    at most side² replicas deep. *)
+
+val fig2 : ?pool:Scheduler.Pool.t -> ?det:bool -> unit -> Snet.Net.t
+(** [computeOpts .. \[{} -> {<k>=1}\] ..
+    ((solveOneLevelK !! <k>) ** {<done>})] — full unfolding: up to
+    side replicas of the box per pipeline stage. *)
+
+val fig3 :
+  ?pool:Scheduler.Pool.t ->
+  ?det:bool ->
+  ?throttle:int ->
+  ?cutoff:int ->
+  ?side:int ->
+  unit ->
+  Snet.Net.t
+(** [computeOpts .. \[{} -> {<k>=1}\] ..
+    ((\[{<k>} -> {<k>=<k>%throttle}\] .. (solveOneLevelL !! <k>))
+      ** ({<level>} | <level> > cutoff)) .. solve] —
+    throttled unfolding: at most [throttle] (default 4, the paper's
+    choice) split replicas per stage, and the serial replicator is cut
+    at [cutoff] placed numbers (default 40, as in the paper) with the
+    residual sequential [solve] box finishing partial boards.
+    @raise Invalid_argument unless [0 < throttle] and
+    [0 <= cutoff < side²] ([side] defaults to 9) — a cutoff at or
+    beyond the cell count would loop solved boards forever. *)
+
+val solved_boards : Snet.Record.t list -> Board.t list
+(** Extract and keep the completed, valid boards of a network run. *)

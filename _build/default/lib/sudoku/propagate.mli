@@ -1,0 +1,46 @@
+(** Constraint propagation: deterministic deductions before search.
+
+    The paper's solver interleaves plain backtracking with the
+    options bookkeeping of [addNumber]. Solver folklore (and the SaC
+    demos that followed the paper) add {e propagation} rules that
+    place numbers without guessing:
+
+    - {e naked single}: an empty cell with exactly one option left
+      takes it;
+    - {e hidden single}: if a number has exactly one possible cell
+      within a row, column or sub-board, it goes there.
+
+    Applying these to a fixpoint shrinks — often eliminates — the
+    search tree; the [propagation] benchmark quantifies it. All
+    deductions are pure (board, opts) → (board, opts) steps built on
+    {!Rules.add_number}, so they drop into the paper's networks as one
+    more box. *)
+
+type outcome = {
+  board : Board.t;
+  opts : Board.opts;
+  placed : int;  (** Numbers placed by propagation. *)
+  contradiction : bool;
+      (** An empty cell lost all options: the board is unsolvable. *)
+}
+
+val naked_singles :
+  ?pool:Scheduler.Pool.t -> Board.t -> Board.opts -> outcome
+(** One pass of the naked-single rule over all cells. *)
+
+val hidden_singles :
+  ?pool:Scheduler.Pool.t -> Board.t -> Board.opts -> outcome
+(** One pass of the hidden-single rule over all rows, columns and
+    sub-boards. *)
+
+val fixpoint : ?pool:Scheduler.Pool.t -> Board.t -> Board.opts -> outcome
+(** Alternate both rules until neither places a number. *)
+
+val propagate_box : ?pool:Scheduler.Pool.t -> unit -> Snet.Box.t
+(** [box propagate ((board, opts) -> (board, opts))]: run {!fixpoint};
+    a contradicted board is emitted unchanged (the search dies
+    downstream, as in the paper's stuck case). *)
+
+val fig1_propagating : ?pool:Scheduler.Pool.t -> ?det:bool -> unit -> Snet.Net.t
+(** Figure 1 with the propagation box fused into the star body:
+    [computeOpts .. ((propagate .. solveOneLevel) ** {<done>})]. *)

@@ -1,0 +1,102 @@
+type difficulty =
+  | Trivial
+  | Easy
+  | Medium
+  | Hard
+
+type entry = {
+  name : string;
+  difficulty : difficulty;
+  board : Board.t;
+}
+
+let difficulty_to_string = function
+  | Trivial -> "trivial"
+  | Easy -> "easy"
+  | Medium -> "medium"
+  | Hard -> "hard"
+
+(* The classic example from the Wikipedia sudoku article; unique
+   solution. *)
+let easy_str =
+  "530070000\
+   600195000\
+   098000060\
+   800060003\
+   400803001\
+   700020006\
+   060000280\
+   000419005\
+   000080079"
+
+(* A moderately hard instance (requires genuine backtracking with the
+   min-options heuristic). *)
+let medium_str =
+  "000000907\
+   000420180\
+   000705026\
+   100904000\
+   050000040\
+   000507009\
+   920108000\
+   034059000\
+   507000000"
+
+(* Arto Inkala's "AI Escargot", a famously hard instance for human
+   techniques and a solid backtracking workload. *)
+let hard_str =
+  "100007090\
+   030020008\
+   009600500\
+   005300900\
+   010080002\
+   600004000\
+   300000010\
+   040000007\
+   007000300"
+
+(* Nearly-complete board: two cells missing — pipeline depth 2. *)
+let trivial_str =
+  "034678912\
+   672195348\
+   198342567\
+   859761423\
+   426853791\
+   713924856\
+   961537284\
+   287419635\
+   345286079"
+
+let easy = Board.parse easy_str
+let medium = Board.parse medium_str
+let hard = Board.parse hard_str
+let trivial = Board.parse trivial_str
+let empty_9x9 = Board.empty 3
+let sixteen = Generate.puzzle ~seed:7 ~n:4 ~holes:60 ()
+
+let all =
+  [
+    { name = "trivial"; difficulty = Trivial; board = trivial };
+    { name = "easy"; difficulty = Easy; board = easy };
+    { name = "medium"; difficulty = Medium; board = medium };
+    { name = "escargot"; difficulty = Hard; board = hard };
+    {
+      name = "gen-easy-30";
+      difficulty = Easy;
+      board = Generate.puzzle ~seed:1 ~n:3 ~holes:30 ();
+    };
+    {
+      name = "gen-medium-45";
+      difficulty = Medium;
+      board = Generate.puzzle ~seed:2 ~n:3 ~holes:45 ();
+    };
+    {
+      name = "gen-hard-55";
+      difficulty = Hard;
+      board = Generate.puzzle ~seed:3 ~n:3 ~holes:55 ();
+    };
+  ]
+
+let find name = List.find (fun e -> e.name = name) all
+
+let by_difficulty d = List.filter (fun e -> e.difficulty = d) all

@@ -1,0 +1,38 @@
+(** A small reference corpus of 9×9 puzzles plus generated larger
+    instances, used by examples, tests and the benchmark harness. *)
+
+type difficulty =
+  | Trivial
+  | Easy
+  | Medium
+  | Hard
+
+type entry = {
+  name : string;
+  difficulty : difficulty;
+  board : Board.t;
+}
+
+val all : entry list
+(** The 9×9 corpus. Every entry is a valid, solvable puzzle (asserted
+    by the test suite). *)
+
+val find : string -> entry
+(** @raise Not_found on unknown names. *)
+
+val by_difficulty : difficulty -> entry list
+
+val easy : Board.t
+(** The classic Wikipedia example (unique solution). *)
+
+val medium : Board.t
+val hard : Board.t
+
+val empty_9x9 : Board.t
+(** The all-empty board — maximal branching, the paper's worst case of
+    up to 9{^81} possibilities. *)
+
+val sixteen : Board.t
+(** A generated 16×16 instance (60 holes, seed 7). *)
+
+val difficulty_to_string : difficulty -> string

@@ -1,0 +1,42 @@
+(** The paper's SaC sudoku kernel (Section 3), generalised to
+    [n² × n²] boards.
+
+    [add_number] is a literal transliteration of the paper's
+    [addNumber]: a single-element board update plus a four-generator
+    modarray with-loop that falsifies the options eliminated by the
+    three sudoku rules. Passing [~pool] makes the with-loops
+    data-parallel — the concurrency the paper says "comes for free" in
+    SaC. *)
+
+val all_options : int -> Board.opts
+(** [all_options side]: everything still possible — the all-[true]
+    [side × side × side] array. *)
+
+val add_number :
+  ?pool:Scheduler.Pool.t ->
+  i:int ->
+  j:int ->
+  k:int ->
+  Board.t ->
+  Board.opts ->
+  Board.t * Board.opts
+(** Place number [k] (1-based) at [(i, j)]: returns the updated board
+    and options.
+    @raise Invalid_argument if the position or number is out of
+    range. *)
+
+val init_options : ?pool:Scheduler.Pool.t -> Board.t -> Board.opts
+(** The paper's [computeOpts] box body: fold {!add_number} over every
+    pre-filled cell of the board, starting from {!all_options}. *)
+
+val options_at : Board.opts -> i:int -> j:int -> int list
+(** Numbers (1-based) still possible at [(i, j)]. *)
+
+val count_options_at : Board.opts -> i:int -> j:int -> int
+
+val is_completed : ?pool:Scheduler.Pool.t -> Board.t -> bool
+(** No empty cell — the paper's [isCompleted], a fold with-loop. *)
+
+val is_stuck : ?pool:Scheduler.Pool.t -> Board.t -> Board.opts -> bool
+(** Some empty cell has no options left — the search cannot
+    proceed. *)

@@ -1,0 +1,40 @@
+(** The paper's pure-SaC sequential solver (Section 3): depth-first
+    backtracking with the recursive [solve] function. This is the
+    baseline every hybrid network is compared against. *)
+
+type outcome = {
+  board : Board.t;  (** First solution, or where the search got stuck. *)
+  opts : Board.opts;
+  solved : bool;
+  invocations : int;  (** Number of [solve] activations. *)
+  placements : int;  (** Number of [add_number] calls. *)
+}
+
+val solve :
+  ?pool:Scheduler.Pool.t ->
+  ?choice:Heuristics.choice ->
+  Board.t ->
+  outcome
+(** Solve from a raw board: initialise the options, then search.
+    [choice] defaults to [Min_trues], the paper's improved heuristic.
+    Mirrors the paper's [solve]: returns "the first solution it finds
+    or, if no solution exists, the board where the algorithm got
+    stuck". *)
+
+val solve_from :
+  ?pool:Scheduler.Pool.t ->
+  ?choice:Heuristics.choice ->
+  Board.t ->
+  Board.opts ->
+  outcome
+(** Search from an existing (board, options) state; used by the hybrid
+    networks' residual [solve] box (Fig. 3). *)
+
+val count_solutions :
+  ?pool:Scheduler.Pool.t ->
+  ?choice:Heuristics.choice ->
+  ?limit:int ->
+  Board.t ->
+  int
+(** Exhaustive count of solutions, stopping at [limit] (default 2 —
+    enough to check uniqueness). *)

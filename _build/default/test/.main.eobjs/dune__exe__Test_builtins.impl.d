@@ -1,0 +1,1 @@
+test/test_builtins.ml: Alcotest Array Format Int List QCheck QCheck_alcotest Sacarray

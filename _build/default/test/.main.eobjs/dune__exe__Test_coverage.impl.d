@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Format Fun List Sacarray Scheduler Snet Streams String Sudoku

@@ -1,0 +1,1 @@
+test/test_detmerge.ml: Alcotest List Option Snet

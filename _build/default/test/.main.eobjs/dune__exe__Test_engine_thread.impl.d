@@ -1,0 +1,1 @@
+test/test_engine_thread.ml: Alcotest Fun List Scheduler Snet

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Filename Fun List QCheck QCheck_alcotest Scheduler Snet String

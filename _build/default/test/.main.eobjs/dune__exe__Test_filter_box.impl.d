@@ -1,0 +1,1 @@
+test/test_filter_box.ml: Alcotest List Option Snet

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Format List Snet Snet_lang

@@ -1,0 +1,1 @@
+test/test_nd.ml: Alcotest Array Format Int List QCheck QCheck_alcotest Sacarray

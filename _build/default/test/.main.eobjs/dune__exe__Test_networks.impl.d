@@ -1,0 +1,1 @@
+test/test_networks.ml: Alcotest Fun List Printf Scheduler Snet Sudoku

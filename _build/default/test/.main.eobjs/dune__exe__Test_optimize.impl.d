@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest List QCheck QCheck_alcotest Snet

@@ -1,0 +1,1 @@
+test/test_random_nets.ml: Fun List Printf QCheck QCheck_alcotest Scheduler Snet

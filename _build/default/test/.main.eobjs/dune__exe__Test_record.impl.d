@@ -1,0 +1,1 @@
+test/test_record.ml: Alcotest Fun Option Snet

@@ -1,0 +1,1 @@
+test/test_rectype.ml: Alcotest List QCheck QCheck_alcotest Random Snet

@@ -1,0 +1,1 @@
+test/test_sac_check.ml: Alcotest Saclang

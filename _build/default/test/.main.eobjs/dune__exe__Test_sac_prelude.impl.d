@@ -1,0 +1,1 @@
+test/test_sac_prelude.ml: Alcotest Lazy List Printf QCheck QCheck_alcotest Sacarray Saclang

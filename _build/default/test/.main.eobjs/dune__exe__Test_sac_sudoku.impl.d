@@ -1,0 +1,1 @@
+test/test_sac_sudoku.ml: Alcotest Bool Fun List Sacarray Saclang Scheduler Snet Snet_lang Sudoku

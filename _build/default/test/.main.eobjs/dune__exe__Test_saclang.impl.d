@@ -1,0 +1,1 @@
+test/test_saclang.ml: Alcotest Bool Fun Int Printf Sacarray Saclang Scheduler Snet Sudoku

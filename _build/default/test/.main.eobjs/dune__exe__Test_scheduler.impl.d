@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Atomic Domain Fun List QCheck QCheck_alcotest Scheduler String

@@ -1,0 +1,1 @@
+test/test_source_files.ml: Alcotest List Sacarray Saclang Snet Snet_lang Sys

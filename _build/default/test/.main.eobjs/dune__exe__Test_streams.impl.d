@@ -1,0 +1,1 @@
+test/test_streams.ml: Alcotest Atomic Fun Lazy List Printf Scheduler Streams Thread

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Fun List Scheduler Snet Sudoku

@@ -1,0 +1,1 @@
+test/test_sudoku.ml: Alcotest Bool Fun List Printf Sacarray Scheduler String Sudoku

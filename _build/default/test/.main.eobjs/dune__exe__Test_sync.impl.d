@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Fun List Option Scheduler Snet Snet_lang

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Fun List Option Scheduler Snet String Sys

@@ -1,0 +1,1 @@
+test/test_with_loop.ml: Alcotest Array Format Fun Int List QCheck QCheck_alcotest Sacarray Scheduler

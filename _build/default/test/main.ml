@@ -1,0 +1,35 @@
+(* Aggregated test runner: one suite per module area. *)
+
+let () =
+  Alcotest.run "snet_sac"
+    [
+      ("shape", Test_shape.suite);
+      ("nd", Test_nd.suite);
+      ("with_loop", Test_with_loop.suite);
+      ("builtins", Test_builtins.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("streams", Test_streams.suite);
+      ("record", Test_record.suite);
+      ("rectype", Test_rectype.suite);
+      ("pattern", Test_pattern.suite);
+      ("filter_box", Test_filter_box.suite);
+      ("net", Test_net.suite);
+      ("optimize", Test_optimize.suite);
+      ("sync", Test_sync.suite);
+      ("engines", Test_engines.suite);
+      ("engine_thread", Test_engine_thread.suite);
+      ("trace", Test_trace.suite);
+      ("random_nets", Test_random_nets.suite);
+      ("detmerge", Test_detmerge.suite);
+      ("stress", Test_stress.suite);
+      ("coverage", Test_coverage.suite);
+      ("source_files", Test_source_files.suite);
+      ("lang", Test_lang.suite);
+      ("saclang", Test_saclang.suite);
+      ("sac_sudoku", Test_sac_sudoku.suite);
+      ("sac_check", Test_sac_check.suite);
+      ("sac_prelude", Test_sac_prelude.suite);
+      ("sudoku", Test_sudoku.suite);
+      ("networks", Test_networks.suite);
+      ("propagate", Test_propagate.suite);
+    ]

@@ -1,0 +1,210 @@
+(* SaC-style builtin array operations. *)
+
+module Nd = Sacarray.Nd
+module B = Sacarray.Builtins
+
+let int_nd = Alcotest.testable (Nd.pp Format.pp_print_int) (Nd.equal Int.equal)
+let check_nd = Alcotest.check int_nd
+
+let test_iota () =
+  check_nd "iota 5" (Nd.vector [ 0; 1; 2; 3; 4 ]) (B.iota 5);
+  check_nd "iota 0" (Nd.of_array [| 0 |] [||]) (B.iota 0)
+
+(* The paper's worked example: vector concatenation via with-loops. *)
+let test_concat_paper () =
+  check_nd "++"
+    (Nd.vector [ 1; 2; 3; 4; 5 ])
+    (B.concat (Nd.vector [ 1; 2 ]) (Nd.vector [ 3; 4; 5 ]))
+
+let test_concat_matrix () =
+  check_nd "axis 0"
+    (Nd.matrix [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ])
+    (B.concat (Nd.matrix [ [ 1; 2 ] ]) (Nd.matrix [ [ 3; 4 ]; [ 5; 6 ] ]));
+  Alcotest.(check bool) "shape mismatch" true
+    (try ignore (B.concat (Nd.matrix [ [ 1 ] ]) (Nd.matrix [ [ 1; 2 ] ])); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "scalars rejected" true
+    (try ignore (B.concat (Nd.scalar 1) (Nd.scalar 2)); false
+     with Invalid_argument _ -> true)
+
+let test_take_drop () =
+  let v = Nd.vector [ 1; 2; 3; 4; 5 ] in
+  check_nd "take 2" (Nd.vector [ 1; 2 ]) (B.take [| 2 |] v);
+  check_nd "take -2 (from the end, as in SaC)" (Nd.vector [ 4; 5 ]) (B.take [| -2 |] v);
+  check_nd "drop 2" (Nd.vector [ 3; 4; 5 ]) (B.drop [| 2 |] v);
+  check_nd "drop -2" (Nd.vector [ 1; 2; 3 ]) (B.drop [| -2 |] v);
+  let m = Nd.matrix [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  check_nd "take [1] keeps remaining axes" (Nd.matrix [ [ 1; 2; 3 ] ]) (B.take [| 1 |] m);
+  check_nd "take [1,2]" (Nd.matrix [ [ 1; 2 ] ]) (B.take [| 1; 2 |] m);
+  Alcotest.(check bool) "take too much" true
+    (try ignore (B.take [| 9 |] v); false with Invalid_argument _ -> true)
+
+let test_tile () =
+  let m = Nd.matrix [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 9 ] ] in
+  check_nd "inner tile"
+    (Nd.matrix [ [ 5; 6 ]; [ 8; 9 ] ])
+    (B.tile [| 2; 2 |] [| 1; 1 |] m);
+  Alcotest.(check bool) "escape" true
+    (try ignore (B.tile [| 2; 2 |] [| 2; 2 |] m); false
+     with Invalid_argument _ -> true)
+
+let test_reverse_rotate_shift () =
+  let v = Nd.vector [ 1; 2; 3; 4 ] in
+  check_nd "reverse" (Nd.vector [ 4; 3; 2; 1 ]) (B.reverse 0 v);
+  check_nd "rotate 1" (Nd.vector [ 4; 1; 2; 3 ]) (B.rotate 0 1 v);
+  check_nd "rotate -1" (Nd.vector [ 2; 3; 4; 1 ]) (B.rotate 0 (-1) v);
+  check_nd "rotate wraps" (B.rotate 0 1 v) (B.rotate 0 5 v);
+  check_nd "shift 1" (Nd.vector [ 0; 1; 2; 3 ]) (B.shift 0 1 0 v);
+  check_nd "shift -2" (Nd.vector [ 3; 4; 0; 0 ]) (B.shift 0 (-2) 0 v)
+
+let test_transpose () =
+  let m = Nd.matrix [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  check_nd "2d transpose"
+    (Nd.matrix [ [ 1; 4 ]; [ 2; 5 ]; [ 3; 6 ] ])
+    (B.transpose m);
+  check_nd "identity permutation" m (B.transpose ~perm:[| 0; 1 |] m);
+  Alcotest.(check bool) "bad permutation" true
+    (try ignore (B.transpose ~perm:[| 0; 0 |] m); false
+     with Invalid_argument _ -> true)
+
+let test_elementwise () =
+  let a = Nd.vector [ 1; 2; 3 ] and b = Nd.vector [ 10; 20; 30 ] in
+  check_nd "zipwith" (Nd.vector [ 11; 22; 33 ]) (B.zipwith ( + ) a b);
+  check_nd "map" (Nd.vector [ 2; 4; 6 ]) (B.map (fun x -> 2 * x) a);
+  let cond = Nd.of_array [| 3 |] [| true; false; true |] in
+  check_nd "where" (Nd.vector [ 1; 20; 3 ]) (B.where cond a b)
+
+let test_reductions () =
+  let v = Nd.vector [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check int) "sum" 14 (B.sum v);
+  Alcotest.(check int) "prod" 60 (B.prod v);
+  Alcotest.(check int) "maxval" 5 (B.maxval v);
+  Alcotest.(check int) "minval" 1 (B.minval v);
+  let bv = Nd.of_array [| 4 |] [| true; false; true; true |] in
+  Alcotest.(check int) "count" 3 (B.count bv);
+  Alcotest.(check bool) "any" true (B.any bv);
+  Alcotest.(check bool) "all" false (B.all bv);
+  Alcotest.(check (float 1e-9)) "sum_float" 6.0
+    (B.sum_float (Nd.of_array [| 3 |] [| 1.0; 2.0; 3.0 |]));
+  Alcotest.(check bool) "maxval empty" true
+    (try ignore (B.maxval (B.iota 0)); false with Invalid_argument _ -> true)
+
+let test_axis_ops () =
+  let m = Nd.matrix [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  check_nd "sum along rows" (Nd.vector [ 5; 7; 9 ]) (B.sum_axis ~axis:0 m);
+  check_nd "sum along columns" (Nd.vector [ 6; 15 ]) (B.sum_axis ~axis:1 m);
+  check_nd "reduce_axis max"
+    (Nd.vector [ 4; 5; 6 ])
+    (B.reduce_axis ~axis:0 ~neutral:min_int ~combine:max m);
+  Alcotest.(check bool) "bad axis" true
+    (try ignore (B.sum_axis ~axis:2 m); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rank 0" true
+    (try ignore (B.sum_axis ~axis:0 (Nd.scalar 1)); false
+     with Invalid_argument _ -> true)
+
+let test_matmul () =
+  let a = Nd.matrix [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = Nd.matrix [ [ 5; 6 ]; [ 7; 8 ] ] in
+  check_nd "2x2 product" (Nd.matrix [ [ 19; 22 ]; [ 43; 50 ] ]) (B.matmul a b);
+  let id = Nd.matrix [ [ 1; 0 ]; [ 0; 1 ] ] in
+  check_nd "identity" a (B.matmul a id);
+  Alcotest.(check bool) "shape mismatch" true
+    (try ignore (B.matmul a (Nd.matrix [ [ 1; 2 ] ])); false
+     with Invalid_argument _ -> true)
+
+let vec_gen = QCheck.Gen.(list_size (int_range 0 20) (int_range (-50) 50))
+
+let prop_matmul_assoc =
+  QCheck.Test.make ~name:"matmul is associative" ~count:30
+    (QCheck.make
+       QCheck.Gen.(
+         let dim = int_range 1 4 in
+         quad dim dim dim dim >>= fun (m, k, l, n) ->
+         let mat rows cols seed =
+           Nd.init [| rows; cols |] (fun iv ->
+               ((iv.(0) * 7) + (iv.(1) * 3) + seed) mod 10)
+         in
+         return (mat m k 1, mat k l 2, mat l n 3)))
+    (fun (a, b, c) ->
+      Nd.equal Int.equal
+        (B.matmul (B.matmul a b) c)
+        (B.matmul a (B.matmul b c)))
+
+let prop_sum_axis_total =
+  QCheck.Test.make ~name:"sum of sum_axis = total sum" ~count:50
+    (QCheck.make QCheck.Gen.(pair (int_range 1 6) (int_range 1 6)))
+    (fun (r, c) ->
+      let m = Nd.init [| r; c |] (fun iv -> (iv.(0) * 13) + iv.(1)) in
+      B.sum (B.sum_axis ~axis:0 m) = B.sum m
+      && B.sum (B.sum_axis ~axis:1 m) = B.sum m)
+
+let prop_concat_length =
+  QCheck.Test.make ~name:"length (a ++ b) = length a + length b" ~count:100
+    (QCheck.make QCheck.Gen.(pair vec_gen vec_gen))
+    (fun (a, b) ->
+      Nd.size (B.concat (Nd.vector a) (Nd.vector b))
+      = List.length a + List.length b)
+
+let prop_concat_assoc =
+  QCheck.Test.make ~name:"++ is associative" ~count:100
+    (QCheck.make QCheck.Gen.(triple vec_gen vec_gen vec_gen))
+    (fun (a, b, c) ->
+      let v = Nd.vector in
+      Nd.equal Int.equal
+        (B.concat (B.concat (v a) (v b)) (v c))
+        (B.concat (v a) (B.concat (v b) (v c))))
+
+let prop_take_drop_concat =
+  QCheck.Test.make ~name:"take n v ++ drop n v = v" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         vec_gen >>= fun xs ->
+         int_range 0 (List.length xs) >|= fun n -> (xs, n)))
+    (fun (xs, n) ->
+      let v = Nd.vector xs in
+      List.length xs = 0
+      || Nd.equal Int.equal v (B.concat (B.take [| n |] v) (B.drop [| n |] v)))
+
+let prop_reverse_involution =
+  QCheck.Test.make ~name:"reverse . reverse = id" ~count:100
+    (QCheck.make vec_gen)
+    (fun xs ->
+      let v = Nd.vector xs in
+      Nd.equal Int.equal v (B.reverse 0 (B.reverse 0 v)))
+
+let prop_rotate_sum =
+  QCheck.Test.make ~name:"rotate preserves multiset (sum)" ~count:100
+    (QCheck.make QCheck.Gen.(pair vec_gen (int_range (-30) 30)))
+    (fun (xs, k) ->
+      let v = Nd.vector xs in
+      B.sum v = B.sum (B.rotate 0 k v))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose . transpose = id (rank 2)" ~count:50
+    (QCheck.make QCheck.Gen.(pair (int_range 1 6) (int_range 1 6)))
+    (fun (r, c) ->
+      let m = Nd.init [| r; c |] (fun iv -> (17 * iv.(0)) + iv.(1)) in
+      Nd.equal Int.equal m (B.transpose (B.transpose m)))
+
+let suite =
+  [
+    Alcotest.test_case "iota" `Quick test_iota;
+    Alcotest.test_case "paper's ++" `Quick test_concat_paper;
+    Alcotest.test_case "concat on matrices" `Quick test_concat_matrix;
+    Alcotest.test_case "take/drop" `Quick test_take_drop;
+    Alcotest.test_case "tile" `Quick test_tile;
+    Alcotest.test_case "reverse/rotate/shift" `Quick test_reverse_rotate_shift;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "elementwise" `Quick test_elementwise;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "axis operations" `Quick test_axis_ops;
+    Alcotest.test_case "matmul" `Quick test_matmul;
+    QCheck_alcotest.to_alcotest prop_matmul_assoc;
+    QCheck_alcotest.to_alcotest prop_sum_axis_total;
+    QCheck_alcotest.to_alcotest prop_concat_length;
+    QCheck_alcotest.to_alcotest prop_concat_assoc;
+    QCheck_alcotest.to_alcotest prop_take_drop_concat;
+    QCheck_alcotest.to_alcotest prop_reverse_involution;
+    QCheck_alcotest.to_alcotest prop_rotate_sum;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+  ]

@@ -1,0 +1,106 @@
+(* Direct unit tests of the deterministic-merge protocol (the engines
+   exercise it end to end; these pin the bookkeeping itself). *)
+
+module D = Snet.Detmerge
+module Record = Snet.Record
+
+let rec_of i = Record.of_list ~fields:[] ~tags:[ ("i", i) ]
+let tag_of r = Option.get (Record.tag "i" r)
+
+let test_meta_paths () =
+  let root = D.root_meta 3 in
+  let c0 = D.child_meta root 0 in
+  let c1 = D.child_meta root 1 in
+  let gc = D.child_meta c1 4 in
+  Alcotest.(check (list int)) "root path" [ 3 ] root.D.path;
+  Alcotest.(check (list int)) "child path (reversed)" [ 0; 3 ] c0.D.path;
+  Alcotest.(check (list int)) "grandchild path" [ 4; 1; 3 ] gc.D.path
+
+let test_single_sequence () =
+  let r = D.create_region ~id:0 in
+  let completions = ref [] in
+  D.set_notify r (fun s -> completions := s :: !completions);
+  let m0 = D.stamp r (D.root_meta 0) in
+  (* The record reaches the collector directly: released at once. *)
+  let released = D.collector_data r m0 (rec_of 10) in
+  Alcotest.(check (list int)) "released immediately" [ 10 ]
+    (List.map (fun (_, x) -> tag_of x) released);
+  Alcotest.(check int) "no buffered leftovers" 0 (D.buffered r);
+  Alcotest.(check (list int)) "no out-of-band notify" [] !completions
+
+let test_out_of_order_release () =
+  let r = D.create_region ~id:1 in
+  D.set_notify r (fun _ -> ());
+  let m0 = D.stamp r (D.root_meta 0) in
+  let m1 = D.stamp r (D.root_meta 1) in
+  (* Sequence 1 arrives first: buffered until 0 completes. *)
+  Alcotest.(check int) "seq 1 held" 0
+    (List.length (D.collector_data r m1 (rec_of 1)));
+  let released = D.collector_data r m0 (rec_of 0) in
+  Alcotest.(check (list int)) "0 then 1" [ 0; 1 ]
+    (List.map (fun (_, x) -> tag_of x) released);
+  Alcotest.(check int) "drained" 0 (D.buffered r)
+
+let test_fanout_dfs_order () =
+  let r = D.create_region ~id:2 in
+  D.set_notify r (fun _ -> ());
+  let m = D.stamp r (D.root_meta 0) in
+  (* A box turned the record into three children. *)
+  D.account m 3;
+  let c0 = D.child_meta m 0 and c1 = D.child_meta m 1 and c2 = D.child_meta m 2 in
+  (* They arrive out of order; release happens only after the last one
+     retires the count, sorted back into emission order. *)
+  Alcotest.(check int) "held" 0 (List.length (D.collector_data r c2 (rec_of 2)));
+  Alcotest.(check int) "held" 0 (List.length (D.collector_data r c0 (rec_of 0)));
+  let released = D.collector_data r c1 (rec_of 1) in
+  Alcotest.(check (list int)) "DFS order restored" [ 0; 1; 2 ]
+    (List.map (fun (_, x) -> tag_of x) released)
+
+let test_zero_output_completion () =
+  let r = D.create_region ~id:3 in
+  let completions = ref [] in
+  D.set_notify r (fun s -> completions := s :: !completions);
+  let m0 = D.stamp r (D.root_meta 0) in
+  let m1 = D.stamp r (D.root_meta 1) in
+  (* Sequence 1's record is already at the collector... *)
+  Alcotest.(check int) "held behind seq 0" 0
+    (List.length (D.collector_data r m1 (rec_of 1)));
+  (* ...and sequence 0 dies inside a box (zero emissions): the final
+     decrement fires the notification... *)
+  D.account m0 0;
+  Alcotest.(check (list int)) "notified" [ 0 ] !completions;
+  (* ...which the collector context turns into the release of seq 1. *)
+  let released = D.collector_complete r 0 in
+  Alcotest.(check (list int)) "empty seq skipped, next released" [ 1 ]
+    (List.map (fun (_, x) -> tag_of x) released)
+
+let test_nested_tokens () =
+  let outer = D.create_region ~id:4 in
+  let inner = D.create_region ~id:5 in
+  D.set_notify outer (fun _ -> ());
+  D.set_notify inner (fun _ -> ());
+  let m = D.stamp inner (D.stamp outer (D.root_meta 0)) in
+  (* The inner collector pops only its own token; the outer one stays
+     in flight. *)
+  let released = D.collector_data inner m (rec_of 7) in
+  (match released with
+  | [ (meta, _) ] ->
+      Alcotest.(check int) "outer token remains" 1 (List.length meta.D.tokens);
+      let final = D.collector_data outer meta (rec_of 7) in
+      Alcotest.(check int) "outer releases" 1 (List.length final);
+      (match final with
+      | [ (meta, _) ] ->
+          Alcotest.(check int) "no tokens left" 0 (List.length meta.D.tokens)
+      | _ -> Alcotest.fail "one record")
+  | _ -> Alcotest.fail "inner should release one record");
+  Alcotest.(check int) "nothing buffered" 0 (D.buffered outer + D.buffered inner)
+
+let suite =
+  [
+    Alcotest.test_case "emission paths" `Quick test_meta_paths;
+    Alcotest.test_case "single sequence" `Quick test_single_sequence;
+    Alcotest.test_case "out-of-order release" `Quick test_out_of_order_release;
+    Alcotest.test_case "fan-out DFS order" `Quick test_fanout_dfs_order;
+    Alcotest.test_case "zero-output completion" `Quick test_zero_output_completion;
+    Alcotest.test_case "nested regions" `Quick test_nested_tokens;
+  ]

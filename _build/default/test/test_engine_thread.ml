@@ -1,0 +1,180 @@
+(* The thread-per-component engine: equivalence with the reference
+   engine and behaviour specific to bounded channels. *)
+
+module Net = Snet.Net
+module Box = Snet.Box
+module P = Snet.Pattern
+module Record = Snet.Record
+module Seq_e = Snet.Engine_seq
+module Th_e = Snet.Engine_thread
+
+let record ~t = Record.of_list ~fields:[] ~tags:t
+let tags_of name records = List.filter_map (Record.tag name) records
+let xs_in values = List.map (fun x -> record ~t:[ ("x", x) ]) values
+
+let inc =
+  Box.make ~name:"inc" ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] -> emit 1 [ Tag (x + 1) ]
+      | _ -> assert false)
+
+let dup =
+  Box.make ~name:"dup" ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] ->
+          emit 1 [ Tag x ];
+          emit 1 [ Tag (x + 100) ]
+      | _ -> assert false)
+
+let drop_odd =
+  Box.make ~name:"dropOdd" ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] -> if x mod 2 = 0 then emit 1 [ Tag x ]
+      | _ -> assert false)
+
+let countdown =
+  Box.make ~name:"countdown" ~input:[ T "x" ]
+    ~outputs:[ [ T "x" ]; [ T "x"; T "done" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] ->
+          if x <= 0 then emit 2 [ Tag 0; Tag 1 ] else emit 1 [ Tag (x - 1) ]
+      | _ -> assert false)
+
+let done_pattern = P.make ~fields:[] ~tags:[ "done" ] ()
+
+let test_pipeline () =
+  let net = Net.serial (Net.box inc) (Net.box dup) in
+  Alcotest.(check (list int)) "pipeline preserves order"
+    [ 2; 102; 3; 103 ]
+    (tags_of "x" (Th_e.run net (xs_in [ 1; 2 ])))
+
+let test_matches_seq_on_det_nets () =
+  let net =
+    Net.serial
+      (Net.split ~det:true (Net.serial (Net.box dup) (Net.box drop_odd)) "k")
+      (Net.box inc)
+  in
+  let inputs =
+    List.concat_map
+      (fun k ->
+        List.map (fun x -> record ~t:[ ("x", x); ("k", k) ]) [ 2; 5 ])
+      [ 0; 1; 2 ]
+  in
+  let expected = tags_of "x" (Seq_e.run net inputs) in
+  for _round = 1 to 3 do
+    Alcotest.(check (list int)) "det split = reference order" expected
+      (tags_of "x" (Th_e.run net inputs))
+  done
+
+let test_det_star () =
+  let net = Net.star ~det:true (Net.box countdown) done_pattern in
+  let inputs = xs_in [ 5; 0; 3; 7; 1 ] in
+  let expected = tags_of "x" (Seq_e.run net inputs) in
+  Alcotest.(check (list int)) "det star order" expected
+    (tags_of "x" (Th_e.run net inputs))
+
+let test_nondet_multiset () =
+  let net = Net.split (Net.serial (Net.box dup) (Net.box inc)) "k" in
+  let inputs =
+    List.init 20 (fun i -> record ~t:[ ("x", i); ("k", i mod 4) ])
+  in
+  let expected = List.sort compare (tags_of "x" (Seq_e.run net inputs)) in
+  Alcotest.(check (list int)) "same multiset" expected
+    (List.sort compare (tags_of "x" (Th_e.run net inputs)))
+
+let test_tiny_capacity_backpressure () =
+  (* Capacity 1 forces producers to block on every hop; the run must
+     still complete with identical results. *)
+  let net =
+    Net.serial (Net.box dup)
+      (Net.star ~det:true (Net.box countdown) done_pattern)
+  in
+  let inputs = xs_in [ 4; 9; 2 ] in
+  let expected = tags_of "x" (Seq_e.run net inputs) in
+  Alcotest.(check (list int)) "capacity 1" expected
+    (tags_of "x" (Th_e.run ~capacity:1 net inputs));
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try ignore (Th_e.start ~capacity:0 (Net.box inc)); false
+     with Invalid_argument _ -> true)
+
+let test_star_unfolds_threads () =
+  let stats = Snet.Stats.create () in
+  let net = Net.star (Net.box countdown) done_pattern in
+  ignore (Th_e.run ~stats net (xs_in [ 5 ]));
+  Alcotest.(check int) "six stages" 6
+    (Snet.Stats.snapshot stats).Snet.Stats.max_star_depth
+
+exception Boom
+
+let test_box_failure () =
+  let bomb =
+    Box.make ~name:"bomb" ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+      (fun ~emit -> function
+        | [ Tag x ] -> if x = 3 then raise Boom else emit 1 [ Tag x ]
+        | _ -> assert false)
+  in
+  Alcotest.(check bool) "failure surfaces at finish" true
+    (try ignore (Th_e.run (Net.box bomb) (xs_in [ 1; 2; 3; 4 ])); false
+     with Boom -> true)
+
+let test_one_shot () =
+  let inst = Th_e.start (Net.box inc) in
+  Th_e.feed inst (record ~t:[ ("x", 1) ]);
+  Alcotest.(check (list int)) "first finish" [ 2 ]
+    (tags_of "x" (Th_e.finish inst));
+  Alcotest.(check bool) "feed after finish" true
+    (try Th_e.feed inst (record ~t:[ ("x", 2) ]); false
+     with Failure _ -> true);
+  Alcotest.(check bool) "double finish" true
+    (try ignore (Th_e.finish inst); false with Failure _ -> true)
+
+let test_admission_check () =
+  let inst = Th_e.start (Net.box inc) in
+  Alcotest.(check bool) "bad variant rejected" true
+    (try Th_e.feed inst (Record.of_list ~fields:[] ~tags:[ ("y", 0) ]); false
+     with Snet.Typecheck.Type_error _ -> true);
+  ignore (Th_e.finish inst)
+
+let test_sync_on_thread_engine () =
+  let cell =
+    Net.sync
+      [ P.make ~fields:[] ~tags:[ "a" ] (); P.make ~fields:[] ~tags:[ "b" ] () ]
+  in
+  let out =
+    Th_e.run cell [ record ~t:[ ("a", 1) ]; record ~t:[ ("b", 2) ] ]
+  in
+  Alcotest.(check int) "joined" 1 (List.length out);
+  Alcotest.(check (option int)) "has a" (Some 1) (Record.tag "a" (List.hd out));
+  Alcotest.(check (option int)) "has b" (Some 2) (Record.tag "b" (List.hd out))
+
+let test_three_engines_agree () =
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.Pool.shutdown pool)
+    (fun () ->
+      let net =
+        Net.serial (Net.box dup)
+          (Net.serial (Net.box drop_odd)
+             (Net.star ~det:true (Net.box countdown) done_pattern))
+      in
+      let inputs = xs_in [ 6; 3; 8; 1; 0 ] in
+      let seq = tags_of "x" (Seq_e.run net inputs) in
+      let conc = tags_of "x" (Snet.Engine_conc.run ~pool net inputs) in
+      let thr = tags_of "x" (Th_e.run net inputs) in
+      Alcotest.(check (list int)) "actor engine" seq conc;
+      Alcotest.(check (list int)) "thread engine" seq thr)
+
+let suite =
+  [
+    Alcotest.test_case "pipeline order" `Quick test_pipeline;
+    Alcotest.test_case "det split matches reference" `Quick test_matches_seq_on_det_nets;
+    Alcotest.test_case "det star matches reference" `Quick test_det_star;
+    Alcotest.test_case "nondet multiset" `Quick test_nondet_multiset;
+    Alcotest.test_case "backpressure with capacity 1" `Quick test_tiny_capacity_backpressure;
+    Alcotest.test_case "star unfolds threads" `Quick test_star_unfolds_threads;
+    Alcotest.test_case "box failure" `Quick test_box_failure;
+    Alcotest.test_case "one-shot lifecycle" `Quick test_one_shot;
+    Alcotest.test_case "admission check" `Quick test_admission_check;
+    Alcotest.test_case "synchrocell" `Quick test_sync_on_thread_engine;
+    Alcotest.test_case "three engines agree" `Quick test_three_engines_agree;
+  ]

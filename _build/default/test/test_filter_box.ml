@@ -1,0 +1,204 @@
+(* Filters and boxes, including the paper's worked examples. *)
+
+module Value = Snet.Value
+module Record = Snet.Record
+module Filter = Snet.Filter
+module Box = Snet.Box
+module P = Snet.Pattern
+
+let record ~f ~t =
+  Record.of_list ~fields:(List.map (fun (n, v) -> (n, Value.of_int v)) f) ~tags:t
+
+let field_int name r = Option.bind (Record.field name r) Value.to_int
+
+(* The paper's filter:
+     [{a,b,<c>} -> {a,z=a,<t>}; {b,a=b,<c>=<c>+1}]
+   First output: original a, copy of a as z, fresh tag <t>=0.
+   Second output: original b, b's value under label a, <c> incremented. *)
+let paper_filter () =
+  Filter.make
+    (P.make ~fields:[ "a"; "b" ] ~tags:[ "c" ] ())
+    [
+      [ Filter.Copy_field "a";
+        Filter.Rename_field { target = "z"; source = "a" };
+        Filter.Set_tag ("t", P.Const 0) ];
+      [ Filter.Copy_field "b";
+        Filter.Rename_field { target = "a"; source = "b" };
+        Filter.Set_tag ("c", P.Add (P.Tag "c", P.Const 1)) ];
+    ]
+
+let test_paper_filter () =
+  let out = Filter.apply (paper_filter ()) (record ~f:[ ("a", 10); ("b", 20) ] ~t:[ ("c", 5) ]) in
+  match out with
+  | [ r1; r2 ] ->
+      Alcotest.(check (option int)) "r1.a" (Some 10) (field_int "a" r1);
+      Alcotest.(check (option int)) "r1.z = a" (Some 10) (field_int "z" r1);
+      Alcotest.(check (option int)) "r1.<t> defaults to 0" (Some 0) (Record.tag "t" r1);
+      Alcotest.(check bool) "r1 drops b" false (Record.has_field "b" r1);
+      Alcotest.(check bool) "r1 drops <c>" false (Record.has_tag "c" r1);
+      Alcotest.(check (option int)) "r2.b" (Some 20) (field_int "b" r2);
+      Alcotest.(check (option int)) "r2.a = b" (Some 20) (field_int "a" r2);
+      Alcotest.(check (option int)) "r2.<c> incremented" (Some 6) (Record.tag "c" r2)
+  | _ -> Alcotest.fail "expected exactly two records"
+
+(* Flow inheritance through filters: the paper relies on
+   [{} -> {<k>=1}] passing board and opts through untouched. *)
+let test_filter_flow_inheritance () =
+  let add_k =
+    Filter.make (P.make ~fields:[] ~tags:[] ()) [ [ Filter.Set_tag ("k", P.Const 1) ] ]
+  in
+  let out = Filter.apply add_k (record ~f:[ ("board", 1); ("opts", 2) ] ~t:[]) in
+  match out with
+  | [ r ] ->
+      Alcotest.(check (option int)) "k set" (Some 1) (Record.tag "k" r);
+      Alcotest.(check bool) "board inherited" true (Record.has_field "board" r);
+      Alcotest.(check bool) "opts inherited" true (Record.has_field "opts" r)
+  | _ -> Alcotest.fail "expected one record"
+
+let test_filter_deletion () =
+  let delete = Filter.make (P.make ~fields:[] ~tags:[ "junk" ] ()) [] in
+  Alcotest.(check int) "no output" 0
+    (List.length (Filter.apply delete (record ~f:[] ~t:[ ("junk", 1) ])))
+
+let test_filter_throttle () =
+  (* The paper's throttle: {<k>} -> {<k>=<k>%4}. *)
+  let throttle =
+    Filter.make (P.make ~fields:[] ~tags:[ "k" ] ())
+      [ [ Filter.Set_tag ("k", P.Mod (P.Tag "k", P.Const 4)) ] ]
+  in
+  List.iter
+    (fun k ->
+      match Filter.apply throttle (record ~f:[] ~t:[ ("k", k) ]) with
+      | [ r ] -> Alcotest.(check (option int)) "k mod 4" (Some (k mod 4)) (Record.tag "k" r)
+      | _ -> Alcotest.fail "one record expected")
+    [ 0; 1; 4; 7; 9 ]
+
+let test_filter_validation () =
+  Alcotest.(check bool) "unknown field rejected" true
+    (try ignore (Filter.make (P.make ~fields:[] ~tags:[] ()) [ [ Filter.Copy_field "a" ] ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown tag in expression rejected" true
+    (try
+       ignore
+         (Filter.make (P.make ~fields:[] ~tags:[] ())
+            [ [ Filter.Set_tag ("t", P.Tag "ghost") ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-matching record rejected" true
+    (try ignore (Filter.apply (paper_filter ()) (record ~f:[] ~t:[])); false
+     with Invalid_argument _ -> true)
+
+let test_filter_signature () =
+  let sg = Filter.signature (paper_filter ()) in
+  (* Output variants are normalised into a canonical order. *)
+  Alcotest.(check string) "signature"
+    "{a,b,<c>} -> {a,b,<c>} | {a,z,<t>}"
+    (Snet.Rectype.signature_to_string sg)
+
+(* The paper's box foo ((a,<b>) -> (c) | (c,d,<e>)). *)
+let paper_box () =
+  Box.make ~name:"foo"
+    ~input:[ F "a"; T "b" ]
+    ~outputs:[ [ F "c" ]; [ F "c"; F "d"; T "e" ] ]
+    (fun ~emit -> function
+      | [ Field a; Tag b ] ->
+          (* snet_out(1, x); snet_out(2, x, y, 42) *)
+          emit 1 [ Field a ];
+          emit 2 [ Field a; Field (Value.of_int b); Tag 42 ]
+      | _ -> assert false)
+
+let test_box_signature () =
+  Alcotest.(check string) "type signature drops ordering"
+    "{a,<b>} -> {c} | {c,d,<e>}"
+    (Snet.Rectype.signature_to_string (Box.signature (paper_box ())));
+  Alcotest.(check string) "declaration form"
+    "box foo ((a,<b>) -> (c) | (c,d,<e>))"
+    (Box.to_string (paper_box ()))
+
+let test_box_execute () =
+  let out = Box.execute (paper_box ()) (record ~f:[ ("a", 7) ] ~t:[ ("b", 3) ]) in
+  match out with
+  | [ r1; r2 ] ->
+      Alcotest.(check (option int)) "variant 1 field c" (Some 7) (field_int "c" r1);
+      Alcotest.(check (option int)) "variant 2 tag e" (Some 42) (Record.tag "e" r2);
+      Alcotest.(check (option int)) "variant 2 field d" (Some 3) (field_int "d" r2)
+  | _ -> Alcotest.fail "two emissions expected"
+
+(* The paper's flow inheritance narrative: foo gets {a,<b>,d}; d is
+   attached to variant-1 outputs and discarded on variant-2 outputs
+   (which already carry d). *)
+let test_box_flow_inheritance () =
+  let out =
+    Box.execute (paper_box ())
+      (record ~f:[ ("a", 7); ("d", 99) ] ~t:[ ("b", 3) ])
+  in
+  match out with
+  | [ r1; r2 ] ->
+      Alcotest.(check (option int)) "excess d attached to variant 1" (Some 99)
+        (field_int "d" r1);
+      Alcotest.(check (option int)) "variant 2 keeps its own d" (Some 3)
+        (field_int "d" r2)
+  | _ -> Alcotest.fail "two emissions expected"
+
+let test_box_emission_order () =
+  let b =
+    Box.make ~name:"burst" ~input:[ T "n" ] ~outputs:[ [ T "i" ] ]
+      (fun ~emit -> function
+        | [ Tag n ] -> for i = 1 to n do emit 1 [ Tag i ] done
+        | _ -> assert false)
+  in
+  let out = Box.execute b (record ~f:[] ~t:[ ("n", 5) ]) in
+  Alcotest.(check (list int)) "emission order preserved" [ 1; 2; 3; 4; 5 ]
+    (List.filter_map (Record.tag "i") out)
+
+let test_box_errors () =
+  let b = paper_box () in
+  Alcotest.(check bool) "missing input label" true
+    (try ignore (Box.execute b (record ~f:[] ~t:[ ("b", 1) ])); false
+     with Invalid_argument _ -> true);
+  let bad_variant =
+    Box.make ~name:"bv" ~input:[ T "x" ] ~outputs:[ [ T "y" ] ]
+      (fun ~emit -> fun _ -> emit 2 [ Tag 0 ])
+  in
+  Alcotest.(check bool) "unknown variant" true
+    (try ignore (Box.execute bad_variant (record ~f:[] ~t:[ ("x", 1) ])); false
+     with Invalid_argument _ -> true);
+  let bad_arity =
+    Box.make ~name:"ba" ~input:[ T "x" ] ~outputs:[ [ T "y" ] ]
+      (fun ~emit -> fun _ -> emit 1 [ Tag 0; Tag 1 ])
+  in
+  Alcotest.(check bool) "arity mismatch" true
+    (try ignore (Box.execute bad_arity (record ~f:[] ~t:[ ("x", 1) ])); false
+     with Invalid_argument _ -> true);
+  let bad_kind =
+    Box.make ~name:"bk" ~input:[ T "x" ] ~outputs:[ [ F "y" ] ]
+      (fun ~emit -> fun _ -> emit 1 [ Tag 0 ])
+  in
+  Alcotest.(check bool) "kind mismatch" true
+    (try ignore (Box.execute bad_kind (record ~f:[] ~t:[ ("x", 1) ])); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate input labels rejected" true
+    (try
+       ignore (Box.make ~name:"dup" ~input:[ T "x"; T "x" ] ~outputs:[ [] ] (fun ~emit:_ _ -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty output disjunction rejected" true
+    (try
+       ignore (Box.make ~name:"none" ~input:[] ~outputs:[] (fun ~emit:_ _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "paper's filter example" `Quick test_paper_filter;
+    Alcotest.test_case "filter flow inheritance" `Quick test_filter_flow_inheritance;
+    Alcotest.test_case "filter deletion" `Quick test_filter_deletion;
+    Alcotest.test_case "paper's throttle filter" `Quick test_filter_throttle;
+    Alcotest.test_case "filter validation" `Quick test_filter_validation;
+    Alcotest.test_case "filter signature" `Quick test_filter_signature;
+    Alcotest.test_case "box signature" `Quick test_box_signature;
+    Alcotest.test_case "box execute / snet_out" `Quick test_box_execute;
+    Alcotest.test_case "box flow inheritance (paper)" `Quick test_box_flow_inheritance;
+    Alcotest.test_case "box emission order" `Quick test_box_emission_order;
+    Alcotest.test_case "box errors" `Quick test_box_errors;
+  ]

@@ -1,0 +1,240 @@
+(* The S-Net surface language: lexer, parser, elaboration. *)
+
+module L = Snet_lang.Lexer
+module T = Snet_lang.Token
+module Parser = Snet_lang.Parser
+module Ast = Snet_lang.Ast
+module E = Snet_lang.Elaborate
+module P = Snet.Pattern
+
+let tokens src = List.map fst (L.tokenize src)
+
+let token_t = Alcotest.testable (fun fmt t -> Format.fprintf fmt "%s" (T.to_string t)) ( = )
+
+let test_lexer_basics () =
+  Alcotest.(check (list token_t)) "symbols"
+    [ T.LPAREN; T.RPAREN; T.DOTDOT; T.BARBAR; T.BAR; T.STARSTAR; T.STAR;
+      T.BANGBANG; T.BANG; T.ARROW; T.EOF ]
+    (tokens "( ) .. || | ** * !! ! ->");
+  Alcotest.(check (list token_t)) "words and numbers"
+    [ T.KW_NET; T.KW_BOX; T.KW_CONNECT; T.IDENT "foo"; T.INT 42; T.EOF ]
+    (tokens "net box connect foo 42")
+
+let test_lexer_tags_vs_comparisons () =
+  (* The paper's guard '<level> > 40' must lex tag-then-GT. *)
+  Alcotest.(check (list token_t)) "tag then comparison"
+    [ T.TAG "level"; T.GT; T.INT 40; T.EOF ]
+    (tokens "<level> > 40");
+  Alcotest.(check (list token_t)) "bare < is comparison"
+    [ T.INT 1; T.LT; T.INT 2; T.EOF ]
+    (tokens "1 < 2");
+  Alcotest.(check (list token_t)) "<= is LE"
+    [ T.TAG "k"; T.LE; T.INT 3; T.EOF ]
+    (tokens "<k> <= 3");
+  Alcotest.(check (list token_t)) "< ident without > stays comparison"
+    [ T.INT 1; T.LT; T.IDENT "x"; T.EOF ]
+    (tokens "1 < x")
+
+let test_lexer_comments () =
+  Alcotest.(check (list token_t)) "comments skipped"
+    [ T.IDENT "a"; T.IDENT "b"; T.EOF ]
+    (tokens "a // to end of line\nb /* block\n comment */");
+  Alcotest.(check bool) "unterminated block" true
+    (try ignore (tokens "/* oops"); false with L.Lex_error _ -> true);
+  Alcotest.(check bool) "stray char" true
+    (try ignore (tokens "§"); false with L.Lex_error _ -> true)
+
+let test_lexer_positions () =
+  match L.tokenize "a\n  b" with
+  | [ (T.IDENT "a", p1); (T.IDENT "b", p2); (T.EOF, _) ] ->
+      Alcotest.(check int) "line 1" 1 p1.L.line;
+      Alcotest.(check int) "line 2" 2 p2.L.line;
+      Alcotest.(check int) "column 3" 3 p2.L.column
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let roundtrip src = Ast.expr_to_string (Parser.parse_expr_string src)
+
+let test_parser_precedence () =
+  (* Postfix binds tighter than .., which binds tighter than ||. *)
+  Alcotest.(check string) "serial vs parallel"
+    "((a .. b) || c)" (roundtrip "a .. b || c");
+  Alcotest.(check string) "postfix star"
+    "((a ** {<done>}) .. b)" (roundtrip "a ** {<done>} .. b");
+  Alcotest.(check string) "split then star"
+    "((a !! <k>) ** {<done>})" (roundtrip "(a !! <k>) ** {<done>}");
+  Alcotest.(check string) "left assoc serial"
+    "((a .. b) .. c)" (roundtrip "a .. b .. c");
+  Alcotest.(check string) "det choice"
+    "(a | b)" (roundtrip "a | b")
+
+let test_parser_guarded_star () =
+  Alcotest.(check string) "guarded exit pattern"
+    "(a * ({<level>} | <level> > 40))"
+    (roundtrip "a * ({<level>} | <level> > 40)")
+
+let test_parser_filter () =
+  Alcotest.(check string) "paper's filter"
+    "[{a,b,<c>} -> {a, z=a, <t>}; {b, a=b, <c>=(<c>+1)}]"
+    (roundtrip "[{a,b,<c>} -> {a, z=a, <t>}; {b, a=b, <c>=<c>+1}]");
+  Alcotest.(check string) "throttle"
+    "[{<k>} -> {<k>=(<k>%4)}]" (roundtrip "[{<k>} -> {<k>=<k>%4}]");
+  Alcotest.(check string) "deletion filter"
+    "[{<junk>} -> ]" (roundtrip "[{<junk>} ->]")
+
+let test_parser_errors () =
+  let bad src =
+    try ignore (Parser.parse_expr_string src); false
+    with Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "dangling serial" true (bad "a ..");
+  Alcotest.(check bool) "star without pattern" true (bad "a ** b");
+  Alcotest.(check bool) "split without tag" true (bad "a !! b");
+  Alcotest.(check bool) "unbalanced paren" true (bad "(a .. b");
+  Alcotest.(check bool) "filter missing arrow" true (bad "[{a} {b}]")
+
+let test_parser_net_def () =
+  let nd =
+    Parser.parse_string
+      {|
+      net outer {
+        box f ((a) -> (b) | (b, <t>));
+        net inner {
+          box g ((b) -> (c));
+        } connect g .. g;
+      } connect f .. inner;
+    |}
+  in
+  Alcotest.(check string) "name" "outer" nd.Ast.net_name;
+  Alcotest.(check int) "two declarations" 2 (List.length nd.Ast.decls);
+  (match nd.Ast.decls with
+  | [ Ast.DBox b; Ast.DNet inner ] ->
+      Alcotest.(check string) "box name" "f" b.Ast.box_name;
+      Alcotest.(check int) "two output variants" 2 (List.length b.Ast.box_outputs);
+      Alcotest.(check string) "inner net" "inner" inner.Ast.net_name
+  | _ -> Alcotest.fail "unexpected declarations");
+  Alcotest.(check string) "body" "(f .. inner)" (Ast.expr_to_string nd.Ast.body)
+
+let test_parse_print_roundtrip () =
+  let src =
+    {|
+    net sudoku {
+      box computeOpts ((board) -> (board, opts));
+      box solveOneLevelK ((board, opts) -> (board, opts, <k>) | (board, <done>));
+    } connect computeOpts .. [{} -> {<k>=1}] .. ((solveOneLevelK !! <k>) ** {<done>});
+    |}
+  in
+  let once = Parser.parse_string src in
+  let again = Parser.parse_string (Ast.net_to_string once) in
+  Alcotest.(check string) "print/parse fixpoint"
+    (Ast.net_to_string once) (Ast.net_to_string again)
+
+let id_box name ~input ~outputs =
+  Snet.Box.make ~name ~input ~outputs (fun ~emit:_ _ -> ())
+
+let test_elaborate () =
+  let nd =
+    Parser.parse_string
+      {|
+      net n {
+        box f ((a) -> (b));
+        box g ((b) -> (c));
+      } connect f .. g;
+    |}
+  in
+  let registry =
+    [
+      ("f", id_box "f" ~input:[ Snet.Box.F "a" ] ~outputs:[ [ Snet.Box.F "b" ] ]);
+      ("g", id_box "g" ~input:[ Snet.Box.F "b" ] ~outputs:[ [ Snet.Box.F "c" ] ]);
+    ]
+  in
+  let net = E.elaborate registry nd in
+  Alcotest.(check string) "elaborated" "(f .. g)" (Snet.Net.to_string net);
+  Alcotest.(check string) "typed" "{a} -> {c}"
+    (Snet.Rectype.signature_to_string (Snet.Typecheck.infer net))
+
+let test_elaborate_errors () =
+  let nd =
+    Parser.parse_string
+      {| net n { box f ((a) -> (b)); } connect f; |}
+  in
+  Alcotest.(check bool) "missing registration" true
+    (try ignore (E.elaborate [] nd); false with E.Elab_error _ -> true);
+  let wrong =
+    [ ("f", id_box "f" ~input:[ Snet.Box.F "z" ] ~outputs:[ [ Snet.Box.F "b" ] ]) ]
+  in
+  Alcotest.(check bool) "signature mismatch" true
+    (try ignore (E.elaborate wrong nd); false with E.Elab_error _ -> true);
+  let undeclared =
+    Parser.parse_string {| net n { box f ((a) -> (b)); } connect ghost; |}
+  in
+  let ok_reg =
+    [ ("f", id_box "f" ~input:[ Snet.Box.F "a" ] ~outputs:[ [ Snet.Box.F "b" ] ]) ]
+  in
+  Alcotest.(check bool) "undeclared reference" true
+    (try ignore (E.elaborate ok_reg undeclared); false with E.Elab_error _ -> true)
+
+let test_elaborate_stubs () =
+  let nd =
+    Parser.parse_string
+      {|
+      net fig1 {
+        box computeOpts ((board) -> (board, opts));
+        box solveOneLevel ((board, opts) -> (board, opts) | (board, <done>));
+      } connect computeOpts .. (solveOneLevel ** {<done>});
+    |}
+  in
+  let net = E.elaborate_with_stubs nd in
+  Alcotest.(check string) "fig1 signature from stubs"
+    "{board} -> {board,<done>}"
+    (Snet.Rectype.signature_to_string (Snet.Typecheck.infer net))
+
+let test_pattern_helpers () =
+  let p =
+    E.pattern
+      { Ast.pat_fields = [ "a" ]; pat_tags = [ "k" ];
+        pat_guard = Some (P.Cmp (P.Gt, P.Tag "k", P.Const 0)) }
+  in
+  Alcotest.(check string) "pattern" "{a,<k>} | <k> > 0" (P.to_string p);
+  let pat = Parser.parse_pattern_string "{board,<k>}" in
+  Alcotest.(check (list string)) "fields" [ "board" ] pat.Ast.pat_fields;
+  Alcotest.(check (list string)) "tags" [ "k" ] pat.Ast.pat_tags
+
+(* An end-to-end DSL-to-execution test with real behaviour. *)
+let test_dsl_execution () =
+  let double =
+    Snet.Box.make ~name:"double" ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+      (fun ~emit -> function
+        | [ Tag x ] -> emit 1 [ Tag (2 * x) ]
+        | _ -> assert false)
+  in
+  let nd =
+    Parser.parse_string
+      {| net n { box double ((<x>) -> (<x>)); }
+         connect double .. double .. [{<x>} -> {<x>=<x>+1}]; |}
+  in
+  let net = E.elaborate [ ("double", double) ] nd in
+  let out =
+    Snet.Engine_seq.run net
+      [ Snet.Record.of_list ~fields:[] ~tags:[ ("x", 5) ] ]
+  in
+  Alcotest.(check (list int)) "4x+1" [ 21 ]
+    (List.filter_map (Snet.Record.tag "x") out)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer: tags vs comparisons" `Quick test_lexer_tags_vs_comparisons;
+    Alcotest.test_case "lexer: comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer: positions" `Quick test_lexer_positions;
+    Alcotest.test_case "parser: precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser: guarded star" `Quick test_parser_guarded_star;
+    Alcotest.test_case "parser: filters" `Quick test_parser_filter;
+    Alcotest.test_case "parser: errors" `Quick test_parser_errors;
+    Alcotest.test_case "parser: net definitions" `Quick test_parser_net_def;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_parse_print_roundtrip;
+    Alcotest.test_case "elaborate" `Quick test_elaborate;
+    Alcotest.test_case "elaborate errors" `Quick test_elaborate_errors;
+    Alcotest.test_case "elaborate with stubs" `Quick test_elaborate_stubs;
+    Alcotest.test_case "pattern helpers" `Quick test_pattern_helpers;
+    Alcotest.test_case "DSL to execution" `Quick test_dsl_execution;
+  ]

@@ -1,0 +1,129 @@
+(* N-dimensional arrays. *)
+
+module Nd = Sacarray.Nd
+
+let int_nd = Alcotest.testable (Nd.pp Format.pp_print_int) (Nd.equal Int.equal)
+let check_nd = Alcotest.check int_nd
+let check_int = Alcotest.(check int)
+
+let test_create () =
+  let a = Nd.create [| 2; 3 |] 7 in
+  check_int "size" 6 (Nd.size a);
+  check_int "dim" 2 (Nd.dim a);
+  check_int "element" 7 (Nd.get a [| 1; 2 |])
+
+let test_init () =
+  let a = Nd.init [| 2; 3 |] (fun iv -> (10 * iv.(0)) + iv.(1)) in
+  check_int "0,0" 0 (Nd.get a [| 0; 0 |]);
+  check_int "1,2" 12 (Nd.get a [| 1; 2 |])
+
+let test_scalar () =
+  let s = Nd.scalar 42 in
+  check_int "dim" 0 (Nd.dim s);
+  check_int "size" 1 (Nd.size s);
+  check_int "value" 42 (Nd.get_scalar s);
+  Alcotest.check_raises "get_scalar on vector"
+    (Invalid_argument "Nd.get_scalar: array of shape [2]") (fun () ->
+      ignore (Nd.get_scalar (Nd.vector [ 1; 2 ])))
+
+let test_of_array () =
+  let a = Nd.of_array [| 2; 2 |] [| 1; 2; 3; 4 |] in
+  check_int "1,0" 3 (Nd.get a [| 1; 0 |]);
+  let bad () = ignore (Nd.of_array [| 2; 2 |] [| 1 |]) in
+  Alcotest.(check bool) "length mismatch" true
+    (try bad (); false with Invalid_argument _ -> true)
+
+let test_vector_matrix () =
+  check_nd "vector" (Nd.of_array [| 3 |] [| 1; 2; 3 |]) (Nd.vector [ 1; 2; 3 ]);
+  check_nd "matrix"
+    (Nd.of_array [| 2; 2 |] [| 1; 2; 3; 4 |])
+    (Nd.matrix [ [ 1; 2 ]; [ 3; 4 ] ]);
+  Alcotest.(check bool) "ragged" true
+    (try ignore (Nd.matrix [ [ 1 ]; [ 2; 3 ] ]); false
+     with Invalid_argument _ -> true)
+
+let test_sel () =
+  (* SaC prefix selection: shorter index vectors yield subarrays. *)
+  let a = Nd.init [| 2; 3 |] (fun iv -> (10 * iv.(0)) + iv.(1)) in
+  let row1 = Nd.sel a [| 1 |] in
+  check_nd "row" (Nd.vector [ 10; 11; 12 ]) row1;
+  let cell = Nd.sel a [| 1; 2 |] in
+  check_int "full selection is rank 0" 0 (Nd.dim cell);
+  check_int "cell value" 12 (Nd.get_scalar cell);
+  let whole = Nd.sel a [||] in
+  check_nd "empty index is identity" a whole
+
+let test_set () =
+  let a = Nd.vector [ 1; 2; 3 ] in
+  let b = Nd.set a [| 1 |] 9 in
+  check_nd "updated" (Nd.vector [ 1; 9; 3 ]) b;
+  check_nd "original untouched" (Nd.vector [ 1; 2; 3 ]) a
+
+let test_map_fold () =
+  let a = Nd.vector [ 1; 2; 3 ] in
+  check_nd "map" (Nd.vector [ 2; 4; 6 ]) (Nd.map (fun x -> 2 * x) a);
+  check_nd "map2" (Nd.vector [ 11; 22; 33 ]) (Nd.map2 ( + ) a (Nd.vector [ 10; 20; 30 ]));
+  check_int "fold" 6 (Nd.fold ( + ) 0 a);
+  check_nd "mapi"
+    (Nd.vector [ 1; 3; 5 ])
+    (Nd.mapi (fun iv v -> v + iv.(0)) a);
+  Alcotest.(check bool) "map2 shape mismatch" true
+    (try ignore (Nd.map2 ( + ) a (Nd.vector [ 1 ])); false
+     with Invalid_argument _ -> true)
+
+let test_reshape () =
+  let a = Nd.vector [ 1; 2; 3; 4; 5; 6 ] in
+  let m = Nd.reshape [| 2; 3 |] a in
+  check_int "reshaped" 6 (Nd.get m [| 1; 2 |]);
+  Alcotest.(check bool) "size mismatch" true
+    (try ignore (Nd.reshape [| 4 |] a); false
+     with Invalid_argument _ -> true)
+
+let test_pp () =
+  Alcotest.(check string) "vector" "[1,2,3]" (Nd.to_string string_of_int (Nd.vector [ 1; 2; 3 ]));
+  Alcotest.(check string) "matrix" "[[1,2],[3,4]]"
+    (Nd.to_string string_of_int (Nd.matrix [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.(check string) "scalar" "7" (Nd.to_string string_of_int (Nd.scalar 7))
+
+let test_iteri () =
+  let acc = ref [] in
+  Nd.iteri (fun iv v -> acc := (Array.to_list iv, v) :: !acc) (Nd.matrix [ [ 1; 2 ]; [ 3; 4 ] ]);
+  Alcotest.(check int) "count" 4 (List.length !acc);
+  Alcotest.(check bool) "last is 1,1 -> 4" true (List.hd !acc = ([ 1; 1 ], 4))
+
+let prop_init_get =
+  QCheck.Test.make ~name:"init then get recovers the function" ~count:100
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 1 5)))
+    (fun (r, c) ->
+      let a = Nd.init [| r; c |] (fun iv -> (100 * iv.(0)) + iv.(1)) in
+      let ok = ref true in
+      for i = 0 to r - 1 do
+        for j = 0 to c - 1 do
+          if Nd.get a [| i; j |] <> (100 * i) + j then ok := false
+        done
+      done;
+      !ok)
+
+let prop_to_flat_roundtrip =
+  QCheck.Test.make ~name:"of_array . to_flat_array = id" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 20) small_int))
+    (fun xs ->
+      let a = Nd.vector xs in
+      Nd.equal Int.equal a (Nd.of_array (Nd.shape a) (Nd.to_flat_array a)))
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "init" `Quick test_init;
+    Alcotest.test_case "scalar" `Quick test_scalar;
+    Alcotest.test_case "of_array" `Quick test_of_array;
+    Alcotest.test_case "vector/matrix" `Quick test_vector_matrix;
+    Alcotest.test_case "sel" `Quick test_sel;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "map/fold" `Quick test_map_fold;
+    Alcotest.test_case "reshape" `Quick test_reshape;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "iteri" `Quick test_iteri;
+    QCheck_alcotest.to_alcotest prop_init_get;
+    QCheck_alcotest.to_alcotest prop_to_flat_roundtrip;
+  ]

@@ -1,0 +1,213 @@
+(* Network combinators and type inference. *)
+
+module Net = Snet.Net
+module Box = Snet.Box
+module Filter = Snet.Filter
+module P = Snet.Pattern
+module TC = Snet.Typecheck
+module Rectype = Snet.Rectype
+
+(* A box (labels...) -> (labels...) | ... that copies inputs to each
+   declared output where possible; used purely for typing tests. *)
+let dummy_box name ~input ~outputs =
+  Box.make ~name ~input ~outputs (fun ~emit:_ _ -> ())
+
+let b_ab_c = dummy_box "f" ~input:[ Box.F "a"; Box.T "b" ] ~outputs:[ [ Box.F "c" ] ]
+let b_c_d = dummy_box "g" ~input:[ Box.F "c" ] ~outputs:[ [ Box.F "d" ] ]
+let b_x_y = dummy_box "h" ~input:[ Box.F "x" ] ~outputs:[ [ Box.F "y" ] ]
+
+let sig_str net = Rectype.signature_to_string (TC.infer net)
+
+let test_constructors_and_rendering () =
+  let n =
+    Net.serial (Net.box b_ab_c)
+      (Net.choice (Net.box b_c_d) (Net.box b_x_y))
+  in
+  Alcotest.(check string) "rendering" "(f .. (g || h))" (Net.to_string n);
+  let d = Net.choice ~det:true (Net.box b_c_d) (Net.box b_x_y) in
+  Alcotest.(check string) "det choice" "(g | h)" (Net.to_string d);
+  let s = Net.star (Net.box b_c_d) (P.make ~fields:[] ~tags:[ "done" ] ()) in
+  Alcotest.(check string) "star" "(g ** {<done>})" (Net.to_string s);
+  let sp = Net.split ~det:true (Net.box b_c_d) "k" in
+  Alcotest.(check string) "det split" "(g ! <k>)" (Net.to_string sp);
+  Alcotest.(check int) "count_boxes" 3 (Net.count_boxes n)
+
+let test_infix () =
+  let open Net.Infix in
+  Alcotest.(check string) "operators"
+    "((f .. g) || h)"
+    (Net.to_string (Net.box b_ab_c >>> Net.box b_c_d ||| Net.box b_x_y));
+  Alcotest.(check string) "det operator"
+    "(g | h)"
+    (Net.to_string (Net.box b_c_d |&| Net.box b_x_y))
+
+let test_serial_list_choice_list () =
+  Alcotest.(check string) "serial_list" "((f .. g) .. h)"
+    (Net.to_string (Net.serial_list [ Net.box b_ab_c; Net.box b_c_d; Net.box b_x_y ]));
+  Alcotest.(check string) "choice_list" "((g || h) || f)"
+    (Net.to_string (Net.choice_list [ Net.box b_c_d; Net.box b_x_y; Net.box b_ab_c ]));
+  Alcotest.(check bool) "choice_list arity" true
+    (try ignore (Net.choice_list [ Net.box b_c_d ]); false
+     with Invalid_argument _ -> true)
+
+let test_infer_serial () =
+  Alcotest.(check string) "pipeline signature" "{a,<b>} -> {d}"
+    (sig_str (Net.serial (Net.box b_ab_c) (Net.box b_c_d)))
+
+let test_infer_serial_mismatch () =
+  Alcotest.(check bool) "output c does not feed h(x)" true
+    (try ignore (TC.infer (Net.serial (Net.box b_ab_c) (Net.box b_x_y))); false
+     with TC.Type_error _ -> true)
+
+let test_infer_leftover () =
+  (* f's output {c} enriched with a leftover flows through g. *)
+  let wide =
+    dummy_box "w" ~input:[ Box.F "a" ] ~outputs:[ [ Box.F "c"; Box.T "extra" ] ]
+  in
+  Alcotest.(check string) "leftover <extra> flows through g"
+    "{a} -> {d,<extra>}"
+    (sig_str (Net.serial (Net.box wide) (Net.box b_c_d)))
+
+let test_infer_choice () =
+  Alcotest.(check string) "union type" "{c} | {x} -> {d} | {y}"
+    (sig_str (Net.choice (Net.box b_c_d) (Net.box b_x_y)))
+
+let test_infer_star () =
+  (* Body emits {c} (loop) or {c,<done>} (exit). *)
+  let body =
+    dummy_box "s" ~input:[ Box.F "c" ]
+      ~outputs:[ [ Box.F "c" ]; [ Box.F "c"; Box.T "done" ] ]
+  in
+  let star = Net.star (Net.box body) (P.make ~fields:[] ~tags:[ "done" ] ()) in
+  Alcotest.(check string) "star signature" "{<done>} | {c} -> {c,<done>}"
+    (sig_str star)
+
+let test_infer_star_stuck () =
+  (* Body emits {z} which can neither exit nor loop. *)
+  let body = dummy_box "s" ~input:[ Box.F "c" ] ~outputs:[ [ Box.F "z" ] ] in
+  Alcotest.(check bool) "stuck body rejected" true
+    (try
+       ignore (TC.infer (Net.star (Net.box body) (P.make ~fields:[] ~tags:[ "done" ] ())));
+       false
+     with TC.Type_error _ -> true)
+
+let test_infer_guarded_star_needs_loop () =
+  (* With a guard, an exiting variant must also be loopable. *)
+  let body =
+    dummy_box "s" ~input:[ Box.F "c"; Box.T "level" ]
+      ~outputs:[ [ Box.F "c"; Box.T "level" ] ]
+  in
+  let guarded =
+    P.make ~fields:[] ~tags:[ "level" ]
+      ~guard:(P.Cmp (P.Gt, P.Tag "level", P.Const 40))
+      ()
+  in
+  Alcotest.(check string) "well-typed guarded star"
+    "{<level>} | {c,<level>} -> {c,<level>}"
+    (sig_str (Net.star (Net.box body) guarded));
+  let no_loop =
+    dummy_box "s2" ~input:[ Box.F "other" ]
+      ~outputs:[ [ Box.F "c"; Box.T "level" ] ]
+  in
+  Alcotest.(check bool) "guarded exit without loop path rejected" true
+    (try ignore (TC.infer (Net.star (Net.box no_loop) guarded)); false
+     with TC.Type_error _ -> true)
+
+let test_infer_split () =
+  let split = Net.split (Net.box b_c_d) "k" in
+  Alcotest.(check string) "split adds the routing tag"
+    "{c,<k>} -> {d,<k>}" (sig_str split)
+
+let test_input_type () =
+  let n = Net.choice (Net.box b_c_d) (Net.box b_x_y) in
+  Alcotest.(check string) "choice acceptance" "{c} | {x}"
+    (Rectype.to_string (TC.input_type n));
+  let s = Net.star (Net.box b_c_d) (P.make ~fields:[] ~tags:[ "done" ] ()) in
+  Alcotest.(check string) "star acceptance includes exit" "{<done>} | {c}"
+    (Rectype.to_string (TC.input_type s))
+
+(* The fig3 shape: strict inference rejects it, flow accepts it —
+   the filter's declared output is thinner than the records really
+   are. *)
+let test_flow_vs_strict () =
+  let add_k =
+    Filter.make (P.make ~fields:[] ~tags:[] ()) [ [ Filter.Set_tag ("k", P.Const 1) ] ]
+  in
+  let throttle =
+    Filter.make (P.make ~fields:[] ~tags:[ "k" ] ())
+      [ [ Filter.Set_tag ("k", P.Mod (P.Tag "k", P.Const 4)) ] ]
+  in
+  let solve_level =
+    dummy_box "sol" ~input:[ Box.F "board"; Box.F "opts" ]
+      ~outputs:[ [ Box.F "board"; Box.F "opts"; Box.T "k"; Box.T "level" ] ]
+  in
+  let compute =
+    dummy_box "opts" ~input:[ Box.F "board" ]
+      ~outputs:[ [ Box.F "board"; Box.F "opts" ] ]
+  in
+  let star_body =
+    Net.serial (Net.filter throttle) (Net.split (Net.box solve_level) "k")
+  in
+  let exit =
+    P.make ~fields:[] ~tags:[ "level" ]
+      ~guard:(P.Cmp (P.Gt, P.Tag "level", P.Const 40))
+      ()
+  in
+  let net =
+    Net.serial_list
+      [ Net.box compute; Net.filter add_k; Net.star star_body exit ]
+  in
+  Alcotest.(check bool) "strict inference rejects" true
+    (try ignore (TC.infer net); false with TC.Type_error _ -> true);
+  let v = Rectype.Variant.make ~fields:[ "board" ] ~tags:[] in
+  Alcotest.(check string) "flow accepts and types it"
+    "{board,opts,<k>,<level>}"
+    (Rectype.to_string (TC.flow [ v ] net))
+
+let test_flow_errors () =
+  let v = Rectype.Variant.make ~fields:[ "nope" ] ~tags:[] in
+  Alcotest.(check bool) "unacceptable input" true
+    (try ignore (TC.flow [ v ] (Net.box b_c_d)); false
+     with TC.Type_error _ -> true);
+  Alcotest.(check bool) "split without tag" true
+    (try
+       ignore
+         (TC.flow
+            [ Rectype.Variant.make ~fields:[ "c" ] ~tags:[] ]
+            (Net.split (Net.box b_c_d) "k"));
+       false
+     with TC.Type_error _ -> true)
+
+let test_flow_choice_tie () =
+  (* Both branches match equally well: the nondeterministic choice may
+     take either, so the flown type is the union. *)
+  let left = dummy_box "l" ~input:[ Box.F "a" ] ~outputs:[ [ Box.F "p" ] ] in
+  let right = dummy_box "r" ~input:[ Box.F "a" ] ~outputs:[ [ Box.F "q" ] ] in
+  let v = Rectype.Variant.make ~fields:[ "a" ] ~tags:[] in
+  Alcotest.(check string) "union on ties" "{p} | {q}"
+    (Rectype.to_string (TC.flow [ v ] (Net.choice (Net.box left) (Net.box right))))
+
+let test_observe_transparent () =
+  let n = Net.observe "probe" (Net.box b_c_d) in
+  Alcotest.(check string) "same signature" "{c} -> {d}" (sig_str n);
+  Alcotest.(check string) "rendering" "observe[probe](g)" (Net.to_string n)
+
+let suite =
+  [
+    Alcotest.test_case "constructors and rendering" `Quick test_constructors_and_rendering;
+    Alcotest.test_case "infix operators" `Quick test_infix;
+    Alcotest.test_case "serial_list/choice_list" `Quick test_serial_list_choice_list;
+    Alcotest.test_case "infer: serial" `Quick test_infer_serial;
+    Alcotest.test_case "infer: serial mismatch" `Quick test_infer_serial_mismatch;
+    Alcotest.test_case "infer: flow-inherited leftover" `Quick test_infer_leftover;
+    Alcotest.test_case "infer: choice" `Quick test_infer_choice;
+    Alcotest.test_case "infer: star" `Quick test_infer_star;
+    Alcotest.test_case "infer: stuck star body" `Quick test_infer_star_stuck;
+    Alcotest.test_case "infer: guarded star" `Quick test_infer_guarded_star_needs_loop;
+    Alcotest.test_case "infer: split" `Quick test_infer_split;
+    Alcotest.test_case "input_type" `Quick test_input_type;
+    Alcotest.test_case "flow vs strict inference (fig3)" `Quick test_flow_vs_strict;
+    Alcotest.test_case "flow errors" `Quick test_flow_errors;
+    Alcotest.test_case "flow: choice tie" `Quick test_flow_choice_tie;
+    Alcotest.test_case "observe is transparent" `Quick test_observe_transparent;
+  ]

@@ -1,0 +1,162 @@
+(* Network rewriting passes: local correctness plus random differential
+   semantics preservation. *)
+
+module O = Snet.Optimize
+module P = Snet.Pattern
+module Net = Snet.Net
+module Box = Snet.Box
+module Filter = Snet.Filter
+
+let expr_str e = P.expr_to_string (O.fold_expr e)
+let guard_str g = P.guard_to_string (O.fold_guard g)
+
+let test_fold_expr () =
+  Alcotest.(check string) "constants" "7" (expr_str (P.Add (P.Const 3, P.Const 4)));
+  Alcotest.(check string) "nested" "9"
+    (expr_str (P.Mul (P.Add (P.Const 1, P.Const 2), P.Const 3)));
+  Alcotest.(check string) "add zero" "<k>" (expr_str (P.Add (P.Tag "k", P.Const 0)));
+  Alcotest.(check string) "mul one" "<k>" (expr_str (P.Mul (P.Const 1, P.Tag "k")));
+  Alcotest.(check string) "mul zero" "0" (expr_str (P.Mul (P.Tag "k", P.Const 0)));
+  Alcotest.(check string) "mod one" "0" (expr_str (P.Mod (P.Tag "k", P.Const 1)));
+  Alcotest.(check string) "double negation" "<k>" (expr_str (P.Neg (P.Neg (P.Tag "k"))));
+  (* Division by a constant zero must survive to fail at run time. *)
+  Alcotest.(check string) "div by zero kept" "(<k>/0)"
+    (expr_str (P.Div (P.Tag "k", P.Const 0)))
+
+let test_fold_guard () =
+  Alcotest.(check string) "constant comparison" "true"
+    (guard_str (P.Cmp (P.Lt, P.Const 1, P.Const 2)));
+  Alcotest.(check string) "false comparison" "!(true)"
+    (guard_str (P.Cmp (P.Gt, P.Const 1, P.Const 2)));
+  Alcotest.(check string) "true and g" "<k> > 0"
+    (guard_str (P.And (P.True, P.Cmp (P.Gt, P.Tag "k", P.Const 0))));
+  Alcotest.(check string) "g or true" "true"
+    (guard_str (P.Or (P.Cmp (P.Gt, P.Tag "k", P.Const 0), P.True)));
+  Alcotest.(check string) "double not" "true" (guard_str (P.Not (P.Not P.True)))
+
+let idbox name =
+  Box.make ~name ~input:[ Box.T "x" ] ~outputs:[ [ Box.T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] -> emit 1 [ Tag x ]
+      | _ -> assert false)
+
+let identity_filter () = Filter.make ~name:"id" (P.make ~fields:[] ~tags:[] ()) [ [] ]
+
+let test_drop_identity_filters () =
+  let net =
+    Net.serial_list
+      [ Net.filter (identity_filter ()); Net.box (idbox "a");
+        Net.filter (identity_filter ()) ]
+  in
+  Alcotest.(check string) "only the box remains" "a"
+    (Net.to_string (O.optimize net))
+
+let test_strip_observe () =
+  let net = Net.observe "probe" (Net.box (idbox "a")) in
+  Alcotest.(check string) "stripped" "a" (Net.to_string (O.strip_observe net));
+  Alcotest.(check string) "kept on request" "observe[probe](a)"
+    (Net.to_string (O.optimize ~keep_observers:true net))
+
+let test_reassociate () =
+  let a = Net.box (idbox "a") and b = Net.box (idbox "b") and c = Net.box (idbox "c") in
+  Alcotest.(check string) "right-nested" "(a .. (b .. c))"
+    (Net.to_string (O.reassociate_serial (Net.serial (Net.serial a b) c)))
+
+let test_fold_in_networks () =
+  let throttle =
+    Filter.make ~name:"t"
+      (P.make ~fields:[] ~tags:[ "k" ] ())
+      [ [ Filter.Set_tag ("k", P.Mod (P.Tag "k", P.Add (P.Const 2, P.Const 2))) ] ]
+  in
+  let optimized = O.optimize (Net.filter throttle) in
+  (match optimized with
+  | Net.Filter f ->
+      Alcotest.(check string) "folded inside filter"
+        "[{<k>} -> {<k>=(<k>%4)}]" (Filter.to_string f)
+  | _ -> Alcotest.fail "expected a filter");
+  let star =
+    Net.star (Net.box (idbox "a"))
+      (P.make ~fields:[] ~tags:[ "x" ]
+         ~guard:(P.And (P.True, P.Cmp (P.Gt, P.Tag "x", P.Const 0)))
+         ())
+  in
+  Alcotest.(check string) "folded star guard" "(a ** {<x>} | <x> > 0)"
+    (Net.to_string (O.optimize star))
+
+(* Differential: optimization must not change behaviour. Build nets
+   with foldable filters and identity noise, compare outputs. *)
+let dup =
+  Box.make ~name:"dup" ~input:[ Box.T "x" ] ~outputs:[ [ Box.T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] ->
+          emit 1 [ Tag x ];
+          emit 1 [ Tag (x + 10) ]
+      | _ -> assert false)
+
+let noisy_filter () =
+  Snet.Filter.make
+    (P.make ~fields:[] ~tags:[ "x" ] ())
+    [
+      [
+        Filter.Set_tag
+          ( "x",
+            P.Add
+              ( P.Mul (P.Tag "x", P.Add (P.Const 1, P.Const 0)),
+                P.Sub (P.Const 5, P.Const 5) ) );
+      ];
+    ]
+
+let gen_net =
+  QCheck.Gen.(
+    let leaf =
+      oneofl
+        [
+          Net.box (idbox "i"); Net.box dup; Net.filter (noisy_filter ());
+          Net.filter (identity_filter ());
+        ]
+    in
+    let rec go depth =
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (2, map2 Net.serial (go (depth - 1)) (go (depth - 1)));
+            ( 1,
+              map
+                (fun b -> Net.observe "p" b)
+                (go (depth - 1)) );
+            (1, map (fun b -> Net.split b "k") (go (depth - 1)));
+          ]
+    in
+    go 3)
+
+let prop_optimize_preserves =
+  QCheck.Test.make ~name:"optimize preserves sequential behaviour" ~count:60
+    (QCheck.make
+       ~print:(fun (n, _) -> Net.to_string n)
+       QCheck.Gen.(
+         pair gen_net
+           (list_size (int_range 1 10)
+              (map2 (fun x k -> (x, k)) (int_range 0 100) (int_range 0 2)))))
+    (fun (net, inputs) ->
+      let records =
+        List.map (fun (x, k) -> Snet.record ~tags:[ ("x", x); ("k", k) ] ()) inputs
+      in
+      let out n =
+        List.map
+          (fun r -> (Snet.Record.tag "x" r, Snet.Record.tag "k" r))
+          (Snet.Engine_seq.run n records)
+      in
+      out net = out (O.optimize net))
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_fold_expr;
+    Alcotest.test_case "guard simplification" `Quick test_fold_guard;
+    Alcotest.test_case "identity filter elimination" `Quick test_drop_identity_filters;
+    Alcotest.test_case "observer stripping" `Quick test_strip_observe;
+    Alcotest.test_case "serial reassociation" `Quick test_reassociate;
+    Alcotest.test_case "folding inside networks" `Quick test_fold_in_networks;
+    QCheck_alcotest.to_alcotest prop_optimize_preserves;
+  ]

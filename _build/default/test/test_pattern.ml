@@ -1,0 +1,115 @@
+(* Patterns, tag expressions and guards. *)
+
+module P = Snet.Pattern
+module Record = Snet.Record
+module Value = Snet.Value
+
+let lookup_of alist t = List.assoc t alist
+
+let test_expr_eval () =
+  let env = lookup_of [ ("k", 7); ("l", 3) ] in
+  let e v = P.eval_expr env v in
+  Alcotest.(check int) "const" 5 (e (P.Const 5));
+  Alcotest.(check int) "tag" 7 (e (P.Tag "k"));
+  Alcotest.(check int) "add" 10 (e (P.Add (P.Tag "k", P.Tag "l")));
+  Alcotest.(check int) "sub" 4 (e (P.Sub (P.Tag "k", P.Tag "l")));
+  Alcotest.(check int) "mul" 21 (e (P.Mul (P.Tag "k", P.Tag "l")));
+  Alcotest.(check int) "div" 2 (e (P.Div (P.Tag "k", P.Tag "l")));
+  Alcotest.(check int) "mod (paper's %)" 3 (e (P.Mod (P.Tag "k", P.Const 4)));
+  Alcotest.(check int) "neg" (-7) (e (P.Neg (P.Tag "k")));
+  Alcotest.(check int) "abs" 7 (e (P.Abs (P.Neg (P.Tag "k"))));
+  Alcotest.(check int) "min" 3 (e (P.Min (P.Tag "k", P.Tag "l")));
+  Alcotest.(check int) "max" 7 (e (P.Max (P.Tag "k", P.Tag "l")))
+
+let test_expr_errors () =
+  let env = lookup_of [ ("k", 7) ] in
+  Alcotest.(check bool) "div by zero" true
+    (try ignore (P.eval_expr env (P.Div (P.Tag "k", P.Const 0))); false
+     with P.Eval_error _ -> true);
+  Alcotest.(check bool) "mod by zero" true
+    (try ignore (P.eval_expr env (P.Mod (P.Tag "k", P.Const 0))); false
+     with P.Eval_error _ -> true)
+
+let test_expr_tags () =
+  Alcotest.(check (list string)) "collected sorted unique" [ "a"; "b" ]
+    (P.expr_tags (P.Add (P.Tag "b", P.Mul (P.Tag "a", P.Tag "b"))))
+
+let test_guard_eval () =
+  let env = lookup_of [ ("level", 41) ] in
+  let g40 = P.Cmp (P.Gt, P.Tag "level", P.Const 40) in
+  Alcotest.(check bool) "paper's level > 40" true (P.eval_guard env g40);
+  Alcotest.(check bool) "negation" false (P.eval_guard env (P.Not g40));
+  Alcotest.(check bool) "and" true
+    (P.eval_guard env (P.And (g40, P.Cmp (P.Le, P.Tag "level", P.Const 81))));
+  Alcotest.(check bool) "or" true
+    (P.eval_guard env (P.Or (P.Cmp (P.Eq, P.Tag "level", P.Const 0), g40)));
+  Alcotest.(check bool) "true" true (P.eval_guard env P.True)
+
+let record ~f ~t =
+  Record.of_list ~fields:(List.map (fun n -> (n, Value.of_int 0)) f) ~tags:t
+
+let test_matches_structural () =
+  let p = P.make ~fields:[ "board" ] ~tags:[ "done" ] () in
+  Alcotest.(check bool) "match" true
+    (P.matches p (record ~f:[ "board" ] ~t:[ ("done", 1) ]));
+  Alcotest.(check bool) "extra labels fine" true
+    (P.matches p (record ~f:[ "board"; "opts" ] ~t:[ ("done", 0); ("k", 2) ]));
+  Alcotest.(check bool) "missing tag" false
+    (P.matches p (record ~f:[ "board" ] ~t:[]))
+
+let test_matches_guard () =
+  let p =
+    P.make ~fields:[] ~tags:[ "level" ]
+      ~guard:(P.Cmp (P.Gt, P.Tag "level", P.Const 40))
+      ()
+  in
+  Alcotest.(check bool) "41 exits" true (P.matches p (record ~f:[] ~t:[ ("level", 41) ]));
+  Alcotest.(check bool) "40 loops" false (P.matches p (record ~f:[] ~t:[ ("level", 40) ]));
+  (* Guard referencing a tag the record lacks: no match rather than an
+     error. *)
+  let q =
+    P.of_variant
+      ~guard:(P.Cmp (P.Eq, P.Tag "ghost", P.Const 0))
+      (Snet.Rectype.Variant.make ~fields:[] ~tags:[])
+  in
+  Alcotest.(check bool) "unbound guard tag" false
+    (P.matches q (record ~f:[] ~t:[]))
+
+let test_validate () =
+  let bad =
+    P.make ~fields:[] ~tags:[ "k" ]
+      ~guard:(P.Cmp (P.Gt, P.Tag "other", P.Const 0))
+      ()
+  in
+  Alcotest.(check bool) "guard must use pattern tags" true
+    (try P.validate bad; false with Invalid_argument _ -> true);
+  P.validate (P.make ~fields:[] ~tags:[ "k" ] ~guard:(P.Cmp (P.Gt, P.Tag "k", P.Const 0)) ())
+
+let test_to_string () =
+  Alcotest.(check string) "plain" "{<done>}"
+    (P.to_string (P.make ~fields:[] ~tags:[ "done" ] ()));
+  Alcotest.(check string) "guarded" "{<level>} | <level> > 40"
+    (P.to_string
+       (P.make ~fields:[] ~tags:[ "level" ]
+          ~guard:(P.Cmp (P.Gt, P.Tag "level", P.Const 40))
+          ()))
+
+(* qcheck: Mod result matches C semantics (sign of dividend). *)
+let prop_mod_c_semantics =
+  QCheck.Test.make ~name:"% has C semantics" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range (-100) 100) (int_range 1 20)))
+    (fun (a, b) ->
+      P.eval_expr (fun _ -> a) (P.Mod (P.Tag "x", P.Const b)) = a mod b)
+
+let suite =
+  [
+    Alcotest.test_case "expression evaluation" `Quick test_expr_eval;
+    Alcotest.test_case "expression errors" `Quick test_expr_errors;
+    Alcotest.test_case "expression tags" `Quick test_expr_tags;
+    Alcotest.test_case "guard evaluation" `Quick test_guard_eval;
+    Alcotest.test_case "structural matching" `Quick test_matches_structural;
+    Alcotest.test_case "guarded matching" `Quick test_matches_guard;
+    Alcotest.test_case "validation" `Quick test_validate;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest prop_mod_c_semantics;
+  ]

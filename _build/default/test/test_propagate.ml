@@ -1,0 +1,120 @@
+(* Constraint propagation: correctness of the deduction rules and the
+   shrinkage of the search tree. *)
+
+module Pr = Sudoku.Propagate
+module Board = Sudoku.Board
+module Rules = Sudoku.Rules
+module Puzzles = Sudoku.Puzzles
+
+let test_naked_single () =
+  (* Fill a row except one cell: that cell is a naked single. *)
+  let board =
+    List.fold_left
+      (fun b (j, v) -> Board.set b 0 j v)
+      (Board.empty 3)
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7); (7, 8) ]
+  in
+  let opts = Rules.init_options board in
+  let r = Pr.naked_singles board opts in
+  Alcotest.(check bool) "placed at least the single" true (r.Pr.placed >= 1);
+  Alcotest.(check int) "the missing 9" 9 (Board.get r.Pr.board 0 8);
+  Alcotest.(check bool) "no contradiction" false r.Pr.contradiction
+
+let test_hidden_single () =
+  (* Make 5 impossible everywhere in row 0 except (0,4) by placing 5s
+     in the other columns' scope, without filling row 0 itself. *)
+  let board =
+    List.fold_left
+      (fun b (i, j, v) -> Board.set b i j v)
+      (Board.empty 3)
+      [ (1, 0, 5); (2, 6, 5); (3, 1, 5); (4, 3, 5); (5, 7, 5); (6, 2, 5);
+        (7, 5, 5); (8, 8, 5) ]
+  in
+  Alcotest.(check bool) "setup valid" true (Board.valid board);
+  let opts = Rules.init_options board in
+  let r = Pr.hidden_singles board opts in
+  Alcotest.(check bool) "hidden single found" true (r.Pr.placed >= 1);
+  Alcotest.(check int) "5 placed in row 0's only slot" 5
+    (Board.get r.Pr.board 0 4)
+
+let test_fixpoint_solves_easy () =
+  (* The classic easy puzzle is solvable by propagation alone. *)
+  let opts = Rules.init_options Puzzles.easy in
+  let r = Pr.fixpoint Puzzles.easy opts in
+  Alcotest.(check bool) "solved without search" true (Board.solved r.Pr.board);
+  Alcotest.(check int) "51 numbers deduced" 51 r.Pr.placed
+
+let test_fixpoint_sound () =
+  (* Whatever propagation places must be extendable to the solver's
+     solution. *)
+  List.iter
+    (fun name ->
+      let board = (Puzzles.find name).Puzzles.board in
+      let opts = Rules.init_options board in
+      let r = Pr.fixpoint board opts in
+      Alcotest.(check bool) (name ^ ": no contradiction") false r.Pr.contradiction;
+      Alcotest.(check bool) (name ^ ": still valid") true (Board.valid r.Pr.board);
+      let solved = (Sudoku.Solver.solve board).Sudoku.Solver.board in
+      List.iter
+        (fun (i, j, v) ->
+          if v <> 0 then
+            Alcotest.(check int)
+              (Printf.sprintf "%s: deduction at %d,%d" name i j)
+              (Board.get solved i j) v)
+        (Board.cells r.Pr.board))
+    [ "easy"; "medium"; "escargot" ]
+
+let test_contradiction_detected () =
+  let board =
+    List.fold_left
+      (fun b (i, j, v) -> Board.set b i j v)
+      (Board.empty 3)
+      [
+        (0, 3, 1); (0, 4, 2); (0, 5, 3);
+        (3, 0, 4); (4, 0, 5); (5, 0, 6);
+        (1, 1, 7); (1, 2, 8); (2, 1, 9);
+      ]
+  in
+  let opts = Rules.init_options board in
+  let r = Pr.naked_singles board opts in
+  Alcotest.(check bool) "cell with no options flagged" true r.Pr.contradiction
+
+let test_propagating_network () =
+  let net = Pr.fig1_propagating () in
+  List.iter
+    (fun name ->
+      let board = (Puzzles.find name).Puzzles.board in
+      let out =
+        Snet.Engine_seq.run net [ Sudoku.Boxes.inject_board board ]
+      in
+      let sols = Sudoku.Networks.solved_boards out in
+      Alcotest.(check bool) (name ^ " solved") true (sols <> []);
+      let reference = (Sudoku.Solver.solve board).Sudoku.Solver.board in
+      Alcotest.(check bool) (name ^ " matches solver") true
+        (List.mem (Board.to_string reference)
+           (List.map Board.to_string sols)))
+    [ "easy"; "medium" ]
+
+let test_propagation_shrinks_search () =
+  let invocations net board =
+    let stats = Snet.Stats.create () in
+    ignore (Snet.Engine_seq.run ~stats net [ Sudoku.Boxes.inject_board board ]);
+    (Snet.Stats.snapshot stats).Snet.Stats.max_star_depth
+  in
+  let board = (Puzzles.find "escargot").Puzzles.board in
+  let plain = invocations (Sudoku.Networks.fig1 ()) board in
+  let propagating = invocations (Pr.fig1_propagating ()) board in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipeline depth %d < %d" propagating plain)
+    true (propagating < plain)
+
+let suite =
+  [
+    Alcotest.test_case "naked singles" `Quick test_naked_single;
+    Alcotest.test_case "hidden singles" `Quick test_hidden_single;
+    Alcotest.test_case "fixpoint solves the easy puzzle" `Quick test_fixpoint_solves_easy;
+    Alcotest.test_case "fixpoint is sound" `Quick test_fixpoint_sound;
+    Alcotest.test_case "contradiction detection" `Quick test_contradiction_detected;
+    Alcotest.test_case "propagating network" `Quick test_propagating_network;
+    Alcotest.test_case "propagation shrinks the search" `Quick test_propagation_shrinks_search;
+  ]

@@ -1,0 +1,109 @@
+(* Records, values and flow inheritance. *)
+
+module Value = Snet.Value
+module Record = Snet.Record
+
+let ikey = Value.Key.create ~to_string:string_of_int "i"
+let skey = Value.Key.create ~to_string:Fun.id "s"
+
+let test_value_keys () =
+  let v = Value.inject ikey 42 in
+  Alcotest.(check (option int)) "project" (Some 42) (Value.project ikey v);
+  Alcotest.(check int) "project_exn" 42 (Value.project_exn ikey v);
+  Alcotest.(check (option string)) "wrong key" None (Value.project skey v);
+  Alcotest.(check bool) "project_exn wrong key" true
+    (try ignore (Value.project_exn skey v); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check string) "key name" "i" (Value.key_name v);
+  Alcotest.(check string) "to_string" "42" (Value.to_string v);
+  (* Distinct keys with the same name stay distinct. *)
+  let ikey2 = Value.Key.create ~to_string:string_of_int "i" in
+  Alcotest.(check (option int)) "same-name key" None (Value.project ikey2 v)
+
+let test_value_int () =
+  Alcotest.(check (option int)) "of_int/to_int" (Some 5) (Value.to_int (Value.of_int 5))
+
+let test_build_access () =
+  let r =
+    Record.empty
+    |> Record.with_field "a" (Value.of_int 1)
+    |> Record.with_tag "k" 3
+  in
+  Alcotest.(check bool) "has field" true (Record.has_field "a" r);
+  Alcotest.(check bool) "has tag" true (Record.has_tag "k" r);
+  Alcotest.(check (option int)) "tag" (Some 3) (Record.tag "k" r);
+  Alcotest.(check int) "tag_exn" 3 (Record.tag_exn "k" r);
+  Alcotest.(check int) "arity" 2 (Record.arity r);
+  Alcotest.(check bool) "missing field raises" true
+    (try ignore (Record.field_exn "z" r); false
+     with Record.Not_found_label _ -> true);
+  Alcotest.(check (list string)) "field labels" [ "a" ] (Record.field_labels r);
+  Alcotest.(check (list string)) "tag labels" [ "k" ] (Record.tag_labels r)
+
+let test_replace_remove () =
+  let r = Record.of_list ~fields:[] ~tags:[ ("k", 1) ] in
+  let r2 = Record.with_tag "k" 9 r in
+  Alcotest.(check (option int)) "replaced" (Some 9) (Record.tag "k" r2);
+  Alcotest.(check (option int)) "original intact" (Some 1) (Record.tag "k" r);
+  let r3 = Record.without_tag "k" r2 in
+  Alcotest.(check (option int)) "removed" None (Record.tag "k" r3);
+  let r4 =
+    Record.without_field "a"
+      (Record.of_list ~fields:[ ("a", Value.of_int 1) ] ~tags:[])
+  in
+  Alcotest.(check bool) "field removed" false (Record.has_field "a" r4)
+
+let test_excess () =
+  let r =
+    Record.of_list
+      ~fields:[ ("a", Value.of_int 1); ("d", Value.of_int 4) ]
+      ~tags:[ ("b", 2); ("x", 7) ]
+  in
+  let ex = Record.excess ~consumed_fields:[ "a" ] ~consumed_tags:[ "b" ] r in
+  Alcotest.(check (list string)) "excess fields" [ "d" ] (Record.field_labels ex);
+  Alcotest.(check (list string)) "excess tags" [ "x" ] (Record.tag_labels ex)
+
+(* The paper's example: box foo consumes {a,<b>}; an incoming {a,<b>,d}
+   leaves d to be attached to outputs lacking d and dropped on outputs
+   that already have one. *)
+let test_flow_inheritance () =
+  let d0 = Value.of_int 0 and d9 = Value.of_int 9 in
+  let input =
+    Record.of_list ~fields:[ ("a", Value.of_int 1); ("d", d0) ] ~tags:[ ("b", 2) ]
+  in
+  let excess = Record.excess ~consumed_fields:[ "a" ] ~consumed_tags:[ "b" ] input in
+  let out1 = Record.of_list ~fields:[ ("c", Value.of_int 3) ] ~tags:[] in
+  let inherited = Record.inherit_from ~excess out1 in
+  Alcotest.(check bool) "d attached" true (Record.has_field "d" inherited);
+  let out2 =
+    Record.of_list ~fields:[ ("c", Value.of_int 3); ("d", d9) ] ~tags:[ ("e", 42) ]
+  in
+  let kept = Record.inherit_from ~excess out2 in
+  (* The output's own d wins over the inherited one. *)
+  Alcotest.(check (option int)) "own d kept" (Some 9)
+    (Option.bind (Record.field "d" kept) Value.to_int)
+
+let test_equal_compare () =
+  let v = Value.of_int 1 in
+  let a = Record.of_list ~fields:[ ("f", v) ] ~tags:[ ("t", 1) ] in
+  let b = Record.of_list ~fields:[ ("f", v) ] ~tags:[ ("t", 1) ] in
+  Alcotest.(check bool) "equal" true (Record.equal a b);
+  let c = Record.with_tag "t" 2 a in
+  Alcotest.(check bool) "tag differs" false (Record.equal a c);
+  Alcotest.(check bool) "structure order" true (Record.compare_structure a c < 0)
+
+let test_to_string () =
+  let r = Record.of_list ~fields:[ ("a", Value.of_int 7) ] ~tags:[ ("k", 3) ] in
+  Alcotest.(check string) "rendering" "{a=7, <k>=3}" (Record.to_string r)
+
+let suite =
+  [
+    Alcotest.test_case "value keys" `Quick test_value_keys;
+    Alcotest.test_case "value int convenience" `Quick test_value_int;
+    Alcotest.test_case "build and access" `Quick test_build_access;
+    Alcotest.test_case "replace and remove" `Quick test_replace_remove;
+    Alcotest.test_case "excess" `Quick test_excess;
+    Alcotest.test_case "flow inheritance (paper example)" `Quick test_flow_inheritance;
+    Alcotest.test_case "equality and ordering" `Quick test_equal_compare;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]

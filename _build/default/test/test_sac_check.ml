@@ -1,0 +1,129 @@
+(* The mini-SaC static checker. *)
+
+module C = Saclang.Sac_check
+module P = Saclang.Sac_parser
+module A = Saclang.Sac_ast
+
+let accepts src =
+  match C.check_program (P.parse_program src) with
+  | () -> true
+  | exception C.Type_error _ -> false
+
+let check_accepts msg src = Alcotest.(check bool) msg true (accepts src)
+let check_rejects msg src = Alcotest.(check bool) msg false (accepts src)
+
+let infer src =
+  C.infer_expr ~env:[] ~program:[] (P.parse_expr_string src)
+
+let test_expr_types () =
+  Alcotest.(check string) "int scalar" "int" (C.sty_to_string (infer "1 + 2"));
+  Alcotest.(check string) "bool scalar" "bool" (C.sty_to_string (infer "1 < 2"));
+  Alcotest.(check string) "vector literal" "int[3]" (C.sty_to_string (infer "[1,2,3]"));
+  Alcotest.(check string) "broadcast keeps shape" "int[2]"
+    (C.sty_to_string (infer "[1,2] + 5"));
+  Alcotest.(check string) "elementwise comparison" "bool[2]"
+    (C.sty_to_string (infer "[1,2] < [3,4]"));
+  Alcotest.(check string) "selection from literal" "int"
+    (C.sty_to_string (infer "[1,2,3][0]"));
+  Alcotest.(check string) "shape builtin" "int[1]"
+    (C.sty_to_string (infer "shape([1,2,3])"));
+  Alcotest.(check string) "genarray with literal shape" "int[3,5]"
+    (C.sty_to_string
+       (infer "with { ([0,0] <= iv < [3,5]) : 42; } : genarray([3,5], 0)"));
+  Alcotest.(check string) "fold" "bool"
+    (C.sty_to_string
+       (infer "with { ([0] <= iv < [5]) : true; } : fold(&&, true)"))
+
+let test_expr_errors () =
+  let bad src =
+    try ignore (infer src); false with C.Type_error _ -> true
+  in
+  Alcotest.(check bool) "bool arithmetic" true (bad "true + 1");
+  Alcotest.(check bool) "logic on ints" true (bad "1 && 2");
+  Alcotest.(check bool) "mixed equality" true (bad "1 == true");
+  Alcotest.(check bool) "shape mismatch" true (bad "[1,2] + [1,2,3]");
+  Alcotest.(check bool) "vector of bools" true (bad "[true]");
+  Alcotest.(check bool) "select too deep" true (bad "[1,2][0][0]");
+  Alcotest.(check bool) "unbound" true (bad "x + 1");
+  Alcotest.(check bool) "unknown function" true (bad "mystery(1)");
+  Alcotest.(check bool) "fold kind" true
+    (bad "with { ([0] <= iv < [3]) : 1; } : fold(&&, true)")
+
+let test_program_checks () =
+  check_accepts "well-typed function"
+    "int f(int x) { return (x + 1); }";
+  check_rejects "kind error in body"
+    "int f(bool x) { return (x + 1); }";
+  check_rejects "return arity"
+    "int, int f(int x) { return (x); }";
+  check_rejects "call arity"
+    "int f(int x) { return (x); } int g() { return (f(1, 2)); }";
+  check_rejects "argument kind"
+    "int f(int x) { return (x); } int g() { return (f(true)); }";
+  check_rejects "void in expression"
+    "void f() { snet_out(1); } int g() { return (f() + 1); }";
+  check_accepts "multi-result plumbing"
+    "int, int two(int x) { return (x, x); } int g() { a, b = two(1); return (a + b); }";
+  check_rejects "multi-assign target count"
+    "int, int two(int x) { return (x, x); } int g() { a = two(1); return (a); }";
+  check_rejects "if condition must be boolean"
+    "int f(int x) { if (x) { x = 1; } return (x); }";
+  check_rejects "indexed update kind"
+    "int[*] f(int[*] a) { a[0] = true; return (a); }";
+  check_accepts "branch join"
+    "int f(bool c) { if (c) { x = 1; } else { x = 2; } return (x); }";
+  check_rejects "branch kind conflict"
+    "int f(bool c) { if (c) { x = 1; } else { x = true; } return (x); }"
+
+let test_conformance () =
+  let ty elem spec = { A.elem; shape_spec = spec } in
+  let sty kind shp = { C.kind; shp } in
+  Alcotest.(check bool) "fixed into any" true
+    (C.conforms (sty A.KInt (C.SFixed [ 3 ])) (ty A.KInt A.Any));
+  Alcotest.(check bool) "fixed into matching rank" true
+    (C.conforms (sty A.KInt (C.SFixed [ 3; 4 ])) (ty A.KInt (A.Ranked 2)));
+  Alcotest.(check bool) "rank mismatch" false
+    (C.conforms (sty A.KInt (C.SFixed [ 3 ])) (ty A.KInt (A.Ranked 2)));
+  Alcotest.(check bool) "scalar into scalar" true
+    (C.conforms (sty A.KInt C.SScalar) (ty A.KInt A.Scalar));
+  Alcotest.(check bool) "array into scalar" false
+    (C.conforms (sty A.KInt (C.SFixed [ 2 ])) (ty A.KInt A.Scalar));
+  Alcotest.(check bool) "kind mismatch" false
+    (C.conforms (sty A.KBool C.SScalar) (ty A.KInt A.Scalar));
+  Alcotest.(check bool) "unknown conforms" true
+    (C.conforms (sty A.KInt C.SAny) (ty A.KInt (A.Fixed [ 9; 9 ])))
+
+let test_paper_sources_pass () =
+  (* The shipped paper listings must satisfy the checker. *)
+  C.check_program (P.parse_program Saclang.Sac_sudoku.source);
+  check_accepts "concat"
+    {|
+    int[*] concat(int[*] a, int[*] b)
+    {
+      rshp = shape(a) + shape(b);
+      res = with { ([0] <= iv < shape(a)) : a[iv];
+                   (shape(a) <= iv < rshp) : b[iv - shape(a)];
+                 } : genarray(rshp, 0);
+      return (res);
+    }
+    |}
+
+let test_join_lattice () =
+  Alcotest.(check bool) "same fixed" true
+    (C.join_shp (C.SFixed [ 2 ]) (C.SFixed [ 2 ]) = C.SFixed [ 2 ]);
+  Alcotest.(check bool) "different fixed, same rank" true
+    (C.join_shp (C.SFixed [ 2 ]) (C.SFixed [ 3 ]) = C.SRanked 1);
+  Alcotest.(check bool) "different rank" true
+    (C.join_shp (C.SFixed [ 2 ]) (C.SFixed [ 2; 2 ]) = C.SAny);
+  Alcotest.(check bool) "anything with any" true
+    (C.join_shp C.SScalar C.SAny = C.SAny)
+
+let suite =
+  [
+    Alcotest.test_case "expression types" `Quick test_expr_types;
+    Alcotest.test_case "expression errors" `Quick test_expr_errors;
+    Alcotest.test_case "program-level checks" `Quick test_program_checks;
+    Alcotest.test_case "conformance" `Quick test_conformance;
+    Alcotest.test_case "paper sources pass" `Quick test_paper_sources_pass;
+    Alcotest.test_case "shape join lattice" `Quick test_join_lattice;
+  ]

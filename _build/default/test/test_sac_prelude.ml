@@ -1,0 +1,95 @@
+(* The SaC-in-SaC prelude, checked against the native builtins. *)
+
+module I = Saclang.Sac_interp
+module V = Saclang.Svalue
+module B = Sacarray.Builtins
+module Nd = Sacarray.Nd
+
+let prog = lazy (Saclang.Sac_prelude.program ())
+
+let call1 f args =
+  match I.call (Lazy.force prog) f args with
+  | [ v ] -> v
+  | _ -> Alcotest.fail (f ^ ": one result expected")
+
+let check_vec msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s = %s" msg
+       (Nd.to_string string_of_int expected)
+       (V.to_string got))
+    true
+    (V.equal (V.of_int_nd expected) got)
+
+let test_iota () =
+  check_vec "iota 6" (B.iota 6) (call1 "iota" [ V.int 6 ])
+
+let test_concat () =
+  check_vec "concat"
+    (B.concat (Nd.vector [ 1; 2 ]) (Nd.vector [ 3; 4; 5 ]))
+    (call1 "concat" [ V.vector [ 1; 2 ]; V.vector [ 3; 4; 5 ] ])
+
+let test_take_drop () =
+  let v = [ 9; 8; 7; 6; 5 ] in
+  check_vec "take" (B.take [| 3 |] (Nd.vector v)) (call1 "take" [ V.int 3; V.vector v ]);
+  check_vec "drop" (B.drop [| 2 |] (Nd.vector v)) (call1 "drop" [ V.int 2; V.vector v ])
+
+let test_reverse_rotate () =
+  let v = [ 1; 2; 3; 4; 5 ] in
+  check_vec "reverse" (B.reverse 0 (Nd.vector v)) (call1 "reverse" [ V.vector v ]);
+  List.iter
+    (fun r ->
+      check_vec
+        (Printf.sprintf "rotate %d" r)
+        (B.rotate 0 r (Nd.vector v))
+        (call1 "rotate" [ V.int r; V.vector v ]))
+    [ 0; 1; 3; -2; 7 ]
+
+let test_reductions () =
+  Alcotest.(check int) "maxval" 9 (V.to_int (call1 "maxval" [ V.vector [ 3; 9; 1 ] ]));
+  Alcotest.(check int) "minval" 1 (V.to_int (call1 "minval" [ V.vector [ 3; 9; 1 ] ]));
+  Alcotest.(check int) "count_eq" 2
+    (V.to_int (call1 "count_eq" [ V.int 4; V.vector [ 4; 1; 4; 2 ] ]))
+
+let test_user_code_on_top () =
+  let prog =
+    I.load
+      (Saclang.Sac_prelude.with_prelude
+         {|
+         int palindromic(int[*] a)
+         {
+           same = 0;
+           n = shape(a)[0];
+           r = reverse(a);
+           for (i = 0; i < n; i++) {
+             if (a[i] == r[i]) { same = same + 1; }
+           }
+           return (same);
+         }
+         |})
+  in
+  match I.call prog "palindromic" [ V.vector [ 1; 2; 3; 2; 1 ] ] with
+  | [ v ] -> Alcotest.(check int) "all positions match" 5 (V.to_int v)
+  | _ -> Alcotest.fail "one result expected"
+
+let prop_prelude_concat_matches_builtin =
+  QCheck.Test.make ~name:"prelude concat = Builtins.concat" ~count:50
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 0 8) (int_range (-20) 20))
+           (list_size (int_range 0 8) (int_range (-20) 20))))
+    (fun (a, b) ->
+      V.equal
+        (V.of_int_nd (B.concat (Nd.vector a) (Nd.vector b)))
+        (call1 "concat" [ V.vector a; V.vector b ]))
+
+let suite =
+  [
+    Alcotest.test_case "iota" `Quick test_iota;
+    Alcotest.test_case "concat" `Quick test_concat;
+    Alcotest.test_case "take/drop" `Quick test_take_drop;
+    Alcotest.test_case "reverse/rotate" `Quick test_reverse_rotate;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "user code over the prelude" `Quick test_user_code_on_top;
+    QCheck_alcotest.to_alcotest prop_prelude_concat_matches_builtin;
+  ]

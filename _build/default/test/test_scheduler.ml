@@ -1,0 +1,235 @@
+(* Domain pool, futures, latches, barriers, work-stealing deque. *)
+
+module Pool = Scheduler.Pool
+module Future = Scheduler.Future
+module Sync = Scheduler.Sync
+module CL = Scheduler.Chase_lev
+
+let with_pool n f =
+  let pool = Pool.create ~num_domains:n () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_future_fill () =
+  let fut = Future.create () in
+  Alcotest.(check bool) "unresolved" false (Future.is_resolved fut);
+  Future.fill fut 42;
+  Alcotest.(check int) "await" 42 (Future.await fut);
+  Alcotest.(check bool) "resolved" true (Future.is_resolved fut);
+  Alcotest.(check bool) "double fill rejected" true
+    (try Future.fill fut 1; false with Invalid_argument _ -> true)
+
+exception Boom
+
+let test_future_error () =
+  let fut = Future.create () in
+  Future.run fut (fun () -> raise Boom);
+  Alcotest.(check bool) "await re-raises" true
+    (try ignore (Future.await fut); false with Boom -> true);
+  match Future.peek fut with
+  | Some (Error Boom) -> ()
+  | _ -> Alcotest.fail "peek should expose the error"
+
+let test_latch () =
+  let l = Sync.Latch.create 3 in
+  Alcotest.(check int) "pending" 3 (Sync.Latch.pending l);
+  Sync.Latch.count_down l;
+  Sync.Latch.count_down l;
+  Sync.Latch.count_down l;
+  Sync.Latch.await l;
+  Sync.Latch.count_down l (* below zero is ignored *);
+  Alcotest.(check int) "drained" 0 (Sync.Latch.pending l);
+  Sync.Latch.await (Sync.Latch.create 0)
+
+let test_barrier () =
+  let b = Sync.Barrier.create 3 in
+  let hits = Atomic.make 0 in
+  let domains =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            ignore (Sync.Barrier.await b);
+            Atomic.incr hits;
+            ignore (Sync.Barrier.await b)))
+  in
+  ignore (Sync.Barrier.await b);
+  (* After the first barrier trips, all parties have arrived. *)
+  ignore (Sync.Barrier.await b);
+  Alcotest.(check int) "all crossed" 2 (Atomic.get hits);
+  List.iter Domain.join domains
+
+let test_pool_run () =
+  with_pool 2 (fun pool ->
+      Alcotest.(check int) "run" 7 (Pool.run pool (fun () -> 3 + 4));
+      Alcotest.(check int) "workers" 2 (Pool.num_workers pool);
+      Alcotest.(check int) "parallelism" 3 (Pool.parallelism pool);
+      let fut = Pool.async pool (fun () -> String.length "hello") in
+      Alcotest.(check int) "async" 5 (Future.await fut))
+
+let test_pool_zero_workers () =
+  with_pool 0 (fun pool ->
+      Alcotest.(check int) "run sequentially" 10
+        (Pool.run pool (fun () -> 10));
+      let total = ref 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:100 (fun i -> total := !total + i);
+      Alcotest.(check int) "parallel_for" 4950 !total)
+
+let test_parallel_for () =
+  with_pool 3 (fun pool ->
+      let hits = Array.make 1000 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:1000 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "each index exactly once" true
+        (Array.for_all (fun h -> h = 1) hits);
+      (* Empty and single-element ranges. *)
+      Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> Alcotest.fail "no indices");
+      let one = ref 0 in
+      Pool.parallel_for pool ~lo:7 ~hi:8 (fun i -> one := i);
+      Alcotest.(check int) "singleton" 7 !one)
+
+let test_parallel_for_reduce () =
+  with_pool 3 (fun pool ->
+      let sum =
+        Pool.parallel_for_reduce pool ~lo:1 ~hi:1001 ~combine:( + ) ~init:0
+          (fun i -> i)
+      in
+      Alcotest.(check int) "sum 1..1000" 500500 sum;
+      let s2 =
+        Pool.parallel_for_reduce pool ~chunk:7 ~lo:0 ~hi:100 ~combine:( + )
+          ~init:0
+          (fun i -> i * i)
+      in
+      Alcotest.(check int) "chunked" 328350 s2)
+
+let test_parallel_for_exception () =
+  with_pool 2 (fun pool ->
+      Alcotest.(check bool) "body exception propagates" true
+        (try
+           Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+               if i = 50 then raise Boom);
+           false
+         with Boom -> true))
+
+let test_parallel_map_array () =
+  with_pool 2 (fun pool ->
+      let a = Array.init 100 Fun.id in
+      let b = Pool.parallel_map_array pool (fun x -> x * 2) a in
+      Alcotest.(check bool) "mapped" true
+        (Array.for_all2 (fun x y -> y = 2 * x) a b);
+      Alcotest.(check (array int)) "empty" [||]
+        (Pool.parallel_map_array pool (fun x -> x) [||]))
+
+let test_nested_run () =
+  with_pool 2 (fun pool ->
+      (* A task that itself submits work must not deadlock the pool. *)
+      let v =
+        Pool.run pool (fun () ->
+            let inner = Pool.run pool (fun () -> 21) in
+            2 * inner)
+      in
+      Alcotest.(check int) "nested" 42 v)
+
+let test_shutdown () =
+  let pool = Pool.create ~num_domains:1 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.(check bool) "submit after shutdown" true
+    (try ignore (Pool.async pool (fun () -> ())); false
+     with Invalid_argument _ -> true)
+
+let test_chase_lev_lifo_fifo () =
+  let q = CL.create () in
+  CL.push q 1;
+  CL.push q 2;
+  CL.push q 3;
+  Alcotest.(check int) "size" 3 (CL.size q);
+  Alcotest.(check (option int)) "owner pops LIFO" (Some 3) (CL.pop q);
+  Alcotest.(check (option int)) "thief steals FIFO" (Some 1) (CL.steal q);
+  Alcotest.(check (option int)) "pop" (Some 2) (CL.pop q);
+  Alcotest.(check (option int)) "empty pop" None (CL.pop q);
+  Alcotest.(check (option int)) "empty steal" None (CL.steal q);
+  Alcotest.(check bool) "is_empty" true (CL.is_empty q)
+
+let test_chase_lev_growth () =
+  let q = CL.create ~capacity:2 () in
+  for i = 0 to 199 do
+    CL.push q i
+  done;
+  Alcotest.(check int) "grew" 200 (CL.size q);
+  let seen = ref [] in
+  let rec drain () =
+    match CL.pop q with
+    | Some v ->
+        seen := v :: !seen;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "drained in order" (List.init 200 Fun.id) !seen
+
+let test_chase_lev_concurrent () =
+  let q = CL.create () in
+  let n = 10_000 in
+  let stolen = Atomic.make 0 and stop = Atomic.make false in
+  let thief =
+    Domain.spawn (fun () ->
+        let rec go () =
+          match CL.steal q with
+          | Some _ ->
+              Atomic.incr stolen;
+              go ()
+          | None ->
+              if not (Atomic.get stop) then begin
+                Domain.cpu_relax ();
+                go ()
+              end
+        in
+        go ())
+  in
+  let popped = ref 0 in
+  for i = 0 to n - 1 do
+    CL.push q i;
+    if i mod 3 = 0 then (match CL.pop q with Some _ -> incr popped | None -> ())
+  done;
+  let rec drain () =
+    match CL.pop q with
+    | Some _ ->
+        incr popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Domain.join thief;
+  Alcotest.(check int) "no element lost or duplicated" n
+    (!popped + Atomic.get stolen)
+
+let prop_parallel_sum_matches =
+  QCheck.Test.make ~name:"parallel_for_reduce = List fold" ~count:20
+    (QCheck.make QCheck.Gen.(int_range 0 2000))
+    (fun n ->
+      let pool = Pool.create ~num_domains:2 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let expect = n * (n - 1) / 2 in
+          Pool.parallel_for_reduce pool ~lo:0 ~hi:n ~combine:( + ) ~init:0
+            Fun.id
+          = expect))
+
+let suite =
+  [
+    Alcotest.test_case "future fill/await" `Quick test_future_fill;
+    Alcotest.test_case "future error" `Quick test_future_error;
+    Alcotest.test_case "latch" `Quick test_latch;
+    Alcotest.test_case "barrier" `Quick test_barrier;
+    Alcotest.test_case "pool run/async" `Quick test_pool_run;
+    Alcotest.test_case "pool with zero workers" `Quick test_pool_zero_workers;
+    Alcotest.test_case "parallel_for covers range once" `Quick test_parallel_for;
+    Alcotest.test_case "parallel_for_reduce" `Quick test_parallel_for_reduce;
+    Alcotest.test_case "parallel_for exception" `Quick test_parallel_for_exception;
+    Alcotest.test_case "parallel_map_array" `Quick test_parallel_map_array;
+    Alcotest.test_case "nested run" `Quick test_nested_run;
+    Alcotest.test_case "shutdown" `Quick test_shutdown;
+    Alcotest.test_case "chase-lev LIFO/FIFO" `Quick test_chase_lev_lifo_fifo;
+    Alcotest.test_case "chase-lev growth" `Quick test_chase_lev_growth;
+    Alcotest.test_case "chase-lev concurrent steals" `Quick test_chase_lev_concurrent;
+    QCheck_alcotest.to_alcotest prop_parallel_sum_matches;
+  ]

@@ -1,0 +1,55 @@
+(* The checked-in .snet and .sac example files must stay parseable and
+   well-typed. *)
+
+(* dune runs tests from the test directory but `dune exec` from the
+   workspace root; search both. *)
+let read name =
+  let candidates =
+    [ "../examples/" ^ name; "examples/" ^ name;
+      "_build/default/examples/" ^ name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.fail ("cannot locate " ^ name)
+  | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let test_snet_files () =
+  List.iter
+    (fun (file, strictly_typable) ->
+      let nd = Snet_lang.Parser.parse_string (read file) in
+      let net = Snet_lang.Elaborate.elaborate_with_stubs nd in
+      let v = Snet.Rectype.Variant.make ~fields:[ "board" ] ~tags:[] in
+      ignore (Snet.Typecheck.flow [ v ] net);
+      let strict =
+        match Snet.Typecheck.infer net with
+        | _ -> true
+        | exception Snet.Typecheck.Type_error _ -> false
+      in
+      Alcotest.(check bool) (file ^ " strict typability") strictly_typable strict)
+    [ ("fig2.snet", true); ("fig3.snet", false) ]
+
+let test_sac_files () =
+  let prog = Saclang.Sac_interp.load (read "sudoku_kernel.sac") in
+  Alcotest.(check bool) "addNumber defined" true
+    (Saclang.Sac_interp.find_function prog "addNumber" <> None);
+  match
+    Saclang.Sac_interp.call prog "cellOptions"
+      [
+        Saclang.Svalue.of_int_nd (Sacarray.Nd.create [| 9; 9 |] 0);
+        Saclang.Svalue.int 4; Saclang.Svalue.int 5;
+      ]
+  with
+  | [ v ] ->
+      Alcotest.(check int) "neighbour of the placed 5 keeps 8 options" 8
+        (Saclang.Svalue.to_int v)
+  | _ -> Alcotest.fail "one result expected"
+
+let suite =
+  [
+    Alcotest.test_case "shipped .snet files" `Quick test_snet_files;
+    Alcotest.test_case "shipped .sac files" `Quick test_sac_files;
+  ]

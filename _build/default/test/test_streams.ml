@@ -1,0 +1,161 @@
+(* Blocking channels and the actor layer. *)
+
+module Channel = Streams.Channel
+module Actors = Streams.Actors
+
+let with_pool n f =
+  let pool = Scheduler.Pool.create ~num_domains:n () in
+  Fun.protect ~finally:(fun () -> Scheduler.Pool.shutdown pool) (fun () ->
+      f pool)
+
+let test_channel_fifo () =
+  let ch = Channel.create () in
+  Channel.send ch 1;
+  Channel.send ch 2;
+  Channel.send ch 3;
+  Alcotest.(check (option int)) "first" (Some 1) (Channel.recv ch);
+  Alcotest.(check (option int)) "second" (Some 2) (Channel.recv ch);
+  Alcotest.(check int) "length" 1 (Channel.length ch)
+
+let test_channel_close () =
+  let ch = Channel.create () in
+  Channel.send ch 1;
+  Channel.close ch;
+  Alcotest.(check bool) "closed" true (Channel.is_closed ch);
+  Alcotest.(check bool) "send after close" true
+    (try Channel.send ch 2; false with Channel.Closed -> true);
+  Alcotest.(check (option int)) "buffered survives" (Some 1) (Channel.recv ch);
+  Alcotest.(check (option int)) "then end of stream" None (Channel.recv ch);
+  Channel.close ch (* idempotent *)
+
+let test_channel_try_recv () =
+  let ch = Channel.create () in
+  Alcotest.(check (option int)) "empty" None (Channel.try_recv ch);
+  Channel.send ch 5;
+  Alcotest.(check (option int)) "nonempty" (Some 5) (Channel.try_recv ch)
+
+let test_channel_lists () =
+  let ch = Channel.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "roundtrip" [ 1; 2; 3 ] (Channel.to_list ch)
+
+let test_channel_blocking () =
+  (* A consumer thread blocks until the producer sends. *)
+  let ch = Channel.create ~capacity:1 () in
+  let got = ref None in
+  let consumer = Thread.create (fun () -> got := Channel.recv ch) () in
+  Thread.delay 0.02;
+  Channel.send ch 99;
+  Thread.join consumer;
+  Alcotest.(check (option int)) "received" (Some 99) !got;
+  (* A producer blocks when the buffer is full until a recv frees it. *)
+  Channel.send ch 1;
+  let sent = ref false in
+  let producer =
+    Thread.create
+      (fun () ->
+        Channel.send ch 2;
+        sent := true)
+      ()
+  in
+  Thread.delay 0.02;
+  Alcotest.(check bool) "still blocked" false !sent;
+  ignore (Channel.recv ch);
+  Thread.join producer;
+  Alcotest.(check bool) "unblocked" true !sent
+
+let test_channel_capacity_validation () =
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try ignore (Channel.create ~capacity:0 ()); false
+     with Invalid_argument _ -> true)
+
+let test_actor_fifo () =
+  with_pool 2 (fun pool ->
+      let sys = Actors.system ~pool () in
+      let seen = ref [] in
+      let a = Actors.spawn sys ~name:"collector" (fun m -> seen := m :: !seen) in
+      for i = 1 to 100 do
+        Actors.send a i
+      done;
+      Actors.await_quiescence sys;
+      Alcotest.(check (list int)) "in order" (List.init 100 (fun i -> i + 1))
+        (List.rev !seen))
+
+let test_actor_chain () =
+  with_pool 2 (fun pool ->
+      let sys = Actors.system ~pool () in
+      let total = ref 0 in
+      let final = Actors.spawn sys (fun m -> total := !total + m) in
+      let middle = Actors.spawn sys (fun m -> Actors.send final (m * 2)) in
+      for i = 1 to 50 do
+        Actors.send middle i
+      done;
+      Actors.await_quiescence sys;
+      Alcotest.(check int) "chained messages all handled" 2550 !total)
+
+let test_actor_self_send () =
+  with_pool 2 (fun pool ->
+      let sys = Actors.system ~pool () in
+      let count = ref 0 in
+      let rec actor = lazy (Actors.spawn sys (fun m ->
+          incr count;
+          if m > 0 then Actors.send (Lazy.force actor) (m - 1)))
+      in
+      Actors.send (Lazy.force actor) 10;
+      Actors.await_quiescence sys;
+      Alcotest.(check int) "countdown" 11 !count)
+
+exception Boom
+
+let test_actor_error () =
+  with_pool 2 (fun pool ->
+      let sys = Actors.system ~pool () in
+      let a =
+        Actors.spawn sys (fun m -> if m = 13 then raise Boom)
+      in
+      for i = 1 to 20 do
+        Actors.send a i
+      done;
+      Alcotest.(check bool) "first error re-raised" true
+        (try Actors.await_quiescence sys; false with Boom -> true);
+      Alcotest.(check bool) "failure recorded" true
+        (Actors.failure sys = Some Boom))
+
+let test_actor_zero_worker_pool () =
+  with_pool 0 (fun pool ->
+      let sys = Actors.system ~pool () in
+      let hits = ref 0 in
+      let a = Actors.spawn sys (fun () -> incr hits) in
+      Actors.send a ();
+      Actors.send a ();
+      Actors.await_quiescence sys;
+      Alcotest.(check int) "caller executes activations" 2 !hits)
+
+let test_actor_fanout () =
+  with_pool 3 (fun pool ->
+      let sys = Actors.system ~pool () in
+      let hits = Atomic.make 0 in
+      let workers =
+        List.init 50 (fun i ->
+            Actors.spawn sys ~name:(Printf.sprintf "w%d" i) (fun n ->
+                ignore (Atomic.fetch_and_add hits n)))
+      in
+      List.iteri (fun i w -> Actors.send w (i + 1)) workers;
+      Actors.await_quiescence sys;
+      Alcotest.(check int) "all workers ran" 1275 (Atomic.get hits);
+      Alcotest.(check int) "quiescent" 0 (Actors.pending sys))
+
+let suite =
+  [
+    Alcotest.test_case "channel FIFO" `Quick test_channel_fifo;
+    Alcotest.test_case "channel close" `Quick test_channel_close;
+    Alcotest.test_case "channel try_recv" `Quick test_channel_try_recv;
+    Alcotest.test_case "channel of_list/to_list" `Quick test_channel_lists;
+    Alcotest.test_case "channel blocking" `Quick test_channel_blocking;
+    Alcotest.test_case "channel capacity" `Quick test_channel_capacity_validation;
+    Alcotest.test_case "actor FIFO" `Quick test_actor_fifo;
+    Alcotest.test_case "actor chain quiescence" `Quick test_actor_chain;
+    Alcotest.test_case "actor self-send" `Quick test_actor_self_send;
+    Alcotest.test_case "actor error containment" `Quick test_actor_error;
+    Alcotest.test_case "actors on zero-worker pool" `Quick test_actor_zero_worker_pool;
+    Alcotest.test_case "actor fan-out" `Quick test_actor_fanout;
+  ]

@@ -1,0 +1,109 @@
+(* Stress and scale: larger record volumes, deep stars, bigger boards —
+   slower than the unit tests but still bounded. *)
+
+module Net = Snet.Net
+module Box = Snet.Box
+module P = Snet.Pattern
+module Record = Snet.Record
+
+let with_pool n f =
+  let pool = Scheduler.Pool.create ~num_domains:n () in
+  Fun.protect ~finally:(fun () -> Scheduler.Pool.shutdown pool) (fun () ->
+      f pool)
+
+let tags_of name records = List.filter_map (Record.tag name) records
+
+let inc =
+  Box.make ~name:"inc" ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] -> emit 1 [ Tag (x + 1) ]
+      | _ -> assert false)
+
+let countdown =
+  Box.make ~name:"countdown" ~input:[ T "x" ]
+    ~outputs:[ [ T "x" ]; [ T "x"; T "done" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] ->
+          if x <= 0 then emit 2 [ Tag 0; Tag 1 ] else emit 1 [ Tag (x - 1) ]
+      | _ -> assert false)
+
+let done_pattern = P.make ~fields:[] ~tags:[ "done" ] ()
+
+let test_many_records_all_engines () =
+  let n = 2000 in
+  let net = Net.serial_list (List.init 5 (fun _ -> Net.box inc)) in
+  let inputs = List.init n (fun i -> Snet.record ~tags:[ ("x", i) ] ()) in
+  let expected = List.init n (fun i -> i + 5) in
+  Alcotest.(check (list int)) "seq" expected
+    (tags_of "x" (Snet.Engine_seq.run net inputs));
+  with_pool 2 (fun pool ->
+      Alcotest.(check (list int)) "actors" expected
+        (tags_of "x" (Snet.Engine_conc.run ~pool net inputs)));
+  Alcotest.(check (list int)) "threads" expected
+    (tags_of "x" (Snet.Engine_thread.run net inputs))
+
+let test_deep_star () =
+  (* 300 pipeline stages — well past the paper's 81. *)
+  let net = Net.star (Net.box countdown) done_pattern in
+  let stats = Snet.Stats.create () in
+  let out =
+    Snet.Engine_seq.run ~stats net [ Snet.record ~tags:[ ("x", 299) ] () ]
+  in
+  Alcotest.(check int) "one result" 1 (List.length out);
+  Alcotest.(check int) "300 stages" 300
+    (Snet.Stats.snapshot stats).Snet.Stats.max_star_depth;
+  with_pool 2 (fun pool ->
+      Alcotest.(check int) "actor engine too" 1
+        (List.length
+           (Snet.Engine_conc.run ~pool net
+              [ Snet.record ~tags:[ ("x", 299) ] () ])))
+
+let test_wide_split () =
+  (* 128 replicas. *)
+  let net = Net.split (Net.box inc) "k" in
+  let inputs =
+    List.init 512 (fun i -> Snet.record ~tags:[ ("x", i); ("k", i mod 128) ] ())
+  in
+  let stats = Snet.Stats.create () in
+  let out = Snet.Engine_seq.run ~stats net inputs in
+  Alcotest.(check int) "all processed" 512 (List.length out);
+  Alcotest.(check int) "128 replicas" 128
+    (Snet.Stats.snapshot stats).Snet.Stats.split_replicas
+
+let test_16x16_network () =
+  (* The paper's motivation: bigger boards. A near-complete 16x16
+     puzzle through Figure 1. *)
+  let board = Sudoku.Generate.puzzle ~seed:3 ~n:4 ~holes:18 () in
+  let out =
+    Snet.Engine_seq.run (Sudoku.Networks.fig1 ())
+      [ Sudoku.Boxes.inject_board board ]
+  in
+  let sols = Sudoku.Networks.solved_boards out in
+  Alcotest.(check bool) "16x16 solved through the network" true (sols <> []);
+  List.iter
+    (fun b -> Alcotest.(check int) "side 16" 16 (Sudoku.Board.side b))
+    sols
+
+let test_deterministic_under_load () =
+  with_pool 2 (fun pool ->
+      let net =
+        Net.split ~det:true
+          (Net.star ~det:true (Net.box countdown) done_pattern)
+          "k"
+      in
+      let inputs =
+        List.init 300 (fun i ->
+            Snet.record ~tags:[ ("x", i mod 17); ("k", i mod 5) ] ())
+      in
+      let expected = tags_of "x" (Snet.Engine_seq.run net inputs) in
+      Alcotest.(check (list int)) "det nesting at volume" expected
+        (tags_of "x" (Snet.Engine_conc.run ~pool net inputs)))
+
+let suite =
+  [
+    Alcotest.test_case "2000 records, all engines" `Slow test_many_records_all_engines;
+    Alcotest.test_case "star 300 deep" `Slow test_deep_star;
+    Alcotest.test_case "split 128 wide" `Slow test_wide_split;
+    Alcotest.test_case "16x16 board through fig1" `Slow test_16x16_network;
+    Alcotest.test_case "determinism under load" `Slow test_deterministic_under_load;
+  ]

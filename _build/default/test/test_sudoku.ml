@@ -1,0 +1,268 @@
+(* Boards, rules, heuristics, sequential solver, generation. *)
+
+module Board = Sudoku.Board
+module Rules = Sudoku.Rules
+module H = Sudoku.Heuristics
+module Solver = Sudoku.Solver
+module Puzzles = Sudoku.Puzzles
+module Nd = Sacarray.Nd
+
+let test_board_basics () =
+  let b = Board.empty 3 in
+  Alcotest.(check int) "side" 9 (Board.side b);
+  Alcotest.(check int) "box size" 3 (Board.box_size b);
+  Alcotest.(check int) "no givens" 0 (Board.count_filled b);
+  let b = Board.set b 4 5 7 in
+  Alcotest.(check int) "set/get" 7 (Board.get b 4 5);
+  Alcotest.(check int) "one given" 1 (Board.count_filled b)
+
+let test_board_parse_9x9 () =
+  let b = Puzzles.easy in
+  Alcotest.(check int) "givens of the classic example" 30 (Board.count_filled b);
+  Alcotest.(check int) "top-left" 5 (Board.get b 0 0);
+  Alcotest.(check int) "row 1" 3 (Board.get b 0 1);
+  Alcotest.(check bool) "valid" true (Board.valid b);
+  (* Dots and underscores also mean empty. *)
+  let b2 = Board.parse (String.concat "" (List.init 81 (fun _ -> "."))) in
+  Alcotest.(check int) "all empty" 0 (Board.count_filled b2)
+
+let test_board_parse_grid () =
+  let b = Board.parse "1 2 3 4\n3 4 1 2\n2 1 4 3\n4 3 2 1" in
+  Alcotest.(check int) "side 4" 4 (Board.side b);
+  Alcotest.(check bool) "solved 4x4" true (Board.solved b);
+  Alcotest.(check bool) "bad cell" true
+    (try ignore (Board.parse "1 2\nx 1"); false with Invalid_argument _ -> true)
+
+let test_board_validity () =
+  let good = Board.parse "1 2 3 4\n3 4 1 2\n2 1 4 3\n4 3 2 1" in
+  Alcotest.(check bool) "valid" true (Board.valid good);
+  let dup_row = Board.set good 0 1 1 in
+  Alcotest.(check bool) "row duplicate" false (Board.valid dup_row);
+  let dup_col = Board.set good 1 0 1 in
+  Alcotest.(check bool) "column duplicate" false (Board.valid dup_col);
+  let dup_box = Board.set good 1 1 1 in
+  Alcotest.(check bool) "sub-board duplicate" false (Board.valid dup_box);
+  Alcotest.(check bool) "incomplete is not solved" false
+    (Board.solved (Board.set good 0 0 0))
+
+let test_board_to_string_roundtrip () =
+  let s = Board.to_string Puzzles.easy in
+  Alcotest.(check bool) "renders dots for empties" true
+    (String.contains s '.');
+  (* The pretty output of a 4x4 grid parses back. *)
+  let g = Board.parse "1 2 3 4\n3 4 1 2\n2 1 4 3\n4 3 2 1" in
+  let reparsed =
+    Board.parse
+      (String.concat "\n"
+         (List.filter
+            (fun l -> l <> "" && not (String.contains l '-'))
+            (String.split_on_char '\n'
+               (String.concat ""
+                  (String.split_on_char '|' (Board.to_string g))))))
+  in
+  Alcotest.(check bool) "roundtrip" true (Board.equal g reparsed)
+
+(* The paper's addNumber: placing k at (i,j) falsifies the cell's
+   options, k in row i, k in column j and k in the sub-board. *)
+let test_add_number_eliminations () =
+  let board = Board.empty 3 in
+  let opts = Rules.all_options 9 in
+  let board, opts = Rules.add_number ~i:4 ~j:5 ~k:7 board opts in
+  Alcotest.(check int) "placed" 7 (Board.get board 4 5);
+  Alcotest.(check (list int)) "cell has no options left" []
+    (Rules.options_at opts ~i:4 ~j:5);
+  (* 7 eliminated across row 4, column 5 and the centre sub-board. *)
+  for j = 0 to 8 do
+    Alcotest.(check bool) (Printf.sprintf "row option 7 at col %d" j) false
+      (List.mem 7 (Rules.options_at opts ~i:4 ~j))
+  done;
+  for i = 0 to 8 do
+    Alcotest.(check bool) (Printf.sprintf "col option 7 at row %d" i) false
+      (List.mem 7 (Rules.options_at opts ~i ~j:5))
+  done;
+  for i = 3 to 5 do
+    for j = 3 to 5 do
+      Alcotest.(check bool) "box option 7" false
+        (List.mem 7 (Rules.options_at opts ~i ~j))
+    done
+  done;
+  (* Unrelated cells keep their other options. *)
+  Alcotest.(check bool) "far cell keeps 7" true
+    (List.mem 7 (Rules.options_at opts ~i:0 ~j:0));
+  Alcotest.(check int) "far cell loses nothing" 9
+    (Rules.count_options_at opts ~i:0 ~j:0);
+  (* Same row loses exactly one option. *)
+  Alcotest.(check int) "row cell loses only 7" 8
+    (Rules.count_options_at opts ~i:4 ~j:0)
+
+let test_add_number_validation () =
+  let board = Board.empty 3 and opts = Rules.all_options 9 in
+  Alcotest.(check bool) "bad position" true
+    (try ignore (Rules.add_number ~i:9 ~j:0 ~k:1 board opts); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad number" true
+    (try ignore (Rules.add_number ~i:0 ~j:0 ~k:10 board opts); false
+     with Invalid_argument _ -> true)
+
+let test_init_options () =
+  let opts = Rules.init_options Puzzles.easy in
+  (* Given cells have no options; empty cells have at least one. *)
+  List.iter
+    (fun (i, j, v) ->
+      if v <> 0 then
+        Alcotest.(check int) "given cell" 0 (Rules.count_options_at opts ~i ~j)
+      else
+        Alcotest.(check bool) "empty cell has options" true
+          (Rules.count_options_at opts ~i ~j > 0))
+    (Board.cells Puzzles.easy)
+
+let test_is_completed_stuck () =
+  Alcotest.(check bool) "empty not completed" false
+    (Rules.is_completed (Board.empty 3));
+  let solved = Sudoku.Generate.solved_board 3 in
+  Alcotest.(check bool) "solved completed" true (Rules.is_completed solved);
+  let board = Board.empty 3 in
+  let opts = Rules.all_options 9 in
+  Alcotest.(check bool) "fresh board not stuck" false (Rules.is_stuck board opts);
+  (* Zero out all options of an empty cell: stuck. *)
+  let dead =
+    Sacarray.With_loop.modarray opts
+      [ (Sacarray.With_loop.range [| 0; 0; 0 |] [| 1; 1; 9 |], fun _ -> false) ]
+  in
+  Alcotest.(check bool) "stuck" true (Rules.is_stuck board dead)
+
+let test_heuristics () =
+  let board = Board.set (Board.empty 3) 0 0 1 in
+  Alcotest.(check (option (pair int int))) "find_first skips givens"
+    (Some (0, 1)) (H.find_first board);
+  Alcotest.(check (option (pair int int))) "complete board"
+    None (H.find_first (Sudoku.Generate.solved_board 3));
+  let opts = Rules.init_options Puzzles.easy in
+  (match H.find_min_trues Puzzles.easy opts with
+  | None -> Alcotest.fail "expected a cell"
+  | Some (i, j) ->
+      let c = Rules.count_options_at opts ~i ~j in
+      List.iter
+        (fun (i', j', v) ->
+          if v = 0 then
+            Alcotest.(check bool) "minimum" true
+              (Rules.count_options_at opts ~i:i' ~j:j' >= c))
+        (Board.cells Puzzles.easy));
+  Alcotest.(check (option (pair int int))) "min_trues on complete board" None
+    (H.find_min_trues (Sudoku.Generate.solved_board 3) (Rules.all_options 9))
+
+let test_solver_corpus () =
+  List.iter
+    (fun e ->
+      let outcome = Solver.solve e.Puzzles.board in
+      Alcotest.(check bool) (e.Puzzles.name ^ " solved") true outcome.Solver.solved;
+      Alcotest.(check bool) (e.Puzzles.name ^ " valid solution") true
+        (Board.solved outcome.Solver.board);
+      (* The solution extends the givens. *)
+      List.iter
+        (fun (i, j, v) ->
+          if v <> 0 then
+            Alcotest.(check int) "given preserved" v
+              (Board.get outcome.Solver.board i j))
+        (Board.cells e.Puzzles.board))
+    Puzzles.all
+
+let test_solver_16x16 () =
+  let outcome = Solver.solve Puzzles.sixteen in
+  Alcotest.(check bool) "16x16 solved" true outcome.Solver.solved;
+  Alcotest.(check bool) "16x16 valid" true (Board.solved outcome.Solver.board)
+
+let test_solver_find_first_heuristic () =
+  let outcome = Solver.solve ~choice:H.Find_first Puzzles.easy in
+  Alcotest.(check bool) "solves with the naive heuristic" true
+    outcome.Solver.solved
+
+let test_solver_unsolvable () =
+  (* A valid but unsolvable configuration: cell (0,0) sees 1,2,3 in its
+     row, 4,5,6 in its column and 7,8,9 in its sub-board, so no number
+     fits — the search gets stuck, as the paper's solve reports. *)
+  let board =
+    List.fold_left
+      (fun b (i, j, v) -> Board.set b i j v)
+      (Board.empty 3)
+      [
+        (0, 3, 1); (0, 4, 2); (0, 5, 3);
+        (3, 0, 4); (4, 0, 5); (5, 0, 6);
+        (1, 1, 7); (1, 2, 8); (2, 1, 9);
+      ]
+  in
+  Alcotest.(check bool) "configuration is valid" true (Board.valid board);
+  let opts = Rules.init_options board in
+  Alcotest.(check int) "corner cell has no options" 0
+    (Rules.count_options_at opts ~i:0 ~j:0);
+  let outcome = Solver.solve board in
+  Alcotest.(check bool) "unsolvable reported" false outcome.Solver.solved
+
+let test_count_solutions () =
+  Alcotest.(check int) "classic example is unique" 1
+    (Solver.count_solutions ~limit:2 Puzzles.easy);
+  Alcotest.(check bool) "empty board has many" true
+    (Solver.count_solutions ~limit:3 (Board.empty 2) >= 3)
+
+let test_solver_already_solved () =
+  let solved = Sudoku.Generate.solved_board 3 in
+  let outcome = Solver.solve solved in
+  Alcotest.(check bool) "still solved" true outcome.Solver.solved;
+  Alcotest.(check bool) "unchanged" true (Board.equal solved outcome.Solver.board)
+
+let test_generate () =
+  List.iter
+    (fun n ->
+      let b = Sudoku.Generate.solved_board n in
+      Alcotest.(check bool) (Printf.sprintf "solved_board %d" n) true (Board.solved b))
+    [ 2; 3; 4 ];
+  let p = Sudoku.Generate.puzzle ~seed:5 ~n:3 ~holes:40 () in
+  Alcotest.(check int) "holes dug" (81 - 40) (Board.count_filled p);
+  Alcotest.(check bool) "still valid" true (Board.valid p);
+  let o = Solver.solve p in
+  Alcotest.(check bool) "solvable by construction" true o.Solver.solved;
+  let r = Sudoku.Generate.relabel ~seed:9 (Sudoku.Generate.solved_board 3) in
+  Alcotest.(check bool) "relabel preserves validity" true (Board.solved r);
+  Alcotest.(check bool) "same seed, same puzzle" true
+    (Board.equal p (Sudoku.Generate.puzzle ~seed:5 ~n:3 ~holes:40 ()));
+  Alcotest.(check bool) "too many holes" true
+    (try ignore (Sudoku.Generate.puzzle ~n:2 ~holes:17 ()); false
+     with Invalid_argument _ -> true)
+
+let test_data_parallel_rules () =
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.Pool.shutdown pool)
+    (fun () ->
+      (* add_number with a pool computes exactly the same arrays. *)
+      let b0 = Board.empty 3 and o0 = Rules.all_options 9 in
+      let b1, o1 = Rules.add_number ~i:2 ~j:3 ~k:5 b0 o0 in
+      let b2, o2 = Rules.add_number ~pool ~i:2 ~j:3 ~k:5 b0 o0 in
+      Alcotest.(check bool) "boards agree" true (Board.equal b1 b2);
+      Alcotest.(check bool) "options agree" true (Nd.equal Bool.equal o1 o2);
+      let s1 = Solver.solve Puzzles.easy in
+      let s2 = Solver.solve ~pool Puzzles.easy in
+      Alcotest.(check bool) "solver agrees under parallel with-loops" true
+        (Board.equal s1.Solver.board s2.Solver.board))
+
+let suite =
+  [
+    Alcotest.test_case "board basics" `Quick test_board_basics;
+    Alcotest.test_case "parse 9x9" `Quick test_board_parse_9x9;
+    Alcotest.test_case "parse grids" `Quick test_board_parse_grid;
+    Alcotest.test_case "validity" `Quick test_board_validity;
+    Alcotest.test_case "pretty printing" `Quick test_board_to_string_roundtrip;
+    Alcotest.test_case "addNumber eliminations (paper)" `Quick test_add_number_eliminations;
+    Alcotest.test_case "addNumber validation" `Quick test_add_number_validation;
+    Alcotest.test_case "init_options" `Quick test_init_options;
+    Alcotest.test_case "isCompleted/isStuck" `Quick test_is_completed_stuck;
+    Alcotest.test_case "heuristics" `Quick test_heuristics;
+    Alcotest.test_case "solver on the corpus" `Quick test_solver_corpus;
+    Alcotest.test_case "solver on 16x16" `Quick test_solver_16x16;
+    Alcotest.test_case "solver with findFirst" `Quick test_solver_find_first_heuristic;
+    Alcotest.test_case "unsolvable boards" `Quick test_solver_unsolvable;
+    Alcotest.test_case "count_solutions" `Quick test_count_solutions;
+    Alcotest.test_case "already solved input" `Quick test_solver_already_solved;
+    Alcotest.test_case "generator" `Quick test_generate;
+    Alcotest.test_case "data-parallel rules agree" `Quick test_data_parallel_rules;
+  ]

@@ -1,0 +1,190 @@
+(* Synchrocells: the S-Net joining component (an extension over the
+   IPPS'07 paper, following the companion S-Net reports it cites). *)
+
+module Net = Snet.Net
+module P = Snet.Pattern
+module Record = Snet.Record
+module Value = Snet.Value
+
+let record ~f ~t =
+  Record.of_list ~fields:(List.map (fun (n, v) -> (n, Value.of_int v)) f) ~tags:t
+
+let field_int name r = Option.bind (Record.field name r) Value.to_int
+
+let ab_cell () =
+  Net.sync [ P.make ~fields:[ "a" ] ~tags:[] (); P.make ~fields:[ "b" ] ~tags:[] () ]
+
+let test_join () =
+  let out =
+    Snet.Engine_seq.run (ab_cell ())
+      [ record ~f:[ ("a", 1) ] ~t:[]; record ~f:[ ("b", 2) ] ~t:[] ]
+  in
+  match out with
+  | [ merged ] ->
+      Alcotest.(check (option int)) "a kept" (Some 1) (field_int "a" merged);
+      Alcotest.(check (option int)) "b joined" (Some 2) (field_int "b" merged)
+  | _ -> Alcotest.fail "expected exactly the merged record"
+
+let test_storage_order_irrelevant () =
+  let out =
+    Snet.Engine_seq.run (ab_cell ())
+      [ record ~f:[ ("b", 2) ] ~t:[]; record ~f:[ ("a", 1) ] ~t:[] ]
+  in
+  Alcotest.(check int) "one merged record" 1 (List.length out);
+  let merged = List.hd out in
+  Alcotest.(check (option int)) "a" (Some 1) (field_int "a" merged);
+  Alcotest.(check (option int)) "b" (Some 2) (field_int "b" merged)
+
+let test_earlier_pattern_wins () =
+  let cell =
+    Net.sync
+      [ P.make ~fields:[ "a" ] ~tags:[ "t" ] ();
+        P.make ~fields:[ "b" ] ~tags:[ "t" ] () ]
+  in
+  let out =
+    Snet.Engine_seq.run cell
+      [ record ~f:[ ("a", 1) ] ~t:[ ("t", 10) ];
+        record ~f:[ ("b", 2) ] ~t:[ ("t", 20) ] ]
+  in
+  match out with
+  | [ merged ] ->
+      Alcotest.(check (option int)) "first pattern's tag wins" (Some 10)
+        (Record.tag "t" merged)
+  | _ -> Alcotest.fail "expected one merged record"
+
+let test_spent_cell_is_identity () =
+  let out =
+    Snet.Engine_seq.run (ab_cell ())
+      [
+        record ~f:[ ("a", 1) ] ~t:[];
+        record ~f:[ ("b", 2) ] ~t:[];
+        record ~f:[ ("a", 3) ] ~t:[];
+        record ~f:[ ("b", 4) ] ~t:[];
+      ]
+  in
+  Alcotest.(check int) "merge plus two pass-throughs" 3 (List.length out);
+  (match out with
+  | _merged :: p1 :: p2 :: _ ->
+      Alcotest.(check (option int)) "pass 1" (Some 3) (field_int "a" p1);
+      Alcotest.(check (option int)) "pass 2" (Some 4) (field_int "b" p2)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_duplicate_match_passes () =
+  (* A second {a} while the a-slot is filled passes through unchanged. *)
+  let out =
+    Snet.Engine_seq.run (ab_cell ())
+      [ record ~f:[ ("a", 1) ] ~t:[]; record ~f:[ ("a", 9) ] ~t:[];
+        record ~f:[ ("b", 2) ] ~t:[] ]
+  in
+  Alcotest.(check int) "pass-through plus merge" 2 (List.length out);
+  Alcotest.(check (option int)) "duplicate passed" (Some 9)
+    (field_int "a" (List.hd out))
+
+let test_typecheck () =
+  let cell = ab_cell () in
+  Alcotest.(check string) "input type" "{a} | {b}"
+    (Snet.Rectype.to_string (Snet.Typecheck.input_type cell));
+  let v = Snet.Rectype.Variant.make ~fields:[ "a" ] ~tags:[] in
+  Alcotest.(check string) "flow: identity or merged" "{a} | {a,b}"
+    (Snet.Rectype.to_string (Snet.Typecheck.flow [ v ] cell));
+  Alcotest.(check bool) "fewer than two patterns rejected" true
+    (try ignore (Net.sync [ P.make ~fields:[ "a" ] ~tags:[] () ]); false
+     with Invalid_argument _ -> true)
+
+(* The canonical idiom: a synchrocell per tag value inside a parallel
+   replicator pairs off records stream-wide. *)
+let test_sync_inside_split () =
+  let net = Net.split (ab_cell ()) "k" in
+  let inputs =
+    [
+      record ~f:[ ("a", 1) ] ~t:[ ("k", 0) ];
+      record ~f:[ ("a", 2) ] ~t:[ ("k", 1) ];
+      record ~f:[ ("b", 10) ] ~t:[ ("k", 0) ];
+      record ~f:[ ("b", 20) ] ~t:[ ("k", 1) ];
+    ]
+  in
+  let out = Snet.Engine_seq.run net inputs in
+  Alcotest.(check int) "two joins" 2 (List.length out);
+  List.iter
+    (fun r ->
+      let k = Option.get (Record.tag "k" r) in
+      Alcotest.(check (option int)) "paired by k"
+        (Some ((k + 1) * 10))
+        (field_int "b" r))
+    out
+
+let test_conc_engine_agrees () =
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.Pool.shutdown pool)
+    (fun () ->
+      let net = Net.split (ab_cell ()) "k" in
+      let inputs =
+        List.concat_map
+          (fun k ->
+            [ record ~f:[ ("a", k) ] ~t:[ ("k", k) ];
+              record ~f:[ ("b", 10 * k) ] ~t:[ ("k", k) ] ])
+          [ 0; 1; 2; 3 ]
+      in
+      let key out =
+        List.sort compare
+          (List.map
+             (fun r -> (field_int "a" r, field_int "b" r, Record.tag "k" r))
+             out)
+      in
+      let seq = key (Snet.Engine_seq.run net inputs) in
+      let conc = key (Snet.Engine_conc.run ~pool net inputs) in
+      Alcotest.(check bool) "same joined multiset" true (seq = conc))
+
+let test_conc_inside_det_region () =
+  (* Stored records vanish from the deterministic region's accounting;
+     the merged record continues the trigger's line — the region must
+     still drain. *)
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.Pool.shutdown pool)
+    (fun () ->
+      let net = Net.split ~det:true (ab_cell ()) "k" in
+      let inputs =
+        [
+          record ~f:[ ("a", 1) ] ~t:[ ("k", 0) ];
+          record ~f:[ ("b", 2) ] ~t:[ ("k", 0) ];
+          record ~f:[ ("a", 3) ] ~t:[ ("k", 1) ];
+          record ~f:[ ("b", 4) ] ~t:[ ("k", 1) ];
+        ]
+      in
+      let out = Snet.Engine_conc.run ~pool net inputs in
+      Alcotest.(check int) "both joins released" 2 (List.length out))
+
+let test_dsl_sync () =
+  Alcotest.(check string) "parse/print roundtrip" "([|{a}, {b}|] .. [|{c}, {d}|])"
+    (Snet_lang.Ast.expr_to_string
+       (Snet_lang.Parser.parse_expr_string "[|{a}, {b}|] .. [|{c}, {d}|]"));
+  let e = Snet_lang.Parser.parse_expr_string "[|{a}, ({b,<t>} | <t> > 0)|]" in
+  let net = Snet_lang.Elaborate.expr_to_net [] ~declared:[] e in
+  Alcotest.(check string) "guarded sync pattern elaborates"
+    "[|{a}, {b,<t>} | <t> > 0|]" (Snet.Net.to_string net);
+  (* Execution through the DSL-built cell. *)
+  let plain =
+    Snet_lang.Elaborate.expr_to_net [] ~declared:[]
+      (Snet_lang.Parser.parse_expr_string "[|{a}, {b}|]")
+  in
+  let out =
+    Snet.Engine_seq.run plain
+      [ record ~f:[ ("a", 1) ] ~t:[]; record ~f:[ ("b", 2) ] ~t:[] ]
+  in
+  Alcotest.(check int) "joined" 1 (List.length out)
+
+let suite =
+  [
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "order irrelevant" `Quick test_storage_order_irrelevant;
+    Alcotest.test_case "earlier pattern wins collisions" `Quick test_earlier_pattern_wins;
+    Alcotest.test_case "spent cell is identity" `Quick test_spent_cell_is_identity;
+    Alcotest.test_case "duplicate match passes through" `Quick test_duplicate_match_passes;
+    Alcotest.test_case "typing" `Quick test_typecheck;
+    Alcotest.test_case "sync inside split pairs per tag" `Quick test_sync_inside_split;
+    Alcotest.test_case "concurrent engine agrees" `Quick test_conc_engine_agrees;
+    Alcotest.test_case "sync inside deterministic region" `Quick test_conc_inside_det_region;
+    Alcotest.test_case "DSL synchrocells" `Quick test_dsl_sync;
+  ]
