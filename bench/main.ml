@@ -13,6 +13,11 @@
      dataparallel  Section 3's claim that addNumber/findMinTrues
                    parallelise for free: with-loop kernels across board
                    sizes and domain counts.
+     scheduler     The data-parallel substrate itself: work-stealing
+                   pool vs the seed mutex-FIFO pool, with-loop dense
+                   fast path vs the general path, task round-trips,
+                   steal/park counters. Emits BENCH_scheduler.json
+                   (set BENCH_SMOKE=1 for a tiny CI-sized run).
      scaling       Hybrid networks across domain counts.
      combinators   Per-record overhead of each S-Net combinator on both
                    engines.
@@ -49,9 +54,7 @@ let pretty_ns ns =
   else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
   else Printf.sprintf "%8.1f ns" ns
 
-let print_results title results =
-  Printf.printf "\n-- %s %s\n" title
-    (String.make (max 1 (66 - String.length title)) '-');
+let result_rows results =
   let rows =
     Hashtbl.fold
       (fun name ols acc ->
@@ -63,13 +66,25 @@ let print_results title results =
         (name, est) :: acc)
       results []
   in
+  List.sort compare rows
+
+let print_results title results =
+  Printf.printf "\n-- %s %s\n" title
+    (String.make (max 1 (66 - String.length title)) '-');
   List.iter
     (fun (name, est) -> Printf.printf "  %-44s %s/run\n" name (pretty_ns est))
-    (List.sort compare rows);
+    (result_rows results);
   flush stdout
 
 let bench title ?quota tests =
   print_results title (run_tests ?quota (Test.make_grouped ~name:"" tests))
+
+(* Like [bench], but also returns the (name, ns/run) rows so the caller
+   can persist them (BENCH_*.json). *)
+let bench_collect title ?quota tests =
+  let results = run_tests ?quota (Test.make_grouped ~name:"" tests) in
+  print_results title results;
+  result_rows results
 
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures                                                     *)
@@ -257,6 +272,139 @@ let exp_dataparallel () =
                   ])))
        pools);
   List.iter (fun (_, p) -> Option.iter Scheduler.Pool.shutdown p) pools
+
+(* ------------------------------------------------------------------ *)
+(* scheduler: work-stealing pool vs the seed mutex-FIFO pool           *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let exp_scheduler () =
+  Printf.printf
+    "\n== scheduler: work-stealing pool vs seed mutex-FIFO pool ==\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let quota = if smoke then 0.05 else 1.0 in
+  (* The tentpole kernel: a 10^6-element with-loop-shaped parallel_for. *)
+  let n = if smoke then 100_000 else 1_000_000 in
+  let side = if smoke then 320 else 1000 in
+  let domain_counts = if smoke then [ 0; 2 ] else [ 0; 1; 2; 4 ] in
+  let rows = ref [] in
+  let collect title tests = rows := !rows @ bench_collect title ~quota tests in
+  let fifos =
+    List.map (fun d -> (d, Scheduler.Fifo_pool.create ~num_domains:d ()))
+      domain_counts
+  in
+  let pools =
+    List.map (fun d -> (d, Scheduler.Pool.create ~num_domains:d ()))
+      domain_counts
+  in
+  let out = Array.make n 0 in
+  let body i = out.(i) <- (i * 31) land 1023 in
+  collect
+    (Printf.sprintf "parallel_for over %d indices (with-loop body)" n)
+    (List.concat_map
+       (fun (d, fp) ->
+         let (_, wp) = List.find (fun (d', _) -> d' = d) pools in
+         [
+           Test.make ~name:(Printf.sprintf "pfor/%de/fifo/domains=%d" n d)
+             (Staged.stage (fun () ->
+                  Scheduler.Fifo_pool.parallel_for fp ~lo:0 ~hi:n body));
+           Test.make ~name:(Printf.sprintf "pfor/%de/steal/domains=%d" n d)
+             (Staged.stage (fun () ->
+                  Scheduler.Pool.parallel_for wp ~lo:0 ~hi:n body));
+         ])
+       fifos);
+  collect
+    (Printf.sprintf "parallel_for_reduce over %d indices" n)
+    (List.concat_map
+       (fun (d, fp) ->
+         let (_, wp) = List.find (fun (d', _) -> d' = d) pools in
+         [
+           Test.make ~name:(Printf.sprintf "reduce/%de/fifo/domains=%d" n d)
+             (Staged.stage (fun () ->
+                  Scheduler.Fifo_pool.parallel_for_reduce fp ~lo:0 ~hi:n
+                    ~combine:( + ) ~init:0 (fun i -> i land 7)));
+           Test.make ~name:(Printf.sprintf "reduce/%de/steal/domains=%d" n d)
+             (Staged.stage (fun () ->
+                  Scheduler.Pool.parallel_for_reduce wp ~lo:0 ~hi:n
+                    ~combine:( + ) ~init:0 (fun i -> i land 7)));
+         ])
+       fifos);
+  (* With-loop fast path (dense, flat offsets) vs general path (strided
+     generator over the same number of points), on the new pool. *)
+  let wl_body iv = (iv.(0) * 31) + iv.(1) land 1023 in
+  collect
+    (Printf.sprintf "with-loop genarray %dx%d: dense fast path vs strided"
+       side side)
+    (List.concat_map
+       (fun (d, wp) ->
+         [
+           Test.make ~name:(Printf.sprintf "wl/dense/domains=%d" d)
+             (Staged.stage (fun () ->
+                  Sacarray.With_loop.genarray_init ~pool:wp
+                    ~shape:[| side; side |] wl_body));
+           Test.make ~name:(Printf.sprintf "wl/strided/domains=%d" d)
+             (Staged.stage (fun () ->
+                  Sacarray.With_loop.genarray ~pool:wp
+                    ~shape:[| side; 2 * side |] ~default:0
+                    [
+                      ( Sacarray.With_loop.range ~step:[| 1; 2 |] [| 0; 0 |]
+                          [| side; 2 * side |],
+                        wl_body );
+                    ]));
+         ])
+       pools);
+  (* Task submission/latency: one run() round trip. *)
+  collect "task round-trip (run of a trivial thunk)"
+    (List.concat_map
+       (fun (d, fp) ->
+         let (_, wp) = List.find (fun (d', _) -> d' = d) pools in
+         [
+           Test.make ~name:(Printf.sprintf "run/fifo/domains=%d" d)
+             (Staged.stage (fun () -> Scheduler.Fifo_pool.run fp (fun () -> 0)));
+           Test.make ~name:(Printf.sprintf "run/steal/domains=%d" d)
+             (Staged.stage (fun () -> Scheduler.Pool.run wp (fun () -> 0)));
+         ])
+       fifos);
+  (* Scheduler observability: the counters the pool now exposes. *)
+  let obs_pool = List.assoc (List.fold_left max 0 domain_counts) pools in
+  let s0 = Scheduler.Pool.stats obs_pool in
+  Printf.printf
+    "\n  pool counters after benchmarking (max-domain steal pool):\n\
+    \  tasks=%d steals=%d parks=%d splits=%d\n"
+    s0.Scheduler.Pool.tasks s0.Scheduler.Pool.steals s0.Scheduler.Pool.parks
+    s0.Scheduler.Pool.splits;
+  List.iter (fun (_, p) -> Scheduler.Fifo_pool.shutdown p) fifos;
+  List.iter (fun (_, p) -> Scheduler.Pool.shutdown p) pools;
+  (* Persist the trajectory for later PRs. *)
+  let oc = open_out "BENCH_scheduler.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"scheduler\",\n";
+  Printf.fprintf oc "  \"host_recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
+  Printf.fprintf oc "  \"pool_counters\": { \"tasks\": %d, \"steals\": %d, \"parks\": %d, \"splits\": %d },\n"
+    s0.Scheduler.Pool.tasks s0.Scheduler.Pool.steals s0.Scheduler.Pool.parks
+    s0.Scheduler.Pool.splits;
+  Printf.fprintf oc "  \"results\": [\n";
+  let rows = !rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
+        (json_escape name)
+        (if Float.is_nan ns then -1.0 else ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_scheduler.json (%d results)\n" (List.length rows);
+  flush stdout
 
 (* ------------------------------------------------------------------ *)
 (* scaling: networks across domain counts                              *)
@@ -500,6 +648,7 @@ let experiments =
     ("fig3", exp_fig ~figure:"fig3");
     ("fig3-sweep", exp_fig3_sweep);
     ("dataparallel", exp_dataparallel);
+    ("scheduler", exp_scheduler);
     ("scaling", exp_scaling);
     ("combinators", exp_combinators);
     ("interpreted", exp_interpreted);

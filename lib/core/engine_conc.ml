@@ -345,5 +345,17 @@ let stats eng = Stats.snapshot eng.istats
 
 let run ?pool ?batch ?observer ?stats net inputs =
   let eng = start ?pool ?batch ?observer ?stats net in
+  (* Attribute the pool's scheduler activity over this run (tasks,
+     steals, parks, splits) to the run's stats. The pool may be shared,
+     so this is a delta of its monotonic counters, not an absolute. *)
+  let p = Streams.Actors.pool eng.sys in
+  let before = Scheduler.Pool.stats p in
   List.iter (feed eng) inputs;
-  finish eng
+  let results = finish eng in
+  let after = Scheduler.Pool.stats p in
+  Stats.record_scheduler eng.istats
+    ~tasks:(after.Scheduler.Pool.tasks - before.Scheduler.Pool.tasks)
+    ~steals:(after.Scheduler.Pool.steals - before.Scheduler.Pool.steals)
+    ~parks:(after.Scheduler.Pool.parks - before.Scheduler.Pool.parks)
+    ~splits:(after.Scheduler.Pool.splits - before.Scheduler.Pool.splits);
+  results

@@ -6,6 +6,10 @@ type t = {
   max_star_depth : int Atomic.t;
   split_replicas : int Atomic.t;
   instances : int Atomic.t;
+  sched_tasks : int Atomic.t;
+  sched_steals : int Atomic.t;
+  sched_parks : int Atomic.t;
+  sched_splits : int Atomic.t;
 }
 
 let create () =
@@ -17,6 +21,10 @@ let create () =
     max_star_depth = Atomic.make 0;
     split_replicas = Atomic.make 0;
     instances = Atomic.make 0;
+    sched_tasks = Atomic.make 0;
+    sched_steals = Atomic.make 0;
+    sched_parks = Atomic.make 0;
+    sched_splits = Atomic.make 0;
   }
 
 let record_box_invocation t = Atomic.incr t.box_invocations
@@ -34,6 +42,12 @@ let record_star_stage t ~depth =
 let record_split_replica t = Atomic.incr t.split_replicas
 let record_instance t = Atomic.incr t.instances
 
+let record_scheduler t ~tasks ~steals ~parks ~splits =
+  ignore (Atomic.fetch_and_add t.sched_tasks tasks);
+  ignore (Atomic.fetch_and_add t.sched_steals steals);
+  ignore (Atomic.fetch_and_add t.sched_parks parks);
+  ignore (Atomic.fetch_and_add t.sched_splits splits)
+
 type snapshot = {
   box_invocations : int;
   filter_invocations : int;
@@ -42,6 +56,10 @@ type snapshot = {
   max_star_depth : int;
   split_replicas : int;
   instances : int;
+  sched_tasks : int;
+  sched_steals : int;
+  sched_parks : int;
+  sched_splits : int;
 }
 
 let snapshot (t : t) : snapshot =
@@ -53,10 +71,15 @@ let snapshot (t : t) : snapshot =
     max_star_depth = Atomic.get t.max_star_depth;
     split_replicas = Atomic.get t.split_replicas;
     instances = Atomic.get t.instances;
+    sched_tasks = Atomic.get t.sched_tasks;
+    sched_steals = Atomic.get t.sched_steals;
+    sched_parks = Atomic.get t.sched_parks;
+    sched_splits = Atomic.get t.sched_splits;
   }
 
 let pp fmt s =
   Format.fprintf fmt
-    "@[<v>box invocations:    %d@,filter invocations: %d@,records emitted:    %d@,star stages:        %d@,max star depth:     %d@,split replicas:     %d@,instances:          %d@]"
+    "@[<v>box invocations:    %d@,filter invocations: %d@,records emitted:    %d@,star stages:        %d@,max star depth:     %d@,split replicas:     %d@,instances:          %d@,scheduler tasks:    %d@,scheduler steals:   %d@,scheduler parks:    %d@,scheduler splits:   %d@]"
     s.box_invocations s.filter_invocations s.records_emitted s.star_stages
-    s.max_star_depth s.split_replicas s.instances
+    s.max_star_depth s.split_replicas s.instances s.sched_tasks s.sched_steals
+    s.sched_parks s.sched_splits

@@ -24,6 +24,16 @@ val record_split_replica : t -> unit
 val record_instance : t -> unit
 (** A component instance (actor or interpreter node) was created. *)
 
+val record_scheduler :
+  t -> tasks:int -> steals:int -> parks:int -> splits:int -> unit
+(** Accumulate scheduler activity (deltas of {!Scheduler.Pool.stats}
+    counters) attributable to this run: pool tasks executed, successful
+    deque steals, worker park events, and data-parallel range splits.
+    The concurrent engine records the pool delta observed across its
+    run; the S+Net line of work (Poss et al.) motivates exposing
+    exactly these runtime observables alongside the coordination
+    counters. *)
+
 (** {1 Reading} *)
 
 type snapshot = {
@@ -34,6 +44,10 @@ type snapshot = {
   max_star_depth : int;  (** Deepest star replica instantiated. *)
   split_replicas : int;  (** Split replicas instantiated, all splits summed. *)
   instances : int;  (** Component instances created. *)
+  sched_tasks : int;  (** Pool tasks executed during the run. *)
+  sched_steals : int;  (** Successful work steals during the run. *)
+  sched_parks : int;  (** Worker park (sleep) events during the run. *)
+  sched_splits : int;  (** Data-parallel range splits during the run. *)
 }
 
 val snapshot : t -> snapshot

@@ -92,21 +92,120 @@ let check_generator ~shape g =
 (* Sequential cutoff: ranges smaller than this are not worth forking. *)
 let parallel_cutoff = 512
 
+(* ------------------------------------------------------------------ *)
+(* Chunk executors.
+
+   Each executor evaluates the generator points [klo, khi) of the
+   row-major point grid using ONE scratch index vector for the whole
+   chunk — the body sees the vector only for the duration of its call
+   (the .mli documents this). The dense fast path (all steps = 1)
+   additionally walks the destination buffer by flat offset: along the
+   last axis consecutive grid points are consecutive row-major cells,
+   so one [ravel] per visited row replaces a [ravel]+[unravel] (two
+   array allocations) per element. *)
+
+let is_dense g = Array.for_all (fun s -> s = 1) g.step
+
+(* Write the coordinates of grid point [k] into the scratch [idx]. *)
+let point_into g k idx =
+  Shape.unravel_into g.counts k idx;
+  for d = 0 to Array.length idx - 1 do
+    idx.(d) <- g.lower.(d) + (idx.(d) * g.step.(d))
+  done
+
+let run_chunk_general ~shape data g body klo khi =
+  let idx = Array.make (generator_rank g) 0 in
+  for k = klo to khi - 1 do
+    point_into g k idx;
+    data.(Shape.ravel shape idx) <- body idx
+  done
+
+let run_chunk_dense ~shape data g body klo khi =
+  let r = generator_rank g in
+  if r = 0 then begin
+    if klo < khi then data.(0) <- body [||]
+  end
+  else begin
+    let m = g.counts.(r - 1) in
+    let last_lo = g.lower.(r - 1) in
+    let idx = Array.make r 0 in
+    let k = ref klo in
+    while !k < khi do
+      point_into g !k idx;
+      let off = ref (Shape.ravel shape idx) in
+      let j0 = !k mod m in
+      let len = min (m - j0) (khi - !k) in
+      for j = j0 to j0 + len - 1 do
+        idx.(r - 1) <- last_lo + j;
+        data.(!off) <- body idx;
+        incr off
+      done;
+      k := !k + len
+    done
+  end
+
+(* Iterate grid points [klo, khi) with a reused scratch vector; the
+   dense case advances the vector odometer-style instead of dividing
+   [k] back into coordinates for every point. *)
+let chunk_iter g klo khi f =
+  if klo < khi then begin
+    let r = generator_rank g in
+    let idx = Array.make r 0 in
+    if is_dense g && r > 0 then begin
+      point_into g klo idx;
+      let last = r - 1 in
+      let lo_last = g.lower.(last) in
+      let hi_last = lo_last + g.counts.(last) in
+      for _k = klo to khi - 1 do
+        f idx;
+        let v = idx.(last) + 1 in
+        if v < hi_last then idx.(last) <- v
+        else begin
+          idx.(last) <- lo_last;
+          let d = ref (last - 1) in
+          let carry = ref true in
+          while !carry && !d >= 0 do
+            let v = idx.(!d) + 1 in
+            if v < g.lower.(!d) + g.counts.(!d) then begin
+              idx.(!d) <- v;
+              carry := false
+            end
+            else begin
+              idx.(!d) <- g.lower.(!d);
+              decr d
+            end
+          done
+        end
+      done
+    end
+    else
+      for k = klo to khi - 1 do
+        point_into g k idx;
+        f idx
+      done
+  end
+
+let use_pool pool n =
+  match pool with
+  | Some pool when n >= parallel_cutoff && Scheduler.Pool.parallelism pool > 1
+    ->
+      Some pool
+  | _ -> None
+
 let run_part ?pool ~shape data (g, body) =
   check_generator ~shape g;
   let n = generator_size g in
-  let apply k =
-    let idx = nth_point g k in
-    let v = body idx in
-    data.(Shape.ravel shape idx) <- v
-  in
-  match pool with
-  | Some pool when n >= parallel_cutoff ->
-      Scheduler.Pool.parallel_for pool ~lo:0 ~hi:n apply
-  | _ ->
-      for k = 0 to n - 1 do
-        apply k
-      done
+  if n > 0 then begin
+    let chunk =
+      if is_dense g then run_chunk_dense ~shape data g body
+      else run_chunk_general ~shape data g body
+    in
+    match use_pool pool n with
+    | Some pool ->
+        Scheduler.Pool.parallel_for_range pool ~lo:0 ~hi:n
+          (fun ~lo ~hi -> chunk lo hi)
+    | None -> chunk 0 n
+  end
 
 let genarray ?pool ~shape ~default parts =
   Shape.validate shape;
@@ -114,29 +213,45 @@ let genarray ?pool ~shape ~default parts =
   List.iter (run_part ?pool ~shape data) parts;
   Nd.unsafe_of_array (Array.copy shape) data
 
+(* Full dense cover from the origin: grid point [k] IS flat offset [k],
+   so no ravel at all — just an odometer-advanced index vector. *)
+let init_chunk ~shape data body klo khi =
+  if klo < khi then begin
+    let r = Shape.rank shape in
+    let idx = Array.make r 0 in
+    Shape.unravel_into shape klo idx;
+    for k = klo to khi - 1 do
+      data.(k) <- body idx;
+      let d = ref (r - 1) in
+      let carry = ref true in
+      while !carry && !d >= 0 do
+        let v = idx.(!d) + 1 in
+        if v < shape.(!d) then begin
+          idx.(!d) <- v;
+          carry := false
+        end
+        else begin
+          idx.(!d) <- 0;
+          decr d
+        end
+      done
+    done
+  end
+
 let genarray_init ?pool ~shape body =
   Shape.validate shape;
   let n = Shape.size shape in
   if n = 0 then Nd.unsafe_of_array (Array.copy shape) [||]
   else begin
-    let g = range (Shape.zeros (Shape.rank shape)) shape in
     (* Seed the buffer with the first element's value, then fill the
        rest; every index is evaluated exactly once. *)
-    let first = body (nth_point g 0) in
+    let first = body (Array.make (Shape.rank shape) 0) in
     let data = Array.make n first in
-    let apply k =
-      if k > 0 then begin
-        let idx = nth_point g k in
-        data.(Shape.ravel shape idx) <- body idx
-      end
-    in
-    (match pool with
-    | Some pool when n >= parallel_cutoff ->
-        Scheduler.Pool.parallel_for pool ~lo:1 ~hi:n apply
-    | _ ->
-        for k = 1 to n - 1 do
-          apply k
-        done);
+    (match use_pool pool n with
+    | Some pool ->
+        Scheduler.Pool.parallel_for_range pool ~lo:1 ~hi:n
+          (fun ~lo ~hi -> init_chunk ~shape data body lo hi)
+    | None -> init_chunk ~shape data body 1 n);
     Nd.unsafe_of_array (Array.copy shape) data
   end
 
@@ -149,17 +264,19 @@ let modarray ?pool src parts =
 let fold ?pool ~neutral ~combine parts =
   let fold_part acc (g, body) =
     let n = generator_size g in
-    let value k = body (nth_point g k) in
-    match pool with
-    | Some pool when n >= parallel_cutoff ->
-        combine acc
-          (Scheduler.Pool.parallel_for_reduce pool ~lo:0 ~hi:n ~combine
-             ~init:neutral value)
-    | _ ->
-        let acc = ref acc in
-        for k = 0 to n - 1 do
-          acc := combine !acc (value k)
-        done;
-        !acc
+    if n = 0 then acc
+    else
+      match use_pool pool n with
+      | Some pool ->
+          combine acc
+            (Scheduler.Pool.parallel_for_reduce_range pool ~lo:0 ~hi:n
+               ~combine ~init:neutral (fun ~lo ~hi ->
+                 let a = ref neutral in
+                 chunk_iter g lo hi (fun idx -> a := combine !a (body idx));
+                 !a))
+      | None ->
+          let a = ref acc in
+          chunk_iter g 0 n (fun idx -> a := combine !a (body idx));
+          !a
   in
   List.fold_left fold_part neutral parts

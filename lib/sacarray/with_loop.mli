@@ -14,8 +14,13 @@
 
     Passing [~pool] executes each generator's index space in parallel
     on the given {!Scheduler.Pool.t}; omitting it runs sequentially.
-    Bodies must be pure (they may run in any order, concurrently, and
-    the index vector they receive is theirs to keep). *)
+    Bodies must be pure: they may run in any order and concurrently.
+    The index vector passed to a body is a scratch buffer reused across
+    the calls of one execution chunk — it is valid only for the
+    duration of the call, and a body that wants to retain it must copy
+    it. (Dense unit-step generators additionally run on a fast path
+    that walks the result buffer by flat offset; both paths produce
+    identical arrays.) *)
 
 type generator
 (** A rectangular index set [lower <= iv < upper], optionally strided. *)

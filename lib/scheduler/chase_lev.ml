@@ -26,10 +26,13 @@ let log2_ceil n =
 
 let create ?(capacity = 64) () =
   if capacity < 1 then invalid_arg "Chase_lev.create: capacity < 1";
-  {
-    top = Atomic.make 0;
+  (* Exactly the documented rounding: the smallest power of two >=
+     [capacity] (at least 2, since [push] grows when size-1 slots are
+     full).  Growth doubles from there, so a deliberately tiny initial
+     capacity is honoured rather than silently clamped to 16. *)
+  { top = Atomic.make 0;
     bottom = Atomic.make 0;
-    buf = Atomic.make (buffer_create (max 4 (log2_ceil capacity)));
+    buf = Atomic.make (buffer_create (max 1 (log2_ceil capacity)));
   }
 
 let size t =

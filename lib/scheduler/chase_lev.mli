@@ -8,7 +8,10 @@
 type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
-(** [capacity] (default 64) is rounded up to a power of two. *)
+(** [capacity] (default 64) is rounded up to the smallest power of two
+    at least as large (minimum 2). The buffer doubles automatically on
+    {!push} when full, so capacity only sets the initial allocation.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val push : 'a t -> 'a -> unit
 (** Owner only: push at the bottom, growing the buffer if full. *)

@@ -1,0 +1,201 @@
+(* The seed scheduler: a single mutex-protected FIFO shared by all
+   workers, with a shared fetch-and-add cursor for parallel_for.
+
+   Kept (not wired into anything) as the measured baseline for the
+   work-stealing [Pool]: `bench/main.exe scheduler` times both
+   implementations on identical with-loop-shaped kernels so the perf
+   trajectory of the substrate stays visible across PRs. Two seed bugs
+   are fixed here rather than preserved: the redundant double
+   [Latch.await] after [parallel_for_reduce]'s helping wait, and the
+   unbounded [cpu_relax] busy-spin in [await_helping] on a pool with no
+   workers (now a bounded spin followed by a blocking wait). *)
+
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  workers : int;
+}
+
+let spawn_worker t =
+  Domain.spawn (fun () ->
+      let rec loop () =
+        Mutex.lock t.mutex;
+        while Queue.is_empty t.queue && not t.closed do
+          Condition.wait t.nonempty t.mutex
+        done;
+        if Queue.is_empty t.queue && t.closed then Mutex.unlock t.mutex
+        else begin
+          let task = Queue.pop t.queue in
+          Mutex.unlock t.mutex;
+          (try task ()
+           with e ->
+             Printf.eprintf "Fifo_pool worker: uncaught exception: %s\n%!"
+               (Printexc.to_string e));
+          loop ()
+        end
+      in
+      loop ())
+
+let create ?num_domains () =
+  let workers =
+    match num_domains with
+    | Some n ->
+        if n < 0 then invalid_arg "Fifo_pool.create: negative num_domains";
+        n
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+      workers;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> spawn_worker t);
+  t
+
+let num_workers t = t.workers
+let parallelism t = t.workers + 1
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Fifo_pool: submit to a shut-down pool"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let task = Queue.take_opt t.queue in
+  Mutex.unlock t.mutex;
+  task
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  if not was_closed then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let help t =
+  match try_pop t with
+  | Some task ->
+      task ();
+      true
+  | None -> false
+
+let async t f =
+  let fut = Future.create () in
+  submit t (fun () -> Future.run fut f);
+  fut
+
+(* Wait for [fut] while helping to drain the queue. With no workers the
+   task can only run on this thread or a sibling external thread, so
+   after a bounded spin we block on the future instead of burning the
+   CPU (seed bug: this spun unboundedly). *)
+let await_helping t fut =
+  let rec loop spins =
+    match Future.peek fut with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> (
+        match try_pop t with
+        | Some task ->
+            task ();
+            loop 0
+        | None ->
+            if t.workers = 0 && spins < 256 then begin
+              Domain.cpu_relax ();
+              loop (spins + 1)
+            end
+            else Future.await fut)
+  in
+  loop 0
+
+let run t f = await_helping t (async t f)
+
+exception Stop
+
+let default_chunk t n = max 1 (n / (parallelism t * 8))
+
+let parallel_for_reduce t ?chunk ~lo ~hi ~combine ~init body =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Fifo_pool.parallel_for: chunk < 1";
+          c
+      | None -> default_chunk t n
+    in
+    let next = Atomic.make lo in
+    let failure = Atomic.make None in
+    let participants = min (parallelism t) ((n + chunk - 1) / chunk) in
+    let helpers = participants - 1 in
+    let latch = Sync.Latch.create helpers in
+    let work () =
+      let acc = ref init in
+      (try
+         let rec grab () =
+           if Atomic.get failure <> None then raise Stop;
+           let start = Atomic.fetch_and_add next chunk in
+           if start < hi then begin
+             let stop = min hi (start + chunk) in
+             for i = start to stop - 1 do
+               acc := combine !acc (body i)
+             done;
+             grab ()
+           end
+         in
+         grab ()
+       with
+      | Stop -> ()
+      | e -> ignore (Atomic.compare_and_set failure None (Some e)));
+      !acc
+    in
+    let partials = Array.make participants init in
+    for k = 1 to helpers do
+      submit t (fun () ->
+          partials.(k) <- work ();
+          Sync.Latch.count_down latch)
+    done;
+    partials.(0) <- work ();
+    (* Help drain the queue while waiting so nested parallel_for from
+       inside pool tasks cannot deadlock. (Seed bug: this path was
+       followed by a second, redundant [Latch.await].) *)
+    if t.workers = 0 then Sync.Latch.await latch
+    else begin
+      let rec wait () =
+        if Sync.Latch.pending latch > 0 then begin
+          (match try_pop t with
+          | Some task -> task ()
+          | None -> Domain.cpu_relax ());
+          wait ()
+        end
+      in
+      wait ()
+    end;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None -> Array.fold_left combine init partials
+  end
+
+let parallel_for t ?chunk ~lo ~hi body =
+  parallel_for_reduce t ?chunk ~lo ~hi ~combine:(fun () () -> ()) ~init:()
+    (fun i -> body i)

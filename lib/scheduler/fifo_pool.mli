@@ -1,0 +1,34 @@
+(** The seed scheduler: one mutex-protected FIFO task queue shared by
+    all worker domains, with a shared fetch-and-add cursor driving
+    [parallel_for].
+
+    Superseded by the work-stealing {!Pool} but kept as the measured
+    baseline: the [scheduler] experiment in [bench/main.exe] times both
+    pools on identical kernels so every later PR can see the perf
+    trajectory of the data-parallel substrate. Nothing in the runtime
+    uses this module. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+val num_workers : t -> int
+val parallelism : t -> int
+
+val shutdown : t -> unit
+(** Idempotent; submitting afterwards raises [Invalid_argument]. *)
+
+val async : t -> (unit -> 'a) -> 'a Future.t
+val help : t -> bool
+val run : t -> (unit -> 'a) -> 'a
+
+val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+
+val parallel_for_reduce :
+  t ->
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  (int -> 'a) ->
+  'a

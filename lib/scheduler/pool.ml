@@ -1,34 +1,199 @@
+(* Work-stealing pool.
+
+   One Chase–Lev deque per worker domain: a worker pushes and pops its
+   own deque LIFO (locality for nested fork), thieves steal FIFO
+   (oldest = biggest ranges under binary splitting). Submissions from
+   threads that are not workers of this pool go through a small
+   mutex-protected injector queue — that mutex is off the hot path,
+   which is pop-own-deque.
+
+   Parking: an idle worker that finds no work advertises itself in
+   [n_parked], re-checks every queue, and then sleeps on a condition
+   variable guarded by an epoch counter. Producers make work visible
+   first, then (only if someone advertised) bump the epoch and signal.
+   With OCaml's sequentially-consistent atomics this cannot lose a
+   wakeup: if the producer read [n_parked = 0], the worker's re-check
+   is ordered after the push and finds the task; if it read a non-zero
+   value, the epoch bump is observed by the worker's wait predicate
+   under the park mutex.
+
+   [parallel_for]/[parallel_for_reduce] use lazy binary splitting
+   instead of a shared fetch-and-add cursor: every participant owns a
+   contiguous range and only splits off the right half (pushed to its
+   own deque, stealable) when somebody is visibly hungry — a parked
+   worker exists or the participant's own deque has been emptied by
+   thieves. On a saturated machine each participant therefore runs its
+   whole range as straight-line loops with no shared-counter traffic. *)
+
 type task = unit -> unit
 
-type t = {
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  queue : task Queue.t;
-  mutable closed : bool;
-  mutable domains : unit Domain.t list;
-  workers : int;
+type counters = {
+  c_tasks : int Atomic.t;   (* tasks executed by workers or helpers *)
+  c_steals : int Atomic.t;  (* successful steals *)
+  c_parks : int Atomic.t;   (* times a worker went to sleep *)
+  c_splits : int Atomic.t;  (* ranges split by parallel_for/_reduce *)
 }
 
-let spawn_worker t =
+type t = {
+  deques : task Chase_lev.t array; (* slot i is owned by worker i *)
+  injector : task Queue.t;
+  inj_mutex : Mutex.t;
+  inj_size : int Atomic.t;
+  park_mutex : Mutex.t;
+  park_cond : Condition.t;
+  epoch : int Atomic.t;
+  n_parked : int Atomic.t;
+  steal_cursor : int Atomic.t; (* start hint for helper threads *)
+  closed : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+  workers : int;
+  counters : counters;
+}
+
+(* Which pool (if any) the current domain is a worker of, and its deque
+   slot. Lets [submit] from inside a task go to the worker's own deque,
+   and lets helping/stealing skip the caller's own empty deque. *)
+let worker_ctx : (t * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let my_slot t =
+  match Domain.DLS.get worker_ctx with
+  | Some (p, slot) when p == t -> Some slot
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Waking and parking                                                  *)
+
+let wake t =
+  if Atomic.get t.n_parked > 0 then begin
+    Atomic.incr t.epoch;
+    Mutex.lock t.park_mutex;
+    Condition.signal t.park_cond;
+    Mutex.unlock t.park_mutex
+  end
+
+let wake_all t =
+  Atomic.incr t.epoch;
+  Mutex.lock t.park_mutex;
+  Condition.broadcast t.park_cond;
+  Mutex.unlock t.park_mutex
+
+let has_visible_work t =
+  Atomic.get t.inj_size > 0
+  || Array.exists (fun d -> not (Chase_lev.is_empty d)) t.deques
+
+let park t =
+  Atomic.incr t.n_parked;
+  let e = Atomic.get t.epoch in
+  (* Advertised-parked re-check: any producer that missed our
+     increment pushed before it, so we see its task here. *)
+  if has_visible_work t || Atomic.get t.closed then Atomic.decr t.n_parked
+  else begin
+    Atomic.incr t.counters.c_parks;
+    Mutex.lock t.park_mutex;
+    while Atomic.get t.epoch = e && not (Atomic.get t.closed) do
+      Condition.wait t.park_cond t.park_mutex
+    done;
+    Mutex.unlock t.park_mutex;
+    Atomic.decr t.n_parked
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Finding work                                                        *)
+
+let pop_injector t =
+  if Atomic.get t.inj_size = 0 then None
+  else begin
+    Mutex.lock t.inj_mutex;
+    let task = Queue.take_opt t.injector in
+    if task <> None then Atomic.decr t.inj_size;
+    Mutex.unlock t.inj_mutex;
+    (* If the injector still holds work, pass the baton. *)
+    if task <> None && Atomic.get t.inj_size > 0 then wake t;
+    task
+  end
+
+(* One sweep over all deques starting at [start], skipping [exclude]. *)
+let steal_sweep t ~start ~exclude =
+  let w = Array.length t.deques in
+  let rec go i =
+    if i >= w then None
+    else
+      let v = (start + i) mod w in
+      if v = exclude then go (i + 1)
+      else
+        match Chase_lev.steal t.deques.(v) with
+        | Some task ->
+            Atomic.incr t.counters.c_steals;
+            if not (Chase_lev.is_empty t.deques.(v)) then wake t;
+            Some task
+        | None -> go (i + 1)
+  in
+  if w = 0 then None else go 0
+
+(* Work discovery for a worker: own deque, injector, then steal. *)
+let find_work t slot rand =
+  match Chase_lev.pop t.deques.(slot) with
+  | Some _ as task -> task
+  | None -> (
+      match pop_injector t with
+      | Some _ as task -> task
+      | None ->
+          let w = Array.length t.deques in
+          if w <= 1 then None
+          else steal_sweep t ~start:(Random.State.int rand w) ~exclude:slot)
+
+(* Work discovery for any thread ([help], waiters). *)
+let try_pop t =
+  let slot = my_slot t in
+  let own =
+    match slot with Some s -> Chase_lev.pop t.deques.(s) | None -> None
+  in
+  match own with
+  | Some _ as task -> task
+  | None -> (
+      match pop_injector t with
+      | Some _ as task -> task
+      | None ->
+          let w = Array.length t.deques in
+          if w = 0 then None
+          else
+            steal_sweep t
+              ~start:(Atomic.fetch_and_add t.steal_cursor 1 mod w)
+              ~exclude:(match slot with Some s -> s | None -> -1))
+
+let exec_task t task =
+  Atomic.incr t.counters.c_tasks;
+  try task ()
+  with e ->
+    (* Tasks are expected to contain their own failures (futures capture
+       them); anything escaping here would otherwise kill the worker
+       domain. *)
+    Printf.eprintf "Pool worker: uncaught exception: %s\n%!"
+      (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Workers and lifecycle                                               *)
+
+let spawn_worker t slot =
   Domain.spawn (fun () ->
+      Domain.DLS.set worker_ctx (Some (t, slot));
+      let rand = Random.State.make [| slot; 0x5eed |] in
       let rec loop () =
-        Mutex.lock t.mutex;
-        while Queue.is_empty t.queue && not t.closed do
-          Condition.wait t.nonempty t.mutex
-        done;
-        if Queue.is_empty t.queue && t.closed then Mutex.unlock t.mutex
-        else begin
-          let task = Queue.pop t.queue in
-          Mutex.unlock t.mutex;
-          (try task ()
-           with e ->
-             (* Tasks are expected to contain their own failures
-                (futures capture them); anything escaping here would
-                otherwise kill the worker domain. *)
-             Printf.eprintf "Pool worker: uncaught exception: %s\n%!"
-               (Printexc.to_string e));
-          loop ()
-        end
+        match find_work t slot rand with
+        | Some task ->
+            exec_task t task;
+            loop ()
+        | None ->
+            if Atomic.get t.closed then
+              (* Drained: a full sweep found nothing after close.  Any
+                 task a racing steal hid from us was taken by the racer
+                 and executes there. *)
+              ()
+            else begin
+              park t;
+              loop ()
+            end
       in
       loop ())
 
@@ -42,53 +207,71 @@ let create ?num_domains () =
   in
   let t =
     {
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      queue = Queue.create ();
-      closed = false;
+      deques = Array.init workers (fun _ -> Chase_lev.create ~capacity:256 ());
+      injector = Queue.create ();
+      inj_mutex = Mutex.create ();
+      inj_size = Atomic.make 0;
+      park_mutex = Mutex.create ();
+      park_cond = Condition.create ();
+      epoch = Atomic.make 0;
+      n_parked = Atomic.make 0;
+      steal_cursor = Atomic.make 0;
+      closed = Atomic.make false;
       domains = [];
       workers;
+      counters =
+        {
+          c_tasks = Atomic.make 0;
+          c_steals = Atomic.make 0;
+          c_parks = Atomic.make 0;
+          c_splits = Atomic.make 0;
+        };
     }
   in
-  t.domains <- List.init workers (fun _ -> spawn_worker t);
+  t.domains <- List.init workers (fun slot -> spawn_worker t slot);
   t
 
 let num_workers t = t.workers
 let parallelism t = t.workers + 1
 
-let submit t task =
-  Mutex.lock t.mutex;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Pool: submit to a shut-down pool"
-  end;
-  Queue.push task t.queue;
-  Condition.signal t.nonempty;
-  Mutex.unlock t.mutex
+type stats = { tasks : int; steals : int; parks : int; splits : int }
 
-let try_pop t =
-  Mutex.lock t.mutex;
-  let task = Queue.take_opt t.queue in
-  Mutex.unlock t.mutex;
-  task
+let stats t =
+  {
+    tasks = Atomic.get t.counters.c_tasks;
+    steals = Atomic.get t.counters.c_steals;
+    parks = Atomic.get t.counters.c_parks;
+    splits = Atomic.get t.counters.c_splits;
+  }
+
+let push_task t task =
+  (match my_slot t with
+  | Some slot -> Chase_lev.push t.deques.(slot) task
+  | None ->
+      Mutex.lock t.inj_mutex;
+      Queue.push task t.injector;
+      Atomic.incr t.inj_size;
+      Mutex.unlock t.inj_mutex);
+  wake t
+
+let submit t task =
+  if Atomic.get t.closed then invalid_arg "Pool: submit to a shut-down pool";
+  push_task t task
+
+let post = submit
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  let was_closed = t.closed in
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mutex;
+  let was_closed = Atomic.exchange t.closed true in
+  wake_all t;
   if not was_closed then begin
     List.iter Domain.join t.domains;
     t.domains <- []
   end
 
-let post = submit
-
 let help t =
   match try_pop t with
   | Some task ->
-      task ();
+      exec_task t task;
       true
   | None -> false
 
@@ -97,103 +280,142 @@ let async t f =
   submit t (fun () -> Future.run fut f);
   fut
 
-(* Wait for [fut] while helping to drain the queue, so that a task that
-   itself calls [run] cannot starve the pool. *)
+(* Wait for [fut] while helping to drain the pool, so that a task that
+   itself calls [run] cannot starve the pool. With no workers the task
+   can only be executed by this thread (via [help]) or a sibling
+   external thread, so after a bounded spin we block on the future
+   rather than burning the CPU. *)
 let await_helping t fut =
-  let rec loop () =
+  let rec loop spins =
     match Future.peek fut with
     | Some (Ok v) -> v
     | Some (Error e) -> raise e
-    | None -> (
-        match try_pop t with
-        | Some task ->
-            task ();
-            loop ()
-        | None ->
-            if t.workers = 0 then begin
-              (* No workers: the task must be in flight in this thread's
-                 own call chain or just enqueued; spin briefly. *)
-              Domain.cpu_relax ();
-              loop ()
-            end
-            else Future.await fut)
+    | None ->
+        if help t then loop 0
+        else if t.workers = 0 && spins < 256 then begin
+          Domain.cpu_relax ();
+          loop (spins + 1)
+        end
+        else Future.await fut
   in
-  loop ()
+  loop 0
 
 let run t f = await_helping t (async t f)
 
+(* ------------------------------------------------------------------ *)
+(* Data-parallel ranges with lazy binary splitting                     *)
+
 exception Stop
 
-let default_chunk t n =
-  (* Aim for ~8 chunks per participant to absorb imbalance, but never
-     below 1 index per chunk. *)
+let default_grain t n =
+  (* Aim for ~8 leaves per participant to absorb imbalance, but never
+     below 1 index per leaf. *)
   max 1 (n / (parallelism t * 8))
 
-let parallel_for_reduce t ?chunk ~lo ~hi ~combine ~init body =
+(* Split only when somebody visibly wants work: a parked worker, or (if
+   the caller is a worker) thieves have emptied its deque. *)
+let work_wanted t =
+  Atomic.get t.n_parked > 0
+  ||
+  match my_slot t with
+  | Some slot -> Chase_lev.is_empty t.deques.(slot)
+  | None -> false
+
+let parallel_for_reduce_range t ?grain ~lo ~hi ~combine ~init body =
   let n = hi - lo in
   if n <= 0 then init
   else begin
-    let chunk =
-      match chunk with
-      | Some c ->
-          if c < 1 then invalid_arg "Pool.parallel_for: chunk < 1";
-          c
-      | None -> default_chunk t n
+    let grain =
+      match grain with
+      | Some g ->
+          if g < 1 then invalid_arg "Pool.parallel_for: chunk < 1";
+          g
+      | None -> default_grain t n
     in
-    let next = Atomic.make lo in
-    let failure = Atomic.make None in
-    let participants = min (parallelism t) ((n + chunk - 1) / chunk) in
-    let helpers = participants - 1 in
-    let latch = Sync.Latch.create helpers in
-    let work () =
-      let acc = ref init in
-      (try
-         let rec grab () =
-           if Atomic.get failure <> None then raise Stop;
-           let start = Atomic.fetch_and_add next chunk in
-           if start < hi then begin
-             let stop = min hi (start + chunk) in
-             for i = start to stop - 1 do
-               acc := combine !acc (body i)
-             done;
-             grab ()
-           end
-         in
-         grab ()
-       with
-      | Stop -> ()
-      | e ->
-          (* Record the first failure; later ones are dropped. *)
-          ignore (Atomic.compare_and_set failure None (Some e)));
-      !acc
-    in
-    let partials = Array.make participants init in
-    for k = 1 to helpers do
-      submit t (fun () ->
-          partials.(k) <- work ();
-          Sync.Latch.count_down latch)
-    done;
-    partials.(0) <- work ();
-    (* Help drain the queue while waiting so nested parallel_for from
-       inside pool tasks cannot deadlock. *)
-    let rec wait () =
-      if Sync.Latch.pending latch > 0 then begin
-        (match try_pop t with
-        | Some task -> task ()
-        | None -> Domain.cpu_relax ());
-        wait ()
-      end
-    in
-    if t.workers = 0 then Sync.Latch.await latch else wait ();
-    Sync.Latch.await latch;
-    match Atomic.get failure with
-    | Some e -> raise e
-    | None -> Array.fold_left combine init partials
+    if parallelism t <= 1 || n <= grain then combine init (body ~lo ~hi)
+    else begin
+      let failure = Atomic.make None in
+      let pending = Atomic.make 1 in
+      let done_fut = Future.create () in
+      let result = ref init in
+      let res_mutex = Mutex.create () in
+      let merge v =
+        Mutex.lock res_mutex;
+        match combine !result v with
+        | r ->
+            result := r;
+            Mutex.unlock res_mutex
+        | exception e ->
+            Mutex.unlock res_mutex;
+            raise e
+      in
+      let finished () =
+        if Atomic.fetch_and_add pending (-1) = 1 then Future.fill done_fut ()
+      in
+      let rec run_range rlo rhi =
+        (try process rlo rhi with
+        | Stop -> ()
+        | e ->
+            (* Record the first failure; later ones are dropped. *)
+            ignore (Atomic.compare_and_set failure None (Some e)));
+        finished ()
+      and process rlo rhi =
+        let lo = ref rlo and hi = ref rhi in
+        while !lo < !hi do
+          if Atomic.get failure <> None then raise Stop;
+          if !hi - !lo > grain && work_wanted t then begin
+            let mid = !lo + ((!hi - !lo) / 2) in
+            let l = mid and h = !hi in
+            Atomic.incr pending;
+            Atomic.incr t.counters.c_splits;
+            push_task t (fun () -> run_range l h);
+            hi := mid
+          end
+          else begin
+            let stop = min !hi (!lo + grain) in
+            merge (body ~lo:!lo ~hi:stop);
+            lo := stop
+          end
+        done
+      in
+      (* The caller is a participant: it runs the root range and then
+         helps until every split-off piece has finished. *)
+      run_range lo hi;
+      let rec wait spins =
+        if not (Future.is_resolved done_fut) then
+          if help t then wait 0
+          else if spins < 64 then begin
+            Domain.cpu_relax ();
+            wait (spins + 1)
+          end
+          else Future.await done_fut
+      in
+      wait 0;
+      match Atomic.get failure with
+      | Some e -> raise e
+      | None -> !result
+    end
   end
 
+let parallel_for_range t ?grain ~lo ~hi body =
+  parallel_for_reduce_range t ?grain ~lo ~hi
+    ~combine:(fun () () -> ())
+    ~init:() body
+
+let parallel_for_reduce t ?chunk ~lo ~hi ~combine ~init body =
+  parallel_for_reduce_range t ?grain:chunk ~lo ~hi ~combine ~init
+    (fun ~lo ~hi ->
+      let acc = ref init in
+      for i = lo to hi - 1 do
+        acc := combine !acc (body i)
+      done;
+      !acc)
+
 let parallel_for t ?chunk ~lo ~hi body =
-  parallel_for_reduce t ?chunk ~lo ~hi ~combine:(fun () () -> ()) ~init:()
-    (fun i -> body i)
+  parallel_for_range t ?grain:chunk ~lo ~hi (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        body i
+      done)
 
 let parallel_map_array t f a =
   let n = Array.length a in

@@ -1,9 +1,19 @@
-(** A fixed pool of worker domains with a shared task queue.
+(** A work-stealing pool of worker domains.
 
     This is the execution substrate standing in for SaC's multithreaded
-    runtime: data-parallel with-loops are partitioned into chunks and
+    runtime: data-parallel with-loops are partitioned into ranges and
     executed by the pool ({!parallel_for} and friends), and the S-Net
     actor engine runs component activations on it ({!async}).
+
+    Each worker domain owns a Chase–Lev deque: it pushes and pops its
+    own work LIFO and steals FIFO from siblings when empty, parking on
+    a condition variable only after a full sweep finds nothing.
+    Submissions from non-worker threads enter through a shared injector
+    queue. Range operations ({!parallel_for}, {!parallel_for_reduce})
+    use lazy binary splitting: every participant owns a contiguous
+    subrange and splits off stealable halves only while idle workers
+    are observed, so a saturated pool runs straight-line loops with no
+    shared-counter traffic.
 
     The calling thread always participates in the bracketed operations
     ([parallel_for], [run]), so a pool created with [num_domains:0] is
@@ -31,27 +41,41 @@ val async : t -> (unit -> 'a) -> 'a Future.t
 (** Submit a task; the future resolves with its result or exception. *)
 
 val help : t -> bool
-(** Run one queued task on the calling thread if any is available;
-    returns whether one ran. Lets a thread that is waiting on pool
-    work make progress on pools created with [num_domains:0]. *)
+(** Run one queued task on the calling thread if any is available
+    (the caller's own deque if it is a worker, then the injector, then
+    a steal sweep); returns whether one ran. Lets a thread that is
+    waiting on pool work make progress on pools created with
+    [num_domains:0]. *)
 
 val post : t -> (unit -> unit) -> unit
 (** Fire-and-forget submission; the task must not raise (an escaping
     exception terminates the worker's current activation and is
     re-raised there). Used by the actor engine, which does its own
-    error containment. *)
+    error containment. From a worker of this pool the task goes to the
+    worker's own deque (LIFO); from any other thread it goes through
+    the injector queue. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** [run t f] submits [f] and waits, helping to execute other queued
     tasks while waiting (so nested [run] from inside a task cannot
-    deadlock the pool). *)
+    deadlock the pool). On a pool with no workers the wait is a
+    bounded spin followed by a blocking wait, never an unbounded
+    busy-loop. *)
 
 val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi body] executes [body i] for [lo <= i < hi]
-    with no ordering guarantee, partitioned into chunks of [chunk]
-    indices (default: a heuristic based on range size and
+    with no ordering guarantee, partitioned into leaf ranges of at most
+    [chunk] indices (default: a heuristic based on range size and
     parallelism). The first exception raised by any [body] is
     re-raised in the caller after all participants stop. *)
+
+val parallel_for_range :
+  t -> ?grain:int -> lo:int -> hi:int -> (lo:int -> hi:int -> unit) -> unit
+(** Range-level variant of {!parallel_for}: [body ~lo ~hi] receives
+    maximal machine-assigned subranges (each at most [grain] indices)
+    instead of single indices, letting the caller hoist per-chunk state
+    (scratch buffers, accumulators) out of the element loop. Subranges
+    partition [lo, hi): every index is covered exactly once. *)
 
 val parallel_for_reduce :
   t ->
@@ -63,12 +87,39 @@ val parallel_for_reduce :
   (int -> 'a) ->
   'a
 (** [parallel_for_reduce t ~lo ~hi ~combine ~init body] folds the
-    results of [body i] with [combine], which must be
-    associative with unit [init]; the combination order across chunks
-    is unspecified. *)
+    results of [body i] with [combine], which must be associative and
+    commutative with unit [init]; the combination order across leaf
+    ranges is unspecified. *)
+
+val parallel_for_reduce_range :
+  t ->
+  ?grain:int ->
+  lo:int ->
+  hi:int ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  (lo:int -> hi:int -> 'a) ->
+  'a
+(** Range-level variant of {!parallel_for_reduce}: [body ~lo ~hi]
+    computes the partial value of a whole subrange (typically folding
+    locally from [init]); partials are combined in unspecified order. *)
 
 val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Element-wise map over an array using {!parallel_for}. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  tasks : int;  (** Tasks executed by workers and helping threads. *)
+  steals : int;  (** Successful steals from a sibling's deque. *)
+  parks : int;  (** Times a worker went to sleep for lack of work. *)
+  splits : int;  (** Ranges split off by the data-parallel operations. *)
+}
+
+val stats : t -> stats
+(** Monotonic per-pool counters since {!create}; cheap racy snapshot. *)
+
+(** {1 Process-global default} *)
 
 val default : unit -> t
 (** A process-global pool, created on first use. *)

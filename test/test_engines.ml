@@ -220,8 +220,16 @@ let test_conc_star_unfolding_stats () =
       let stats = Snet.Stats.create () in
       let net = Net.star (Net.box countdown) done_pattern in
       ignore (Conc_e.run ~pool ~stats net (xs_in [ 5 ]));
-      Alcotest.(check int) "six stages" 6
-        (Snet.Stats.snapshot stats).Snet.Stats.max_star_depth)
+      let s = Snet.Stats.snapshot stats in
+      Alcotest.(check int) "six stages" 6 s.Snet.Stats.max_star_depth;
+      (* Scheduler observability: the run's actor activations execute
+         as pool tasks, and the delta is attributed to this run. *)
+      Alcotest.(check bool) "pool tasks attributed to the run" true
+        (s.Snet.Stats.sched_tasks > 0);
+      Alcotest.(check bool) "scheduler counters non-negative" true
+        (s.Snet.Stats.sched_steals >= 0
+        && s.Snet.Stats.sched_parks >= 0
+        && s.Snet.Stats.sched_splits >= 0))
 
 exception Boom
 

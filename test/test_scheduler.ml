@@ -201,6 +201,130 @@ let test_chase_lev_concurrent () =
   Alcotest.(check int) "no element lost or duplicated" n
     (!popped + Atomic.get stolen)
 
+let test_chase_lev_capacity () =
+  (* Tiny initial capacities are honoured (rounded up to a power of
+     two) and grow transparently. *)
+  List.iter
+    (fun cap ->
+      let q = CL.create ~capacity:cap () in
+      for i = 0 to 99 do
+        CL.push q i
+      done;
+      let rec drain acc =
+        match CL.pop q with Some v -> drain (v :: acc) | None -> acc
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "capacity %d grows and keeps order" cap)
+        (List.init 100 Fun.id) (drain []))
+    [ 1; 2; 3; 5; 64 ];
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try ignore (CL.create ~capacity:0 ()); false
+     with Invalid_argument _ -> true)
+
+(* Concurrent stealers against an owner interleaving push/pop: every
+   element ends up with exactly one party. *)
+let prop_chase_lev_partition =
+  QCheck.Test.make ~name:"chase-lev: push/pop/steal partition elements"
+    ~count:10
+    (QCheck.make QCheck.Gen.(pair (int_range 50 1500) (int_range 1 3)))
+    (fun (n, thieves) ->
+      let q = CL.create ~capacity:2 () in
+      let stop = Atomic.make false in
+      let stolen = Array.make thieves [] in
+      let doms =
+        List.init thieves (fun ti ->
+            Domain.spawn (fun () ->
+                let acc = ref [] in
+                let rec go () =
+                  match CL.steal q with
+                  | Some v ->
+                      acc := v :: !acc;
+                      go ()
+                  | None ->
+                      if not (Atomic.get stop) then begin
+                        Domain.cpu_relax ();
+                        go ()
+                      end
+                in
+                go ();
+                stolen.(ti) <- !acc))
+      in
+      let popped = ref [] in
+      for i = 0 to n - 1 do
+        CL.push q i;
+        if i land 3 = 0 then
+          match CL.pop q with
+          | Some v -> popped := v :: !popped
+          | None -> ()
+      done;
+      let rec drain () =
+        match CL.pop q with
+        | Some v ->
+            popped := v :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Atomic.set stop true;
+      List.iter Domain.join doms;
+      let all = List.concat (!popped :: Array.to_list stolen) in
+      List.sort compare all = List.init n Fun.id)
+
+let test_nested_parallel_for () =
+  (* parallel_for from inside pool tasks: no deadlock, no lost or
+     duplicated indices, even with single-index chunks forcing maximal
+     task counts. *)
+  with_pool 3 (fun pool ->
+      let total = Atomic.make 0 in
+      Pool.parallel_for pool ~chunk:1 ~lo:0 ~hi:16 (fun _ ->
+          Pool.parallel_for pool ~chunk:8 ~lo:0 ~hi:500 (fun _ ->
+              Atomic.incr total));
+      Alcotest.(check int) "nested indices all covered" 8000
+        (Atomic.get total);
+      let v =
+        Pool.run pool (fun () ->
+            let acc = Atomic.make 0 in
+            Pool.parallel_for pool ~chunk:1 ~lo:0 ~hi:8 (fun i ->
+                ignore
+                  (Atomic.fetch_and_add acc (Pool.run pool (fun () -> i))));
+            Atomic.get acc)
+      in
+      Alcotest.(check int) "run inside parallel_for inside run" 28 v)
+
+let test_parallel_for_range () =
+  with_pool 2 (fun pool ->
+      let hits = Array.make 10_000 0 in
+      Pool.parallel_for_range pool ~grain:64 ~lo:0 ~hi:10_000
+        (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check bool) "ranges partition the interval" true
+        (Array.for_all (fun h -> h = 1) hits);
+      let sum =
+        Pool.parallel_for_reduce_range pool ~grain:128 ~lo:0 ~hi:1_000
+          ~combine:( + ) ~init:0
+          (fun ~lo ~hi ->
+            let acc = ref 0 in
+            for i = lo to hi - 1 do
+              acc := !acc + i
+            done;
+            !acc)
+      in
+      Alcotest.(check int) "range reduce" 499500 sum)
+
+let test_pool_counters () =
+  with_pool 2 (fun pool ->
+      let s0 = Pool.stats pool in
+      Alcotest.(check int) "run" 1 (Pool.run pool (fun () -> 1));
+      Pool.parallel_for pool ~chunk:16 ~lo:0 ~hi:100_000 (fun _ -> ());
+      let s1 = Pool.stats pool in
+      Alcotest.(check bool) "tasks counted" true (s1.Pool.tasks > s0.Pool.tasks);
+      Alcotest.(check bool) "counters monotonic" true
+        (s1.Pool.steals >= s0.Pool.steals
+        && s1.Pool.parks >= s0.Pool.parks
+        && s1.Pool.splits >= s0.Pool.splits))
+
 let prop_parallel_sum_matches =
   QCheck.Test.make ~name:"parallel_for_reduce = List fold" ~count:20
     (QCheck.make QCheck.Gen.(int_range 0 2000))
@@ -231,5 +355,10 @@ let suite =
     Alcotest.test_case "chase-lev LIFO/FIFO" `Quick test_chase_lev_lifo_fifo;
     Alcotest.test_case "chase-lev growth" `Quick test_chase_lev_growth;
     Alcotest.test_case "chase-lev concurrent steals" `Quick test_chase_lev_concurrent;
+    Alcotest.test_case "chase-lev capacity rounding" `Quick test_chase_lev_capacity;
+    Alcotest.test_case "nested parallel_for" `Quick test_nested_parallel_for;
+    Alcotest.test_case "parallel_for_range" `Quick test_parallel_for_range;
+    Alcotest.test_case "pool counters" `Quick test_pool_counters;
+    QCheck_alcotest.to_alcotest prop_chase_lev_partition;
     QCheck_alcotest.to_alcotest prop_parallel_sum_matches;
   ]

@@ -139,11 +139,95 @@ let test_parallel_agreement () =
           ]
       in
       check_nd "genarray" (mk ()) (mk ~pool ());
+      (* A strided part forces the general (non-dense) executor. *)
+      let mk_strided ?pool () =
+        WL.genarray ?pool ~shape:[| 40; 40 |] ~default:(-1)
+          [
+            (WL.range [| 0; 0 |] [| 40; 40 |], fun iv -> iv.(0) + iv.(1));
+            (WL.range ~step:[| 3; 2 |] [| 1; 0 |] [| 40; 40 |], fun iv ->
+              (iv.(0) * 100) + iv.(1));
+          ]
+      in
+      check_nd "strided genarray" (mk_strided ()) (mk_strided ~pool ());
+      let init ?pool () =
+        WL.genarray_init ?pool ~shape:[| 30; 30 |] (fun iv ->
+            (iv.(0) * 7) - iv.(1))
+      in
+      check_nd "genarray_init" (init ()) (init ~pool ());
       let fold ?pool () =
         WL.fold ?pool ~neutral:0 ~combine:( + )
           [ (WL.range [| 0 |] [| 5000 |], fun iv -> iv.(0) mod 7) ]
       in
       Alcotest.(check int) "fold" (fold ()) (fold ~pool ()))
+
+let test_rank0 () =
+  let a =
+    WL.genarray ~shape:[||] ~default:1 [ (WL.range [||] [||], fun _ -> 7) ]
+  in
+  Alcotest.(check int) "scalar genarray" 7 (Nd.get a [||]);
+  let b = WL.genarray_init ~shape:[||] (fun _ -> 9) in
+  Alcotest.(check int) "scalar genarray_init" 9 (Nd.get b [||])
+
+let test_genarray_init_large () =
+  (* Above the parallel cutoff: the odometer fast path and Nd.init must
+     agree element for element, with and without a pool. *)
+  let f iv = (iv.(0) * 1009) + (iv.(1) * 31) + iv.(2) in
+  let shape = [| 17; 13; 11 |] in
+  check_nd "seq" (Nd.init shape f) (WL.genarray_init ~shape f);
+  let pool = Scheduler.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.Pool.shutdown pool)
+    (fun () -> check_nd "par" (Nd.init shape f) (WL.genarray_init ~pool ~shape f))
+
+(* Reference semantics: paint the default array by iterating each
+   generator in order with generator_iter (later generators win).
+   Compares against the real executors, which pick the dense fast path
+   or the strided general path per part. *)
+let reference_genarray ~shape ~default parts =
+  let a = ref (Nd.create shape default) in
+  List.iter
+    (fun (g, body) ->
+      WL.generator_iter g (fun iv -> a := Nd.set !a iv (body iv)))
+    parts;
+  !a
+
+let prop_fast_slow_agree =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 3 >>= fun rank ->
+      array_repeat rank (int_range 1 8) >>= fun shape ->
+      let gen_part =
+        (* Random sub-box with random (possibly unit) steps. *)
+        let dim i =
+          int_range 0 (shape.(i) - 1) >>= fun lo ->
+          int_range (lo + 1) shape.(i) >>= fun hi ->
+          int_range 1 3 >|= fun st -> (lo, hi, st)
+        in
+        (fun n -> List.init n dim) rank |> flatten_l >>= fun dims ->
+        int_range 0 999 >|= fun salt ->
+        let lower = Array.of_list (List.map (fun (l, _, _) -> l) dims) in
+        let upper = Array.of_list (List.map (fun (_, h, _) -> h) dims) in
+        let step = Array.of_list (List.map (fun (_, _, s) -> s) dims) in
+        (WL.range ~step lower upper, salt)
+      in
+      int_range 1 3 >>= fun nparts ->
+      list_repeat nparts gen_part >|= fun parts -> (shape, parts))
+  in
+  QCheck.Test.make
+    ~name:"genarray fast/general paths match generator_iter reference"
+    ~count:100 (QCheck.make gen)
+    (fun (shape, parts) ->
+      let parts =
+        List.map
+          (fun (g, salt) ->
+            ( g,
+              fun iv ->
+                Array.fold_left (fun acc i -> (acc * 13) + i) salt iv ))
+          parts
+      in
+      Nd.equal Int.equal
+        (WL.genarray ~shape ~default:(-1) parts)
+        (reference_genarray ~shape ~default:(-1) parts))
 
 let prop_genarray_matches_init =
   QCheck.Test.make ~name:"genarray with full generator = Nd.init" ~count:50
@@ -193,6 +277,9 @@ let suite =
     Alcotest.test_case "fold" `Quick test_fold;
     Alcotest.test_case "genarray_init evaluates once" `Quick test_genarray_init_single_eval;
     Alcotest.test_case "parallel agreement" `Quick test_parallel_agreement;
+    Alcotest.test_case "rank-0 arrays" `Quick test_rank0;
+    Alcotest.test_case "genarray_init above cutoff" `Quick test_genarray_init_large;
     QCheck_alcotest.to_alcotest prop_genarray_matches_init;
     QCheck_alcotest.to_alcotest prop_later_generator_wins;
+    QCheck_alcotest.to_alcotest prop_fast_slow_agree;
   ]
