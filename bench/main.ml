@@ -27,6 +27,10 @@
      ablation      Actor batch size, thread-engine channel capacity,
                    determinism overhead on a real workload.
      propagation   Constraint deduction vs pure search inside Fig. 1.
+     faults        Supervision layer: error-record overhead on the
+                   no-failure path (acceptance: <= 10%) and throughput
+                   of a flaky pipeline under error-record and retry on
+                   all three engines. Emits BENCH_faults.json.
 
    Run all:        dune exec bench/main.exe
    Run one:        dune exec bench/main.exe -- fig3-sweep *)
@@ -639,6 +643,146 @@ let exp_propagation () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* faults: supervision overhead and error-record failure paths         *)
+
+let exp_faults () =
+  Printf.printf "\n== faults: supervision overhead and error-record paths ==\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let quota = if smoke then 0.05 else 1.0 in
+  let rows = ref [] in
+  let collect title tests = rows := !rows @ bench_collect title ~quota tests in
+  let record_cfg =
+    Snet.Supervise.make ~policy:Snet.Supervise.Error_record ()
+  in
+  (* (a) No-failure path: the solver network under the default
+     [Fail_fast] fast path vs the full [Error_record] machinery. The
+     acceptance bar for the supervision layer is <= 10% overhead here. *)
+  let board = board_of "medium" in
+  let net = net_of "fig2" in
+  collect "fig2/medium, no failures: fail-fast fast path vs error-record"
+    [
+      Test.make ~name:"fig2/seq/fail-fast"
+        (Staged.stage (fun () -> run_network_seq net board));
+      Test.make ~name:"fig2/seq/error-record"
+        (Staged.stage (fun () ->
+             Snet.Engine_seq.run ~supervision:record_cfg net
+               [ Sudoku.Boxes.inject_board board ]));
+      Test.make ~name:"fig2/conc/fail-fast"
+        (Staged.stage (fun () -> run_network_conc net board));
+      Test.make ~name:"fig2/conc/error-record"
+        (Staged.stage (fun () ->
+             Snet.Engine_conc.run ~pool:(Lazy.force conc_pool)
+               ~supervision:record_cfg net
+               [ Sudoku.Boxes.inject_board board ]));
+    ];
+  (* (b) Failure path: a two-box pipeline whose first box fails on
+     every 10th record, so throughput includes building error records
+     and routing them past the second box. *)
+  let flaky_net () =
+    let flaky =
+      Snet.Box.make ~name:"flaky" ~input:[ Snet.Box.T "x" ]
+        ~outputs:[ [ Snet.Box.T "x" ] ]
+        (fun ~emit -> function
+          | [ Snet.Box.Tag x ] ->
+              if x mod 10 = 0 then failwith "injected fault"
+              else emit 1 [ Snet.Box.Tag (x * 3) ]
+          | _ -> assert false)
+    in
+    let shift =
+      Snet.Box.make ~name:"shift" ~input:[ Snet.Box.T "x" ]
+        ~outputs:[ [ Snet.Box.T "x" ] ]
+        (fun ~emit -> function
+          | [ Snet.Box.Tag x ] -> emit 1 [ Snet.Box.Tag (x + 1) ]
+          | _ -> assert false)
+    in
+    Snet.Net.serial (Snet.Net.box flaky) (Snet.Net.box shift)
+  in
+  let n_inputs = if smoke then 40 else 200 in
+  let inputs =
+    List.init n_inputs (fun i ->
+        Snet.Record.of_list ~fields:[] ~tags:[ ("x", i) ])
+  in
+  let retry_cfg =
+    Snet.Supervise.make ~policy:(Snet.Supervise.Retry 2) ()
+  in
+  collect
+    (Printf.sprintf "flaky pipeline, %d records, 1-in-10 failing" n_inputs)
+    [
+      Test.make ~name:"flaky/seq/error-record"
+        (Staged.stage (fun () ->
+             Snet.Engine_seq.run ~supervision:record_cfg (flaky_net ()) inputs));
+      Test.make ~name:"flaky/seq/retry:2"
+        (Staged.stage (fun () ->
+             Snet.Engine_seq.run ~supervision:retry_cfg (flaky_net ()) inputs));
+      Test.make ~name:"flaky/conc/error-record"
+        (Staged.stage (fun () ->
+             Snet.Engine_conc.run ~pool:(Lazy.force conc_pool)
+               ~supervision:record_cfg (flaky_net ()) inputs));
+      Test.make ~name:"flaky/threads/error-record"
+        (Staged.stage (fun () ->
+             Snet.Engine_thread.run ~supervision:record_cfg (flaky_net ())
+               inputs));
+    ];
+  (* One instrumented run, for the supervision counters. *)
+  let stats = Snet.Stats.create () in
+  let outs =
+    Snet.Engine_conc.run ~pool:(Lazy.force conc_pool) ~stats
+      ~supervision:record_cfg (flaky_net ()) inputs
+  in
+  let errors = List.filter Snet.Supervise.is_error outs in
+  let snap = Snet.Stats.snapshot stats in
+  Printf.printf
+    "\n  flaky/conc under error-record: %d outputs, %d error records\n\
+    \  box_errors=%d box_retries=%d box_timeouts=%d backpressure_stalls=%d\n"
+    (List.length outs) (List.length errors) snap.Snet.Stats.box_errors
+    snap.Snet.Stats.box_retries snap.Snet.Stats.box_timeouts
+    snap.Snet.Stats.backpressure_stalls;
+  (* Persist, including the headline overhead ratios. *)
+  let find name = List.assoc_opt name !rows in
+  let ratio eng =
+    match
+      ( find (Printf.sprintf "/fig2/%s/error-record" eng),
+        find (Printf.sprintf "/fig2/%s/fail-fast" eng) )
+    with
+    | Some sup, Some base
+      when base > 0. && (not (Float.is_nan sup)) && not (Float.is_nan base) ->
+        sup /. base
+    | _ -> nan
+  in
+  List.iter
+    (fun eng ->
+      let r = ratio eng in
+      if not (Float.is_nan r) then
+        Printf.printf "  %s error-record overhead on no-failure path: %+.1f%%\n"
+          eng ((r -. 1.) *. 100.))
+    [ "seq"; "conc" ];
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"faults\",\n";
+  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
+  let j x = if Float.is_nan x then -1.0 else x in
+  Printf.fprintf oc
+    "  \"no_failure_overhead_ratio\": { \"seq\": %.3f, \"conc\": %.3f },\n"
+    (j (ratio "seq"))
+    (j (ratio "conc"));
+  Printf.fprintf oc
+    "  \"flaky_run\": { \"outputs\": %d, \"error_records\": %d, \
+     \"box_errors\": %d, \"box_retries\": %d, \"backpressure_stalls\": %d },\n"
+    (List.length outs) (List.length errors) snap.Snet.Stats.box_errors
+    snap.Snet.Stats.box_retries snap.Snet.Stats.backpressure_stalls;
+  Printf.fprintf oc "  \"results\": [\n";
+  let rows = !rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
+        (json_escape name) (j ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_faults.json (%d results)\n" (List.length rows);
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -655,6 +799,7 @@ let experiments =
     ("engines", exp_engines);
     ("ablation", exp_ablation);
     ("propagation", exp_propagation);
+    ("faults", exp_faults);
   ]
 
 let () =

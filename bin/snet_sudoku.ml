@@ -35,7 +35,7 @@ let build_network kind pool det throttle cutoff side =
   | Fig3 -> Some (Sudoku.Networks.fig3 ~pool ~det ~throttle ~cutoff ~side ())
 
 let run_solver kind engine det throttle cutoff domains verbose stats_flag
-    puzzle file =
+    on_error box_timeout puzzle file =
   let board = load_board puzzle file in
   let side = Sudoku.Board.side board in
   let pool = Scheduler.Pool.create ~num_domains:domains () in
@@ -47,7 +47,12 @@ let run_solver kind engine det throttle cutoff domains verbose stats_flag
           Printf.eprintf "-- %s <= %s\n%!" edge (Snet.Record.to_string r))
     else None
   in
-  let solutions, label =
+  let supervision =
+    match (on_error, box_timeout) with
+    | None, None -> None
+    | policy, timeout -> Some (Snet.Supervise.make ?policy ?timeout ())
+  in
+  let solutions, errors, label =
     match build_network kind pool det throttle cutoff side with
     | None ->
         let outcome = Sudoku.Solver.solve ~pool board in
@@ -55,16 +60,20 @@ let run_solver kind engine det throttle cutoff domains verbose stats_flag
           if outcome.Sudoku.Solver.solved then [ outcome.Sudoku.Solver.board ]
           else []
         in
-        (sols, "baseline solver")
+        (sols, [], "baseline solver")
     | Some net ->
         let inputs = [ Sudoku.Boxes.inject_board board ] in
         let outputs =
           match engine with
-          | Seq -> Snet.Engine_seq.run ?observer ~stats net inputs
-          | Conc -> Snet.Engine_conc.run ~pool ?observer ~stats net inputs
-          | Threads -> Snet.Engine_thread.run ?observer ~stats net inputs
+          | Seq -> Snet.Engine_seq.run ?observer ~stats ?supervision net inputs
+          | Conc ->
+              Snet.Engine_conc.run ~pool ?observer ~stats ?supervision net
+                inputs
+          | Threads ->
+              Snet.Engine_thread.run ?observer ~stats ?supervision net inputs
         in
-        (Sudoku.Networks.solved_boards outputs, "network")
+        let errors = List.filter Snet.Supervise.is_error outputs in
+        (Sudoku.Networks.solved_boards outputs, errors, "network")
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf "puzzle (%d givens):\n%s\n" (Sudoku.Board.count_filled board)
@@ -75,6 +84,12 @@ let run_solver kind engine det throttle cutoff domains verbose stats_flag
       Printf.printf "solution:\n%s\n" (Sudoku.Board.to_string first);
       if rest <> [] then
         Printf.printf "(%d further solutions found)\n" (List.length rest));
+  List.iter
+    (fun r ->
+      Printf.printf "error record: box %s failed: %s\n"
+        (Option.value ~default:"?" (Snet.Supervise.error_origin r))
+        (Option.value ~default:"?" (Snet.Supervise.error_message r)))
+    errors;
   Printf.printf "%s finished in %.4fs\n" label elapsed;
   if stats_flag then
     Format.printf "%a@." Snet.Stats.pp (Snet.Stats.snapshot stats);
@@ -85,6 +100,17 @@ let network_conv =
     [ ("baseline", Baseline); ("fig1", Fig1); ("fig2", Fig2); ("fig3", Fig3) ]
 
 let engine_conv = Arg.enum [ ("seq", Seq); ("conc", Conc); ("threads", Threads) ]
+
+let policy_conv =
+  let parse s =
+    match Snet.Supervise.policy_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Snet.Supervise.policy_to_string p)
+  in
+  Arg.conv (parse, print)
 
 let cmd =
   let network =
@@ -111,6 +137,22 @@ let cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print unfolding statistics.")
   in
+  let on_error =
+    Arg.(
+      value
+      & opt (some policy_conv) None
+      & info [ "on-error" ]
+          ~doc:
+            "Box failure policy for every box: fail (default), \
+             error-record, or retry:N.")
+  in
+  let box_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "box-timeout" ]
+          ~doc:"Per-box-invocation time budget in seconds (post-hoc).")
+  in
   let puzzle =
     Arg.(value & opt (some string) None & info [ "puzzle"; "p" ] ~doc:"Named corpus puzzle.")
   in
@@ -121,6 +163,6 @@ let cmd =
     (Cmd.info "snet-sudoku" ~doc:"Hybrid SaC/S-Net sudoku solver")
     Term.(
       const run_solver $ network $ engine $ det $ throttle $ cutoff $ domains
-      $ verbose $ stats $ puzzle $ file)
+      $ verbose $ stats $ on_error $ box_timeout $ puzzle $ file)
 
 let () = exit (Cmd.eval cmd)

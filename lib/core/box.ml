@@ -14,6 +14,7 @@ type t = {
   input : label list;
   outputs : label list list;
   impl : impl;
+  supervision : Supervise.config;
 }
 
 let label_name = function F f -> f | T t -> t
@@ -35,15 +36,22 @@ let check_distinct what labels =
   in
   go [] labels
 
-let make ~name ~input ~outputs impl =
+let make ~name ?policy ?timeout ~input ~outputs impl =
   check_distinct "input tuple" input;
   if outputs = [] then invalid_arg "Box: empty output disjunction";
   List.iteri
     (fun i v -> check_distinct (Printf.sprintf "output variant %d" (i + 1)) v)
     outputs;
-  { bname = name; input; outputs; impl }
+  let supervision =
+    match (policy, timeout) with
+    | None, None -> Supervise.default
+    | _ -> Supervise.make ?policy ?timeout ()
+  in
+  { bname = name; input; outputs; impl; supervision }
 
 let name t = t.bname
+let supervision t = t.supervision
+let with_supervision supervision t = { t with supervision }
 let input_labels t = t.input
 let output_variants t = t.outputs
 

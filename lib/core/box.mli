@@ -28,11 +28,28 @@ type impl = emit:emitter -> arg list -> unit
 
 type t
 
-val make : name:string -> input:label list -> outputs:label list list -> impl -> t
-(** @raise Invalid_argument on duplicate labels within the input or
-    within one output variant, or an empty output disjunction. *)
+val make :
+  name:string ->
+  ?policy:Supervise.policy ->
+  ?timeout:float ->
+  input:label list ->
+  outputs:label list list ->
+  impl ->
+  t
+(** [policy] (default [Fail_fast]) and [timeout] (default none) set the
+    box's {!Supervise.config}, honoured by every engine.
+    @raise Invalid_argument on duplicate labels within the input or
+    within one output variant, an empty output disjunction, a negative
+    retry count or a non-positive timeout. *)
 
 val name : t -> string
+
+val supervision : t -> Supervise.config
+
+val with_supervision : Supervise.config -> t -> t
+(** A copy of the box with a different supervision config; used by
+    engines and the CLI to impose a network-wide [--on-error] policy. *)
+
 val input_labels : t -> label list
 val output_variants : t -> label list list
 

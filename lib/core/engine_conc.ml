@@ -18,6 +18,7 @@ type instance = {
   mutable results : Record.t list;
   mutable next_input : int;
   mutable next_region_id : int;
+  mutable stalls_seen : int;
   mutable entry : target option;
   net : Net.t;
   (* Input variants already admission-checked via Typecheck.flow. *)
@@ -70,17 +71,31 @@ let consume_emit eng ~down meta outs =
 let stray path =
   failwith (Printf.sprintf "Engine_conc(%s): stray Complete" path)
 
+(* Error records bypass the component: forward unchanged on the same
+   causal line, so deterministic collectors still see and order them. *)
+let pass_error ~down meta r = Streams.Actors.send down (Data (meta, r))
+
 let rec build eng path net ~down : target =
   match net with
   | Net.Box b ->
       let path = path ^ "/box:" ^ Box.name b in
       Stats.record_instance eng.istats;
+      let sup = Box.supervision b in
+      let bname = Box.name b in
       let handler = function
         | Complete _ -> stray path
         | Data (meta, r) ->
             observe_edge eng path r;
-            Stats.record_box_invocation eng.istats;
-            consume_emit eng ~down meta (Box.execute b r)
+            if Supervise.is_error r then pass_error ~down meta r
+            else begin
+              Stats.record_box_invocation eng.istats;
+              match
+                Supervise.supervise sup ~stats:eng.istats ~name:bname
+                  (Box.execute b) r
+              with
+              | Supervise.Emit outs -> consume_emit eng ~down meta outs
+              | Supervise.Fail e -> raise e
+            end
       in
       Streams.Actors.spawn eng.sys ~name:path handler
   | Net.Filter f ->
@@ -90,8 +105,11 @@ let rec build eng path net ~down : target =
         | Complete _ -> stray path
         | Data (meta, r) ->
             observe_edge eng path r;
-            Stats.record_filter_invocation eng.istats;
-            consume_emit eng ~down meta (Filter.apply f r)
+            if Supervise.is_error r then pass_error ~down meta r
+            else begin
+              Stats.record_filter_invocation eng.istats;
+              consume_emit eng ~down meta (Filter.apply f r)
+            end
       in
       Streams.Actors.spawn eng.sys ~name:path handler
   | Net.Sync patterns ->
@@ -104,7 +122,8 @@ let rec build eng path net ~down : target =
         | Complete _ -> stray path
         | Data (meta, r) ->
             observe_edge eng path r;
-            if !spent then consume_emit eng ~down meta [ r ]
+            if Supervise.is_error r then pass_error ~down meta r
+            else if !spent then consume_emit eng ~down meta [ r ]
             else begin
               let slot = ref None in
               Array.iteri
@@ -171,6 +190,8 @@ let rec build eng path net ~down : target =
               | None -> meta
               | Some rg -> Detmerge.stamp rg meta
             in
+            if Supervise.is_error r then pass_error ~down:merge_down meta r
+            else
             let sl = Rectype.match_score left_in r in
             let sr = Rectype.match_score right_in r in
             let branch =
@@ -197,6 +218,15 @@ let rec build eng path net ~down : target =
       let replicas : (int, target) Hashtbl.t = Hashtbl.create 8 in
       let handler = function
         | Complete _ -> stray path
+        | Data (meta, r) when Supervise.is_error r ->
+            (* Straight to the merge point: an error record may well
+               lack the routing tag. *)
+            let meta =
+              match region with
+              | None -> meta
+              | Some rg -> Detmerge.stamp rg meta
+            in
+            pass_error ~down:merge_down meta r
         | Data (meta, r) ->
             let v =
               match Record.tag tag r with
@@ -248,7 +278,9 @@ let rec build eng path net ~down : target =
                 | Some rg when d = 0 -> Detmerge.stamp rg meta
                 | _ -> meta
               in
-              if Pattern.matches exit r then
+              (* An error record exits at the next tap; looping it back
+                 through the body would unfold stages forever. *)
+              if Supervise.is_error r || Pattern.matches exit r then
                 Streams.Actors.send exit_target (Data (meta, r))
               else begin
                 let stage =
@@ -272,8 +304,13 @@ let rec build eng path net ~down : target =
       in
       make_tap 0
 
-let start ?pool ?batch ?observer ?stats net =
-  let sys = Streams.Actors.system ?pool ?batch () in
+let start ?pool ?batch ?mailbox ?observer ?stats ?supervision net =
+  let net =
+    match supervision with
+    | Some config -> Net.with_supervision config net
+    | None -> net
+  in
+  let sys = Streams.Actors.system ?pool ?batch ?mailbox () in
   let istats = match stats with Some s -> s | None -> Stats.create () in
   let eng =
     {
@@ -285,6 +322,7 @@ let start ?pool ?batch ?observer ?stats net =
       results = [];
       next_input = 0;
       next_region_id = 0;
+      stalls_seen = 0;
       entry = None;
       net;
       checked = Hashtbl.create 8;
@@ -323,7 +361,19 @@ let feed eng r =
   in
   Streams.Actors.send entry (Data (Detmerge.root_meta i, r))
 
+(* Attribute this system's producer stalls (bounded-mailbox
+   backpressure) to the run's stats. The system is private to this
+   instance; repeated [finish]es record the delta since the last. *)
+let bridge_stalls eng =
+  let stalls = Streams.Actors.stalls eng.sys in
+  Mutex.lock eng.imutex;
+  let prior = eng.stalls_seen in
+  eng.stalls_seen <- stalls;
+  Mutex.unlock eng.imutex;
+  Stats.record_backpressure eng.istats (stalls - prior)
+
 let finish eng =
+  Fun.protect ~finally:(fun () -> bridge_stalls eng) @@ fun () ->
   Streams.Actors.await_quiescence eng.sys;
   (* Sanity: a quiescent network must have drained every deterministic
      collector. *)
@@ -343,8 +393,8 @@ let finish eng =
 
 let stats eng = Stats.snapshot eng.istats
 
-let run ?pool ?batch ?observer ?stats net inputs =
-  let eng = start ?pool ?batch ?observer ?stats net in
+let run ?pool ?batch ?mailbox ?observer ?stats ?supervision net inputs =
+  let eng = start ?pool ?batch ?mailbox ?observer ?stats ?supervision net in
   (* Attribute the pool's scheduler activity over this run (tasks,
      steals, parks, splits) to the run's stats. The pool may be shared,
      so this is a delta of its monotonic counters, not an absolute. *)

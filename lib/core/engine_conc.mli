@@ -38,18 +38,27 @@ type instance
 val start :
   ?pool:Scheduler.Pool.t ->
   ?batch:int ->
+  ?mailbox:int ->
   ?observer:observer ->
   ?stats:Stats.t ->
+  ?supervision:Supervise.config ->
   Net.t ->
   instance
 (** Build the network's initial actor graph. Actors run on [pool]
     (default {!Scheduler.Pool.default}[ ()]); [batch] is the actor
-    activation batch size (see {!Streams.Actors.system}). *)
+    activation batch size and [mailbox] the per-actor queue bound (see
+    {!Streams.Actors.system}). [supervision], when given, overrides
+    every box's own config ({!Net.with_supervision}); error records
+    emitted by supervised boxes bypass the remaining components — taking
+    the direct edge to the merge point inside deterministic regions, so
+    their position in a deterministic output is preserved. *)
 
 val feed : instance -> Record.t -> unit
-(** Inject one record into the network's input stream. Never blocks.
-    The first record of each distinct variant is admission-checked
-    against the network with {!Typecheck.flow}.
+(** Inject one record into the network's input stream. May block
+    briefly when the entry actor's bounded mailbox is full
+    (backpressure); the caller then helps drain the pool. The first
+    record of each distinct variant is admission-checked against the
+    network with {!Typecheck.flow}.
     @raise Typecheck.Type_error when the record cannot flow through
     the network. *)
 
@@ -65,8 +74,10 @@ val stats : instance -> Stats.snapshot
 val run :
   ?pool:Scheduler.Pool.t ->
   ?batch:int ->
+  ?mailbox:int ->
   ?observer:observer ->
   ?stats:Stats.t ->
+  ?supervision:Supervise.config ->
   Net.t ->
   Record.t list ->
   Record.t list

@@ -4,7 +4,7 @@ exception Route_error = Errors.Route_error
 
 type ctx = {
   observer : observer option;
-  stats : Stats.t option;
+  stats : Stats.t;
   (* Component instances that have already seen a record, keyed by
      path; used to count dynamic unfolding. *)
   seen : (string, unit) Hashtbl.t;
@@ -12,8 +12,6 @@ type ctx = {
 
 let observe ctx path r =
   match ctx.observer with Some f -> f ~edge:path r | None -> ()
-
-let with_stats ctx f = match ctx.stats with Some s -> f s | None -> ()
 
 let first_visit ctx path =
   if Hashtbl.mem ctx.seen path then false
@@ -26,25 +24,39 @@ let first_visit ctx path =
    record. *)
 type comp = (Record.t -> unit) -> Record.t -> unit
 
+(* Error records produced by a supervised box bypass every component:
+   they flow straight through to the network output, so each compiled
+   node forwards them to its continuation untouched. *)
 let rec compile ctx path net : comp =
+  let node = compile_node ctx path net in
+  fun emit r -> if Supervise.is_error r then emit r else node emit r
+
+and compile_node ctx path net : comp =
   match net with
   | Net.Box b ->
       let path = path ^ "/box:" ^ Box.name b in
+      let sup = Box.supervision b in
+      let bname = Box.name b in
       fun emit r ->
         observe ctx path r;
-        if first_visit ctx path then with_stats ctx Stats.record_instance;
-        with_stats ctx Stats.record_box_invocation;
-        let outs = Box.execute b r in
-        with_stats ctx (fun s -> Stats.record_emission s (List.length outs));
-        List.iter emit outs
+        if first_visit ctx path then Stats.record_instance ctx.stats;
+        Stats.record_box_invocation ctx.stats;
+        (match
+           Supervise.supervise sup ~stats:ctx.stats ~name:bname
+             (Box.execute b) r
+         with
+        | Supervise.Emit outs ->
+            Stats.record_emission ctx.stats (List.length outs);
+            List.iter emit outs
+        | Supervise.Fail e -> raise e)
   | Net.Filter f ->
       let path = path ^ "/filter:" ^ Filter.name f in
       fun emit r ->
         observe ctx path r;
-        if first_visit ctx path then with_stats ctx Stats.record_instance;
-        with_stats ctx Stats.record_filter_invocation;
+        if first_visit ctx path then Stats.record_instance ctx.stats;
+        Stats.record_filter_invocation ctx.stats;
         let outs = Filter.apply f r in
-        with_stats ctx (fun s -> Stats.record_emission s (List.length outs));
+        Stats.record_emission ctx.stats (List.length outs);
         List.iter emit outs
   | Net.Sync patterns ->
       let path = path ^ "/sync" in
@@ -53,7 +65,7 @@ let rec compile ctx path net : comp =
       let pats = Array.of_list patterns in
       fun emit r ->
         observe ctx path r;
-        if first_visit ctx path then with_stats ctx Stats.record_instance;
+        if first_visit ctx path then Stats.record_instance ctx.stats;
         if !spent then emit r
         else begin
           let slot = ref None in
@@ -80,7 +92,7 @@ let rec compile ctx path net : comp =
                       | Some acc, None -> Some acc)
                     None slots
                 in
-                with_stats ctx (fun s -> Stats.record_emission s 1);
+                Stats.record_emission ctx.stats 1;
                 emit (Option.get merged)
               end
         end
@@ -129,12 +141,13 @@ let rec compile ctx path net : comp =
       in
       fun emit r ->
         let rec tap d r =
-          if Pattern.matches exit r then emit r
+          (* An error record exits the replication pipeline at the next
+             tap; looping it back would unfold stages forever. *)
+          if Supervise.is_error r || Pattern.matches exit r then emit r
           else begin
             let stage_path = Printf.sprintf "%s@%d" star_path (d + 1) in
             if first_visit ctx (stage_path ^ "#stage") then
-              with_stats ctx (fun s ->
-                  Stats.record_star_stage s ~depth:(d + 1));
+              Stats.record_star_stage ctx.stats ~depth:(d + 1);
             (stage_body ctx (d + 1)) (tap (d + 1)) r
           end
         in
@@ -160,16 +173,22 @@ let rec compile ctx path net : comp =
                 compile ctx (Printf.sprintf "%s[%s=%d]" split_path tag v) body
               in
               Hashtbl.add replicas v c;
-              with_stats ctx Stats.record_split_replica;
+              Stats.record_split_replica ctx.stats;
               c
         in
         replica emit r
 
-let run ?observer ?stats net inputs =
+let run ?observer ?stats ?supervision net inputs =
+  let net =
+    match supervision with
+    | Some config -> Net.with_supervision config net
+    | None -> net
+  in
   (* Admission check with the precise variants of the actual inputs;
      see {!Typecheck.flow}. *)
   let variants = List.map Rectype.Variant.of_record inputs in
   if variants <> [] then ignore (Typecheck.flow variants net);
+  let stats = match stats with Some s -> s | None -> Stats.create () in
   let ctx = { observer; stats; seen = Hashtbl.create 64 } in
   let compiled = compile ctx "" net in
   let out = ref [] in

@@ -25,12 +25,15 @@ exception Route_error of string
 val run :
   ?observer:observer ->
   ?stats:Stats.t ->
+  ?supervision:Supervise.config ->
   Net.t ->
   Record.t list ->
   Record.t list
 (** Checks that every input record's variant can flow through the
     network ({!Typecheck.flow}), then feeds the records through in
-    order.
+    order. [supervision], when given, overrides every box's own config
+    ({!Net.with_supervision}); error records emitted by supervised
+    boxes bypass the remaining components and appear in the output.
     @raise Typecheck.Type_error on ill-typed networks.
     @raise Route_error on routing failures the static check cannot
     exclude (records supplied at run time may carry fewer labels than

@@ -92,13 +92,13 @@ let component eng ~path ~down handle : port =
       let broken = ref false in
       let rec loop () =
         match recv input with
-        | None -> release_producer down
-        | Some (Complete _) ->
+        | `Closed -> release_producer down
+        | `Msg (Complete _) ->
             record_error eng
               (Failure
                  (Printf.sprintf "Engine_thread(%s): stray Complete" path));
             loop ()
-        | Some (Data (meta, r)) ->
+        | `Msg (Data (meta, r)) ->
             (if !broken then Detmerge.account meta 0
              else
                match handle r with
@@ -126,11 +126,11 @@ let make_collector eng region ~down : port =
       in
       let rec loop () =
         match recv input with
-        | None -> release_producer down
-        | Some (Complete s) ->
+        | `Closed -> release_producer down
+        | `Msg (Complete s) ->
             release (Detmerge.collector_complete region s);
             loop ()
-        | Some (Data (meta, record)) ->
+        | `Msg (Data (meta, record)) ->
             release (Detmerge.collector_data region meta record);
             loop ()
       in
@@ -141,16 +141,29 @@ let rec build eng path net ~down : port =
   match net with
   | Net.Box b ->
       let path = path ^ "/box:" ^ Box.name b in
+      let sup = Box.supervision b in
+      let bname = Box.name b in
       component eng ~path ~down (fun r ->
           observe_edge eng path r;
-          Stats.record_box_invocation eng.istats;
-          Box.execute b r)
+          if Supervise.is_error r then [ r ]
+          else begin
+            Stats.record_box_invocation eng.istats;
+            match
+              Supervise.supervise sup ~stats:eng.istats ~name:bname
+                (Box.execute b) r
+            with
+            | Supervise.Emit outs -> outs
+            | Supervise.Fail e -> raise e
+          end)
   | Net.Filter f ->
       let path = path ^ "/filter:" ^ Filter.name f in
       component eng ~path ~down (fun r ->
           observe_edge eng path r;
-          Stats.record_filter_invocation eng.istats;
-          Filter.apply f r)
+          if Supervise.is_error r then [ r ]
+          else begin
+            Stats.record_filter_invocation eng.istats;
+            Filter.apply f r
+          end)
   | Net.Sync patterns ->
       let path = path ^ "/sync" in
       let slots = Array.make (List.length patterns) None in
@@ -158,7 +171,8 @@ let rec build eng path net ~down : port =
       let pats = Array.of_list patterns in
       component eng ~path ~down (fun r ->
           observe_edge eng path r;
-          if !spent then [ r ]
+          if Supervise.is_error r then [ r ]
+          else if !spent then [ r ]
           else begin
             let slot = ref None in
             Array.iteri
@@ -194,12 +208,12 @@ let rec build eng path net ~down : port =
       spawn_thread eng (fun () ->
           let rec loop () =
             match recv input with
-            | None -> release_producer inner
-            | Some (Data (meta, r)) ->
+            | `Closed -> release_producer inner
+            | `Msg (Data (meta, r)) ->
                 observe_edge eng opath r;
                 send inner (Data (meta, r));
                 loop ()
-            | Some (Complete _) ->
+            | `Msg (Complete _) ->
                 record_error eng (Failure "Engine_thread(observe): stray Complete");
                 loop ()
           in
@@ -220,23 +234,34 @@ let rec build eng path net ~down : port =
       let cl = build eng (path ^ "/l") left ~down:merge_down in
       let cr = build eng (path ^ "/r") right ~down:merge_down in
       let input = new_port ~capacity:eng.capacity () in
+      (* The entry sends error records directly to the merge point, so
+         it holds its own producer reference on it. *)
+      add_producer merge_down;
       add_producer cl;
       add_producer cr;
       spawn_thread eng (fun () ->
           let rec loop () =
             match recv input with
-            | None ->
+            | `Closed ->
+                release_producer merge_down;
                 release_producer cl;
                 release_producer cr
-            | Some (Complete _) ->
+            | `Msg (Complete _) ->
                 record_error eng (Failure "Engine_thread(choice): stray Complete");
                 loop ()
-            | Some (Data (meta, r)) ->
+            | `Msg (Data (meta, r)) ->
                 let meta =
                   match region with
                   | None -> meta
                   | Some rg -> Detmerge.stamp rg meta
                 in
+                if Supervise.is_error r then begin
+                  (* Bypass: straight to the merge point, stamped so a
+                     deterministic merge keeps its position. *)
+                  send merge_down (Data (meta, r));
+                  loop ()
+                end
+                else begin
                 let sl = Rectype.match_score left_in r in
                 let sr = Rectype.match_score right_in r in
                 (match (sl, sr) with
@@ -255,6 +280,7 @@ let rec build eng path net ~down : port =
                     if a >= b then send cl (Data (meta, r))
                     else send cr (Data (meta, r)));
                 loop ()
+                end
           in
           loop ());
       input
@@ -274,13 +300,23 @@ let rec build eng path net ~down : port =
       spawn_thread eng (fun () ->
           let rec loop () =
             match recv input with
-            | None ->
+            | `Closed ->
                 Hashtbl.iter (fun _ p -> release_producer p) replicas;
                 release_producer merge_down
-            | Some (Complete _) ->
+            | `Msg (Complete _) ->
                 record_error eng (Failure "Engine_thread(split): stray Complete");
                 loop ()
-            | Some (Data (meta, r)) -> (
+            | `Msg (Data (meta, r)) when Supervise.is_error r ->
+                (* Straight to the merge point: an error record may
+                   well lack the routing tag. *)
+                let meta =
+                  match region with
+                  | None -> meta
+                  | Some rg -> Detmerge.stamp rg meta
+                in
+                send merge_down (Data (meta, r));
+                loop ()
+            | `Msg (Data (meta, r)) -> (
                 match Record.tag tag r with
                 | None ->
                     record_error eng
@@ -330,22 +366,24 @@ let rec build eng path net ~down : port =
         spawn_thread eng (fun () ->
             let rec loop () =
               match recv input with
-              | None ->
+              | `Closed ->
                   Option.iter release_producer !next_stage;
                   release_producer exit_target
-              | Some (Complete _) ->
+              | `Msg (Complete _) ->
                   record_error eng
                     (Failure
                        (Printf.sprintf "Engine_thread(%s): stray Complete"
                           tap_path));
                   loop ()
-              | Some (Data (meta, r)) ->
+              | `Msg (Data (meta, r)) ->
                   let meta =
                     match region with
                     | Some rg when d = 0 -> Detmerge.stamp rg meta
                     | _ -> meta
                   in
-                  if Pattern.matches exit r then
+                  (* An error record exits at the next tap; looping it
+                     back would unfold stages forever. *)
+                  if Supervise.is_error r || Pattern.matches exit r then
                     send exit_target (Data (meta, r))
                   else begin
                     let stage =
@@ -372,8 +410,13 @@ let rec build eng path net ~down : port =
       in
       make_tap 0
 
-let start ?(capacity = 64) ?observer ?stats net =
+let start ?(capacity = 64) ?observer ?stats ?supervision net =
   if capacity < 1 then invalid_arg "Engine_thread.start: capacity < 1";
+  let net =
+    match supervision with
+    | Some config -> Net.with_supervision config net
+    | None -> net
+  in
   let istats = match stats with Some s -> s | None -> Stats.create () in
   let eng =
     {
@@ -428,13 +471,13 @@ let finish eng =
   (* Drain the output stream until the close cascades through. *)
   let rec drain acc =
     match recv eng.output with
-    | None -> List.rev acc
-    | Some (Data (meta, r)) ->
+    | `Closed -> List.rev acc
+    | `Msg (Data (meta, r)) ->
         if meta.Detmerge.tokens <> [] then
           record_error eng
             (Failure "Engine_thread(output): unclosed deterministic region");
         drain (r :: acc)
-    | Some (Complete _) ->
+    | `Msg (Complete _) ->
         record_error eng (Failure "Engine_thread(output): stray Complete");
         drain acc
   in
@@ -457,8 +500,8 @@ let finish eng =
 
 let stats eng = Stats.snapshot eng.istats
 
-let run ?capacity ?observer ?stats net inputs =
-  let eng = start ?capacity ?observer ?stats net in
+let run ?capacity ?observer ?stats ?supervision net inputs =
+  let eng = start ?capacity ?observer ?stats ?supervision net in
   (* Feed from a helper thread: with bounded channels the network can
      push back before the caller reaches [finish]. *)
   let feeder =

@@ -8,7 +8,8 @@
       input channel;
     - channels are bounded, so the network exerts {e backpressure}: a
       fast producer stalls until downstream catches up (the actor
-      engine's mailboxes are unbounded);
+      engine bounds its mailboxes the same way, with helping instead
+      of blocking);
     - serial and parallel replicators still unfold on demand — a new
       pipeline stage or replica brings a new thread;
     - termination is by end-of-stream propagation with producer
@@ -20,9 +21,13 @@
     actor engine, so deterministic networks again reproduce
     {!Engine_seq}'s output exactly.
 
-    An exception escaping a box is recorded (first one wins); the
-    failing component then drains and discards its remaining input so
-    the network still shuts down cleanly, and {!finish} re-raises. *)
+    Boxes run under their {!Supervise.config}: under [Fail_fast] an
+    escaping exception is recorded (first one wins), the failing
+    component degrades to a drain so the network still shuts down
+    cleanly, and {!finish} re-raises; under [Error_record]/[Retry] the
+    failure becomes an error record that bypasses the remaining
+    components (direct edge to the merge point of a choice or split,
+    out through the tap of a star). *)
 
 type observer = edge:string -> Record.t -> unit
 
@@ -32,10 +37,12 @@ val start :
   ?capacity:int ->
   ?observer:observer ->
   ?stats:Stats.t ->
+  ?supervision:Supervise.config ->
   Net.t ->
   instance
 (** Spawn the initial component threads. [capacity] (default 64) is the
-    bound of every internal channel. *)
+    bound of every internal channel. [supervision], when given,
+    overrides every box's own config ({!Net.with_supervision}). *)
 
 val feed : instance -> Record.t -> unit
 (** Inject one record. May block when the network is backed up — this
@@ -52,6 +59,7 @@ val run :
   ?capacity:int ->
   ?observer:observer ->
   ?stats:Stats.t ->
+  ?supervision:Supervise.config ->
   Net.t ->
   Record.t list ->
   Record.t list

@@ -68,6 +68,19 @@ let rec iter_components f t =
   | Star { body; _ } | Split { body; _ } | Observe { body; _ } ->
       iter_components f body
 
+let rec map_boxes f = function
+  | Box b -> Box (f b)
+  | (Filter _ | Sync _) as leaf -> leaf
+  | Serial (a, b) -> Serial (map_boxes f a, map_boxes f b)
+  | Choice { left; right; det } ->
+      Choice { left = map_boxes f left; right = map_boxes f right; det }
+  | Star { body; exit; det } -> Star { body = map_boxes f body; exit; det }
+  | Split { body; tag; det } -> Split { body = map_boxes f body; tag; det }
+  | Observe { tag; body } -> Observe { tag; body = map_boxes f body }
+
+let with_supervision config t =
+  map_boxes (Box.with_supervision config) t
+
 let count_boxes t =
   let n = ref 0 in
   iter_components

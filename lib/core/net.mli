@@ -81,6 +81,16 @@ module Infix : sig
   (** Deterministic parallel composition. *)
 end
 
+(** {1 Transformation} *)
+
+val map_boxes : (Box.t -> Box.t) -> t -> t
+(** Rebuild the network with every box replaced. *)
+
+val with_supervision : Supervise.config -> t -> t
+(** Impose one supervision config on every box in the network (the
+    CLI's [--on-error]); per-box configs set at {!Box.make} time are
+    overwritten. *)
+
 (** {1 Inspection} *)
 
 val to_string : t -> string

@@ -33,6 +33,7 @@ module Variant = struct
       vtags = SSet.of_list (Record.tag_labels r);
     }
 
+  let has_tag tag v = SSet.mem tag v.vtags
   let accepts v r = subtype (of_record r) v
 
   let match_score v r = if accepts v r then Some (arity v) else None

@@ -26,6 +26,9 @@ module Variant : sig
   (** [subtype v w]: [v] is a subtype of [w], i.e. [w]'s labels are a
       subset of [v]'s. *)
 
+  val has_tag : string -> t -> bool
+  (** The variant carries the given tag label. *)
+
   val of_record : Record.t -> t
   val accepts : t -> Record.t -> bool
   (** [accepts v r]: the record has at least [v]'s labels — it can be

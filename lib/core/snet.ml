@@ -52,6 +52,7 @@ module Engine_conc = Engine_conc
 module Engine_thread = Engine_thread
 module Detmerge = Detmerge
 module Errors = Errors
+module Supervise = Supervise
 
 (** Convenience builders used by examples and tests. *)
 

@@ -6,6 +6,10 @@ type t = {
   max_star_depth : int Atomic.t;
   split_replicas : int Atomic.t;
   instances : int Atomic.t;
+  box_errors : int Atomic.t;
+  box_retries : int Atomic.t;
+  box_timeouts : int Atomic.t;
+  backpressure_stalls : int Atomic.t;
   sched_tasks : int Atomic.t;
   sched_steals : int Atomic.t;
   sched_parks : int Atomic.t;
@@ -21,6 +25,10 @@ let create () =
     max_star_depth = Atomic.make 0;
     split_replicas = Atomic.make 0;
     instances = Atomic.make 0;
+    box_errors = Atomic.make 0;
+    box_retries = Atomic.make 0;
+    box_timeouts = Atomic.make 0;
+    backpressure_stalls = Atomic.make 0;
     sched_tasks = Atomic.make 0;
     sched_steals = Atomic.make 0;
     sched_parks = Atomic.make 0;
@@ -41,6 +49,12 @@ let record_star_stage t ~depth =
 
 let record_split_replica t = Atomic.incr t.split_replicas
 let record_instance t = Atomic.incr t.instances
+let record_box_error t = Atomic.incr t.box_errors
+let record_box_retry t = Atomic.incr t.box_retries
+let record_box_timeout t = Atomic.incr t.box_timeouts
+
+let record_backpressure t n =
+  ignore (Atomic.fetch_and_add t.backpressure_stalls n)
 
 let record_scheduler t ~tasks ~steals ~parks ~splits =
   ignore (Atomic.fetch_and_add t.sched_tasks tasks);
@@ -56,6 +70,10 @@ type snapshot = {
   max_star_depth : int;
   split_replicas : int;
   instances : int;
+  box_errors : int;
+  box_retries : int;
+  box_timeouts : int;
+  backpressure_stalls : int;
   sched_tasks : int;
   sched_steals : int;
   sched_parks : int;
@@ -71,6 +89,10 @@ let snapshot (t : t) : snapshot =
     max_star_depth = Atomic.get t.max_star_depth;
     split_replicas = Atomic.get t.split_replicas;
     instances = Atomic.get t.instances;
+    box_errors = Atomic.get t.box_errors;
+    box_retries = Atomic.get t.box_retries;
+    box_timeouts = Atomic.get t.box_timeouts;
+    backpressure_stalls = Atomic.get t.backpressure_stalls;
     sched_tasks = Atomic.get t.sched_tasks;
     sched_steals = Atomic.get t.sched_steals;
     sched_parks = Atomic.get t.sched_parks;
@@ -79,7 +101,8 @@ let snapshot (t : t) : snapshot =
 
 let pp fmt s =
   Format.fprintf fmt
-    "@[<v>box invocations:    %d@,filter invocations: %d@,records emitted:    %d@,star stages:        %d@,max star depth:     %d@,split replicas:     %d@,instances:          %d@,scheduler tasks:    %d@,scheduler steals:   %d@,scheduler parks:    %d@,scheduler splits:   %d@]"
+    "@[<v>box invocations:    %d@,filter invocations: %d@,records emitted:    %d@,star stages:        %d@,max star depth:     %d@,split replicas:     %d@,instances:          %d@,box errors:         %d@,box retries:        %d@,box timeouts:       %d@,backpressure stalls:%d@,scheduler tasks:    %d@,scheduler steals:   %d@,scheduler parks:    %d@,scheduler splits:   %d@]"
     s.box_invocations s.filter_invocations s.records_emitted s.star_stages
-    s.max_star_depth s.split_replicas s.instances s.sched_tasks s.sched_steals
+    s.max_star_depth s.split_replicas s.instances s.box_errors s.box_retries
+    s.box_timeouts s.backpressure_stalls s.sched_tasks s.sched_steals
     s.sched_parks s.sched_splits

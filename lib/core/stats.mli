@@ -24,6 +24,20 @@ val record_split_replica : t -> unit
 val record_instance : t -> unit
 (** A component instance (actor or interpreter node) was created. *)
 
+val record_box_error : t -> unit
+(** A box invocation ended in failure after supervision was exhausted
+    (raised under [Fail_fast], or was converted to an error record). *)
+
+val record_box_retry : t -> unit
+(** A failed box invocation was re-attempted under [Retry]. *)
+
+val record_box_timeout : t -> unit
+(** A box invocation exceeded its per-box time budget. *)
+
+val record_backpressure : t -> int -> unit
+(** Accumulate producer stalls: sends that found a bounded mailbox
+    full and had to park until the consumer drained. *)
+
 val record_scheduler :
   t -> tasks:int -> steals:int -> parks:int -> splits:int -> unit
 (** Accumulate scheduler activity (deltas of {!Scheduler.Pool.stats}
@@ -44,6 +58,10 @@ type snapshot = {
   max_star_depth : int;  (** Deepest star replica instantiated. *)
   split_replicas : int;  (** Split replicas instantiated, all splits summed. *)
   instances : int;  (** Component instances created. *)
+  box_errors : int;  (** Box failures after supervision was exhausted. *)
+  box_retries : int;  (** Failed invocations re-attempted under [Retry]. *)
+  box_timeouts : int;  (** Invocations that exceeded their time budget. *)
+  backpressure_stalls : int;  (** Sends parked on a full bounded mailbox. *)
   sched_tasks : int;  (** Pool tasks executed during the run. *)
   sched_steals : int;  (** Successful work steals during the run. *)
   sched_parks : int;  (** Worker park (sleep) events during the run. *)

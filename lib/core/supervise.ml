@@ -1,0 +1,132 @@
+type policy =
+  | Fail_fast
+  | Error_record
+  | Retry of int
+
+type config = {
+  policy : policy;
+  timeout : float option;
+}
+
+let default = { policy = Fail_fast; timeout = None }
+
+let make ?(policy = Fail_fast) ?timeout () =
+  (match policy with
+  | Retry n when n < 0 -> invalid_arg "Supervise.make: negative retry count"
+  | _ -> ());
+  (match timeout with
+  | Some t when t <= 0. -> invalid_arg "Supervise.make: non-positive timeout"
+  | _ -> ());
+  { policy; timeout }
+
+exception Box_timeout of {
+  box : string;
+  elapsed : float;
+  budget : float;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Box_timeout { box; elapsed; budget } ->
+        Some
+          (Printf.sprintf "Box_timeout(box %s took %.3fs, budget %.3fs)" box
+             elapsed budget)
+    | _ -> None)
+
+let error_tag = "error"
+let msg_field = "error_msg"
+let box_field = "error_box"
+let msg_key : string Value.Key.key = Value.Key.create ~to_string:Fun.id "error_msg"
+
+let error_record ~box ~input exn =
+  input
+  |> Record.with_tag error_tag 1
+  |> Record.with_field msg_field (Value.inject msg_key (Printexc.to_string exn))
+  |> Record.with_field box_field (Value.inject msg_key box)
+
+let is_error r = Record.has_tag error_tag r
+
+let error_message r =
+  Option.bind (Record.field msg_field r) (Value.project msg_key)
+
+let error_origin r =
+  Option.bind (Record.field box_field r) (Value.project msg_key)
+
+type outcome =
+  | Emit of Record.t list
+  | Fail of exn
+
+(* Post-hoc timeout: OCaml gives us no safe way to preempt a running
+   box, so the budget is enforced cooperatively — time the call and
+   discard over-budget results. A box stuck in an infinite loop still
+   hangs its carrier thread; the budget is for slow records, not for
+   divergence. *)
+let timed config ~stats ~name f r =
+  match config.timeout with
+  | None -> f r
+  | Some budget ->
+      let t0 = Unix.gettimeofday () in
+      let out = f r in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if elapsed > budget then begin
+        Stats.record_box_timeout stats;
+        raise (Box_timeout { box = name; elapsed; budget })
+      end;
+      out
+
+(* 1ms, 2ms, 4ms, ... capped at 50ms: enough to ride out transient
+   contention without turning a retry burst into a stall. *)
+let backoff attempt =
+  Thread.delay (min 0.05 (0.001 *. float_of_int (1 lsl min attempt 6)))
+
+(* Top-level so the per-invocation path allocates nothing: a local
+   [let rec] closure here showed up as measurable overhead on the
+   no-failure benchmark path. *)
+let rec attempt config ~stats ~name ~retries f r k =
+  match timed config ~stats ~name f r with
+  | out -> Emit out
+  | exception e ->
+      if k < retries then begin
+        Stats.record_box_retry stats;
+        backoff k;
+        attempt config ~stats ~name ~retries f r (k + 1)
+      end
+      else begin
+        Stats.record_box_error stats;
+        match config.policy with
+        | Fail_fast -> Fail e
+        | Error_record | Retry _ -> Emit [ error_record ~box:name ~input:r e ]
+      end
+
+let supervise config ~stats ~name f r =
+  match (config.policy, config.timeout) with
+  | Fail_fast, None -> (
+      (* Fast path: the default config must cost no more than the
+         unsupervised call (the acceptance bar is <=10% on the
+         no-failure path). *)
+      match f r with
+      | out -> Emit out
+      | exception e ->
+          Stats.record_box_error stats;
+          Fail e)
+  | policy, _ ->
+      let retries = match policy with Retry n -> n | _ -> 0 in
+      attempt config ~stats ~name ~retries f r 0
+
+let policy_to_string = function
+  | Fail_fast -> "fail"
+  | Error_record -> "error-record"
+  | Retry n -> Printf.sprintf "retry:%d" n
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fail" | "fail-fast" | "fail_fast" -> Ok Fail_fast
+  | "error-record" | "error_record" | "record" -> Ok Error_record
+  | s when String.length s > 6 && String.sub s 0 6 = "retry:" -> (
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some n when n >= 0 -> Ok (Retry n)
+      | _ -> Error (Printf.sprintf "invalid retry count in %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown policy %S (expected fail | error-record | retry:<n>)" s)

@@ -4,10 +4,23 @@ type entry = {
   record : Record.t;
 }
 
+(* Substring search without allocating a [String.sub] per candidate
+   position: compare characters in place, resuming the outer scan at
+   the first mismatch. Edge names are short, so the naive O(n·m) scan
+   beats KMP's preprocessing; the allocation was the real cost. *)
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
-  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
+  if nl = 0 then true
+  else begin
+    let matches_at i =
+      let rec eq j =
+        j >= nl || (needle.[j] = haystack.[i + j] && eq (j + 1))
+      in
+      eq 0
+    in
+    let rec go i = i + nl <= hl && (matches_at i || go (i + 1)) in
+    go 0
+  end
 
 let recorder () =
   let mutex = Mutex.create () in

@@ -12,6 +12,10 @@ type entry = {
   record : Record.t;
 }
 
+val contains : needle:string -> string -> bool
+(** Allocation-free substring test; the edge matcher behind {!on_edge}
+    and {!records_on}. *)
+
 val recorder : unit -> (edge:string -> Record.t -> unit) * (unit -> entry list)
 (** [let observer, entries = recorder ()]: a thread-safe observer that
     records every event; [entries ()] returns them in arrival order.

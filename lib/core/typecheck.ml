@@ -170,7 +170,13 @@ let rec flow given net =
   Rectype.normalise out
 
 and flow_variant v net =
-  match net with
+  (* Error records bypass every component: the engines forward them
+     unchanged (straight to the merge point of a choice or split, out
+     through the tap of a star), so at the type level an error-tagged
+     variant flows through any net as itself. *)
+  if Rectype.Variant.has_tag Supervise.error_tag v then [ v ]
+  else
+    match net with
   | Net.Box b -> flow_leaf v net (Box.signature b)
   | Net.Filter f -> flow_leaf v net (Filter.signature f)
   | Net.Sync patterns ->

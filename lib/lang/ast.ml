@@ -38,6 +38,10 @@ type box_decl = {
   box_name : string;
   box_input : label list;
   box_outputs : label list list;
+  box_timeout_ms : int option;
+      (** [timeout <ms>] attribute: per-invocation budget. *)
+  box_policy : Snet.Supervise.policy option;
+      (** [onerror fail | record | retry <n>] attribute. *)
 }
 
 type net_def = {
@@ -100,8 +104,20 @@ let rec expr_to_string = function
 
 let box_decl_to_string b =
   let tuple ls = "(" ^ String.concat "," (List.map label_to_string ls) ^ ")" in
-  Printf.sprintf "box %s (%s -> %s);" b.box_name (tuple b.box_input)
+  let attrs =
+    (match b.box_timeout_ms with
+    | Some ms -> Printf.sprintf " timeout %d" ms
+    | None -> "")
+    ^
+    match b.box_policy with
+    | Some Snet.Supervise.Fail_fast -> " onerror fail"
+    | Some Snet.Supervise.Error_record -> " onerror record"
+    | Some (Snet.Supervise.Retry n) -> Printf.sprintf " onerror retry %d" n
+    | None -> ""
+  in
+  Printf.sprintf "box %s (%s -> %s)%s;" b.box_name (tuple b.box_input)
     (String.concat " | " (List.map tuple b.box_outputs))
+    attrs
 
 let rec net_to_string ?(indent = "") nd =
   let buf = Buffer.create 128 in

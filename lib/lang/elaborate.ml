@@ -33,6 +33,16 @@ let check_box_signature (decl : Ast.box_decl) box =
     fail "box %s: registered implementation %s does not match declaration"
       decl.Ast.box_name (Snet.Box.to_string box)
 
+(* Apply the declaration's supervision attributes to the registered
+   implementation; attribute-free declarations keep the box's own
+   config. *)
+let apply_attrs (decl : Ast.box_decl) box =
+  match (decl.Ast.box_policy, decl.Ast.box_timeout_ms) with
+  | None, None -> box
+  | policy, ms ->
+      let timeout = Option.map (fun n -> float_of_int n /. 1000.) ms in
+      Snet.Box.with_supervision (Snet.Supervise.make ?policy ?timeout ()) box
+
 let rec expr_to_net registry ~declared e =
   let recurse = expr_to_net registry ~declared in
   match e with
@@ -58,7 +68,7 @@ let rec elaborate_net lookup_box (nd : Ast.net_def) =
             if List.mem_assoc b.Ast.box_name declared then
               fail "net %s: duplicate declaration of %s" nd.Ast.net_name
                 b.Ast.box_name;
-            let box = lookup_box b in
+            let box = apply_attrs b (lookup_box b) in
             (b.Ast.box_name, Snet.Net.box box) :: declared
         | Ast.DNet inner ->
             if List.mem_assoc inner.Ast.net_name declared then

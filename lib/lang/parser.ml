@@ -328,8 +328,57 @@ let parse_box_decl st : Ast.box_decl =
     outputs := parse_tuple st :: !outputs
   done;
   expect st Token.RPAREN "box signature";
+  (* Optional supervision attributes before the semicolon:
+     [timeout <ms>] and [onerror fail | record | retry <n>]. These are
+     contextual keywords, not reserved words. *)
+  let rec attrs timeout policy =
+    match peek st with
+    | Token.IDENT "timeout" ->
+        if timeout <> None then error st "duplicate timeout attribute";
+        advance st;
+        (match peek st with
+        | Token.INT ms when ms > 0 ->
+            advance st;
+            attrs (Some ms) policy
+        | t ->
+            error st
+              ("expected a positive millisecond count after timeout, found "
+              ^ Token.to_string t))
+    | Token.IDENT "onerror" ->
+        if policy <> None then error st "duplicate onerror attribute";
+        advance st;
+        (match peek st with
+        | Token.IDENT "fail" ->
+            advance st;
+            attrs timeout (Some Snet.Supervise.Fail_fast)
+        | Token.IDENT "record" ->
+            advance st;
+            attrs timeout (Some Snet.Supervise.Error_record)
+        | Token.IDENT "retry" -> (
+            advance st;
+            match peek st with
+            | Token.INT n when n >= 0 ->
+                advance st;
+                attrs timeout (Some (Snet.Supervise.Retry n))
+            | t ->
+                error st
+                  ("expected a retry count after retry, found "
+                  ^ Token.to_string t))
+        | t ->
+            error st
+              ("expected fail, record or retry after onerror, found "
+              ^ Token.to_string t))
+    | _ -> (timeout, policy)
+  in
+  let box_timeout_ms, box_policy = attrs None None in
   expect st Token.SEMI "box declaration";
-  { Ast.box_name = name; box_input = input; box_outputs = List.rev !outputs }
+  {
+    Ast.box_name = name;
+    box_input = input;
+    box_outputs = List.rev !outputs;
+    box_timeout_ms;
+    box_policy;
+  }
 
 let rec parse_net st : Ast.net_def =
   expect st Token.KW_NET "net definition";

@@ -1,27 +1,35 @@
 type system = {
   pool : Scheduler.Pool.t;
   batch : int;
+  mailbox : int;
   mutex : Mutex.t;
   quiescent : Condition.t;
   mutable in_flight : int;
   mutable first_error : exn option;
   next_id : int Atomic.t;
+  stalls : int Atomic.t;
 }
 
-let system ?pool ?(batch = 64) () =
+let default_mailbox = 1024
+
+let system ?pool ?(batch = 64) ?(mailbox = default_mailbox) () =
   if batch < 1 then invalid_arg "Actors.system: batch < 1";
+  if mailbox < 1 then invalid_arg "Actors.system: mailbox < 1";
   let pool = match pool with Some p -> p | None -> Scheduler.Pool.default () in
   {
     pool;
     batch;
+    mailbox;
     mutex = Mutex.create ();
     quiescent = Condition.create ();
     in_flight = 0;
     first_error = None;
     next_id = Atomic.make 0;
+    stalls = Atomic.make 0;
   }
 
 let pool sys = sys.pool
+let stalls sys = Atomic.get sys.stalls
 
 let message_sent sys =
   Mutex.lock sys.mutex;
@@ -49,6 +57,11 @@ type 'm t = {
      [qmutex] so the schedule/idle transition and queue emptiness are
      decided atomically. *)
   mutable active : bool;
+  (* Thread currently running this actor's handler, if any. Written by
+     the activation around each handler call; read by [send] to detect
+     a self-send. A racy read is harmless: only the handler's own
+     thread can ever observe its own id here. *)
+  mutable running_thread : int option;
 }
 
 let spawn sys ?name handler =
@@ -63,14 +76,21 @@ let spawn sys ?name handler =
     qmutex = Mutex.create ();
     queue = Queue.create ();
     active = false;
+    running_thread = None;
   }
 
 let name a = a.actor_name
+let mailbox_length a =
+  Mutex.lock a.qmutex;
+  let n = Queue.length a.queue in
+  Mutex.unlock a.qmutex;
+  n
 
 (* Handle up to [sys.batch] messages per pool activation, then yield
    the worker so that long message trains cannot starve other
    actors. *)
 let rec activation a () =
+  let self = Thread.id (Thread.self ()) in
   let rec step budget =
     let msg =
       Mutex.lock a.qmutex;
@@ -82,7 +102,9 @@ let rec activation a () =
     match msg with
     | None -> ()
     | Some m ->
+        a.running_thread <- Some self;
         (try a.handler m with e -> record_error a.sys e);
+        a.running_thread <- None;
         message_done a.sys;
         if budget > 1 then step (budget - 1)
         else begin
@@ -96,14 +118,38 @@ let rec activation a () =
   in
   step a.sys.batch
 
+(* Credit-based backpressure: a send finding the mailbox at capacity
+   does not grow it; the producer parks and repays its debt by
+   executing queued activations ([Pool.help]) until the consumer
+   drains. Because the unfolded network graph is acyclic and the
+   output sinks never block, some helped activation always makes
+   progress, so this cannot deadlock. The one cycle — an actor
+   sending to itself from its own handler, whose queue only drains
+   after that very handler returns — is detected via
+   [running_thread] and admitted past the bound. *)
 let send a m =
   message_sent a.sys;
-  Mutex.lock a.qmutex;
-  Queue.push m a.queue;
-  let need_schedule = not a.active in
-  if need_schedule then a.active <- true;
-  Mutex.unlock a.qmutex;
-  if need_schedule then Scheduler.Pool.post a.sys.pool (activation a)
+  let self = Thread.id (Thread.self ()) in
+  let rec try_enqueue stalled =
+    Mutex.lock a.qmutex;
+    if
+      Queue.length a.queue >= a.sys.mailbox
+      && a.running_thread <> Some self
+    then begin
+      Mutex.unlock a.qmutex;
+      if not stalled then ignore (Atomic.fetch_and_add a.sys.stalls 1);
+      if not (Scheduler.Pool.help a.sys.pool) then Domain.cpu_relax ();
+      try_enqueue true
+    end
+    else begin
+      Queue.push m a.queue;
+      let need_schedule = not a.active in
+      if need_schedule then a.active <- true;
+      Mutex.unlock a.qmutex;
+      if need_schedule then Scheduler.Pool.post a.sys.pool (activation a)
+    end
+  in
+  try_enqueue false
 
 let await_quiescence sys =
   (* On a pool without worker domains the caller must execute the

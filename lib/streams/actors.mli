@@ -17,18 +17,33 @@
       sent from inside handlers);
     - containment: an exception escaping a handler is recorded (first
       one wins) and re-raised by {!await_quiescence}; the message is
-      still accounted as handled so the system cannot hang. *)
+      still accounted as handled so the system cannot hang;
+    - bounded mailboxes: each mailbox holds at most [mailbox] messages.
+      A {!send} finding the mailbox full parks the producer, which
+      repays its debt by running queued activations until the consumer
+      drains — credit-based backpressure instead of unbounded queue
+      growth (the S-Net-vs-CnC evaluation attributes S-Net's throughput
+      collapse under load to exactly that unbounded buffering). The
+      only send admitted past the bound is an actor messaging itself
+      from its own handler, whose queue cannot drain until the handler
+      returns. *)
 
 type system
 
-val system : ?pool:Scheduler.Pool.t -> ?batch:int -> unit -> system
+val system :
+  ?pool:Scheduler.Pool.t -> ?batch:int -> ?mailbox:int -> unit -> system
 (** Actors of this system run on [pool] (default:
     {!Scheduler.Pool.default}[ ()]). [batch] (default 64) is the
     maximum number of messages one activation handles before yielding
     its worker — the fairness/throughput trade-off measured by the
-    [ablation] benchmark. *)
+    [ablation] benchmark. [mailbox] (default 1024, at least 1) bounds
+    every actor's queue. *)
 
 val pool : system -> Scheduler.Pool.t
+
+val stalls : system -> int
+(** Number of sends so far that found a full mailbox and had to park
+    (monotonic; each blocked send counts once however long it waits). *)
 
 type 'm t
 (** An actor accepting messages of type ['m]. *)
@@ -38,9 +53,15 @@ val spawn : system -> ?name:string -> ('m -> unit) -> 'm t
     handler may {!send} to any actor, including itself. *)
 
 val send : 'm t -> 'm -> unit
-(** Enqueue a message and schedule the actor. Never blocks. *)
+(** Enqueue a message and schedule the actor. Blocks (helping the pool)
+    while the target mailbox is full, except for a handler sending to
+    its own actor. *)
 
 val name : 'm t -> string
+
+val mailbox_length : 'm t -> int
+(** Racy snapshot of this actor's queued message count; at most the
+    system's [mailbox] bound except transiently for self-sends. *)
 
 val await_quiescence : system -> unit
 (** Block the calling thread until no message is pending or being

@@ -38,17 +38,27 @@ let recv t =
   while Queue.is_empty t.queue && not t.closed do
     Condition.wait t.not_empty t.mutex
   done;
-  let v = Queue.take_opt t.queue in
-  if v <> None then Condition.signal t.not_full;
+  let r =
+    match Queue.take_opt t.queue with
+    | Some v ->
+        Condition.signal t.not_full;
+        `Msg v
+    | None -> `Closed
+  in
   Mutex.unlock t.mutex;
-  v
+  r
 
 let try_recv t =
   Mutex.lock t.mutex;
-  let v = Queue.take_opt t.queue in
-  if v <> None then Condition.signal t.not_full;
+  let r =
+    match Queue.take_opt t.queue with
+    | Some v ->
+        Condition.signal t.not_full;
+        `Msg v
+    | None -> if t.closed then `Closed else `Empty
+  in
   Mutex.unlock t.mutex;
-  v
+  r
 
 let close t =
   Mutex.lock t.mutex;
@@ -72,13 +82,15 @@ let length t =
 let to_list t =
   let rec go acc =
     match recv t with
-    | Some v -> go (v :: acc)
-    | None -> List.rev acc
+    | `Msg v -> go (v :: acc)
+    | `Closed -> List.rev acc
   in
   go []
 
-let of_list ?(close = true) xs =
-  let t = create ~capacity:(max 1 (List.length xs)) () in
+let of_list ?close:(close_it = true) xs =
+  (* Leave headroom above the prefill so an unclosed channel stays
+     usable without draining first. *)
+  let t = create ~capacity:(max 16 (2 * List.length xs)) () in
   List.iter (fun x -> send t x) xs;
-  if close then t.closed <- true;
+  if close_it then close t;
   t

@@ -5,7 +5,11 @@
     block when the channel is full, consumers block when it is empty,
     and {!close} lets consumers observe end-of-stream after the buffer
     drains. Internal network edges use actor mailboxes instead
-    ({!Actors}). *)
+    ({!Actors}).
+
+    Receive results distinguish the three consumer-visible states —
+    a message, a transiently empty buffer, and end-of-stream — so
+    consumers never have to guess whether a producer is merely slow. *)
 
 type 'a t
 
@@ -16,18 +20,20 @@ val create : ?capacity:int -> unit -> 'a t
 (** [capacity] (default 1024) must be at least 1. *)
 
 val send : 'a t -> 'a -> unit
-(** Block while full. @raise Closed if the channel was closed. *)
+(** Block while full. @raise Closed if the channel was closed (also
+    when the close happens while blocked waiting for space). *)
 
-val recv : 'a t -> 'a option
-(** Block while empty; [None] once the channel is closed {e and}
-    drained. *)
+val recv : 'a t -> [ `Closed | `Msg of 'a ]
+(** Block while empty and open; [`Closed] once the channel is closed
+    {e and} drained. Never returns while the buffer is merely empty. *)
 
-val try_recv : 'a t -> 'a option
-(** Non-blocking receive; [None] when currently empty (closed or
-    not). *)
+val try_recv : 'a t -> [ `Closed | `Empty | `Msg of 'a ]
+(** Non-blocking receive: [`Empty] when the channel is open but has
+    nothing buffered (a slow producer), [`Closed] at end-of-stream. *)
 
 val close : 'a t -> unit
-(** Idempotent. Buffered elements remain receivable. *)
+(** Idempotent. Buffered elements remain receivable; blocked senders
+    wake and raise {!Closed}, blocked receivers wake and drain. *)
 
 val is_closed : 'a t -> bool
 
@@ -39,5 +45,6 @@ val to_list : 'a t -> 'a list
     be closed by its producer. *)
 
 val of_list : ?close:bool -> 'a list -> 'a t
-(** A channel pre-filled with the list (capacity grows to fit), closed
-    afterwards unless [~close:false]. *)
+(** A channel pre-filled with the list (capacity is sized with
+    headroom above the list), closed afterwards unless [~close:false].
+    The close goes through {!close} so blocked peers observe it. *)

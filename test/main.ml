@@ -32,4 +32,5 @@ let () =
       ("sudoku", Test_sudoku.suite);
       ("networks", Test_networks.suite);
       ("propagate", Test_propagate.suite);
+      ("faults", Test_faults.suite);
     ]

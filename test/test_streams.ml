@@ -8,13 +8,23 @@ let with_pool n f =
   Fun.protect ~finally:(fun () -> Scheduler.Pool.shutdown pool) (fun () ->
       f pool)
 
+(* Collapse the structured receive results for option-based checks. *)
+let recv_opt ch = match Channel.recv ch with `Msg v -> Some v | `Closed -> None
+
+let rstate = Alcotest.testable
+    (fun fmt -> function
+      | `Closed -> Format.pp_print_string fmt "`Closed"
+      | `Empty -> Format.pp_print_string fmt "`Empty"
+      | `Msg v -> Format.fprintf fmt "`Msg %d" v)
+    ( = )
+
 let test_channel_fifo () =
   let ch = Channel.create () in
   Channel.send ch 1;
   Channel.send ch 2;
   Channel.send ch 3;
-  Alcotest.(check (option int)) "first" (Some 1) (Channel.recv ch);
-  Alcotest.(check (option int)) "second" (Some 2) (Channel.recv ch);
+  Alcotest.(check (option int)) "first" (Some 1) (recv_opt ch);
+  Alcotest.(check (option int)) "second" (Some 2) (recv_opt ch);
   Alcotest.(check int) "length" 1 (Channel.length ch)
 
 let test_channel_close () =
@@ -24,15 +34,21 @@ let test_channel_close () =
   Alcotest.(check bool) "closed" true (Channel.is_closed ch);
   Alcotest.(check bool) "send after close" true
     (try Channel.send ch 2; false with Channel.Closed -> true);
-  Alcotest.(check (option int)) "buffered survives" (Some 1) (Channel.recv ch);
-  Alcotest.(check (option int)) "then end of stream" None (Channel.recv ch);
+  Alcotest.(check (option int)) "buffered survives" (Some 1) (recv_opt ch);
+  Alcotest.(check (option int)) "then end of stream" None (recv_opt ch);
   Channel.close ch (* idempotent *)
 
 let test_channel_try_recv () =
   let ch = Channel.create () in
-  Alcotest.(check (option int)) "empty" None (Channel.try_recv ch);
+  (* Open-but-empty and closed are distinct results: a consumer can
+     tell a slow producer from end-of-stream. *)
+  Alcotest.check rstate "empty" `Empty (Channel.try_recv ch);
   Channel.send ch 5;
-  Alcotest.(check (option int)) "nonempty" (Some 5) (Channel.try_recv ch)
+  Alcotest.check rstate "nonempty" (`Msg 5) (Channel.try_recv ch);
+  Channel.send ch 6;
+  Channel.close ch;
+  Alcotest.check rstate "buffered after close" (`Msg 6) (Channel.try_recv ch);
+  Alcotest.check rstate "end of stream" `Closed (Channel.try_recv ch)
 
 let test_channel_lists () =
   let ch = Channel.of_list [ 1; 2; 3 ] in
@@ -42,7 +58,7 @@ let test_channel_blocking () =
   (* A consumer thread blocks until the producer sends. *)
   let ch = Channel.create ~capacity:1 () in
   let got = ref None in
-  let consumer = Thread.create (fun () -> got := Channel.recv ch) () in
+  let consumer = Thread.create (fun () -> got := recv_opt ch) () in
   Thread.delay 0.02;
   Channel.send ch 99;
   Thread.join consumer;
@@ -59,7 +75,7 @@ let test_channel_blocking () =
   in
   Thread.delay 0.02;
   Alcotest.(check bool) "still blocked" false !sent;
-  ignore (Channel.recv ch);
+  ignore (recv_opt ch);
   Thread.join producer;
   Alcotest.(check bool) "unblocked" true !sent
 
