@@ -1,0 +1,36 @@
+#!/bin/sh
+# CI entry point: tier-1 correctness, the fault-injection smoke suite,
+# and deterministic schedule exploration over a fixed seed matrix.
+#
+#   sh bench/ci.sh
+#
+# Every randomized stage names its seed, so any failure printed here
+# can be reproduced verbatim with DETCHECK_SEED=<seed> or the
+# `snet_detcheck replay` command embedded in the failure report.
+# See TESTING.md for the full workflow.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+SEEDS="${DETCHECK_SEED_MATRIX:-1 42 31337}"
+
+echo "== tier-1: dune build && dune runtest =="
+dune build
+dune runtest
+
+echo "== fault-injection smoke =="
+dune build @fault-smoke
+
+echo "== detcheck seed matrix: $SEEDS =="
+dune build @detcheck   # default seed, exercises the alias itself
+for seed in $SEEDS; do
+  echo "-- detcheck suite, DETCHECK_SEED=$seed"
+  DETCHECK_SEED="$seed" ./_build/default/test/main.exe test detcheck
+  echo "-- oracle sweep, seed $seed"
+  ./_build/default/bin/snet_detcheck.exe explore --class det \
+    --seed "$seed" --nets 3 --schedules 40
+  ./_build/default/bin/snet_detcheck.exe explore --class nondet \
+    --seed "$seed" --nets 3 --schedules 40
+done
+
+echo "== ci.sh: all stages passed =="

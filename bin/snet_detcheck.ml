@@ -1,0 +1,161 @@
+(* snet_detcheck: deterministic schedule exploration from the shell.
+
+     snet_detcheck explore --class nondet --seed 42 --nets 10
+     snet_detcheck replay --class nondet --net-seed 7 --batch 64 \
+       --trace-file /tmp/detcheck1a2b3c.trace
+
+   `explore` regenerates networks from seeds and runs the differential
+   oracle over many virtual schedules; on a discrepancy it prints the
+   same report the test suite does, including a ready-to-paste
+   `replay` invocation. `replay` re-runs one recorded schedule
+   byte-for-byte and checks the output against the sequential
+   reference. *)
+
+open Cmdliner
+module Netgen = Detcheck.Netgen
+module Oracle = Detcheck.Oracle
+module Trace = Detcheck.Trace
+
+let klass_conv =
+  let parse s =
+    match Netgen.klass_of_string s with
+    | Ok k -> Ok k
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Netgen.klass_to_string k))
+
+let klass_arg =
+  Arg.(
+    required
+    & opt (some klass_conv) None
+    & info [ "class" ] ~docv:"CLASS" ~doc:"Network class: $(b,det) or $(b,nondet).")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"STEPS"
+        ~doc:"Scheduling-step budget per run (catches livelocks).")
+
+let explore klass net_seed seed nets schedules budget =
+  let check_one net_seed =
+    let spec = Netgen.of_seed klass net_seed in
+    match Oracle.check ~schedules ?budget ~net_seed ~seed spec with
+    | Ok n ->
+        Printf.printf "net-seed %d: ok (%d schedules, %s)\n%!" net_seed n
+          (Netgen.print spec);
+        true
+    | Error f ->
+        print_endline (Oracle.pp_failure f);
+        false
+  in
+  let net_seeds =
+    match net_seed with
+    | Some s -> [ s ]
+    | None -> List.init nets (fun i -> seed + i)
+  in
+  let oks = List.map check_one net_seeds in
+  if List.for_all Fun.id oks then 0 else 1
+
+let explore_cmd =
+  let net_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "net-seed" ] ~docv:"SEED"
+          ~doc:"Check only the network regenerated from this seed.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ]
+          ~env:(Cmd.Env.info "DETCHECK_SEED")
+          ~docv:"SEED"
+          ~doc:
+            "Base seed: schedule seeds derive from it, and without \
+             $(b,--net-seed) the generated networks use seeds SEED, SEED+1, \
+             ...")
+  in
+  let nets =
+    Arg.(
+      value & opt int 10
+      & info [ "nets" ] ~docv:"N" ~doc:"How many networks to generate.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 100
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:"Virtual schedules explored per network.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Explore schedules of generated networks against the reference")
+    Term.(
+      const explore $ klass_arg $ net_seed $ seed $ nets $ schedules
+      $ budget_arg)
+
+let replay klass net_seed batch budget trace_file =
+  let spec = Netgen.of_seed klass net_seed in
+  let trace =
+    match Trace.load ~file:trace_file with
+    | Ok t -> t
+    | Error e ->
+        Printf.eprintf "bad trace file %s: %s\n" trace_file e;
+        exit 2
+  in
+  Printf.printf "net:      %s\n" (Netgen.print spec);
+  let result, trace' = Oracle.replay ?budget ~batch ~trace spec in
+  let faithful = Trace.to_string trace' = Trace.to_string trace in
+  Printf.printf "replay:   %s\n"
+    (if faithful then "byte-for-byte identical to the recorded trace"
+     else "DIVERGED from the recorded trace");
+  match result with
+  | Error e ->
+      Printf.printf "escape:   %s\n" (Printexc.to_string e);
+      1
+  | Ok got -> (
+      Printf.printf "output:   %s\n" got;
+      match Oracle.reference ?budget spec with
+      | Error e ->
+          Printf.printf "reference escaped: %s\n" (Printexc.to_string e);
+          1
+      | Ok expected ->
+          if got = expected then (
+            print_endline "verdict:  matches the sequential reference";
+            if faithful then 0 else 1)
+          else (
+            Printf.printf "verdict:  MISMATCH\n  expected: %s\n" expected;
+            1))
+
+let replay_cmd =
+  let net_seed =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "net-seed" ] ~docv:"SEED"
+          ~doc:"Seed the failing network was generated from.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Actor activation batch size of the failing run.")
+  in
+  let trace_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace-file" ] ~docv:"FILE" ~doc:"Recorded schedule trace.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-run one recorded schedule byte-for-byte")
+    Term.(
+      const replay $ klass_arg $ net_seed $ batch $ budget_arg $ trace_file)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "snet_detcheck"
+       ~doc:"Deterministic concurrency testing for S-Net engines")
+    [ explore_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval' cmd)

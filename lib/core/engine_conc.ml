@@ -304,13 +304,13 @@ let rec build eng path net ~down : target =
       in
       make_tap 0
 
-let start ?pool ?batch ?mailbox ?observer ?stats ?supervision net =
+let start ?pool ?exec ?batch ?mailbox ?observer ?stats ?supervision net =
   let net =
     match supervision with
     | Some config -> Net.with_supervision config net
     | None -> net
   in
-  let sys = Streams.Actors.system ?pool ?batch ?mailbox () in
+  let sys = Streams.Actors.system ?pool ?exec ?batch ?mailbox () in
   let istats = match stats with Some s -> s | None -> Stats.create () in
   let eng =
     {
@@ -393,19 +393,24 @@ let finish eng =
 
 let stats eng = Stats.snapshot eng.istats
 
-let run ?pool ?batch ?mailbox ?observer ?stats ?supervision net inputs =
-  let eng = start ?pool ?batch ?mailbox ?observer ?stats ?supervision net in
+let run ?pool ?exec ?batch ?mailbox ?observer ?stats ?supervision net inputs =
+  let eng = start ?pool ?exec ?batch ?mailbox ?observer ?stats ?supervision net in
   (* Attribute the pool's scheduler activity over this run (tasks,
      steals, parks, splits) to the run's stats. The pool may be shared,
-     so this is a delta of its monotonic counters, not an absolute. *)
-  let p = Streams.Actors.pool eng.sys in
-  let before = Scheduler.Pool.stats p in
-  List.iter (feed eng) inputs;
-  let results = finish eng in
-  let after = Scheduler.Pool.stats p in
-  Stats.record_scheduler eng.istats
-    ~tasks:(after.Scheduler.Pool.tasks - before.Scheduler.Pool.tasks)
-    ~steals:(after.Scheduler.Pool.steals - before.Scheduler.Pool.steals)
-    ~parks:(after.Scheduler.Pool.parks - before.Scheduler.Pool.parks)
-    ~splits:(after.Scheduler.Pool.splits - before.Scheduler.Pool.splits);
-  results
+     so this is a delta of its monotonic counters, not an absolute.
+     Under a substituted executor there is no pool to attribute. *)
+  match Streams.Actors.pool eng.sys with
+  | None ->
+      List.iter (feed eng) inputs;
+      finish eng
+  | Some p ->
+      let before = Scheduler.Pool.stats p in
+      List.iter (feed eng) inputs;
+      let results = finish eng in
+      let after = Scheduler.Pool.stats p in
+      Stats.record_scheduler eng.istats
+        ~tasks:(after.Scheduler.Pool.tasks - before.Scheduler.Pool.tasks)
+        ~steals:(after.Scheduler.Pool.steals - before.Scheduler.Pool.steals)
+        ~parks:(after.Scheduler.Pool.parks - before.Scheduler.Pool.parks)
+        ~splits:(after.Scheduler.Pool.splits - before.Scheduler.Pool.splits);
+      results

@@ -37,6 +37,7 @@ type instance
 
 val start :
   ?pool:Scheduler.Pool.t ->
+  ?exec:Scheduler.Exec.t ->
   ?batch:int ->
   ?mailbox:int ->
   ?observer:observer ->
@@ -44,8 +45,9 @@ val start :
   ?supervision:Supervise.config ->
   Net.t ->
   instance
-(** Build the network's initial actor graph. Actors run on [pool]
-    (default {!Scheduler.Pool.default}[ ()]); [batch] is the actor
+(** Build the network's initial actor graph. Actors run on [exec] when
+    given (detcheck substitutes its virtual scheduler here), else on
+    [pool] (default {!Scheduler.Pool.default}[ ()]); [batch] is the actor
     activation batch size and [mailbox] the per-actor queue bound (see
     {!Streams.Actors.system}). [supervision], when given, overrides
     every box's own config ({!Net.with_supervision}); error records
@@ -73,6 +75,7 @@ val stats : instance -> Stats.snapshot
 
 val run :
   ?pool:Scheduler.Pool.t ->
+  ?exec:Scheduler.Exec.t ->
   ?batch:int ->
   ?mailbox:int ->
   ?observer:observer ->

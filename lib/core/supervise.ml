@@ -65,9 +65,9 @@ let timed config ~stats ~name f r =
   match config.timeout with
   | None -> f r
   | Some budget ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Scheduler.Clock.now () in
       let out = f r in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Scheduler.Clock.now () -. t0 in
       if elapsed > budget then begin
         Stats.record_box_timeout stats;
         raise (Box_timeout { box = name; elapsed; budget })
@@ -75,9 +75,11 @@ let timed config ~stats ~name f r =
       out
 
 (* 1ms, 2ms, 4ms, ... capped at 50ms: enough to ride out transient
-   contention without turning a retry burst into a stall. *)
+   contention without turning a retry burst into a stall. Goes through
+   the pluggable clock so detcheck's virtual time makes retry bursts
+   instantaneous and reproducible. *)
 let backoff attempt =
-  Thread.delay (min 0.05 (0.001 *. float_of_int (1 lsl min attempt 6)))
+  Scheduler.Clock.sleep (min 0.05 (0.001 *. float_of_int (1 lsl min attempt 6)))
 
 (* Top-level so the per-invocation path allocates nothing: a local
    [let rec] closure here showed up as measurable overhead on the

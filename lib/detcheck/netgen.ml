@@ -1,0 +1,309 @@
+(* Random S-Net generator shared by the differential tests, the
+   schedule-exploring oracle and the replay CLI.
+
+   Specs are a first-order AST rather than generated [Net.t] values so
+   that (a) QCheck can shrink a failing case structurally, (b) a spec
+   regenerates deterministically from a seed alone — which is what
+   lets a failure report say "--class det --net-seed N" instead of
+   shipping a network, and (c) printing is exact.
+
+   Component vocabulary: every generated component maps {<x>,<k>}
+   records to {<x>,<k>} records, so any composition is well-typed.
+   Beyond the arithmetic leaves this includes the supervision
+   surface — boxes that fail deterministically (by input value, never
+   by schedule) under [Error_record] and [Retry] policies, and a box
+   that overruns its per-record timeout — plus feedback stars (serial
+   replication with a convergent body) and an entry synchrocell.
+   Failures must be value-determined: the oracle compares engines
+   against the sequential reference, so anything schedule-dependent in
+   the OUTPUT would be a false alarm. *)
+
+module Net = Snet.Net
+module Box = Snet.Box
+module P = Snet.Pattern
+module Record = Snet.Record
+
+type leaf =
+  | Inc
+  | Double
+  | Dup
+  | Drop_big
+  | Add_filter
+  | Flaky_record  (** Fails on x ≡ 0 (mod 5); [Error_record]. *)
+  | Flaky_retry  (** Fails on x ≡ 0 (mod 3); [Retry 2] then error record. *)
+  | Sluggish  (** Sleeps past its 1ms budget on x ≡ 0 (mod 4). *)
+
+type spec =
+  | Leaf of leaf
+  | Serial of spec * spec
+  | Choice of spec * spec
+  | Split of spec
+  | Star_shrink  (** Feedback star: halve x until |x| <= 1. *)
+  | Star_step  (** Feedback star: increment x up to a multiple of 7. *)
+
+type klass = Det | Nondet
+
+type t = {
+  klass : klass;
+  sync_prefix : bool;
+  body : spec;
+  inputs : (int * int) list;  (** (<x>, <k>) per input record. *)
+}
+
+let deterministic t = t.klass = Det
+
+(* ---------- component implementations ---------- *)
+
+let box_of name f =
+  Box.make ~name ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] -> List.iter (fun y -> emit 1 [ Tag y ]) (f x)
+      | _ -> assert false)
+
+let inc = box_of "inc" (fun x -> [ x + 1 ])
+let double = box_of "double" (fun x -> [ 2 * x ])
+let dup = box_of "dup" (fun x -> [ x; x + 17 ])
+let drop_big = box_of "dropBig" (fun x -> if x > 1000 then [] else [ x ])
+
+let add_filter =
+  Snet.Filter.make
+    (P.make ~fields:[] ~tags:[ "x" ] ())
+    [ [ Snet.Filter.Set_tag ("x", P.Add (P.Tag "x", P.Const 3)) ] ]
+
+exception Flaky of int
+
+let flaky_record =
+  Box.make ~name:"flakyRec" ~policy:Snet.Supervise.Error_record
+    ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] -> if x mod 5 = 0 then raise (Flaky x) else emit 1 [ Tag x ]
+      | _ -> assert false)
+
+(* The failure is permanent for the record's value, so every retry
+   fails too and the box deterministically exhausts into an error
+   record — exercising the retry/backoff machinery (virtual-time
+   instantaneous under detcheck) without schedule-dependent output. *)
+let flaky_retry =
+  Box.make ~name:"flakyRetry" ~policy:(Snet.Supervise.Retry 2)
+    ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] -> if x mod 3 = 0 then raise (Flaky x) else emit 1 [ Tag x ]
+      | _ -> assert false)
+
+(* Overruns its 1ms budget on every fourth x value: 2ms of
+   Clock.sleep is wall-clock under the real engines and virtual under
+   detcheck, deterministically tripping the post-hoc timeout either
+   way. *)
+let sluggish =
+  Box.make ~name:"sluggish" ~policy:Snet.Supervise.Error_record ~timeout:0.001
+    ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] ->
+          if x mod 4 = 0 then Scheduler.Clock.sleep 0.002;
+          emit 1 [ Tag x ]
+      | _ -> assert false)
+
+let shrink_box =
+  Box.make ~name:"shrink" ~input:[ T "x" ]
+    ~outputs:[ [ T "x" ]; [ T "x"; T "stop" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] ->
+          if abs x <= 1 then emit 2 [ Tag x; Tag 1 ]
+          else emit 1 [ Tag (x / 2) ]
+      | _ -> assert false)
+
+(* Convergent for any x: increments reach a multiple of 7 within 7
+   feedback passes. *)
+let step_box =
+  Box.make ~name:"step7" ~input:[ T "x" ]
+    ~outputs:[ [ T "x" ]; [ T "x"; T "stop" ] ]
+    (fun ~emit -> function
+      | [ Tag x ] ->
+          if x mod 7 = 0 then emit 2 [ Tag x; Tag 1 ]
+          else emit 1 [ Tag (x + 1) ]
+      | _ -> assert false)
+
+let stop_pattern = P.make ~fields:[] ~tags:[ "stop" ] ()
+
+let strip_stop =
+  Snet.Filter.make
+    (P.make ~fields:[] ~tags:[ "stop"; "x" ] ())
+    [ [ Snet.Filter.Set_tag ("x", P.Tag "x") ] ]
+
+let x_pattern = P.make ~fields:[] ~tags:[ "x" ] ()
+
+(* ---------- spec -> Net.t ---------- *)
+
+let leaf_net = function
+  | Inc -> Net.box inc
+  | Double -> Net.box double
+  | Dup -> Net.box dup
+  | Drop_big -> Net.box drop_big
+  | Add_filter -> Net.filter add_filter
+  | Flaky_record -> Net.box flaky_record
+  | Flaky_retry -> Net.box flaky_retry
+  | Sluggish -> Net.box sluggish
+
+let star_of ~det body =
+  Net.serial (Net.star ~det body stop_pattern) (Net.filter strip_stop)
+
+let rec net_of_spec ~det = function
+  | Leaf l -> leaf_net l
+  | Serial (a, b) -> Net.serial (net_of_spec ~det a) (net_of_spec ~det b)
+  | Choice (a, b) -> Net.choice ~det (net_of_spec ~det a) (net_of_spec ~det b)
+  | Split s -> Net.split ~det (net_of_spec ~det s) "k"
+  | Star_shrink -> star_of ~det (Net.box shrink_box)
+  | Star_step -> star_of ~det (Net.box step_box)
+
+let to_net t =
+  let det = deterministic t in
+  let body = net_of_spec ~det t.body in
+  if t.sync_prefix then
+    (* The synchrocell sits on the global input stream, whose order is
+       fixed, so which two records it fuses is the same under every
+       engine and schedule; placed deeper it could sit downstream of a
+       nondeterministic merge and make the OUTPUT schedule-dependent. *)
+    Net.serial (Net.sync [ x_pattern; x_pattern ]) body
+  else body
+
+let records t =
+  List.map (fun (x, k) -> Snet.record ~tags:[ ("x", x); ("k", k) ] ()) t.inputs
+
+(* ---------- comparison signature ---------- *)
+
+(* What the oracle compares across engines: the payload tags plus
+   whether the record is a supervision error record. Error MESSAGES
+   are excluded on purpose — a Box_timeout message embeds the measured
+   elapsed time, which legitimately differs between wall and virtual
+   clocks. *)
+let signature out =
+  List.map
+    (fun r ->
+      ( Record.tag "x" r,
+        Record.tag "k" r,
+        Snet.Supervise.is_error r ))
+    out
+
+let signature_string ~det out =
+  let sigs =
+    List.map
+      (fun (x, k, err) ->
+        Printf.sprintf "(x=%s k=%s%s)"
+          (match x with Some v -> string_of_int v | None -> "_")
+          (match k with Some v -> string_of_int v | None -> "_")
+          (if err then " err" else ""))
+      (signature out)
+  in
+  let sigs = if det then sigs else List.sort compare sigs in
+  String.concat " " sigs
+
+(* ---------- generation ---------- *)
+
+let all_leaves =
+  [|
+    Inc; Double; Dup; Drop_big; Add_filter; Flaky_record; Flaky_retry;
+    Sluggish;
+  |]
+
+let gen_leaf st = Leaf all_leaves.(Random.State.int st (Array.length all_leaves))
+
+let rec gen_spec depth st =
+  if depth = 0 then gen_leaf st
+  else
+    match Random.State.int st 10 with
+    | 0 | 1 | 2 -> gen_leaf st
+    | 3 | 4 -> Serial (gen_spec (depth - 1) st, gen_spec (depth - 1) st)
+    | 5 | 6 -> Choice (gen_spec (depth - 1) st, gen_spec (depth - 1) st)
+    | 7 -> Split (gen_spec (depth - 1) st)
+    | 8 -> Star_shrink
+    | _ -> Star_step
+
+(* [gen klass] is a [Random.State.t -> t], i.e. directly a
+   [QCheck.Gen.t]. *)
+let gen ?(depth = 3) ?(max_inputs = 12) klass st =
+  let body = gen_spec depth st in
+  let sync_prefix = Random.State.int st 4 = 0 in
+  let n = 1 + Random.State.int st max_inputs in
+  let inputs =
+    List.init n (fun _ ->
+        (Random.State.int st 2041 - 40, Random.State.int st 4))
+  in
+  { klass; sync_prefix; body; inputs }
+
+let of_seed ?depth ?max_inputs klass seed =
+  gen ?depth ?max_inputs klass (Random.State.make [| 0x6e7; seed |])
+
+(* ---------- shrinking ---------- *)
+
+let rec shrink_spec = function
+  | Leaf Inc -> Seq.empty
+  | Leaf _ -> Seq.return (Leaf Inc)
+  | Serial (a, b) ->
+      Seq.append
+        (List.to_seq [ a; b ])
+        (Seq.append
+           (Seq.map (fun a' -> Serial (a', b)) (shrink_spec a))
+           (Seq.map (fun b' -> Serial (a, b')) (shrink_spec b)))
+  | Choice (a, b) ->
+      Seq.append
+        (List.to_seq [ a; b ])
+        (Seq.append
+           (Seq.map (fun a' -> Choice (a', b)) (shrink_spec a))
+           (Seq.map (fun b' -> Choice (a, b')) (shrink_spec b)))
+  | Split s -> Seq.cons s (Seq.map (fun s' -> Split s') (shrink_spec s))
+  | Star_shrink | Star_step -> Seq.return (Leaf Inc)
+
+let shrink_inputs inputs =
+  let n = List.length inputs in
+  let halves =
+    if n > 1 then
+      List.to_seq
+        [
+          List.filteri (fun i _ -> i < n / 2) inputs;
+          List.filteri (fun i _ -> i >= n / 2) inputs;
+        ]
+    else Seq.empty
+  in
+  let simpler =
+    (* Shrink one element's values toward (1, 0). *)
+    List.to_seq inputs
+    |> Seq.mapi (fun i (x, k) ->
+           let cands =
+             (if x <> 1 then [ (1, k); (x / 2, k) ] else [])
+             @ if k <> 0 then [ (x, 0) ] else []
+           in
+           List.to_seq
+             (List.map
+                (fun c -> List.mapi (fun j e -> if i = j then c else e) inputs)
+                cands))
+    |> Seq.concat
+  in
+  Seq.append halves simpler
+
+let shrink t =
+  let drop_sync =
+    if t.sync_prefix then Seq.return { t with sync_prefix = false }
+    else Seq.empty
+  in
+  let inputs =
+    Seq.map (fun inputs -> { t with inputs }) (shrink_inputs t.inputs)
+  in
+  let bodies = Seq.map (fun body -> { t with body }) (shrink_spec t.body) in
+  Seq.append drop_sync (Seq.append inputs bodies)
+
+(* ---------- printing ---------- *)
+
+let klass_to_string = function Det -> "det" | Nondet -> "nondet"
+
+let klass_of_string = function
+  | "det" -> Ok Det
+  | "nondet" -> Ok Nondet
+  | s -> Error (Printf.sprintf "unknown network class %S (det|nondet)" s)
+
+let print t =
+  Printf.sprintf "[%s] %s on %d records: %s"
+    (klass_to_string t.klass)
+    (Net.to_string (to_net t))
+    (List.length t.inputs)
+    (String.concat ","
+       (List.map (fun (x, k) -> Printf.sprintf "<x=%d,k=%d>" x k) t.inputs))

@@ -1,0 +1,82 @@
+(** Random S-Net generation, shared by the QCheck differential tests,
+    the schedule-exploring {!Oracle} and the replay CLI.
+
+    Networks are generated as a first-order spec AST so failing cases
+    shrink structurally and regenerate deterministically from a seed
+    alone. The component vocabulary covers the supervision surface
+    (value-determined failures under [Error_record] and [Retry],
+    timeout overruns via {!Scheduler.Clock.sleep}), feedback stars
+    with convergent bodies, and an entry synchrocell; every component
+    maps [{<x>,<k>}] records to [{<x>,<k>}] records so any composition
+    is well-typed, and every failure is determined by record values —
+    never by schedule — so differential comparison stays sound. *)
+
+type leaf =
+  | Inc
+  | Double
+  | Dup
+  | Drop_big
+  | Add_filter
+  | Flaky_record
+  | Flaky_retry
+  | Sluggish
+
+type spec =
+  | Leaf of leaf
+  | Serial of spec * spec
+  | Choice of spec * spec
+  | Split of spec
+  | Star_shrink
+  | Star_step
+
+type klass = Det | Nondet
+
+type t = {
+  klass : klass;
+  sync_prefix : bool;  (** Synchrocell on the global input stream. *)
+  body : spec;
+  inputs : (int * int) list;  (** One [(<x>, <k>)] per input record. *)
+}
+
+val deterministic : t -> bool
+(** [Det]-class specs use only deterministic combinators: engines must
+    agree with the reference {e exactly}; [Nondet] up to multiset. *)
+
+val to_net : t -> Snet.Net.t
+val records : t -> Snet.Record.t list
+
+val signature : Snet.Record.t list -> (int option * int option * bool) list
+(** Per-record comparison key: [(<x>, <k>, is_error_record)]. Error
+    messages are deliberately excluded — timeout messages embed
+    elapsed times that legitimately differ between clocks. *)
+
+val signature_string : det:bool -> Snet.Record.t list -> string
+(** Output rendered for comparison: in input order when [det], sorted
+    into a canonical multiset rendering otherwise. *)
+
+val gen : ?depth:int -> ?max_inputs:int -> klass -> Random.State.t -> t
+(** Structure-directed generator; directly usable as a
+    [QCheck.Gen.t]. Default [depth] 3, [max_inputs] 12. *)
+
+val of_seed : ?depth:int -> ?max_inputs:int -> klass -> int -> t
+(** Deterministic regeneration from a seed — the contract behind
+    failure reports that name a seed instead of shipping a network. *)
+
+val shrink : t -> t Seq.t
+(** Structural shrink candidates: drop the synchrocell, halve or
+    simplify inputs, reduce the body toward [Leaf Inc]. *)
+
+val print : t -> string
+val klass_to_string : klass -> string
+val klass_of_string : string -> (klass, string) result
+
+(** {1 Component building blocks}
+
+    Exposed for tests that compose their own nets around the shared
+    vocabulary. *)
+
+val inc : Snet.Box.t
+val double : Snet.Box.t
+val dup : Snet.Box.t
+val drop_big : Snet.Box.t
+val add_filter : Snet.Filter.t

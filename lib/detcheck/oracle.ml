@@ -1,0 +1,140 @@
+(* The schedule-exploring differential oracle: run one generated
+   network under many explored schedules of the concurrent engine and
+   hold every run to the sequential reference — exact output for
+   deterministic networks, multiset-equal otherwise.
+
+   Both the reference and the explored runs execute inside the virtual
+   scheduler, so clock reads are virtual in both (a sluggish box times
+   out identically) and the only varying input is the schedule. A
+   failure carries everything needed to reproduce it: the spec (or the
+   net seed that regenerates it), the schedule seed and strategy, and
+   the recorded trace for byte-for-byte replay. *)
+
+type reason =
+  | Output_mismatch of { expected : string; got : string }
+  | Engine_crash of exn
+
+type failure = {
+  spec : Netgen.t;
+  net_seed : int option;
+  schedule : int;  (* index within the exploration *)
+  seed : int;  (* schedule seed for that index *)
+  strategy : string;
+  batch : int;
+  reason : reason;
+  trace : Trace.t;
+}
+
+exception Failed of failure
+
+(* Activation batch sizes cycled across schedules: batch 1 maximises
+   interleaving granularity (every message is its own scheduling
+   decision), 64 is the production default. *)
+let batches = [| 1; 2; 64 |]
+
+let batch_for i = batches.(i mod Array.length batches)
+
+let schedule_seed ~seed i = (seed * 1_000_003) + i
+
+let strategy_for ~seed i =
+  let s = schedule_seed ~seed i in
+  if i mod 2 = 0 then Strategy.random ~seed:s
+  else Strategy.pct ~seed:s ()
+
+let reference ?budget spec =
+  let net = Netgen.to_net spec in
+  let inputs = Netgen.records spec in
+  let det = Netgen.deterministic spec in
+  (* Engine_seq makes no scheduling decisions, but generated boxes
+     read and sleep on the clock, so it still runs under the virtual
+     scheduler (single fiber, forced choices only). *)
+  let result, _trace =
+    Sched_virtual.run ?budget ~strategy:(Strategy.random ~seed:0) (fun _ ->
+        Snet.Engine_seq.run net inputs)
+  in
+  Result.map (Netgen.signature_string ~det) result
+
+let run_once ?budget ?(batch = 1) ~strategy spec =
+  let net = Netgen.to_net spec in
+  let inputs = Netgen.records spec in
+  let det = Netgen.deterministic spec in
+  let result, trace =
+    Sched_virtual.run ?budget ~strategy (fun sched ->
+        Snet.Engine_conc.run ~exec:(Sched_virtual.exec sched) ~batch net
+          inputs)
+  in
+  (Result.map (Netgen.signature_string ~det) result, trace)
+
+let check ?(schedules = 100) ?budget ?net_seed ~seed spec =
+  let fail ~schedule ~sseed ~strategy ~batch ~trace reason =
+    Error
+      {
+        spec;
+        net_seed;
+        schedule;
+        seed = sseed;
+        strategy;
+        batch;
+        reason;
+        trace;
+      }
+  in
+  match reference ?budget spec with
+  | Error e ->
+      fail ~schedule:(-1) ~sseed:seed ~strategy:"reference(seq)" ~batch:0
+        ~trace:[] (Engine_crash e)
+  | Ok expected ->
+      let rec go i =
+        if i >= schedules then Ok schedules
+        else
+          let strategy = strategy_for ~seed i in
+          let batch = batch_for i in
+          let result, trace = run_once ?budget ~batch ~strategy spec in
+          let fail =
+            fail ~schedule:i ~sseed:(schedule_seed ~seed i)
+              ~strategy:(Strategy.name strategy) ~batch ~trace
+          in
+          match result with
+          | Error e -> fail (Engine_crash e)
+          | Ok got when got <> expected ->
+              fail (Output_mismatch { expected; got })
+          | Ok _ -> go (i + 1)
+      in
+      go 0
+
+let replay ?budget ?(batch = 1) ~trace spec =
+  run_once ?budget ~batch ~strategy:(Strategy.replay trace) spec
+
+let pp_reason = function
+  | Output_mismatch { expected; got } ->
+      Printf.sprintf "output mismatch\n  expected: %s\n  got:      %s" expected
+        got
+  | Engine_crash e -> Printf.sprintf "engine crash: %s" (Printexc.to_string e)
+
+let pp_failure f =
+  let trace_file = Trace.save_temp f.trace in
+  let net_line =
+    match f.net_seed with
+    | Some s ->
+        Printf.sprintf "net:       --class %s --net-seed %d"
+          (Netgen.klass_to_string f.spec.Netgen.klass)
+          s
+    | None -> "net:       (explicit spec, no seed)"
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "detcheck failure on %s" (Netgen.print f.spec);
+      net_line;
+      Printf.sprintf "schedule:  #%d seed=%d strategy=%s batch=%d" f.schedule
+        f.seed f.strategy f.batch;
+      Printf.sprintf "reason:    %s" (pp_reason f.reason);
+      Printf.sprintf "trace:     %d steps: %s" (Trace.length f.trace)
+        (Trace.summary f.trace);
+      Printf.sprintf "replay:    snet_detcheck replay --class %s%s --batch %d \
+                      --trace-file %s"
+        (Netgen.klass_to_string f.spec.Netgen.klass)
+        (match f.net_seed with
+        | Some s -> Printf.sprintf " --net-seed %d" s
+        | None -> "")
+        f.batch trace_file;
+    ]

@@ -1,0 +1,70 @@
+(** Schedule-exploring differential oracle.
+
+    For one generated network ({!Netgen.t}) the oracle runs the
+    concurrent engine under many strategy-driven virtual schedules and
+    compares every run's output with the sequential reference — exact
+    equality for deterministic networks, multiset equality otherwise.
+    Reference and explored runs both execute on virtual time, so the
+    schedule is the only varying input. *)
+
+type reason =
+  | Output_mismatch of { expected : string; got : string }
+  | Engine_crash of exn
+      (** Includes {!Scheduler.Exec.Deadlock} and
+          {!Sched_virtual.Budget_exhausted}. *)
+
+type failure = {
+  spec : Netgen.t;
+  net_seed : int option;  (** Seed regenerating [spec], when known. *)
+  schedule : int;  (** Index within the exploration, [-1] = reference. *)
+  seed : int;  (** Schedule seed of that index. *)
+  strategy : string;
+  batch : int;
+  reason : reason;
+  trace : Trace.t;  (** Replays the failing schedule byte-for-byte. *)
+}
+
+exception Failed of failure
+
+val check :
+  ?schedules:int ->
+  ?budget:int ->
+  ?net_seed:int ->
+  seed:int ->
+  Netgen.t ->
+  (int, failure) result
+(** Explore [schedules] (default 100) schedules — alternating seeded
+    random walk and PCT priority fuzzing, cycling activation batch
+    sizes — and compare each against the reference. [Ok n] is the
+    number of schedules explored; the first discrepancy stops
+    exploration and is returned with its trace. The whole exploration
+    is a pure function of ([spec], [seed], [schedules]). *)
+
+val reference : ?budget:int -> Netgen.t -> (string, exn) result
+(** The sequential reference output, rendered with
+    {!Netgen.signature_string}. *)
+
+val run_once :
+  ?budget:int ->
+  ?batch:int ->
+  strategy:Strategy.t ->
+  Netgen.t ->
+  (string, exn) result * Trace.t
+(** One concurrent run under one schedule; returns the rendered
+    output (or the escape) and the recorded trace. *)
+
+val replay :
+  ?budget:int ->
+  ?batch:int ->
+  trace:Trace.t ->
+  Netgen.t ->
+  (string, exn) result * Trace.t
+(** Re-run one schedule from its recorded trace. With the same spec
+    and batch the returned trace equals the input trace and the
+    outcome is identical — the byte-for-byte reproduction contract,
+    checked by the detcheck suite. *)
+
+val pp_failure : failure -> string
+(** Multi-line report: spec, seeds, strategy, reason, trace summary,
+    and a ready-to-paste [snet_detcheck replay] command (the full
+    trace is saved to a temp file). *)

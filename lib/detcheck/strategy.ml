@@ -1,0 +1,124 @@
+(* Scheduling strategies: the pluggable policy behind every
+   nondeterministic decision the virtual scheduler makes. A strategy
+   is consulted with the stable ids of the available alternatives and
+   returns the index of the one to take; all state a strategy keeps is
+   created fresh per run, so a (strategy constructor, seed) pair fully
+   determines a schedule. *)
+
+type t = {
+  name : string;
+  choose : tag:string -> ids:int array -> int;
+}
+
+exception Divergence of string
+
+let () =
+  Printexc.register_printer (function
+    | Divergence msg -> Some (Printf.sprintf "Detcheck divergence: %s" msg)
+    | _ -> None)
+
+let name t = t.name
+let choose t ~tag ~ids = t.choose ~tag ~ids
+
+(* Seeded uniform random walk over the runnable set. The workhorse:
+   cheap, stateless beyond the PRNG, and in practice good at shaking
+   out ordering bugs when run across a seed matrix. *)
+let random ~seed =
+  let st = Random.State.make [| 0x5eed; seed |] in
+  {
+    name = Printf.sprintf "random:%d" seed;
+    choose = (fun ~tag:_ ~ids -> Random.State.int st (Array.length ids));
+  }
+
+(* PCT-style priority fuzzing (Burckhardt et al., ASPLOS'10): every
+   schedulable entity gets a random priority on first sight and the
+   highest-priority available entity always runs; at [depth - 1]
+   pre-drawn change points the running entity's priority is demoted
+   below everything seen so far. Unlike the uniform walk this
+   concentrates probability on schedules with few preemptions, which
+   is where most real ordering bugs live. [horizon] is the assumed
+   maximum number of decision steps when drawing change points. *)
+let pct ~seed ?(depth = 3) ?(horizon = 1000) () =
+  if depth < 1 then invalid_arg "Strategy.pct: depth < 1";
+  if horizon < 1 then invalid_arg "Strategy.pct: horizon < 1";
+  let st = Random.State.make [| 0x9c7; seed |] in
+  let prio : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let floor = ref 0. in
+  let steps = ref 0 in
+  let change_points =
+    let a = Array.init (depth - 1) (fun _ -> 1 + Random.State.int st horizon) in
+    Array.sort compare a;
+    a
+  in
+  let priority id =
+    match Hashtbl.find_opt prio id with
+    | Some p -> p
+    | None ->
+        let p = 1. +. Random.State.float st 1. in
+        Hashtbl.add prio id p;
+        p
+  in
+  {
+    name = Printf.sprintf "pct:%d(d=%d)" seed depth;
+    choose =
+      (fun ~tag:_ ~ids ->
+        incr steps;
+        let best = ref 0 in
+        Array.iteri
+          (fun i id -> if priority id > priority ids.(!best) then best := i)
+          ids;
+        if Array.exists (fun c -> c = !steps) change_points then begin
+          floor := !floor -. 1.;
+          Hashtbl.replace prio ids.(!best) !floor
+        end;
+        !best);
+  }
+
+(* Exact replay of a recorded trace: at every nontrivial choice point
+   the next recorded step is popped and its index returned, after
+   checking that the choice point has the recorded kind and arity
+   (anything else means the program under test changed and the trace
+   no longer applies — reported as {!Divergence}, never silently
+   misapplied). *)
+let replay trace =
+  let remaining = ref trace in
+  let consumed = ref 0 in
+  {
+    name = Printf.sprintf "replay(%d steps)" (Trace.length trace);
+    choose =
+      (fun ~tag ~ids ->
+        match !remaining with
+        | [] ->
+            raise
+              (Divergence
+                 (Printf.sprintf
+                    "trace exhausted after %d steps at a %s choice of %d"
+                    !consumed tag (Array.length ids)))
+        | s :: rest ->
+            if s.Trace.tag <> tag || s.Trace.arity <> Array.length ids then
+              raise
+                (Divergence
+                   (Printf.sprintf
+                      "step %d: trace has %s, run offers %s:%d" !consumed
+                      (Trace.step_to_string s) tag (Array.length ids)));
+            remaining := rest;
+            incr consumed;
+            s.Trace.choice);
+  }
+
+(* Seeded steal-victim fuzzing for the REAL work-stealing pool
+   ({!Scheduler.Pool.create}'s [steal_choice] hook): detcheck cannot
+   virtualise OS preemption, but it can at least make the pool's own
+   randomised decision deterministic per seed. The hook is called
+   concurrently from several workers, so the state is mixed, not
+   stepped: the choice depends only on (seed, slot, call count per
+   slot), never on cross-worker interleaving. *)
+let steal_choice ~seed =
+  let counters = Array.init 64 (fun _ -> Atomic.make 0) in
+  fun ~slot ~n ->
+    let k = Atomic.fetch_and_add counters.(slot land 63) 1 in
+    let h = ref (seed lxor (slot * 0x9e3779b9) lxor (k * 0x85ebca6b)) in
+    h := !h lxor (!h lsr 13);
+    h := !h * 0xc2b2ae35;
+    h := !h lxor (!h lsr 16);
+    !h land max_int mod max 1 n

@@ -1,0 +1,34 @@
+(** Scheduling strategies for the virtual scheduler.
+
+    A strategy answers every nontrivial scheduling question
+    ({!Sched_virtual}): given the stable ids of the available
+    alternatives (fiber ids or task ids) it returns the index of the
+    one to run. Strategies are stateful and created fresh per run; a
+    constructor plus its seed fully determines the schedule, which is
+    what makes failures replayable from a seed alone. *)
+
+type t
+
+val name : t -> string
+val choose : t -> tag:string -> ids:int array -> int
+
+exception Divergence of string
+(** Raised by {!replay} when the run under test no longer matches the
+    recorded trace (the program changed, or the trace was edited). *)
+
+val random : seed:int -> t
+(** Seeded uniform random walk over the alternatives. *)
+
+val pct : seed:int -> ?depth:int -> ?horizon:int -> unit -> t
+(** PCT-style priority fuzzing: random priorities on first sight,
+    highest-priority alternative wins, [depth - 1] random demotion
+    points drawn over [horizon] (default 1000) decision steps.
+    Concentrates on few-preemption schedules. Default [depth] 3. *)
+
+val replay : Trace.t -> t
+(** Byte-for-byte replay of a recorded schedule. *)
+
+val steal_choice : seed:int -> slot:int -> n:int -> int
+(** Seeded victim chooser for the real pool's
+    [Scheduler.Pool.create ~steal_choice] hook, for deterministic
+    steal fuzzing of genuinely parallel runs. *)

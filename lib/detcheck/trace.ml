@@ -1,0 +1,74 @@
+(* A schedule trace: the sequence of nontrivial decisions the virtual
+   scheduler made during one run. Forced choices (a single runnable
+   fiber, a single pending task) are not recorded — the run is fully
+   determined by the nontrivial choices, so replaying them reproduces
+   the interleaving byte-for-byte while keeping traces small enough to
+   print in a failure report. *)
+
+type step = {
+  tag : string;  (** Choice-point kind: ["fiber"] or ["task"]. *)
+  arity : int;  (** Number of alternatives that were available. *)
+  choice : int;  (** 0-based index of the alternative taken. *)
+}
+
+type t = step list
+
+let length = List.length
+
+let step_to_string s = Printf.sprintf "%s:%d:%d" s.tag s.arity s.choice
+
+let to_string t = String.concat ";" (List.map step_to_string t)
+
+let step_of_string tok =
+  match String.split_on_char ':' tok with
+  | [ tag; arity; choice ] -> (
+      match (int_of_string_opt arity, int_of_string_opt choice) with
+      | Some arity, Some choice when arity > 1 && choice >= 0 && choice < arity
+        ->
+          Ok { tag; arity; choice }
+      | _ -> Error (Printf.sprintf "malformed trace step %S" tok))
+  | _ -> Error (Printf.sprintf "malformed trace step %S" tok)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+          match step_of_string (String.trim tok) with
+          | Ok step -> go (step :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ';' s)
+
+let save ~file t =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t ^ "\n"))
+
+let load ~file =
+  let ic = open_in file in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string contents
+
+let save_temp t =
+  let file = Filename.temp_file "detcheck" ".trace" in
+  save ~file t;
+  file
+
+(* A compact rendering for failure reports: full trace when short,
+   head plus a count otherwise (the full trace goes to a file via
+   {!save_temp}). *)
+let summary ?(max_steps = 120) t =
+  let n = length t in
+  if n <= max_steps then to_string t
+  else
+    let head = List.filteri (fun i _ -> i < max_steps) t in
+    Printf.sprintf "%s;... (%d further steps)" (to_string head)
+      (n - max_steps)

@@ -1,0 +1,37 @@
+(** Schedule traces: the recorded decisions of one virtual-scheduler
+    run.
+
+    Only nontrivial choice points (more than one alternative) are
+    recorded; forced steps are fully determined and replay infers
+    them, so a trace plus the program reproduces the interleaving
+    byte-for-byte ({!Strategy.replay}). *)
+
+type step = {
+  tag : string;  (** Choice-point kind: ["fiber"] or ["task"]. *)
+  arity : int;  (** Number of alternatives that were available. *)
+  choice : int;  (** 0-based index of the alternative taken. *)
+}
+
+type t = step list
+
+val length : t -> int
+
+val step_to_string : step -> string
+
+val to_string : t -> string
+(** [tag:arity:choice] steps joined with [;] — the format accepted by
+    {!of_string} and the [--trace] CLI flags. *)
+
+val of_string : string -> (t, string) result
+
+val save : file:string -> t -> unit
+val load : file:string -> (t, string) result
+
+val save_temp : t -> string
+(** Write the trace to a fresh temporary file and return its path;
+    failure reports use this so arbitrarily long traces stay
+    replayable without flooding the terminal. *)
+
+val summary : ?max_steps:int -> t -> string
+(** Human-oriented rendering: the whole trace when short, a prefix and
+    a count otherwise. *)

@@ -1,0 +1,21 @@
+type source = {
+  now : unit -> float;
+  sleep : float -> unit;
+  label : string;
+}
+
+let wall =
+  { now = Unix.gettimeofday; sleep = Thread.delay; label = "wall" }
+
+(* A plain atomic, not DLS: a virtual source is only ever installed by
+   a detcheck run, which executes the whole system single-threaded on
+   the installing thread. *)
+let current = Atomic.make wall
+
+let now () = (Atomic.get current).now ()
+let sleep d = if d > 0. then (Atomic.get current).sleep d
+let label () = (Atomic.get current).label
+
+let with_source src f =
+  let prev = Atomic.exchange current src in
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f

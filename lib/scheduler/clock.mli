@@ -1,0 +1,28 @@
+(** The runtime's clock, as a pluggable source.
+
+    Everything in the runtime that reads time or delays (supervision
+    timeouts, retry backoff) goes through {!now} and {!sleep} so that
+    deterministic tests can substitute a {e virtual} clock: [now]
+    returns virtual time and [sleep] advances it instantly, making
+    timeout behaviour both instantaneous and schedule-reproducible.
+    The production source is the wall clock. *)
+
+type source = {
+  now : unit -> float;  (** Seconds, same epoch discipline as the source. *)
+  sleep : float -> unit;
+  label : string;
+}
+
+val wall : source
+(** [Unix.gettimeofday] / [Thread.delay]. The default. *)
+
+val now : unit -> float
+val sleep : float -> unit
+(** No-op for non-positive durations. *)
+
+val label : unit -> string
+
+val with_source : source -> (unit -> 'a) -> 'a
+(** Install [source] for the duration of the callback (restored on
+    exception). Installation is process-global: callers are expected
+    to run the system under test single-threaded (detcheck does). *)

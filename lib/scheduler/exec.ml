@@ -1,0 +1,23 @@
+exception Deadlock of string
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock msg -> Some (Printf.sprintf "Exec.Deadlock(%s)" msg)
+    | _ -> None)
+
+type t = {
+  post : (unit -> unit) -> unit;
+  help : unit -> bool;
+  idle : unit -> unit;
+  workers : int;
+  label : string;
+}
+
+let of_pool p =
+  {
+    post = Pool.post p;
+    help = (fun () -> Pool.help p);
+    idle = Domain.cpu_relax;
+    workers = Pool.num_workers p;
+    label = "pool";
+  }

@@ -1,0 +1,36 @@
+(** The task-executor interface the stream runtime schedules on.
+
+    [Streams.Actors] (and through it the concurrent engine) never
+    touches a {!Pool} directly any more: it posts activations, helps
+    drain queued work while blocked, and idles through this record.
+    Production wraps the work-stealing pool with {!of_pool} — each
+    field is a direct call, so the indirection costs one record load —
+    while detcheck substitutes a virtual scheduler whose [help] runs
+    one strategy-chosen task on the calling thread and whose [idle]
+    advances a virtual clock or reports deadlock. *)
+
+exception Deadlock of string
+(** Raised by an executor's [idle] when the system can make no further
+    progress without outside intervention: nothing runnable, no timer
+    pending, yet work is still in flight. The real pool never raises
+    it (worker domains run concurrently); a virtual executor uses it
+    to turn lost-wakeup bugs into immediate, replayable failures. *)
+
+type t = {
+  post : (unit -> unit) -> unit;  (** Fire-and-forget task submission. *)
+  help : unit -> bool;
+      (** Run one queued task on the calling thread if any is
+          available; returns whether one ran. *)
+  idle : unit -> unit;
+      (** Called when the caller must wait but [help] found nothing:
+          [Domain.cpu_relax] on a real pool; on a virtual executor,
+          fire the next timer or raise {!Deadlock}. *)
+  workers : int;
+      (** Number of concurrent workers behind [post]. [0] means tasks
+          only run when the calling thread helps — the virtual
+          executor always reports [0]. *)
+  label : string;
+}
+
+val of_pool : Pool.t -> t
+(** Direct-call wrapper around the work-stealing pool. *)

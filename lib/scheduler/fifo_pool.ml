@@ -5,197 +5,251 @@
    work-stealing [Pool]: `bench/main.exe scheduler` times both
    implementations on identical with-loop-shaped kernels so the perf
    trajectory of the substrate stays visible across PRs. Two seed bugs
-   are fixed here rather than preserved: the redundant double
-   [Latch.await] after [parallel_for_reduce]'s helping wait, and the
-   unbounded [cpu_relax] busy-spin in [await_helping] on a pool with no
-   workers (now a bounded spin followed by a blocking wait). *)
+   are fixed here rather than preserved: the blocking double
+   [Latch.await] in [parallel_for_reduce] (awaiting helpers without
+   draining the queue they are stuck in), and the unbounded
+   [cpu_relax] busy-spin in [await_helping] on a pool with no workers
+   (now a bounded spin followed by a blocking wait).
 
-type task = unit -> unit
+   The implementation is a functor over [Platform.S] so the detcheck
+   mutation-sanity suite can run it on virtual fibers under a
+   controlled scheduler; [inject_double_await] reintroduces the first
+   seed bug for exactly that suite, which asserts that schedule
+   exploration finds the deadlock within a bounded budget. *)
 
-type t = {
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  queue : task Queue.t;
-  mutable closed : bool;
-  mutable domains : unit Domain.t list;
-  workers : int;
-}
+(* Test-only mutation flag (shared by every instantiation): when set,
+   [parallel_for_reduce] waits for its helpers with the seed's blocking
+   double [Latch.await] instead of helping to drain the queue, so a
+   helper chunk sitting in the FIFO behind the awaiting participant
+   deadlocks the pool. Never set outside the detcheck suite. *)
+let inject_double_await = ref false
 
-let spawn_worker t =
-  Domain.spawn (fun () ->
-      let rec loop () =
-        Mutex.lock t.mutex;
-        while Queue.is_empty t.queue && not t.closed do
-          Condition.wait t.nonempty t.mutex
-        done;
-        if Queue.is_empty t.queue && t.closed then Mutex.unlock t.mutex
-        else begin
-          let task = Queue.pop t.queue in
-          Mutex.unlock t.mutex;
-          (try task ()
-           with e ->
-             Printf.eprintf "Fifo_pool worker: uncaught exception: %s\n%!"
-               (Printexc.to_string e));
-          loop ()
-        end
-      in
-      loop ())
+module type S = sig
+  type t
+  type 'a fut
 
-let create ?num_domains () =
-  let workers =
-    match num_domains with
-    | Some n ->
-        if n < 0 then invalid_arg "Fifo_pool.create: negative num_domains";
-        n
-    | None -> max 0 (Domain.recommended_domain_count () - 1)
-  in
-  let t =
-    {
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      queue = Queue.create ();
-      closed = false;
-      domains = [];
-      workers;
-    }
-  in
-  t.domains <- List.init workers (fun _ -> spawn_worker t);
-  t
+  val create : ?num_domains:int -> unit -> t
+  val num_workers : t -> int
+  val parallelism : t -> int
+  val submit : t -> (unit -> unit) -> unit
+  val shutdown : t -> unit
+  val async : t -> (unit -> 'a) -> 'a fut
+  val help : t -> bool
+  val run : t -> (unit -> 'a) -> 'a
 
-let num_workers t = t.workers
-let parallelism t = t.workers + 1
+  val parallel_for :
+    t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
 
-let submit t task =
-  Mutex.lock t.mutex;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Fifo_pool: submit to a shut-down pool"
-  end;
-  Queue.push task t.queue;
-  Condition.signal t.nonempty;
-  Mutex.unlock t.mutex
+  val parallel_for_reduce :
+    t ->
+    ?chunk:int ->
+    lo:int ->
+    hi:int ->
+    combine:('a -> 'a -> 'a) ->
+    init:'a ->
+    (int -> 'a) ->
+    'a
+end
 
-let try_pop t =
-  Mutex.lock t.mutex;
-  let task = Queue.take_opt t.queue in
-  Mutex.unlock t.mutex;
-  task
+module Make (P : Platform.S) (F : Future.S) = struct
+  module S = Sync.Make (P)
 
-let shutdown t =
-  Mutex.lock t.mutex;
-  let was_closed = t.closed in
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mutex;
-  if not was_closed then begin
-    List.iter Domain.join t.domains;
-    t.domains <- []
-  end
+  type 'a fut = 'a F.t
+  type task = unit -> unit
 
-let help t =
-  match try_pop t with
-  | Some task ->
-      task ();
-      true
-  | None -> false
+  type t = {
+    mutex : P.mutex;
+    nonempty : P.cond;
+    queue : task Queue.t;
+    mutable closed : bool;
+    mutable domains : P.thread list;
+    workers : int;
+  }
 
-let async t f =
-  let fut = Future.create () in
-  submit t (fun () -> Future.run fut f);
-  fut
+  let spawn_worker t =
+    P.spawn (fun () ->
+        let rec loop () =
+          P.lock t.mutex;
+          while Queue.is_empty t.queue && not t.closed do
+            P.wait t.nonempty t.mutex
+          done;
+          if Queue.is_empty t.queue && t.closed then P.unlock t.mutex
+          else begin
+            let task = Queue.pop t.queue in
+            P.unlock t.mutex;
+            (try task ()
+             with e ->
+               Printf.eprintf "Fifo_pool worker: uncaught exception: %s\n%!"
+                 (Printexc.to_string e));
+            loop ()
+          end
+        in
+        loop ())
 
-(* Wait for [fut] while helping to drain the queue. With no workers the
-   task can only run on this thread or a sibling external thread, so
-   after a bounded spin we block on the future instead of burning the
-   CPU (seed bug: this spun unboundedly). *)
-let await_helping t fut =
-  let rec loop spins =
-    match Future.peek fut with
-    | Some (Ok v) -> v
-    | Some (Error e) -> raise e
-    | None -> (
-        match try_pop t with
-        | Some task ->
-            task ();
-            loop 0
-        | None ->
-            if t.workers = 0 && spins < 256 then begin
-              Domain.cpu_relax ();
-              loop (spins + 1)
-            end
-            else Future.await fut)
-  in
-  loop 0
-
-let run t f = await_helping t (async t f)
-
-exception Stop
-
-let default_chunk t n = max 1 (n / (parallelism t * 8))
-
-let parallel_for_reduce t ?chunk ~lo ~hi ~combine ~init body =
-  let n = hi - lo in
-  if n <= 0 then init
-  else begin
-    let chunk =
-      match chunk with
-      | Some c ->
-          if c < 1 then invalid_arg "Fifo_pool.parallel_for: chunk < 1";
-          c
-      | None -> default_chunk t n
+  let create ?num_domains () =
+    let workers =
+      match num_domains with
+      | Some n ->
+          if n < 0 then invalid_arg "Fifo_pool.create: negative num_domains";
+          n
+      | None -> max 0 (Domain.recommended_domain_count () - 1)
     in
-    let next = Atomic.make lo in
-    let failure = Atomic.make None in
-    let participants = min (parallelism t) ((n + chunk - 1) / chunk) in
-    let helpers = participants - 1 in
-    let latch = Sync.Latch.create helpers in
-    let work () =
-      let acc = ref init in
-      (try
-         let rec grab () =
-           if Atomic.get failure <> None then raise Stop;
-           let start = Atomic.fetch_and_add next chunk in
-           if start < hi then begin
-             let stop = min hi (start + chunk) in
-             for i = start to stop - 1 do
-               acc := combine !acc (body i)
-             done;
-             grab ()
-           end
-         in
-         grab ()
-       with
-      | Stop -> ()
-      | e -> ignore (Atomic.compare_and_set failure None (Some e)));
-      !acc
+    let t =
+      {
+        mutex = P.mutex_create ();
+        nonempty = P.cond_create ();
+        queue = Queue.create ();
+        closed = false;
+        domains = [];
+        workers;
+      }
     in
-    let partials = Array.make participants init in
-    for k = 1 to helpers do
-      submit t (fun () ->
-          partials.(k) <- work ();
-          Sync.Latch.count_down latch)
-    done;
-    partials.(0) <- work ();
-    (* Help drain the queue while waiting so nested parallel_for from
-       inside pool tasks cannot deadlock. (Seed bug: this path was
-       followed by a second, redundant [Latch.await].) *)
-    if t.workers = 0 then Sync.Latch.await latch
-    else begin
-      let rec wait () =
-        if Sync.Latch.pending latch > 0 then begin
-          (match try_pop t with
-          | Some task -> task ()
-          | None -> Domain.cpu_relax ());
-          wait ()
-        end
-      in
-      wait ()
+    t.domains <- List.init workers (fun _ -> spawn_worker t);
+    t
+
+  let num_workers t = t.workers
+  let parallelism t = t.workers + 1
+
+  let submit t task =
+    P.lock t.mutex;
+    if t.closed then begin
+      P.unlock t.mutex;
+      invalid_arg "Fifo_pool: submit to a shut-down pool"
     end;
-    match Atomic.get failure with
-    | Some e -> raise e
-    | None -> Array.fold_left combine init partials
-  end
+    Queue.push task t.queue;
+    P.signal t.nonempty;
+    P.unlock t.mutex
 
-let parallel_for t ?chunk ~lo ~hi body =
-  parallel_for_reduce t ?chunk ~lo ~hi ~combine:(fun () () -> ()) ~init:()
-    (fun i -> body i)
+  let try_pop t =
+    P.lock t.mutex;
+    let task = Queue.take_opt t.queue in
+    P.unlock t.mutex;
+    task
+
+  let shutdown t =
+    P.lock t.mutex;
+    let was_closed = t.closed in
+    t.closed <- true;
+    P.broadcast t.nonempty;
+    P.unlock t.mutex;
+    if not was_closed then begin
+      List.iter P.join t.domains;
+      t.domains <- []
+    end
+
+  let help t =
+    match try_pop t with
+    | Some task ->
+        task ();
+        true
+    | None -> false
+
+  let async t f =
+    let fut = F.create () in
+    submit t (fun () -> F.run fut f);
+    fut
+
+  (* Wait for [fut] while helping to drain the queue. With no workers
+     the task can only run on this thread or a sibling external thread,
+     so after a bounded spin we block on the future instead of burning
+     the CPU (seed bug: this spun unboundedly). *)
+  let await_helping t fut =
+    let rec loop spins =
+      match F.peek fut with
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> (
+          match try_pop t with
+          | Some task ->
+              task ();
+              loop 0
+          | None ->
+              if t.workers = 0 && spins < 256 then begin
+                P.relax ();
+                loop (spins + 1)
+              end
+              else F.await fut)
+    in
+    loop 0
+
+  let run t f = await_helping t (async t f)
+
+  exception Stop
+
+  let default_chunk t n = max 1 (n / (parallelism t * 8))
+
+  let parallel_for_reduce t ?chunk ~lo ~hi ~combine ~init body =
+    let n = hi - lo in
+    if n <= 0 then init
+    else begin
+      let chunk =
+        match chunk with
+        | Some c ->
+            if c < 1 then invalid_arg "Fifo_pool.parallel_for: chunk < 1";
+            c
+        | None -> default_chunk t n
+      in
+      let next = Atomic.make lo in
+      let failure = Atomic.make None in
+      let participants = min (parallelism t) ((n + chunk - 1) / chunk) in
+      let helpers = participants - 1 in
+      let latch = S.Latch.create helpers in
+      let work () =
+        let acc = ref init in
+        (try
+           let rec grab () =
+             if Atomic.get failure <> None then raise Stop;
+             let start = Atomic.fetch_and_add next chunk in
+             if start < hi then begin
+               let stop = min hi (start + chunk) in
+               for i = start to stop - 1 do
+                 acc := combine !acc (body i)
+               done;
+               grab ()
+             end
+           in
+           grab ()
+         with
+        | Stop -> ()
+        | e -> ignore (Atomic.compare_and_set failure None (Some e)));
+        !acc
+      in
+      let partials = Array.make participants init in
+      for k = 1 to helpers do
+        submit t (fun () ->
+            partials.(k) <- work ();
+            S.Latch.count_down latch)
+      done;
+      partials.(0) <- work ();
+      (* Help drain the queue while waiting so nested parallel_for from
+         inside pool tasks cannot deadlock. The injected seed bug skips
+         the helping and blocks on the latch directly (twice): a helper
+         chunk still sitting in the FIFO then never runs when every
+         worker is occupied, and the latch never opens. *)
+      if !inject_double_await then begin
+        S.Latch.await latch;
+        S.Latch.await latch
+      end
+      else if t.workers = 0 then S.Latch.await latch
+      else begin
+        let rec wait () =
+          if S.Latch.pending latch > 0 then begin
+            (match try_pop t with
+            | Some task -> task ()
+            | None -> P.relax ());
+            wait ()
+          end
+        in
+        wait ()
+      end;
+      match Atomic.get failure with
+      | Some e -> raise e
+      | None -> Array.fold_left combine init partials
+    end
+
+  let parallel_for t ?chunk ~lo ~hi body =
+    parallel_for_reduce t ?chunk ~lo ~hi ~combine:(fun () () -> ()) ~init:()
+      (fun i -> body i)
+end
+
+include Make (Platform.Os) (Future)

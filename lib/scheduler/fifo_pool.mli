@@ -6,29 +6,55 @@
     baseline: the [scheduler] experiment in [bench/main.exe] times both
     pools on identical kernels so every later PR can see the perf
     trajectory of the data-parallel substrate. Nothing in the runtime
-    uses this module. *)
+    uses this module.
 
-type t
+    The implementation is a functor over {!Platform.S} (threads,
+    mutexes, condition variables) and {!Future.S}; the top-level values
+    are the OS instantiation. The detcheck mutation-sanity suite
+    instantiates {!Make} with virtual fibers and flips
+    {!inject_double_await} to check that schedule exploration finds the
+    seed's deadlock. *)
 
-val create : ?num_domains:int -> unit -> t
-val num_workers : t -> int
-val parallelism : t -> int
+val inject_double_await : bool ref
+(** Test-only mutation flag, shared by every instantiation: when set,
+    [parallel_for_reduce] reintroduces the seed bug of blocking on its
+    helper latch (twice) instead of helping to drain the task queue —
+    a deadlock whenever a helper chunk is queued behind the awaiting
+    participant and every worker is busy. Never set this outside the
+    detcheck suite. *)
 
-val shutdown : t -> unit
-(** Idempotent; submitting afterwards raises [Invalid_argument]. *)
+module type S = sig
+  type t
+  type 'a fut
 
-val async : t -> (unit -> 'a) -> 'a Future.t
-val help : t -> bool
-val run : t -> (unit -> 'a) -> 'a
+  val create : ?num_domains:int -> unit -> t
+  val num_workers : t -> int
+  val parallelism : t -> int
 
-val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+  val submit : t -> (unit -> unit) -> unit
+  (** Fire-and-forget task submission (FIFO order). *)
 
-val parallel_for_reduce :
-  t ->
-  ?chunk:int ->
-  lo:int ->
-  hi:int ->
-  combine:('a -> 'a -> 'a) ->
-  init:'a ->
-  (int -> 'a) ->
-  'a
+  val shutdown : t -> unit
+  (** Idempotent; submitting afterwards raises [Invalid_argument]. *)
+
+  val async : t -> (unit -> 'a) -> 'a fut
+  val help : t -> bool
+  val run : t -> (unit -> 'a) -> 'a
+
+  val parallel_for :
+    t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+
+  val parallel_for_reduce :
+    t ->
+    ?chunk:int ->
+    lo:int ->
+    hi:int ->
+    combine:('a -> 'a -> 'a) ->
+    init:'a ->
+    (int -> 'a) ->
+    'a
+end
+
+module Make (P : Platform.S) (F : Future.S) : S with type 'a fut = 'a F.t
+
+include S with type 'a fut := 'a Future.t

@@ -44,6 +44,11 @@ type t = {
   epoch : int Atomic.t;
   n_parked : int Atomic.t;
   steal_cursor : int Atomic.t; (* start hint for helper threads *)
+  (* Pluggable steal-victim choice (detcheck's strategy hook): given
+     the stealing worker's slot and the deque count, returns the sweep
+     start. [None] — the production default — compiles to the direct
+     per-worker RNG call. *)
+  steal_choice : (slot:int -> n:int -> int) option;
   closed : bool Atomic.t;
   mutable domains : unit Domain.t list;
   workers : int;
@@ -141,7 +146,13 @@ let find_work t slot rand =
       | None ->
           let w = Array.length t.deques in
           if w <= 1 then None
-          else steal_sweep t ~start:(Random.State.int rand w) ~exclude:slot)
+          else
+            let start =
+              match t.steal_choice with
+              | None -> Random.State.int rand w
+              | Some choose -> choose ~slot ~n:w mod w
+            in
+            steal_sweep t ~start ~exclude:slot)
 
 (* Work discovery for any thread ([help], waiters). *)
 let try_pop t =
@@ -197,7 +208,7 @@ let spawn_worker t slot =
       in
       loop ())
 
-let create ?num_domains () =
+let create ?num_domains ?steal_choice () =
   let workers =
     match num_domains with
     | Some n ->
@@ -216,6 +227,7 @@ let create ?num_domains () =
       epoch = Atomic.make 0;
       n_parked = Atomic.make 0;
       steal_cursor = Atomic.make 0;
+      steal_choice;
       closed = Atomic.make false;
       domains = [];
       workers;

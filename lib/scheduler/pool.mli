@@ -22,9 +22,19 @@
 
 type t
 
-val create : ?num_domains:int -> unit -> t
+val create :
+  ?num_domains:int -> ?steal_choice:(slot:int -> n:int -> int) -> unit -> t
 (** [create ~num_domains ()] spawns [num_domains] worker domains
-    (default: [Domain.recommended_domain_count () - 1]). *)
+    (default: [Domain.recommended_domain_count () - 1]).
+
+    [steal_choice], when given, replaces the per-worker seeded RNG
+    that picks where an idle worker starts its steal sweep — the
+    pool's one tunable nondeterministic choice point. Detcheck routes
+    it through a recorded strategy; production leaves it unset, which
+    compiles to the direct RNG call. The function receives the
+    stealing worker's [slot] and the number of deques [n] and must
+    return a value whose [mod n] is the sweep start; it is called
+    concurrently from all workers and must be thread-safe. *)
 
 val num_workers : t -> int
 (** Number of spawned worker domains (excludes the caller). *)

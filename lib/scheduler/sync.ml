@@ -1,70 +1,92 @@
-module Latch = struct
-  type t = {
-    mutex : Mutex.t;
-    cond : Condition.t;
-    mutable count : int;
-  }
+module type S = sig
+  module Latch : sig
+    type t
 
-  let create n =
-    if n < 0 then invalid_arg "Latch.create: negative count";
-    { mutex = Mutex.create (); cond = Condition.create (); count = n }
+    val create : int -> t
+    val count_down : t -> unit
+    val await : t -> unit
+    val pending : t -> int
+  end
 
-  let count_down t =
-    Mutex.lock t.mutex;
-    if t.count > 0 then begin
-      t.count <- t.count - 1;
-      if t.count = 0 then Condition.broadcast t.cond
-    end;
-    Mutex.unlock t.mutex
+  module Barrier : sig
+    type t
 
-  let await t =
-    Mutex.lock t.mutex;
-    while t.count > 0 do
-      Condition.wait t.cond t.mutex
-    done;
-    Mutex.unlock t.mutex
-
-  let pending t =
-    Mutex.lock t.mutex;
-    let n = t.count in
-    Mutex.unlock t.mutex;
-    n
+    val create : int -> t
+    val await : t -> int
+  end
 end
 
-module Barrier = struct
-  type t = {
-    mutex : Mutex.t;
-    cond : Condition.t;
-    parties : int;
-    mutable waiting : int;
-    mutable generation : int;
-  }
-
-  let create n =
-    if n < 1 then invalid_arg "Barrier.create: need at least one party";
-    {
-      mutex = Mutex.create ();
-      cond = Condition.create ();
-      parties = n;
-      waiting = 0;
-      generation = 0;
+module Make (P : Platform.S) = struct
+  module Latch = struct
+    type t = {
+      mutex : P.mutex;
+      cond : P.cond;
+      mutable count : int;
     }
 
-  let await t =
-    Mutex.lock t.mutex;
-    let gen = t.generation in
-    t.waiting <- t.waiting + 1;
-    let index = t.parties - t.waiting in
-    if t.waiting = t.parties then begin
-      (* Last arrival trips the barrier and starts the next generation. *)
-      t.waiting <- 0;
-      t.generation <- gen + 1;
-      Condition.broadcast t.cond
-    end
-    else
-      while t.generation = gen do
-        Condition.wait t.cond t.mutex
+    let create n =
+      if n < 0 then invalid_arg "Latch.create: negative count";
+      { mutex = P.mutex_create (); cond = P.cond_create (); count = n }
+
+    let count_down t =
+      P.lock t.mutex;
+      if t.count > 0 then begin
+        t.count <- t.count - 1;
+        if t.count = 0 then P.broadcast t.cond
+      end;
+      P.unlock t.mutex
+
+    let await t =
+      P.lock t.mutex;
+      while t.count > 0 do
+        P.wait t.cond t.mutex
       done;
-    Mutex.unlock t.mutex;
-    index
+      P.unlock t.mutex
+
+    let pending t =
+      P.lock t.mutex;
+      let n = t.count in
+      P.unlock t.mutex;
+      n
+  end
+
+  module Barrier = struct
+    type t = {
+      mutex : P.mutex;
+      cond : P.cond;
+      parties : int;
+      mutable waiting : int;
+      mutable generation : int;
+    }
+
+    let create n =
+      if n < 1 then invalid_arg "Barrier.create: need at least one party";
+      {
+        mutex = P.mutex_create ();
+        cond = P.cond_create ();
+        parties = n;
+        waiting = 0;
+        generation = 0;
+      }
+
+    let await t =
+      P.lock t.mutex;
+      let gen = t.generation in
+      t.waiting <- t.waiting + 1;
+      let index = t.parties - t.waiting in
+      if t.waiting = t.parties then begin
+        (* Last arrival trips the barrier and starts the next generation. *)
+        t.waiting <- 0;
+        t.generation <- gen + 1;
+        P.broadcast t.cond
+      end
+      else
+        while t.generation = gen do
+          P.wait t.cond t.mutex
+        done;
+      P.unlock t.mutex;
+      index
+  end
 end
+
+include Make (Platform.Os)

@@ -1,38 +1,48 @@
 (** Small blocking synchronisation primitives used by the pool and the
-    stream runtime: countdown latches and cyclic barriers. *)
+    stream runtime: countdown latches and cyclic barriers.
 
-module Latch : sig
-  (** A countdown latch: starts at [n], {!await} unblocks once [n]
-      {!count_down} calls have happened. *)
+    Functorized over {!Platform.S} so detcheck can explore their
+    blocking behaviour on virtual fibers; the top-level [Latch] and
+    [Barrier] are the {!Platform.Os} instantiation. *)
 
-  type t
+module type S = sig
+  module Latch : sig
+    (** A countdown latch: starts at [n], {!Latch.await} unblocks once
+        [n] {!Latch.count_down} calls have happened. *)
 
-  val create : int -> t
-  (** [create n] requires [n >= 0]; with [n = 0] the latch is already
-      open. *)
+    type t
 
-  val count_down : t -> unit
-  (** Decrement; opening the latch wakes all waiters. Counting below
-      zero is ignored. *)
+    val create : int -> t
+    (** [create n] requires [n >= 0]; with [n = 0] the latch is
+        already open. *)
 
-  val await : t -> unit
-  (** Block until the latch reaches zero. *)
+    val count_down : t -> unit
+    (** Decrement; opening the latch wakes all waiters. Counting below
+        zero is ignored. *)
 
-  val pending : t -> int
-  (** Current count (racy snapshot, for diagnostics). *)
+    val await : t -> unit
+    (** Block until the latch reaches zero. *)
+
+    val pending : t -> int
+    (** Current count (racy snapshot, for diagnostics). *)
+  end
+
+  module Barrier : sig
+    (** A cyclic barrier for [n] parties. *)
+
+    type t
+
+    val create : int -> t
+    (** [create n] requires [n >= 1]. *)
+
+    val await : t -> int
+    (** Block until [n] parties arrive; returns the arrival index of
+        the caller within the current generation, in [0 .. n-1]; index
+        0 is the party that completed the barrier. The barrier then
+        resets for reuse. *)
+  end
 end
 
-module Barrier : sig
-  (** A cyclic barrier for [n] parties. *)
+module Make (P : Platform.S) : S
 
-  type t
-
-  val create : int -> t
-  (** [create n] requires [n >= 1]. *)
-
-  val await : t -> int
-  (** Block until [n] parties arrive; returns the arrival index of the
-      caller within the current generation, in [0 .. n-1]; index 0 is
-      the party that completed the barrier. The barrier then resets for
-      reuse. *)
-end
+include S

@@ -1,5 +1,8 @@
+module Exec = Scheduler.Exec
+
 type system = {
-  pool : Scheduler.Pool.t;
+  exec : Exec.t;
+  pool : Scheduler.Pool.t option;
   batch : int;
   mailbox : int;
   mutex : Mutex.t;
@@ -12,11 +15,19 @@ type system = {
 
 let default_mailbox = 1024
 
-let system ?pool ?(batch = 64) ?(mailbox = default_mailbox) () =
+let system ?pool ?exec ?(batch = 64) ?(mailbox = default_mailbox) () =
   if batch < 1 then invalid_arg "Actors.system: batch < 1";
   if mailbox < 1 then invalid_arg "Actors.system: mailbox < 1";
-  let pool = match pool with Some p -> p | None -> Scheduler.Pool.default () in
+  let exec, pool =
+    match (exec, pool) with
+    | Some e, p -> (e, p)
+    | None, Some p -> (Exec.of_pool p, Some p)
+    | None, None ->
+        let p = Scheduler.Pool.default () in
+        (Exec.of_pool p, Some p)
+  in
   {
+    exec;
     pool;
     batch;
     mailbox;
@@ -29,6 +40,7 @@ let system ?pool ?(batch = 64) ?(mailbox = default_mailbox) () =
   }
 
 let pool sys = sys.pool
+let executor sys = sys.exec
 let stalls sys = Atomic.get sys.stalls
 
 let message_sent sys =
@@ -113,14 +125,14 @@ let rec activation a () =
           let more = not (Queue.is_empty a.queue) in
           if not more then a.active <- false;
           Mutex.unlock a.qmutex;
-          if more then Scheduler.Pool.post a.sys.pool (activation a)
+          if more then a.sys.exec.Exec.post (activation a)
         end
   in
   step a.sys.batch
 
 (* Credit-based backpressure: a send finding the mailbox at capacity
    does not grow it; the producer parks and repays its debt by
-   executing queued activations ([Pool.help]) until the consumer
+   executing queued activations ([Exec.help]) until the consumer
    drains. Because the unfolded network graph is acyclic and the
    output sinks never block, some helped activation always makes
    progress, so this cannot deadlock. The one cycle — an actor
@@ -138,7 +150,7 @@ let send a m =
     then begin
       Mutex.unlock a.qmutex;
       if not stalled then ignore (Atomic.fetch_and_add a.sys.stalls 1);
-      if not (Scheduler.Pool.help a.sys.pool) then Domain.cpu_relax ();
+      if not (a.sys.exec.Exec.help ()) then a.sys.exec.Exec.idle ();
       try_enqueue true
     end
     else begin
@@ -146,16 +158,17 @@ let send a m =
       let need_schedule = not a.active in
       if need_schedule then a.active <- true;
       Mutex.unlock a.qmutex;
-      if need_schedule then Scheduler.Pool.post a.sys.pool (activation a)
+      if need_schedule then a.sys.exec.Exec.post (activation a)
     end
   in
   try_enqueue false
 
 let await_quiescence sys =
-  (* On a pool without worker domains the caller must execute the
+  (* On an executor without concurrent workers (a zero-domain pool, or
+     detcheck's virtual scheduler) the caller must execute the
      activations itself; otherwise it can simply sleep on the
      condition. *)
-  if Scheduler.Pool.num_workers sys.pool = 0 then begin
+  if sys.exec.Exec.workers = 0 then begin
     let quiet () =
       Mutex.lock sys.mutex;
       let q = sys.in_flight = 0 in
@@ -163,7 +176,7 @@ let await_quiescence sys =
       q
     in
     while not (quiet ()) do
-      if not (Scheduler.Pool.help sys.pool) then Domain.cpu_relax ()
+      if not (sys.exec.Exec.help ()) then sys.exec.Exec.idle ()
     done
   end
   else begin

@@ -1,4 +1,5 @@
-(** A lightweight actor layer over the domain {!Scheduler.Pool}.
+(** A lightweight actor layer over a task executor ({!Scheduler.Exec}),
+    normally the domain {!Scheduler.Pool}.
 
     This substitutes for S-Net's LPEL (light-weight parallel execution
     layer): a running network may contain hundreds of box instances
@@ -6,7 +7,13 @@
     boxes), far more than the sensible number of OCaml domains, so each
     component instance becomes an {e actor} — a mailbox plus a
     single-threaded message handler — and actors with pending messages
-    are multiplexed over the pool's worker domains.
+    are multiplexed over the executor's workers.
+
+    Every scheduling interaction (posting an activation, helping while
+    blocked, idling) goes through the system's {!Scheduler.Exec.t}, so
+    detcheck can substitute a virtual scheduler that runs the whole
+    system single-threaded under a seeded, replayable strategy; the
+    production executor is a direct-call wrapper over the pool.
 
     Guarantees:
     - per-actor FIFO: messages from one sender to one actor are handled
@@ -31,15 +38,25 @@
 type system
 
 val system :
-  ?pool:Scheduler.Pool.t -> ?batch:int -> ?mailbox:int -> unit -> system
-(** Actors of this system run on [pool] (default:
-    {!Scheduler.Pool.default}[ ()]). [batch] (default 64) is the
-    maximum number of messages one activation handles before yielding
-    its worker — the fairness/throughput trade-off measured by the
-    [ablation] benchmark. [mailbox] (default 1024, at least 1) bounds
-    every actor's queue. *)
+  ?pool:Scheduler.Pool.t ->
+  ?exec:Scheduler.Exec.t ->
+  ?batch:int ->
+  ?mailbox:int ->
+  unit ->
+  system
+(** Actors of this system run on [exec] when given, else on [pool]
+    (default {!Scheduler.Pool.default}[ ()]) wrapped as an executor.
+    [batch] (default 64) is the maximum number of messages one
+    activation handles before yielding its worker — the
+    fairness/throughput trade-off measured by the [ablation]
+    benchmark. [mailbox] (default 1024, at least 1) bounds every
+    actor's queue. *)
 
-val pool : system -> Scheduler.Pool.t
+val pool : system -> Scheduler.Pool.t option
+(** The underlying pool, when the system runs on one ([None] under a
+    substituted executor). *)
+
+val executor : system -> Scheduler.Exec.t
 
 val stalls : system -> int
 (** Number of sends so far that found a full mailbox and had to park
@@ -53,9 +70,9 @@ val spawn : system -> ?name:string -> ('m -> unit) -> 'm t
     handler may {!send} to any actor, including itself. *)
 
 val send : 'm t -> 'm -> unit
-(** Enqueue a message and schedule the actor. Blocks (helping the pool)
-    while the target mailbox is full, except for a handler sending to
-    its own actor. *)
+(** Enqueue a message and schedule the actor. Blocks (helping the
+    executor) while the target mailbox is full, except for a handler
+    sending to its own actor. *)
 
 val name : 'm t -> string
 
@@ -66,7 +83,10 @@ val mailbox_length : 'm t -> int
 val await_quiescence : system -> unit
 (** Block the calling thread until no message is pending or being
     handled anywhere in the system, then re-raise the first handler
-    exception if any occurred. *)
+    exception if any occurred. On an executor without concurrent
+    workers the caller drives the executor itself ([help]/[idle]), so
+    a virtual executor may raise {!Scheduler.Exec.Deadlock} here when
+    the system cannot progress. *)
 
 val pending : system -> int
 (** Racy snapshot of unprocessed messages across the system. *)

@@ -1,96 +1,122 @@
 exception Closed
 
-type 'a t = {
-  mutex : Mutex.t;
-  not_empty : Condition.t;
-  not_full : Condition.t;
-  queue : 'a Queue.t;
-  capacity : int;
-  mutable closed : bool;
-}
+(* Test-only mutation flag (shared by every instantiation): when set,
+   [close] omits the wakeup of senders blocked on a full buffer — the
+   seed bug where a producer parked on [not_full] slept through the
+   close and hung forever. The detcheck mutation-sanity suite flips it
+   to assert that schedule exploration finds the lost wakeup. Never
+   set outside that suite. *)
+let inject_close_no_wake = ref false
 
-let create ?(capacity = 1024) () =
-  if capacity < 1 then invalid_arg "Channel.create: capacity < 1";
-  {
-    mutex = Mutex.create ();
-    not_empty = Condition.create ();
-    not_full = Condition.create ();
-    queue = Queue.create ();
-    capacity;
-    closed = false;
+module type S = sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> [ `Closed | `Msg of 'a ]
+  val try_recv : 'a t -> [ `Closed | `Empty | `Msg of 'a ]
+  val close : 'a t -> unit
+  val is_closed : 'a t -> bool
+  val length : 'a t -> int
+  val to_list : 'a t -> 'a list
+  val of_list : ?close:bool -> 'a list -> 'a t
+end
+
+module Make (P : Scheduler.Platform.S) = struct
+  type 'a t = {
+    mutex : P.mutex;
+    not_empty : P.cond;
+    not_full : P.cond;
+    queue : 'a Queue.t;
+    capacity : int;
+    mutable closed : bool;
   }
 
-let send t v =
-  Mutex.lock t.mutex;
-  while Queue.length t.queue >= t.capacity && not t.closed do
-    Condition.wait t.not_full t.mutex
-  done;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    raise Closed
-  end;
-  Queue.push v t.queue;
-  Condition.signal t.not_empty;
-  Mutex.unlock t.mutex
+  let create ?(capacity = 1024) () =
+    if capacity < 1 then invalid_arg "Channel.create: capacity < 1";
+    {
+      mutex = P.mutex_create ();
+      not_empty = P.cond_create ();
+      not_full = P.cond_create ();
+      queue = Queue.create ();
+      capacity;
+      closed = false;
+    }
 
-let recv t =
-  Mutex.lock t.mutex;
-  while Queue.is_empty t.queue && not t.closed do
-    Condition.wait t.not_empty t.mutex
-  done;
-  let r =
-    match Queue.take_opt t.queue with
-    | Some v ->
-        Condition.signal t.not_full;
-        `Msg v
-    | None -> `Closed
-  in
-  Mutex.unlock t.mutex;
-  r
+  let send t v =
+    P.lock t.mutex;
+    while Queue.length t.queue >= t.capacity && not t.closed do
+      P.wait t.not_full t.mutex
+    done;
+    if t.closed then begin
+      P.unlock t.mutex;
+      raise Closed
+    end;
+    Queue.push v t.queue;
+    P.signal t.not_empty;
+    P.unlock t.mutex
 
-let try_recv t =
-  Mutex.lock t.mutex;
-  let r =
-    match Queue.take_opt t.queue with
-    | Some v ->
-        Condition.signal t.not_full;
-        `Msg v
-    | None -> if t.closed then `Closed else `Empty
-  in
-  Mutex.unlock t.mutex;
-  r
+  let recv t =
+    P.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      P.wait t.not_empty t.mutex
+    done;
+    let r =
+      match Queue.take_opt t.queue with
+      | Some v ->
+          P.signal t.not_full;
+          `Msg v
+      | None -> `Closed
+    in
+    P.unlock t.mutex;
+    r
 
-let close t =
-  Mutex.lock t.mutex;
-  t.closed <- true;
-  Condition.broadcast t.not_empty;
-  Condition.broadcast t.not_full;
-  Mutex.unlock t.mutex
+  let try_recv t =
+    P.lock t.mutex;
+    let r =
+      match Queue.take_opt t.queue with
+      | Some v ->
+          P.signal t.not_full;
+          `Msg v
+      | None -> if t.closed then `Closed else `Empty
+    in
+    P.unlock t.mutex;
+    r
 
-let is_closed t =
-  Mutex.lock t.mutex;
-  let c = t.closed in
-  Mutex.unlock t.mutex;
-  c
+  let close t =
+    P.lock t.mutex;
+    t.closed <- true;
+    P.broadcast t.not_empty;
+    if not !inject_close_no_wake then P.broadcast t.not_full;
+    P.unlock t.mutex
 
-let length t =
-  Mutex.lock t.mutex;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  n
+  let is_closed t =
+    P.lock t.mutex;
+    let c = t.closed in
+    P.unlock t.mutex;
+    c
 
-let to_list t =
-  let rec go acc =
-    match recv t with
-    | `Msg v -> go (v :: acc)
-    | `Closed -> List.rev acc
-  in
-  go []
+  let length t =
+    P.lock t.mutex;
+    let n = Queue.length t.queue in
+    P.unlock t.mutex;
+    n
 
-let of_list ?close:(close_it = true) xs =
-  (* Leave headroom above the prefill so an unclosed channel stays
-     usable without draining first. *)
-  let t = create ~capacity:(max 16 (2 * List.length xs)) () in
-  List.iter (fun x -> send t x) xs;
-  if close_it then close t;
-  t
+  let to_list t =
+    let rec go acc =
+      match recv t with
+      | `Msg v -> go (v :: acc)
+      | `Closed -> List.rev acc
+    in
+    go []
+
+  let of_list ?close:(close_it = true) xs =
+    (* Leave headroom above the prefill so an unclosed channel stays
+       usable without draining first. *)
+    let t = create ~capacity:(max 16 (2 * List.length xs)) () in
+    List.iter (fun x -> send t x) xs;
+    if close_it then close t;
+    t
+end
+
+include Make (Scheduler.Platform.Os)

@@ -9,42 +9,62 @@
 
     Receive results distinguish the three consumer-visible states —
     a message, a transiently empty buffer, and end-of-stream — so
-    consumers never have to guess whether a producer is merely slow. *)
+    consumers never have to guess whether a producer is merely slow.
 
-type 'a t
+    The implementation is a functor over {!Scheduler.Platform.S} so
+    detcheck can run channels on virtual fibers under a controlled,
+    replayable scheduler; the top-level values are the OS
+    instantiation. *)
 
 exception Closed
-(** Raised by {!send} on a closed channel. *)
+(** Raised by [send] on a closed channel (every instantiation raises
+    this same exception). *)
 
-val create : ?capacity:int -> unit -> 'a t
-(** [capacity] (default 1024) must be at least 1. *)
+val inject_close_no_wake : bool ref
+(** Test-only mutation flag, shared by every instantiation: when set,
+    [close] skips waking senders blocked on a full buffer — the seed's
+    lost-wakeup hang. Never set this outside the detcheck suite. *)
 
-val send : 'a t -> 'a -> unit
-(** Block while full. @raise Closed if the channel was closed (also
-    when the close happens while blocked waiting for space). *)
+module type S = sig
+  type 'a t
 
-val recv : 'a t -> [ `Closed | `Msg of 'a ]
-(** Block while empty and open; [`Closed] once the channel is closed
-    {e and} drained. Never returns while the buffer is merely empty. *)
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] (default 1024) must be at least 1. *)
 
-val try_recv : 'a t -> [ `Closed | `Empty | `Msg of 'a ]
-(** Non-blocking receive: [`Empty] when the channel is open but has
-    nothing buffered (a slow producer), [`Closed] at end-of-stream. *)
+  val send : 'a t -> 'a -> unit
+  (** Block while full. @raise Closed if the channel was closed (also
+      when the close happens while blocked waiting for space). *)
 
-val close : 'a t -> unit
-(** Idempotent. Buffered elements remain receivable; blocked senders
-    wake and raise {!Closed}, blocked receivers wake and drain. *)
+  val recv : 'a t -> [ `Closed | `Msg of 'a ]
+  (** Block while empty and open; [`Closed] once the channel is closed
+      {e and} drained. Never returns while the buffer is merely
+      empty. *)
 
-val is_closed : 'a t -> bool
+  val try_recv : 'a t -> [ `Closed | `Empty | `Msg of 'a ]
+  (** Non-blocking receive: [`Empty] when the channel is open but has
+      nothing buffered (a slow producer), [`Closed] at
+      end-of-stream. *)
 
-val length : 'a t -> int
-(** Racy snapshot of the buffered element count. *)
+  val close : 'a t -> unit
+  (** Idempotent. Buffered elements remain receivable; blocked senders
+      wake and raise {!Closed}, blocked receivers wake and drain. *)
 
-val to_list : 'a t -> 'a list
-(** Receive until end-of-stream; only sensible on a channel that will
-    be closed by its producer. *)
+  val is_closed : 'a t -> bool
 
-val of_list : ?close:bool -> 'a list -> 'a t
-(** A channel pre-filled with the list (capacity is sized with
-    headroom above the list), closed afterwards unless [~close:false].
-    The close goes through {!close} so blocked peers observe it. *)
+  val length : 'a t -> int
+  (** Racy snapshot of the buffered element count. *)
+
+  val to_list : 'a t -> 'a list
+  (** Receive until end-of-stream; only sensible on a channel that
+      will be closed by its producer. *)
+
+  val of_list : ?close:bool -> 'a list -> 'a t
+  (** A channel pre-filled with the list (capacity is sized with
+      headroom above the list), closed afterwards unless
+      [~close:false]. The close goes through {!close} so blocked peers
+      observe it. *)
+end
+
+module Make (P : Scheduler.Platform.S) : S
+
+include S

@@ -33,4 +33,5 @@ let () =
       ("networks", Test_networks.suite);
       ("propagate", Test_propagate.suite);
       ("faults", Test_faults.suite);
+      ("detcheck", Test_detcheck.suite);
     ]

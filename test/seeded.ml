@@ -1,0 +1,43 @@
+(* Seed discipline — one policy for every randomized test in the
+   repo:
+
+   - DETCHECK_SEED, if set, wins (the detcheck CI matrix sets it);
+   - otherwise QCHECK_SEED (the conventional QCheck variable);
+   - otherwise a fresh self-initialised seed.
+
+   Whichever way the seed was obtained it is printed once at startup,
+   so any failing run — property test or schedule exploration — is
+   reproducible by exporting the printed value. Individual tests must
+   not call [Random.self_init] or construct their own ad-hoc
+   randomness; they go through {!to_alcotest} / {!state} / {!seed}. *)
+
+let seed =
+  let lazy_seed =
+    lazy
+      (let from_env name =
+         Option.bind (Sys.getenv_opt name) (fun s ->
+             int_of_string_opt (String.trim s))
+       in
+       match (from_env "DETCHECK_SEED", from_env "QCHECK_SEED") with
+       | Some n, _ ->
+           Printf.printf "randomized tests: seed %d (from DETCHECK_SEED)\n%!" n;
+           n
+       | None, Some n ->
+           Printf.printf "randomized tests: seed %d (from QCHECK_SEED)\n%!" n;
+           n
+       | None, None ->
+           Random.self_init ();
+           let n = Random.int 0x3FFFFFFF in
+           Printf.printf
+             "randomized tests: seed %d (export QCHECK_SEED=%d to reproduce)\n%!"
+             n n;
+           n)
+  in
+  fun () -> Lazy.force lazy_seed
+
+(* A fresh PRNG per call, derived from the session seed: every
+   consumer gets the same stream regardless of how many other tests
+   drew from theirs. *)
+let state () = Random.State.make [| 0x7e57; seed () |]
+
+let to_alcotest test = QCheck_alcotest.to_alcotest ~rand:(state ()) test

@@ -199,12 +199,12 @@ let suite =
     Alcotest.test_case "reductions" `Quick test_reductions;
     Alcotest.test_case "axis operations" `Quick test_axis_ops;
     Alcotest.test_case "matmul" `Quick test_matmul;
-    QCheck_alcotest.to_alcotest prop_matmul_assoc;
-    QCheck_alcotest.to_alcotest prop_sum_axis_total;
-    QCheck_alcotest.to_alcotest prop_concat_length;
-    QCheck_alcotest.to_alcotest prop_concat_assoc;
-    QCheck_alcotest.to_alcotest prop_take_drop_concat;
-    QCheck_alcotest.to_alcotest prop_reverse_involution;
-    QCheck_alcotest.to_alcotest prop_rotate_sum;
-    QCheck_alcotest.to_alcotest prop_transpose_involution;
+    Seeded.to_alcotest prop_matmul_assoc;
+    Seeded.to_alcotest prop_sum_axis_total;
+    Seeded.to_alcotest prop_concat_length;
+    Seeded.to_alcotest prop_concat_assoc;
+    Seeded.to_alcotest prop_take_drop_concat;
+    Seeded.to_alcotest prop_reverse_involution;
+    Seeded.to_alcotest prop_rotate_sum;
+    Seeded.to_alcotest prop_transpose_involution;
   ]

@@ -311,5 +311,5 @@ let suite =
     Alcotest.test_case "conc: feed/finish cycles" `Quick test_conc_feed_finish_cycles;
     Alcotest.test_case "conc: admission check" `Quick test_conc_admission_check;
     Alcotest.test_case "conc: zero-worker pool" `Quick test_conc_zero_worker_pool;
-    QCheck_alcotest.to_alcotest prop_engines_agree;
+    Seeded.to_alcotest prop_engines_agree;
   ]

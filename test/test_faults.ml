@@ -321,5 +321,5 @@ let suite =
       test_actor_failure_keeps_draining;
     Alcotest.test_case "close wakes blocked send and recv" `Quick
       test_close_wakes_blocked_send_and_recv;
-    QCheck_alcotest.to_alcotest prop_mailbox_never_exceeds_bound;
+    Seeded.to_alcotest prop_mailbox_never_exceeds_bound;
   ]

@@ -124,6 +124,6 @@ let suite =
     Alcotest.test_case "reshape" `Quick test_reshape;
     Alcotest.test_case "pretty printing" `Quick test_pp;
     Alcotest.test_case "iteri" `Quick test_iteri;
-    QCheck_alcotest.to_alcotest prop_init_get;
-    QCheck_alcotest.to_alcotest prop_to_flat_roundtrip;
+    Seeded.to_alcotest prop_init_get;
+    Seeded.to_alcotest prop_to_flat_roundtrip;
   ]

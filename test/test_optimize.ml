@@ -158,5 +158,5 @@ let suite =
     Alcotest.test_case "observer stripping" `Quick test_strip_observe;
     Alcotest.test_case "serial reassociation" `Quick test_reassociate;
     Alcotest.test_case "folding inside networks" `Quick test_fold_in_networks;
-    QCheck_alcotest.to_alcotest prop_optimize_preserves;
+    Seeded.to_alcotest prop_optimize_preserves;
   ]

@@ -111,5 +111,5 @@ let suite =
     Alcotest.test_case "guarded matching" `Quick test_matches_guard;
     Alcotest.test_case "validation" `Quick test_validate;
     Alcotest.test_case "to_string" `Quick test_to_string;
-    QCheck_alcotest.to_alcotest prop_mod_c_semantics;
+    Seeded.to_alcotest prop_mod_c_semantics;
   ]

@@ -1,118 +1,76 @@
 (* Differential testing on randomly generated networks: every engine
    must agree with the reference interpreter — exactly on fully
-   deterministic networks, up to permutation otherwise. *)
+   deterministic networks, up to permutation otherwise.
+
+   Generation lives in {!Detcheck.Netgen} (shared with the
+   schedule-exploring oracle and the replay CLI), so the grammar here
+   includes synchrocells, feedback stars and supervised boxes (error
+   records, retry exhaustion with backoff, timeout overruns). These
+   properties exercise the REAL engines — OS threads, domain pool,
+   wall clock; the same specs run under virtual schedules in
+   [test_detcheck]. *)
 
 module Net = Snet.Net
 module Box = Snet.Box
-module P = Snet.Pattern
-module Record = Snet.Record
+module Netgen = Detcheck.Netgen
 
-(* All generated components map {<x>,<k>,...} records to records that
-   still carry <x> and <k>, so any composition is well-typed. *)
+let arbitrary klass =
+  QCheck.make ~print:Netgen.print
+    ~shrink:(fun spec yield -> Seq.iter yield (Netgen.shrink spec))
+    (Netgen.gen klass)
 
-let box_of name f =
-  Box.make ~name ~input:[ T "x" ] ~outputs:[ [ T "x" ] ]
-    (fun ~emit -> function
-      | [ Tag x ] -> List.iter (fun y -> emit 1 [ Tag y ]) (f x)
-      | _ -> assert false)
-
-let inc = box_of "inc" (fun x -> [ x + 1 ])
-let double = box_of "double" (fun x -> [ 2 * x ])
-let dup = box_of "dup" (fun x -> [ x; x + 17 ])
-let drop_big = box_of "dropBig" (fun x -> if x > 1000 then [] else [ x ])
-
-let add_filter =
-  Snet.Filter.make
-    (P.make ~fields:[] ~tags:[ "x" ] ())
-    [ [ Snet.Filter.Set_tag ("x", P.Add (P.Tag "x", P.Const 3)) ] ]
-
-(* A star body that always converges: divide x by 2 until small, then
-   emit <stop>. *)
-let shrink =
-  Box.make ~name:"shrink" ~input:[ T "x" ]
-    ~outputs:[ [ T "x" ]; [ T "x"; T "stop" ] ]
-    (fun ~emit -> function
-      | [ Tag x ] ->
-          if abs x <= 1 then emit 2 [ Tag x; Tag 1 ]
-          else emit 1 [ Tag (x / 2) ]
-      | _ -> assert false)
-
-let stop_pattern = P.make ~fields:[] ~tags:[ "stop" ] ()
-
-(* Star exits carry <stop>; strip it so the rest of the network keeps
-   operating on plain {<x>,<k>} records. *)
-let strip_stop =
-  Snet.Filter.make
-    (P.make ~fields:[] ~tags:[ "stop"; "x" ] ())
-    [ [ Snet.Filter.Set_tag ("x", P.Tag "x") ] ]
-
-let leaf_gen =
-  QCheck.Gen.oneofl
-    [
-      Net.box inc; Net.box double; Net.box dup; Net.box drop_big;
-      Net.filter add_filter;
-    ]
-
-let rec net_gen ~det depth =
-  let open QCheck.Gen in
-  if depth = 0 then leaf_gen
-  else
-    frequency
-      [
-        (3, leaf_gen);
-        ( 2,
-          map2 (fun a b -> Net.serial a b) (net_gen ~det (depth - 1))
-            (net_gen ~det (depth - 1)) );
-        ( 1,
-          map2 (fun a b -> Net.choice ~det a b) (net_gen ~det (depth - 1))
-            (net_gen ~det (depth - 1)) );
-        (1, map (fun body -> Net.split ~det body "k") (net_gen ~det (depth - 1)));
-        ( 1,
-          return
-            (Net.serial
-               (Net.star ~det (Net.box shrink) stop_pattern)
-               (Net.filter strip_stop)) );
-      ]
-
-let inputs_gen =
-  QCheck.Gen.(
-    list_size (int_range 1 15)
-      (map2 (fun x k -> (x, k)) (int_range (-40) 2000) (int_range 0 3)))
-
-let records_of inputs =
-  List.map (fun (x, k) -> Snet.record ~tags:[ ("x", x); ("k", k) ] ()) inputs
-
-let signature out =
-  List.map (fun r -> (Record.tag "x" r, Record.tag "k" r)) out
-
-let run_differential ~det (netspec, inputs) =
-  let records = records_of inputs in
-  let reference = signature (Snet.Engine_seq.run netspec records) in
+let run_differential spec =
+  let det = Netgen.deterministic spec in
+  let net = Netgen.to_net spec in
+  let records = Netgen.records spec in
+  let reference =
+    Netgen.signature_string ~det (Snet.Engine_seq.run net records)
+  in
   let pool = Scheduler.Pool.create ~num_domains:2 () in
   Fun.protect
     ~finally:(fun () -> Scheduler.Pool.shutdown pool)
     (fun () ->
-      let conc = signature (Snet.Engine_conc.run ~pool netspec records) in
-      let thr = signature (Snet.Engine_thread.run netspec records) in
-      if det then conc = reference && thr = reference
-      else
-        let sort = List.sort compare in
-        sort conc = sort reference && sort thr = sort reference)
-
-let arbitrary ~det =
-  QCheck.make
-    ~print:(fun (net, inputs) ->
-      Printf.sprintf "%s on %d records" (Net.to_string net)
-        (List.length inputs))
-    QCheck.Gen.(pair (net_gen ~det 3) inputs_gen)
+      let conc =
+        Netgen.signature_string ~det (Snet.Engine_conc.run ~pool net records)
+      in
+      let thr =
+        Netgen.signature_string ~det (Snet.Engine_thread.run net records)
+      in
+      conc = reference && thr = reference)
 
 let prop_det =
   QCheck.Test.make ~name:"random det nets: all engines byte-identical"
-    ~count:40 (arbitrary ~det:true) (run_differential ~det:true)
+    ~count:40 (arbitrary Netgen.Det) run_differential
 
 let prop_nondet =
   QCheck.Test.make ~name:"random nondet nets: same multiset on all engines"
-    ~count:40 (arbitrary ~det:false) (run_differential ~det:false)
+    ~count:40 (arbitrary Netgen.Nondet) run_differential
+
+(* The real pool's steal-victim choice routed through a seeded chooser
+   ({!Scheduler.Pool.create}'s [steal_choice] hook): same differential
+   bar, but the pool's only internal randomness now derives from the
+   session seed. *)
+let prop_det_steal_fuzz =
+  QCheck.Test.make
+    ~name:"random det nets: byte-identical under seeded steal fuzzing"
+    ~count:15 (arbitrary Netgen.Det)
+    (fun spec ->
+      let net = Netgen.to_net spec in
+      let records = Netgen.records spec in
+      let reference =
+        Netgen.signature_string ~det:true (Snet.Engine_seq.run net records)
+      in
+      let pool =
+        Scheduler.Pool.create ~num_domains:2
+          ~steal_choice:(Detcheck.Strategy.steal_choice ~seed:(Seeded.seed ()))
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Scheduler.Pool.shutdown pool)
+        (fun () ->
+          Netgen.signature_string ~det:true
+            (Snet.Engine_conc.run ~pool net records)
+          = reference))
 
 (* Soundness of the admission check: if Typecheck.flow accepts a
    record's variant, the reference engine must route it without error;
@@ -129,11 +87,12 @@ let needs_y =
 
 let rec picky_net_gen depth =
   let open QCheck.Gen in
-  if depth = 0 then oneofl [ Net.box inc; Net.box needs_y; Net.box dup ]
+  if depth = 0 then
+    oneofl [ Net.box Netgen.inc; Net.box needs_y; Net.box Netgen.dup ]
   else
     frequency
       [
-        (2, oneofl [ Net.box inc; Net.box needs_y ]);
+        (2, oneofl [ Net.box Netgen.inc; Net.box needs_y ]);
         ( 2,
           map2 Net.serial (picky_net_gen (depth - 1)) (picky_net_gen (depth - 1)) );
         ( 1,
@@ -170,7 +129,8 @@ let prop_flow_soundness =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_det;
-    QCheck_alcotest.to_alcotest prop_nondet;
-    QCheck_alcotest.to_alcotest prop_flow_soundness;
+    Seeded.to_alcotest prop_det;
+    Seeded.to_alcotest prop_nondet;
+    Seeded.to_alcotest prop_det_steal_fuzz;
+    Seeded.to_alcotest prop_flow_soundness;
   ]

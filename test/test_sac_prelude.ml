@@ -91,5 +91,5 @@ let suite =
     Alcotest.test_case "reverse/rotate" `Quick test_reverse_rotate;
     Alcotest.test_case "reductions" `Quick test_reductions;
     Alcotest.test_case "user code over the prelude" `Quick test_user_code_on_top;
-    QCheck_alcotest.to_alcotest prop_prelude_concat_matches_builtin;
+    Seeded.to_alcotest prop_prelude_concat_matches_builtin;
   ]

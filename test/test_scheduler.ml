@@ -359,6 +359,6 @@ let suite =
     Alcotest.test_case "nested parallel_for" `Quick test_nested_parallel_for;
     Alcotest.test_case "parallel_for_range" `Quick test_parallel_for_range;
     Alcotest.test_case "pool counters" `Quick test_pool_counters;
-    QCheck_alcotest.to_alcotest prop_chase_lev_partition;
-    QCheck_alcotest.to_alcotest prop_parallel_sum_matches;
+    Seeded.to_alcotest prop_chase_lev_partition;
+    Seeded.to_alcotest prop_parallel_sum_matches;
   ]

@@ -111,6 +111,6 @@ let suite =
     Alcotest.test_case "concat/take/drop" `Quick test_concat_take_drop;
     Alcotest.test_case "vector ops" `Quick test_vector_ops;
     Alcotest.test_case "to_string" `Quick test_to_string;
-    QCheck_alcotest.to_alcotest prop_ravel_unravel;
-    QCheck_alcotest.to_alcotest prop_unravel_mem;
+    Seeded.to_alcotest prop_ravel_unravel;
+    Seeded.to_alcotest prop_unravel_mem;
   ]

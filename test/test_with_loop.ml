@@ -279,7 +279,7 @@ let suite =
     Alcotest.test_case "parallel agreement" `Quick test_parallel_agreement;
     Alcotest.test_case "rank-0 arrays" `Quick test_rank0;
     Alcotest.test_case "genarray_init above cutoff" `Quick test_genarray_init_large;
-    QCheck_alcotest.to_alcotest prop_genarray_matches_init;
-    QCheck_alcotest.to_alcotest prop_later_generator_wins;
-    QCheck_alcotest.to_alcotest prop_fast_slow_agree;
+    Seeded.to_alcotest prop_genarray_matches_init;
+    Seeded.to_alcotest prop_later_generator_wins;
+    Seeded.to_alcotest prop_fast_slow_agree;
   ]
