@@ -21,6 +21,12 @@ dune runtest
 echo "== fault-injection smoke =="
 dune build @fault-smoke
 
+echo "== observability smoke =="
+# fig2/medium with tracing on, the exported trace validated through the
+# exporter's own reader, and the tracing-off overhead (bar: <= 2%)
+# recorded into BENCH_obsv.json.
+dune build @obsv-smoke
+
 echo "== detcheck seed matrix: $SEEDS =="
 dune build @detcheck   # default seed, exercises the alias itself
 for seed in $SEEDS; do

@@ -31,6 +31,11 @@
                    no-failure path (acceptance: <= 10%) and throughput
                    of a flaky pipeline under error-record and retry on
                    all three engines. Emits BENCH_faults.json.
+     obsv          Observability layer: fig2/medium with the event
+                   sink / metrics on vs off, disabled-probe cost, and
+                   validation of the exported Chrome trace through the
+                   exporter's own reader (acceptance: <= 2% overhead
+                   with tracing off). Emits BENCH_obsv.json.
 
    Run all:        dune exec bench/main.exe
    Run one:        dune exec bench/main.exe -- fig3-sweep *)
@@ -385,6 +390,27 @@ let exp_scheduler () =
     \  tasks=%d steals=%d parks=%d splits=%d\n"
     s0.Scheduler.Pool.tasks s0.Scheduler.Pool.steals s0.Scheduler.Pool.parks
     s0.Scheduler.Pool.splits;
+  (* Task latency distribution: one metrics-instrumented parallel_for
+     on the same pool, reported as percentiles via the obsv layer. *)
+  Obsv.Metrics.enable ();
+  Scheduler.Pool.parallel_for obs_pool ~lo:0 ~hi:n body;
+  let task_lat =
+    List.find_map
+      (fun (c, nm, h) -> if c = "pool" && nm = "task" then Some h else None)
+      (Obsv.Metrics.snapshot ()).Obsv.Metrics.spans
+  in
+  Obsv.Metrics.disable ();
+  (match task_lat with
+  | Some h ->
+      Printf.printf
+        "  pool task latency over one pfor (%d tasks): p50=%s p95=%s p99=%s \
+         max=%s\n"
+        h.Obsv.Metrics.count
+        (pretty_ns (h.Obsv.Metrics.p50 *. 1e9))
+        (pretty_ns (h.Obsv.Metrics.p95 *. 1e9))
+        (pretty_ns (h.Obsv.Metrics.p99 *. 1e9))
+        (pretty_ns (h.Obsv.Metrics.max_s *. 1e9))
+  | None -> Printf.printf "  (no pool task spans recorded)\n");
   List.iter (fun (_, p) -> Scheduler.Fifo_pool.shutdown p) fifos;
   List.iter (fun (_, p) -> Scheduler.Pool.shutdown p) pools;
   (* Persist the trajectory for later PRs. *)
@@ -396,6 +422,16 @@ let exp_scheduler () =
   Printf.fprintf oc "  \"pool_counters\": { \"tasks\": %d, \"steals\": %d, \"parks\": %d, \"splits\": %d },\n"
     s0.Scheduler.Pool.tasks s0.Scheduler.Pool.steals s0.Scheduler.Pool.parks
     s0.Scheduler.Pool.splits;
+  (match task_lat with
+  | Some h ->
+      Printf.fprintf oc
+        "  \"task_latency_ns\": { \"count\": %d, \"p50\": %.1f, \"p95\": \
+         %.1f, \"p99\": %.1f },\n"
+        h.Obsv.Metrics.count
+        (h.Obsv.Metrics.p50 *. 1e9)
+        (h.Obsv.Metrics.p95 *. 1e9)
+        (h.Obsv.Metrics.p99 *. 1e9)
+  | None -> ());
   Printf.fprintf oc "  \"results\": [\n";
   let rows = !rows in
   List.iteri
@@ -723,14 +759,31 @@ let exp_faults () =
              Snet.Engine_thread.run ~supervision:record_cfg (flaky_net ())
                inputs));
     ];
-  (* One instrumented run, for the supervision counters. *)
+  (* One instrumented run, for the supervision counters and per-box
+     latency percentiles (via the obsv metrics layer). *)
   let stats = Snet.Stats.create () in
+  Obsv.Metrics.enable ();
   let outs =
     Snet.Engine_conc.run ~pool:(Lazy.force conc_pool) ~stats
       ~supervision:record_cfg (flaky_net ()) inputs
   in
+  let box_lats =
+    List.filter
+      (fun (c, _, _) -> c = "box")
+      (Obsv.Metrics.snapshot ()).Obsv.Metrics.spans
+  in
+  Obsv.Metrics.disable ();
   let errors = List.filter Snet.Supervise.is_error outs in
   let snap = Snet.Stats.snapshot stats in
+  List.iter
+    (fun (_, nm, h) ->
+      Printf.printf
+        "  box latency %-24s n=%-4d p50=%s p95=%s p99=%s\n" nm
+        h.Obsv.Metrics.count
+        (pretty_ns (h.Obsv.Metrics.p50 *. 1e9))
+        (pretty_ns (h.Obsv.Metrics.p95 *. 1e9))
+        (pretty_ns (h.Obsv.Metrics.p99 *. 1e9)))
+    box_lats;
   Printf.printf
     "\n  flaky/conc under error-record: %d outputs, %d error records\n\
     \  box_errors=%d box_retries=%d box_timeouts=%d backpressure_stalls=%d\n"
@@ -769,6 +822,19 @@ let exp_faults () =
      \"box_errors\": %d, \"box_retries\": %d, \"backpressure_stalls\": %d },\n"
     (List.length outs) (List.length errors) snap.Snet.Stats.box_errors
     snap.Snet.Stats.box_retries snap.Snet.Stats.backpressure_stalls;
+  Printf.fprintf oc "  \"box_latency_ns\": [\n";
+  List.iteri
+    (fun i (_, nm, h) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"count\": %d, \"p50\": %.1f, \"p95\": \
+         %.1f, \"p99\": %.1f }%s\n"
+        (json_escape nm) h.Obsv.Metrics.count
+        (h.Obsv.Metrics.p50 *. 1e9)
+        (h.Obsv.Metrics.p95 *. 1e9)
+        (h.Obsv.Metrics.p99 *. 1e9)
+        (if i = List.length box_lats - 1 then "" else ","))
+    box_lats;
+  Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"results\": [\n";
   let rows = !rows in
   List.iteri
@@ -781,6 +847,136 @@ let exp_faults () =
   close_out oc;
   Printf.printf "  wrote BENCH_faults.json (%d results)\n" (List.length rows);
   flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* obsv: observability layer — overhead budget and trace validity      *)
+
+let exp_obsv () =
+  Printf.printf
+    "\n== obsv: tracing/metrics overhead (acceptance: <= 2%% off) ==\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let quota = if smoke then 0.05 else 1.0 in
+  let rows = ref [] in
+  let collect title tests = rows := !rows @ bench_collect title ~quota tests in
+  let board = board_of "medium" in
+  let net = net_of "fig2" in
+  let run () = run_network_conc net board in
+  (* (a) The shipping default: every probe compiled in, everything
+     off. Two interleaved measurements of the identical configuration
+     bound the noise floor the on/off comparison sits on. *)
+  Obsv.Sink.disable ();
+  Obsv.Metrics.disable ();
+  Obsv.Sink.clear ();
+  collect "fig2/conc/medium with observability off (paired, noise floor)"
+    [
+      Test.make ~name:"fig2/conc/obsv-off-a" (Staged.stage run);
+      Test.make ~name:"fig2/conc/obsv-off-b" (Staged.stage run);
+    ];
+  (* Disabled-probe primitive cost: the single load-and-branch every
+     instrumentation site pays when nothing is listening. *)
+  collect "probe primitives, observability off"
+    [
+      Test.make ~name:"probe/off/span-pair"
+        (Staged.stage (fun () ->
+             let t0 = Obsv.Probe.span_start () in
+             Obsv.Probe.span_end ~cat:"bench" ~name:"p" t0));
+      Test.make ~name:"probe/off/instant"
+        (Staged.stage (fun () ->
+             Obsv.Probe.instant ~cat:"bench" ~name:"i" ()));
+    ];
+  (* (b) Event sink on: ring writes and clock reads on every probe. *)
+  Obsv.Sink.enable ();
+  collect "fig2/conc/medium with the event sink on"
+    [
+      Test.make ~name:"fig2/conc/events-on" (Staged.stage run);
+      Test.make ~name:"probe/on/span-pair"
+        (Staged.stage (fun () ->
+             let t0 = Obsv.Probe.span_start () in
+             Obsv.Probe.span_end ~cat:"bench" ~name:"p" t0));
+    ];
+  (* One clean traced run for the per-run probe count and the
+     validity check: the exported trace must round-trip through the
+     exporter's own reader. *)
+  Obsv.Sink.clear ();
+  ignore (run ());
+  Obsv.Sink.disable ();
+  let traced = Obsv.Sink.events () in
+  let probe_events = List.length traced + Obsv.Sink.dropped () in
+  let trace_doc = Obsv.Export.render (Obsv.Export.of_events traced) in
+  let trace_valid =
+    match Obsv.Export.validate trace_doc with
+    | Ok () -> true
+    | Error e ->
+        Printf.eprintf "obsv: exported trace failed validation: %s\n" e;
+        false
+  in
+  Obsv.Sink.clear ();
+  (* (c) Metrics only: histogram/counter updates, no event retention. *)
+  Obsv.Metrics.enable ();
+  collect "fig2/conc/medium with metrics aggregation on"
+    [ Test.make ~name:"fig2/conc/metrics-on" (Staged.stage run) ];
+  Obsv.Metrics.disable ();
+  let find name = List.assoc_opt name !rows in
+  let get name = Option.value ~default:nan (find name) in
+  let off_a = get "/fig2/conc/obsv-off-a"
+  and off_b = get "/fig2/conc/obsv-off-b"
+  and events_on = get "/fig2/conc/events-on"
+  and metrics_on = get "/fig2/conc/metrics-on"
+  and pair_off = get "/probe/off/span-pair"
+  and pair_on = get "/probe/on/span-pair" in
+  let off = Float.min off_a off_b in
+  (* The acceptance number: with tracing off the probes cost
+     [probe_events] disabled branches per run (a span is two events,
+     so pair-cost/2 bounds the per-event cost). *)
+  let off_overhead_est = float_of_int probe_events *. (pair_off /. 2.) /. off in
+  let noise = Float.abs (off_a -. off_b) /. off in
+  Printf.printf
+    "\n  probe sites hit per fig2/medium run: %d events\n\
+    \  disabled span-pair: %s  enabled span-pair: %s\n\
+    \  tracing-off overhead estimate: %.3f%% of the run (bar: <= 2%%)\n\
+    \  paired off/off noise floor: %.1f%%\n\
+    \  events-on slowdown: %+.1f%%   metrics-on slowdown: %+.1f%%\n\
+    \  exported trace validates: %b\n"
+    probe_events (pretty_ns pair_off) (pretty_ns pair_on)
+    (off_overhead_est *. 100.) (noise *. 100.)
+    ((events_on /. off -. 1.) *. 100.)
+    ((metrics_on /. off -. 1.) *. 100.)
+    trace_valid;
+  let j x = if Float.is_nan x then -1.0 else x in
+  let oc = open_out "BENCH_obsv.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"obsv\",\n  \"smoke\": %b,\n" smoke;
+  Printf.fprintf oc
+    "  \"fig2_medium_ns\": { \"off_a\": %.1f, \"off_b\": %.1f, \
+     \"events_on\": %.1f, \"metrics_on\": %.1f },\n"
+    (j off_a) (j off_b) (j events_on) (j metrics_on);
+  Printf.fprintf oc
+    "  \"probe_ns\": { \"disabled_span_pair\": %.2f, \
+     \"enabled_span_pair\": %.2f },\n"
+    (j pair_off) (j pair_on);
+  Printf.fprintf oc "  \"probe_events_per_run\": %d,\n" probe_events;
+  Printf.fprintf oc "  \"tracing_off_overhead_ratio\": %.5f,\n"
+    (j off_overhead_est);
+  Printf.fprintf oc "  \"off_noise_floor_ratio\": %.5f,\n" (j noise);
+  Printf.fprintf oc "  \"trace_validates\": %b,\n" trace_valid;
+  Printf.fprintf oc "  \"results\": [\n";
+  let rows = !rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
+        (json_escape name) (j ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_obsv.json (%d results)\n" (List.length rows);
+  flush stdout;
+  if not trace_valid then exit 1;
+  if (not (Float.is_nan off_overhead_est)) && off_overhead_est > 0.02 then begin
+    Printf.eprintf
+      "obsv: tracing-off overhead estimate %.3f%% exceeds the 2%% budget\n"
+      (off_overhead_est *. 100.);
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -800,6 +996,7 @@ let experiments =
     ("ablation", exp_ablation);
     ("propagation", exp_propagation);
     ("faults", exp_faults);
+    ("obsv", exp_obsv);
   ]
 
 let () =

@@ -13,13 +13,25 @@ let read_file path =
   close_in ic;
   s
 
-let run file fname args list_only domains =
+let run file fname args list_only domains trace_out metrics_flag =
+  if trace_out <> None then Obsv.Sink.enable ();
+  if metrics_flag then Obsv.Metrics.enable ();
   let pool =
     if domains > 0 then Some (Scheduler.Pool.create ~num_domains:domains ())
     else None
   in
   Fun.protect
-    ~finally:(fun () -> Option.iter Scheduler.Pool.shutdown pool)
+    ~finally:(fun () ->
+      Option.iter Scheduler.Pool.shutdown pool;
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          Obsv.Sink.disable ();
+          let events = Obsv.Sink.events () in
+          Obsv.Export.write_chrome ~path events;
+          Printf.printf "trace: %d events -> %s\n" (List.length events) path);
+      if metrics_flag then
+        Format.printf "%a@." Obsv.Metrics.pp (Obsv.Metrics.snapshot ()))
     (fun () ->
       let prog = Saclang.Sac_interp.load ?pool (read_file file) in
       if list_only then
@@ -81,8 +93,25 @@ let cmd =
   let domains =
     Arg.(value & opt int 0 & info [ "domains" ] ~doc:"Worker domains for data-parallel with-loops.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Record pool task/steal/park events during evaluation and \
+             write Chrome trace_event JSON to $(docv)." ~docv:"FILE")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Aggregate and print runtime latency/queue metrics.")
+  in
   Cmd.v
     (Cmd.info "sacrun" ~doc:"Run mini-SaC programs")
-    Term.(const run $ file $ fname $ args $ list_only $ domains)
+    Term.(
+      const run $ file $ fname $ args $ list_only $ domains $ trace_out
+      $ metrics)
 
 let () = exit (Cmd.eval cmd)

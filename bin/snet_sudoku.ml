@@ -35,9 +35,32 @@ let build_network kind pool det throttle cutoff side =
   | Fig3 -> Some (Sudoku.Networks.fig3 ~pool ~det ~throttle ~cutoff ~side ())
 
 let run_solver kind engine det throttle cutoff domains verbose stats_flag
-    on_error box_timeout puzzle file =
+    on_error box_timeout trace_out metrics_flag metrics_out metrics_every
+    puzzle file =
   let board = load_board puzzle file in
   let side = Sudoku.Board.side board in
+  (* Observability: the event sink feeds --trace-out, the aggregated
+     metrics feed --metrics / --metrics-out (which snet_top reads). *)
+  if trace_out <> None then Obsv.Sink.enable ();
+  if metrics_flag || metrics_out <> None then Obsv.Metrics.enable ();
+  let stop_metrics_writer =
+    match metrics_out with
+    | None -> None
+    | Some path ->
+        let stop = Atomic.make false in
+        let period = Float.max 0.05 metrics_every in
+        let t =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get stop) do
+                Obsv.Export.write_metrics ~path (Obsv.Metrics.snapshot ());
+                Thread.delay period
+              done;
+              Obsv.Export.write_metrics ~path (Obsv.Metrics.snapshot ()))
+            ()
+        in
+        Some (stop, t)
+  in
   let pool = Scheduler.Pool.create ~num_domains:domains () in
   let t0 = Unix.gettimeofday () in
   let stats = Snet.Stats.create () in
@@ -93,7 +116,25 @@ let run_solver kind engine det throttle cutoff domains verbose stats_flag
   Printf.printf "%s finished in %.4fs\n" label elapsed;
   if stats_flag then
     Format.printf "%a@." Snet.Stats.pp (Snet.Stats.snapshot stats);
-  Scheduler.Pool.shutdown pool
+  Scheduler.Pool.shutdown pool;
+  (match stop_metrics_writer with
+  | None -> ()
+  | Some (stop, t) ->
+      Atomic.set stop true;
+      Thread.join t);
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Obsv.Sink.disable ();
+      let events = Obsv.Sink.events () in
+      if String.length path > 6
+         && String.sub path (String.length path - 6) 6 = ".jsonl"
+      then Obsv.Export.write_jsonl ~path events
+      else Obsv.Export.write_chrome ~path events;
+      let d = Obsv.Sink.dropped () in
+      Printf.printf "trace: %d events -> %s%s\n" (List.length events) path
+        (if d > 0 then Printf.sprintf " (%d oldest dropped; raise ring capacity)" d
+         else "")
 
 let network_conv =
   Arg.enum
@@ -153,6 +194,41 @@ let cmd =
       & info [ "box-timeout" ]
           ~doc:"Per-box-invocation time budget in seconds (post-hoc).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Record timed runtime events and write them to $(docv) on \
+             exit: Chrome trace_event JSON (open in Perfetto or \
+             chrome://tracing), or raw JSONL when $(docv) ends in \
+             .jsonl." ~docv:"FILE")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Aggregate per-box latency histograms and per-edge \
+             queue/stall metrics; printed with --stats.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:
+            "Periodically write a metrics snapshot (JSON) to $(docv) \
+             while running; view live with snet_top --watch $(docv)."
+          ~docv:"FILE")
+  in
+  let metrics_every =
+    Arg.(
+      value & opt float 0.5
+      & info [ "metrics-every" ]
+          ~doc:"Seconds between --metrics-out snapshots.")
+  in
   let puzzle =
     Arg.(value & opt (some string) None & info [ "puzzle"; "p" ] ~doc:"Named corpus puzzle.")
   in
@@ -163,6 +239,7 @@ let cmd =
     (Cmd.info "snet-sudoku" ~doc:"Hybrid SaC/S-Net sudoku solver")
     Term.(
       const run_solver $ network $ engine $ det $ throttle $ cutoff $ domains
-      $ verbose $ stats $ on_error $ box_timeout $ puzzle $ file)
+      $ verbose $ stats $ on_error $ box_timeout $ trace_out $ metrics
+      $ metrics_out $ metrics_every $ puzzle $ file)
 
 let () = exit (Cmd.eval cmd)

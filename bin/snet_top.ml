@@ -1,0 +1,171 @@
+(* snet_top: render live runtime metrics of an S-Net network.
+
+   A producer started with `snet-sudoku --metrics-out FILE` rewrites
+   FILE (atomic rename) with a metrics snapshot every --metrics-every
+   seconds; snet_top renders it once, or keeps re-rendering it with
+   --watch. --demo runs the fig2 network in-process on a background
+   thread instead, so the view can be tried without a second shell. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let dur s =
+  if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let clip w s = if String.length s <= w then s else String.sub s 0 w
+
+(* Boxes sorted by total self-time (the paper's "where does time go"
+   question), edges by stall count then high-water mark (which mailbox
+   backs up). *)
+let render (snap : Obsv.Metrics.snapshot) =
+  let b = Buffer.create 2048 in
+  let spans =
+    List.sort
+      (fun (_, _, (a : Obsv.Metrics.hist)) (_, _, (b : Obsv.Metrics.hist)) ->
+        compare b.total a.total)
+      snap.Obsv.Metrics.spans
+  in
+  let edges =
+    List.sort
+      (fun (_, (a : Obsv.Metrics.edge)) (_, (b : Obsv.Metrics.edge)) ->
+        match compare b.stalls a.stalls with
+        | 0 -> compare b.hwm a.hwm
+        | c -> c)
+      snap.Obsv.Metrics.edges
+  in
+  Buffer.add_string b "snet_top - boxes by total self-time\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-40s %8s %10s %9s %9s %9s %9s\n" "SPAN" "COUNT" "TOTAL"
+       "P50" "P95" "P99" "MAX");
+  List.iter
+    (fun (cat, name, (h : Obsv.Metrics.hist)) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-40s %8d %10s %9s %9s %9s %9s\n"
+           (clip 40 (cat ^ ":" ^ name))
+           h.count (dur h.total) (dur h.p50) (dur h.p95) (dur h.p99)
+           (dur h.max_s)))
+    spans;
+  if spans = [] then Buffer.add_string b "(no spans yet)\n";
+  Buffer.add_string b "\nedges by stalls\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-40s %8s %8s %8s %6s\n" "EDGE" "SENDS" "RECVS" "STALLS"
+       "HWM");
+  List.iter
+    (fun (name, (e : Obsv.Metrics.edge)) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-40s %8d %8d %8d %6d\n" (clip 40 name) e.sends
+           e.recvs e.stalls e.hwm))
+    edges;
+  if edges = [] then Buffer.add_string b "(no edges yet)\n";
+  Buffer.add_string b
+    (Printf.sprintf "\nstar stages %d, depth high-water %d\n"
+       snap.Obsv.Metrics.star_stages snap.Obsv.Metrics.star_depth_hwm);
+  Buffer.contents b
+
+let show_file path =
+  match Obsv.Metrics.of_json (read_file path) with
+  | Ok snap ->
+      print_string (render snap);
+      Ok ()
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | exception Sys_error e -> Error e
+
+let clear_screen () = print_string "\027[2J\027[H"
+
+let demo_producer () =
+  Obsv.Metrics.enable ();
+  let pool = Scheduler.Pool.create ~num_domains:1 () in
+  Thread.create
+    (fun () ->
+      let net = Sudoku.Networks.fig2 ~pool ~det:false () in
+      while true do
+        ignore
+          (Snet.Engine_conc.run ~pool net
+             [ Sudoku.Boxes.inject_board Sudoku.Puzzles.easy ])
+      done)
+    ()
+
+let top file watch interval demo =
+  let interval = Float.max 0.1 interval in
+  match (file, demo) with
+  | None, false ->
+      prerr_endline
+        "snet_top: give a metrics file (see snet-sudoku --metrics-out) or \
+         --demo";
+      exit 2
+  | Some _, true ->
+      prerr_endline "snet_top: give either FILE or --demo, not both";
+      exit 2
+  | Some path, false ->
+      if not watch then (
+        match show_file path with
+        | Ok () -> ()
+        | Error e ->
+            prerr_endline ("snet_top: " ^ e);
+            exit 1)
+      else
+        (* Watch until interrupted; a missing/partial file just shows
+           as a transient notice, the next rewrite fixes it. *)
+        while true do
+          clear_screen ();
+          (match show_file path with
+          | Ok () -> ()
+          | Error e -> Printf.printf "(waiting for %s: %s)\n" path e);
+          flush stdout;
+          Thread.delay interval
+        done
+  | None, true ->
+      ignore (demo_producer ());
+      let rounds = if watch then max_int else 20 in
+      (try
+         for _ = 1 to rounds do
+           Thread.delay interval;
+           clear_screen ();
+           print_string (render (Obsv.Metrics.snapshot ()));
+           flush stdout
+         done
+       with Sys.Break -> ());
+      if not watch then
+        print_string (render (Obsv.Metrics.snapshot ()))
+
+let cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Metrics snapshot written by --metrics-out.")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch"; "w" ] ~doc:"Keep re-rendering until interrupted.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "i" ] ~doc:"Seconds between refreshes.")
+  in
+  let demo =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:
+            "Run the fig2 sudoku network in-process and watch its \
+             metrics (no producer needed).")
+  in
+  Cmd.v
+    (Cmd.info "snet_top"
+       ~doc:"Live metrics view for S-Net networks (top(1)-style)")
+    Term.(const top $ file $ watch $ interval $ demo)
+
+let () = exit (Cmd.eval cmd)

@@ -13,17 +13,32 @@ let read_file path =
   close_in ic;
   s
 
-let check file expr input_pattern show_optimized =
+let check file expr input_pattern show_optimized trace_out =
+  if trace_out <> None then Obsv.Sink.enable ();
+  (* Compiler-phase spans: one per pass, on the driver's track. *)
+  let phase name f =
+    let t0 = Obsv.Probe.span_start () in
+    let r = f () in
+    Obsv.Probe.span_end ~cat:"phase" ~name t0;
+    r
+  in
   let ast, net =
     match (file, expr) with
     | Some path, None ->
-        let nd = Snet_lang.Parser.parse_string (read_file path) in
-        (Snet_lang.Ast.net_to_string nd, Snet_lang.Elaborate.elaborate_with_stubs nd)
+        let nd = phase "parse" (fun () ->
+            Snet_lang.Parser.parse_string (read_file path))
+        in
+        ( Snet_lang.Ast.net_to_string nd,
+          phase "elaborate" (fun () ->
+              Snet_lang.Elaborate.elaborate_with_stubs nd) )
     | None, Some src ->
         (* Bare expressions may only use filters (no named boxes). *)
-        let e = Snet_lang.Parser.parse_expr_string src in
+        let e = phase "parse" (fun () ->
+            Snet_lang.Parser.parse_expr_string src)
+        in
         ( Snet_lang.Ast.expr_to_string e,
-          Snet_lang.Elaborate.expr_to_net [] ~declared:[] e )
+          phase "elaborate" (fun () ->
+              Snet_lang.Elaborate.expr_to_net [] ~declared:[] e) )
     | _ -> failwith "give exactly one of FILE or --expr"
   in
   print_endline "parsed:";
@@ -31,17 +46,18 @@ let check file expr input_pattern show_optimized =
   Printf.printf "network: %s\n" (Snet.Net.to_string net);
   if show_optimized then
     Printf.printf "optimized: %s\n"
-      (Snet.Net.to_string (Snet.Optimize.optimize net));
+      (Snet.Net.to_string (phase "optimize" (fun () -> Snet.Optimize.optimize net)));
   Printf.printf "acceptance type: %s\n"
-    (Snet.Rectype.to_string (Snet.Typecheck.input_type net));
-  (match Snet.Typecheck.infer net with
+    (Snet.Rectype.to_string
+       (phase "typecheck" (fun () -> Snet.Typecheck.input_type net)));
+  (match phase "infer" (fun () -> Snet.Typecheck.infer net) with
   | sg ->
       Printf.printf "declared signature: %s\n"
         (Snet.Rectype.signature_to_string sg)
   | exception Snet.Typecheck.Type_error msg ->
       Printf.printf
         "declared signature: (not strictly typable: %s)\n" msg);
-  match input_pattern with
+  (match input_pattern with
   | None -> ()
   | Some pat ->
       let p = Snet_lang.Parser.parse_pattern_string pat in
@@ -49,7 +65,7 @@ let check file expr input_pattern show_optimized =
         Snet.Rectype.Variant.make ~fields:p.Snet_lang.Ast.pat_fields
           ~tags:p.Snet_lang.Ast.pat_tags
       in
-      (match Snet.Typecheck.flow [ v ] net with
+      (match phase "flow" (fun () -> Snet.Typecheck.flow [ v ] net) with
       | out ->
           Printf.printf "flow %s => %s\n"
             (Snet.Rectype.Variant.to_string v)
@@ -57,7 +73,14 @@ let check file expr input_pattern show_optimized =
       | exception Snet.Typecheck.Type_error msg ->
           Printf.printf "flow %s => type error: %s\n"
             (Snet.Rectype.Variant.to_string v)
-            msg)
+            msg));
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Obsv.Sink.disable ();
+      let events = Obsv.Sink.events () in
+      Obsv.Export.write_chrome ~path events;
+      Printf.printf "trace: %d events -> %s\n" (List.length events) path
 
 let cmd =
   let file =
@@ -72,8 +95,18 @@ let cmd =
   let optimize =
     Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"Also print the optimized network.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Write compiler-phase spans (parse, elaborate, optimize, \
+             typecheck, infer, flow) as Chrome trace_event JSON to \
+             $(docv)." ~docv:"FILE")
+  in
   Cmd.v
     (Cmd.info "snetc" ~doc:"S-Net parser and type checker")
-    Term.(const check $ file $ expr $ input $ optimize)
+    Term.(const check $ file $ expr $ input $ optimize $ trace_out)
 
 let () = exit (Cmd.eval cmd)

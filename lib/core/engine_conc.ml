@@ -89,10 +89,13 @@ let rec build eng path net ~down : target =
             if Supervise.is_error r then pass_error ~down meta r
             else begin
               Stats.record_box_invocation eng.istats;
-              match
+              let t0 = Obsv.Probe.span_start () in
+              let outcome =
                 Supervise.supervise sup ~stats:eng.istats ~name:bname
                   (Box.execute b) r
-              with
+              in
+              Obsv.Probe.span_end ~cat:"box" ~name:path t0;
+              match outcome with
               | Supervise.Emit outs -> consume_emit eng ~down meta outs
               | Supervise.Fail e -> raise e
             end
@@ -108,7 +111,10 @@ let rec build eng path net ~down : target =
             if Supervise.is_error r then pass_error ~down meta r
             else begin
               Stats.record_filter_invocation eng.istats;
-              consume_emit eng ~down meta (Filter.apply f r)
+              let t0 = Obsv.Probe.span_start () in
+              let outs = Filter.apply f r in
+              Obsv.Probe.span_end ~cat:"filter" ~name:path t0;
+              consume_emit eng ~down meta outs
             end
       in
       Streams.Actors.spawn eng.sys ~name:path handler
@@ -295,6 +301,7 @@ let rec build eng path net ~down : target =
                       in
                       next_stage := Some s;
                       Stats.record_star_stage eng.istats ~depth:(d + 1);
+                      Obsv.Probe.star_depth ~depth:(d + 1);
                       s
                 in
                 Streams.Actors.send stage (Data (meta, r))

@@ -41,10 +41,13 @@ and compile_node ctx path net : comp =
         observe ctx path r;
         if first_visit ctx path then Stats.record_instance ctx.stats;
         Stats.record_box_invocation ctx.stats;
-        (match
-           Supervise.supervise sup ~stats:ctx.stats ~name:bname
-             (Box.execute b) r
-         with
+        let t0 = Obsv.Probe.span_start () in
+        let outcome =
+          Supervise.supervise sup ~stats:ctx.stats ~name:bname
+            (Box.execute b) r
+        in
+        Obsv.Probe.span_end ~cat:"box" ~name:path t0;
+        (match outcome with
         | Supervise.Emit outs ->
             Stats.record_emission ctx.stats (List.length outs);
             List.iter emit outs
@@ -55,7 +58,9 @@ and compile_node ctx path net : comp =
         observe ctx path r;
         if first_visit ctx path then Stats.record_instance ctx.stats;
         Stats.record_filter_invocation ctx.stats;
+        let t0 = Obsv.Probe.span_start () in
         let outs = Filter.apply f r in
+        Obsv.Probe.span_end ~cat:"filter" ~name:path t0;
         Stats.record_emission ctx.stats (List.length outs);
         List.iter emit outs
   | Net.Sync patterns ->
@@ -146,8 +151,10 @@ and compile_node ctx path net : comp =
           if Supervise.is_error r || Pattern.matches exit r then emit r
           else begin
             let stage_path = Printf.sprintf "%s@%d" star_path (d + 1) in
-            if first_visit ctx (stage_path ^ "#stage") then
+            if first_visit ctx (stage_path ^ "#stage") then begin
               Stats.record_star_stage ctx.stats ~depth:(d + 1);
+              Obsv.Probe.star_depth ~depth:(d + 1)
+            end;
             (stage_body ctx (d + 1)) (tap (d + 1)) r
           end
         in

@@ -10,13 +10,15 @@ type msg =
 type port = {
   ch : msg Streams.Channel.t;
   pmutex : Mutex.t;
+  pname : string;  (* edge name for observability probes *)
   mutable producers : int;
 }
 
-let new_port ~capacity () =
+let new_port ~name ~capacity () =
   {
     ch = Streams.Channel.create ~capacity ();
     pmutex = Mutex.create ();
+    pname = name;
     producers = 0;
   }
 
@@ -32,8 +34,18 @@ let release_producer p =
   Mutex.unlock p.pmutex;
   if last then Streams.Channel.close p.ch
 
-let send p m = Streams.Channel.send p.ch m
-let recv p = Streams.Channel.recv p.ch
+let send p m =
+  Streams.Channel.send p.ch m;
+  if Obsv.Sink.active () then
+    Obsv.Probe.edge_send ~name:p.pname ~depth:(Streams.Channel.length p.ch)
+
+let recv p =
+  let r = Streams.Channel.recv p.ch in
+  (match r with
+  | `Msg _ when Obsv.Sink.active () ->
+      Obsv.Probe.edge_recv ~name:p.pname ~depth:(Streams.Channel.length p.ch)
+  | _ -> ());
+  r
 
 type instance = {
   capacity : int;
@@ -85,7 +97,7 @@ let send_outputs ~down meta outs =
    that keeps the deterministic accounting alive so the network can
    still drain. *)
 let component eng ~path ~down handle : port =
-  let input = new_port ~capacity:eng.capacity () in
+  let input = new_port ~name:path ~capacity:eng.capacity () in
   add_producer down;
   Stats.record_instance eng.istats;
   spawn_thread eng (fun () ->
@@ -116,8 +128,8 @@ let component eng ~path ~down handle : port =
   input
 
 (* The collector thread of a deterministic region. *)
-let make_collector eng region ~down : port =
-  let input = new_port ~capacity:eng.capacity () in
+let make_collector eng ~name region ~down : port =
+  let input = new_port ~name ~capacity:eng.capacity () in
   add_producer down;
   Detmerge.set_notify region (fun seq -> send input (Complete seq));
   spawn_thread eng (fun () ->
@@ -148,10 +160,13 @@ let rec build eng path net ~down : port =
           if Supervise.is_error r then [ r ]
           else begin
             Stats.record_box_invocation eng.istats;
-            match
+            let t0 = Obsv.Probe.span_start () in
+            let outcome =
               Supervise.supervise sup ~stats:eng.istats ~name:bname
                 (Box.execute b) r
-            with
+            in
+            Obsv.Probe.span_end ~cat:"box" ~name:path t0;
+            match outcome with
             | Supervise.Emit outs -> outs
             | Supervise.Fail e -> raise e
           end)
@@ -162,7 +177,10 @@ let rec build eng path net ~down : port =
           if Supervise.is_error r then [ r ]
           else begin
             Stats.record_filter_invocation eng.istats;
-            Filter.apply f r
+            let t0 = Obsv.Probe.span_start () in
+            let outs = Filter.apply f r in
+            Obsv.Probe.span_end ~cat:"filter" ~name:path t0;
+            outs
           end)
   | Net.Sync patterns ->
       let path = path ^ "/sync" in
@@ -203,7 +221,7 @@ let rec build eng path net ~down : port =
   | Net.Observe { tag; body } ->
       let opath = path ^ "/" ^ tag in
       let inner = build eng opath body ~down in
-      let input = new_port ~capacity:eng.capacity () in
+      let input = new_port ~name:opath ~capacity:eng.capacity () in
       add_producer inner;
       spawn_thread eng (fun () ->
           let rec loop () =
@@ -228,12 +246,12 @@ let rec build eng path net ~down : port =
       let region = if det then Some (new_region eng) else None in
       let merge_down =
         match region with
-        | Some rg -> make_collector eng rg ~down
+        | Some rg -> make_collector eng ~name:(path ^ "/choice-col") rg ~down
         | None -> down
       in
       let cl = build eng (path ^ "/l") left ~down:merge_down in
       let cr = build eng (path ^ "/r") right ~down:merge_down in
-      let input = new_port ~capacity:eng.capacity () in
+      let input = new_port ~name:(path ^ "/choice") ~capacity:eng.capacity () in
       (* The entry sends error records directly to the merge point, so
          it holds its own producer reference on it. *)
       add_producer merge_down;
@@ -288,7 +306,7 @@ let rec build eng path net ~down : port =
       let region = if det then Some (new_region eng) else None in
       let merge_down =
         match region with
-        | Some rg -> make_collector eng rg ~down
+        | Some rg -> make_collector eng ~name:(path ^ "/split-col") rg ~down
         | None -> down
       in
       (* The dispatcher may create replicas for as long as it lives;
@@ -296,7 +314,7 @@ let rec build eng path net ~down : port =
          close early. *)
       add_producer merge_down;
       let replicas : (int, port) Hashtbl.t = Hashtbl.create 8 in
-      let input = new_port ~capacity:eng.capacity () in
+      let input = new_port ~name:(path ^ "/split") ~capacity:eng.capacity () in
       spawn_thread eng (fun () ->
           let rec loop () =
             match recv input with
@@ -355,12 +373,12 @@ let rec build eng path net ~down : port =
       let region = if det then Some (new_region eng) else None in
       let exit_target =
         match region with
-        | Some rg -> make_collector eng rg ~down
+        | Some rg -> make_collector eng ~name:(path ^ "/star-col") rg ~down
         | None -> down
       in
       let rec make_tap d : port =
         let tap_path = Printf.sprintf "%s/star@%d" path d in
-        let input = new_port ~capacity:eng.capacity () in
+        let input = new_port ~name:tap_path ~capacity:eng.capacity () in
         add_producer exit_target;
         let next_stage : port option ref = ref None in
         spawn_thread eng (fun () ->
@@ -399,6 +417,7 @@ let rec build eng path net ~down : port =
                           add_producer s;
                           next_stage := Some s;
                           Stats.record_star_stage eng.istats ~depth:(d + 1);
+                          Obsv.Probe.star_depth ~depth:(d + 1);
                           s
                     in
                     send stage (Data (meta, r))
@@ -433,7 +452,7 @@ let start ?(capacity = 64) ?observer ?stats ?supervision net =
       net;
       checked = Hashtbl.create 8;
       entry = None;
-      output = new_port ~capacity:max_int ();
+      output = new_port ~name:"/output" ~capacity:max_int ();
     }
   in
   let entry = build eng "" net ~down:eng.output in

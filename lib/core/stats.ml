@@ -105,4 +105,8 @@ let pp fmt s =
     s.box_invocations s.filter_invocations s.records_emitted s.star_stages
     s.max_star_depth s.split_replicas s.instances s.box_errors s.box_retries
     s.box_timeouts s.backpressure_stalls s.sched_tasks s.sched_steals
-    s.sched_parks s.sched_splits
+    s.sched_parks s.sched_splits;
+  (* When the observability layer aggregates latency/queue metrics,
+     surface them alongside the counters. *)
+  if Obsv.Metrics.on () then
+    Format.fprintf fmt "@,%a" Obsv.Metrics.pp (Obsv.Metrics.snapshot ())

@@ -4,7 +4,27 @@
     serial replicators unfold (bounded by 81 for 9×9 sudoku), how many
     box instances exist at once (bounded by 9×81 = 729 in the fully
     unfolded network, by 4 per stage in the throttled one), and how
-    much work the boxes do. Counters are thread-safe. *)
+    much work the boxes do. Counters are thread-safe.
+
+    {b Snapshot semantics (relaxed).} Every counter is its own atomic
+    cell; there is no global lock or epoch. Each individual increment
+    — including the multi-cell {!record_emission},
+    {!record_backpressure} and {!record_scheduler} accumulators — is
+    atomic and never lost, but {!snapshot} reads the cells one at a
+    time, so a snapshot taken while components are still running is
+    not a consistent cut: it may observe, say, a box invocation whose
+    emissions have not landed yet ([records_emitted] lagging
+    [box_invocations]). What is guaranteed: (1) each field is
+    monotonically non-decreasing across successive snapshots (cells
+    are only ever incremented), and (2) a snapshot taken after all
+    recording threads have quiesced (e.g. after [Engine_*.run]
+    returns) holds the exact totals. Callers needing mid-run reads —
+    progress displays, [snet_top] — get per-field monotone values,
+    which is what a live view needs; nothing in the engines reads
+    cross-field invariants mid-run. This relaxation is deliberate: a
+    consistent cut would put a lock or a seqlock retry loop on every
+    box invocation, which the supervision fast path (≤10% overhead
+    budget) cannot afford. *)
 
 type t
 
@@ -15,7 +35,11 @@ val create : unit -> t
 val record_box_invocation : t -> unit
 val record_filter_invocation : t -> unit
 val record_emission : t -> int -> unit
-(** Number of records a component emitted for one input. *)
+(** Number of records a component emitted for one input. The count is
+    added with one atomic fetch-and-add — concurrent emitters cannot
+    lose updates — but see the header note: a concurrent {!snapshot}
+    may observe the emission before/after other counters it is
+    causally related to. *)
 
 val record_star_stage : t -> depth:int -> unit
 (** A star instantiated the replica at [depth] (1-based). *)
@@ -36,7 +60,9 @@ val record_box_timeout : t -> unit
 
 val record_backpressure : t -> int -> unit
 (** Accumulate producer stalls: sends that found a bounded mailbox
-    full and had to park until the consumer drained. *)
+    full and had to park until the consumer drained. Single atomic
+    fetch-and-add; relaxed with respect to other counters (see the
+    header note). *)
 
 val record_scheduler :
   t -> tasks:int -> steals:int -> parks:int -> splits:int -> unit
@@ -69,4 +95,9 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+(** Per-field monotone, exact after quiescence, not a consistent cut
+    mid-run — see the header note on relaxed snapshot semantics. *)
+
 val pp : Format.formatter -> snapshot -> unit
+(** Render the counter table; when {!Obsv.Metrics} is enabled the
+    aggregated latency/edge metrics are appended. *)

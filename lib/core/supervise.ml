@@ -70,6 +70,7 @@ let timed config ~stats ~name f r =
       let elapsed = Scheduler.Clock.now () -. t0 in
       if elapsed > budget then begin
         Stats.record_box_timeout stats;
+        Obsv.Probe.instant ~cat:"sup" ~name:(name ^ "!timeout") ();
         raise (Box_timeout { box = name; elapsed; budget })
       end;
       out
@@ -90,11 +91,13 @@ let rec attempt config ~stats ~name ~retries f r k =
   | exception e ->
       if k < retries then begin
         Stats.record_box_retry stats;
+        Obsv.Probe.instant ~cat:"sup" ~name:(name ^ "!retry") ~value:(k + 1) ();
         backoff k;
         attempt config ~stats ~name ~retries f r (k + 1)
       end
       else begin
         Stats.record_box_error stats;
+        Obsv.Probe.instant ~cat:"sup" ~name:(name ^ "!error") ();
         match config.policy with
         | Fail_fast -> Fail e
         | Error_record | Retry _ -> Emit [ error_record ~box:name ~input:r e ]
@@ -110,6 +113,7 @@ let supervise config ~stats ~name f r =
       | out -> Emit out
       | exception e ->
           Stats.record_box_error stats;
+          Obsv.Probe.instant ~cat:"sup" ~name:(name ^ "!error") ();
           Fail e)
   | policy, _ ->
       let retries = match policy with Retry n -> n | _ -> 0 in

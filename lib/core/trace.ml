@@ -22,23 +22,41 @@ let contains ~needle haystack =
     go 0
   end
 
-let recorder () =
+type recorder = {
+  observe : edge:string -> Record.t -> unit;
+  entries : unit -> entry list;
+  dropped : unit -> int;
+}
+
+let recorder ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Trace.recorder: capacity < 1"
+  | _ -> ());
   let mutex = Mutex.create () in
-  let entries = ref [] in
+  let q : entry Queue.t = Queue.create () in
   let count = ref 0 in
-  let observer ~edge record =
+  let observe ~edge record =
     Mutex.lock mutex;
-    entries := { index = !count; edge; record } :: !entries;
+    Queue.push { index = !count; edge; record } q;
     incr count;
+    (match capacity with
+    | Some cap when Queue.length q > cap -> ignore (Queue.pop q)
+    | _ -> ());
     Mutex.unlock mutex
   in
   let get () =
     Mutex.lock mutex;
-    let es = List.rev !entries in
+    let es = List.of_seq (Queue.to_seq q) in
     Mutex.unlock mutex;
     es
   in
-  (observer, get)
+  let dropped () =
+    Mutex.lock mutex;
+    let d = !count - Queue.length q in
+    Mutex.unlock mutex;
+    d
+  in
+  { observe; entries = get; dropped }
 
 let printer ?(prefix = "") out ~edge record =
   Printf.fprintf out "%s%s <= %s\n%!" prefix edge (Record.to_string record)

@@ -16,10 +16,23 @@ val contains : needle:string -> string -> bool
 (** Allocation-free substring test; the edge matcher behind {!on_edge}
     and {!records_on}. *)
 
-val recorder : unit -> (edge:string -> Record.t -> unit) * (unit -> entry list)
-(** [let observer, entries = recorder ()]: a thread-safe observer that
-    records every event; [entries ()] returns them in arrival order.
-    Usable while the network is still running. *)
+type recorder = {
+  observe : edge:string -> Record.t -> unit;
+      (** Pass as the engine's [?observer]. *)
+  entries : unit -> entry list;
+      (** Retained entries in arrival order; usable while the network
+          is still running. *)
+  dropped : unit -> int;
+      (** Entries discarded because the capacity bound was hit. *)
+}
+
+val recorder : ?capacity:int -> unit -> recorder
+(** A thread-safe observer that records every event. Without
+    [capacity] it accumulates unboundedly; with [capacity] (≥ 1) only
+    the newest [capacity] entries are retained — the oldest are
+    dropped and counted in [dropped]. The [index] field keeps its
+    global arrival number either way, so a trimmed trace still shows
+    where the retained suffix starts. *)
 
 val printer :
   ?prefix:string -> out_channel -> edge:string -> Record.t -> unit

@@ -1,0 +1,209 @@
+(* Chrome trace_event / JSONL exporters with a byte-exact
+   read-render round trip. See export.mli. *)
+
+type item =
+  | Complete of { ts : float; dur : float; tid : int; cat : string; name : string }
+  | Counter of { ts : float; tid : int; name : string; value : int }
+  | Instant of { ts : float; tid : int; cat : string; name : string; value : int }
+  | Meta of { tid : int; thread_name : string }
+
+type t = item list
+
+let track_domain tid = tid lsr 16
+let track_thread tid = tid land 0xFFFF
+
+let track_label tid =
+  Printf.sprintf "dom%d/thr%d" (track_domain tid) (track_thread tid)
+
+(* --- sink events -> trace items ------------------------------------- *)
+
+let of_events (events : Sink.event list) =
+  let t0 =
+    List.fold_left (fun acc (e : Sink.event) -> Float.min acc e.ts) infinity
+      events
+  in
+  let us ts = Float.max 0. ((ts -. t0) *. 1e6) in
+  (* Probe.span_end emits Begin then End back-to-back from one thread,
+     so per track the pending Begin is always the one the next End
+     closes; no stack needed. *)
+  let pending : (int, Sink.event) Hashtbl.t = Hashtbl.create 16 in
+  let items =
+    List.filter_map
+      (fun (e : Sink.event) ->
+        match e.kind with
+        | Sink.Begin ->
+            Hashtbl.replace pending e.track e;
+            None
+        | Sink.End -> (
+            match Hashtbl.find_opt pending e.track with
+            | Some b ->
+                Hashtbl.remove pending e.track;
+                Some
+                  (Complete
+                     {
+                       ts = us b.ts;
+                       dur = Float.max 0. ((e.ts -. b.ts) *. 1e6);
+                       tid = e.track;
+                       cat = e.cat;
+                       name = e.name;
+                     })
+            | None -> None)
+        | Sink.Counter ->
+            Some (Counter { ts = us e.ts; tid = e.track; name = e.name; value = e.value })
+        | Sink.Instant ->
+            Some
+              (Instant
+                 { ts = us e.ts; tid = e.track; cat = e.cat; name = e.name; value = e.value }))
+      events
+  in
+  let tids =
+    List.sort_uniq compare
+      (List.map
+         (function
+           | Complete { tid; _ } | Counter { tid; _ } | Instant { tid; _ }
+           | Meta { tid; _ } ->
+               tid)
+         items)
+  in
+  List.map (fun tid -> Meta { tid; thread_name = track_label tid }) tids @ items
+
+(* --- rendering ------------------------------------------------------- *)
+
+let render_item b item =
+  (match item with
+  | Complete { ts; dur; tid; cat; name } ->
+      Printf.bprintf b
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"cat\":\"%s\",\"name\":\"%s\"}"
+        tid ts dur (Jsonx.escape cat) (Jsonx.escape name)
+  | Counter { ts; tid; name; value } ->
+      Printf.bprintf b
+        "{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%d}}"
+        tid ts (Jsonx.escape name) value
+  | Instant { ts; tid; cat; name; value } ->
+      Printf.bprintf b
+        "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\",\"cat\":\"%s\",\"name\":\"%s\",\"args\":{\"value\":%d}}"
+        tid ts (Jsonx.escape cat) (Jsonx.escape name) value
+  | Meta { tid; thread_name } ->
+      Printf.bprintf b
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+        tid (Jsonx.escape thread_name));
+  ()
+
+let render items =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_string b ",\n";
+      render_item b item)
+    items;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* --- reading --------------------------------------------------------- *)
+
+let read s =
+  let ( let* ) r f = match r with Some v -> f v | None -> Error "malformed trace event" in
+  match Jsonx.parse s with
+  | Error e -> Error e
+  | Ok j -> (
+      match Option.bind (Jsonx.member "traceEvents" j) Jsonx.to_list with
+      | None -> Error "missing traceEvents array"
+      | Some evs ->
+          let item_of ev =
+            let* ph = Option.bind (Jsonx.member "ph" ev) Jsonx.to_string in
+            let* tid = Option.bind (Jsonx.member "tid" ev) Jsonx.to_int in
+            let arg key =
+              Option.bind (Jsonx.member "args" ev) (Jsonx.member key)
+            in
+            match ph with
+            | "X" ->
+                let* ts = Option.bind (Jsonx.member "ts" ev) Jsonx.to_float in
+                let* dur = Option.bind (Jsonx.member "dur" ev) Jsonx.to_float in
+                let* cat = Option.bind (Jsonx.member "cat" ev) Jsonx.to_string in
+                let* name = Option.bind (Jsonx.member "name" ev) Jsonx.to_string in
+                Ok (Complete { ts; dur; tid; cat; name })
+            | "C" ->
+                let* ts = Option.bind (Jsonx.member "ts" ev) Jsonx.to_float in
+                let* name = Option.bind (Jsonx.member "name" ev) Jsonx.to_string in
+                let* value = Option.bind (arg "value") Jsonx.to_int in
+                Ok (Counter { ts; tid; name; value })
+            | "i" ->
+                let* ts = Option.bind (Jsonx.member "ts" ev) Jsonx.to_float in
+                let* cat = Option.bind (Jsonx.member "cat" ev) Jsonx.to_string in
+                let* name = Option.bind (Jsonx.member "name" ev) Jsonx.to_string in
+                let* value = Option.bind (arg "value") Jsonx.to_int in
+                Ok (Instant { ts; tid; cat; name; value })
+            | "M" ->
+                let* thread_name = Option.bind (arg "name") Jsonx.to_string in
+                Ok (Meta { tid; thread_name })
+            | ph -> Error (Printf.sprintf "unknown event phase %S" ph)
+          in
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | ev :: rest -> (
+                match item_of ev with
+                | Error e -> Error e
+                | Ok item -> go (item :: acc) rest)
+          in
+          go [] evs)
+
+(* --- validation ------------------------------------------------------ *)
+
+let validate s =
+  match read s with
+  | Error e -> Error e
+  | Ok items ->
+      let named_tracks =
+        List.filter_map (function Meta { tid; _ } -> Some tid | _ -> None) items
+      in
+      let shape_error =
+        List.find_map
+          (function
+            | Complete { ts; dur; name; _ } when ts < 0. || dur < 0. ->
+                Some (Printf.sprintf "span %S has negative ts/dur" name)
+            | (Counter { ts; tid; _ } | Instant { ts; tid; _ })
+              when ts < 0. || not (List.mem tid named_tracks) ->
+                Some (Printf.sprintf "event on unnamed track %d" tid)
+            | Complete { tid; name; _ } when not (List.mem tid named_tracks) ->
+                Some (Printf.sprintf "span %S on unnamed track %d" name tid)
+            | _ -> None)
+          items
+      in
+      (match shape_error with
+      | Some e -> Error e
+      | None ->
+          if String.equal (render items) s then Ok ()
+          else Error "render/read round trip is not byte-identical")
+
+(* --- file output ----------------------------------------------------- *)
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_chrome ~path events =
+  with_out path (fun oc -> output_string oc (render (of_events events)))
+
+let kind_tag : Sink.kind -> string = function
+  | Sink.Begin -> "B"
+  | Sink.End -> "E"
+  | Sink.Instant -> "i"
+  | Sink.Counter -> "C"
+
+let write_jsonl ~path events =
+  with_out path (fun oc ->
+      List.iter
+        (fun (e : Sink.event) ->
+          Printf.fprintf oc
+            "{\"seq\":%d,\"ts\":%.9f,\"track\":%d,\"kind\":\"%s\",\"cat\":\"%s\",\"name\":\"%s\",\"value\":%d}\n"
+            e.seq e.ts e.track (kind_tag e.kind) (Jsonx.escape e.cat)
+            (Jsonx.escape e.name) e.value)
+        events)
+
+let write_metrics ~path snapshot =
+  let tmp = path ^ ".tmp" in
+  with_out tmp (fun oc ->
+      output_string oc (Metrics.to_json snapshot);
+      output_char oc '\n');
+  Sys.rename tmp path

@@ -1,0 +1,60 @@
+(** Exporters for recorded {!Sink} events.
+
+    Two formats: Chrome [trace_event] JSON (the ["traceEvents"] array
+    form, loadable in Perfetto / [chrome://tracing], one track per
+    domain-thread pair) and a raw JSONL stream (one event per line,
+    for ad-hoc tooling).
+
+    The exporter carries its own {!read}er so a written trace can be
+    validated against exactly what we emit: {!validate} checks
+    [render (read s) = s] byte-for-byte. To make that hold, {!of_events}
+    rebases timestamps to the earliest event (keeping microsecond
+    values small enough that the fixed [%.3f] rendering is lossless)
+    and {!render} never rebases — a read trace re-renders to the
+    identical bytes. *)
+
+type item =
+  | Complete of { ts : float; dur : float; tid : int; cat : string; name : string }
+      (** ["X"] — a closed span; [ts]/[dur] in microseconds (rebased). *)
+  | Counter of { ts : float; tid : int; name : string; value : int }
+      (** ["C"] — a sampled series value (edge queue depth, star depth). *)
+  | Instant of { ts : float; tid : int; cat : string; name : string; value : int }
+      (** ["i"] — a point event (steal, park, retry, stall). *)
+  | Meta of { tid : int; thread_name : string }
+      (** ["M"] — track naming metadata, one per referenced track. *)
+
+type t = item list
+
+val of_events : Sink.event list -> t
+(** Convert sink events (in [seq] order): adjacent [Begin]/[End] pairs
+    on the same track become {!Complete} spans ([Probe.span_end] emits
+    them adjacently, so pairing is by construction; a dangling [Begin]
+    — e.g. the sink filled mid-span — is dropped), [Counter]/[Instant]
+    map directly, and one {!Meta} per track is prepended. *)
+
+val render : t -> string
+(** Deterministic Chrome-trace JSON: fixed key order, fixed number
+    formats, no re-sorting. *)
+
+val read : string -> (t, string) result
+(** Parse a trace we wrote. Inverse of {!render}. *)
+
+val validate : string -> (unit, string) result
+(** [read] then re-[render] and require byte equality, plus shape
+    checks (non-negative [ts]/[dur], every data track has a
+    {!Meta}). *)
+
+val track_domain : int -> int
+val track_thread : int -> int
+(** Decompose a track id (domain in the high bits, thread id low). *)
+
+(** {1 File output} *)
+
+val write_chrome : path:string -> Sink.event list -> unit
+val write_jsonl : path:string -> Sink.event list -> unit
+(** One raw event per line:
+    [{"seq":..,"ts":..,"track":..,"kind":"B"|"E"|"i"|"C","cat":..,"name":..,"value":..}]. *)
+
+val write_metrics : path:string -> Metrics.snapshot -> unit
+(** Atomic-rename write of {!Metrics.to_json} (so [snet_top --watch]
+    never reads a torn file). *)

@@ -1,0 +1,30 @@
+(** A minimal JSON representation and recursive-descent parser, shared
+    by {!Export} (trace validation round-trip) and {!Metrics}
+    (snapshot files for [snet_top]). Kept deliberately small: the repo
+    has no JSON dependency, and the exporter needs its {e own} reader
+    anyway so traces are validated against exactly what we write. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.
+    Numbers become [Num] (doubles), matching what the writers emit. *)
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_string : t -> string option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_list : t -> t list option
+
+(** {1 Writing helper} *)
+
+val escape : string -> string
+(** JSON string-literal escaping (no surrounding quotes). *)

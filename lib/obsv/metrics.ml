@@ -1,0 +1,412 @@
+(* Aggregated metrics: log-linear latency histograms and per-edge
+   counters, all lock-free. See metrics.mli. *)
+
+(* --- log-linear histogram bucketing ---------------------------------
+   Octave 0 covers [0, base_ns) in [sub] linear buckets; octave o >= 1
+   covers [base_ns * 2^(o-1) * 2, ...) — i.e. [base_ns << (o-1) * 2 —
+   concretely bucket index  sub + (o-1)*sub + s  covers
+   [lo + s*lo/sub, lo + (s+1)*lo/sub) with lo = base_ns << (o-1).
+   42 octaves above base reach ~78 hours; larger values clamp into the
+   last bucket and are reported via the tracked maximum. *)
+
+let sub = 8
+let base_ns = 64
+let octaves = 42
+let n_buckets = sub + (octaves * sub)
+
+let bucket_of_ns ns =
+  let ns = max 0 ns in
+  if ns < base_ns then ns * sub / base_ns
+  else begin
+    let o = ref 0 and v = ref (ns / base_ns) in
+    while !v >= 2 do
+      incr o;
+      v := !v asr 1
+    done;
+    let lo = base_ns lsl !o in
+    let idx = sub + (!o * sub) + ((ns - lo) / (lo / sub)) in
+    min idx (n_buckets - 1)
+  end
+
+let bucket_upper_ns i =
+  if i < sub then (i + 1) * (base_ns / sub)
+  else
+    let o = (i - sub) / sub and s = (i - sub) mod sub in
+    let lo = base_ns lsl o in
+    lo + ((s + 1) * (lo / sub))
+
+let percentile q buckets ~max_s =
+  let count = Array.fold_left ( + ) 0 buckets in
+  if count = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int count))) in
+    let cum = ref 0 and result = ref max_s in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if !cum >= rank then begin
+             result := float_of_int (bucket_upper_ns i) *. 1e-9;
+             raise Exit
+           end)
+         buckets
+     with Exit -> ());
+    Float.min !result max_s
+  end
+
+type hist = {
+  count : int;
+  total : float;
+  max_s : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let hist_of_buckets buckets ~total ~max_s =
+  {
+    count = Array.fold_left ( + ) 0 buckets;
+    total;
+    max_s;
+    p50 = percentile 0.50 buckets ~max_s;
+    p95 = percentile 0.95 buckets ~max_s;
+    p99 = percentile 0.99 buckets ~max_s;
+  }
+
+(* --- cells ----------------------------------------------------------- *)
+
+(* Cells are sharded per domain, like the sink's ring buffers: each
+   domain owns a shard and is the only writer of the cells in it, so
+   the hot path is plain (unboxed) integer arithmetic on a plain int
+   array — no atomics, no cache-line ping-pong between domains, and no
+   per-bucket Atomic.t boxes (allocating hundreds of those per cell
+   turns out to be pathologically slow once a second domain exists).
+   Threads of one domain share its shard; they interleave only at
+   poll points, which the straight-line load/add/store updates below
+   do not contain, so same-domain updates cannot tear either.
+   [snapshot] merges all shards with racy reads: per-field monotone,
+   exact after quiescence, not a consistent cut — the same relaxed
+   contract Core.Stats documents. The only lock is on the first touch
+   of a new name in a shard (cell insert) and on shard registration. *)
+
+type span_cell = {
+  buckets : int array;
+  mutable total_ns : int;
+  mutable max_ns : int;
+}
+
+type edge_cell = {
+  mutable sends : int;
+  mutable recvs : int;
+  mutable stalls : int;
+  mutable hwm : int;
+}
+
+module SMap = Map.Make (String)
+
+type shard = {
+  mutable spans : span_cell SMap.t;
+  mutable edges : edge_cell SMap.t;
+  shard_gen : int;
+}
+
+let registry : shard list ref = ref []
+let registry_mutex = Mutex.create ()
+
+(* Bumped by [clear]: shards from an older generation are dead — they
+   drop out of the registry and each domain lazily re-registers a
+   fresh shard on its next record. *)
+let generation = Atomic.make 0
+let star_hwm = Atomic.make 0
+let star_stages = Atomic.make 0
+
+let new_shard () =
+  let s =
+    { spans = SMap.empty; edges = SMap.empty; shard_gen = Atomic.get generation }
+  in
+  Mutex.protect registry_mutex (fun () -> registry := s :: !registry);
+  s
+
+let shard_key : shard Domain.DLS.key = Domain.DLS.new_key new_shard
+
+let my_shard () =
+  let s = Domain.DLS.get shard_key in
+  if s.shard_gen = Atomic.get generation then s
+  else begin
+    let s' = new_shard () in
+    Domain.DLS.set shard_key s';
+    s'
+  end
+
+(* First touch of a name in a shard: serialised so two threads of the
+   same domain cannot insert twice and strand one thread's cell. *)
+let find_or_add find add fresh =
+  match find () with
+  | Some c -> c
+  | None ->
+      Mutex.protect registry_mutex (fun () ->
+          match find () with
+          | Some c -> c
+          | None ->
+              let c = fresh () in
+              add c;
+              c)
+
+let span_cell shard key =
+  find_or_add
+    (fun () -> SMap.find_opt key shard.spans)
+    (fun c -> shard.spans <- SMap.add key c shard.spans)
+    (fun () ->
+      { buckets = Array.make n_buckets 0; total_ns = 0; max_ns = 0 })
+
+let edge_cell shard key =
+  find_or_add
+    (fun () -> SMap.find_opt key shard.edges)
+    (fun c -> shard.edges <- SMap.add key c shard.edges)
+    (fun () -> { sends = 0; recvs = 0; stalls = 0; hwm = 0 })
+
+let atomic_max cell v =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then go ()
+  in
+  go ()
+
+(* Span keys pack cat and name with a NUL, which cannot appear in
+   component paths. *)
+let span_key ~cat ~name = cat ^ "\000" ^ name
+
+let split_span_key key =
+  match String.index_opt key '\000' with
+  | Some i ->
+      (String.sub key 0 i, String.sub key (i + 1) (String.length key - i - 1))
+  | None -> ("", key)
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+let on () = Sink.flag Sink.metrics_bit
+
+let clear () =
+  Atomic.incr generation;
+  let gen = Atomic.get generation in
+  Mutex.protect registry_mutex (fun () ->
+      registry := List.filter (fun s -> s.shard_gen = gen) !registry);
+  Atomic.set star_hwm 0;
+  Atomic.set star_stages 0
+
+let enable () =
+  clear ();
+  Sink.set_flag Sink.metrics_bit true
+
+let disable () = Sink.set_flag Sink.metrics_bit false
+
+(* --- recording ------------------------------------------------------- *)
+
+let record_span ~cat ~name ~dt =
+  let cell = span_cell (my_shard ()) (span_key ~cat ~name) in
+  let ns = int_of_float (Float.max 0. (dt *. 1e9)) in
+  let b = bucket_of_ns ns in
+  cell.buckets.(b) <- cell.buckets.(b) + 1;
+  cell.total_ns <- cell.total_ns + ns;
+  if ns > cell.max_ns then cell.max_ns <- ns
+
+let record_edge_send ~name ~depth =
+  let cell = edge_cell (my_shard ()) name in
+  cell.sends <- cell.sends + 1;
+  if depth > cell.hwm then cell.hwm <- depth
+
+let record_edge_recv ~name ~depth =
+  let cell = edge_cell (my_shard ()) name in
+  cell.recvs <- cell.recvs + 1;
+  if depth > cell.hwm then cell.hwm <- depth
+
+let record_edge_stall ~name =
+  let cell = edge_cell (my_shard ()) name in
+  cell.stalls <- cell.stalls + 1
+
+let record_star_depth ~depth =
+  ignore (Atomic.fetch_and_add star_stages 1);
+  atomic_max star_hwm depth
+
+(* --- snapshot -------------------------------------------------------- *)
+
+type edge = { sends : int; recvs : int; stalls : int; hwm : int }
+
+type snapshot = {
+  spans : (string * string * hist) list;
+  edges : (string * edge) list;
+  star_depth_hwm : int;
+  star_stages : int;
+}
+
+(* Merge all live shards. Reads race with writers (see the cell-layer
+   note): each value read is some value the owner wrote, so merged
+   counters are per-field monotone and exact once writers quiesce. *)
+let snapshot () =
+  let shards = Mutex.protect registry_mutex (fun () -> !registry) in
+  let gen = Atomic.get generation in
+  let shards = List.filter (fun s -> s.shard_gen = gen) shards in
+  let span_acc : (string, int array * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let edge_acc : (string, edge) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : shard) ->
+      SMap.iter
+        (fun key c ->
+          let buckets, total, max_s =
+            match Hashtbl.find_opt span_acc key with
+            | Some acc -> acc
+            | None ->
+                let acc = (Array.make n_buckets 0, ref 0., ref 0.) in
+                Hashtbl.add span_acc key acc;
+                acc
+          in
+          Array.iteri (fun i n -> buckets.(i) <- buckets.(i) + n) c.buckets;
+          total := !total +. (float_of_int c.total_ns *. 1e-9);
+          max_s := Float.max !max_s (float_of_int c.max_ns *. 1e-9))
+        s.spans;
+      SMap.iter
+        (fun name (c : edge_cell) ->
+          let prev =
+            Option.value
+              (Hashtbl.find_opt edge_acc name)
+              ~default:{ sends = 0; recvs = 0; stalls = 0; hwm = 0 }
+          in
+          Hashtbl.replace edge_acc name
+            {
+              sends = prev.sends + c.sends;
+              recvs = prev.recvs + c.recvs;
+              stalls = prev.stalls + c.stalls;
+              hwm = max prev.hwm c.hwm;
+            })
+        s.edges)
+    shards;
+  let spans =
+    Hashtbl.fold
+      (fun key (buckets, total, max_s) acc ->
+        let cat, name = split_span_key key in
+        (cat, name, hist_of_buckets buckets ~total:!total ~max_s:!max_s) :: acc)
+      span_acc []
+    |> List.sort (fun (c1, n1, _) (c2, n2, _) -> compare (c1, n1) (c2, n2))
+  in
+  let edges =
+    Hashtbl.fold (fun name e acc -> (name, e) :: acc) edge_acc []
+    |> List.sort (fun (n1, _) (n2, _) -> compare n1 n2)
+  in
+  {
+    spans;
+    edges;
+    star_depth_hwm = Atomic.get star_hwm;
+    star_stages = Atomic.get star_stages;
+  }
+
+(* --- rendering ------------------------------------------------------- *)
+
+let dur_to_string s =
+  if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let pp ppf snap =
+  Format.fprintf ppf "@[<v>metrics:@,";
+  if snap.spans <> [] then begin
+    Format.fprintf ppf "  %-28s %8s %10s %9s %9s %9s %9s@," "span" "count"
+      "total" "p50" "p95" "p99" "max";
+    List.iter
+      (fun (cat, name, h) ->
+        Format.fprintf ppf "  %-28s %8d %10s %9s %9s %9s %9s@,"
+          (Printf.sprintf "%s:%s" cat name)
+          h.count (dur_to_string h.total) (dur_to_string h.p50)
+          (dur_to_string h.p95) (dur_to_string h.p99) (dur_to_string h.max_s))
+      snap.spans
+  end;
+  if snap.edges <> [] then begin
+    Format.fprintf ppf "  %-28s %8s %8s %8s %6s@," "edge" "sends" "recvs"
+      "stalls" "hwm";
+    List.iter
+      (fun (name, e) ->
+        Format.fprintf ppf "  %-28s %8d %8d %8d %6d@," name e.sends e.recvs
+          e.stalls e.hwm)
+      snap.edges
+  end;
+  Format.fprintf ppf "  star stages %d, depth high-water %d@]"
+    snap.star_stages snap.star_depth_hwm
+
+(* --- serialisation --------------------------------------------------- *)
+
+let to_json snap =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"spans\":[";
+  List.iteri
+    (fun i (cat, name, h) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"cat\":\"%s\",\"name\":\"%s\",\"count\":%d,\"total\":%.9f,\"max\":%.9f,\"p50\":%.9f,\"p95\":%.9f,\"p99\":%.9f}"
+           (Jsonx.escape cat) (Jsonx.escape name) h.count h.total h.max_s h.p50
+           h.p95 h.p99))
+    snap.spans;
+  Buffer.add_string b "],\"edges\":[";
+  List.iteri
+    (fun i (name, e) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"sends\":%d,\"recvs\":%d,\"stalls\":%d,\"hwm\":%d}"
+           (Jsonx.escape name) e.sends e.recvs e.stalls e.hwm))
+    snap.edges;
+  Buffer.add_string b
+    (Printf.sprintf "],\"star_depth_hwm\":%d,\"star_stages\":%d}"
+       snap.star_depth_hwm snap.star_stages);
+  Buffer.contents b
+
+let of_json s =
+  let ( let* ) r f = match r with Some v -> f v | None -> Error "bad metrics json" in
+  match Jsonx.parse s with
+  | Error e -> Error e
+  | Ok j ->
+      let* spans_j = Option.bind (Jsonx.member "spans" j) Jsonx.to_list in
+      let* edges_j = Option.bind (Jsonx.member "edges" j) Jsonx.to_list in
+      let* star_depth_hwm =
+        Option.bind (Jsonx.member "star_depth_hwm" j) Jsonx.to_int
+      in
+      let* star_stages =
+        Option.bind (Jsonx.member "star_stages" j) Jsonx.to_int
+      in
+      let span_of j =
+        let* cat = Option.bind (Jsonx.member "cat" j) Jsonx.to_string in
+        let* name = Option.bind (Jsonx.member "name" j) Jsonx.to_string in
+        let* count = Option.bind (Jsonx.member "count" j) Jsonx.to_int in
+        let* total = Option.bind (Jsonx.member "total" j) Jsonx.to_float in
+        let* max_s = Option.bind (Jsonx.member "max" j) Jsonx.to_float in
+        let* p50 = Option.bind (Jsonx.member "p50" j) Jsonx.to_float in
+        let* p95 = Option.bind (Jsonx.member "p95" j) Jsonx.to_float in
+        let* p99 = Option.bind (Jsonx.member "p99" j) Jsonx.to_float in
+        Ok (cat, name, { count; total; max_s; p50; p95; p99 })
+      in
+      let edge_of j =
+        let* name = Option.bind (Jsonx.member "name" j) Jsonx.to_string in
+        let* sends = Option.bind (Jsonx.member "sends" j) Jsonx.to_int in
+        let* recvs = Option.bind (Jsonx.member "recvs" j) Jsonx.to_int in
+        let* stalls = Option.bind (Jsonx.member "stalls" j) Jsonx.to_int in
+        let* hwm = Option.bind (Jsonx.member "hwm" j) Jsonx.to_int in
+        Ok (name, { sends; recvs; stalls; hwm })
+      in
+      let rec map_result f = function
+        | [] -> Ok []
+        | x :: xs -> (
+            match f x with
+            | Error e -> Error e
+            | Ok y -> (
+                match map_result f xs with
+                | Error e -> Error e
+                | Ok ys -> Ok (y :: ys)))
+      in
+      (match map_result span_of spans_j with
+      | Error e -> Error e
+      | Ok spans -> (
+          match map_result edge_of edges_j with
+          | Error e -> Error e
+          | Ok edges -> Ok { spans; edges; star_depth_hwm; star_stages }))

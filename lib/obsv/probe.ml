@@ -1,0 +1,51 @@
+(* Hot-path probes; one atomic load + branch when observability is
+   off. See probe.mli. *)
+
+let disabled = neg_infinity
+
+let span_start () = if Sink.active () then Sink.now () else disabled
+
+let span_end ~cat ~name t0 =
+  if t0 <> disabled then begin
+    let t1 = Sink.now () in
+    if Sink.flag Sink.metrics_bit then
+      Metrics.record_span ~cat ~name ~dt:(t1 -. t0);
+    if Sink.events_on () then begin
+      Sink.emit ~kind:Begin ~cat ~name ~value:0 ~ts:t0;
+      Sink.emit ~kind:End ~cat ~name ~value:0 ~ts:t1
+    end
+  end
+
+let instant ~cat ~name ?(value = 0) () =
+  if Sink.events_on () then Sink.emit_now ~kind:Instant ~cat ~name ~value
+
+let counter ~cat ~name ~value =
+  if Sink.events_on () then Sink.emit_now ~kind:Counter ~cat ~name ~value
+
+let edge_send ~name ~depth =
+  if Sink.active () then begin
+    if Sink.flag Sink.metrics_bit then Metrics.record_edge_send ~name ~depth;
+    if Sink.events_on () then
+      Sink.emit_now ~kind:Counter ~cat:"edge" ~name ~value:depth
+  end
+
+let edge_recv ~name ~depth =
+  if Sink.active () then begin
+    if Sink.flag Sink.metrics_bit then Metrics.record_edge_recv ~name ~depth;
+    if Sink.events_on () then
+      Sink.emit_now ~kind:Counter ~cat:"edge" ~name ~value:depth
+  end
+
+let edge_stall ~name =
+  if Sink.active () then begin
+    if Sink.flag Sink.metrics_bit then Metrics.record_edge_stall ~name;
+    if Sink.events_on () then
+      Sink.emit_now ~kind:Instant ~cat:"edge" ~name:(name ^ "!stall") ~value:0
+  end
+
+let star_depth ~depth =
+  if Sink.active () then begin
+    if Sink.flag Sink.metrics_bit then Metrics.record_star_depth ~depth;
+    if Sink.events_on () then
+      Sink.emit_now ~kind:Counter ~cat:"star" ~name:"star-depth" ~value:depth
+  end

@@ -1,0 +1,42 @@
+(** Probes: the instrumentation points the runtime calls.
+
+    Every function here is safe to call unconditionally from hot
+    paths: when neither the event {!Sink} nor {!Metrics} is enabled it
+    is one atomic load and a predicted branch. Span probes return a
+    start timestamp so the clock is read only when something is
+    listening; [span_start] hands back {!disabled} (checked by
+    physical comparison against [neg_infinity]) when off, and
+    [span_end] on a disabled start is a no-op — so a sink toggled
+    mid-span cannot produce an unmatched [End]. *)
+
+val disabled : float
+(** Sentinel returned by {!span_start} when observability is off.
+    [neg_infinity], because [0.] is a valid virtual-clock reading. *)
+
+val span_start : unit -> float
+(** Current time if anything is listening, {!disabled} otherwise. *)
+
+val span_end : cat:string -> name:string -> float -> unit
+(** Close a span opened at the given start time: records the duration
+    histogram when metrics are on and a [Begin]/[End] event pair when
+    the sink is on. No-op when the start is {!disabled}. *)
+
+val instant : cat:string -> name:string -> ?value:int -> unit -> unit
+(** Point event (pool steal/park, supervision retry/timeout/error). *)
+
+val counter : cat:string -> name:string -> value:int -> unit
+(** Sampled series value, e.g. star unfolding depth over time. *)
+
+(** {1 Edge probes} — channel/mailbox activity, keyed by edge name. *)
+
+val edge_send : name:string -> depth:int -> unit
+(** A message entered the edge; [depth] is the queue depth after. *)
+
+val edge_recv : name:string -> depth:int -> unit
+(** A message left the edge; [depth] is the queue depth after. *)
+
+val edge_stall : name:string -> unit
+(** A producer blocked on backpressure at this edge. *)
+
+val star_depth : depth:int -> unit
+(** A star stage unfolded to [depth]. *)

@@ -1,0 +1,96 @@
+(** The structured-event sink: timed span/instant/counter events in
+    lock-free per-domain ring buffers.
+
+    The S+Net line of work (Poss et al., arXiv:1306.2743) argues that a
+    coordination runtime must expose extra-functional observables —
+    where time goes, which queue backs up — alongside functional
+    behaviour. This sink is the collection layer: runtime components
+    ({!Probe} call sites in the engines, the actor layer, the
+    work-stealing pool and supervision) record events here when the
+    sink is enabled, and exporters ({!Export}) turn the drained events
+    into Chrome [trace_event] JSON or JSONL.
+
+    Pay-for-what-you-use: with the sink (and {!Metrics}) disabled every
+    probe reduces to one atomic load and a predicted branch; no clock
+    read, no allocation. Enabling costs one global sequence increment,
+    one ring-slot write and a clock read per event.
+
+    Concurrency: each domain writes its own ring buffer (registered on
+    first use), so recording never takes a lock. Threads of the same
+    domain share that domain's ring through an atomic head counter.
+    {!events}/{!dropped}/{!clear} are meant for the quiet points
+    between runs — draining while producers are still emitting yields
+    a racy (but memory-safe) snapshot. *)
+
+type kind =
+  | Begin  (** Span opened; always followed by {!End} on the same track. *)
+  | End  (** Span closed. *)
+  | Instant  (** A point event (steal, park, retry, stall). *)
+  | Counter  (** A sampled series value (queue depth, star depth). *)
+
+type event = {
+  seq : int;  (** Global, monotone emission order across all domains. *)
+  ts : float;  (** {!now} at emission — virtual under detcheck. *)
+  track : int;  (** Emitting domain and thread; spans never cross tracks. *)
+  kind : kind;
+  cat : string;  (** "box", "filter", "edge", "pool", "sup", "star", ... *)
+  name : string;  (** Component path, counter name, ... *)
+  value : int;  (** Counter sample / instant payload; [0] otherwise. *)
+}
+
+(** {1 Lifecycle} *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Start recording events. [capacity] (default [65536], at least 1)
+    bounds every per-domain ring: when a ring is full the {e oldest}
+    events are overwritten and counted in {!dropped}. Clears previously
+    recorded events. *)
+
+val disable : unit -> unit
+(** Stop recording. Already-recorded events stay readable. *)
+
+val events_on : unit -> bool
+(** Whether the event sink is recording. *)
+
+val active : unit -> bool
+(** Whether {e any} observability consumer (event sink or
+    {!Metrics}) is on — the single hot-path gate every probe checks
+    first. *)
+
+val clear : unit -> unit
+(** Drop all recorded events and reset the sequence counter and drop
+    counts. Rings are re-allocated at the current capacity. *)
+
+(** {1 Reading} *)
+
+val events : unit -> event list
+(** Snapshot of all retained events, ordered by [seq]. *)
+
+val dropped : unit -> int
+(** Events lost to ring overwrite since the last {!clear}/{!enable}. *)
+
+(** {1 Clock} *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the timestamp source. [Scheduler.Clock] installs its
+    pluggable [now] on startup, so event time follows the virtual
+    clock under detcheck; the fallback is [Unix.gettimeofday]. *)
+
+val now : unit -> float
+
+(** {1 Recording (runtime-internal)} *)
+
+val emit : kind:kind -> cat:string -> name:string -> value:int -> ts:float -> unit
+(** Record one event with an explicit timestamp (used for span begins,
+    whose start time was captured before the work ran). Callers must
+    check {!events_on} first; [emit] itself does not. *)
+
+val emit_now : kind:kind -> cat:string -> name:string -> value:int -> unit
+(** [emit] stamped with {!now}. *)
+
+(** {1 Flag plumbing (for {!Metrics})} *)
+
+val events_bit : int
+val metrics_bit : int
+val set_flag : int -> bool -> unit
+val flag : int -> bool

@@ -19,3 +19,9 @@ let label () = (Atomic.get current).label
 let with_source src f =
   let prev = Atomic.exchange current src in
   Fun.protect ~finally:(fun () -> Atomic.set current prev) f
+
+(* Observability events are stamped through this clock, so traces
+   recorded under detcheck carry virtual time. Installed at module
+   init: [obsv] is below [scheduler] in the link order, so the sink
+   exists before any probe can fire. *)
+let () = Obsv.Sink.set_clock now

@@ -95,6 +95,7 @@ let park t =
   if has_visible_work t || Atomic.get t.closed then Atomic.decr t.n_parked
   else begin
     Atomic.incr t.counters.c_parks;
+    Obsv.Probe.instant ~cat:"pool" ~name:"park" ();
     Mutex.lock t.park_mutex;
     while Atomic.get t.epoch = e && not (Atomic.get t.closed) do
       Condition.wait t.park_cond t.park_mutex
@@ -130,6 +131,7 @@ let steal_sweep t ~start ~exclude =
         match Chase_lev.steal t.deques.(v) with
         | Some task ->
             Atomic.incr t.counters.c_steals;
+            Obsv.Probe.instant ~cat:"pool" ~name:"steal" ~value:v ();
             if not (Chase_lev.is_empty t.deques.(v)) then wake t;
             Some task
         | None -> go (i + 1)
@@ -175,8 +177,11 @@ let try_pop t =
 
 let exec_task t task =
   Atomic.incr t.counters.c_tasks;
-  try task ()
-  with e ->
+  let t0 = Obsv.Probe.span_start () in
+  match task () with
+  | () -> Obsv.Probe.span_end ~cat:"pool" ~name:"task" t0
+  | exception e ->
+    Obsv.Probe.span_end ~cat:"pool" ~name:"task" t0;
     (* Tasks are expected to contain their own failures (futures capture
        them); anything escaping here would otherwise kill the worker
        domain. *)
@@ -380,6 +385,7 @@ let parallel_for_reduce_range t ?grain ~lo ~hi ~combine ~init body =
             let l = mid and h = !hi in
             Atomic.incr pending;
             Atomic.incr t.counters.c_splits;
+            Obsv.Probe.instant ~cat:"pool" ~name:"split" ();
             push_task t (fun () -> run_range l h);
             hi := mid
           end

@@ -104,16 +104,18 @@ let mailbox_length a =
 let rec activation a () =
   let self = Thread.id (Thread.self ()) in
   let rec step budget =
-    let msg =
+    let msg, depth =
       Mutex.lock a.qmutex;
       let m = Queue.take_opt a.queue in
       if m = None then a.active <- false;
+      let depth = Queue.length a.queue in
       Mutex.unlock a.qmutex;
-      m
+      (m, depth)
     in
     match msg with
     | None -> ()
     | Some m ->
+        Obsv.Probe.edge_recv ~name:a.actor_name ~depth;
         a.running_thread <- Some self;
         (try a.handler m with e -> record_error a.sys e);
         a.running_thread <- None;
@@ -149,15 +151,20 @@ let send a m =
       && a.running_thread <> Some self
     then begin
       Mutex.unlock a.qmutex;
-      if not stalled then ignore (Atomic.fetch_and_add a.sys.stalls 1);
+      if not stalled then begin
+        ignore (Atomic.fetch_and_add a.sys.stalls 1);
+        Obsv.Probe.edge_stall ~name:a.actor_name
+      end;
       if not (a.sys.exec.Exec.help ()) then a.sys.exec.Exec.idle ();
       try_enqueue true
     end
     else begin
       Queue.push m a.queue;
+      let depth = Queue.length a.queue in
       let need_schedule = not a.active in
       if need_schedule then a.active <- true;
       Mutex.unlock a.qmutex;
+      Obsv.Probe.edge_send ~name:a.actor_name ~depth;
       if need_schedule then a.sys.exec.Exec.post (activation a)
     end
   in

@@ -33,5 +33,6 @@ let () =
       ("networks", Test_networks.suite);
       ("propagate", Test_propagate.suite);
       ("faults", Test_faults.suite);
+      ("obsv", Test_obsv.suite);
       ("detcheck", Test_detcheck.suite);
     ]

@@ -77,7 +77,7 @@ let test_actor_names () =
          with Invalid_argument _ -> true))
 
 let test_thread_engine_observer () =
-  let observer, entries = Snet.Trace.recorder () in
+  let rec_ = Snet.Trace.recorder () in
   let inc =
     Box.make ~name:"inc" ~input:[ Box.T "x" ] ~outputs:[ [ Box.T "x" ] ]
       (fun ~emit -> function
@@ -85,10 +85,10 @@ let test_thread_engine_observer () =
         | _ -> assert false)
   in
   ignore
-    (Snet.Engine_thread.run ~observer (Net.box inc)
+    (Snet.Engine_thread.run ~observer:rec_.Snet.Trace.observe (Net.box inc)
        [ Snet.record ~tags:[ ("x", 1) ] () ]);
   Alcotest.(check int) "observed on the thread engine" 1
-    (List.length (entries ()))
+    (List.length (rec_.Snet.Trace.entries ()))
 
 let test_count_solutions_limit () =
   Alcotest.(check int) "limit respected" 5

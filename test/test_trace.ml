@@ -17,9 +17,10 @@ let inputs = List.map (fun x -> Snet.record ~tags:[ ("x", x) ] ()) [ 1; 2; 3 ]
 let net () = Net.serial (Net.box (inc "first")) (Net.box (inc "second"))
 
 let test_recorder_seq () =
-  let observer, entries = Trace.recorder () in
-  ignore (Snet.Engine_seq.run ~observer (net ()) inputs);
-  let es = entries () in
+  let rec_ = Trace.recorder () in
+  ignore (Snet.Engine_seq.run ~observer:rec_.Trace.observe (net ()) inputs);
+  let es = rec_.Trace.entries () in
+  Alcotest.(check int) "nothing dropped unbounded" 0 (rec_.Trace.dropped ());
   Alcotest.(check int) "two edges, three records" 6 (List.length es);
   Alcotest.(check (list string)) "edges in first-seen order"
     [ "/L/box:first"; "/R/box:second" ]
@@ -34,9 +35,11 @@ let test_recorder_conc () =
   Fun.protect
     ~finally:(fun () -> Scheduler.Pool.shutdown pool)
     (fun () ->
-      let observer, entries = Trace.recorder () in
-      ignore (Snet.Engine_conc.run ~pool ~observer (net ()) inputs);
-      let es = entries () in
+      let rec_ = Trace.recorder () in
+      ignore
+        (Snet.Engine_conc.run ~pool ~observer:rec_.Trace.observe (net ())
+           inputs);
+      let es = rec_.Trace.entries () in
       Alcotest.(check int) "all events seen" 6 (List.length es);
       Alcotest.(check (list int)) "per-edge order preserved"
         [ 1; 2; 3 ]
@@ -54,16 +57,38 @@ let test_on_edge () =
 
 let test_observe_node () =
   (* The Observe combinator names a probe point visible in paths. *)
-  let observer, entries = Trace.recorder () in
+  let rec_ = Trace.recorder () in
   let n = Net.serial (Net.box (inc "a")) (Net.observe "probe" (Net.box (inc "b"))) in
-  ignore (Snet.Engine_seq.run ~observer n inputs);
+  ignore (Snet.Engine_seq.run ~observer:rec_.Trace.observe n inputs);
   (* Both the probe point itself and the box nested under it carry the
      probe name in their paths. *)
-  let es = entries () in
+  let es = rec_.Trace.entries () in
   Alcotest.(check bool) "probe edge present" true
     (List.mem "/R/probe" (Trace.edges es));
   Alcotest.(check int) "probe point sees each record once" 3
     (List.length (Trace.records_on "/R/probe/box:" es))
+
+let test_recorder_capacity () =
+  let rec_ = Trace.recorder ~capacity:4 () in
+  for i = 0 to 9 do
+    rec_.Trace.observe ~edge:(Printf.sprintf "/e%d" i)
+      (Snet.record ~tags:[ ("x", i) ] ())
+  done;
+  let es = rec_.Trace.entries () in
+  Alcotest.(check int) "only the newest capacity entries retained" 4
+    (List.length es);
+  Alcotest.(check int) "overflow counted" 6 (rec_.Trace.dropped ());
+  (* Drop-oldest: the retained suffix is the last four, with their
+     original global indices. *)
+  Alcotest.(check (list int)) "indices of retained suffix" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Trace.entry) -> e.Trace.index) es);
+  Alcotest.(check (list string)) "edges of retained suffix"
+    [ "/e6"; "/e7"; "/e8"; "/e9" ]
+    (List.map (fun (e : Trace.entry) -> e.Trace.edge) es);
+  (* Capacity must be positive. *)
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Trace.recorder: capacity < 1") (fun () ->
+      ignore (Trace.recorder ~capacity:0 ()))
 
 let test_printer () =
   let path = Filename.temp_file "snet_trace" ".log" in
@@ -91,6 +116,8 @@ let suite =
   [
     Alcotest.test_case "recorder on the sequential engine" `Quick test_recorder_seq;
     Alcotest.test_case "recorder on the concurrent engine" `Quick test_recorder_conc;
+    Alcotest.test_case "recorder capacity drop-oldest" `Quick
+      test_recorder_capacity;
     Alcotest.test_case "single-edge observer" `Quick test_on_edge;
     Alcotest.test_case "Observe probe points" `Quick test_observe_node;
     Alcotest.test_case "printer" `Quick test_printer;
