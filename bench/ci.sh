@@ -27,6 +27,15 @@ echo "== observability smoke =="
 # recorded into BENCH_obsv.json.
 dune build @obsv-smoke
 
+echo "== distribution smoke =="
+# TCP-gated dist tests (real sockets) plus the dist benchmark smoke:
+# wire codec throughput and the cut-edge overhead bar (loopback adds
+# <= 50us/record over a bare in-process channel), recorded into
+# BENCH_dist.json. Tops off with one real multi-process solve.
+dune build @dist-smoke
+./_build/default/bin/snet_sudoku.exe --network fig2 --puzzle easy --workers 2 \
+  > /dev/null
+
 echo "== detcheck seed matrix: $SEEDS =="
 dune build @detcheck   # default seed, exercises the alias itself
 for seed in $SEEDS; do

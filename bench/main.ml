@@ -36,6 +36,12 @@
                    validation of the exported Chrome trace through the
                    exporter's own reader (acceptance: <= 2% overhead
                    with tracing off). Emits BENCH_obsv.json.
+     dist          Distribution layer: wire codec throughput on a real
+                   mid-pipeline sudoku record, cut-edge round-trip over
+                   an in-process channel vs the loopback transport vs
+                   TCP (acceptance: loopback adds <= 50us/record over
+                   the bare channel), and fig2 end-to-end on the
+                   partitioned engine. Emits BENCH_dist.json.
 
    Run all:        dune exec bench/main.exe
    Run one:        dune exec bench/main.exe -- fig3-sweep *)
@@ -285,15 +291,27 @@ let exp_dataparallel () =
 (* ------------------------------------------------------------------ *)
 (* scheduler: work-stealing pool vs the seed mutex-FIFO pool           *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* Every BENCH_*.json goes through Obsv.Jsonx: build the document as a
+   value, write it, and parse it back before trusting the artifact
+   (Jsonx.write_file does the read-back). NaN estimates degrade to -1,
+   the long-standing "no measurement" marker in these files. *)
+let jnum x = Obsv.Jsonx.Num (if Float.is_nan x then -1.0 else x)
+let jint n = Obsv.Jsonx.Num (float_of_int n)
+
+let jrows rows =
+  Obsv.Jsonx.List
+    (List.map
+       (fun (name, ns) ->
+         Obsv.Jsonx.Obj
+           [ ("name", Obsv.Jsonx.Str name); ("ns_per_run", jnum ns) ])
+       rows)
+
+let write_bench_json path doc rows =
+  match Obsv.Jsonx.write_file ~path doc with
+  | Ok () -> Printf.printf "  wrote %s (%d results)\n" path (List.length rows)
+  | Error e ->
+      Printf.eprintf "bench: %s\n" e;
+      exit 1
 
 let exp_scheduler () =
   Printf.printf
@@ -414,36 +432,38 @@ let exp_scheduler () =
   List.iter (fun (_, p) -> Scheduler.Fifo_pool.shutdown p) fifos;
   List.iter (fun (_, p) -> Scheduler.Pool.shutdown p) pools;
   (* Persist the trajectory for later PRs. *)
-  let oc = open_out "BENCH_scheduler.json" in
-  Printf.fprintf oc "{\n  \"bench\": \"scheduler\",\n";
-  Printf.fprintf oc "  \"host_recommended_domains\": %d,\n"
-    (Domain.recommended_domain_count ());
-  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
-  Printf.fprintf oc "  \"pool_counters\": { \"tasks\": %d, \"steals\": %d, \"parks\": %d, \"splits\": %d },\n"
-    s0.Scheduler.Pool.tasks s0.Scheduler.Pool.steals s0.Scheduler.Pool.parks
-    s0.Scheduler.Pool.splits;
-  (match task_lat with
-  | Some h ->
-      Printf.fprintf oc
-        "  \"task_latency_ns\": { \"count\": %d, \"p50\": %.1f, \"p95\": \
-         %.1f, \"p99\": %.1f },\n"
-        h.Obsv.Metrics.count
-        (h.Obsv.Metrics.p50 *. 1e9)
-        (h.Obsv.Metrics.p95 *. 1e9)
-        (h.Obsv.Metrics.p99 *. 1e9)
-  | None -> ());
-  Printf.fprintf oc "  \"results\": [\n";
   let rows = !rows in
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
-        (json_escape name)
-        (if Float.is_nan ns then -1.0 else ns)
-        (if i = List.length rows - 1 then "" else ","))
+  write_bench_json "BENCH_scheduler.json"
+    (Obsv.Jsonx.Obj
+       ([
+          ("bench", Obsv.Jsonx.Str "scheduler");
+          ( "host_recommended_domains",
+            jint (Domain.recommended_domain_count ()) );
+          ("smoke", Obsv.Jsonx.Bool smoke);
+          ( "pool_counters",
+            Obsv.Jsonx.Obj
+              [
+                ("tasks", jint s0.Scheduler.Pool.tasks);
+                ("steals", jint s0.Scheduler.Pool.steals);
+                ("parks", jint s0.Scheduler.Pool.parks);
+                ("splits", jint s0.Scheduler.Pool.splits);
+              ] );
+        ]
+       @ (match task_lat with
+         | Some h ->
+             [
+               ( "task_latency_ns",
+                 Obsv.Jsonx.Obj
+                   [
+                     ("count", jint h.Obsv.Metrics.count);
+                     ("p50", jnum (h.Obsv.Metrics.p50 *. 1e9));
+                     ("p95", jnum (h.Obsv.Metrics.p95 *. 1e9));
+                     ("p99", jnum (h.Obsv.Metrics.p99 *. 1e9));
+                   ] );
+             ]
+         | None -> [])
+       @ [ ("results", jrows rows) ]))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "  wrote BENCH_scheduler.json (%d results)\n" (List.length rows);
   flush stdout
 
 (* ------------------------------------------------------------------ *)
@@ -809,43 +829,40 @@ let exp_faults () =
         Printf.printf "  %s error-record overhead on no-failure path: %+.1f%%\n"
           eng ((r -. 1.) *. 100.))
     [ "seq"; "conc" ];
-  let oc = open_out "BENCH_faults.json" in
-  Printf.fprintf oc "{\n  \"bench\": \"faults\",\n";
-  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
-  let j x = if Float.is_nan x then -1.0 else x in
-  Printf.fprintf oc
-    "  \"no_failure_overhead_ratio\": { \"seq\": %.3f, \"conc\": %.3f },\n"
-    (j (ratio "seq"))
-    (j (ratio "conc"));
-  Printf.fprintf oc
-    "  \"flaky_run\": { \"outputs\": %d, \"error_records\": %d, \
-     \"box_errors\": %d, \"box_retries\": %d, \"backpressure_stalls\": %d },\n"
-    (List.length outs) (List.length errors) snap.Snet.Stats.box_errors
-    snap.Snet.Stats.box_retries snap.Snet.Stats.backpressure_stalls;
-  Printf.fprintf oc "  \"box_latency_ns\": [\n";
-  List.iteri
-    (fun i (_, nm, h) ->
-      Printf.fprintf oc
-        "    { \"name\": \"%s\", \"count\": %d, \"p50\": %.1f, \"p95\": \
-         %.1f, \"p99\": %.1f }%s\n"
-        (json_escape nm) h.Obsv.Metrics.count
-        (h.Obsv.Metrics.p50 *. 1e9)
-        (h.Obsv.Metrics.p95 *. 1e9)
-        (h.Obsv.Metrics.p99 *. 1e9)
-        (if i = List.length box_lats - 1 then "" else ","))
-    box_lats;
-  Printf.fprintf oc "  ],\n";
-  Printf.fprintf oc "  \"results\": [\n";
   let rows = !rows in
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
-        (json_escape name) (j ns)
-        (if i = List.length rows - 1 then "" else ","))
+  write_bench_json "BENCH_faults.json"
+    (Obsv.Jsonx.Obj
+       [
+         ("bench", Obsv.Jsonx.Str "faults");
+         ("smoke", Obsv.Jsonx.Bool smoke);
+         ( "no_failure_overhead_ratio",
+           Obsv.Jsonx.Obj
+             [ ("seq", jnum (ratio "seq")); ("conc", jnum (ratio "conc")) ] );
+         ( "flaky_run",
+           Obsv.Jsonx.Obj
+             [
+               ("outputs", jint (List.length outs));
+               ("error_records", jint (List.length errors));
+               ("box_errors", jint snap.Snet.Stats.box_errors);
+               ("box_retries", jint snap.Snet.Stats.box_retries);
+               ("backpressure_stalls", jint snap.Snet.Stats.backpressure_stalls);
+             ] );
+         ( "box_latency_ns",
+           Obsv.Jsonx.List
+             (List.map
+                (fun (_, nm, h) ->
+                  Obsv.Jsonx.Obj
+                    [
+                      ("name", Obsv.Jsonx.Str nm);
+                      ("count", jint h.Obsv.Metrics.count);
+                      ("p50", jnum (h.Obsv.Metrics.p50 *. 1e9));
+                      ("p95", jnum (h.Obsv.Metrics.p95 *. 1e9));
+                      ("p99", jnum (h.Obsv.Metrics.p99 *. 1e9));
+                    ])
+                box_lats) );
+         ("results", jrows rows);
+       ])
     rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "  wrote BENCH_faults.json (%d results)\n" (List.length rows);
   flush stdout
 
 (* ------------------------------------------------------------------ *)
@@ -942,39 +959,224 @@ let exp_obsv () =
     ((events_on /. off -. 1.) *. 100.)
     ((metrics_on /. off -. 1.) *. 100.)
     trace_valid;
-  let j x = if Float.is_nan x then -1.0 else x in
-  let oc = open_out "BENCH_obsv.json" in
-  Printf.fprintf oc "{\n  \"bench\": \"obsv\",\n  \"smoke\": %b,\n" smoke;
-  Printf.fprintf oc
-    "  \"fig2_medium_ns\": { \"off_a\": %.1f, \"off_b\": %.1f, \
-     \"events_on\": %.1f, \"metrics_on\": %.1f },\n"
-    (j off_a) (j off_b) (j events_on) (j metrics_on);
-  Printf.fprintf oc
-    "  \"probe_ns\": { \"disabled_span_pair\": %.2f, \
-     \"enabled_span_pair\": %.2f },\n"
-    (j pair_off) (j pair_on);
-  Printf.fprintf oc "  \"probe_events_per_run\": %d,\n" probe_events;
-  Printf.fprintf oc "  \"tracing_off_overhead_ratio\": %.5f,\n"
-    (j off_overhead_est);
-  Printf.fprintf oc "  \"off_noise_floor_ratio\": %.5f,\n" (j noise);
-  Printf.fprintf oc "  \"trace_validates\": %b,\n" trace_valid;
-  Printf.fprintf oc "  \"results\": [\n";
   let rows = !rows in
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
-        (json_escape name) (j ns)
-        (if i = List.length rows - 1 then "" else ","))
+  write_bench_json "BENCH_obsv.json"
+    (Obsv.Jsonx.Obj
+       [
+         ("bench", Obsv.Jsonx.Str "obsv");
+         ("smoke", Obsv.Jsonx.Bool smoke);
+         ( "fig2_medium_ns",
+           Obsv.Jsonx.Obj
+             [
+               ("off_a", jnum off_a);
+               ("off_b", jnum off_b);
+               ("events_on", jnum events_on);
+               ("metrics_on", jnum metrics_on);
+             ] );
+         ( "probe_ns",
+           Obsv.Jsonx.Obj
+             [
+               ("disabled_span_pair", jnum pair_off);
+               ("enabled_span_pair", jnum pair_on);
+             ] );
+         ("probe_events_per_run", jint probe_events);
+         ("tracing_off_overhead_ratio", jnum off_overhead_est);
+         ("off_noise_floor_ratio", jnum noise);
+         ("trace_validates", Obsv.Jsonx.Bool trace_valid);
+         ("results", jrows rows);
+       ])
     rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "  wrote BENCH_obsv.json (%d results)\n" (List.length rows);
   flush stdout;
   if not trace_valid then exit 1;
   if (not (Float.is_nan off_overhead_est)) && off_overhead_est > 0.02 then begin
     Printf.eprintf
       "obsv: tracing-off overhead estimate %.3f%% exceeds the 2%% budget\n"
       (off_overhead_est *. 100.);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* dist: wire codec throughput and cut-edge transport overhead         *)
+
+let exp_dist () =
+  Printf.printf
+    "\n== dist: wire format and cut-edge transport overhead ==\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let quota = if smoke then 0.05 else 1.0 in
+  let rows = ref [] in
+  let collect title tests = rows := !rows @ bench_collect title ~quota tests in
+  Sudoku.Netspec.register_codecs ();
+  (* The record that actually crosses fig2's cut edge: a board, its
+     options cube and the routing tag. *)
+  let board = board_of "medium" in
+  let opts = Sudoku.Rules.init_options board in
+  let r =
+    Snet.Record.of_list
+      ~fields:
+        [
+          ("board", Snet.Value.inject Sudoku.Boxes.board_field board);
+          ("opts", Snet.Value.inject Sudoku.Boxes.opts_field opts);
+        ]
+      ~tags:[ ("k", 1) ]
+  in
+  let frame = Dist.Wire.render r in
+  let frame_bytes = String.length frame in
+  collect "wire codec on a mid-pipeline sudoku record"
+    [
+      Test.make ~name:"wire/encode"
+        (Staged.stage (fun () -> Dist.Wire.render r));
+      Test.make ~name:"wire/decode"
+        (Staged.stage (fun () -> Dist.Wire.read frame));
+    ];
+  (* Cut-edge round-trip, same record out and back over: (a) an
+     in-process channel carrying it by reference — what a shared-memory
+     engine pays, (b) the loopback transport carrying encoded frames,
+     (c) a real TCP socket. Each peer is an echo thread. *)
+  let chan_there = Streams.Channel.create ~capacity:4 () in
+  let chan_back = Streams.Channel.create ~capacity:4 () in
+  let chan_echo =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Streams.Channel.recv chan_there with
+          | `Msg m ->
+              Streams.Channel.send chan_back m;
+              loop ()
+          | `Closed -> ()
+        in
+        loop ())
+      ()
+  in
+  let echo conn =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Dist.Transport.recv conn with
+          | `Msg m -> (
+              match Dist.Transport.send conn m with
+              | () -> loop ()
+              | exception Dist.Transport.Closed_conn -> ())
+          | `Closed -> Dist.Transport.close conn
+        in
+        loop ())
+      ()
+  in
+  let lo_a, lo_b = Dist.Transport.loopback_pair () in
+  let lo_echo = echo lo_b in
+  let listener = Dist.Transport.Tcp.listen () in
+  let tcp_echo =
+    Thread.create
+      (fun () ->
+        let c =
+          Dist.Transport.erase
+            (module Dist.Transport.Tcp)
+            (Dist.Transport.Tcp.accept ~timeout_s:10.0 listener)
+        in
+        let rec loop () =
+          match Dist.Transport.recv c with
+          | `Msg m -> (
+              match Dist.Transport.send c m with
+              | () -> loop ()
+              | exception Dist.Transport.Closed_conn -> ())
+          | `Closed -> Dist.Transport.close c
+        in
+        loop ())
+      ()
+  in
+  let tcp =
+    Dist.Transport.erase
+      (module Dist.Transport.Tcp)
+      (Dist.Transport.Tcp.connect ~host:"127.0.0.1"
+         ~port:(Dist.Transport.Tcp.port listener))
+  in
+  let rt_chan () =
+    Streams.Channel.send chan_there r;
+    match Streams.Channel.recv chan_back with
+    | `Msg m -> m
+    | `Closed -> assert false
+  in
+  let rt_conn conn () =
+    Dist.Transport.send conn (Dist.Wire.render r);
+    match Dist.Transport.recv conn with
+    | `Msg m -> (
+        match Dist.Wire.read m with Ok r -> r | Error e -> failwith e)
+    | `Closed -> assert false
+  in
+  collect "cut-edge round-trip (send + echo + recv, one record)"
+    [
+      Test.make ~name:"edge/channel" (Staged.stage rt_chan);
+      Test.make ~name:"edge/loopback" (Staged.stage (rt_conn lo_a));
+      Test.make ~name:"edge/tcp" (Staged.stage (rt_conn tcp));
+    ];
+  (* End-to-end: the partitioned engine (loopback workers) against the
+     sequential reference on the same job. *)
+  let easy = board_of "easy" in
+  collect "fig2/easy end-to-end"
+    [
+      Test.make ~name:"fig2/seq"
+        (Staged.stage (fun () ->
+             run_network_seq (Sudoku.Networks.fig2 ()) easy));
+      Test.make ~name:"fig2/dist-loopback-2w"
+        (Staged.stage (fun () ->
+             Dist.Engine_dist.run ~workers:2 ~pool:(Lazy.force conc_pool)
+               (Sudoku.Networks.fig2 ())
+               [ Sudoku.Boxes.inject_board easy ]));
+    ];
+  Streams.Channel.close chan_there;
+  Streams.Channel.close chan_back;
+  Thread.join chan_echo;
+  Dist.Transport.close lo_a;
+  Thread.join lo_echo;
+  Dist.Transport.close tcp;
+  Thread.join tcp_echo;
+  Dist.Transport.Tcp.close_listener listener;
+  let find name = Option.value ~default:nan (List.assoc_opt name !rows) in
+  let encode_ns = find "/wire/encode" and decode_ns = find "/wire/decode" in
+  let chan_ns = find "/edge/channel"
+  and lo_ns = find "/edge/loopback"
+  and tcp_ns = find "/edge/tcp" in
+  (* MB/s through the codec: bytes per ns times 1000. *)
+  let mbps ns = float_of_int frame_bytes /. ns *. 1000. in
+  let overhead_ns = lo_ns -. chan_ns in
+  (* Acceptance bar: the full loopback round-trip (one encode, two
+     framed hops, one decode) may cost at most 50us more than the
+     bare in-process channel round-trip. *)
+  let bar_ns = 50_000. in
+  Printf.printf
+    "\n  frame size for a 9x9 board+opts record: %d bytes\n\
+    \  encode: %s (%.0f MB/s)   decode: %s (%.0f MB/s)\n\
+    \  edge round-trip: channel %s | loopback %s | tcp %s\n\
+    \  loopback overhead vs channel: %s/record (bar: <= %s)\n"
+    frame_bytes (pretty_ns encode_ns) (mbps encode_ns) (pretty_ns decode_ns)
+    (mbps decode_ns) (pretty_ns chan_ns) (pretty_ns lo_ns) (pretty_ns tcp_ns)
+    (pretty_ns overhead_ns) (pretty_ns bar_ns);
+  let rows = !rows in
+  write_bench_json "BENCH_dist.json"
+    (Obsv.Jsonx.Obj
+       [
+         ("bench", Obsv.Jsonx.Str "dist");
+         ("smoke", Obsv.Jsonx.Bool smoke);
+         ("frame_bytes", jint frame_bytes);
+         ( "wire_ns",
+           Obsv.Jsonx.Obj
+             [ ("encode", jnum encode_ns); ("decode", jnum decode_ns) ] );
+         ( "edge_roundtrip_ns",
+           Obsv.Jsonx.Obj
+             [
+               ("channel", jnum chan_ns);
+               ("loopback", jnum lo_ns);
+               ("tcp", jnum tcp_ns);
+             ] );
+         ("loopback_overhead_ns_per_record", jnum overhead_ns);
+         ("loopback_overhead_bar_ns", jnum bar_ns);
+         ("results", jrows rows);
+       ])
+    rows;
+  flush stdout;
+  if (not (Float.is_nan overhead_ns)) && overhead_ns > bar_ns then begin
+    Printf.eprintf
+      "dist: loopback cut-edge overhead %s/record exceeds the %s bar\n"
+      (pretty_ns overhead_ns) (pretty_ns bar_ns);
     exit 1
   end
 
@@ -997,6 +1199,7 @@ let experiments =
     ("propagation", exp_propagation);
     ("faults", exp_faults);
     ("obsv", exp_obsv);
+    ("dist", exp_dist);
   ]
 
 let () =

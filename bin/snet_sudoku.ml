@@ -34,9 +34,27 @@ let build_network kind pool det throttle cutoff side =
   | Fig2 -> Some (Sudoku.Networks.fig2 ~pool ~det ())
   | Fig3 -> Some (Sudoku.Networks.fig3 ~pool ~det ~throttle ~cutoff ~side ())
 
-let run_solver kind engine det throttle cutoff domains verbose stats_flag
-    on_error box_timeout trace_out metrics_flag metrics_out metrics_every
-    puzzle file =
+(* The worker binary lives next to this one (dune puts both in bin/,
+   opam install renames to snet-worker); SNET_WORKER_EXE overrides. *)
+let find_worker_exe () =
+  match Sys.getenv_opt "SNET_WORKER_EXE" with
+  | Some p -> p
+  | None -> (
+      let dir = Filename.dirname Sys.executable_name in
+      let candidates =
+        List.map (Filename.concat dir)
+          [ "snet_worker.exe"; "snet_worker"; "snet-worker" ]
+      in
+      match List.find_opt Sys.file_exists candidates with
+      | Some p -> p
+      | None ->
+          failwith
+            "cannot find the snet_worker executable next to snet_sudoku; \
+             set SNET_WORKER_EXE")
+
+let run_solver kind engine det throttle cutoff domains workers kill_worker
+    verbose stats_flag on_error box_timeout trace_out metrics_flag metrics_out
+    metrics_every puzzle file =
   let board = load_board puzzle file in
   let side = Sudoku.Board.side board in
   (* Observability: the event sink feeds --trace-out, the aggregated
@@ -86,17 +104,46 @@ let run_solver kind engine det throttle cutoff domains verbose stats_flag
         (sols, [], "baseline solver")
     | Some net ->
         let inputs = [ Sudoku.Boxes.inject_board board ] in
-        let outputs =
-          match engine with
-          | Seq -> Snet.Engine_seq.run ?observer ~stats ?supervision net inputs
-          | Conc ->
-              Snet.Engine_conc.run ~pool ?observer ~stats ?supervision net
-                inputs
-          | Threads ->
-              Snet.Engine_thread.run ?observer ~stats ?supervision net inputs
+        let outputs, label =
+          if workers > 0 then begin
+            Sudoku.Netspec.register_codecs ();
+            let name =
+              match kind with
+              | Fig1 -> "fig1"
+              | Fig2 -> "fig2"
+              | Fig3 -> "fig3"
+              | Baseline -> assert false
+            in
+            let spec =
+              match kind with
+              | Fig3 ->
+                  Sudoku.Netspec.spec ~det ~throttle ~cutoff ~side name
+              | _ -> Sudoku.Netspec.spec ~det name
+            in
+            let outputs =
+              Dist.Engine_dist.run_spawned ~worker_exe:(find_worker_exe ())
+                ~spec ~workers ~stats ?supervision ?crash_after:kill_worker
+                ~worker_args:[ "--domains"; string_of_int domains ]
+                net inputs
+            in
+            (outputs, Printf.sprintf "distributed network (%d workers)" workers)
+          end
+          else
+            let outputs =
+              match engine with
+              | Seq ->
+                  Snet.Engine_seq.run ?observer ~stats ?supervision net inputs
+              | Conc ->
+                  Snet.Engine_conc.run ~pool ?observer ~stats ?supervision net
+                    inputs
+              | Threads ->
+                  Snet.Engine_thread.run ?observer ~stats ?supervision net
+                    inputs
+            in
+            (outputs, "network")
         in
         let errors = List.filter Snet.Supervise.is_error outputs in
-        (Sudoku.Networks.solved_boards outputs, errors, "network")
+        (Sudoku.Networks.solved_boards outputs, errors, label)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf "puzzle (%d givens):\n%s\n" (Sudoku.Board.count_filled board)
@@ -172,6 +219,26 @@ let cmd =
   let domains =
     Arg.(value & opt int 1 & info [ "domains"; "d" ] ~doc:"Worker domains.")
   in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers"; "w" ]
+          ~doc:
+            "Distribute the network over $(docv) worker processes \
+             (spawns snet_worker, bridges the cut edges over TCP). 0 \
+             runs in-process on --engine." ~docv:"N")
+  in
+  let kill_worker =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "kill-worker" ] ~docv:"I:K"
+          ~doc:
+            "Fault demo for --workers: worker $(i,I) dies abruptly \
+             after processing $(i,K) records; combine with --on-error \
+             error-record to watch stamped error records come out \
+             instead of a hang.")
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace records on stderr.")
   in
@@ -239,7 +306,7 @@ let cmd =
     (Cmd.info "snet-sudoku" ~doc:"Hybrid SaC/S-Net sudoku solver")
     Term.(
       const run_solver $ network $ engine $ det $ throttle $ cutoff $ domains
-      $ verbose $ stats $ on_error $ box_timeout $ trace_out $ metrics
-      $ metrics_out $ metrics_every $ puzzle $ file)
+      $ workers $ kill_worker $ verbose $ stats $ on_error $ box_timeout
+      $ trace_out $ metrics $ metrics_out $ metrics_every $ puzzle $ file)
 
 let () = exit (Cmd.eval cmd)

@@ -37,6 +37,7 @@ let error_tag = "error"
 let msg_field = "error_msg"
 let box_field = "error_box"
 let msg_key : string Value.Key.key = Value.Key.create ~to_string:Fun.id "error_msg"
+let string_key = msg_key
 
 let error_record ~box ~input exn =
   input

@@ -60,6 +60,12 @@ exception Box_timeout of {
 val error_tag : string
 (** ["error"] — the tag marking error records. *)
 
+val string_key : string Value.Key.key
+(** The key under which [error_msg] and [error_box] field values are
+    injected. Exposed so serialization layers ({!Dist.Wire}) can
+    encode error-stamped records and so applications can build
+    string-valued fields without inventing a second key. *)
+
 val error_record : box:string -> input:Record.t -> exn -> Record.t
 (** The input record extended with [<error>], [error_msg] and
     [error_box]; existing labels of the input are preserved. *)

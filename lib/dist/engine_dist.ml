@@ -1,0 +1,534 @@
+(* ------------------------------------------------------------------ *)
+(* Partitioning: cut the top-level serial spine                        *)
+
+let rec segments = function
+  | Snet.Net.Serial (a, b) -> segments a @ segments b
+  | other -> [ other ]
+
+let partition ~parts net =
+  if parts <= 0 then invalid_arg "Engine_dist.partition: parts must be positive";
+  let segs = Array.of_list (segments net) in
+  let n = Array.length segs in
+  let k = min parts n in
+  let w = Array.map (fun s -> max 1 (Snet.Net.count_boxes s)) segs in
+  let total = Array.fold_left ( + ) 0 w in
+  let groups = ref [] in
+  let i = ref 0 and remaining = ref total in
+  for g = 0 to k - 1 do
+    let groups_left = k - g in
+    let target = float_of_int !remaining /. float_of_int groups_left in
+    (* leave at least one segment for every later group *)
+    let limit = if g = k - 1 then n else n - (groups_left - 1) in
+    let acc = ref [] and accw = ref 0 in
+    while
+      !i < limit
+      && (!acc = []
+         || g = k - 1
+         || float_of_int !accw +. (float_of_int w.(!i) /. 2.) <= target)
+    do
+      acc := segs.(!i) :: !acc;
+      accw := !accw + w.(!i);
+      incr i
+    done;
+    remaining := !remaining - !accw;
+    groups := List.rev !acc :: !groups
+  done;
+  (* [groups] was built by prepending, so rev_map restores order. *)
+  List.rev_map Snet.Net.serial_list !groups
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+
+exception Crash_injected
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let attempt_send conn msg =
+  try Transport.send conn (Proto.encode msg) with _ -> ()
+
+let serve ?pool ~conn ~resolve () =
+  let cleanup () = Transport.close conn in
+  match Transport.recv conn with
+  | `Closed -> cleanup ()
+  | `Msg m -> (
+      match Proto.decode m with
+      | Ok (Proto.Hello h) -> (
+          let prepared =
+            try
+              let net = resolve h.Proto.spec in
+              let segs = partition ~parts:h.Proto.parts net in
+              if List.length segs <> h.Proto.parts then
+                failwith
+                  (Printf.sprintf
+                     "partition disagreement: coordinator expects %d parts, \
+                      local network yields %d"
+                     h.Proto.parts (List.length segs));
+              let supervision =
+                if h.Proto.policy = "" && h.Proto.timeout = None then None
+                else
+                  let policy =
+                    if h.Proto.policy = "" then Snet.Supervise.Fail_fast
+                    else
+                      match Snet.Supervise.policy_of_string h.Proto.policy with
+                      | Ok p -> p
+                      | Error e -> failwith e
+                  in
+                  Some (Snet.Supervise.make ~policy ?timeout:h.Proto.timeout ())
+              in
+              Ok (List.nth segs h.Proto.part, supervision)
+            with e -> Error (Printexc.to_string e)
+          in
+          match prepared with
+          | Error e ->
+              attempt_send conn (Proto.Crash e);
+              cleanup ()
+          | Ok (subnet, supervision) ->
+              attempt_send conn (Proto.Hello_ack { part = h.Proto.part });
+              let inst = Snet.Engine_conc.start ?pool ?supervision subnet in
+              let sent = ref 0 and consumed = ref 0 in
+              (* finish accumulates all outputs so far; forward only the
+                 fresh suffix. *)
+              let flush () =
+                let outs = Snet.Engine_conc.finish inst in
+                List.iter
+                  (fun r -> Transport.send conn (Proto.encode (Proto.Data r)))
+                  (drop !sent outs);
+                sent := List.length outs
+              in
+              let rec loop () =
+                match Transport.recv conn with
+                | `Closed -> ()
+                | `Msg m -> (
+                    match Proto.decode m with
+                    | Ok (Proto.Data r) ->
+                        incr consumed;
+                        if
+                          h.Proto.crash_after >= 0
+                          && !consumed > h.Proto.crash_after
+                        then raise Crash_injected;
+                        let sp = Obsv.Probe.span_start () in
+                        Snet.Engine_conc.feed inst r;
+                        flush ();
+                        Obsv.Probe.span_end ~cat:"dist" ~name:"worker.record" sp;
+                        Transport.send conn (Proto.encode (Proto.Credit 1));
+                        loop ()
+                    | Ok Proto.Eof ->
+                        flush ();
+                        Transport.send conn (Proto.encode Proto.Done);
+                        loop ()
+                    | Ok Proto.Shutdown -> ()
+                    | Ok (Proto.Hello _ | Proto.Hello_ack _ | Proto.Credit _
+                         | Proto.Done | Proto.Crash _) ->
+                        loop ()
+                    | Error e -> attempt_send conn (Proto.Crash ("protocol error: " ^ e)))
+              in
+              (try loop () with
+              | Crash_injected -> () (* abrupt death: no Crash, no Done *)
+              | Transport.Closed_conn -> ()
+              | e -> attempt_send conn (Proto.Crash (Printexc.to_string e)));
+              cleanup ())
+      | Ok _ | Error _ ->
+          attempt_send conn (Proto.Crash "expected Hello");
+          cleanup ())
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+
+type wst = Alive | Respawning | Dead
+
+type wstate = {
+  idx : int;
+  mutable conn : Transport.conn;
+  mutable st : wst;
+  mutable done_ : bool;
+  mutable eof_sent : bool;
+  mutable credits : int;
+  inflight : Snet.Record.t Queue.t;
+  mutable retries_left : int;
+}
+
+type coord = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  ws : wstate array;
+  parts : int;
+  policy : Snet.Supervise.policy;
+  stats : Snet.Stats.t option;
+  init_credits : int;
+  respawn : int -> Transport.conn option;
+  mutable outputs_rev : Snet.Record.t list;
+  mutable failure : string option;
+}
+
+let edge_in i = Printf.sprintf "dist:w%d.in" i
+let edge_out i = Printf.sprintf "dist:w%d.out" i
+
+let locked c f =
+  Mutex.lock c.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mu) f
+
+let record_output c r =
+  locked c (fun () ->
+      c.outputs_rev <- r :: c.outputs_rev;
+      Condition.broadcast c.cv)
+
+let worker_name i = Printf.sprintf "dist:worker%d" i
+
+let stamp_dead c i r reason =
+  Option.iter Snet.Stats.record_box_error c.stats;
+  let e =
+    Snet.Supervise.error_record ~box:(worker_name i) ~input:r
+      (Failure reason)
+  in
+  c.outputs_rev <- e :: c.outputs_rev
+
+(* Route one record at partition [i] (i = parts means the global
+   output). Blocks on the credit window; never called with the lock
+   held. *)
+let rec send_data c i r =
+  if i >= c.parts || Snet.Supervise.is_error r then record_output c r
+  else begin
+    let w = c.ws.(i) in
+    let action =
+      locked c (fun () ->
+          if w.st = Alive && w.credits = 0 then begin
+            Option.iter (fun s -> Snet.Stats.record_backpressure s 1) c.stats;
+            Obsv.Probe.edge_stall ~name:(edge_in i)
+          end;
+          while
+            c.failure = None
+            && (w.st = Respawning || (w.st = Alive && w.credits = 0))
+          do
+            Condition.wait c.cv c.mu
+          done;
+          if c.failure <> None then `Drop
+          else
+            match w.st with
+            | Dead -> (
+                match c.policy with
+                | Snet.Supervise.Fail_fast -> `Drop
+                | Snet.Supervise.Error_record | Snet.Supervise.Retry _ ->
+                    stamp_dead c i r "worker died";
+                    Condition.broadcast c.cv;
+                    `Drop)
+            | Alive | Respawning ->
+                w.credits <- w.credits - 1;
+                Queue.push r w.inflight;
+                Obsv.Probe.edge_send ~name:(edge_in i)
+                  ~depth:(Queue.length w.inflight);
+                `Send w.conn)
+    in
+    match action with
+    | `Drop -> ()
+    | `Send conn -> (
+        try Transport.send conn (Proto.encode (Proto.Data r))
+        with _ -> () (* the worker's reader will observe the death *))
+  end
+
+(* Everything upstream of partition [i] has been delivered: propagate
+   the end-of-stream marker, skipping dead partitions. *)
+and finish_upstream c i =
+  if i < c.parts then begin
+    let w = c.ws.(i) in
+    let action =
+      locked c (fun () ->
+          if w.eof_sent then `Nothing
+          else begin
+            w.eof_sent <- true;
+            match w.st with
+            | Alive | Respawning -> `Send_eof w.conn
+            | Dead -> `Skip
+          end)
+    in
+    match action with
+    | `Nothing -> ()
+    | `Send_eof conn -> ( try Transport.send conn (Proto.encode Proto.Eof) with _ -> ())
+    | `Skip -> finish_upstream c (i + 1)
+  end
+
+let give_up c i reason =
+  let eof_was_sent =
+    locked c (fun () ->
+        let w = c.ws.(i) in
+        w.st <- Dead;
+        (match c.policy with
+        | Snet.Supervise.Fail_fast ->
+            if c.failure = None then
+              c.failure <- Some (Printf.sprintf "%s: %s" (worker_name i) reason)
+        | Snet.Supervise.Error_record | Snet.Supervise.Retry _ ->
+            Queue.iter (fun r -> stamp_dead c i r reason) w.inflight;
+            Queue.clear w.inflight);
+        Condition.broadcast c.cv;
+        w.eof_sent)
+  in
+  if eof_was_sent then finish_upstream c (i + 1)
+
+let rec reader c i conn =
+  let w = c.ws.(i) in
+  match Transport.recv conn with
+  | `Closed ->
+      let was_done = locked c (fun () -> w.done_) in
+      if not was_done then handle_death c i conn "connection closed"
+  | `Msg m -> (
+      match Proto.decode m with
+      | Ok (Proto.Data r) ->
+          Obsv.Probe.edge_recv ~name:(edge_out i)
+            ~depth:(Queue.length w.inflight);
+          send_data c (i + 1) r;
+          reader c i conn
+      | Ok (Proto.Credit n) ->
+          locked c (fun () ->
+              w.credits <- w.credits + n;
+              for _ = 1 to min n (Queue.length w.inflight) do
+                ignore (Queue.pop w.inflight)
+              done;
+              Condition.broadcast c.cv);
+          reader c i conn
+      | Ok Proto.Done ->
+          locked c (fun () ->
+              w.done_ <- true;
+              Condition.broadcast c.cv);
+          finish_upstream c (i + 1)
+      | Ok (Proto.Crash msg) -> handle_death c i conn msg
+      | Ok (Proto.Hello_ack _) -> reader c i conn
+      | Ok (Proto.Hello _ | Proto.Eof | Proto.Shutdown) -> reader c i conn
+      | Error e -> handle_death c i conn ("protocol error: " ^ e))
+
+and handle_death c i conn reason =
+  Transport.close conn;
+  let w = c.ws.(i) in
+  let retrying =
+    locked c (fun () ->
+        if w.retries_left > 0 then begin
+          w.retries_left <- w.retries_left - 1;
+          w.st <- Respawning;
+          Condition.broadcast c.cv;
+          true
+        end
+        else false)
+  in
+  if not retrying then give_up c i reason
+  else
+    match c.respawn i with
+    | None -> give_up c i reason
+    | Some conn' ->
+        let resend, resend_eof =
+          locked c (fun () ->
+              w.conn <- conn';
+              w.credits <- c.init_credits - Queue.length w.inflight;
+              let rs = List.rev (Queue.fold (fun acc r -> r :: acc) [] w.inflight) in
+              (rs, w.eof_sent))
+        in
+        (try
+           List.iter
+             (fun r -> Transport.send conn' (Proto.encode (Proto.Data r)))
+             resend;
+           if resend_eof then Transport.send conn' (Proto.encode Proto.Eof)
+         with _ -> ());
+        locked c (fun () ->
+            if w.st = Respawning then w.st <- Alive;
+            Condition.broadcast c.cv);
+        reader c i conn'
+
+(* [conns] already carry a delivered Hello; [respawn i] must likewise
+   hand back a freshly greeted connection. *)
+let coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs =
+  let c =
+    {
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      ws =
+        Array.mapi
+          (fun i conn ->
+            {
+              idx = i;
+              conn;
+              st = Alive;
+              done_ = false;
+              eof_sent = false;
+              credits;
+              inflight = Queue.create ();
+              retries_left =
+                (match policy with Snet.Supervise.Retry n -> n | _ -> 0);
+            })
+          (Array.of_list conns);
+      parts;
+      policy;
+      stats;
+      init_credits = credits;
+      respawn;
+      outputs_rev = [];
+      failure = None;
+    }
+  in
+  let readers =
+    Array.to_list
+      (Array.map
+         (fun w -> Thread.create (fun () -> reader c w.idx w.conn) ())
+         c.ws)
+  in
+  List.iter
+    (fun r ->
+      let stop = locked c (fun () -> c.failure <> None) in
+      if not stop then send_data c 0 r)
+    inputs;
+  finish_upstream c 0;
+  locked c (fun () ->
+      while
+        c.failure = None
+        && not (Array.for_all (fun w -> w.done_ || w.st = Dead) c.ws)
+      do
+        Condition.wait c.cv c.mu
+      done);
+  Array.iter
+    (fun w -> if w.st = Alive then attempt_send w.conn Proto.Shutdown)
+    c.ws;
+  Array.iter (fun w -> Transport.close w.conn) c.ws;
+  List.iter Thread.join readers;
+  match c.failure with
+  | Some msg -> failwith ("Engine_dist: " ^ msg)
+  | None -> List.rev c.outputs_rev
+
+(* ------------------------------------------------------------------ *)
+(* Loopback runner: simulated workers, hermetic and single-process     *)
+
+let split_supervision = function
+  | None -> (Snet.Supervise.Fail_fast, None, "")
+  | Some c ->
+      ( c.Snet.Supervise.policy,
+        c.Snet.Supervise.timeout,
+        Snet.Supervise.policy_to_string c.Snet.Supervise.policy )
+
+let run ?pool ?(workers = 2) ?(credits = 32) ?stats ?supervision ?kill_worker
+    net inputs =
+  if credits <= 0 then invalid_arg "Engine_dist.run: credits must be positive";
+  let parts = List.length (partition ~parts:workers net) in
+  let policy, timeout, policy_str = split_supervision supervision in
+  let threads = ref [] and threads_mu = Mutex.create () in
+  let spawn_worker i ~crash_after =
+    let a, b = Transport.loopback_pair ~name:(Printf.sprintf "dist:w%d" i) () in
+    let t = Thread.create (fun () -> serve ?pool ~conn:b ~resolve:(fun _ -> net) ()) () in
+    Mutex.lock threads_mu;
+    threads := t :: !threads;
+    Mutex.unlock threads_mu;
+    Transport.send a
+      (Proto.encode
+         (Proto.Hello
+            {
+              spec = "loopback";
+              part = i;
+              parts;
+              policy = policy_str;
+              timeout;
+              credits;
+              crash_after;
+            }));
+    a
+  in
+  let conns =
+    List.init parts (fun i ->
+        let crash_after =
+          match kill_worker with
+          | Some (j, k) when j = i -> k
+          | _ -> -1
+        in
+        spawn_worker i ~crash_after)
+  in
+  let respawn i =
+    match spawn_worker i ~crash_after:(-1) with
+    | conn -> Some conn
+    | exception _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Thread.join !threads)
+    (fun () -> coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Spawned runner: real worker processes over TCP                      *)
+
+let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
+    ?(credits = 32) ?stats ?supervision ?crash_after ?(worker_args = []) net
+    inputs =
+  if credits <= 0 then
+    invalid_arg "Engine_dist.run_spawned: credits must be positive";
+  let parts = List.length (partition ~parts:workers net) in
+  let policy, timeout, policy_str = split_supervision supervision in
+  let listener = Transport.Tcp.listen ~host () in
+  let port = Transport.Tcp.port listener in
+  let pids = ref [] and pids_mu = Mutex.create () in
+  let spawn_proc () =
+    let argv =
+      Array.of_list
+        ((worker_exe :: "--connect" :: Printf.sprintf "%s:%d" host port
+          :: worker_args))
+    in
+    let pid = Unix.create_process worker_exe argv Unix.stdin Unix.stdout Unix.stderr in
+    Mutex.lock pids_mu;
+    pids := pid :: !pids;
+    Mutex.unlock pids_mu
+  in
+  let greet i ~crash_after =
+    let conn =
+      Transport.erase
+        (module Transport.Tcp)
+        (Transport.Tcp.accept ~timeout_s:30.0 listener)
+    in
+    Transport.send conn
+      (Proto.encode
+         (Proto.Hello
+            {
+              spec;
+              part = i;
+              parts;
+              policy = policy_str;
+              timeout;
+              credits;
+              crash_after;
+            }));
+    conn
+  in
+  let reap () =
+    Transport.Tcp.close_listener listener;
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec wait_all remaining =
+      match remaining with
+      | [] -> ()
+      | pid :: rest -> (
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+              if Unix.gettimeofday () > deadline then begin
+                (try Unix.kill pid Sys.sigkill with _ -> ());
+                ignore (try Unix.waitpid [] pid with _ -> (pid, Unix.WEXITED 0));
+                wait_all rest
+              end
+              else begin
+                Thread.delay 0.02;
+                wait_all (pid :: rest)
+              end
+          | _ -> wait_all rest
+          | exception Unix.Unix_error (ECHILD, _, _) -> wait_all rest)
+    in
+    Mutex.lock pids_mu;
+    let ps = !pids in
+    Mutex.unlock pids_mu;
+    wait_all ps
+  in
+  Fun.protect ~finally:reap (fun () ->
+      let conns =
+        List.init parts (fun i ->
+            spawn_proc ();
+            let ca =
+              match crash_after with Some (j, k) when j = i -> k | _ -> -1
+            in
+            greet i ~crash_after:ca)
+      in
+      let respawn i =
+        match
+          spawn_proc ();
+          greet i ~crash_after:(-1)
+        with
+        | conn -> Some conn
+        | exception _ -> None
+      in
+      coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs)

@@ -1,0 +1,113 @@
+(** Distributed execution: a compiled network partitioned over workers.
+
+    The paper designed the combinators so boxes can be "deployed on
+    separate computing nodes" — serial composition carries no shared
+    state, so a network can be cut at its serial seams and each cut
+    edge replaced by a {!Transport} connection. This engine does
+    exactly that:
+
+    - {!partition} flattens the top-level serial spine [A .. B .. C]
+      into contiguous, box-count-balanced subnets (parallel and
+      replication combinators are never split — they stay whole inside
+      one partition);
+    - each partition runs on {!Snet.Engine_conc} inside a {e worker}
+      (an in-process thread over a {!Transport.Loopback} pair, or a
+      real [snet_worker] process over {!Transport.Tcp});
+    - the coordinator bridges the cut edges: inputs go to partition 0,
+      each worker's outputs are forwarded to the next partition, the
+      last partition's outputs are the run's outputs. Error-stamped
+      records ({!Snet.Supervise.is_error}) bypass the remaining
+      partitions and surface directly in the output, mirroring the
+      in-engine error-bypass semantics.
+
+    {2 Flow control}
+
+    A cut edge carries a credit window of [credits] records: the
+    coordinator decrements a credit per record sent and parks when the
+    window is exhausted; the worker returns one credit per input record
+    fully processed. Stalls are counted into
+    {!Snet.Stats.record_backpressure} and surfaced as
+    [Obsv.Probe.edge_stall] on the [dist:wN.in] edge — the same
+    backpressure contract bounded mailboxes give the shared-memory
+    engines.
+
+    {2 Worker failure}
+
+    A worker that dies (connection drop, [Crash] message, killed
+    process) is handled per the run's supervision policy:
+
+    - [Fail_fast] (default): the run raises after teardown;
+    - [Error_record]: every record in flight to the dead worker — and
+      every later record routed at it — is stamped with
+      {!Snet.Supervise.error_record} (box [dist:workerN]) and surfaces
+      in the output; downstream partitions keep running;
+    - [Retry n]: the worker is respawned and the uncredited in-flight
+      records are resent, up to [n] times per worker, after which the
+      [Error_record] behaviour applies. *)
+
+val partition : parts:int -> Snet.Net.t -> Snet.Net.t list
+(** Cut the top-level serial spine into at most [parts] contiguous
+    groups, balanced by {!Snet.Net.count_boxes}. Returns fewer groups
+    when the spine has fewer segments than [parts]; the function is
+    stable under re-partitioning: for any [p],
+    [partition ~parts:(List.length (partition ~parts:p net)) net]
+    returns the same list — coordinator and workers can each compute
+    the cut locally and agree.
+    @raise Invalid_argument when [parts <= 0]. *)
+
+val serve :
+  ?pool:Scheduler.Pool.t ->
+  conn:Transport.conn ->
+  resolve:(string -> Snet.Net.t) ->
+  unit ->
+  unit
+(** Worker side: speak the {!Proto} protocol on [conn] — wait for
+    [Hello], resolve the network named by its [spec], run partition
+    [part]/[parts] on {!Snet.Engine_conc}, stream records until [Eof],
+    answer [Done], exit on [Shutdown] or connection close. Subnet
+    failures are reported as [Crash] messages; the connection is
+    always closed on return. *)
+
+val run :
+  ?pool:Scheduler.Pool.t ->
+  ?workers:int ->
+  ?credits:int ->
+  ?stats:Snet.Stats.t ->
+  ?supervision:Snet.Supervise.config ->
+  ?kill_worker:int * int ->
+  Snet.Net.t ->
+  Snet.Record.t list ->
+  Snet.Record.t list
+(** Hermetic in-process distributed run: [workers] (default 2)
+    simulated workers over {!Transport.Loopback} pairs, each a thread
+    running {!serve} on its partition, coordinated as described above.
+    [credits] (default 32) is the per-edge window. [kill_worker (i, k)]
+    is the fault-injection hook: worker [i] dies abruptly after fully
+    processing [k] records (the respawned worker, under [Retry], is
+    not re-killed). Output is multiset-equal to
+    {!Snet.Engine_seq.run} on the same network and inputs (modulo
+    stamped error records when workers are killed). *)
+
+val run_spawned :
+  worker_exe:string ->
+  spec:string ->
+  ?host:string ->
+  ?workers:int ->
+  ?credits:int ->
+  ?stats:Snet.Stats.t ->
+  ?supervision:Snet.Supervise.config ->
+  ?crash_after:int * int ->
+  ?worker_args:string list ->
+  Snet.Net.t ->
+  Snet.Record.t list ->
+  Snet.Record.t list
+(** Real multi-process run: listen on an ephemeral TCP port, spawn
+    [workers] copies of [worker_exe] (each told [--connect host:port]
+    plus [worker_args]), assign partitions in accept order, and
+    coordinate over {!Transport.Tcp}. [net] must be the same network
+    the worker binary resolves from [spec] — both sides compute
+    {!partition} locally. [crash_after (i, k)] injects a worker crash
+    (see {!run}); worker processes are reaped on return, by force if
+    they outlive the shutdown handshake.
+    @raise Failure when a worker fails to connect within 30s, or on
+    worker death under [Fail_fast]. *)

@@ -1,0 +1,149 @@
+type hello = {
+  spec : string;
+  part : int;
+  parts : int;
+  policy : string;
+  timeout : float option;
+  credits : int;
+  crash_after : int;
+}
+
+type msg =
+  | Hello of hello
+  | Hello_ack of { part : int }
+  | Data of Snet.Record.t
+  | Credit of int
+  | Eof
+  | Done
+  | Crash of string
+  | Shutdown
+
+let k_hello = 1
+let k_hello_ack = 2
+let k_data = 3
+let k_credit = 4
+let k_eof = 5
+let k_done = 6
+let k_crash = 7
+let k_shutdown = 8
+
+let add_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
+
+let add_str b s =
+  if String.length s > 0xFFFF then invalid_arg "Proto: string too long";
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let encode m =
+  let b = Buffer.create 64 in
+  (match m with
+  | Hello h ->
+      Buffer.add_uint8 b k_hello;
+      add_str b h.spec;
+      add_u32 b h.part;
+      add_u32 b h.parts;
+      add_str b h.policy;
+      (match h.timeout with
+      | None -> Buffer.add_uint8 b 0
+      | Some t ->
+          Buffer.add_uint8 b 1;
+          Buffer.add_int64_be b (Int64.bits_of_float t));
+      add_u32 b h.credits;
+      add_u32 b (h.crash_after land 0xFFFFFFFF)
+  | Hello_ack { part } ->
+      Buffer.add_uint8 b k_hello_ack;
+      add_u32 b part
+  | Data r ->
+      Buffer.add_uint8 b k_data;
+      Buffer.add_string b (Wire.render r)
+  | Credit n ->
+      Buffer.add_uint8 b k_credit;
+      add_u32 b n
+  | Eof -> Buffer.add_uint8 b k_eof
+  | Done -> Buffer.add_uint8 b k_done
+  | Crash msg ->
+      Buffer.add_uint8 b k_crash;
+      add_str b msg
+  | Shutdown -> Buffer.add_uint8 b k_shutdown);
+  Buffer.contents b
+
+exception Bad of string
+
+let decode s =
+  match
+    let len = String.length s in
+    if len < 1 then raise (Bad "empty message");
+    let pos = ref 1 in
+    let need n =
+      if !pos + n > len then raise (Bad "truncated message")
+    in
+    let u8 () = need 1; let v = Char.code s.[!pos] in incr pos; v in
+    let u32 () =
+      need 4;
+      let v = Int32.to_int (String.get_int32_be s !pos) land 0xFFFFFFFF in
+      pos := !pos + 4;
+      v
+    in
+    let i64 () =
+      need 8;
+      let v = String.get_int64_be s !pos in
+      pos := !pos + 8;
+      v
+    in
+    let str () =
+      need 2;
+      let n = String.get_uint16_be s !pos in
+      pos := !pos + 2;
+      need n;
+      let v = String.sub s !pos n in
+      pos := !pos + n;
+      v
+    in
+    let finish m =
+      if !pos <> len then raise (Bad "trailing bytes in message");
+      m
+    in
+    match Char.code s.[0] with
+    | k when k = k_hello ->
+        let spec = str () in
+        let part = u32 () in
+        let parts = u32 () in
+        let policy = str () in
+        let timeout =
+          match u8 () with
+          | 0 -> None
+          | _ -> Some (Int64.float_of_bits (i64 ()))
+        in
+        let credits = u32 () in
+        let crash_after =
+          let v = u32 () in
+          if v = 0xFFFFFFFF then -1 else v
+        in
+        finish (Hello { spec; part; parts; policy; timeout; credits; crash_after })
+    | k when k = k_hello_ack -> finish (Hello_ack { part = u32 () })
+    | k when k = k_data -> (
+        match Wire.read (String.sub s 1 (len - 1)) with
+        | Ok r -> Data r
+        | Error e -> raise (Bad ("bad record frame: " ^ e)))
+    | k when k = k_credit -> finish (Credit (u32 ()))
+    | k when k = k_eof -> finish Eof
+    | k when k = k_done -> finish Done
+    | k when k = k_crash -> finish (Crash (str ()))
+    | k when k = k_shutdown -> finish Shutdown
+    | k -> raise (Bad (Printf.sprintf "unknown message kind %d" k))
+  with
+  | m -> Ok m
+  | exception Bad e -> Error e
+  | exception e -> Error (Printexc.to_string e)
+
+let to_string = function
+  | Hello h ->
+      Printf.sprintf "Hello{spec=%s part=%d/%d policy=%S credits=%d}" h.spec
+        h.part h.parts h.policy h.credits
+  | Hello_ack { part } -> Printf.sprintf "Hello_ack{part=%d}" part
+  | Data r -> "Data " ^ Snet.Record.to_string r
+  | Credit n -> Printf.sprintf "Credit %d" n
+  | Eof -> "Eof"
+  | Done -> "Done"
+  | Crash m -> Printf.sprintf "Crash %S" m
+  | Shutdown -> "Shutdown"

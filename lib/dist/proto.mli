@@ -1,0 +1,50 @@
+(** Coordinator ⇄ worker messages of the partitioned engine.
+
+    Each message travels as one transport frame: a one-byte kind
+    followed by a kind-specific payload; [Data] payloads are complete
+    {!Wire} record frames, so the record layer's magic/version/CRC
+    protection applies to every record that crosses a process
+    boundary. *)
+
+type hello = {
+  spec : string;
+      (** Network name the worker resolves locally (e.g. ["fig2"]);
+          loopback workers ignore it. *)
+  part : int;  (** Which partition this worker runs (0-based). *)
+  parts : int;  (** Total partitions in this run. *)
+  policy : string;
+      (** {!Snet.Supervise.policy_to_string}, [""] for engine
+          defaults. *)
+  timeout : float option;  (** Per-box budget, when configured. *)
+  credits : int;  (** Credit window the coordinator will respect. *)
+  crash_after : int;
+      (** Fault-injection hook: the worker exits abruptly (no [Done],
+          no close handshake beyond the transport's) after consuming
+          this many [Data] records. [-1] disables. *)
+}
+
+type msg =
+  | Hello of hello  (** coordinator → worker, first message. *)
+  | Hello_ack of { part : int }  (** worker → coordinator. *)
+  | Data of Snet.Record.t  (** Either direction: a record on the cut edge. *)
+  | Credit of int
+      (** worker → coordinator: this many input records are now fully
+          processed (their outputs already sent); returns send
+          credits. *)
+  | Eof  (** coordinator → worker: input stream exhausted. *)
+  | Done
+      (** worker → coordinator: [Eof] seen, everything processed and
+          flushed. *)
+  | Crash of string
+      (** worker → coordinator: the subnet raised; the worker is
+          abandoning the run. *)
+  | Shutdown  (** coordinator → worker: exit cleanly. *)
+
+val encode : msg -> string
+(** @raise Wire.Unencodable on a [Data] record with unregistered
+    field keys. *)
+
+val decode : string -> (msg, string) result
+
+val to_string : msg -> string
+(** One-line rendering for logs and error messages. *)

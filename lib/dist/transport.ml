@@ -1,0 +1,201 @@
+exception Closed_conn
+
+module type S = sig
+  type t
+
+  val send : t -> string -> unit
+  val recv : t -> [ `Msg of string | `Closed ]
+  val close : t -> unit
+  val peer : t -> string
+end
+
+type conn = {
+  c_send : string -> unit;
+  c_recv : unit -> [ `Msg of string | `Closed ];
+  c_close : unit -> unit;
+  c_peer : string;
+}
+
+let erase (type a) (module M : S with type t = a) (c : a) =
+  {
+    c_send = M.send c;
+    c_recv = (fun () -> M.recv c);
+    c_close = (fun () -> M.close c);
+    c_peer = M.peer c;
+  }
+
+let send c m = c.c_send m
+let recv c = c.c_recv ()
+let close c = c.c_close ()
+let peer c = c.c_peer
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: two bounded channels                                      *)
+
+module Loopback = struct
+  type t = {
+    out_ch : string Streams.Channel.t;
+    in_ch : string Streams.Channel.t;
+    name : string;
+  }
+
+  let pair ?(capacity = 64) ?(name = "loopback") () =
+    let a2b = Streams.Channel.create ~capacity ()
+    and b2a = Streams.Channel.create ~capacity () in
+    ( { out_ch = a2b; in_ch = b2a; name = name ^ ":a" },
+      { out_ch = b2a; in_ch = a2b; name = name ^ ":b" } )
+
+  let send t m =
+    try Streams.Channel.send t.out_ch m
+    with Streams.Channel.Closed -> raise Closed_conn
+
+  let recv t =
+    match Streams.Channel.recv t.in_ch with
+    | `Msg m -> `Msg m
+    | `Closed -> `Closed
+
+  let close t =
+    Streams.Channel.close t.out_ch;
+    Streams.Channel.close t.in_ch
+
+  let peer t = t.name
+end
+
+let loopback_pair ?capacity ?name () =
+  let a, b = Loopback.pair ?capacity ?name () in
+  (erase (module Loopback) a, erase (module Loopback) b)
+
+(* ------------------------------------------------------------------ *)
+(* TCP: length-prefixed frames over a Unix socket                      *)
+
+module Tcp = struct
+  let max_frame = 64 * 1024 * 1024
+
+  type t = {
+    fd : Unix.file_descr;
+    mutable open_ : bool;
+    mu : Mutex.t;  (* guards writes and the open_ flag *)
+    peer_name : string;
+  }
+
+  (* OCaml delivers SIGPIPE as a signal by default; a worker death must
+     surface as an EPIPE exception on the coordinator's write instead
+     of killing the process. *)
+  let ignore_sigpipe =
+    lazy (if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+  let of_fd fd peer_name =
+    Lazy.force ignore_sigpipe;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    { fd; open_ = true; mu = Mutex.create (); peer_name }
+
+  let really_write fd b off len =
+    let off = ref off and len = ref len in
+    while !len > 0 do
+      let n = Unix.write fd b !off !len in
+      off := !off + n;
+      len := !len - n
+    done
+
+  (* [false] on clean EOF mid-read. *)
+  let really_read fd b off len =
+    let off = ref off and len = ref len and ok = ref true in
+    while !ok && !len > 0 do
+      let n = Unix.read fd b !off !len in
+      if n = 0 then ok := false
+      else begin
+        off := !off + n;
+        len := !len - n
+      end
+    done;
+    !ok
+
+  let send t m =
+    let len = String.length m in
+    if len > max_frame then invalid_arg "Tcp.send: frame exceeds max_frame";
+    let buf = Bytes.create (4 + len) in
+    Bytes.set_int32_be buf 0 (Int32.of_int len);
+    Bytes.blit_string m 0 buf 4 len;
+    Mutex.lock t.mu;
+    let closed = not t.open_ in
+    Mutex.unlock t.mu;
+    if closed then raise Closed_conn;
+    match really_write t.fd buf 0 (Bytes.length buf) with
+    | () -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        raise Closed_conn
+
+  let recv t =
+    let hdr = Bytes.create 4 in
+    match really_read t.fd hdr 0 4 with
+    | false -> `Closed
+    | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> `Closed
+    | true -> (
+        let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+        if len < 0 || len > max_frame then `Closed
+        else
+          let body = Bytes.create len in
+          match really_read t.fd body 0 len with
+          | true -> `Msg (Bytes.unsafe_to_string body)
+          | false -> `Closed
+          | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> `Closed)
+
+  let close t =
+    Mutex.lock t.mu;
+    let was_open = t.open_ in
+    t.open_ <- false;
+    Mutex.unlock t.mu;
+    if was_open then begin
+      (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with _ -> ());
+      try Unix.close t.fd with _ -> ()
+    end
+
+  let peer t = t.peer_name
+
+  type listener = { lfd : Unix.file_descr; lport : int }
+
+  let listen ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 16) () =
+    Lazy.force ignore_sigpipe;
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd addr;
+    Unix.listen fd backlog;
+    let lport =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    { lfd = fd; lport }
+
+  let port l = l.lport
+
+  let accept ?timeout_s l =
+    (match timeout_s with
+    | None -> ()
+    | Some t -> (
+        match Unix.select [ l.lfd ] [] [] t with
+        | [], _, _ ->
+            failwith
+              (Printf.sprintf "Tcp.accept: no connection within %.1fs" t)
+        | _ -> ()));
+    let fd, addr = Unix.accept l.lfd in
+    let name =
+      match addr with
+      | Unix.ADDR_INET (a, p) ->
+          Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
+      | _ -> "tcp:?"
+    in
+    of_fd fd name
+
+  let connect ~host ~port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e);
+    of_fd fd (Printf.sprintf "tcp:%s:%d" host port)
+
+  let close_listener l = try Unix.close l.lfd with _ -> ()
+end

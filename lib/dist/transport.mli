@@ -1,0 +1,89 @@
+(** Message transports for distributed S-Net edges.
+
+    A transport moves opaque framed messages (byte strings, produced by
+    {!Proto}/{!Wire}) between two endpoints. Two implementations of the
+    {!S} signature exist:
+
+    - {!Loopback}: an in-process pair built on bounded
+      {!Streams.Channel}s, so the partitioned engine, its tier-1 tests
+      and detcheck stay hermetic and single-process;
+    - {!Tcp}: real Unix sockets with length-prefixed framed I/O, used
+      by the coordinator/[snet_worker] processes.
+
+    Flow control is {e not} the transport's job — the credit protocol
+    lives in {!Engine_dist} on top of whatever transport carries the
+    frames. *)
+
+module type S = sig
+  type t
+  (** One bidirectional connection endpoint. *)
+
+  val send : t -> string -> unit
+  (** Deliver one message to the peer. Blocks on transport-level
+      backpressure (a full loopback channel, a full socket buffer).
+      @raise Closed_conn when the connection is closed. *)
+
+  val recv : t -> [ `Msg of string | `Closed ]
+  (** Block until a message arrives; [`Closed] once the peer has
+      closed (or died) {e and} every in-flight message was drained. *)
+
+  val close : t -> unit
+  (** Idempotent. Wakes the peer's blocked [recv]/[send]. *)
+
+  val peer : t -> string
+  (** Human-readable peer description, for diagnostics and probes. *)
+end
+
+exception Closed_conn
+(** Raised by [send] on a closed connection, every implementation. *)
+
+(** {1 Type-erased connections}
+
+    {!Engine_dist} mixes transports at run time (loopback workers in
+    tests, sockets in production), so it works over erased first-class
+    connections. *)
+
+type conn
+
+val erase : (module S with type t = 'a) -> 'a -> conn
+val send : conn -> string -> unit
+val recv : conn -> [ `Msg of string | `Closed ]
+val close : conn -> unit
+val peer : conn -> string
+
+(** {1 Implementations} *)
+
+module Loopback : sig
+  include S
+
+  val pair : ?capacity:int -> ?name:string -> unit -> t * t
+  (** Two connected endpoints; each direction is a bounded channel of
+      [capacity] messages (default 64). *)
+end
+
+module Tcp : sig
+  include S
+
+  type listener
+
+  val listen : ?host:string -> ?port:int -> ?backlog:int -> unit -> listener
+  (** Bind and listen; [host] defaults to ["127.0.0.1"], [port] to [0]
+      (ephemeral — read the actual one with {!port}). *)
+
+  val port : listener -> int
+
+  val accept : ?timeout_s:float -> listener -> t
+  (** @raise Failure when no peer connects within [timeout_s]
+      (default: wait forever). *)
+
+  val connect : host:string -> port:int -> t
+  val close_listener : listener -> unit
+
+  val max_frame : int
+  (** Upper bound on a single framed message (64 MiB); a peer
+      announcing a larger frame is treated as closed (protects the
+      reader from allocating on garbage). *)
+end
+
+val loopback_pair : ?capacity:int -> ?name:string -> unit -> conn * conn
+(** {!Loopback.pair}, pre-erased. *)

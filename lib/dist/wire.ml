@@ -1,0 +1,350 @@
+let magic = "SNRW"
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, table-driven)                        *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Codec registry, keyed by Value key name                             *)
+
+type codec = {
+  enc : Snet.Value.t -> string option;
+      (* [None] when the value was injected under a different key that
+         happens to share the name — the caller reports it. *)
+  dec : string -> Snet.Value.t;
+}
+
+let registry : (string, codec) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
+
+let register (type a) (key : a Snet.Value.Key.key) ~(encode : a -> string)
+    ~(decode : string -> a) =
+  let c =
+    {
+      enc =
+        (fun v -> Option.map encode (Snet.Value.project key v));
+      dec = (fun s -> Snet.Value.inject key (decode s));
+    }
+  in
+  Mutex.lock registry_mu;
+  Hashtbl.replace registry (Snet.Value.Key.name key) c;
+  Mutex.unlock registry_mu
+
+let lookup name =
+  Mutex.lock registry_mu;
+  let c = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mu;
+  c
+
+let registered name = lookup name <> None
+
+(* ------------------------------------------------------------------ *)
+(* Binary primitives                                                   *)
+
+let add_u16 b n =
+  if n < 0 || n > 0xFFFF then invalid_arg "Wire: u16 out of range";
+  Buffer.add_uint16_be b n
+
+let add_str16 b s =
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let add_u32 b n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Wire: u32 out of range";
+  Buffer.add_int32_be b (Int32.of_int n)
+
+let add_str32 b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+exception Bad of string
+
+(* A bounds-checked cursor over an immutable string. *)
+type cursor = { src : string; mutable pos : int; limit : int }
+
+let need cur n =
+  if cur.pos + n > cur.limit then
+    raise (Bad (Printf.sprintf "truncated at offset %d (need %d bytes)" cur.pos n))
+
+let get_u8 cur =
+  need cur 1;
+  let v = Char.code cur.src.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  v
+
+let get_u16 cur =
+  need cur 2;
+  let v = String.get_uint16_be cur.src cur.pos in
+  cur.pos <- cur.pos + 2;
+  v
+
+let get_u32 cur =
+  need cur 4;
+  let v = Int32.to_int (String.get_int32_be cur.src cur.pos) land 0xFFFFFFFF in
+  cur.pos <- cur.pos + 4;
+  v
+
+let get_i64 cur =
+  need cur 8;
+  let v = String.get_int64_be cur.src cur.pos in
+  cur.pos <- cur.pos + 8;
+  v
+
+let get_bytes cur n =
+  need cur n;
+  let s = String.sub cur.src cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let get_str16 cur = get_bytes cur (get_u16 cur)
+let get_str32 cur = get_bytes cur (get_u32 cur)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in codecs                                                     *)
+
+let encode_i64 n =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int n);
+  Bytes.unsafe_to_string b
+
+let decode_i64 s =
+  if String.length s <> 8 then failwith "int payload must be 8 bytes";
+  Int64.to_int (String.get_int64_be s 0)
+
+let string_key =
+  Snet.Value.Key.create ~to_string:(Printf.sprintf "%S") "dist.string"
+
+let float_key =
+  Snet.Value.Key.create ~to_string:string_of_float "dist.float"
+
+let encode_nd rank_elt_bytes add nd =
+  let shape = Sacarray.Nd.shape nd in
+  let b = Buffer.create (16 + (Sacarray.Nd.size nd * rank_elt_bytes)) in
+  Buffer.add_uint8 b (Array.length shape);
+  Array.iter (fun d -> add_u32 b d) shape;
+  add (b, nd);
+  Buffer.contents b
+
+let decode_nd_header cur =
+  let rank = get_u8 cur in
+  let shape = Array.init rank (fun _ -> get_u32 cur) in
+  Sacarray.Shape.validate shape;
+  shape
+
+let nd_int_encode nd =
+  encode_nd 8
+    (fun (b, nd) ->
+      Array.iter
+        (fun v -> Buffer.add_int64_be b (Int64.of_int v))
+        (Sacarray.Nd.to_flat_array nd))
+    nd
+
+let nd_int_decode s =
+  let cur = { src = s; pos = 0; limit = String.length s } in
+  let shape = decode_nd_header cur in
+  let size = Sacarray.Shape.size shape in
+  let data = Array.init size (fun _ -> Int64.to_int (get_i64 cur)) in
+  if cur.pos <> cur.limit then failwith "trailing bytes in int ndarray payload";
+  Sacarray.Nd.of_array shape data
+
+let nd_bool_encode nd =
+  encode_nd 1
+    (fun (b, nd) ->
+      let flat = Sacarray.Nd.to_flat_array nd in
+      let n = Array.length flat in
+      let byte = ref 0 and fill = ref 0 in
+      for i = 0 to n - 1 do
+        if flat.(i) then byte := !byte lor (1 lsl !fill);
+        incr fill;
+        if !fill = 8 then begin
+          Buffer.add_uint8 b !byte;
+          byte := 0;
+          fill := 0
+        end
+      done;
+      if !fill > 0 then Buffer.add_uint8 b !byte)
+    nd
+
+let nd_bool_decode s =
+  let cur = { src = s; pos = 0; limit = String.length s } in
+  let shape = decode_nd_header cur in
+  let size = Sacarray.Shape.size shape in
+  let packed = get_bytes cur ((size + 7) / 8) in
+  if cur.pos <> cur.limit then
+    failwith "trailing bytes in bool ndarray payload";
+  let data =
+    Array.init size (fun i ->
+        Char.code packed.[i lsr 3] land (1 lsl (i land 7)) <> 0)
+  in
+  Sacarray.Nd.of_array shape data
+
+let register_nd_int key =
+  register key ~encode:nd_int_encode ~decode:nd_int_decode
+
+let register_nd_bool key =
+  register key ~encode:nd_bool_encode ~decode:nd_bool_decode
+
+let () =
+  (* The built-in integer key: Value.of_int injects under a private key
+     named "int"; round-trip through project/inject via of_int/to_int. *)
+  Mutex.lock registry_mu;
+  Hashtbl.replace registry "int"
+    {
+      enc = (fun v -> Option.map encode_i64 (Snet.Value.to_int v));
+      dec = (fun s -> Snet.Value.of_int (decode_i64 s));
+    };
+  Mutex.unlock registry_mu;
+  register Snet.Supervise.string_key ~encode:Fun.id ~decode:Fun.id;
+  register string_key ~encode:Fun.id ~decode:Fun.id;
+  register float_key
+    ~encode:(fun f ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_be b 0 (Int64.bits_of_float f);
+      Bytes.unsafe_to_string b)
+    ~decode:(fun s ->
+      if String.length s <> 8 then failwith "float payload must be 8 bytes";
+      Int64.float_of_bits (String.get_int64_be s 0))
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+
+exception Unencodable of string
+
+let render r =
+  let body = Buffer.create 256 in
+  let tags = Snet.Record.tags r and fields = Snet.Record.fields r in
+  add_u16 body (List.length tags);
+  List.iter
+    (fun (label, v) ->
+      add_str16 body label;
+      Buffer.add_int64_be body (Int64.of_int v))
+    tags;
+  add_u16 body (List.length fields);
+  List.iter
+    (fun (label, v) ->
+      let key_name = Snet.Value.key_name v in
+      let payload =
+        match lookup key_name with
+        | None ->
+            raise
+              (Unencodable
+                 (Printf.sprintf
+                    "no codec registered for key %S (field %S); call \
+                     Dist.Wire.register"
+                    key_name label))
+        | Some c -> (
+            match c.enc v with
+            | Some s -> s
+            | None ->
+                raise
+                  (Unencodable
+                     (Printf.sprintf
+                        "field %S: value carries key name %S but was \
+                         injected under a different key of that name"
+                        label key_name)))
+      in
+      add_str16 body label;
+      add_str16 body key_name;
+      add_str32 body payload)
+    fields;
+  let body = Buffer.contents body in
+  let frame = Buffer.create (String.length body + 13) in
+  Buffer.add_string frame magic;
+  Buffer.add_uint8 frame version;
+  add_u32 frame (String.length body);
+  Buffer.add_string frame body;
+  Buffer.add_int32_be frame (crc32 body);
+  Buffer.contents frame
+
+let read s =
+  match
+    let len = String.length s in
+    if len < 13 then raise (Bad "frame shorter than the 13-byte envelope");
+    if String.sub s 0 4 <> magic then
+      raise (Bad (Printf.sprintf "bad magic %S" (String.sub s 0 4)));
+    let v = Char.code s.[4] in
+    if v <> version then
+      raise (Bad (Printf.sprintf "unsupported version %d (expected %d)" v version));
+    let body_len =
+      Int32.to_int (String.get_int32_be s 5) land 0xFFFFFFFF
+    in
+    if len <> 13 + body_len then
+      raise
+        (Bad
+           (Printf.sprintf
+              "frame length %d disagrees with header body length %d" len
+              body_len));
+    let body = String.sub s 9 body_len in
+    let declared = String.get_int32_be s (9 + body_len) in
+    let actual = crc32 body in
+    if declared <> actual then
+      raise
+        (Bad
+           (Printf.sprintf "CRC mismatch: frame says %08lx, body hashes to %08lx"
+              declared actual));
+    let cur = { src = body; pos = 0; limit = body_len } in
+    let ntags = get_u16 cur in
+    let tags =
+      List.init ntags (fun _ ->
+          let label = get_str16 cur in
+          let v = Int64.to_int (get_i64 cur) in
+          (label, v))
+    in
+    let nfields = get_u16 cur in
+    let fields =
+      List.init nfields (fun _ ->
+          let label = get_str16 cur in
+          let key_name = get_str16 cur in
+          let payload = get_str32 cur in
+          match lookup key_name with
+          | None ->
+              raise
+                (Bad
+                   (Printf.sprintf "field %S: no codec registered for key %S"
+                      label key_name))
+          | Some c -> (
+              match c.dec payload with
+              | v -> (label, v)
+              | exception e ->
+                  raise
+                    (Bad
+                       (Printf.sprintf "field %S (key %S): decode failed: %s"
+                          label key_name (Printexc.to_string e)))))
+    in
+    if cur.pos <> cur.limit then
+      raise (Bad (Printf.sprintf "%d trailing bytes in body" (cur.limit - cur.pos)));
+    Snet.Record.of_list ~fields ~tags
+  with
+  | r -> Ok r
+  | exception Bad m -> Error m
+  | exception e -> Error (Printexc.to_string e)
+
+let validate s =
+  match read s with
+  | Error e -> Error e
+  | Ok r ->
+      let s' = render r in
+      if String.equal s s' then Ok ()
+      else Error "re-rendered frame differs from the original bytes"

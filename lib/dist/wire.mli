@@ -1,0 +1,95 @@
+(** Versioned binary wire format for {!Snet.Record.t}.
+
+    Records cross process boundaries as self-contained {e frames}:
+
+    {v
+    offset  size  content
+    0       4     magic "SNRW"
+    4       1     version (currently 1)
+    5       4     body length, u32 big-endian
+    9       n     body
+    9+n     4     CRC-32 of the body, u32 big-endian
+    v}
+
+    and the body is the record in canonical label order (labels sorted,
+    exactly {!Snet.Record.fields}/[tags] order):
+
+    {v
+    u16 tag count
+      per tag:   u16 label length, label bytes, i64 value
+    u16 field count
+      per field: u16 label length, label bytes,
+                 u16 codec-name length, codec-name bytes,
+                 u32 payload length, payload bytes
+    v}
+
+    Field payloads are produced by {e codecs} registered per
+    {!Snet.Value.Key.key}: S-Net treats field values as opaque, so only
+    values whose key has a registered codec can travel. The codec is
+    looked up by the key's {e name} — the sending and receiving
+    processes each register their own key under the same name (keys
+    themselves cannot cross a process boundary).
+
+    The encoding is canonical and checksummed: {!render} of equal
+    records yields identical bytes, [render (read f) = f] byte-for-byte
+    (the {!Obsv.Export} contract), and any single-byte corruption or
+    truncation of a frame is detected by {!read}. *)
+
+val magic : string
+(** ["SNRW"]. *)
+
+val version : int
+
+(** {1 Codecs} *)
+
+val register :
+  'a Snet.Value.Key.key ->
+  encode:('a -> string) ->
+  decode:(string -> 'a) ->
+  unit
+(** Make values injected under the key serializable. [decode] may
+    raise on malformed payloads; {!read} converts the raise into an
+    [Error]. Registering a second codec under the same key name
+    replaces the first. The built-in integer key ({!Snet.Value.of_int})
+    and the supervision string key ({!Snet.Supervise.string_key}, which
+    carries [error_msg]/[error_box]) are pre-registered, so
+    error-stamped records always travel. *)
+
+val registered : string -> bool
+(** Whether a codec exists under the given key name. *)
+
+val register_nd_int : int Sacarray.Nd.t Snet.Value.Key.key -> unit
+(** Register the built-in codec for n-dimensional integer arrays
+    (rank, extents, then one i64 per element, row-major). *)
+
+val register_nd_bool : bool Sacarray.Nd.t Snet.Value.Key.key -> unit
+(** Same for boolean arrays; elements are bit-packed. *)
+
+val string_key : string Snet.Value.Key.key
+(** A pre-registered general-purpose string key (name ["dist.string"])
+    for applications that ship plain strings. *)
+
+val float_key : float Snet.Value.Key.key
+(** Pre-registered (name ["dist.float"]; IEEE-754 bits). *)
+
+(** {1 Frames} *)
+
+exception Unencodable of string
+(** Raised by {!render} when a field value's key has no registered
+    codec; the message names the key and the field label. *)
+
+val render : Snet.Record.t -> string
+(** One complete frame. @raise Unencodable on unregistered keys. *)
+
+val read : string -> (Snet.Record.t, string) result
+(** Parse exactly one frame (trailing bytes are an error). Bad magic,
+    unsupported version, length mismatch, CRC mismatch, truncation,
+    unknown codec names and codec decode failures all come back as
+    [Error] with a description — never an exception. *)
+
+val validate : string -> (unit, string) result
+(** [read] then re-[render] and require byte equality. *)
+
+val crc32 : string -> int32
+(** The checksum used by frames (IEEE 802.3 polynomial), exposed for
+    tests. *)

@@ -196,3 +196,75 @@ let escape s =
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+(* Shortest float representation that [parse] reads back exactly:
+   integers print bare (the writers mostly emit counts and
+   nanoseconds), everything else as %.17g trimmed via %g first. *)
+let render_num f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+    if Float.is_nan f then "null" else Printf.sprintf "%.0f" f
+  else if f = Float.infinity || f = Float.neg_infinity then "null"
+  else
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let render ?(indent = false) v =
+  let b = Buffer.create 256 in
+  let pad d = if indent then Buffer.add_string b (String.make (2 * d) ' ') in
+  let nl () = if indent then Buffer.add_char b '\n' in
+  let rec go d = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Num f -> Buffer.add_string b (render_num f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        nl ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (d + 1);
+            go (d + 1) item)
+          items;
+        nl ();
+        pad d;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        nl ();
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (d + 1);
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\": ";
+            go (d + 1) item)
+          kvs;
+        nl ();
+        pad d;
+        Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+let write_file ~path v =
+  let doc = render ~indent:true v in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  match parse doc with
+  | Ok _ -> Ok ()
+  | Error e -> Error (Printf.sprintf "%s: written JSON does not parse: %s" path e)

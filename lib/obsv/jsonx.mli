@@ -24,7 +24,18 @@ val to_float : t -> float option
 val to_int : t -> int option
 val to_list : t -> t list option
 
-(** {1 Writing helper} *)
+(** {1 Writing} *)
 
 val escape : string -> string
 (** JSON string-literal escaping (no surrounding quotes). *)
+
+val render : ?indent:bool -> t -> string
+(** Serialize; [~indent:true] pretty-prints with two-space indent.
+    The output always satisfies [parse (render v) = Ok v] ([Num nan]
+    degrades to [null] — JSON has no NaN). *)
+
+val write_file : path:string -> t -> (unit, string) result
+(** Render (indented) to [path], then parse the document back as a
+    self-check; the [Error] names the file. This is how the
+    [BENCH_*.json] artifacts are written — nothing lands on disk
+    without round-tripping through our own reader. *)

@@ -1,0 +1,66 @@
+let registered = ref false
+
+let register_codecs () =
+  if not !registered then begin
+    registered := true;
+    Dist.Wire.register_nd_int Boxes.board_field;
+    Dist.Wire.register_nd_bool Boxes.opts_field
+  end
+
+let spec ?(det = false) ?throttle ?cutoff ?side name =
+  (match name with
+  | "fig1" | "fig2" | "fig3" -> ()
+  | _ -> invalid_arg ("Netspec.spec: unknown network " ^ name));
+  let b = Buffer.create 32 in
+  Buffer.add_string b name;
+  if det then Buffer.add_string b ":det";
+  let opt k = function
+    | None -> ()
+    | Some v -> Buffer.add_string b (Printf.sprintf ":%s=%d" k v)
+  in
+  opt "throttle" throttle;
+  opt "cutoff" cutoff;
+  opt "side" side;
+  Buffer.contents b
+
+let resolve ?pool s =
+  match String.split_on_char ':' s with
+  | [] -> failwith "Netspec.resolve: empty spec"
+  | name :: opts ->
+      let det = ref false in
+      let throttle = ref None and cutoff = ref None and side = ref None in
+      List.iter
+        (fun o ->
+          match String.index_opt o '=' with
+          | None when o = "det" -> det := true
+          | None -> failwith (Printf.sprintf "Netspec.resolve: bad option %S" o)
+          | Some eq -> (
+              let k = String.sub o 0 eq
+              and v = String.sub o (eq + 1) (String.length o - eq - 1) in
+              let v =
+                match int_of_string_opt v with
+                | Some v -> v
+                | None ->
+                    failwith
+                      (Printf.sprintf "Netspec.resolve: bad value in %S" o)
+              in
+              match k with
+              | "throttle" -> throttle := Some v
+              | "cutoff" -> cutoff := Some v
+              | "side" -> side := Some v
+              | _ ->
+                  failwith (Printf.sprintf "Netspec.resolve: bad option %S" o)))
+        opts;
+      let det = !det in
+      (match (name, !throttle, !cutoff, !side) with
+      | ("fig1" | "fig2"), None, None, None -> ()
+      | ("fig1" | "fig2"), _, _, _ ->
+          failwith ("Netspec.resolve: " ^ name ^ " takes no options but det")
+      | _ -> ());
+      (match name with
+      | "fig1" -> Networks.fig1 ?pool ~det ()
+      | "fig2" -> Networks.fig2 ?pool ~det ()
+      | "fig3" ->
+          Networks.fig3 ?pool ~det ?throttle:!throttle ?cutoff:!cutoff
+            ?side:!side ()
+      | other -> failwith ("Netspec.resolve: unknown network " ^ other))

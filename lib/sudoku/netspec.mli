@@ -1,0 +1,31 @@
+(** Network specs for distributed sudoku runs.
+
+    {!Dist.Engine_dist.run_spawned} ships only a {e spec string} to the
+    worker processes — closures cannot cross a process boundary — and
+    both sides must build the very same network from it (they each
+    compute the partition locally and have to agree). This module is
+    that shared vocabulary: {!spec} renders the coordinator's solver
+    configuration to a string, {!resolve} parses it back into a
+    network inside the worker. *)
+
+val register_codecs : unit -> unit
+(** Register the {!Dist.Wire} codecs for the sudoku field keys
+    ([board] as an int array, [opts] as a bool array). Idempotent;
+    both coordinator and worker must call it before records travel. *)
+
+val spec :
+  ?det:bool ->
+  ?throttle:int ->
+  ?cutoff:int ->
+  ?side:int ->
+  string ->
+  string
+(** [spec name] renders a spec string, e.g.
+    [spec ~det:true "fig2" = "fig2:det"] or
+    [spec ~throttle:4 ~cutoff:40 ~side:9 "fig3" =
+     "fig3:throttle=4:cutoff=40:side=9"]. [name] must be [fig1],
+    [fig2] or [fig3]. *)
+
+val resolve : ?pool:Scheduler.Pool.t -> string -> Snet.Net.t
+(** Parse a {!spec} string and build the network.
+    @raise Failure on an unknown network name or malformed option. *)

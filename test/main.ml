@@ -34,5 +34,6 @@ let () =
       ("propagate", Test_propagate.suite);
       ("faults", Test_faults.suite);
       ("obsv", Test_obsv.suite);
+      ("dist", Test_dist.suite);
       ("detcheck", Test_detcheck.suite);
     ]

@@ -1,0 +1,522 @@
+(* Distribution layer: wire format round-trips and corruption
+   detection, the coordinator protocol codec, partitioning, transports,
+   and differential runs of the partitioned engine against the
+   sequential reference. Everything here is hermetic (loopback
+   transport, in-process worker threads); the TCP transport cases are
+   skipped unless SNET_DIST_TCP=1 (the @dist-smoke tier sets it — real
+   sockets don't belong in tier-1). *)
+
+module Wire = Dist.Wire
+module Proto = Dist.Proto
+module Transport = Dist.Transport
+module Engine_dist = Dist.Engine_dist
+module Record = Snet.Record
+module Value = Snet.Value
+module Nd = Sacarray.Nd
+
+(* Test-local keys, registered once. [Netspec.register_codecs] covers
+   the sudoku board/opts keys used by the differential tests. *)
+let nd_int_key : int Nd.t Value.Key.key = Value.Key.create "test.ndi"
+let nd_bool_key : bool Nd.t Value.Key.key = Value.Key.create "test.ndb"
+
+let () =
+  Wire.register_nd_int nd_int_key;
+  Wire.register_nd_bool nd_bool_key;
+  Sudoku.Netspec.register_codecs ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Structural record equality via the canonical encoding: equal
+   records render to identical frames, so byte equality of frames is
+   exactly deep equality (Record.equal compares field payloads by
+   physical identity, useless across a codec round-trip). *)
+let frame_eq a b = String.equal (Wire.render a) (Wire.render b)
+
+let multiset_eq outs1 outs2 =
+  let key rs = List.sort compare (List.map Wire.render rs) in
+  key outs1 = key outs2
+
+(* ------------------------------------------------------------------ *)
+(* Wire: fixed cases                                                   *)
+
+let test_crc32 () =
+  (* The standard check value for CRC-32/IEEE. *)
+  Alcotest.(check int32) "check vector" 0xCBF43926l (Wire.crc32 "123456789")
+
+let test_roundtrip_simple () =
+  let r =
+    Record.of_list
+      ~fields:
+        [
+          ("n", Value.of_int 42);
+          ("s", Value.inject Wire.string_key "hello \x00 world");
+          ("x", Value.inject Wire.float_key 3.25);
+          ("a", Value.inject nd_int_key (Nd.matrix [ [ 1; 2 ]; [ 3; 4 ] ]));
+        ]
+      ~tags:[ ("k", 3); ("done", 0); ("neg", -7) ]
+  in
+  match Wire.read (Wire.render r) with
+  | Error e -> Alcotest.failf "read failed: %s" e
+  | Ok r' ->
+      Alcotest.(check bool) "frames equal" true (frame_eq r r');
+      Alcotest.(check (option int)) "int field" (Some 42)
+        (Option.bind (Record.field "n" r') Value.to_int);
+      Alcotest.(check (option string))
+        "string field"
+        (Some "hello \x00 world")
+        (Option.bind (Record.field "s" r') (Value.project Wire.string_key));
+      Alcotest.(check (option int)) "tag" (Some (-7)) (Record.tag "neg" r');
+      let a =
+        Option.get
+          (Option.bind (Record.field "a" r') (Value.project nd_int_key))
+      in
+      Alcotest.(check bool) "nd payload" true
+        (Nd.equal Int.equal a (Nd.matrix [ [ 1; 2 ]; [ 3; 4 ] ]))
+
+let test_empty_record () =
+  let r = Record.of_list ~fields:[] ~tags:[] in
+  match Wire.read (Wire.render r) with
+  | Ok r' -> Alcotest.(check bool) "empty" true (frame_eq r r')
+  | Error e -> Alcotest.failf "read failed: %s" e
+
+let test_error_record_travels () =
+  let input = Record.of_list ~fields:[] ~tags:[ ("k", 1) ] in
+  let e =
+    Snet.Supervise.error_record ~box:"boom" ~input (Failure "db on fire")
+  in
+  match Wire.read (Wire.render e) with
+  | Error m -> Alcotest.failf "read failed: %s" m
+  | Ok e' ->
+      Alcotest.(check bool) "still an error" true (Snet.Supervise.is_error e');
+      Alcotest.(check (option string))
+        "origin" (Some "boom")
+        (Snet.Supervise.error_origin e');
+      Alcotest.(check bool) "message survives" true
+        (match Snet.Supervise.error_message e' with
+        | Some m -> contains m "db on fire"
+        | None -> false)
+
+let test_unencodable () =
+  let rogue : unit Value.Key.key = Value.Key.create "test.unregistered" in
+  let r =
+    Record.of_list ~fields:[ ("f", Value.inject rogue ()) ] ~tags:[]
+  in
+  Alcotest.(check bool) "raises Unencodable" true
+    (try
+       ignore (Wire.render r);
+       false
+     with Wire.Unencodable _ -> true)
+
+let test_validate_and_garbage () =
+  let r = Record.of_list ~fields:[ ("n", Value.of_int 1) ] ~tags:[ ("t", 2) ] in
+  let f = Wire.render r in
+  (match Wire.validate f with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  let bad s =
+    match Wire.read s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted a bad frame (%d bytes)" (String.length s)
+  in
+  bad "";
+  bad "SNRW";
+  bad ("XXXX" ^ String.sub f 4 (String.length f - 4));
+  (* version bump *)
+  let b = Bytes.of_string f in
+  Bytes.set b 4 '\x7f';
+  bad (Bytes.to_string b);
+  (* trailing bytes *)
+  bad (f ^ "\x00")
+
+(* ------------------------------------------------------------------ *)
+(* Wire: properties                                                    *)
+
+let gen_record =
+  let open QCheck.Gen in
+  let label = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let nd_int =
+    int_range 0 3 >>= fun rank ->
+    list_repeat rank (int_range 0 3) >>= fun dims ->
+    let shape = Array.of_list dims in
+    let size = Array.fold_left ( * ) 1 shape in
+    list_repeat size (int_range (-1000) 1000) >>= fun elems ->
+    return (Value.inject nd_int_key (Nd.of_array shape (Array.of_list elems)))
+  in
+  let nd_bool =
+    int_range 0 2 >>= fun rank ->
+    list_repeat rank (int_range 0 4) >>= fun dims ->
+    let shape = Array.of_list dims in
+    let size = Array.fold_left ( * ) 1 shape in
+    list_repeat size bool >>= fun elems ->
+    return (Value.inject nd_bool_key (Nd.of_array shape (Array.of_list elems)))
+  in
+  let value =
+    oneof
+      [
+        map Value.of_int int;
+        map (Value.inject Wire.string_key) (string_size (int_range 0 40));
+        map (Value.inject Wire.float_key) float;
+        nd_int;
+        nd_bool;
+      ]
+  in
+  list_size (int_range 0 5) (pair label value) >>= fun fields ->
+  list_size (int_range 0 5) (pair label int) >>= fun tags ->
+  let r = Record.of_list ~fields ~tags in
+  bool >>= fun stamp ->
+  if stamp then
+    return (Snet.Supervise.error_record ~box:"qc" ~input:r (Failure "qc"))
+  else return r
+
+let arb_record =
+  QCheck.make ~print:(fun r -> Record.to_string r) gen_record
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire round-trip: read (render r) = r" ~count:300
+    arb_record (fun r ->
+      match Wire.read (Wire.render r) with
+      | Error e -> QCheck.Test.fail_reportf "read failed: %s" e
+      | Ok r' ->
+          (* Canonical: the re-render must be byte-identical, and the
+             projected payloads must match deeply. *)
+          frame_eq r r'
+          && List.for_all2
+               (fun (l1, _) (l2, _) -> String.equal l1 l2)
+               (Record.fields r) (Record.fields r')
+          && Record.tags r = Record.tags r')
+
+let prop_corruption =
+  QCheck.Test.make ~name:"wire: corrupt/truncated frames rejected" ~count:300
+    (QCheck.pair arb_record (QCheck.make QCheck.Gen.(pair pint pint)))
+    (fun (r, (pos_seed, byte_seed)) ->
+      let f = Wire.render r in
+      let n = String.length f in
+      (* Flip one byte to a guaranteed-different value... *)
+      let pos = pos_seed mod n in
+      let b = Bytes.of_string f in
+      let old = Char.code (Bytes.get b pos) in
+      Bytes.set b pos (Char.chr ((old + 1 + (byte_seed mod 255)) mod 256));
+      let mutated = Bytes.to_string b in
+      let mutated_rejected =
+        String.equal mutated f
+        ||
+        match Wire.read mutated with Error _ -> true | Ok _ -> false
+      in
+      (* ...and cut the frame short anywhere. *)
+      let truncated_rejected =
+        match Wire.read (String.sub f 0 (pos_seed mod n)) with
+        | Error _ -> true
+        | Ok _ -> false
+      in
+      mutated_rejected && truncated_rejected)
+
+(* ------------------------------------------------------------------ *)
+(* Proto                                                               *)
+
+let test_proto_roundtrip () =
+  let r = Record.of_list ~fields:[ ("n", Value.of_int 9) ] ~tags:[ ("k", 1) ] in
+  let msgs =
+    [
+      Proto.Hello
+        {
+          spec = "fig2:det";
+          part = 1;
+          parts = 4;
+          policy = "retry:3";
+          timeout = Some 1.5;
+          credits = 32;
+          crash_after = -1;
+        };
+      Proto.Hello_ack { part = 1 };
+      Proto.Data r;
+      Proto.Credit 7;
+      Proto.Eof;
+      Proto.Done;
+      Proto.Crash "it broke";
+      Proto.Shutdown;
+    ]
+  in
+  List.iter
+    (fun m ->
+      match Proto.decode (Proto.encode m) with
+      | Error e -> Alcotest.failf "%s: %s" (Proto.to_string m) e
+      | Ok m' -> (
+          match (m, m') with
+          | Proto.Data a, Proto.Data b ->
+              Alcotest.(check bool) "data round-trip" true (frame_eq a b)
+          | _ ->
+              Alcotest.(check string) "round-trip" (Proto.to_string m)
+                (Proto.to_string m')))
+    msgs;
+  (match Proto.decode "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty message accepted");
+  match Proto.decode (String.sub (Proto.encode (Proto.Crash "xyz")) 0 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated message accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                        *)
+
+let test_partition () =
+  let net = Sudoku.Networks.fig3 () in
+  let total = Snet.Net.count_boxes net in
+  for parts = 1 to 6 do
+    let ps = Engine_dist.partition ~parts net in
+    Alcotest.(check bool)
+      (Printf.sprintf "parts<=%d" parts)
+      true
+      (List.length ps >= 1 && List.length ps <= parts);
+    Alcotest.(check int)
+      (Printf.sprintf "boxes preserved (%d)" parts)
+      total
+      (List.fold_left (fun a n -> a + Snet.Net.count_boxes n) 0 ps);
+    (* Stability: re-partitioning at the achieved count is a fixpoint,
+       so coordinator and workers agree on the cut. *)
+    let again = Engine_dist.partition ~parts:(List.length ps) net in
+    Alcotest.(check (list string))
+      (Printf.sprintf "stable (%d)" parts)
+      (List.map Snet.Net.to_string ps)
+      (List.map Snet.Net.to_string again)
+  done;
+  (* Order preserved: fig3 is a serial_list, so one part rebuilds it. *)
+  Alcotest.(check string) "identity"
+    (Snet.Net.to_string net)
+    (Snet.Net.to_string (List.hd (Engine_dist.partition ~parts:1 net)));
+  Alcotest.(check bool) "parts=0 rejected" true
+    (try
+       ignore (Engine_dist.partition ~parts:0 net);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+
+let test_loopback () =
+  let a, b = Transport.loopback_pair () in
+  Transport.send a "ping";
+  Transport.send a "pong";
+  Alcotest.(check bool) "recv 1" true (Transport.recv b = `Msg "ping");
+  Alcotest.(check bool) "recv 2" true (Transport.recv b = `Msg "pong");
+  Transport.send b "back";
+  Alcotest.(check bool) "reverse" true (Transport.recv a = `Msg "back");
+  Transport.close a;
+  Alcotest.(check bool) "closed recv" true (Transport.recv b = `Closed);
+  Alcotest.(check bool) "closed send" true
+    (try
+       Transport.send b "x";
+       false
+     with Transport.Closed_conn -> true)
+
+let tcp_enabled () = Sys.getenv_opt "SNET_DIST_TCP" = Some "1"
+
+let test_tcp () =
+  if not (tcp_enabled ()) then
+    Alcotest.skip ()
+  else begin
+    let l = Transport.Tcp.listen () in
+    let port = Transport.Tcp.port l in
+    let server_got = ref [] in
+    let server =
+      Thread.create
+        (fun () ->
+          let c = Transport.Tcp.accept ~timeout_s:10.0 l in
+          let rec loop () =
+            match Transport.Tcp.recv c with
+            | `Msg m ->
+                server_got := m :: !server_got;
+                Transport.Tcp.send c ("echo:" ^ m);
+                loop ()
+            | `Closed -> Transport.Tcp.close c
+          in
+          loop ())
+        ()
+    in
+    let c = Transport.Tcp.connect ~host:"127.0.0.1" ~port in
+    let big = String.make 100_000 'z' in
+    Transport.Tcp.send c "hello";
+    Transport.Tcp.send c big;
+    Alcotest.(check bool) "echo 1" true (Transport.Tcp.recv c = `Msg "echo:hello");
+    Alcotest.(check bool) "echo big" true
+      (Transport.Tcp.recv c = `Msg ("echo:" ^ big));
+    Transport.Tcp.close c;
+    Thread.join server;
+    Transport.Tcp.close_listener l;
+    Alcotest.(check (list string)) "server saw" [ big; "hello" ] !server_got
+  end
+
+let test_tcp_frames_records () =
+  if not (tcp_enabled ()) then Alcotest.skip ()
+  else begin
+    let l = Transport.Tcp.listen () in
+    let port = Transport.Tcp.port l in
+    let board = Sudoku.Puzzles.easy in
+    let r = Sudoku.Boxes.inject_board board in
+    let t =
+      Thread.create
+        (fun () ->
+          let c =
+            Transport.erase
+              (module Transport.Tcp)
+              (Transport.Tcp.accept ~timeout_s:10.0 l)
+          in
+          (match Transport.recv c with
+          | `Msg m -> Transport.send c m (* bounce the raw frame *)
+          | `Closed -> ());
+          Transport.close c)
+        ()
+    in
+    let c =
+      Transport.erase
+        (module Transport.Tcp)
+        (Transport.Tcp.connect ~host:"127.0.0.1" ~port)
+    in
+    Transport.send c (Wire.render r);
+    (match Transport.recv c with
+    | `Closed -> Alcotest.fail "connection dropped"
+    | `Msg m -> (
+        match Wire.read m with
+        | Error e -> Alcotest.failf "frame corrupted in flight: %s" e
+        | Ok r' -> Alcotest.(check bool) "board survives TCP" true (frame_eq r r')));
+    Transport.close c;
+    Thread.join t;
+    Transport.Tcp.close_listener l
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Differential: partitioned engine vs sequential reference            *)
+
+let solve_inputs board = [ Sudoku.Boxes.inject_board board ]
+
+let test_dist_vs_seq_fig2 () =
+  let board = Sudoku.Puzzles.easy in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.fig2 ()) (solve_inputs board)
+  in
+  List.iter
+    (fun workers ->
+      let outs =
+        Engine_dist.run ~workers (Sudoku.Networks.fig2 ()) (solve_inputs board)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "fig2 multiset equal (%d workers)" workers)
+        true
+        (multiset_eq reference outs))
+    [ 1; 2; 4 ]
+
+let test_dist_vs_seq_fig3 () =
+  let board = Sudoku.Puzzles.easy in
+  let net () = Sudoku.Networks.fig3 () in
+  let reference = Snet.Engine_seq.run (net ()) (solve_inputs board) in
+  List.iter
+    (fun workers ->
+      let outs = Engine_dist.run ~workers (net ()) (solve_inputs board) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fig3 multiset equal (%d workers)" workers)
+        true
+        (multiset_eq reference outs))
+    [ 2; 4 ]
+
+let test_dist_multiple_inputs () =
+  (* Several boards through one distributed pipeline: outputs from all
+     of them interleave across the cut edges. *)
+  let boards =
+    [ (Sudoku.Puzzles.find "trivial").Sudoku.Puzzles.board; Sudoku.Puzzles.easy ]
+  in
+  let inputs = List.map Sudoku.Boxes.inject_board boards in
+  let reference = Snet.Engine_seq.run (Sudoku.Networks.fig2 ()) inputs in
+  let outs = Engine_dist.run ~workers:2 (Sudoku.Networks.fig2 ()) inputs in
+  Alcotest.(check bool) "two boards, multiset equal" true
+    (multiset_eq reference outs)
+
+let test_dist_tiny_credits () =
+  (* A credit window of 1 forces a park on every record — the engine
+     must still drain completely. *)
+  let board = Sudoku.Puzzles.easy in
+  let stats = Snet.Stats.create () in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.fig2 ()) (solve_inputs board)
+  in
+  let outs =
+    Engine_dist.run ~workers:2 ~credits:1 ~stats (Sudoku.Networks.fig2 ())
+      (solve_inputs board)
+  in
+  Alcotest.(check bool) "credits=1 multiset equal" true
+    (multiset_eq reference outs)
+
+(* ------------------------------------------------------------------ *)
+(* Worker failure                                                      *)
+
+let error_record_cfg =
+  Snet.Supervise.make ~policy:Snet.Supervise.Error_record ()
+
+let test_worker_kill_error_record () =
+  let board = Sudoku.Puzzles.easy in
+  let outs =
+    Engine_dist.run ~workers:2 ~kill_worker:(1, 0)
+      ~supervision:error_record_cfg (Sudoku.Networks.fig2 ())
+      (solve_inputs board)
+  in
+  let errors = List.filter Snet.Supervise.is_error outs in
+  Alcotest.(check bool) "stamped error records delivered" true (errors <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "origin names the dead worker" (Some "dist:worker1")
+        (Snet.Supervise.error_origin e))
+    errors
+
+let test_worker_kill_fail_fast () =
+  let board = Sudoku.Puzzles.easy in
+  Alcotest.(check bool) "fail-fast raises" true
+    (try
+       ignore
+         (Engine_dist.run ~workers:2 ~kill_worker:(1, 0)
+            (Sudoku.Networks.fig2 ()) (solve_inputs board));
+       false
+     with Failure m -> contains m "dist:worker1")
+
+let test_worker_kill_retry_recovers () =
+  let board = Sudoku.Puzzles.easy in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.fig2 ()) (solve_inputs board)
+  in
+  let outs =
+    Engine_dist.run ~workers:2 ~kill_worker:(1, 0)
+      ~supervision:(Snet.Supervise.make ~policy:(Snet.Supervise.Retry 2) ())
+      (Sudoku.Networks.fig2 ()) (solve_inputs board)
+  in
+  Alcotest.(check bool) "respawned worker recovers the run" true
+    (multiset_eq reference outs)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "crc32 vector" `Quick test_crc32;
+    Alcotest.test_case "wire simple round-trip" `Quick test_roundtrip_simple;
+    Alcotest.test_case "wire empty record" `Quick test_empty_record;
+    Alcotest.test_case "wire error record" `Quick test_error_record_travels;
+    Alcotest.test_case "wire unencodable" `Quick test_unencodable;
+    Alcotest.test_case "wire validate + garbage" `Quick test_validate_and_garbage;
+    Seeded.to_alcotest prop_roundtrip;
+    Seeded.to_alcotest prop_corruption;
+    Alcotest.test_case "proto round-trip" `Quick test_proto_roundtrip;
+    Alcotest.test_case "partition" `Quick test_partition;
+    Alcotest.test_case "loopback transport" `Quick test_loopback;
+    Alcotest.test_case "tcp transport (smoke)" `Quick test_tcp;
+    Alcotest.test_case "tcp frames records (smoke)" `Quick test_tcp_frames_records;
+    Alcotest.test_case "dist=seq fig2 x{1,2,4}" `Quick test_dist_vs_seq_fig2;
+    Alcotest.test_case "dist=seq fig3 x{2,4}" `Quick test_dist_vs_seq_fig3;
+    Alcotest.test_case "dist multiple inputs" `Quick test_dist_multiple_inputs;
+    Alcotest.test_case "dist credits=1" `Quick test_dist_tiny_credits;
+    Alcotest.test_case "worker kill -> error records" `Quick
+      test_worker_kill_error_record;
+    Alcotest.test_case "worker kill -> fail fast" `Quick
+      test_worker_kill_fail_fast;
+    Alcotest.test_case "worker kill -> retry recovers" `Quick
+      test_worker_kill_retry_recovers;
+  ]
