@@ -29,12 +29,17 @@ dune build @obsv-smoke
 
 echo "== distribution smoke =="
 # TCP-gated dist tests (real sockets) plus the dist benchmark smoke:
-# wire codec throughput and the cut-edge overhead bar (loopback adds
-# <= 50us/record over a bare in-process channel), recorded into
-# BENCH_dist.json. Tops off with one real multi-process solve.
+# wire codec throughput, the cut-edge overhead bar (loopback adds
+# <= 50us/record over a bare in-process channel) and the batched
+# amortized bar (<= 5us/record at batch >= 8), recorded into
+# BENCH_dist.json. Tops off with two real multi-process solves: one
+# with default envelope batching, one with batching forced off
+# (SNET_DIST_BATCH=1) so the unbatched protocol path stays exercised.
 dune build @dist-smoke
 ./_build/default/bin/snet_sudoku.exe --network fig2 --puzzle easy --workers 2 \
   > /dev/null
+SNET_DIST_BATCH=1 ./_build/default/bin/snet_sudoku.exe --network fig2 \
+  --puzzle easy --workers 2 > /dev/null
 
 echo "== detcheck seed matrix: $SEEDS =="
 dune build @detcheck   # default seed, exercises the alias itself

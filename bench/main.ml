@@ -1108,6 +1108,35 @@ let exp_dist () =
       Test.make ~name:"edge/loopback" (Staged.stage (rt_conn lo_a));
       Test.make ~name:"edge/tcp" (Staged.stage (rt_conn tcp));
     ];
+  (* Batched variants: one Data_batch envelope of k records out and
+     back (the echo peers bounce the raw envelope). Dividing by k gives
+     the amortized per-record cost the cut-edge pumps pay under load;
+     k=1 keeps the envelope-framing floor visible next to the plain
+     Data rows above. *)
+  let wctx = Dist.Wire.ctx () in
+  let rt_batched conn k =
+    let m = Dist.Proto.Data_batch (List.init k (fun _ -> r)) in
+    fun () ->
+      Dist.Transport.send conn (Dist.Proto.encode ~ctx:wctx m);
+      match Dist.Transport.recv conn with
+      | `Msg s -> (
+          match Dist.Proto.decode ~ctx:wctx s with
+          | Ok _ -> ()
+          | Error e -> failwith e)
+      | `Closed -> assert false
+  in
+  collect "batched cut-edge round-trip (one Data_batch envelope of k records)"
+    [
+      Test.make ~name:"edge/loopback-batched-b1"
+        (Staged.stage (rt_batched lo_a 1));
+      Test.make ~name:"edge/loopback-batched-b8"
+        (Staged.stage (rt_batched lo_a 8));
+      Test.make ~name:"edge/loopback-batched-b64"
+        (Staged.stage (rt_batched lo_a 64));
+      Test.make ~name:"edge/tcp-batched-b1" (Staged.stage (rt_batched tcp 1));
+      Test.make ~name:"edge/tcp-batched-b8" (Staged.stage (rt_batched tcp 8));
+      Test.make ~name:"edge/tcp-batched-b64" (Staged.stage (rt_batched tcp 64));
+    ];
   (* End-to-end: the partitioned engine (loopback workers) against the
      sequential reference on the same job. *)
   let easy = board_of "easy" in
@@ -1135,21 +1164,54 @@ let exp_dist () =
   let chan_ns = find "/edge/channel"
   and lo_ns = find "/edge/loopback"
   and tcp_ns = find "/edge/tcp" in
+  let lob k = find (Printf.sprintf "/edge/loopback-batched-b%d" k) in
+  let tcb k = find (Printf.sprintf "/edge/tcp-batched-b%d" k) in
   (* MB/s through the codec: bytes per ns times 1000. *)
   let mbps ns = float_of_int frame_bytes /. ns *. 1000. in
   let overhead_ns = lo_ns -. chan_ns in
-  (* Acceptance bar: the full loopback round-trip (one encode, two
-     framed hops, one decode) may cost at most 50us more than the
-     bare in-process channel round-trip. *)
+  (* Acceptance bars: the unbatched loopback round-trip (one encode,
+     two framed hops, one decode) may cost at most 50us more than the
+     bare in-process channel round-trip — and with batching the
+     amortized overhead per record must drop under 5us on some
+     transport at some batch size >= 8 (on a single-core box the
+     loopback thread ping-pong dominates its rows with scheduling
+     noise, so the bar takes the best of loopback and tcp rather than
+     wiring the ratchet to the noisier harness transport). *)
   let bar_ns = 50_000. in
+  let batched_bar_ns = 5_000. in
+  let amort v k = (v -. chan_ns) /. float_of_int k in
+  let lo_amort8 = amort (lob 8) 8 and lo_amort64 = amort (lob 64) 64 in
+  let tcp_amort8 = amort (tcb 8) 8 and tcp_amort64 = amort (tcb 64) 64 in
+  let nan_min a b =
+    if Float.is_nan a then b else if Float.is_nan b then a else Float.min a b
+  in
+  let batched_amort_ns =
+    nan_min (nan_min lo_amort8 lo_amort64) (nan_min tcp_amort8 tcp_amort64)
+  in
+  let seq_ns = find "/fig2/seq" and dist_ns = find "/fig2/dist-loopback-2w" in
+  let speedup = seq_ns /. dist_ns in
   Printf.printf
     "\n  frame size for a 9x9 board+opts record: %d bytes\n\
     \  encode: %s (%.0f MB/s)   decode: %s (%.0f MB/s)\n\
     \  edge round-trip: channel %s | loopback %s | tcp %s\n\
-    \  loopback overhead vs channel: %s/record (bar: <= %s)\n"
+    \  batched envelope rt: loopback b1 %s b8 %s b64 %s | tcp b1 %s b8 %s b64 \
+     %s\n\
+    \  loopback overhead vs channel: %s/record (bar: <= %s)\n\
+    \  amortized batched overhead: loopback b8 %s b64 %s | tcp b8 %s b64 %s \
+     per record (bar: <= %s at best)\n\
+    \  fig2 speedup dist-loopback-2w / seq: %.2fx\n"
     frame_bytes (pretty_ns encode_ns) (mbps encode_ns) (pretty_ns decode_ns)
     (mbps decode_ns) (pretty_ns chan_ns) (pretty_ns lo_ns) (pretty_ns tcp_ns)
-    (pretty_ns overhead_ns) (pretty_ns bar_ns);
+    (pretty_ns (lob 1)) (pretty_ns (lob 8)) (pretty_ns (lob 64))
+    (pretty_ns (tcb 1)) (pretty_ns (tcb 8)) (pretty_ns (tcb 64))
+    (pretty_ns overhead_ns) (pretty_ns bar_ns) (pretty_ns lo_amort8)
+    (pretty_ns lo_amort64) (pretty_ns tcp_amort8) (pretty_ns tcp_amort64)
+    (pretty_ns batched_bar_ns) speedup;
+  if (not (Float.is_nan speedup)) && speedup < 1.0 then
+    Printf.printf
+      "  WARNING: distributed fig2 is %.2fx the sequential engine (< 1.0): \
+       the cut-edge codec cost still dominates this small problem\n"
+      speedup;
   let rows = !rows in
   write_bench_json "BENCH_dist.json"
     (Obsv.Jsonx.Obj
@@ -1167,8 +1229,35 @@ let exp_dist () =
                ("loopback", jnum lo_ns);
                ("tcp", jnum tcp_ns);
              ] );
+         ( "edge_batched_roundtrip_ns",
+           Obsv.Jsonx.Obj
+             [
+               ( "loopback",
+                 Obsv.Jsonx.Obj
+                   [
+                     ("b1", jnum (lob 1));
+                     ("b8", jnum (lob 8));
+                     ("b64", jnum (lob 64));
+                   ] );
+               ( "tcp",
+                 Obsv.Jsonx.Obj
+                   [
+                     ("b1", jnum (tcb 1));
+                     ("b8", jnum (tcb 8));
+                     ("b64", jnum (tcb 64));
+                   ] );
+             ] );
          ("loopback_overhead_ns_per_record", jnum overhead_ns);
          ("loopback_overhead_bar_ns", jnum bar_ns);
+         ( "loopback_batched_amortized_ns_per_record",
+           Obsv.Jsonx.Obj
+             [ ("b8", jnum lo_amort8); ("b64", jnum lo_amort64) ] );
+         ( "tcp_batched_amortized_ns_per_record",
+           Obsv.Jsonx.Obj
+             [ ("b8", jnum tcp_amort8); ("b64", jnum tcp_amort64) ] );
+         ("batched_amortized_best_ns_per_record", jnum batched_amort_ns);
+         ("batched_amortized_bar_ns", jnum batched_bar_ns);
+         ("fig2_speedup_dist_over_seq", jnum speedup);
          ("results", jrows rows);
        ])
     rows;
@@ -1177,6 +1266,13 @@ let exp_dist () =
     Printf.eprintf
       "dist: loopback cut-edge overhead %s/record exceeds the %s bar\n"
       (pretty_ns overhead_ns) (pretty_ns bar_ns);
+    exit 1
+  end;
+  if (not (Float.is_nan batched_amort_ns)) && batched_amort_ns > batched_bar_ns
+  then begin
+    Printf.eprintf
+      "dist: amortized batched cut-edge overhead %s/record exceeds the %s bar\n"
+      (pretty_ns batched_amort_ns) (pretty_ns batched_bar_ns);
     exit 1
   end
 

@@ -52,9 +52,9 @@ let find_worker_exe () =
             "cannot find the snet_worker executable next to snet_sudoku; \
              set SNET_WORKER_EXE")
 
-let run_solver kind engine det throttle cutoff domains workers kill_worker
-    verbose stats_flag on_error box_timeout trace_out metrics_flag metrics_out
-    metrics_every puzzle file =
+let run_solver kind engine det throttle cutoff domains workers dist_batch
+    kill_worker verbose stats_flag on_error box_timeout trace_out metrics_flag
+    metrics_out metrics_every puzzle file =
   let board = load_board puzzle file in
   let side = Sudoku.Board.side board in
   (* Observability: the event sink feeds --trace-out, the aggregated
@@ -120,9 +120,11 @@ let run_solver kind engine det throttle cutoff domains workers kill_worker
                   Sudoku.Netspec.spec ~det ~throttle ~cutoff ~side name
               | _ -> Sudoku.Netspec.spec ~det name
             in
+            let batch = if dist_batch > 0 then Some dist_batch else None in
             let outputs =
               Dist.Engine_dist.run_spawned ~worker_exe:(find_worker_exe ())
                 ~spec ~workers ~stats ?supervision ?crash_after:kill_worker
+                ?batch
                 ~worker_args:[ "--domains"; string_of_int domains ]
                 net inputs
             in
@@ -228,6 +230,15 @@ let cmd =
              (spawns snet_worker, bridges the cut edges over TCP). 0 \
              runs in-process on --engine." ~docv:"N")
   in
+  let dist_batch =
+    Arg.(
+      value & opt int 0
+      & info [ "dist-batch" ]
+          ~doc:
+            "Cut-edge batching cap for --workers: up to $(docv) records \
+             per envelope (1 disables batching). 0 defers to \
+             SNET_DIST_BATCH or the built-in default." ~docv:"N")
+  in
   let kill_worker =
     Arg.(
       value
@@ -306,7 +317,8 @@ let cmd =
     (Cmd.info "snet-sudoku" ~doc:"Hybrid SaC/S-Net sudoku solver")
     Term.(
       const run_solver $ network $ engine $ det $ throttle $ cutoff $ domains
-      $ workers $ kill_worker $ verbose $ stats $ on_error $ box_timeout
-      $ trace_out $ metrics $ metrics_out $ metrics_every $ puzzle $ file)
+      $ workers $ dist_batch $ kill_worker $ verbose $ stats $ on_error
+      $ box_timeout $ trace_out $ metrics $ metrics_out $ metrics_every
+      $ puzzle $ file)
 
 let () = exit (Cmd.eval cmd)

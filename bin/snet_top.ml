@@ -57,13 +57,14 @@ let render (snap : Obsv.Metrics.snapshot) =
   if spans = [] then Buffer.add_string b "(no spans yet)\n";
   Buffer.add_string b "\nedges by stalls\n";
   Buffer.add_string b
-    (Printf.sprintf "%-40s %8s %8s %8s %6s\n" "EDGE" "SENDS" "RECVS" "STALLS"
-       "HWM");
+    (Printf.sprintf "%-40s %8s %8s %8s %6s %7s %7s\n" "EDGE" "SENDS" "RECVS"
+       "STALLS" "HWM" "B-P50" "B-P95");
+  let bsz n = if n = 0 then "-" else string_of_int n in
   List.iter
     (fun (name, (e : Obsv.Metrics.edge)) ->
       Buffer.add_string b
-        (Printf.sprintf "%-40s %8d %8d %8d %6d\n" (clip 40 name) e.sends
-           e.recvs e.stalls e.hwm))
+        (Printf.sprintf "%-40s %8d %8d %8d %6d %7s %7s\n" (clip 40 name)
+           e.sends e.recvs e.stalls e.hwm (bsz e.batch_p50) (bsz e.batch_p95)))
     edges;
   if edges = [] then Buffer.add_string b "(no edges yet)\n";
   Buffer.add_string b

@@ -37,6 +37,49 @@ let partition ~parts net =
   List.rev_map Snet.Net.serial_list !groups
 
 (* ------------------------------------------------------------------ *)
+(* Batching                                                            *)
+
+(* Cut-edge envelope cap: how many records one Data_batch may carry.
+   1 disables batching (plain Data frames both ways). The env knob is
+   what bench/ci.sh uses to exercise both paths. *)
+let env_batch () =
+  match Sys.getenv_opt "SNET_DIST_BATCH" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 64)
+  | None -> 64
+
+let resolve_batch = function
+  | Some b ->
+      if b < 1 then invalid_arg "Engine_dist: batch must be at least 1";
+      b
+  | None -> env_batch ()
+
+(* Split [rs] into data messages under the envelope cap: plain Data
+   when the cap (or the run) is 1, Data_batch chunks otherwise. *)
+let data_msgs ~ctx ~batch rs =
+  if batch <= 1 then List.map (fun r -> Proto.encode ~ctx (Proto.Data r)) rs
+  else begin
+    let rec chunks acc = function
+      | [] -> List.rev acc
+      | rs ->
+          let rec take k xs acc =
+            match (k, xs) with
+            | 0, _ | _, [] -> (List.rev acc, xs)
+            | k, x :: xs -> take (k - 1) xs (x :: acc)
+          in
+          let chunk, rest = take batch rs [] in
+          chunks (chunk :: acc) rest
+    in
+    List.map
+      (function
+        | [ r ] -> Proto.encode ~ctx (Proto.Data r)
+        | chunk -> Proto.encode ~ctx (Proto.Data_batch chunk))
+      (chunks [] rs)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Worker side                                                         *)
 
 exception Crash_injected
@@ -85,37 +128,48 @@ let serve ?pool ~conn ~resolve () =
               cleanup ()
           | Ok (subnet, supervision) ->
               attempt_send conn (Proto.Hello_ack { part = h.Proto.part });
+              let ctx = Wire.ctx () in
+              let batch = max 1 h.Proto.batch in
               let inst = Snet.Engine_conc.start ?pool ?supervision subnet in
               let sent = ref 0 and consumed = ref 0 in
-              (* finish accumulates all outputs so far; forward only the
-                 fresh suffix. *)
-              let flush () =
+              (* finish accumulates all outputs so far; collect only
+                 the fresh suffix, as batch-capped envelopes. *)
+              let fresh_out_msgs () =
                 let outs = Snet.Engine_conc.finish inst in
-                List.iter
-                  (fun r -> Transport.send conn (Proto.encode (Proto.Data r)))
-                  (drop !sent outs);
-                sent := List.length outs
+                let fresh = drop !sent outs in
+                sent := List.length outs;
+                data_msgs ~ctx ~batch fresh
+              in
+              let consume r =
+                incr consumed;
+                if h.Proto.crash_after >= 0 && !consumed > h.Proto.crash_after
+                then raise Crash_injected;
+                let sp = Obsv.Probe.span_start () in
+                Snet.Engine_conc.feed inst r;
+                Obsv.Probe.span_end ~cat:"dist" ~name:"worker.record" sp
+              in
+              (* Outputs, then the credit grant for the whole input
+                 envelope, in ONE coalesced transport write. *)
+              let flush_and_credit k =
+                Transport.send_many conn
+                  (fresh_out_msgs () @ [ Proto.encode (Proto.Credit k) ])
               in
               let rec loop () =
                 match Transport.recv conn with
                 | `Closed -> ()
                 | `Msg m -> (
-                    match Proto.decode m with
+                    match Proto.decode ~ctx m with
                     | Ok (Proto.Data r) ->
-                        incr consumed;
-                        if
-                          h.Proto.crash_after >= 0
-                          && !consumed > h.Proto.crash_after
-                        then raise Crash_injected;
-                        let sp = Obsv.Probe.span_start () in
-                        Snet.Engine_conc.feed inst r;
-                        flush ();
-                        Obsv.Probe.span_end ~cat:"dist" ~name:"worker.record" sp;
-                        Transport.send conn (Proto.encode (Proto.Credit 1));
+                        consume r;
+                        flush_and_credit 1;
+                        loop ()
+                    | Ok (Proto.Data_batch rs) ->
+                        List.iter consume rs;
+                        flush_and_credit (List.length rs);
                         loop ()
                     | Ok Proto.Eof ->
-                        flush ();
-                        Transport.send conn (Proto.encode Proto.Done);
+                        Transport.send_many conn
+                          (fresh_out_msgs () @ [ Proto.encode Proto.Done ]);
                         loop ()
                     | Ok Proto.Shutdown -> ()
                     | Ok (Proto.Hello _ | Proto.Hello_ack _ | Proto.Credit _
@@ -142,8 +196,20 @@ type wstate = {
   mutable conn : Transport.conn;
   mutable st : wst;
   mutable done_ : bool;
+  (* End-of-stream is two-phase: [eof_requested] marks that upstream is
+     exhausted (set by [finish_upstream]); the pump turns it into an
+     actual Eof on the wire ([eof_sent]) only once [pending] has
+     drained. Keeping the two apart is what fixes the full-window
+     parking bug: an Eof needs NO credit, so the pump's wait condition
+     must not couple it to [credits > 0]. *)
+  mutable eof_requested : bool;
   mutable eof_sent : bool;
   mutable credits : int;
+  (* Records routed to this worker but not yet written; the pump
+     coalesces runs of them into batch envelopes. Bounded by the credit
+     window, so producer backpressure is preserved. *)
+  pending : Snet.Record.t Queue.t;
+  (* Written but not yet credited; resent on respawn. *)
   inflight : Snet.Record.t Queue.t;
   mutable retries_left : int;
 }
@@ -156,6 +222,7 @@ type coord = {
   policy : Snet.Supervise.policy;
   stats : Snet.Stats.t option;
   init_credits : int;
+  batch : int;
   respawn : int -> Transport.conn option;
   mutable outputs_rev : Snet.Record.t list;
   mutable failure : string option;
@@ -184,71 +251,63 @@ let stamp_dead c i r reason =
   c.outputs_rev <- e :: c.outputs_rev
 
 (* Route one record at partition [i] (i = parts means the global
-   output). Blocks on the credit window; never called with the lock
-   held. *)
-let rec send_data c i r =
+   output). Enqueues onto the worker's pending queue — the pump does
+   the wire work. Blocks while the pending window is full; never
+   called with the lock held. *)
+let send_data c i r =
   if i >= c.parts || Snet.Supervise.is_error r then record_output c r
   else begin
     let w = c.ws.(i) in
-    let action =
-      locked c (fun () ->
-          if w.st = Alive && w.credits = 0 then begin
-            Option.iter (fun s -> Snet.Stats.record_backpressure s 1) c.stats;
-            Obsv.Probe.edge_stall ~name:(edge_in i)
-          end;
-          while
-            c.failure = None
-            && (w.st = Respawning || (w.st = Alive && w.credits = 0))
-          do
-            Condition.wait c.cv c.mu
-          done;
-          if c.failure <> None then `Drop
-          else
-            match w.st with
-            | Dead -> (
-                match c.policy with
-                | Snet.Supervise.Fail_fast -> `Drop
-                | Snet.Supervise.Error_record | Snet.Supervise.Retry _ ->
-                    stamp_dead c i r "worker died";
-                    Condition.broadcast c.cv;
-                    `Drop)
-            | Alive | Respawning ->
-                w.credits <- w.credits - 1;
-                Queue.push r w.inflight;
-                Obsv.Probe.edge_send ~name:(edge_in i)
-                  ~depth:(Queue.length w.inflight);
-                `Send w.conn)
-    in
-    match action with
-    | `Drop -> ()
-    | `Send conn -> (
-        try Transport.send conn (Proto.encode (Proto.Data r))
-        with _ -> () (* the worker's reader will observe the death *))
+    locked c (fun () ->
+        if
+          c.failure = None && w.st <> Dead
+          && Queue.length w.pending >= c.init_credits
+        then begin
+          Option.iter (fun s -> Snet.Stats.record_backpressure s 1) c.stats;
+          Obsv.Probe.edge_stall ~name:(edge_in i)
+        end;
+        while
+          c.failure = None && w.st <> Dead
+          && Queue.length w.pending >= c.init_credits
+        do
+          Condition.wait c.cv c.mu
+        done;
+        if c.failure <> None then ()
+        else
+          match w.st with
+          | Dead -> (
+              match c.policy with
+              | Snet.Supervise.Fail_fast -> ()
+              | Snet.Supervise.Error_record | Snet.Supervise.Retry _ ->
+                  stamp_dead c i r "worker died";
+                  Condition.broadcast c.cv)
+          | Alive | Respawning ->
+              Queue.push r w.pending;
+              Obsv.Probe.edge_send ~name:(edge_in i)
+                ~depth:(Queue.length w.pending + Queue.length w.inflight);
+              Condition.broadcast c.cv)
   end
 
-(* Everything upstream of partition [i] has been delivered: propagate
-   the end-of-stream marker, skipping dead partitions. *)
-and finish_upstream c i =
+(* Everything upstream of partition [i] has been delivered: mark
+   end-of-stream; the pump sends the wire Eof after draining pending.
+   Dead partitions are skipped so the marker propagates. *)
+let rec finish_upstream c i =
   if i < c.parts then begin
     let w = c.ws.(i) in
-    let action =
+    let skip =
       locked c (fun () ->
-          if w.eof_sent then `Nothing
+          if w.eof_requested then false
           else begin
-            w.eof_sent <- true;
-            match w.st with
-            | Alive | Respawning -> `Send_eof w.conn
-            | Dead -> `Skip
+            w.eof_requested <- true;
+            Condition.broadcast c.cv;
+            w.st = Dead
           end)
     in
-    match action with
-    | `Nothing -> ()
-    | `Send_eof conn -> ( try Transport.send conn (Proto.encode Proto.Eof) with _ -> ())
-    | `Skip -> finish_upstream c (i + 1)
+    if skip then finish_upstream c (i + 1)
   end
 
 let give_up c i reason =
-  let eof_was_sent =
+  let eof_was_requested =
     locked c (fun () ->
         let w = c.ws.(i) in
         w.st <- Dead;
@@ -258,11 +317,80 @@ let give_up c i reason =
               c.failure <- Some (Printf.sprintf "%s: %s" (worker_name i) reason)
         | Snet.Supervise.Error_record | Snet.Supervise.Retry _ ->
             Queue.iter (fun r -> stamp_dead c i r reason) w.inflight;
-            Queue.clear w.inflight);
+            Queue.clear w.inflight;
+            Queue.iter (fun r -> stamp_dead c i r reason) w.pending;
+            Queue.clear w.pending);
         Condition.broadcast c.cv;
-        w.eof_sent)
+        w.eof_requested)
   in
-  if eof_was_sent then finish_upstream c (i + 1)
+  if eof_was_requested then finish_upstream c (i + 1)
+
+(* Per-worker sender pump: coalesce whatever is queued — bounded by
+   the credit window and the batch cap — into one transport write.
+   Flush triggers are batch-size, credit exhaustion and Eof; an idle
+   edge sends a lone record immediately, so light-load latency is one
+   envelope away from the unbatched path. *)
+let pump c i =
+  let w = c.ws.(i) in
+  let ctx = Wire.ctx () in
+  let rec loop () =
+    let action =
+      locked c (fun () ->
+          let can_data () =
+            w.st = Alive && w.credits > 0 && not (Queue.is_empty w.pending)
+          in
+          let can_eof () =
+            w.st = Alive && w.eof_requested && not w.eof_sent
+            && Queue.is_empty w.pending
+          in
+          let finished () = w.eof_sent && Queue.is_empty w.pending in
+          while
+            c.failure = None && w.st <> Dead
+            && not (can_data () || can_eof () || finished ())
+          do
+            Condition.wait c.cv c.mu
+          done;
+          if c.failure <> None || w.st = Dead then `Stop
+          else if can_data () then begin
+            let k = min (min w.credits c.batch) (Queue.length w.pending) in
+            let rs =
+              List.init k (fun _ ->
+                  let r = Queue.pop w.pending in
+                  Queue.push r w.inflight;
+                  r)
+            in
+            w.credits <- w.credits - k;
+            let eof = w.eof_requested && Queue.is_empty w.pending in
+            if eof then w.eof_sent <- true;
+            (* pending has room again: wake parked producers *)
+            Condition.broadcast c.cv;
+            `Send (w.conn, rs, eof)
+          end
+          else if can_eof () then begin
+            w.eof_sent <- true;
+            `Send (w.conn, [], true)
+          end
+          else `Stop (* finished *))
+    in
+    match action with
+    | `Stop -> ()
+    | `Send (conn, rs, eof) ->
+        let k = List.length rs in
+        if k > 0 then Obsv.Probe.edge_batch ~name:(edge_in i) ~size:k;
+        let msgs =
+          data_msgs ~ctx ~batch:c.batch rs
+          @ (if eof then [ Proto.encode Proto.Eof ] else [])
+        in
+        (try Transport.send_many conn msgs
+         with _ -> () (* the worker's reader will observe the death *));
+        loop ()
+  in
+  loop ()
+
+let forward_record c i r =
+  Obsv.Probe.edge_recv ~name:(edge_out i)
+    ~depth:(Queue.length c.ws.(i).inflight);
+  send_data c (i + 1) r
 
 let rec reader c i conn =
   let w = c.ws.(i) in
@@ -273,9 +401,11 @@ let rec reader c i conn =
   | `Msg m -> (
       match Proto.decode m with
       | Ok (Proto.Data r) ->
-          Obsv.Probe.edge_recv ~name:(edge_out i)
-            ~depth:(Queue.length w.inflight);
-          send_data c (i + 1) r;
+          forward_record c i r;
+          reader c i conn
+      | Ok (Proto.Data_batch rs) ->
+          Obsv.Probe.edge_batch ~name:(edge_out i) ~size:(List.length rs);
+          List.iter (forward_record c i) rs;
           reader c i conn
       | Ok (Proto.Credit n) ->
           locked c (fun () ->
@@ -318,13 +448,16 @@ and handle_death c i conn reason =
               w.conn <- conn';
               w.credits <- c.init_credits - Queue.length w.inflight;
               let rs = List.rev (Queue.fold (fun acc r -> r :: acc) [] w.inflight) in
+              (* An Eof already on the dead wire must be replayed; an
+                 Eof merely requested stays with the pump, which sends
+                 it once pending drains on the fresh connection. *)
               (rs, w.eof_sent))
         in
         (try
-           List.iter
-             (fun r -> Transport.send conn' (Proto.encode (Proto.Data r)))
-             resend;
-           if resend_eof then Transport.send conn' (Proto.encode Proto.Eof)
+           let ctx = Wire.ctx () in
+           Transport.send_many conn'
+             (data_msgs ~ctx ~batch:c.batch resend
+             @ (if resend_eof then [ Proto.encode Proto.Eof ] else []))
          with _ -> ());
         locked c (fun () ->
             if w.st = Respawning then w.st <- Alive;
@@ -333,7 +466,7 @@ and handle_death c i conn reason =
 
 (* [conns] already carry a delivered Hello; [respawn i] must likewise
    hand back a freshly greeted connection. *)
-let coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs =
+let coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs =
   let c =
     {
       mu = Mutex.create ();
@@ -346,8 +479,10 @@ let coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs =
               conn;
               st = Alive;
               done_ = false;
+              eof_requested = false;
               eof_sent = false;
               credits;
+              pending = Queue.create ();
               inflight = Queue.create ();
               retries_left =
                 (match policy with Snet.Supervise.Retry n -> n | _ -> 0);
@@ -357,6 +492,7 @@ let coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs =
       policy;
       stats;
       init_credits = credits;
+      batch;
       respawn;
       outputs_rev = [];
       failure = None;
@@ -367,6 +503,10 @@ let coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs =
       (Array.map
          (fun w -> Thread.create (fun () -> reader c w.idx w.conn) ())
          c.ws)
+  in
+  let pumps =
+    Array.to_list
+      (Array.map (fun w -> Thread.create (fun () -> pump c w.idx) ()) c.ws)
   in
   List.iter
     (fun r ->
@@ -381,6 +521,7 @@ let coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs =
       do
         Condition.wait c.cv c.mu
       done);
+  List.iter Thread.join pumps;
   Array.iter
     (fun w -> if w.st = Alive then attempt_send w.conn Proto.Shutdown)
     c.ws;
@@ -400,9 +541,10 @@ let split_supervision = function
         c.Snet.Supervise.timeout,
         Snet.Supervise.policy_to_string c.Snet.Supervise.policy )
 
-let run ?pool ?(workers = 2) ?(credits = 32) ?stats ?supervision ?kill_worker
-    net inputs =
+let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
+    ?kill_worker net inputs =
   if credits <= 0 then invalid_arg "Engine_dist.run: credits must be positive";
+  let batch = resolve_batch batch in
   let parts = List.length (partition ~parts:workers net) in
   let policy, timeout, policy_str = split_supervision supervision in
   let threads = ref [] and threads_mu = Mutex.create () in
@@ -423,6 +565,7 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?stats ?supervision ?kill_worker
               timeout;
               credits;
               crash_after;
+              batch;
             }));
     a
   in
@@ -442,16 +585,18 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?stats ?supervision ?kill_worker
   in
   Fun.protect
     ~finally:(fun () -> List.iter Thread.join !threads)
-    (fun () -> coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs)
+    (fun () ->
+      coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs)
 
 (* ------------------------------------------------------------------ *)
 (* Spawned runner: real worker processes over TCP                      *)
 
 let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
-    ?(credits = 32) ?stats ?supervision ?crash_after ?(worker_args = []) net
-    inputs =
+    ?(credits = 32) ?batch ?stats ?supervision ?crash_after ?(worker_args = [])
+    net inputs =
   if credits <= 0 then
     invalid_arg "Engine_dist.run_spawned: credits must be positive";
+  let batch = resolve_batch batch in
   let parts = List.length (partition ~parts:workers net) in
   let policy, timeout, policy_str = split_supervision supervision in
   let listener = Transport.Tcp.listen ~host () in
@@ -485,6 +630,7 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
               timeout;
               credits;
               crash_after;
+              batch;
             }));
     conn
   in
@@ -531,4 +677,4 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
         | conn -> Some conn
         | exception _ -> None
       in
-      coordinate ~parts ~conns ~policy ~stats ~credits ~respawn inputs)
+      coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs)

@@ -20,16 +20,29 @@
       partitions and surface directly in the output, mirroring the
       in-engine error-bypass semantics.
 
-    {2 Flow control}
+    {2 Flow control and batching}
 
     A cut edge carries a credit window of [credits] records: the
     coordinator decrements a credit per record sent and parks when the
-    window is exhausted; the worker returns one credit per input record
-    fully processed. Stalls are counted into
-    {!Snet.Stats.record_backpressure} and surfaced as
+    window is exhausted; the worker returns credits as input records
+    are fully processed (one [Credit k] per input envelope). Stalls are
+    counted into {!Snet.Stats.record_backpressure} and surfaced as
     [Obsv.Probe.edge_stall] on the [dist:wN.in] edge — the same
     backpressure contract bounded mailboxes give the shared-memory
     engines.
+
+    Each cut edge has a {e sender pump}: records are routed onto a
+    pending queue (bounded by the credit window) and the pump coalesces
+    whatever is queued — up to [min credits batch] records — into one
+    [Proto.Data_batch] envelope and one coalesced transport write.
+    Under light load the pending queue is empty when a record arrives,
+    so it leaves immediately (a singleton envelope is a plain [Data]);
+    under load, envelopes fill and per-record syscall/framing cost
+    amortises away. End-of-stream is two-phase: the pump sends the wire
+    [Eof] only after the pending queue drains, and sending it needs no
+    credit — so a full window plus an Eof can never park the edge.
+    [batch = 1] (or [SNET_DIST_BATCH=1]) disables batching entirely;
+    the default envelope cap is [SNET_DIST_BATCH] or 64.
 
     {2 Worker failure}
 
@@ -72,6 +85,7 @@ val run :
   ?pool:Scheduler.Pool.t ->
   ?workers:int ->
   ?credits:int ->
+  ?batch:int ->
   ?stats:Snet.Stats.t ->
   ?supervision:Snet.Supervise.config ->
   ?kill_worker:int * int ->
@@ -81,7 +95,9 @@ val run :
 (** Hermetic in-process distributed run: [workers] (default 2)
     simulated workers over {!Transport.Loopback} pairs, each a thread
     running {!serve} on its partition, coordinated as described above.
-    [credits] (default 32) is the per-edge window. [kill_worker (i, k)]
+    [credits] (default 32) is the per-edge window; [batch] (default
+    [SNET_DIST_BATCH] or 64, minimum 1) caps records per cut-edge
+    envelope. [kill_worker (i, k)]
     is the fault-injection hook: worker [i] dies abruptly after fully
     processing [k] records (the respawned worker, under [Retry], is
     not re-killed). Output is multiset-equal to
@@ -94,6 +110,7 @@ val run_spawned :
   ?host:string ->
   ?workers:int ->
   ?credits:int ->
+  ?batch:int ->
   ?stats:Snet.Stats.t ->
   ?supervision:Snet.Supervise.config ->
   ?crash_after:int * int ->

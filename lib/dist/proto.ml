@@ -6,6 +6,7 @@ type hello = {
   timeout : float option;
   credits : int;
   crash_after : int;
+  batch : int;
 }
 
 type msg =
@@ -17,6 +18,7 @@ type msg =
   | Done
   | Crash of string
   | Shutdown
+  | Data_batch of Snet.Record.t list
 
 let k_hello = 1
 let k_hello_ack = 2
@@ -26,6 +28,7 @@ let k_eof = 5
 let k_done = 6
 let k_crash = 7
 let k_shutdown = 8
+let k_data_batch = 9
 
 let add_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
 
@@ -34,7 +37,7 @@ let add_str b s =
   Buffer.add_uint16_be b (String.length s);
   Buffer.add_string b s
 
-let encode m =
+let encode ?ctx m =
   let b = Buffer.create 64 in
   (match m with
   | Hello h ->
@@ -49,13 +52,35 @@ let encode m =
           Buffer.add_uint8 b 1;
           Buffer.add_int64_be b (Int64.bits_of_float t));
       add_u32 b h.credits;
-      add_u32 b (h.crash_after land 0xFFFFFFFF)
+      add_u32 b (h.crash_after land 0xFFFFFFFF);
+      add_u32 b h.batch
   | Hello_ack { part } ->
       Buffer.add_uint8 b k_hello_ack;
       add_u32 b part
   | Data r ->
       Buffer.add_uint8 b k_data;
-      Buffer.add_string b (Wire.render r)
+      Buffer.add_string b (Wire.render ?ctx r)
+  | Data_batch rs ->
+      (* Envelope: u32 frame count, then per record a u32 frame length
+         and the complete Wire frame — each frame keeps its own
+         magic/CRC protection, so a corrupted envelope is rejected
+         frame by frame on decode. *)
+      Buffer.add_uint8 b k_data_batch;
+      add_u32 b (List.length rs);
+      let render_one =
+        match ctx with
+        | Some c ->
+            fun r ->
+              let buf, len = Wire.render_view c r in
+              add_u32 b len;
+              Buffer.add_subbytes b buf 0 len
+        | None ->
+            fun r ->
+              let f = Wire.render r in
+              add_u32 b (String.length f);
+              Buffer.add_string b f
+      in
+      List.iter render_one rs
   | Credit n ->
       Buffer.add_uint8 b k_credit;
       add_u32 b n
@@ -69,7 +94,7 @@ let encode m =
 
 exception Bad of string
 
-let decode s =
+let decode ?ctx s =
   match
     let len = String.length s in
     if len < 1 then raise (Bad "empty message");
@@ -119,12 +144,37 @@ let decode s =
           let v = u32 () in
           if v = 0xFFFFFFFF then -1 else v
         in
-        finish (Hello { spec; part; parts; policy; timeout; credits; crash_after })
+        let batch = u32 () in
+        finish
+          (Hello { spec; part; parts; policy; timeout; credits; crash_after; batch })
     | k when k = k_hello_ack -> finish (Hello_ack { part = u32 () })
     | k when k = k_data -> (
-        match Wire.read (String.sub s 1 (len - 1)) with
-        | Ok r -> Data r
-        | Error e -> raise (Bad ("bad record frame: " ^ e)))
+        let dec c =
+          match Wire.read_sub c s ~pos:1 ~len:(len - 1) with
+          | Ok r -> Data r
+          | Error e -> raise (Bad ("bad record frame: " ^ e))
+        in
+        match ctx with
+        | Some c -> dec c
+        | None -> (
+            match Wire.read (String.sub s 1 (len - 1)) with
+            | Ok r -> Data r
+            | Error e -> raise (Bad ("bad record frame: " ^ e))))
+    | k when k = k_data_batch ->
+        let n = u32 () in
+        let c = match ctx with Some c -> c | None -> Wire.ctx () in
+        let rs =
+          List.init n (fun i ->
+              let flen = u32 () in
+              need flen;
+              let fpos = !pos in
+              pos := !pos + flen;
+              match Wire.read_sub c s ~pos:fpos ~len:flen with
+              | Ok r -> r
+              | Error e ->
+                  raise (Bad (Printf.sprintf "bad record frame %d/%d: %s" (i + 1) n e)))
+        in
+        finish (Data_batch rs)
     | k when k = k_credit -> finish (Credit (u32 ()))
     | k when k = k_eof -> finish Eof
     | k when k = k_done -> finish Done
@@ -138,10 +188,11 @@ let decode s =
 
 let to_string = function
   | Hello h ->
-      Printf.sprintf "Hello{spec=%s part=%d/%d policy=%S credits=%d}" h.spec
-        h.part h.parts h.policy h.credits
+      Printf.sprintf "Hello{spec=%s part=%d/%d policy=%S credits=%d batch=%d}"
+        h.spec h.part h.parts h.policy h.credits h.batch
   | Hello_ack { part } -> Printf.sprintf "Hello_ack{part=%d}" part
   | Data r -> "Data " ^ Snet.Record.to_string r
+  | Data_batch rs -> Printf.sprintf "Data_batch[%d]" (List.length rs)
   | Credit n -> Printf.sprintf "Credit %d" n
   | Eof -> "Eof"
   | Done -> "Done"

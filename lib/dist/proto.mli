@@ -4,7 +4,12 @@
     followed by a kind-specific payload; [Data] payloads are complete
     {!Wire} record frames, so the record layer's magic/version/CRC
     protection applies to every record that crosses a process
-    boundary. *)
+    boundary. [Data_batch] packs many such frames into one envelope —
+    u32 frame count, then per record a u32 length and the frame — so a
+    loaded cut edge pays one transport send (one syscall pair over
+    TCP) for a whole run of records; every frame inside the envelope
+    keeps its own CRC, so corruption and truncation are still detected
+    per record. *)
 
 type hello = {
   spec : string;
@@ -20,7 +25,11 @@ type hello = {
   crash_after : int;
       (** Fault-injection hook: the worker exits abruptly (no [Done],
           no close handshake beyond the transport's) after consuming
-          this many [Data] records. [-1] disables. *)
+          this many input records. [-1] disables. *)
+  batch : int;
+      (** Cut-edge batching cap: the most records either side packs
+          into one [Data_batch] envelope. [1] disables batching — both
+          sides then send plain [Data] frames. *)
 }
 
 type msg =
@@ -30,7 +39,8 @@ type msg =
   | Credit of int
       (** worker → coordinator: this many input records are now fully
           processed (their outputs already sent); returns send
-          credits. *)
+          credits. Granted per input envelope, so a batch of [k]
+          records returns one [Credit k]. *)
   | Eof  (** coordinator → worker: input stream exhausted. *)
   | Done
       (** worker → coordinator: [Eof] seen, everything processed and
@@ -39,12 +49,19 @@ type msg =
       (** worker → coordinator: the subnet raised; the worker is
           abandoning the run. *)
   | Shutdown  (** coordinator → worker: exit cleanly. *)
+  | Data_batch of Snet.Record.t list
+      (** Either direction: a run of records in one envelope,
+          multiset-equivalent to sending each as [Data]. *)
 
-val encode : msg -> string
-(** @raise Wire.Unencodable on a [Data] record with unregistered
-    field keys. *)
+val encode : ?ctx:Wire.ctx -> msg -> string
+(** [ctx] hoists codec lookups and encode scratch across calls (edge
+    pumps hold one per connection); without it a per-domain default is
+    used. @raise Wire.Unencodable on a [Data]/[Data_batch] record with
+    unregistered field keys. *)
 
-val decode : string -> (msg, string) result
+val decode : ?ctx:Wire.ctx -> string -> (msg, string) result
+(** A [Data_batch] envelope is rejected whole when any contained frame
+    is truncated, corrupt, or followed by trailing bytes. *)
 
 val to_string : msg -> string
 (** One-line rendering for logs and error messages. *)

@@ -4,6 +4,7 @@ module type S = sig
   type t
 
   val send : t -> string -> unit
+  val send_many : t -> string list -> unit
   val recv : t -> [ `Msg of string | `Closed ]
   val close : t -> unit
   val peer : t -> string
@@ -11,6 +12,7 @@ end
 
 type conn = {
   c_send : string -> unit;
+  c_send_many : string list -> unit;
   c_recv : unit -> [ `Msg of string | `Closed ];
   c_close : unit -> unit;
   c_peer : string;
@@ -19,12 +21,14 @@ type conn = {
 let erase (type a) (module M : S with type t = a) (c : a) =
   {
     c_send = M.send c;
+    c_send_many = M.send_many c;
     c_recv = (fun () -> M.recv c);
     c_close = (fun () -> M.close c);
     c_peer = M.peer c;
   }
 
 let send c m = c.c_send m
+let send_many c ms = c.c_send_many ms
 let recv c = c.c_recv ()
 let close c = c.c_close ()
 let peer c = c.c_peer
@@ -48,6 +52,8 @@ module Loopback = struct
   let send t m =
     try Streams.Channel.send t.out_ch m
     with Streams.Channel.Closed -> raise Closed_conn
+
+  let send_many t ms = List.iter (send t) ms
 
   let recv t =
     match Streams.Channel.recv t.in_ch with
@@ -74,7 +80,13 @@ module Tcp = struct
   type t = {
     fd : Unix.file_descr;
     mutable open_ : bool;
-    mu : Mutex.t;  (* guards writes and the open_ flag *)
+    mu : Mutex.t;  (* guards the open_ flag *)
+    wmu : Mutex.t;
+        (* serialises writers: prefix+payload of one message (and the
+           messages of one [send_many]) must hit the stream
+           contiguously. [close] takes only [mu], so it can still
+           shut the socket down under a writer blocked in [write]. *)
+    mutable scratch : Bytes.t;  (* write coalescing buffer; under wmu *)
     peer_name : string;
   }
 
@@ -87,7 +99,14 @@ module Tcp = struct
   let of_fd fd peer_name =
     Lazy.force ignore_sigpipe;
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
-    { fd; open_ = true; mu = Mutex.create (); peer_name }
+    {
+      fd;
+      open_ = true;
+      mu = Mutex.create ();
+      wmu = Mutex.create ();
+      scratch = Bytes.create 4096;
+      peer_name;
+    }
 
   let really_write fd b off len =
     let off = ref off and len = ref len in
@@ -110,20 +129,45 @@ module Tcp = struct
     done;
     !ok
 
-  let send t m =
-    let len = String.length m in
-    if len > max_frame then invalid_arg "Tcp.send: frame exceeds max_frame";
-    let buf = Bytes.create (4 + len) in
-    Bytes.set_int32_be buf 0 (Int32.of_int len);
-    Bytes.blit_string m 0 buf 4 len;
-    Mutex.lock t.mu;
-    let closed = not t.open_ in
-    Mutex.unlock t.mu;
-    if closed then raise Closed_conn;
-    match really_write t.fd buf 0 (Bytes.length buf) with
-    | () -> ()
-    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
-        raise Closed_conn
+  (* Coalesce [ms] — each as u32 length prefix + payload — into the
+     per-connection scratch buffer and issue ONE write for the lot:
+     the vectored-write path of batched edges, and (with a singleton
+     list) the single-syscall path of ordinary sends. *)
+  let send_many t ms =
+    let total =
+      List.fold_left
+        (fun acc m ->
+          let len = String.length m in
+          if len > max_frame then invalid_arg "Tcp.send: frame exceeds max_frame";
+          acc + 4 + len)
+        0 ms
+    in
+    if total > 0 then begin
+      Mutex.lock t.mu;
+      let closed = not t.open_ in
+      Mutex.unlock t.mu;
+      if closed then raise Closed_conn;
+      Mutex.lock t.wmu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.wmu)
+        (fun () ->
+          if Bytes.length t.scratch < total then
+            t.scratch <- Bytes.create (max total (2 * Bytes.length t.scratch));
+          let off = ref 0 in
+          List.iter
+            (fun m ->
+              let len = String.length m in
+              Bytes.set_int32_be t.scratch !off (Int32.of_int len);
+              Bytes.blit_string m 0 t.scratch (!off + 4) len;
+              off := !off + 4 + len)
+            ms;
+          match really_write t.fd t.scratch 0 total with
+          | () -> ()
+          | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+              raise Closed_conn)
+    end
+
+  let send t m = send_many t [ m ]
 
   let recv t =
     let hdr = Bytes.create 4 in

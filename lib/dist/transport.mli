@@ -23,6 +23,15 @@ module type S = sig
       backpressure (a full loopback channel, a full socket buffer).
       @raise Closed_conn when the connection is closed. *)
 
+  val send_many : t -> string list -> unit
+  (** Deliver the messages in order, coalesced: over TCP the whole
+      list (length prefixes and payloads) is buffered into one
+      contiguous write — the vectored-I/O path of batched edges. A
+      singleton list is exactly {!send}; an empty list is a no-op.
+      Concurrent senders are serialised, so the list is never
+      interleaved with another writer's frames.
+      @raise Closed_conn like {!send}. *)
+
   val recv : t -> [ `Msg of string | `Closed ]
   (** Block until a message arrives; [`Closed] once the peer has
       closed (or died) {e and} every in-flight message was drained. *)
@@ -47,6 +56,7 @@ type conn
 
 val erase : (module S with type t = 'a) -> 'a -> conn
 val send : conn -> string -> unit
+val send_many : conn -> string list -> unit
 val recv : conn -> [ `Msg of string | `Closed ]
 val close : conn -> unit
 val peer : conn -> string

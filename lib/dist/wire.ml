@@ -4,84 +4,174 @@ let version = 1
 (* ------------------------------------------------------------------ *)
 (* CRC-32 (IEEE 802.3, reflected, table-driven)                        *)
 
-let crc_table =
+(* The tables and the running checksum live in plain OCaml ints (the
+   value always fits in 32 bits, far below the 63-bit native range) so
+   the per-byte update is unboxed arithmetic — the original Int32
+   version allocated several boxed Int32s per input byte, which
+   dominated frame encode/decode cost on the profiler.
+
+   The bulk of each frame is processed slicing-by-8: one 64-bit load
+   replaces eight byte loads, and the eight table lookups it feeds are
+   independent (no serial dependency through the CRC register within a
+   block), which is worth ~5x over the byte-at-a-time loop on frames
+   of a few hundred bytes. Table k advances the CRC by (k+1) zero
+   bytes: t.(k).(n) = t.(0) applied k more times. *)
+
+let crc_tables =
   lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
+    (let t = Array.make_matrix 8 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+       done;
+       t.(0).(n) <- !c
+     done;
+     for k = 1 to 7 do
+       for n = 0 to 255 do
+         let p = t.(k - 1).(n) in
+         t.(k).(n) <- t.(0).(p land 0xFF) lxor (p lsr 8)
+       done
+     done;
+     t)
 
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
-      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
+(* One slice-by-8 step: fold the 8 little-endian bytes starting at the
+   block into the register. [one] is the low 32-bit half xored with
+   the current CRC, [two] the high half. *)
+let[@inline] crc_step t one two =
+  let t0 = Array.unsafe_get t 0
+  and t1 = Array.unsafe_get t 1
+  and t2 = Array.unsafe_get t 2
+  and t3 = Array.unsafe_get t 3
+  and t4 = Array.unsafe_get t 4
+  and t5 = Array.unsafe_get t 5
+  and t6 = Array.unsafe_get t 6
+  and t7 = Array.unsafe_get t 7 in
+  Array.unsafe_get t7 (one land 0xFF)
+  lxor Array.unsafe_get t6 ((one lsr 8) land 0xFF)
+  lxor Array.unsafe_get t5 ((one lsr 16) land 0xFF)
+  lxor Array.unsafe_get t4 ((one lsr 24) land 0xFF)
+  lxor Array.unsafe_get t3 (two land 0xFF)
+  lxor Array.unsafe_get t2 ((two lsr 8) land 0xFF)
+  lxor Array.unsafe_get t1 ((two lsr 16) land 0xFF)
+  lxor Array.unsafe_get t0 ((two lsr 24) land 0xFF)
+
+let crc32_string_sub s pos len =
+  let t = Lazy.force crc_tables in
+  let t0 = Array.unsafe_get t 0 in
+  let c = ref 0xFFFFFFFF in
+  let i = ref pos in
+  let limit8 = pos + (len land lnot 7) in
+  while !i < limit8 do
+    let x = String.get_int64_le s !i in
+    let lo = Int64.to_int (Int64.logand x 0xFFFFFFFFL) in
+    let hi = Int64.to_int (Int64.shift_right_logical x 32) in
+    c := crc_step t (lo lxor !c) hi;
+    i := !i + 8
+  done;
+  for j = !i to pos + len - 1 do
+    c :=
+      Array.unsafe_get t0 ((!c lxor Char.code (String.unsafe_get s j)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32_bytes_sub b pos len =
+  let t = Lazy.force crc_tables in
+  let t0 = Array.unsafe_get t 0 in
+  let c = ref 0xFFFFFFFF in
+  let i = ref pos in
+  let limit8 = pos + (len land lnot 7) in
+  while !i < limit8 do
+    let x = Bytes.get_int64_le b !i in
+    let lo = Int64.to_int (Int64.logand x 0xFFFFFFFFL) in
+    let hi = Int64.to_int (Int64.shift_right_logical x 32) in
+    c := crc_step t (lo lxor !c) hi;
+    i := !i + 8
+  done;
+  for j = !i to pos + len - 1 do
+    c :=
+      Array.unsafe_get t0 ((!c lxor Char.code (Bytes.unsafe_get b j)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = Int32.of_int (crc32_string_sub s 0 (String.length s))
 
 (* ------------------------------------------------------------------ *)
-(* Codec registry, keyed by Value key name                             *)
+(* Growable byte arena with backpatchable length prefixes              *)
 
-type codec = {
-  enc : Snet.Value.t -> string option;
-      (* [None] when the value was injected under a different key that
-         happens to share the name — the caller reports it. *)
-  dec : string -> Snet.Value.t;
-}
+(* Unlike [Buffer], the arena exposes positions so a length prefix can
+   be reserved before the payload is appended and patched afterwards —
+   which is what lets codecs stream payload bytes straight into the
+   frame under construction instead of materialising an intermediate
+   payload string per field. One arena lives in each {!ctx} and is
+   reused across frames. *)
 
-let registry : (string, codec) Hashtbl.t = Hashtbl.create 16
-let registry_mu = Mutex.create ()
+type arena = { mutable abuf : Bytes.t; mutable alen : int }
 
-let register (type a) (key : a Snet.Value.Key.key) ~(encode : a -> string)
-    ~(decode : string -> a) =
-  let c =
-    {
-      enc =
-        (fun v -> Option.map encode (Snet.Value.project key v));
-      dec = (fun s -> Snet.Value.inject key (decode s));
-    }
-  in
-  Mutex.lock registry_mu;
-  Hashtbl.replace registry (Snet.Value.Key.name key) c;
-  Mutex.unlock registry_mu
+let arena_create n = { abuf = Bytes.create (max 64 n); alen = 0 }
+let arena_clear a = a.alen <- 0
 
-let lookup name =
-  Mutex.lock registry_mu;
-  let c = Hashtbl.find_opt registry name in
-  Mutex.unlock registry_mu;
-  c
+let arena_reserve a n =
+  let need = a.alen + n in
+  if need > Bytes.length a.abuf then begin
+    let cap = ref (2 * Bytes.length a.abuf) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit a.abuf 0 nb 0 a.alen;
+    a.abuf <- nb
+  end
 
-let registered name = lookup name <> None
+let a_u8 a v =
+  arena_reserve a 1;
+  Bytes.unsafe_set a.abuf a.alen (Char.unsafe_chr (v land 0xFF));
+  a.alen <- a.alen + 1
+
+let a_u16 a v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Wire: u16 out of range";
+  arena_reserve a 2;
+  Bytes.set_uint16_be a.abuf a.alen v;
+  a.alen <- a.alen + 2
+
+let a_u32 a v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire: u32 out of range";
+  arena_reserve a 4;
+  Bytes.set_int32_be a.abuf a.alen (Int32.of_int v);
+  a.alen <- a.alen + 4
+
+let a_i64 a v =
+  arena_reserve a 8;
+  Bytes.set_int64_be a.abuf a.alen v;
+  a.alen <- a.alen + 8
+
+let a_string a s =
+  let n = String.length s in
+  arena_reserve a n;
+  Bytes.blit_string s 0 a.abuf a.alen n;
+  a.alen <- a.alen + n
+
+let a_str16 a s =
+  a_u16 a (String.length s);
+  a_string a s
+
+(* Reserve a u32 slot, returning its position for {!a_patch_u32}. *)
+let a_mark_u32 a =
+  let at = a.alen in
+  a_u32 a 0;
+  at
+
+let a_patch_u32 a at v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire: u32 out of range";
+  Bytes.set_int32_be a.abuf at (Int32.of_int v)
 
 (* ------------------------------------------------------------------ *)
-(* Binary primitives                                                   *)
-
-let add_u16 b n =
-  if n < 0 || n > 0xFFFF then invalid_arg "Wire: u16 out of range";
-  Buffer.add_uint16_be b n
-
-let add_str16 b s =
-  add_u16 b (String.length s);
-  Buffer.add_string b s
-
-let add_u32 b n =
-  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Wire: u32 out of range";
-  Buffer.add_int32_be b (Int32.of_int n)
-
-let add_str32 b s =
-  add_u32 b (String.length s);
-  Buffer.add_string b s
+(* Bounds-checked cursor over an immutable string                      *)
 
 exception Bad of string
 
-(* A bounds-checked cursor over an immutable string. *)
 type cursor = { src : string; mutable pos : int; limit : int }
 
 let need cur n =
@@ -119,19 +209,114 @@ let get_bytes cur n =
   s
 
 let get_str16 cur = get_bytes cur (get_u16 cur)
-let get_str32 cur = get_bytes cur (get_u32 cur)
+
+(* ------------------------------------------------------------------ *)
+(* Codec registry, keyed by Value key name                             *)
+
+(* Codecs work in place on both paths: [enc] appends the raw payload
+   bytes to the frame arena (returning [false] when the value was
+   injected under a different key that shares the name), [dec] reads
+   the payload from a region of the incoming message without an
+   intermediate [String.sub] copy. [register] wraps user string-based
+   encode/decode into this shape; the built-ins below implement it
+   directly. *)
+
+type codec = {
+  enc : arena -> Snet.Value.t -> bool;
+  dec : string -> pos:int -> len:int -> Snet.Value.t;
+}
+
+let registry : (string, codec) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
+
+(* Bumped on every [register]; per-ctx codec caches compare against it
+   and drop their entries when the registry has changed underneath
+   them (the invalidation rule: a cache is valid for exactly one
+   registry generation). *)
+let registry_gen = Atomic.make 0
+
+let register_codec name c =
+  Mutex.lock registry_mu;
+  Hashtbl.replace registry name c;
+  Atomic.incr registry_gen;
+  Mutex.unlock registry_mu
+
+let register (type a) (key : a Snet.Value.Key.key) ~(encode : a -> string)
+    ~(decode : string -> a) =
+  register_codec (Snet.Value.Key.name key)
+    {
+      enc =
+        (fun a v ->
+          match Snet.Value.project key v with
+          | None -> false
+          | Some x ->
+              a_string a (encode x);
+              true);
+      dec =
+        (fun s ~pos ~len -> Snet.Value.inject key (decode (String.sub s pos len)));
+    }
+
+let lookup name =
+  Mutex.lock registry_mu;
+  let c = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mu;
+  c
+
+let registered name = lookup name <> None
+
+(* ------------------------------------------------------------------ *)
+(* Contexts: per-edge scratch arena and codec cache                    *)
+
+type ctx = {
+  carena : arena;
+  cache : (string, codec) Hashtbl.t;
+  mutable cache_gen : int;
+  (* Claimed flag for the shared per-domain default ctx: sys-threads of
+     one domain interleave at safe points, so two of them must never
+     build frames in the same arena concurrently. *)
+  claimed : bool Atomic.t;
+}
+
+let ctx () =
+  {
+    carena = arena_create 512;
+    cache = Hashtbl.create 8;
+    cache_gen = Atomic.get registry_gen;
+    claimed = Atomic.make false;
+  }
+
+let cached_lookup c name =
+  let gen = Atomic.get registry_gen in
+  if gen <> c.cache_gen then begin
+    Hashtbl.reset c.cache;
+    c.cache_gen <- gen
+  end;
+  match Hashtbl.find_opt c.cache name with
+  | Some _ as r -> r
+  | None -> (
+      match lookup name with
+      | Some cd as r ->
+          Hashtbl.add c.cache name cd;
+          r
+      | None -> None)
+
+let default_ctx_key : ctx Domain.DLS.key = Domain.DLS.new_key ctx
+
+(* Run [f] with the caller's ctx, or the domain-local default. The
+   default is claimed with a CAS so a re-entrant call (a user codec
+   that itself renders) or an interleaved sys-thread falls back to a
+   fresh throwaway ctx instead of clobbering a half-built frame. *)
+let with_ctx ctx_opt f =
+  match ctx_opt with
+  | Some c -> f c
+  | None ->
+      let c = Domain.DLS.get default_ctx_key in
+      if Atomic.compare_and_set c.claimed false true then
+        Fun.protect ~finally:(fun () -> Atomic.set c.claimed false) (fun () -> f c)
+      else f (ctx ())
 
 (* ------------------------------------------------------------------ *)
 (* Built-in codecs                                                     *)
-
-let encode_i64 n =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_be b 0 (Int64.of_int n);
-  Bytes.unsafe_to_string b
-
-let decode_i64 s =
-  if String.length s <> 8 then failwith "int payload must be 8 bytes";
-  Int64.to_int (String.get_int64_be s 0)
 
 let string_key =
   Snet.Value.Key.create ~to_string:(Printf.sprintf "%S") "dist.string"
@@ -139,13 +324,9 @@ let string_key =
 let float_key =
   Snet.Value.Key.create ~to_string:string_of_float "dist.float"
 
-let encode_nd rank_elt_bytes add nd =
-  let shape = Sacarray.Nd.shape nd in
-  let b = Buffer.create (16 + (Sacarray.Nd.size nd * rank_elt_bytes)) in
-  Buffer.add_uint8 b (Array.length shape);
-  Array.iter (fun d -> add_u32 b d) shape;
-  add (b, nd);
-  Buffer.contents b
+let enc_nd_header a shape =
+  a_u8 a (Array.length shape);
+  Array.iter (fun d -> a_u32 a d) shape
 
 let decode_nd_header cur =
   let rank = get_u8 cur in
@@ -153,142 +334,303 @@ let decode_nd_header cur =
   Sacarray.Shape.validate shape;
   shape
 
-let nd_int_encode nd =
-  encode_nd 8
-    (fun (b, nd) ->
-      Array.iter
-        (fun v -> Buffer.add_int64_be b (Int64.of_int v))
-        (Sacarray.Nd.to_flat_array nd))
-    nd
+(* Int payloads are zigzag varints (LEB128). Zigzag is a bijection on
+   the full wrapping int domain, so every 63-bit int round-trips;
+   small magnitudes — sudoku cell values, option counts, most real
+   payloads — take one byte instead of the eight a fixed i64 costs,
+   which shrinks nd-int-heavy frames ~3x and with them the CRC and
+   memcpy work on both ends of a cut edge. *)
+let nd_int_codec (key : int Sacarray.Nd.t Snet.Value.Key.key) =
+  {
+    enc =
+      (fun a v ->
+        match Snet.Value.project key v with
+        | None -> false
+        | Some nd ->
+            enc_nd_header a (Sacarray.Nd.shape nd);
+            let data = Sacarray.Nd.unsafe_data nd in
+            let n = Array.length data in
+            (* Reserve the 9-bytes-per-element worst case up front so
+               the loop can write with a local cursor and no per-byte
+               capacity checks — [a_varint]'s per-byte [a_u8] path was
+               ~3x slower on int-heavy payloads (a sudoku board). *)
+            arena_reserve a (n * 9);
+            let buf = a.abuf in
+            let p = ref a.alen in
+            for i = 0 to n - 1 do
+              let v = Array.unsafe_get data i in
+              let z = ref ((v lsl 1) lxor (v asr 62)) in
+              if !z lsr 7 = 0 then begin
+                Bytes.unsafe_set buf !p (Char.unsafe_chr !z);
+                incr p
+              end
+              else begin
+                while !z lsr 7 <> 0 do
+                  Bytes.unsafe_set buf !p
+                    (Char.unsafe_chr ((!z land 0x7F) lor 0x80));
+                  incr p;
+                  z := !z lsr 7
+                done;
+                Bytes.unsafe_set buf !p (Char.unsafe_chr !z);
+                incr p
+              end
+            done;
+            a.alen <- !p;
+            true);
+    dec =
+      (fun s ~pos ~len ->
+        let cur = { src = s; pos; limit = pos + len } in
+        let shape = decode_nd_header cur in
+        let size = Sacarray.Shape.size shape in
+        let data = Array.make size 0 in
+        (* Local-cursor varint loop: the bounds check collapses to one
+           limit compare per byte and the common single-byte case to a
+           compare-and-store, instead of [get_varint]'s per-byte call
+           through the cursor record. *)
+        let p = ref cur.pos and lim = cur.limit in
+        for i = 0 to size - 1 do
+          if !p >= lim then raise (Bad "truncated int ndarray payload");
+          let b0 = Char.code (String.unsafe_get s !p) in
+          incr p;
+          if b0 < 0x80 then
+            Array.unsafe_set data i ((b0 lsr 1) lxor (- (b0 land 1)))
+          else begin
+            let z = ref (b0 land 0x7F) and shift = ref 7 in
+            let continue = ref true in
+            while !continue do
+              if !p >= lim then raise (Bad "truncated int ndarray payload");
+              let b = Char.code (String.unsafe_get s !p) in
+              incr p;
+              z := !z lor ((b land 0x7F) lsl !shift);
+              if b < 0x80 then continue := false
+              else begin
+                shift := !shift + 7;
+                if !shift > 62 then raise (Bad "varint longer than 63 bits")
+              end
+            done;
+            Array.unsafe_set data i ((!z lsr 1) lxor (- (!z land 1)))
+          end
+        done;
+        cur.pos <- !p;
+        if cur.pos <> cur.limit then
+          failwith "trailing bytes in int ndarray payload";
+        (* The freshly parsed array is never aliased: hand it to the
+           ndarray without the defensive copy [of_array] would make. *)
+        Snet.Value.inject key (Sacarray.Nd.unsafe_of_array shape data));
+  }
 
-let nd_int_decode s =
-  let cur = { src = s; pos = 0; limit = String.length s } in
-  let shape = decode_nd_header cur in
-  let size = Sacarray.Shape.size shape in
-  let data = Array.init size (fun _ -> Int64.to_int (get_i64 cur)) in
-  if cur.pos <> cur.limit then failwith "trailing bytes in int ndarray payload";
-  Sacarray.Nd.of_array shape data
+let nd_bool_codec (key : bool Sacarray.Nd.t Snet.Value.Key.key) =
+  {
+    enc =
+      (fun a v ->
+        match Snet.Value.project key v with
+        | None -> false
+        | Some nd ->
+            enc_nd_header a (Sacarray.Nd.shape nd);
+            let data = Sacarray.Nd.unsafe_data nd in
+            let n = Array.length data in
+            let packed = (n + 7) / 8 in
+            arena_reserve a packed;
+            let buf = a.abuf and base = a.alen in
+            (* View the bool array as its runtime representation — an
+               array of 0/1 immediates — so each output byte is seven
+               shift-ors with no branches. The per-bit conditional
+               version mispredicts on mixed payloads and was ~3x
+               slower on a 9x9x9 options cube. *)
+            let bits : int array = Obj.magic (data : bool array) in
+            let full = n / 8 in
+            for b = 0 to full - 1 do
+              let j = b * 8 in
+              let byte =
+                Array.unsafe_get bits j
+                lor (Array.unsafe_get bits (j + 1) lsl 1)
+                lor (Array.unsafe_get bits (j + 2) lsl 2)
+                lor (Array.unsafe_get bits (j + 3) lsl 3)
+                lor (Array.unsafe_get bits (j + 4) lsl 4)
+                lor (Array.unsafe_get bits (j + 5) lsl 5)
+                lor (Array.unsafe_get bits (j + 6) lsl 6)
+                lor (Array.unsafe_get bits (j + 7) lsl 7)
+              in
+              Bytes.unsafe_set buf (base + b) (Char.unsafe_chr byte)
+            done;
+            if full * 8 < n then begin
+              let byte = ref 0 in
+              for k = 0 to n - (full * 8) - 1 do
+                byte := !byte lor (Array.unsafe_get bits ((full * 8) + k) lsl k)
+              done;
+              Bytes.unsafe_set buf (base + full) (Char.unsafe_chr !byte)
+            end;
+            a.alen <- base + packed;
+            true);
+    dec =
+      (fun s ~pos ~len ->
+        let cur = { src = s; pos; limit = pos + len } in
+        let shape = decode_nd_header cur in
+        let size = Sacarray.Shape.size shape in
+        let packed = (size + 7) / 8 in
+        need cur packed;
+        let base = cur.pos in
+        (* Read each packed byte once and store its eight bits with
+           unconditional unrolled writes — a branchy per-bit loop cost
+           ~2x on dense payloads (a 9x9x9 options cube is mostly set
+           bits early in a solve). *)
+        let data = Array.make size false in
+        (* Same representation trick as encode: store each bit as its
+           0/1 immediate directly instead of materialising a bool per
+           comparison. *)
+        let bits : int array = Obj.magic (data : bool array) in
+        let full = size / 8 in
+        for b = 0 to full - 1 do
+          let byte = Char.code (String.unsafe_get s (base + b)) in
+          let j = b * 8 in
+          Array.unsafe_set bits j (byte land 1);
+          Array.unsafe_set bits (j + 1) ((byte lsr 1) land 1);
+          Array.unsafe_set bits (j + 2) ((byte lsr 2) land 1);
+          Array.unsafe_set bits (j + 3) ((byte lsr 3) land 1);
+          Array.unsafe_set bits (j + 4) ((byte lsr 4) land 1);
+          Array.unsafe_set bits (j + 5) ((byte lsr 5) land 1);
+          Array.unsafe_set bits (j + 6) ((byte lsr 6) land 1);
+          Array.unsafe_set bits (j + 7) ((byte lsr 7) land 1)
+        done;
+        if full * 8 < size then begin
+          let byte = Char.code (String.unsafe_get s (base + full)) in
+          for k = 0 to size - (full * 8) - 1 do
+            Array.unsafe_set bits ((full * 8) + k) ((byte lsr k) land 1)
+          done
+        end;
+        cur.pos <- base + packed;
+        if cur.pos <> cur.limit then
+          failwith "trailing bytes in bool ndarray payload";
+        Snet.Value.inject key (Sacarray.Nd.unsafe_of_array shape data));
+  }
 
-let nd_bool_encode nd =
-  encode_nd 1
-    (fun (b, nd) ->
-      let flat = Sacarray.Nd.to_flat_array nd in
-      let n = Array.length flat in
-      let byte = ref 0 and fill = ref 0 in
-      for i = 0 to n - 1 do
-        if flat.(i) then byte := !byte lor (1 lsl !fill);
-        incr fill;
-        if !fill = 8 then begin
-          Buffer.add_uint8 b !byte;
-          byte := 0;
-          fill := 0
-        end
-      done;
-      if !fill > 0 then Buffer.add_uint8 b !byte)
-    nd
-
-let nd_bool_decode s =
-  let cur = { src = s; pos = 0; limit = String.length s } in
-  let shape = decode_nd_header cur in
-  let size = Sacarray.Shape.size shape in
-  let packed = get_bytes cur ((size + 7) / 8) in
-  if cur.pos <> cur.limit then
-    failwith "trailing bytes in bool ndarray payload";
-  let data =
-    Array.init size (fun i ->
-        Char.code packed.[i lsr 3] land (1 lsl (i land 7)) <> 0)
-  in
-  Sacarray.Nd.of_array shape data
-
-let register_nd_int key =
-  register key ~encode:nd_int_encode ~decode:nd_int_decode
-
-let register_nd_bool key =
-  register key ~encode:nd_bool_encode ~decode:nd_bool_decode
+let register_nd_int key = register_codec (Snet.Value.Key.name key) (nd_int_codec key)
+let register_nd_bool key = register_codec (Snet.Value.Key.name key) (nd_bool_codec key)
 
 let () =
   (* The built-in integer key: Value.of_int injects under a private key
-     named "int"; round-trip through project/inject via of_int/to_int. *)
-  Mutex.lock registry_mu;
-  Hashtbl.replace registry "int"
+     named "int"; round-trip through of_int/to_int. *)
+  register_codec "int"
     {
-      enc = (fun v -> Option.map encode_i64 (Snet.Value.to_int v));
-      dec = (fun s -> Snet.Value.of_int (decode_i64 s));
+      enc =
+        (fun a v ->
+          match Snet.Value.to_int v with
+          | None -> false
+          | Some n ->
+              a_i64 a (Int64.of_int n);
+              true);
+      dec =
+        (fun s ~pos ~len ->
+          if len <> 8 then failwith "int payload must be 8 bytes";
+          Snet.Value.of_int (Int64.to_int (String.get_int64_be s pos)));
     };
-  Mutex.unlock registry_mu;
-  register Snet.Supervise.string_key ~encode:Fun.id ~decode:Fun.id;
-  register string_key ~encode:Fun.id ~decode:Fun.id;
-  register float_key
-    ~encode:(fun f ->
-      let b = Bytes.create 8 in
-      Bytes.set_int64_be b 0 (Int64.bits_of_float f);
-      Bytes.unsafe_to_string b)
-    ~decode:(fun s ->
-      if String.length s <> 8 then failwith "float payload must be 8 bytes";
-      Int64.float_of_bits (String.get_int64_be s 0))
+  let string_codec key =
+    {
+      enc =
+        (fun a v ->
+          match Snet.Value.project key v with
+          | None -> false
+          | Some s ->
+              a_string a s;
+              true);
+      dec = (fun s ~pos ~len -> Snet.Value.inject key (String.sub s pos len));
+    }
+  in
+  register_codec
+    (Snet.Value.Key.name Snet.Supervise.string_key)
+    (string_codec Snet.Supervise.string_key);
+  register_codec (Snet.Value.Key.name string_key) (string_codec string_key);
+  register_codec (Snet.Value.Key.name float_key)
+    {
+      enc =
+        (fun a v ->
+          match Snet.Value.project float_key v with
+          | None -> false
+          | Some f ->
+              a_i64 a (Int64.bits_of_float f);
+              true);
+      dec =
+        (fun s ~pos ~len ->
+          if len <> 8 then failwith "float payload must be 8 bytes";
+          Snet.Value.inject float_key
+            (Int64.float_of_bits (String.get_int64_be s pos)));
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Frames                                                              *)
 
 exception Unencodable of string
 
-let render r =
-  let body = Buffer.create 256 in
+(* Append one complete frame to the ctx arena (which is NOT cleared:
+   batch envelopes render many frames back to back). Codec payloads
+   stream straight into the arena behind a backpatched u32 length. *)
+let render_append c r =
+  let a = c.carena in
+  a_string a magic;
+  a_u8 a version;
+  let body_len_at = a_mark_u32 a in
+  let body_start = a.alen in
   let tags = Snet.Record.tags r and fields = Snet.Record.fields r in
-  add_u16 body (List.length tags);
+  a_u16 a (List.length tags);
   List.iter
     (fun (label, v) ->
-      add_str16 body label;
-      Buffer.add_int64_be body (Int64.of_int v))
+      a_str16 a label;
+      a_i64 a (Int64.of_int v))
     tags;
-  add_u16 body (List.length fields);
+  a_u16 a (List.length fields);
   List.iter
     (fun (label, v) ->
       let key_name = Snet.Value.key_name v in
-      let payload =
-        match lookup key_name with
-        | None ->
+      a_str16 a label;
+      a_str16 a key_name;
+      let payload_len_at = a_mark_u32 a in
+      let payload_start = a.alen in
+      (match cached_lookup c key_name with
+      | None ->
+          raise
+            (Unencodable
+               (Printf.sprintf
+                  "no codec registered for key %S (field %S); call \
+                   Dist.Wire.register"
+                  key_name label))
+      | Some codec ->
+          if not (codec.enc a v) then
             raise
               (Unencodable
                  (Printf.sprintf
-                    "no codec registered for key %S (field %S); call \
-                     Dist.Wire.register"
-                    key_name label))
-        | Some c -> (
-            match c.enc v with
-            | Some s -> s
-            | None ->
-                raise
-                  (Unencodable
-                     (Printf.sprintf
-                        "field %S: value carries key name %S but was \
-                         injected under a different key of that name"
-                        label key_name)))
-      in
-      add_str16 body label;
-      add_str16 body key_name;
-      add_str32 body payload)
+                    "field %S: value carries key name %S but was injected \
+                     under a different key of that name"
+                    label key_name)));
+      a_patch_u32 a payload_len_at (a.alen - payload_start))
     fields;
-  let body = Buffer.contents body in
-  let frame = Buffer.create (String.length body + 13) in
-  Buffer.add_string frame magic;
-  Buffer.add_uint8 frame version;
-  add_u32 frame (String.length body);
-  Buffer.add_string frame body;
-  Buffer.add_int32_be frame (crc32 body);
-  Buffer.contents frame
+  a_patch_u32 a body_len_at (a.alen - body_start);
+  a_u32 a (crc32_bytes_sub a.abuf body_start (a.alen - body_start))
 
-let read s =
+let render_view c r =
+  arena_clear c.carena;
+  render_append c r;
+  (c.carena.abuf, c.carena.alen)
+
+let render ?ctx:ctx_opt r =
+  with_ctx ctx_opt (fun c ->
+      let buf, len = render_view c r in
+      Bytes.sub_string buf 0 len)
+
+let read_sub c s ~pos ~len =
   match
-    let len = String.length s in
     if len < 13 then raise (Bad "frame shorter than the 13-byte envelope");
-    if String.sub s 0 4 <> magic then
-      raise (Bad (Printf.sprintf "bad magic %S" (String.sub s 0 4)));
-    let v = Char.code s.[4] in
+    if pos < 0 || pos + len > String.length s then
+      raise (Bad "frame region out of bounds");
+    if
+      not
+        (s.[pos] = 'S' && s.[pos + 1] = 'N' && s.[pos + 2] = 'R'
+        && s.[pos + 3] = 'W')
+    then raise (Bad (Printf.sprintf "bad magic %S" (String.sub s pos 4)));
+    let v = Char.code s.[pos + 4] in
     if v <> version then
       raise (Bad (Printf.sprintf "unsupported version %d (expected %d)" v version));
     let body_len =
-      Int32.to_int (String.get_int32_be s 5) land 0xFFFFFFFF
+      Int32.to_int (String.get_int32_be s (pos + 5)) land 0xFFFFFFFF
     in
     if len <> 13 + body_len then
       raise
@@ -296,15 +638,18 @@ let read s =
            (Printf.sprintf
               "frame length %d disagrees with header body length %d" len
               body_len));
-    let body = String.sub s 9 body_len in
-    let declared = String.get_int32_be s (9 + body_len) in
-    let actual = crc32 body in
+    let body_start = pos + 9 in
+    let declared =
+      Int32.to_int (String.get_int32_be s (body_start + body_len))
+      land 0xFFFFFFFF
+    in
+    let actual = crc32_string_sub s body_start body_len in
     if declared <> actual then
       raise
         (Bad
-           (Printf.sprintf "CRC mismatch: frame says %08lx, body hashes to %08lx"
+           (Printf.sprintf "CRC mismatch: frame says %08x, body hashes to %08x"
               declared actual));
-    let cur = { src = body; pos = 0; limit = body_len } in
+    let cur = { src = s; pos = body_start; limit = body_start + body_len } in
     let ntags = get_u16 cur in
     let tags =
       List.init ntags (fun _ ->
@@ -317,15 +662,18 @@ let read s =
       List.init nfields (fun _ ->
           let label = get_str16 cur in
           let key_name = get_str16 cur in
-          let payload = get_str32 cur in
-          match lookup key_name with
+          let plen = get_u32 cur in
+          need cur plen;
+          let ppos = cur.pos in
+          cur.pos <- cur.pos + plen;
+          match cached_lookup c key_name with
           | None ->
               raise
                 (Bad
                    (Printf.sprintf "field %S: no codec registered for key %S"
                       label key_name))
-          | Some c -> (
-              match c.dec payload with
+          | Some codec -> (
+              match codec.dec s ~pos:ppos ~len:plen with
               | v -> (label, v)
               | exception e ->
                   raise
@@ -340,6 +688,9 @@ let read s =
   | r -> Ok r
   | exception Bad m -> Error m
   | exception e -> Error (Printexc.to_string e)
+
+let read ?ctx:ctx_opt s =
+  with_ctx ctx_opt (fun c -> read_sub c s ~pos:0 ~len:(String.length s))
 
 let validate s =
   match read s with

@@ -95,11 +95,18 @@ type span_cell = {
   mutable max_ns : int;
 }
 
+(* Batch sizes are small integers, so their distribution is an exact
+   histogram up to [batch_max] (larger batches clamp into the last
+   slot); slot [s] counts batches of exactly [s] messages. *)
+let batch_max = 128
+
 type edge_cell = {
   mutable sends : int;
   mutable recvs : int;
   mutable stalls : int;
   mutable hwm : int;
+  mutable batches : int;
+  bsizes : int array;  (* length batch_max + 1; slot 0 unused *)
 }
 
 module SMap = Map.Make (String)
@@ -163,7 +170,15 @@ let edge_cell shard key =
   find_or_add
     (fun () -> SMap.find_opt key shard.edges)
     (fun c -> shard.edges <- SMap.add key c shard.edges)
-    (fun () -> { sends = 0; recvs = 0; stalls = 0; hwm = 0 })
+    (fun () ->
+      {
+        sends = 0;
+        recvs = 0;
+        stalls = 0;
+        hwm = 0;
+        batches = 0;
+        bsizes = Array.make (batch_max + 1) 0;
+      })
 
 let atomic_max cell v =
   let rec go () =
@@ -224,13 +239,46 @@ let record_edge_stall ~name =
   let cell = edge_cell (my_shard ()) name in
   cell.stalls <- cell.stalls + 1
 
+let record_edge_batch ~name ~size =
+  let cell = edge_cell (my_shard ()) name in
+  cell.batches <- cell.batches + 1;
+  let s = if size > batch_max then batch_max else max 1 size in
+  cell.bsizes.(s) <- cell.bsizes.(s) + 1
+
 let record_star_depth ~depth =
   ignore (Atomic.fetch_and_add star_stages 1);
   atomic_max star_hwm depth
 
 (* --- snapshot -------------------------------------------------------- *)
 
-type edge = { sends : int; recvs : int; stalls : int; hwm : int }
+type edge = {
+  sends : int;
+  recvs : int;
+  stalls : int;
+  hwm : int;
+  batches : int;
+  batch_p50 : int;
+  batch_p95 : int;
+}
+
+let batch_percentile q bsizes =
+  let count = Array.fold_left ( + ) 0 bsizes in
+  if count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int count))) in
+    let cum = ref 0 and result = ref batch_max in
+    (try
+       Array.iteri
+         (fun s c ->
+           cum := !cum + c;
+           if c > 0 && !cum >= rank then begin
+             result := s;
+             raise Exit
+           end)
+         bsizes
+     with Exit -> ());
+    !result
+  end
 
 type snapshot = {
   spans : (string * string * hist) list;
@@ -249,7 +297,8 @@ let snapshot () =
   let span_acc : (string, int array * float ref * float ref) Hashtbl.t =
     Hashtbl.create 64
   in
-  let edge_acc : (string, edge) Hashtbl.t = Hashtbl.create 64 in
+  (* Accumulate into spare edge_cells, then convert with percentiles. *)
+  let edge_acc : (string, edge_cell) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (s : shard) ->
       SMap.iter
@@ -268,18 +317,29 @@ let snapshot () =
         s.spans;
       SMap.iter
         (fun name (c : edge_cell) ->
-          let prev =
-            Option.value
-              (Hashtbl.find_opt edge_acc name)
-              ~default:{ sends = 0; recvs = 0; stalls = 0; hwm = 0 }
+          let acc =
+            match Hashtbl.find_opt edge_acc name with
+            | Some acc -> acc
+            | None ->
+                let acc =
+                  {
+                    sends = 0;
+                    recvs = 0;
+                    stalls = 0;
+                    hwm = 0;
+                    batches = 0;
+                    bsizes = Array.make (batch_max + 1) 0;
+                  }
+                in
+                Hashtbl.add edge_acc name acc;
+                acc
           in
-          Hashtbl.replace edge_acc name
-            {
-              sends = prev.sends + c.sends;
-              recvs = prev.recvs + c.recvs;
-              stalls = prev.stalls + c.stalls;
-              hwm = max prev.hwm c.hwm;
-            })
+          acc.sends <- acc.sends + c.sends;
+          acc.recvs <- acc.recvs + c.recvs;
+          acc.stalls <- acc.stalls + c.stalls;
+          acc.hwm <- max acc.hwm c.hwm;
+          acc.batches <- acc.batches + c.batches;
+          Array.iteri (fun i n -> acc.bsizes.(i) <- acc.bsizes.(i) + n) c.bsizes)
         s.edges)
     shards;
   let spans =
@@ -291,7 +351,20 @@ let snapshot () =
     |> List.sort (fun (c1, n1, _) (c2, n2, _) -> compare (c1, n1) (c2, n2))
   in
   let edges =
-    Hashtbl.fold (fun name e acc -> (name, e) :: acc) edge_acc []
+    Hashtbl.fold
+      (fun name (c : edge_cell) acc ->
+        ( name,
+          {
+            sends = c.sends;
+            recvs = c.recvs;
+            stalls = c.stalls;
+            hwm = c.hwm;
+            batches = c.batches;
+            batch_p50 = batch_percentile 0.50 c.bsizes;
+            batch_p95 = batch_percentile 0.95 c.bsizes;
+          } )
+        :: acc)
+      edge_acc []
     |> List.sort (fun (n1, _) (n2, _) -> compare n1 n2)
   in
   {
@@ -323,12 +396,12 @@ let pp ppf snap =
       snap.spans
   end;
   if snap.edges <> [] then begin
-    Format.fprintf ppf "  %-28s %8s %8s %8s %6s@," "edge" "sends" "recvs"
-      "stalls" "hwm";
+    Format.fprintf ppf "  %-28s %8s %8s %8s %6s %6s %6s@," "edge" "sends"
+      "recvs" "stalls" "hwm" "b-p50" "b-p95";
     List.iter
       (fun (name, e) ->
-        Format.fprintf ppf "  %-28s %8d %8d %8d %6d@," name e.sends e.recvs
-          e.stalls e.hwm)
+        Format.fprintf ppf "  %-28s %8d %8d %8d %6d %6d %6d@," name e.sends
+          e.recvs e.stalls e.hwm e.batch_p50 e.batch_p95)
       snap.edges
   end;
   Format.fprintf ppf "  star stages %d, depth high-water %d@]"
@@ -354,8 +427,9 @@ let to_json snap =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
-           "{\"name\":\"%s\",\"sends\":%d,\"recvs\":%d,\"stalls\":%d,\"hwm\":%d}"
-           (Jsonx.escape name) e.sends e.recvs e.stalls e.hwm))
+           "{\"name\":\"%s\",\"sends\":%d,\"recvs\":%d,\"stalls\":%d,\"hwm\":%d,\"batches\":%d,\"batch_p50\":%d,\"batch_p95\":%d}"
+           (Jsonx.escape name) e.sends e.recvs e.stalls e.hwm e.batches
+           e.batch_p50 e.batch_p95))
     snap.edges;
   Buffer.add_string b
     (Printf.sprintf "],\"star_depth_hwm\":%d,\"star_stages\":%d}"
@@ -392,7 +466,21 @@ let of_json s =
         let* recvs = Option.bind (Jsonx.member "recvs" j) Jsonx.to_int in
         let* stalls = Option.bind (Jsonx.member "stalls" j) Jsonx.to_int in
         let* hwm = Option.bind (Jsonx.member "hwm" j) Jsonx.to_int in
-        Ok (name, { sends; recvs; stalls; hwm })
+        (* Absent in metrics files written before batch tracking. *)
+        let opt_int key =
+          Option.value (Option.bind (Jsonx.member key j) Jsonx.to_int) ~default:0
+        in
+        Ok
+          ( name,
+            {
+              sends;
+              recvs;
+              stalls;
+              hwm;
+              batches = opt_int "batches";
+              batch_p50 = opt_int "batch_p50";
+              batch_p95 = opt_int "batch_p95";
+            } )
       in
       let rec map_result f = function
         | [] -> Ok []

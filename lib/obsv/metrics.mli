@@ -44,6 +44,13 @@ val record_edge_send : name:string -> depth:int -> unit
 
 val record_edge_recv : name:string -> depth:int -> unit
 val record_edge_stall : name:string -> unit
+
+val record_edge_batch : name:string -> size:int -> unit
+(** Count one consumer-side batch of [size] messages drained from edge
+    [name] in a single lock/park cycle (or one cut-edge envelope).
+    Sizes feed an exact small-integer histogram (clamped at 128) from
+    which the snapshot reports p50/p95. *)
+
 val record_star_depth : depth:int -> unit
 
 (** {1 Snapshot} *)
@@ -62,6 +69,11 @@ type edge = {
   recvs : int;
   stalls : int;
   hwm : int;  (** Queue-depth high-water mark. *)
+  batches : int;  (** Consumer-side batch drains observed. *)
+  batch_p50 : int;
+  batch_p95 : int;
+      (** Batch-size percentiles (messages per drain), 0 when no
+          batch was recorded. *)
 }
 
 type snapshot = {

@@ -36,6 +36,13 @@ let edge_recv ~name ~depth =
       Sink.emit_now ~kind:Counter ~cat:"edge" ~name ~value:depth
   end
 
+let edge_batch ~name ~size =
+  if Sink.active () then begin
+    if Sink.flag Sink.metrics_bit then Metrics.record_edge_batch ~name ~size;
+    if Sink.events_on () then
+      Sink.emit_now ~kind:Counter ~cat:"edge" ~name:(name ^ "!batch") ~value:size
+  end
+
 let edge_stall ~name =
   if Sink.active () then begin
     if Sink.flag Sink.metrics_bit then Metrics.record_edge_stall ~name;

@@ -35,6 +35,12 @@ val edge_send : name:string -> depth:int -> unit
 val edge_recv : name:string -> depth:int -> unit
 (** A message left the edge; [depth] is the queue depth after. *)
 
+val edge_batch : name:string -> size:int -> unit
+(** A consumer drained a run of [size] messages from the edge in one
+    batch (one lock/park cycle, or one cut-edge envelope). Feeds the
+    per-edge batch-size distribution ([edge_batch_size] p50/p95 in
+    [snet_top]). *)
+
 val edge_stall : name:string -> unit
 (** A producer blocked on backpressure at this edge. *)
 

@@ -14,7 +14,9 @@ module type S = sig
   val create : ?capacity:int -> unit -> 'a t
   val send : 'a t -> 'a -> unit
   val recv : 'a t -> [ `Closed | `Msg of 'a ]
+  val recv_batch : 'a t -> max:int -> [ `Closed | `Batch of 'a list ]
   val try_recv : 'a t -> [ `Closed | `Empty | `Msg of 'a ]
+  val drain : 'a t -> max:int -> 'a list
   val close : 'a t -> unit
   val is_closed : 'a t -> bool
   val length : 'a t -> int
@@ -70,6 +72,40 @@ module Make (P : Scheduler.Platform.S) = struct
     in
     P.unlock t.mutex;
     r
+
+  (* Take up to [max] buffered elements under ONE lock acquisition /
+     park cycle — the batch-dequeue primitive batched consumers (edge
+     pumps, box invocations) amortise their per-record locking with.
+     Blocks like [recv] while empty and open; the returned batch is
+     never empty. *)
+  let take_up_to t max =
+    let n = min max (Queue.length t.queue) in
+    let rec go k acc =
+      if k = 0 then List.rev acc else go (k - 1) (Queue.pop t.queue :: acc)
+    in
+    let xs = go n [] in
+    (* n senders may now proceed *)
+    if n > 0 then P.broadcast t.not_full;
+    xs
+
+  let recv_batch t ~max =
+    if max < 1 then invalid_arg "Channel.recv_batch: max < 1";
+    P.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      P.wait t.not_empty t.mutex
+    done;
+    let r =
+      if Queue.is_empty t.queue then `Closed else `Batch (take_up_to t max)
+    in
+    P.unlock t.mutex;
+    r
+
+  let drain t ~max =
+    if max < 1 then invalid_arg "Channel.drain: max < 1";
+    P.lock t.mutex;
+    let xs = take_up_to t max in
+    P.unlock t.mutex;
+    xs
 
   let try_recv t =
     P.lock t.mutex;

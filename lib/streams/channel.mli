@@ -40,10 +40,24 @@ module type S = sig
       {e and} drained. Never returns while the buffer is merely
       empty. *)
 
+  val recv_batch : 'a t -> max:int -> [ `Closed | `Batch of 'a list ]
+  (** Like {!recv}, but takes up to [max] buffered elements in one
+      lock/park cycle. Blocks while empty and open; a returned
+      [`Batch] is never empty, and [`Closed] appears only at
+      end-of-stream after the buffer drained — so
+      [recv_batch ~max:1] is {!recv} with a singleton wrapper.
+      @raise Invalid_argument when [max < 1]. *)
+
   val try_recv : 'a t -> [ `Closed | `Empty | `Msg of 'a ]
   (** Non-blocking receive: [`Empty] when the channel is open but has
       nothing buffered (a slow producer), [`Closed] at
       end-of-stream. *)
+
+  val drain : 'a t -> max:int -> 'a list
+  (** Non-blocking batch receive: whatever is buffered, up to [max]
+      (possibly nothing). Use {!try_recv} to distinguish an empty open
+      channel from end-of-stream.
+      @raise Invalid_argument when [max < 1]. *)
 
   val close : 'a t -> unit
   (** Idempotent. Buffered elements remain receivable; blocked senders

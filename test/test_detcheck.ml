@@ -110,6 +110,54 @@ let test_channel_on_fibers () =
     (List.init 20 (fun i -> i + 1))
     (ok_exn res)
 
+(* The batch-flush vs Eof race, pinned under the virtual scheduler: a
+   producer pushes a run of records and closes; a consumer drains with
+   [recv_batch]. Whatever interleaving the strategy picks — close
+   racing a partially-filled batch, close landing between two drains,
+   the consumer parking just before the close — every record must come
+   out exactly once, in order, before [`Closed] is observed. This is
+   the channel-level shape of the cut-edge pump's "flush pending, then
+   Eof" step. *)
+let test_batch_flush_vs_close () =
+  for seed = 0 to 19 do
+    let res, _ =
+      Sv.run
+        ~strategy:(Strategy.random ~seed:(base_seed () + seed))
+        (fun _ ->
+          let module Ch = Streams.Channel.Make (Sv.Platform) in
+          let ch = Ch.create ~capacity:4 () in
+          let producer =
+            Sv.Platform.spawn (fun () ->
+                for i = 1 to 17 do
+                  Ch.send ch i
+                done;
+                Ch.close ch)
+          in
+          let got = ref [] in
+          let batches = ref [] in
+          let rec drain () =
+            match Ch.recv_batch ch ~max:8 with
+            | `Closed -> ()
+            | `Batch ms ->
+                batches := List.length ms :: !batches;
+                got := !got @ ms;
+                drain ()
+          in
+          drain ();
+          Sv.Platform.join producer;
+          (!got, !batches))
+    in
+    let got, batches = ok_exn res in
+    Alcotest.(check (list int))
+      (Printf.sprintf "all records, in order, before Closed (seed %d)" seed)
+      (List.init 17 (fun i -> i + 1))
+      got;
+    Alcotest.(check bool)
+      (Printf.sprintf "batch sizes within bound (seed %d)" seed)
+      true
+      (List.for_all (fun n -> n >= 1 && n <= 8) batches)
+  done
+
 (* --- determinism and replay -------------------------------------- *)
 
 let nondet_spec () = Netgen.of_seed Nondet (base_seed ())
@@ -374,6 +422,8 @@ let suite =
     Alcotest.test_case "timers fire in deadline order" `Quick test_timer_order;
     Alcotest.test_case "virtual mutex serialises fibers" `Quick
       test_mutex_fibers;
+    Alcotest.test_case "batch flush vs close race (scheduled)" `Quick
+      test_batch_flush_vs_close;
     Alcotest.test_case "bounded channel on virtual fibers" `Quick
       test_channel_on_fibers;
     Alcotest.test_case "same seed => same schedule and output" `Quick

@@ -229,9 +229,11 @@ let test_proto_roundtrip () =
           timeout = Some 1.5;
           credits = 32;
           crash_after = -1;
+          batch = 16;
         };
       Proto.Hello_ack { part = 1 };
       Proto.Data r;
+      Proto.Data_batch [ r; r ];
       Proto.Credit 7;
       Proto.Eof;
       Proto.Done;
@@ -247,6 +249,9 @@ let test_proto_roundtrip () =
           match (m, m') with
           | Proto.Data a, Proto.Data b ->
               Alcotest.(check bool) "data round-trip" true (frame_eq a b)
+          | Proto.Data_batch a, Proto.Data_batch b ->
+              Alcotest.(check bool) "batch round-trip" true
+                (List.length a = List.length b && List.for_all2 frame_eq a b)
           | _ ->
               Alcotest.(check string) "round-trip" (Proto.to_string m)
                 (Proto.to_string m')))
@@ -257,6 +262,62 @@ let test_proto_roundtrip () =
   match Proto.decode (String.sub (Proto.encode (Proto.Crash "xyz")) 0 2) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated message accepted"
+
+(* A Data_batch envelope must carry exactly the records that N
+   individual Data frames would: same multiset after decode, and any
+   truncation or byte flip of the envelope is rejected (the per-frame
+   CRC plus envelope length checks leave no silently-corruptible
+   region). *)
+let prop_batch_envelope =
+  QCheck.Test.make ~name:"proto: Data_batch = N x Data (and corruption rejected)"
+    ~count:150
+    (QCheck.pair
+       (QCheck.list_of_size QCheck.Gen.(int_range 1 8) arb_record)
+       (QCheck.make QCheck.Gen.(pair pint pint)))
+    (fun (rs, (pos_seed, byte_seed)) ->
+      let enc = Proto.encode (Proto.Data_batch rs) in
+      let decoded =
+        match Proto.decode enc with
+        | Ok (Proto.Data_batch rs') -> rs'
+        | Ok (Proto.Data r) -> [ r ]
+        | Ok m ->
+            QCheck.Test.fail_reportf "unexpected decode: %s" (Proto.to_string m)
+        | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+      in
+      let singles =
+        List.map
+          (fun r ->
+            match Proto.decode (Proto.encode (Proto.Data r)) with
+            | Ok (Proto.Data r') -> r'
+            | _ -> QCheck.Test.fail_reportf "single Data decode failed")
+          rs
+      in
+      let same = multiset_eq decoded singles in
+      let n = String.length enc in
+      (* Truncate anywhere strictly inside the envelope... *)
+      let cut = pos_seed mod n in
+      let truncated_rejected =
+        match Proto.decode (String.sub enc 0 cut) with
+        | Error _ -> true
+        | Ok (Proto.Data_batch rs') -> not (multiset_eq rs' decoded)
+        | Ok _ -> false
+      in
+      (* ...and flip one byte past the kind tag (flipping the kind
+         byte may legitimately decode as another message kind). *)
+      let pos = 1 + (pos_seed mod (n - 1)) in
+      let b = Bytes.of_string enc in
+      let old = Char.code (Bytes.get b pos) in
+      Bytes.set b pos (Char.chr ((old + 1 + (byte_seed mod 255)) mod 256));
+      let mutated = Bytes.to_string b in
+      let mutated_rejected =
+        String.equal mutated enc
+        ||
+        match Proto.decode mutated with
+        | Error _ -> true
+        | Ok (Proto.Data_batch rs') -> not (multiset_eq rs' decoded)
+        | Ok _ -> false
+      in
+      same && truncated_rejected && mutated_rejected)
 
 (* ------------------------------------------------------------------ *)
 (* Partitioning                                                        *)
@@ -447,6 +508,53 @@ let test_dist_tiny_credits () =
   Alcotest.(check bool) "credits=1 multiset equal" true
     (multiset_eq reference outs)
 
+let test_dist_batch_on_off () =
+  (* Batching must be invisible to results: the same network over the
+     same inputs, batched (envelopes up to 64 records) and unbatched
+     (batch=1 forces plain Data frames both directions), both
+     multiset-identical to the sequential reference. *)
+  let board = Sudoku.Puzzles.easy in
+  List.iter
+    (fun (name, net) ->
+      let reference = Snet.Engine_seq.run (net ()) (solve_inputs board) in
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun batch ->
+              let outs =
+                Engine_dist.run ~workers ~batch (net ()) (solve_inputs board)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %dw batch=%d multiset equal" name workers
+                   batch)
+                true
+                (multiset_eq reference outs))
+            [ 1; 64 ])
+        [ 2; 4 ])
+    [
+      ("fig2", fun () -> Sudoku.Networks.fig2 ());
+      ("fig3", fun () -> Sudoku.Networks.fig3 ());
+    ]
+
+let test_dist_batch_smaller_than_window () =
+  (* Batch cap below the credit window and a tiny window with a big
+     cap: both degenerate configurations must still drain. *)
+  let board = Sudoku.Puzzles.easy in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.fig2 ()) (solve_inputs board)
+  in
+  List.iter
+    (fun (credits, batch) ->
+      let outs =
+        Engine_dist.run ~workers:2 ~credits ~batch (Sudoku.Networks.fig2 ())
+          (solve_inputs board)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "credits=%d batch=%d multiset equal" credits batch)
+        true
+        (multiset_eq reference outs))
+    [ (32, 3); (2, 64); (1, 64) ]
+
 (* ------------------------------------------------------------------ *)
 (* Worker failure                                                      *)
 
@@ -504,6 +612,7 @@ let suite =
     Alcotest.test_case "wire validate + garbage" `Quick test_validate_and_garbage;
     Seeded.to_alcotest prop_roundtrip;
     Seeded.to_alcotest prop_corruption;
+    Seeded.to_alcotest prop_batch_envelope;
     Alcotest.test_case "proto round-trip" `Quick test_proto_roundtrip;
     Alcotest.test_case "partition" `Quick test_partition;
     Alcotest.test_case "loopback transport" `Quick test_loopback;
@@ -513,6 +622,9 @@ let suite =
     Alcotest.test_case "dist=seq fig3 x{2,4}" `Quick test_dist_vs_seq_fig3;
     Alcotest.test_case "dist multiple inputs" `Quick test_dist_multiple_inputs;
     Alcotest.test_case "dist credits=1" `Quick test_dist_tiny_credits;
+    Alcotest.test_case "dist batch on/off = seq" `Quick test_dist_batch_on_off;
+    Alcotest.test_case "dist batch vs window shapes" `Quick
+      test_dist_batch_smaller_than_window;
     Alcotest.test_case "worker kill -> error records" `Quick
       test_worker_kill_error_record;
     Alcotest.test_case "worker kill -> fail fast" `Quick

@@ -79,6 +79,61 @@ let test_channel_blocking () =
   Thread.join producer;
   Alcotest.(check bool) "unblocked" true !sent
 
+let test_channel_recv_batch () =
+  let ch = Channel.create () in
+  for i = 1 to 5 do
+    Channel.send ch i
+  done;
+  (* One call pulls a run of buffered messages, bounded by [max]. *)
+  (match Channel.recv_batch ch ~max:3 with
+  | `Batch ms -> Alcotest.(check (list int)) "first batch" [ 1; 2; 3 ] ms
+  | `Closed -> Alcotest.fail "closed too early");
+  (match Channel.recv_batch ch ~max:10 with
+  | `Batch ms -> Alcotest.(check (list int)) "rest, not padded" [ 4; 5 ] ms
+  | `Closed -> Alcotest.fail "closed too early");
+  Channel.send ch 6;
+  Channel.close ch;
+  (* Buffered messages still drain after close; only then Closed. *)
+  (match Channel.recv_batch ch ~max:10 with
+  | `Batch ms -> Alcotest.(check (list int)) "drain after close" [ 6 ] ms
+  | `Closed -> Alcotest.fail "dropped buffered message");
+  Alcotest.(check bool) "end of stream" true
+    (Channel.recv_batch ch ~max:1 = `Closed);
+  Alcotest.(check bool) "max < 1 rejected" true
+    (try
+       ignore (Channel.recv_batch (Channel.create ()) ~max:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_channel_recv_batch_blocks () =
+  (* recv_batch parks like recv when the channel is open and empty,
+     and wakes with whatever run is there — not a full [max]. *)
+  let ch = Channel.create () in
+  let got = ref [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        match Channel.recv_batch ch ~max:8 with
+        | `Batch ms -> got := ms
+        | `Closed -> ())
+      ()
+  in
+  Thread.delay 0.02;
+  Channel.send ch 7;
+  Thread.join consumer;
+  Alcotest.(check (list int)) "woke with partial batch" [ 7 ] !got
+
+let test_channel_drain () =
+  let ch = Channel.create () in
+  Alcotest.(check (list int)) "empty drain" [] (Channel.drain ch ~max:4);
+  for i = 1 to 3 do
+    Channel.send ch i
+  done;
+  Alcotest.(check (list int)) "bounded" [ 1; 2 ] (Channel.drain ch ~max:2);
+  Alcotest.(check (list int)) "rest" [ 3 ] (Channel.drain ch ~max:2);
+  Channel.close ch;
+  Alcotest.(check (list int)) "closed+empty" [] (Channel.drain ch ~max:2)
+
 let test_channel_capacity_validation () =
   Alcotest.(check bool) "capacity 0 rejected" true
     (try ignore (Channel.create ~capacity:0 ()); false
@@ -167,6 +222,10 @@ let suite =
     Alcotest.test_case "channel try_recv" `Quick test_channel_try_recv;
     Alcotest.test_case "channel of_list/to_list" `Quick test_channel_lists;
     Alcotest.test_case "channel blocking" `Quick test_channel_blocking;
+    Alcotest.test_case "channel recv_batch" `Quick test_channel_recv_batch;
+    Alcotest.test_case "channel recv_batch blocks" `Quick
+      test_channel_recv_batch_blocks;
+    Alcotest.test_case "channel drain" `Quick test_channel_drain;
     Alcotest.test_case "channel capacity" `Quick test_channel_capacity_validation;
     Alcotest.test_case "actor FIFO" `Quick test_actor_fifo;
     Alcotest.test_case "actor chain quiescence" `Quick test_actor_chain;
