@@ -41,6 +41,15 @@ dune build @dist-smoke
 SNET_DIST_BATCH=1 ./_build/default/bin/snet_sudoku.exe --network fig2 \
   --puzzle easy --workers 2 > /dev/null
 
+echo "== serving smoke =="
+# Socket-gated serve tests (the EINTR transport regression, real-TCP
+# concurrent sessions, the HTTP gateway) plus the daemon load
+# benchmark: the real snet_serve binary under 32 concurrent TCP
+# sessions with the round-trip p99 bar (<= 100ms) enforced, then a
+# SIGTERM with sessions still open that must drain cleanly (clients
+# see Done, exit 0), recorded into BENCH_serve.json.
+dune build @serve-smoke
+
 echo "== detcheck seed matrix: $SEEDS =="
 dune build @detcheck   # default seed, exercises the alias itself
 for seed in $SEEDS; do

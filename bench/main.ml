@@ -42,6 +42,11 @@
                    TCP (acceptance: loopback adds <= 50us/record over
                    the bare channel), and fig2 end-to-end on the
                    partitioned engine. Emits BENCH_dist.json.
+     serve         Serving layer: the snet_serve daemon under 32
+                   concurrent TCP sessions (round-trip latency
+                   percentiles, acceptance: p99 <= 100ms) plus a
+                   SIGTERM graceful-drain check with sessions held
+                   open. Emits BENCH_serve.json.
 
    Run all:        dune exec bench/main.exe
    Run one:        dune exec bench/main.exe -- fig3-sweep *)
@@ -1277,6 +1282,261 @@ let exp_dist () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* serve: the snet_serve daemon under concurrent session load         *)
+
+(* Spawns the real daemon binary (ephemeral ports), drives 32
+   concurrent framed-TCP ping-pong sessions through the ping net,
+   then SIGTERMs the daemon with a handful of sessions still open and
+   requires a clean drain: each open client sees [Done] rather than a
+   dropped socket, the process exits 0 and prints its drained stats
+   line. Round-trip latency is reported as percentiles; the p99 bar
+   and any session error fail the run. *)
+
+let find_serve_exe () =
+  match Sys.getenv_opt "SNET_SERVE_EXE" with
+  | Some p -> Some p
+  | None ->
+      let dir = Filename.dirname Sys.executable_name in
+      List.find_opt Sys.file_exists
+        (List.map (Filename.concat dir)
+           [
+             Filename.concat ".." (Filename.concat "bin" "snet_serve.exe");
+             "snet_serve.exe";
+             "snet-serve";
+           ])
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else
+    let rank = int_of_float ((float_of_int (n - 1) *. p /. 100.0) +. 0.5) in
+    sorted.(max 0 (min (n - 1) rank))
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let exp_serve () =
+  Printf.printf "\n== serve: snet_serve daemon under concurrent sessions ==\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let sessions = 32 in
+  let per = if smoke then 25 else 250 in
+  let drain_clients = 4 in
+  let bar_ns = 1e8 (* 100 ms: catches stalls, not scheduling jitter *) in
+  let exe =
+    match find_serve_exe () with
+    | Some e -> e
+    | None ->
+        Printf.eprintf
+          "serve: cannot find snet_serve.exe next to bench/main.exe; set \
+           SNET_SERVE_EXE\n";
+        exit 1
+  in
+  (* Daemon stdout on a pipe: the banner carries the ephemeral ports,
+     and the pipe must stay drained so the drained stats line can
+     never block the daemon at exit. *)
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "--spec"; "ping"; "--port"; "0"; "--http-port"; "0"; "--credits";
+        "16"; "--max-sessions"; "64";
+      |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  let banner = input_line ic in
+  let tcp_port =
+    Scanf.sscanf banner "snet_serve: listening tcp=%d http=%d" (fun t _ -> t)
+  in
+  let daemon_lines = ref [] in
+  let lines_mu = Mutex.create () in
+  let pump =
+    Thread.create
+      (fun () ->
+        try
+          while true do
+            let l = input_line ic in
+            Mutex.lock lines_mu;
+            daemon_lines := l :: !daemon_lines;
+            Mutex.unlock lines_mu
+          done
+        with End_of_file | Sys_error _ -> ())
+      ()
+  in
+  let dial () =
+    Dist.Transport.erase
+      (module Dist.Transport.Tcp)
+      (Dist.Transport.Tcp.connect ~host:"127.0.0.1" ~port:tcp_port)
+  in
+  let errors = ref [] in
+  let err_mu = Mutex.create () in
+  let push_err fmt =
+    Printf.ksprintf
+      (fun s ->
+        Mutex.lock err_mu;
+        errors := s :: !errors;
+        Mutex.unlock err_mu)
+      fmt
+  in
+  let ping x = Snet.Record.with_tag "x" x Snet.Record.empty in
+  let lat = Array.make_matrix sessions per Float.nan in
+  let t_start = Unix.gettimeofday () in
+  let drivers =
+    List.init sessions (fun k ->
+        Thread.create
+          (fun () ->
+            try
+              match Serve.Client.connect (dial ()) with
+              | Error e -> push_err "session %d: connect: %s" k e
+              | Ok c ->
+                  for i = 0 to per - 1 do
+                    let x = (1_000_000 * k) + i in
+                    let t0 = Unix.gettimeofday () in
+                    (match Serve.Client.submit c (ping x) with
+                    | `Ok -> ()
+                    | _ -> failwith "submit rejected");
+                    match Serve.Client.recv c with
+                    | `Record r ->
+                        lat.(k).(i) <- (Unix.gettimeofday () -. t0) *. 1e9;
+                        if Snet.Record.tag "y" r <> Some (x + 1) then
+                          failwith "wrong response"
+                    | `Done -> failwith "premature Done"
+                    | `Crashed e -> failwith ("crash: " ^ e)
+                  done;
+                  if Serve.Client.drain_remaining c <> [] then
+                    push_err "session %d: leftover responses" k
+            with
+            | Failure e -> push_err "session %d: %s" k e
+            | e -> push_err "session %d: %s" k (Printexc.to_string e))
+          ())
+  in
+  List.iter Thread.join drivers;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  (* Leave a few sessions open across the SIGTERM: a graceful drain
+     must finish them with [Done], not a dropped socket. Each has
+     collected every response it is owed first (a close mid-flight
+     legitimately drops records — see lib/serve/server.mli). *)
+  let open_conns =
+    List.init drain_clients (fun k ->
+        let conn = dial () in
+        match Serve.Client.connect conn with
+        | Error e ->
+            push_err "drain client %d: connect: %s" k e;
+            None
+        | Ok c -> (
+            match Serve.Client.submit c (ping (7_000_000 + k)) with
+            | `Ok -> (
+                match Serve.Client.recv c with
+                | `Record _ -> Some (conn, c)
+                | _ ->
+                    push_err "drain client %d: no response" k;
+                    None)
+            | _ ->
+                push_err "drain client %d: submit rejected" k;
+                None))
+  in
+  Unix.kill pid Sys.sigterm;
+  let done_clients =
+    List.fold_left
+      (fun acc conn_c ->
+        match conn_c with
+        | None -> acc
+        | Some (conn, c) ->
+            let saw_done =
+              match Serve.Client.recv c with `Done -> true | _ -> false
+            in
+            Dist.Transport.close conn;
+            if saw_done then acc + 1 else acc)
+      0 open_conns
+  in
+  let _, status = Unix.waitpid [] pid in
+  Thread.join pump;
+  close_in_noerr ic;
+  let exit0 = status = Unix.WEXITED 0 in
+  let drained_line =
+    List.exists
+      (fun l -> contains_substring l "snet_serve: drained")
+      !daemon_lines
+  in
+  let lats =
+    Array.to_list lat
+    |> List.concat_map Array.to_list
+    |> List.filter (fun x -> not (Float.is_nan x))
+    |> Array.of_list
+  in
+  Array.sort compare lats;
+  let p50 = percentile lats 50.0
+  and p95 = percentile lats 95.0
+  and p99 = percentile lats 99.0 in
+  let total = Array.length lats in
+  let rps = float_of_int total /. wall_s in
+  Printf.printf
+    "  %d sessions x %d records (ping-pong): %d round trips in %.2fs (%.0f \
+     rec/s)\n\
+    \  round-trip latency: p50 %s  p95 %s  p99 %s (bar: <= %s)\n\
+    \  drain: exit %s, %d/%d open clients saw Done, stats line %s\n"
+    sessions per total wall_s rps (pretty_ns p50) (pretty_ns p95)
+    (pretty_ns p99) (pretty_ns bar_ns)
+    (if exit0 then "0" else "!= 0")
+    done_clients drain_clients
+    (if drained_line then "present" else "missing");
+  let rows =
+    [
+      ("/serve/rtt-p50", p50); ("/serve/rtt-p95", p95); ("/serve/rtt-p99", p99);
+    ]
+  in
+  write_bench_json "BENCH_serve.json"
+    (Obsv.Jsonx.Obj
+       [
+         ("bench", Obsv.Jsonx.Str "serve");
+         ("smoke", Obsv.Jsonx.Bool smoke);
+         ("sessions", jint sessions);
+         ("records_per_session", jint per);
+         ("round_trips", jint total);
+         ("wall_s", jnum wall_s);
+         ("records_per_s", jnum rps);
+         ( "latency_ns",
+           Obsv.Jsonx.Obj
+             [ ("p50", jnum p50); ("p95", jnum p95); ("p99", jnum p99) ] );
+         ("p99_bar_ns", jnum bar_ns);
+         ( "drain",
+           Obsv.Jsonx.Obj
+             [
+               ("exit0", Obsv.Jsonx.Bool exit0);
+               ("clients_done", jint done_clients);
+               ("clients_open", jint drain_clients);
+               ("stats_line", Obsv.Jsonx.Bool drained_line);
+             ] );
+         ( "errors",
+           Obsv.Jsonx.List (List.map (fun e -> Obsv.Jsonx.Str e) !errors) );
+         ("results", jrows rows);
+       ])
+    rows;
+  flush stdout;
+  if !errors <> [] then begin
+    List.iter (Printf.eprintf "serve: %s\n") (List.rev !errors);
+    exit 1
+  end;
+  if total < sessions * per then begin
+    Printf.eprintf "serve: only %d/%d round trips measured\n" total
+      (sessions * per);
+    exit 1
+  end;
+  if (not exit0) || done_clients < drain_clients || not drained_line then begin
+    Printf.eprintf "serve: unclean drain (exit0=%b done=%d/%d stats_line=%b)\n"
+      exit0 done_clients drain_clients drained_line;
+    exit 1
+  end;
+  if (not (Float.is_nan p99)) && p99 > bar_ns then begin
+    Printf.eprintf "serve: round-trip p99 %s exceeds the %s bar\n"
+      (pretty_ns p99) (pretty_ns bar_ns);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1296,6 +1556,7 @@ let experiments =
     ("faults", exp_faults);
     ("obsv", exp_obsv);
     ("dist", exp_dist);
+    ("serve", exp_serve);
   ]
 
 let () =

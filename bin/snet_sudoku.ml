@@ -120,7 +120,21 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
                   Sudoku.Netspec.spec ~det ~throttle ~cutoff ~side name
               | _ -> Sudoku.Netspec.spec ~det name
             in
-            let batch = if dist_batch > 0 then Some dist_batch else None in
+            (* 0 defers to SNET_DIST_BATCH/the default; anything else
+               must be a valid cap — a typo like -3 or garbage in a
+               wrapper script should fail loudly, not silently run
+               unbatched. *)
+            let batch =
+              if dist_batch = 0 then None
+              else
+                match
+                  Dist.Engine_dist.batch_of_string (string_of_int dist_batch)
+                with
+                | Ok b -> Some b
+                | Error e ->
+                    prerr_endline ("snet-sudoku: --dist-batch: " ^ e);
+                    exit 2
+            in
             let outputs =
               Dist.Engine_dist.run_spawned ~worker_exe:(find_worker_exe ())
                 ~spec ~workers ~stats ?supervision ?crash_after:kill_worker

@@ -72,13 +72,20 @@ let render (snap : Obsv.Metrics.snapshot) =
        snap.Obsv.Metrics.star_stages snap.Obsv.Metrics.star_depth_hwm);
   Buffer.contents b
 
-let show_file path =
+(* A producer rewrite can race our read: the file may be mid-rename
+   (missing), truncated between [in_channel_length] and the read
+   ([End_of_file]), or syntactically torn (parse error). All of these
+   are transient — report them as [Error] and let the caller retry,
+   never let them escape. *)
+let load_file path =
   match Obsv.Metrics.of_json (read_file path) with
-  | Ok snap ->
-      print_string (render snap);
-      Ok ()
+  | Ok snap -> Ok (render snap)
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
   | exception Sys_error e -> Error e
+  | exception End_of_file -> Error (Printf.sprintf "%s: truncated read" path)
+  | exception e -> Error (Printf.sprintf "%s: %s" path (Printexc.to_string e))
+
+let show_file path = Result.map print_string (load_file path)
 
 let clear_screen () = print_string "\027[2J\027[H"
 
@@ -114,13 +121,24 @@ let top file watch interval demo =
             prerr_endline ("snet_top: " ^ e);
             exit 1)
       else
-        (* Watch until interrupted; a missing/partial file just shows
-           as a transient notice, the next rewrite fixes it. *)
+        (* Watch until interrupted. A torn or missing file (the
+           producer rewriting it under us) keeps the previous frame on
+           screen with a one-line notice — never a blank screen, never
+           a crash; the next rewrite fixes it. *)
+        let last = ref None in
         while true do
-          clear_screen ();
-          (match show_file path with
-          | Ok () -> ()
-          | Error e -> Printf.printf "(waiting for %s: %s)\n" path e);
+          (match (load_file path, !last) with
+          | Ok frame, _ ->
+              last := Some frame;
+              clear_screen ();
+              print_string frame
+          | Error e, None ->
+              clear_screen ();
+              Printf.printf "(waiting for %s: %s)\n" path e
+          | Error e, Some frame ->
+              clear_screen ();
+              print_string frame;
+              Printf.printf "(stale: %s)\n" e);
           flush stdout;
           Thread.delay interval
         done

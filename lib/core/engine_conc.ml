@@ -311,7 +311,8 @@ let rec build eng path net ~down : target =
       in
       make_tap 0
 
-let start ?pool ?exec ?batch ?mailbox ?observer ?stats ?supervision net =
+let start ?pool ?exec ?batch ?mailbox ?observer ?on_output ?stats ?supervision
+    net =
   let net =
     match supervision with
     | Some config -> Net.with_supervision config net
@@ -343,7 +344,12 @@ let start ?pool ?exec ?batch ?mailbox ?observer ?stats ?supervision net =
             failwith "Engine_conc(output): unclosed deterministic region";
           Mutex.lock eng.imutex;
           eng.results <- r :: eng.results;
-          Mutex.unlock eng.imutex)
+          Mutex.unlock eng.imutex;
+          (* Streaming tap: long-running consumers (snet_serve) see
+             each record as it reaches the global output, without
+             waiting for quiescence. Runs on the output actor, so it
+             must not block for long. *)
+          match on_output with None -> () | Some f -> f r)
   in
   eng.entry <- Some (build eng "" net ~down:results_actor);
   eng
@@ -400,8 +406,12 @@ let finish eng =
 
 let stats eng = Stats.snapshot eng.istats
 
-let run ?pool ?exec ?batch ?mailbox ?observer ?stats ?supervision net inputs =
-  let eng = start ?pool ?exec ?batch ?mailbox ?observer ?stats ?supervision net in
+let run ?pool ?exec ?batch ?mailbox ?observer ?on_output ?stats ?supervision
+    net inputs =
+  let eng =
+    start ?pool ?exec ?batch ?mailbox ?observer ?on_output ?stats ?supervision
+      net
+  in
   (* Attribute the pool's scheduler activity over this run (tasks,
      steals, parks, splits) to the run's stats. The pool may be shared,
      so this is a delta of its monotonic counters, not an absolute.

@@ -41,6 +41,7 @@ val start :
   ?batch:int ->
   ?mailbox:int ->
   ?observer:observer ->
+  ?on_output:(Record.t -> unit) ->
   ?stats:Stats.t ->
   ?supervision:Supervise.config ->
   Net.t ->
@@ -53,7 +54,13 @@ val start :
     every box's own config ({!Net.with_supervision}); error records
     emitted by supervised boxes bypass the remaining components — taking
     the direct edge to the merge point inside deterministic regions, so
-    their position in a deterministic output is preserved. *)
+    their position in a deterministic output is preserved. [on_output],
+    when given, is called with each record as it arrives at the global
+    output stream — the streaming seam long-running services
+    ([snet_serve]) use to route responses without waiting for
+    quiescence. It runs on the output actor: keep it non-blocking, or
+    the network's tail stalls. Records still accumulate for
+    {!finish}. *)
 
 val feed : instance -> Record.t -> unit
 (** Inject one record into the network's input stream. May block
@@ -79,6 +86,7 @@ val run :
   ?batch:int ->
   ?mailbox:int ->
   ?observer:observer ->
+  ?on_output:(Record.t -> unit) ->
   ?stats:Stats.t ->
   ?supervision:Supervise.config ->
   Net.t ->

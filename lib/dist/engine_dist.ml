@@ -42,18 +42,36 @@ let partition ~parts net =
 (* Cut-edge envelope cap: how many records one Data_batch may carry.
    1 disables batching (plain Data frames both ways). The env knob is
    what bench/ci.sh uses to exercise both paths. *)
+let min_batch = 1
+let max_batch = 4096
+let default_batch = 64
+
+let batch_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+      Error
+        (Printf.sprintf "invalid batch %S: expected an integer in [%d, %d]" s
+           min_batch max_batch)
+  | Some n when n < min_batch ->
+      Error
+        (Printf.sprintf
+           "invalid batch %d: must be at least %d (1 disables batching)" n
+           min_batch)
+  | Some n -> Ok (min n max_batch)
+
 let env_batch () =
   match Sys.getenv_opt "SNET_DIST_BATCH" with
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | _ -> 64)
-  | None -> 64
+      match batch_of_string s with
+      | Ok n -> n
+      | Error e -> invalid_arg ("SNET_DIST_BATCH: " ^ e))
+  | None -> default_batch
 
 let resolve_batch = function
-  | Some b ->
-      if b < 1 then invalid_arg "Engine_dist: batch must be at least 1";
-      b
+  | Some b -> (
+      match batch_of_string (string_of_int b) with
+      | Ok n -> n
+      | Error e -> invalid_arg ("Engine_dist: " ^ e))
   | None -> env_batch ()
 
 (* Split [rs] into data messages under the envelope cap: plain Data
@@ -173,7 +191,8 @@ let serve ?pool ~conn ~resolve () =
                         loop ()
                     | Ok Proto.Shutdown -> ()
                     | Ok (Proto.Hello _ | Proto.Hello_ack _ | Proto.Credit _
-                         | Proto.Done | Proto.Crash _) ->
+                         | Proto.Done | Proto.Crash _ | Proto.Open_session _
+                         | Proto.Session_ack _ | Proto.Close_session _) ->
                         loop ()
                     | Error e -> attempt_send conn (Proto.Crash ("protocol error: " ^ e)))
               in
@@ -422,7 +441,10 @@ let rec reader c i conn =
           finish_upstream c (i + 1)
       | Ok (Proto.Crash msg) -> handle_death c i conn msg
       | Ok (Proto.Hello_ack _) -> reader c i conn
-      | Ok (Proto.Hello _ | Proto.Eof | Proto.Shutdown) -> reader c i conn
+      | Ok
+          (Proto.Hello _ | Proto.Eof | Proto.Shutdown | Proto.Open_session _
+          | Proto.Session_ack _ | Proto.Close_session _) ->
+          reader c i conn
       | Error e -> handle_death c i conn ("protocol error: " ^ e))
 
 and handle_death c i conn reason =

@@ -58,6 +58,29 @@
       records are resent, up to [n] times per worker, after which the
       [Error_record] behaviour applies. *)
 
+(** {2 Batch cap validation}
+
+    The cut-edge envelope cap comes from three places — [SNET_DIST_BATCH],
+    [--dist-batch], and the [?batch] arguments below — and all go through
+    {!batch_of_string}: an integer in [[min_batch, max_batch]]; values
+    above [max_batch] are clamped (the documented upper bound), anything
+    below [min_batch] ([0], negatives) and non-integers are rejected with
+    a descriptive message. A malformed [SNET_DIST_BATCH] raises
+    [Invalid_argument] naming the variable instead of silently falling
+    back to the default. *)
+
+val min_batch : int
+(** [1] — a cap of 1 disables batching. *)
+
+val max_batch : int
+(** [4096] — larger requests are clamped here. *)
+
+val default_batch : int
+(** [64] — used when neither env nor argument names a cap. *)
+
+val batch_of_string : string -> (int, string) result
+(** Parse and validate a batch cap (see above). *)
+
 val partition : parts:int -> Snet.Net.t -> Snet.Net.t list
 (** Cut the top-level serial spine into at most [parts] contiguous
     groups, balanced by {!Snet.Net.count_boxes}. Returns fewer groups

@@ -9,6 +9,14 @@ type hello = {
   batch : int;
 }
 
+type session_ack = {
+  session : int;
+  ok : bool;
+  sa_credits : int;
+  sa_batch : int;
+  reason : string;
+}
+
 type msg =
   | Hello of hello
   | Hello_ack of { part : int }
@@ -19,6 +27,9 @@ type msg =
   | Crash of string
   | Shutdown
   | Data_batch of Snet.Record.t list
+  | Open_session of { credits : int; batch : int }
+  | Session_ack of session_ack
+  | Close_session of { session : int }
 
 let k_hello = 1
 let k_hello_ack = 2
@@ -29,6 +40,14 @@ let k_done = 6
 let k_crash = 7
 let k_shutdown = 8
 let k_data_batch = 9
+let k_open_session = 10
+let k_session_ack = 11
+let k_close_session = 12
+
+(* The Hello spec under which a connection negotiates the session
+   sub-protocol (Open_session/Session_ack/Close_session) instead of a
+   worker partition. *)
+let serve_spec = "serve/1"
 
 let add_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
 
@@ -89,7 +108,21 @@ let encode ?ctx m =
   | Crash msg ->
       Buffer.add_uint8 b k_crash;
       add_str b msg
-  | Shutdown -> Buffer.add_uint8 b k_shutdown);
+  | Shutdown -> Buffer.add_uint8 b k_shutdown
+  | Open_session { credits; batch } ->
+      Buffer.add_uint8 b k_open_session;
+      add_u32 b credits;
+      add_u32 b batch
+  | Session_ack a ->
+      Buffer.add_uint8 b k_session_ack;
+      add_u32 b a.session;
+      Buffer.add_uint8 b (if a.ok then 1 else 0);
+      add_u32 b a.sa_credits;
+      add_u32 b a.sa_batch;
+      add_str b a.reason
+  | Close_session { session } ->
+      Buffer.add_uint8 b k_close_session;
+      add_u32 b session);
   Buffer.contents b
 
 exception Bad of string
@@ -180,6 +213,18 @@ let decode ?ctx s =
     | k when k = k_done -> finish Done
     | k when k = k_crash -> finish (Crash (str ()))
     | k when k = k_shutdown -> finish Shutdown
+    | k when k = k_open_session ->
+        let credits = u32 () in
+        let batch = u32 () in
+        finish (Open_session { credits; batch })
+    | k when k = k_session_ack ->
+        let session = u32 () in
+        let ok = u8 () <> 0 in
+        let sa_credits = u32 () in
+        let sa_batch = u32 () in
+        let reason = str () in
+        finish (Session_ack { session; ok; sa_credits; sa_batch; reason })
+    | k when k = k_close_session -> finish (Close_session { session = u32 () })
     | k -> raise (Bad (Printf.sprintf "unknown message kind %d" k))
   with
   | m -> Ok m
@@ -198,3 +243,11 @@ let to_string = function
   | Done -> "Done"
   | Crash m -> Printf.sprintf "Crash %S" m
   | Shutdown -> "Shutdown"
+  | Open_session { credits; batch } ->
+      Printf.sprintf "Open_session{credits=%d batch=%d}" credits batch
+  | Session_ack a ->
+      if a.ok then
+        Printf.sprintf "Session_ack{session=%d credits=%d batch=%d}" a.session
+          a.sa_credits a.sa_batch
+      else Printf.sprintf "Session_ack{rejected: %s}" a.reason
+  | Close_session { session } -> Printf.sprintf "Close_session{session=%d}" session

@@ -32,6 +32,15 @@ type hello = {
           sides then send plain [Data] frames. *)
 }
 
+type session_ack = {
+  session : int;  (** Server-assigned session id (when [ok]). *)
+  ok : bool;
+  sa_credits : int;  (** Granted submit window. *)
+  sa_batch : int;  (** Envelope cap the server will use downstream. *)
+  reason : string;  (** Rejection reason when [not ok], else [""]. *)
+}
+(** Reply to {!msg.Open_session}. *)
+
 type msg =
   | Hello of hello  (** coordinator → worker, first message. *)
   | Hello_ack of { part : int }  (** worker → coordinator. *)
@@ -52,6 +61,20 @@ type msg =
   | Data_batch of Snet.Record.t list
       (** Either direction: a run of records in one envelope,
           multiset-equivalent to sending each as [Data]. *)
+  | Open_session of { credits : int; batch : int }
+      (** client → server ([snet_serve]): request a session after a
+          [Hello] whose [spec] is {!serve_spec}. [credits] is the
+          submit window the client asks for ([<= 0] defers to the
+          server), [batch] its preferred response-envelope cap. *)
+  | Session_ack of session_ack  (** server → client. *)
+  | Close_session of { session : int }
+      (** client → server: no further submissions; the server flushes
+          queued responses, answers [Done] and frees the slot. *)
+
+val serve_spec : string
+(** The {!hello.spec} value (["serve/1"]) under which a connection
+    negotiates the session sub-protocol of [snet_serve] instead of a
+    worker partition. *)
 
 val encode : ?ctx:Wire.ctx -> msg -> string
 (** [ctx] hoists codec lookups and encode scratch across calls (edge

@@ -77,6 +77,13 @@ let loopback_pair ?capacity ?name () =
 module Tcp = struct
   let max_frame = 64 * 1024 * 1024
 
+  (* Every blocking syscall below restarts on EINTR: a long-running
+     daemon (snet_serve) handles SIGTERM/SIGALRM, and OCaml delivers
+     signals by interrupting whatever syscall a thread is parked in —
+     without the restart a signal mid-transfer kills the connection
+     with [Unix_error (EINTR, _, _)]. *)
+  let rec restart f = try f () with Unix.Unix_error (EINTR, _, _) -> restart f
+
   type t = {
     fd : Unix.file_descr;
     mutable open_ : bool;
@@ -111,7 +118,7 @@ module Tcp = struct
   let really_write fd b off len =
     let off = ref off and len = ref len in
     while !len > 0 do
-      let n = Unix.write fd b !off !len in
+      let n = restart (fun () -> Unix.write fd b !off !len) in
       off := !off + n;
       len := !len - n
     done
@@ -120,7 +127,7 @@ module Tcp = struct
   let really_read fd b off len =
     let off = ref off and len = ref len and ok = ref true in
     while !ok && !len > 0 do
-      let n = Unix.read fd b !off !len in
+      let n = restart (fun () -> Unix.read fd b !off !len) in
       if n = 0 then ok := false
       else begin
         off := !off + n;
@@ -214,16 +221,20 @@ module Tcp = struct
 
   let port l = l.lport
 
-  let accept ?timeout_s l =
-    (match timeout_s with
-    | None -> ()
-    | Some t -> (
-        match Unix.select [ l.lfd ] [] [] t with
-        | [], _, _ ->
-            failwith
-              (Printf.sprintf "Tcp.accept: no connection within %.1fs" t)
-        | _ -> ()));
-    let fd, addr = Unix.accept l.lfd in
+  (* EINTR-safe readiness wait with a deadline; [true] when readable. *)
+  let wait_readable fd deadline =
+    let rec go () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then false
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    in
+    go ()
+
+  let conn_of_accepted (fd, addr) =
     let name =
       match addr with
       | Unix.ADDR_INET (a, p) ->
@@ -232,10 +243,45 @@ module Tcp = struct
     in
     of_fd fd name
 
+  let accept ?timeout_s l =
+    (match timeout_s with
+    | None -> ()
+    | Some t ->
+        if not (wait_readable l.lfd (Unix.gettimeofday () +. t)) then
+          failwith (Printf.sprintf "Tcp.accept: no connection within %.1fs" t));
+    conn_of_accepted (restart (fun () -> Unix.accept l.lfd))
+
+  (* Bounded accept for server loops: [None] on timeout (so the caller
+     can check a shutdown flag and come back), never an exception for
+     the no-connection case. *)
+  let try_accept ~timeout_s l =
+    if not (wait_readable l.lfd (Unix.gettimeofday () +. timeout_s)) then None
+    else
+      match restart (fun () -> Unix.accept l.lfd) with
+      | fd_addr -> Some (conn_of_accepted fd_addr)
+      | exception Unix.Unix_error ((ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _)
+        ->
+          None
+
   let connect ~host ~port =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
-       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+       let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+       try Unix.connect fd addr
+       with Unix.Unix_error (EINTR, _, _) ->
+         (* A connect interrupted by a signal completes asynchronously:
+            retrying it raises EALREADY, so wait for writability and
+            read the outcome from SO_ERROR instead. *)
+         let rec wait () =
+           match Unix.select [] [ fd ] [] (-1.) with
+           | _, _ :: _, _ -> ()
+           | _ -> wait ()
+           | exception Unix.Unix_error (EINTR, _, _) -> wait ()
+         in
+         wait ();
+         (match Unix.getsockopt_error fd with
+         | None -> ()
+         | Some err -> raise (Unix.Unix_error (err, "connect", "")))
      with e ->
        (try Unix.close fd with _ -> ());
        raise e);

@@ -86,6 +86,12 @@ module Tcp : sig
   (** @raise Failure when no peer connects within [timeout_s]
       (default: wait forever). *)
 
+  val try_accept : timeout_s:float -> listener -> t option
+  (** Bounded accept for server loops: [None] when no peer connects
+      within [timeout_s] (so the caller can check a shutdown flag and
+      retry). Restarts on EINTR like every blocking call here — a
+      signal never surfaces as an exception. *)
+
   val connect : host:string -> port:int -> t
   val close_listener : listener -> unit
 

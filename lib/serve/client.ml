@@ -1,0 +1,134 @@
+(* Synchronous client for the framed-TCP session protocol: one
+   connection, one session, one driving thread. Used by the serve
+   tests and the load bench; snet_serve's peers in other processes
+   would speak the same frames.
+
+   The client owes the server nothing but credit discipline: [submit]
+   blocks — reading and buffering response frames — until a credit is
+   available, so a well-behaved client can never overrun its window. *)
+
+module Proto = Dist.Proto
+module Transport = Dist.Transport
+
+type t = {
+  conn : Transport.conn;
+  ctx : Dist.Wire.ctx;
+  session : int;
+  sa_credits : int;
+  mutable credits : int;
+  pending : Snet.Record.t Queue.t;
+  mutable state : [ `Open | `Draining | `Done | `Crashed of string ];
+}
+
+let session t = t.session
+let window t = t.sa_credits
+
+let connect ?(credits = 0) ?(batch = 0) conn =
+  let ctx = Dist.Wire.ctx () in
+  let hello =
+    Proto.Hello
+      {
+        spec = Proto.serve_spec;
+        part = 0;
+        parts = 1;
+        policy = "";
+        timeout = None;
+        credits;
+        crash_after = -1;
+        batch;
+      }
+  in
+  Transport.send conn (Proto.encode hello);
+  match Transport.recv conn with
+  | `Closed -> Error "connection closed during hello"
+  | `Msg m -> (
+      match Proto.decode m with
+      | Ok (Proto.Hello_ack _) -> (
+          Transport.send conn (Proto.encode (Proto.Open_session { credits; batch }));
+          match Transport.recv conn with
+          | `Closed -> Error "connection closed during open"
+          | `Msg m -> (
+              match Proto.decode m with
+              | Ok (Proto.Session_ack a) when a.Proto.ok ->
+                  Ok
+                    {
+                      conn;
+                      ctx;
+                      session = a.Proto.session;
+                      sa_credits = a.Proto.sa_credits;
+                      credits = a.Proto.sa_credits;
+                      pending = Queue.create ();
+                      state = `Open;
+                    }
+              | Ok (Proto.Session_ack a) -> Error a.Proto.reason
+              | Ok m -> Error ("unexpected reply: " ^ Proto.to_string m)
+              | Error e -> Error e))
+      | Ok (Proto.Session_ack a) when not a.Proto.ok -> Error a.Proto.reason
+      | Ok m -> Error ("unexpected reply: " ^ Proto.to_string m)
+      | Error e -> Error e)
+
+(* Pull one frame off the wire into the client's state machine. *)
+let pump t =
+  match Transport.recv t.conn with
+  | `Closed -> if t.state = `Open || t.state = `Draining then t.state <- `Done
+  | `Msg m -> (
+      match Proto.decode ~ctx:t.ctx m with
+      | Ok (Proto.Data r) -> Queue.push r t.pending
+      | Ok (Proto.Data_batch rs) -> List.iter (fun r -> Queue.push r t.pending) rs
+      | Ok (Proto.Credit n) -> t.credits <- t.credits + n
+      | Ok (Proto.Session_ack a) when not a.Proto.ok -> t.state <- `Draining
+      | Ok Proto.Done -> t.state <- `Done
+      | Ok (Proto.Crash e) -> t.state <- `Crashed e
+      | Ok _ -> ()
+      | Error e -> t.state <- `Crashed ("decode: " ^ e))
+
+let submit t r =
+  let rec wait_credit () =
+    match t.state with
+    | `Draining -> `Draining
+    | `Done -> `Done
+    | `Crashed e -> `Crashed e
+    | `Open ->
+        if t.credits > 0 then `Ok
+        else begin
+          pump t;
+          wait_credit ()
+        end
+  in
+  match wait_credit () with
+  | `Ok ->
+      Transport.send t.conn (Proto.encode ~ctx:t.ctx (Proto.Data r));
+      t.credits <- t.credits - 1;
+      `Ok
+  | (`Draining | `Done | `Crashed _) as x -> x
+
+let recv t =
+  let rec go () =
+    match Queue.take_opt t.pending with
+    | Some r -> `Record r
+    | None -> (
+        match t.state with
+        | `Done -> `Done
+        | `Crashed e -> `Crashed e
+        | `Open | `Draining ->
+            pump t;
+            go ())
+  in
+  go ()
+
+let close t =
+  if t.state = `Open || t.state = `Draining then
+    try Transport.send t.conn (Proto.encode (Proto.Close_session { session = t.session }))
+    with Transport.Closed_conn -> ()
+
+(* Close, then read to [Done]: everything the server still owed us. *)
+let drain_remaining t =
+  close t;
+  let rec go acc =
+    match recv t with
+    | `Record r -> go (r :: acc)
+    | `Done | `Crashed _ -> List.rev acc
+  in
+  let rs = go [] in
+  Transport.close t.conn;
+  rs

@@ -1,0 +1,42 @@
+(** Synchronous client for the [snet_serve] framed-TCP session
+    protocol: one connection, one session, one driving thread. Used by
+    the serve tests and the load bench.
+
+    The client enforces credit discipline itself: {!submit} blocks —
+    pumping and buffering response frames — until a credit is
+    available, so it can never overrun the granted window. *)
+
+type t
+
+val connect : ?credits:int -> ?batch:int -> Dist.Transport.conn -> (t, string) result
+(** Handshake ([Hello]/[Open_session]) on an established connection.
+    [credits]/[batch] [<= 0] defer to the server's configuration.
+    [Error reason] on rejection (admission control, drain, protocol
+    mismatch). *)
+
+val session : t -> int
+(** The server-assigned session id. *)
+
+val window : t -> int
+(** The granted submit window. *)
+
+val submit :
+  t ->
+  Snet.Record.t ->
+  [ `Ok | `Draining | `Done | `Crashed of string ]
+(** Send one record, blocking for a credit first. [`Draining] once the
+    server rejected a submission mid-drain (stop submitting, keep
+    {!recv}-ing), [`Done] after the server flushed and finished. *)
+
+val recv : t -> [ `Record of Snet.Record.t | `Done | `Crashed of string ]
+(** Next response — buffered, or pumped off the wire (blocking).
+    [`Done] is terminal: every response owed has been delivered. *)
+
+val close : t -> unit
+(** Announce [Close_session] (no more submissions). Responses already
+    owed still arrive; terminate with {!recv} to [`Done] or
+    {!drain_remaining}. *)
+
+val drain_remaining : t -> Snet.Record.t list
+(** {!close}, read every remaining response until [Done], then close
+    the connection. *)

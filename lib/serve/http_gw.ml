@@ -1,0 +1,424 @@
+(* A deliberately small HTTP/1.1 front door for {!Serve}: hand-rolled
+   request parsing on raw [Unix] sockets (the repo carries no HTTP
+   dependency, mirroring how {!Obsv.Jsonx} exists instead of a JSON
+   one), one request per connection, JSON in and out.
+
+   Records cross the JSON boundary in two shapes: a ["tags"] object
+   (enough for tag-only nets like [ping], and always present on
+   responses), and optionally ["frame_hex"] — the hex of a complete
+   {!Dist.Wire} frame — which carries full field payloads for any
+   record whose codecs are registered, without the gateway knowing
+   field types. *)
+
+module J = Obsv.Jsonx
+
+let rec restart f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+let max_head = 16 * 1024
+let max_body = 4 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Record <-> JSON *)
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex"
+  else
+    try
+      Ok
+        (String.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error "invalid hex"
+
+let record_to_json ~ctx r =
+  let tags =
+    J.Obj
+      (List.map (fun (l, v) -> (l, J.Num (float_of_int v))) (Snet.Record.tags r))
+  in
+  let base = [ ("tags", tags) ] in
+  let fields =
+    match Snet.Record.field_labels r with
+    | [] -> base
+    | _ -> (
+        (* Field payloads only travel when every codec is registered;
+           tag-only consumers still get the tags either way. *)
+        match Dist.Wire.render ~ctx r with
+        | frame -> ("frame_hex", J.Str (hex_of_string frame)) :: base
+        | exception Dist.Wire.Unencodable _ -> base)
+  in
+  J.Obj fields
+
+let record_of_json ~ctx j =
+  let ( let* ) = Result.bind in
+  let* base =
+    match J.member "frame_hex" j with
+    | Some (J.Str hx) ->
+        let* raw = string_of_hex hx in
+        Dist.Wire.read ~ctx raw
+    | Some _ -> Error "frame_hex: expected a string"
+    | None -> Ok Snet.Record.empty
+  in
+  match J.member "tags" j with
+  | None -> Ok base
+  | Some (J.Obj kvs) ->
+      List.fold_left
+        (fun acc (l, v) ->
+          let* r = acc in
+          match J.to_int v with
+          | Some n -> Ok (Snet.Record.with_tag l n r)
+          | None -> Error (Printf.sprintf "tags.%s: expected an integer" l))
+        (Ok base) kvs
+  | Some _ -> Error "tags: expected an object"
+
+(* ------------------------------------------------------------------ *)
+(* Request plumbing *)
+
+type request = {
+  meth : string;
+  path : string list;  (** decoded segments, query stripped *)
+  query : (string * string) list;
+  body : string;
+}
+
+let really_read fd buf pos len =
+  let rec go pos len =
+    if len > 0 then
+      let n = restart (fun () -> Unix.read fd buf pos len) in
+      if n = 0 then failwith "eof" else go (pos + n) (len - n)
+  in
+  go pos len
+
+let read_request fd =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 512 in
+  let rec head_end () =
+    let s = Buffer.contents acc in
+    let rec find i =
+      if i + 3 >= String.length s then None
+      else if
+        s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some i -> Some (s, i)
+    | None ->
+        if Buffer.length acc > max_head then None
+        else
+          let n = restart (fun () -> Unix.read fd buf 0 (Bytes.length buf)) in
+          if n = 0 then None
+          else begin
+            Buffer.add_subbytes acc buf 0 n;
+            head_end ()
+          end
+  in
+  match head_end () with
+  | None -> None
+  | Some (s, i) -> (
+      let head = String.sub s 0 i in
+      let rest = String.sub s (i + 4) (String.length s - i - 4) in
+      match String.split_on_char '\r' (head ^ "\r") |> List.map String.trim with
+      | [] -> None
+      | reqline :: headers -> (
+          match String.split_on_char ' ' reqline with
+          | meth :: target :: _ ->
+              let clen =
+                List.fold_left
+                  (fun acc h ->
+                    match String.index_opt h ':' with
+                    | Some c
+                      when String.lowercase_ascii (String.sub h 0 c)
+                           = "content-length" -> (
+                        match
+                          int_of_string_opt
+                            (String.trim
+                               (String.sub h (c + 1) (String.length h - c - 1)))
+                        with
+                        | Some n -> n
+                        | None -> acc)
+                    | _ -> acc)
+                  0 headers
+              in
+              if clen < 0 || clen > max_body then None
+              else begin
+                let body =
+                  if String.length rest >= clen then String.sub rest 0 clen
+                  else begin
+                    let missing = clen - String.length rest in
+                    let b = Bytes.create missing in
+                    match really_read fd b 0 missing with
+                    | () -> rest ^ Bytes.to_string b
+                    | exception _ -> rest
+                  end
+                in
+                let path_s, query_s =
+                  match String.index_opt target '?' with
+                  | None -> (target, "")
+                  | Some q ->
+                      ( String.sub target 0 q,
+                        String.sub target (q + 1) (String.length target - q - 1)
+                      )
+                in
+                let path =
+                  String.split_on_char '/' path_s
+                  |> List.filter (fun s -> s <> "")
+                in
+                let query =
+                  String.split_on_char '&' query_s
+                  |> List.filter_map (fun kv ->
+                         match String.index_opt kv '=' with
+                         | None -> None
+                         | Some e ->
+                             Some
+                               ( String.sub kv 0 e,
+                                 String.sub kv (e + 1)
+                                   (String.length kv - e - 1) ))
+                in
+                Some { meth; path; query; body }
+              end
+          | _ -> None))
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go pos len =
+    if len > 0 then
+      let n = restart (fun () -> Unix.write fd b pos len) in
+      go (pos + n) (len - n)
+  in
+  go 0 (Bytes.length b)
+
+let status_text = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 429 -> "Too Many Requests"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let respond fd status body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: application/json\r\nContent-Length: \
+        %d\r\nConnection: close\r\n\r\n%s"
+       status (status_text status) (String.length body) body)
+
+let respond_json fd status j = respond fd status (J.render j)
+let err fd status msg = respond_json fd status (J.Obj [ ("error", J.Str msg) ])
+
+(* ------------------------------------------------------------------ *)
+(* The gateway *)
+
+type t = {
+  srv : Server.t;
+  lfd : Unix.file_descr;
+  port : int;
+  mutable stop : bool;
+  mutable acceptor : Thread.t option;
+  mu : Mutex.t;
+  sessions : (int, Server.session) Hashtbl.t;
+      (* HTTP sessions are poll-based: the gateway keeps the id ->
+         session map (the TCP path holds its session on the stack
+         instead). *)
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let lookup t id = locked t (fun () -> Hashtbl.find_opt t.sessions id)
+let forget t id = locked t (fun () -> Hashtbl.remove t.sessions id)
+
+let health_json h =
+  let n f = J.Num (float_of_int f) in
+  J.Obj
+    [
+      ("status", J.Str (if h.Server.draining then "draining" else "ok"));
+      ("active", n h.Server.active);
+      ("opened", n h.Server.opened);
+      ("rejected", n h.Server.rejected);
+      ("closed", n h.Server.closed);
+      ("reaped", n h.Server.reaped);
+      ("submitted", n h.Server.submitted);
+      ("delivered", n h.Server.delivered);
+      ("dropped", n h.Server.dropped);
+      ("orphaned", n h.Server.orphaned);
+    ]
+
+let parse_records body ~ctx =
+  match J.parse body with
+  | Error e -> Error ("body: " ^ e)
+  | Ok j -> (
+      match J.member "records" j with
+      | Some (J.List js) ->
+          List.fold_left
+            (fun acc rj ->
+              Result.bind acc (fun rs ->
+                  Result.map (fun r -> r :: rs) (record_of_json ~ctx rj)))
+            (Ok []) js
+          |> Result.map List.rev
+      | Some _ -> Error "records: expected a list"
+      | None -> Result.map (fun r -> [ r ]) (record_of_json ~ctx j))
+
+let handle_request t ~ctx fd req =
+  match (req.meth, req.path) with
+  | "GET", [ "health" ] -> respond_json fd 200 (health_json (Server.health t.srv))
+  | "GET", [ "metrics" ] ->
+      respond fd 200 (Obsv.Metrics.to_json (Obsv.Metrics.snapshot ()))
+  | "POST", [ "v1"; "session" ] -> (
+      let credits =
+        match J.parse req.body with
+        | Ok j -> Option.bind (J.member "credits" j) J.to_int
+        | Error _ -> None
+      in
+      match Server.open_session ?credits t.srv with
+      | Error `Draining -> err fd 503 "draining"
+      | Error `Full -> err fd 503 "session limit reached"
+      | Ok s ->
+          let id = Server.session_id s in
+          locked t (fun () -> Hashtbl.replace t.sessions id s);
+          respond_json fd 201
+            (J.Obj
+               [
+                 ("session", J.Num (float_of_int id));
+                 ("credits", J.Num (float_of_int (Server.window s)));
+               ]))
+  | meth, [ "v1"; "session"; id_s ] -> (
+      match (int_of_string_opt id_s, meth) with
+      | None, _ -> err fd 400 "bad session id"
+      | Some id, "DELETE" -> (
+          match lookup t id with
+          | None -> err fd 404 "unknown session"
+          | Some s ->
+              Server.close_session t.srv s;
+              forget t id;
+              respond_json fd 200 (J.Obj [ ("closed", J.Num (float_of_int id)) ])
+          )
+      | Some _, _ -> err fd 405 "method not allowed")
+  | meth, [ "v1"; "session"; id_s; "records" ] -> (
+      match int_of_string_opt id_s with
+      | None -> err fd 400 "bad session id"
+      | Some id -> (
+          match lookup t id with
+          | None -> err fd 404 "unknown session"
+          | Some s -> (
+              match meth with
+              | "POST" -> (
+                  match parse_records req.body ~ctx with
+                  | Error e -> err fd 400 e
+                  | Ok rs ->
+                      (* The HTTP analogue of withheld credits: refuse
+                         new work while the response backlog fills the
+                         window. *)
+                      if Server.backlog s >= Server.window s then
+                        err fd 429 "backlogged: poll responses first"
+                      else begin
+                        let accepted = ref 0 and verdict = ref `Ok in
+                        List.iter
+                          (fun r ->
+                            match Server.submit t.srv s r with
+                            | `Ok -> incr accepted
+                            | (`Closed | `Draining) as v -> verdict := v)
+                          rs;
+                        ignore (Server.take_grants t.srv s);
+                        match !verdict with
+                        | `Ok ->
+                            respond_json fd 200
+                              (J.Obj
+                                 [
+                                   ( "accepted",
+                                     J.Num (float_of_int !accepted) );
+                                 ])
+                        | `Draining -> err fd 503 "draining"
+                        | `Closed -> err fd 404 "session closed"
+                      end)
+              | "GET" ->
+                  let max =
+                    match List.assoc_opt "max" req.query with
+                    | Some v -> (
+                        match int_of_string_opt v with
+                        | Some n when n > 0 -> n
+                        | _ -> 64)
+                    | None -> 64
+                  in
+                  let rs = Server.poll t.srv s ~max in
+                  respond_json fd 200
+                    (J.Obj
+                       [
+                         ("records", J.List (List.map (record_to_json ~ctx) rs));
+                         ("closed", J.Bool (Server.closed s));
+                       ])
+              | _ -> err fd 405 "method not allowed")))
+  | _ -> err fd 404 "no such route"
+
+let handle_conn t fd =
+  let ctx = Dist.Wire.ctx () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match read_request fd with
+      | None -> (try err fd 400 "malformed request" with _ -> ())
+      | Some req -> (
+          try handle_request t ~ctx fd req
+          with e ->
+            (try err fd 400 (Printexc.to_string e) with _ -> ())))
+
+let wait_readable fd timeout_s =
+  match restart (fun () -> Unix.select [ fd ] [] [] timeout_s) with
+  | [], _, _ -> false
+  | _ -> true
+
+let accept_loop t () =
+  while not t.stop do
+    if wait_readable t.lfd 0.2 then
+      match restart (fun () -> Unix.accept t.lfd) with
+      | fd, _ -> ignore (Thread.create (handle_conn t) fd)
+      | exception Unix.Unix_error ((ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _)
+        -> ()
+      | exception Unix.Unix_error (EBADF, _, _) -> t.stop <- true
+  done
+
+let start ?(host = "127.0.0.1") ?(port = 0) srv =
+  let lfd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt lfd SO_REUSEADDR true;
+  (try Unix.bind lfd (ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close lfd;
+     raise e);
+  Unix.listen lfd 64;
+  let port =
+    match Unix.getsockname lfd with
+    | ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      srv;
+      lfd;
+      port;
+      stop = false;
+      acceptor = None;
+      mu = Mutex.create ();
+      sessions = Hashtbl.create 16;
+    }
+  in
+  t.acceptor <- Some (Thread.create (accept_loop t) ());
+  t
+
+let port t = t.port
+
+let stop t =
+  t.stop <- true;
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  match t.acceptor with
+  | Some th ->
+      t.acceptor <- None;
+      Thread.join th
+  | None -> ()

@@ -1,0 +1,43 @@
+(** HTTP/JSON front door for {!Serve} — a hand-rolled HTTP/1.1 server
+    on raw [Unix] sockets (no HTTP dependency, in the same spirit as
+    {!Obsv.Jsonx}), one request per connection.
+
+    Routes:
+    - [GET /health] — serving counters and drain state;
+    - [GET /metrics] — the {!Obsv.Metrics} snapshot JSON ([snet_top]
+      reads the same shape);
+    - [POST /v1/session] — open a session (optional body
+      [{"credits": n}]); [201] with [{"session", "credits"}], [503]
+      when full or draining;
+    - [POST /v1/session/<id>/records] — submit records; body is either
+      one record object or [{"records": [...]}]. [429] while the
+      session's response backlog fills its window (poll first) — the
+      HTTP analogue of the TCP credit window;
+    - [GET /v1/session/<id>/records?max=k] — non-blocking poll,
+      [{"records": [...], "closed": bool}];
+    - [DELETE /v1/session/<id>] — close the session.
+
+    A record object is [{"tags": {label: int, ...}}] and/or
+    [{"frame_hex": "..."}] (hex of a complete {!Dist.Wire} frame, for
+    records with field payloads whose codecs are registered). *)
+
+type t
+
+val start : ?host:string -> ?port:int -> Server.t -> t
+(** Bind, listen and spawn the accept thread. [host] defaults to
+    ["127.0.0.1"], [port] to [0] (ephemeral — read it with
+    {!val-port}). *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the listener and join the accept thread (in-flight request
+    handlers finish on their own). Does {e not} drain {!Serve} — the
+    daemon sequences that. *)
+
+val record_to_json : ctx:Dist.Wire.ctx -> Snet.Record.t -> Obsv.Jsonx.t
+(** Exposed for the tests: the response-side record mapping. *)
+
+val record_of_json :
+  ctx:Dist.Wire.ctx -> Obsv.Jsonx.t -> (Snet.Record.t, string) result
+(** Exposed for the tests: the request-side record mapping. *)

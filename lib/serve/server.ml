@@ -1,0 +1,521 @@
+(* Network-as-a-service core: one compiled net, many concurrent client
+   sessions.
+
+   The served network is wrapped in a parallel replicator on the
+   session tag — [net !! <serve_session>] — so the combinator the paper
+   already provides guarantees every session's records meet their own
+   replica and responses carry the session tag back out (flow
+   inheritance keeps the tag on every output). The transport layers
+   (framed TCP in this module, HTTP in {!Http_gw}) are thin: all
+   session lifecycle, admission, credit and drain logic lives here,
+   against plain records, so the tier-1 tests drive it without
+   sockets. *)
+
+module Record = Snet.Record
+
+let session_tag = "serve_session"
+
+type config = {
+  max_sessions : int;
+  credits : int;
+  batch : int;
+  idle_timeout : float;
+}
+
+let default_config =
+  {
+    max_sessions = 64;
+    credits = 32;
+    batch = Dist.Engine_dist.default_batch;
+    idle_timeout = 300.;
+  }
+
+type session = {
+  id : int;
+  window : int;
+  out_q : Record.t Streams.Channel.t;
+  mutable last_activity : float;
+  mutable closing : bool;
+  mutable withheld : int;
+  mutable submitted : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  on_evict : unit -> unit;
+}
+
+type health = {
+  active : int;
+  draining : bool;
+  opened : int;
+  rejected : int;
+  closed : int;
+  reaped : int;
+  submitted : int;
+  delivered : int;
+  dropped : int;
+  orphaned : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  cfg : config;
+  sessions : (int, session) Hashtbl.t;
+  mutable inst : Snet.Engine_conc.instance option;
+  mutable draining : bool;
+  mutable inflight_feeds : int;
+  (* lifetime totals; per-session counters fold in on close/reap *)
+  mutable n_opened : int;
+  mutable n_rejected : int;
+  mutable n_closed : int;
+  mutable n_reaped : int;
+  mutable n_submitted : int;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+  mutable n_orphaned : int;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let edge_out s = Printf.sprintf "serve:s%d.out" s.id
+let edge_in = "serve:in"
+
+let instance t =
+  match t.inst with
+  | Some i -> i
+  | None -> failwith "Serve: engine not initialised"
+
+(* Responses reaching the global output stream are fanned out to the
+   owning session's bounded queue. Runs on the engine's output actor:
+   never block here, or a slow client stalls the whole net — the
+   blocking fallback below is only reachable when one input fans out
+   into more responses than the queue's headroom holds, and is counted
+   as a stall. *)
+let route_output t r =
+  let target =
+    match Record.tag session_tag r with
+    | None -> None
+    | Some id -> locked t (fun () -> Hashtbl.find_opt t.sessions id)
+  in
+  match target with
+  | None -> locked t (fun () -> t.n_orphaned <- t.n_orphaned + 1)
+  | Some s -> (
+      match Streams.Channel.try_send s.out_q r with
+      | `Ok ->
+          Obsv.Probe.edge_send ~name:(edge_out s)
+            ~depth:(Streams.Channel.length s.out_q)
+      | `Closed -> s.dropped <- s.dropped + 1
+      | `Full -> (
+          Obsv.Probe.edge_stall ~name:(edge_out s);
+          try Streams.Channel.send s.out_q r
+          with Streams.Channel.Closed -> s.dropped <- s.dropped + 1))
+
+let create ?pool ?exec ?(cfg = default_config) net =
+  if cfg.max_sessions < 1 then invalid_arg "Serve.create: max_sessions < 1";
+  if cfg.credits < 1 then invalid_arg "Serve.create: credits < 1";
+  (match Dist.Engine_dist.batch_of_string (string_of_int cfg.batch) with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Serve.create: " ^ e));
+  let t =
+    {
+      mu = Mutex.create ();
+      cfg;
+      sessions = Hashtbl.create 64;
+      inst = None;
+      draining = false;
+      inflight_feeds = 0;
+      n_opened = 0;
+      n_rejected = 0;
+      n_closed = 0;
+      n_reaped = 0;
+      n_submitted = 0;
+      n_delivered = 0;
+      n_dropped = 0;
+      n_orphaned = 0;
+    }
+  in
+  let wrapped = Snet.Net.split net session_tag in
+  t.inst <-
+    Some
+      (Snet.Engine_conc.start ?pool ?exec ~on_output:(route_output t) wrapped);
+  t
+
+(* Session ids are the smallest free ones, not monotonic: the engine
+   unfolds one net replica per distinct tag value and never folds it
+   back, so id reuse keeps the replica count bounded by [max_sessions]
+   over the daemon's lifetime. (Corollary: a net with cross-record
+   state — sync cells — carries that state from a closed session to
+   the next one reusing its id; serve stateless-per-record nets.) *)
+let alloc_id t =
+  let rec go i = if Hashtbl.mem t.sessions i then go (i + 1) else i in
+  go 0
+
+let open_session ?credits ?(on_evict = fun () -> ()) t =
+  let window =
+    match credits with
+    | Some c when c > 0 -> min c t.cfg.credits
+    | _ -> t.cfg.credits
+  in
+  locked t (fun () ->
+      if t.draining then begin
+        t.n_rejected <- t.n_rejected + 1;
+        Error `Draining
+      end
+      else if Hashtbl.length t.sessions >= t.cfg.max_sessions then begin
+        t.n_rejected <- t.n_rejected + 1;
+        Error `Full
+      end
+      else begin
+        let id = alloc_id t in
+        let s =
+          {
+            id;
+            window;
+            (* Headroom above the credit window: fan-out nets may
+               answer one input with several records. *)
+            out_q = Streams.Channel.create ~capacity:(8 * window) ();
+            last_activity = Scheduler.Clock.now ();
+            closing = false;
+            withheld = 0;
+            submitted = 0;
+            delivered = 0;
+            dropped = 0;
+            on_evict;
+          }
+        in
+        Hashtbl.replace t.sessions id s;
+        t.n_opened <- t.n_opened + 1;
+        Obsv.Probe.instant ~cat:"serve" ~name:"session.open" ~value:id ();
+        Ok s
+      end)
+
+let submit t s r =
+  let admitted =
+    locked t (fun () ->
+        if s.closing then `Closed
+        else if t.draining then `Draining
+        else begin
+          s.last_activity <- Scheduler.Clock.now ();
+          s.submitted <- s.submitted + 1;
+          t.n_submitted <- t.n_submitted + 1;
+          t.inflight_feeds <- t.inflight_feeds + 1;
+          `Admit
+        end)
+  in
+  match admitted with
+  | (`Closed | `Draining) as x -> x
+  | `Admit ->
+      let tagged = Record.with_tag session_tag s.id r in
+      Obsv.Probe.edge_send ~name:edge_in ~depth:(s.submitted - s.delivered);
+      Fun.protect
+        ~finally:(fun () ->
+          locked t (fun () -> t.inflight_feeds <- t.inflight_feeds - 1))
+        (fun () -> Snet.Engine_conc.feed (instance t) tagged);
+      locked t (fun () -> s.withheld <- s.withheld + 1);
+      `Ok
+
+(* Each admitted record earns one credit, granted back to the client
+   only while the session's response backlog is below its window: a
+   client that stops reading responses stops receiving credits, and
+   therefore stops submitting — per-session backpressure that never
+   touches the net. *)
+let take_grants t s =
+  locked t (fun () ->
+      if Streams.Channel.length s.out_q >= s.window then 0
+      else begin
+        let g = s.withheld in
+        s.withheld <- 0;
+        g
+      end)
+
+let backlog s = Streams.Channel.length s.out_q
+let window s = s.window
+let closed s = Streams.Channel.is_closed s.out_q
+
+let note_delivered t s n =
+  if n > 0 then begin
+    Obsv.Probe.edge_recv ~name:(edge_out s) ~depth:(Streams.Channel.length s.out_q);
+    Obsv.Probe.edge_batch ~name:(edge_out s) ~size:n;
+    locked t (fun () ->
+        s.delivered <- s.delivered + n;
+        t.n_delivered <- t.n_delivered + n)
+  end
+
+let poll t s ~max =
+  let rs = Streams.Channel.drain s.out_q ~max in
+  note_delivered t s (List.length rs);
+  (match rs with
+  | [] -> ()
+  | _ :: _ -> locked t (fun () -> s.last_activity <- Scheduler.Clock.now ()));
+  rs
+
+let recv_outputs t s ~max =
+  match Streams.Channel.recv_batch s.out_q ~max with
+  | `Closed -> `Closed
+  | `Batch rs ->
+      note_delivered t s (List.length rs);
+      `Batch rs
+
+let fold_counters t (s : session) ~reaped =
+  (* caller holds t.mu *)
+  t.n_dropped <- t.n_dropped + s.dropped;
+  if reaped then t.n_reaped <- t.n_reaped + 1 else t.n_closed <- t.n_closed + 1
+
+let close_session t s =
+  let fresh =
+    locked t (fun () ->
+        if s.closing then false
+        else begin
+          s.closing <- true;
+          Hashtbl.remove t.sessions s.id;
+          fold_counters t s ~reaped:false;
+          true
+        end)
+  in
+  if fresh then begin
+    Streams.Channel.close s.out_q;
+    Obsv.Probe.instant ~cat:"serve" ~name:"session.close" ~value:s.id ()
+  end
+
+let reap_idle t =
+  if t.cfg.idle_timeout <= 0. then []
+  else begin
+    let now = Scheduler.Clock.now () in
+    let victims =
+      locked t (fun () ->
+          let vs =
+            Hashtbl.fold
+              (fun _ s acc ->
+                if
+                  (not s.closing)
+                  && now -. s.last_activity > t.cfg.idle_timeout
+                then s :: acc
+                else acc)
+              t.sessions []
+          in
+          List.iter
+            (fun s ->
+              s.closing <- true;
+              Hashtbl.remove t.sessions s.id;
+              fold_counters t s ~reaped:true)
+            vs;
+          vs)
+    in
+    List.iter
+      (fun s ->
+        Streams.Channel.close s.out_q;
+        Obsv.Probe.instant ~cat:"serve" ~name:"session.reap" ~value:s.id ();
+        s.on_evict ())
+      victims;
+    List.map (fun s -> s.id) victims
+  end
+
+let begin_drain t = locked t (fun () -> t.draining <- true)
+let is_draining t = locked t (fun () -> t.draining)
+
+(* Graceful drain: reject new work, wait until every in-flight record
+   has fully traversed the net and its response was routed, then close
+   the session queues so consumers flush and observe end-of-stream.
+   The settle loop below closes the admit-then-feed window — a submit
+   that won the admission race may still be injecting its record while
+   we wait for quiescence; [Clock.sleep] keeps the retry schedulable
+   under detcheck's virtual clock. *)
+let drain t =
+  begin_drain t;
+  let rec settle () =
+    ignore (Snet.Engine_conc.finish (instance t));
+    if locked t (fun () -> t.inflight_feeds > 0) then begin
+      Scheduler.Clock.sleep 0.001;
+      settle ()
+    end
+    else ignore (Snet.Engine_conc.finish (instance t))
+  in
+  settle ();
+  let remaining =
+    locked t (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [])
+  in
+  List.iter (fun s -> Streams.Channel.close s.out_q) remaining;
+  Obsv.Probe.instant ~cat:"serve" ~name:"drain" ()
+
+let session_count t = locked t (fun () -> Hashtbl.length t.sessions)
+
+let health t =
+  locked t (fun () ->
+      let live f = Hashtbl.fold (fun _ s acc -> acc + f s) t.sessions 0 in
+      {
+        active = Hashtbl.length t.sessions;
+        draining = t.draining;
+        opened = t.n_opened;
+        rejected = t.n_rejected;
+        closed = t.n_closed;
+        reaped = t.n_reaped;
+        submitted = t.n_submitted;
+        delivered = t.n_delivered;
+        dropped = t.n_dropped + live (fun s -> s.dropped);
+        orphaned = t.n_orphaned;
+      })
+
+let session_id s = s.id
+
+(* ------------------------------------------------------------------ *)
+(* Framed-TCP session service over Transport.conn                      *)
+
+let reject_ack reason =
+  Dist.Proto.Session_ack
+    { session = 0; ok = false; sa_credits = 0; sa_batch = 0; reason }
+
+(* Envelope splitting, mirroring the cut-edge pumps: plain Data when
+   the cap is 1 or the run is a singleton, Data_batch chunks bounded by
+   the cap otherwise. *)
+let data_msgs ~ctx ~batch rs =
+  if batch <= 1 then
+    List.map (fun r -> Dist.Proto.encode ~ctx (Dist.Proto.Data r)) rs
+  else begin
+    let rec chunks acc rs =
+      match rs with
+      | [] -> List.rev acc
+      | _ ->
+          let rec take k xs acc =
+            match (k, xs) with
+            | 0, _ | _, [] -> (List.rev acc, xs)
+            | k, x :: xs -> take (k - 1) xs (x :: acc)
+          in
+          let chunk, rest = take batch rs [] in
+          chunks (chunk :: acc) rest
+    in
+    List.map
+      (function
+        | [ r ] -> Dist.Proto.encode ~ctx (Dist.Proto.Data r)
+        | chunk -> Dist.Proto.encode ~ctx (Dist.Proto.Data_batch chunk))
+      (chunks [] rs)
+  end
+
+let attempt f = try f () with _ -> ()
+
+(* Response writer: drains the session queue in envelope-sized batches,
+   piggybacks any pending credit grants on the same transport write,
+   and — once the queue is closed and flushed — answers [Done] and
+   closes the connection (waking the reader). Connection teardown is
+   the writer's job on every path, so the flush always precedes it. *)
+let session_writer t s conn ~batch () =
+  let ctx = Dist.Wire.ctx () in
+  let rec loop () =
+    match recv_outputs t s ~max:(max 1 batch) with
+    | `Batch rs ->
+        let grants = take_grants t s in
+        let msgs =
+          data_msgs ~ctx ~batch rs
+          @
+          if grants > 0 then [ Dist.Proto.encode (Dist.Proto.Credit grants) ]
+          else []
+        in
+        attempt (fun () -> Dist.Transport.send_many conn msgs);
+        loop ()
+    | `Closed ->
+        attempt (fun () ->
+            Dist.Transport.send conn (Dist.Proto.encode Dist.Proto.Done));
+        Dist.Transport.close conn
+  in
+  loop ()
+
+(* Serve one negotiated session on [conn]; returns when the connection
+   is done. The reader (this thread) feeds the net and grants credits;
+   the writer thread streams responses back. *)
+let serve_session t conn ~window ~batch s =
+  let ctx = Dist.Wire.ctx () in
+  ignore window;
+  let writer = Thread.create (session_writer t s conn ~batch) () in
+  let handle r =
+    match submit t s r with
+    | `Ok ->
+        let g = take_grants t s in
+        if g > 0 then
+          attempt (fun () ->
+              Dist.Transport.send conn (Dist.Proto.encode (Dist.Proto.Credit g)))
+    | `Draining ->
+        attempt (fun () ->
+            Dist.Transport.send conn (Dist.Proto.encode (reject_ack "draining")))
+    | `Closed -> ()
+  in
+  let rec loop () =
+    match Dist.Transport.recv conn with
+    | `Closed -> close_session t s
+    | `Msg m -> (
+        match Dist.Proto.decode ~ctx m with
+        | Ok (Dist.Proto.Data r) ->
+            handle r;
+            loop ()
+        | Ok (Dist.Proto.Data_batch rs) ->
+            List.iter handle rs;
+            loop ()
+        | Ok (Dist.Proto.Close_session _ | Dist.Proto.Eof) ->
+            (* No more submissions: flush-and-done happens in the
+               writer once the queue closes; keep reading until it
+               closes the connection. *)
+            close_session t s;
+            loop ()
+        | Ok _ -> loop ()
+        | Error e ->
+            close_session t s;
+            attempt (fun () ->
+                Dist.Transport.send conn
+                  (Dist.Proto.encode
+                     (Dist.Proto.Crash ("protocol error: " ^ e)))))
+  in
+  loop ();
+  (* The session may have been closed by reap/drain while the client
+     still held the connection: make sure the writer wakes. *)
+  close_session t s;
+  Thread.join writer;
+  Dist.Transport.close conn
+
+(* Full connection lifecycle: Hello/Hello_ack, Open_session/Session_ack
+   (admission control answers rejections in-band), then the session
+   loop. *)
+let serve_conn t conn =
+  let fail reason =
+    attempt (fun () -> Dist.Transport.send conn (Dist.Proto.encode (reject_ack reason)));
+    Dist.Transport.close conn
+  in
+  match Dist.Transport.recv conn with
+  | `Closed -> Dist.Transport.close conn
+  | `Msg m -> (
+      match Dist.Proto.decode m with
+      | Ok (Dist.Proto.Hello h) when h.Dist.Proto.spec = Dist.Proto.serve_spec
+        -> (
+          attempt (fun () ->
+              Dist.Transport.send conn
+                (Dist.Proto.encode (Dist.Proto.Hello_ack { part = 0 })));
+          match Dist.Transport.recv conn with
+          | `Closed -> Dist.Transport.close conn
+          | `Msg m -> (
+              match Dist.Proto.decode m with
+              | Ok (Dist.Proto.Open_session { credits; batch }) -> (
+                  let batch =
+                    if batch <= 0 then t.cfg.batch else min batch t.cfg.batch
+                  in
+                  let on_evict () = Dist.Transport.close conn in
+                  match
+                    open_session
+                      ~credits:(if credits <= 0 then t.cfg.credits else credits)
+                      ~on_evict t
+                  with
+                  | Error `Draining -> fail "draining"
+                  | Error `Full -> fail "session limit reached"
+                  | Ok s ->
+                      attempt (fun () ->
+                          Dist.Transport.send conn
+                            (Dist.Proto.encode
+                               (Dist.Proto.Session_ack
+                                  {
+                                    session = s.id;
+                                    ok = true;
+                                    sa_credits = s.window;
+                                    sa_batch = batch;
+                                    reason = "";
+                                  })));
+                      serve_session t conn ~window:s.window ~batch s)
+              | Ok _ | Error _ -> fail "expected Open_session"))
+      | Ok (Dist.Proto.Hello _) -> fail "unsupported hello spec"
+      | Ok _ | Error _ -> fail "expected Hello")

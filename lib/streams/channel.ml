@@ -13,6 +13,7 @@ module type S = sig
 
   val create : ?capacity:int -> unit -> 'a t
   val send : 'a t -> 'a -> unit
+  val try_send : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
   val recv : 'a t -> [ `Closed | `Msg of 'a ]
   val recv_batch : 'a t -> max:int -> [ `Closed | `Batch of 'a list ]
   val try_recv : 'a t -> [ `Closed | `Empty | `Msg of 'a ]
@@ -57,6 +58,23 @@ module Make (P : Scheduler.Platform.S) = struct
     Queue.push v t.queue;
     P.signal t.not_empty;
     P.unlock t.mutex
+
+  (* Non-blocking send: a producer that must never park (e.g. an
+     engine output callback fanning records out to per-session queues)
+     asks instead of waiting, and handles [`Full]/[`Closed] itself. *)
+  let try_send t v =
+    P.lock t.mutex;
+    let r =
+      if t.closed then `Closed
+      else if Queue.length t.queue >= t.capacity then `Full
+      else begin
+        Queue.push v t.queue;
+        P.signal t.not_empty;
+        `Ok
+      end
+    in
+    P.unlock t.mutex;
+    r
 
   let recv t =
     P.lock t.mutex;

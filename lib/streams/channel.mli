@@ -35,6 +35,12 @@ module type S = sig
   (** Block while full. @raise Closed if the channel was closed (also
       when the close happens while blocked waiting for space). *)
 
+  val try_send : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+  (** Non-blocking send: [`Full] instead of parking, [`Closed] instead
+      of raising. For producers that must never block — e.g. an engine
+      output callback fanning records out to bounded per-session
+      queues, where one full queue must not stall the network. *)
+
   val recv : 'a t -> [ `Closed | `Msg of 'a ]
   (** Block while empty and open; [`Closed] once the channel is closed
       {e and} drained. Never returns while the buffer is merely

@@ -9,7 +9,7 @@ let register_codecs () =
 
 let spec ?(det = false) ?throttle ?cutoff ?side name =
   (match name with
-  | "fig1" | "fig2" | "fig3" -> ()
+  | "fig1" | "fig2" | "fig3" | "ping" -> ()
   | _ -> invalid_arg ("Netspec.spec: unknown network " ^ name));
   let b = Buffer.create 32 in
   Buffer.add_string b name;
@@ -53,13 +53,14 @@ let resolve ?pool s =
         opts;
       let det = !det in
       (match (name, !throttle, !cutoff, !side) with
-      | ("fig1" | "fig2"), None, None, None -> ()
-      | ("fig1" | "fig2"), _, _, _ ->
+      | ("fig1" | "fig2" | "ping"), None, None, None -> ()
+      | ("fig1" | "fig2" | "ping"), _, _, _ ->
           failwith ("Netspec.resolve: " ^ name ^ " takes no options but det")
       | _ -> ());
       (match name with
       | "fig1" -> Networks.fig1 ?pool ~det ()
       | "fig2" -> Networks.fig2 ?pool ~det ()
+      | "ping" -> Networks.ping ()
       | "fig3" ->
           Networks.fig3 ?pool ~det ?throttle:!throttle ?cutoff:!cutoff
             ?side:!side ()

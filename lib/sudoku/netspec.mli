@@ -24,7 +24,8 @@ val spec :
     [spec ~det:true "fig2" = "fig2:det"] or
     [spec ~throttle:4 ~cutoff:40 ~side:9 "fig3" =
      "fig3:throttle=4:cutoff=40:side=9"]. [name] must be [fig1],
-    [fig2] or [fig3]. *)
+    [fig2], [fig3] or [ping] (the codec-free load-test network,
+    {!Networks.ping}). *)
 
 val resolve : ?pool:Scheduler.Pool.t -> string -> Snet.Net.t
 (** Parse a {!spec} string and build the network.

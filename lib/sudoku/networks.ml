@@ -62,6 +62,16 @@ let fig3 ?pool ?det ?(throttle = 4) ?(cutoff = 40) ?(side = 9) () =
       Net.box (Boxes.solve_box ?pool ());
     ]
 
+(* A deliberately tiny network for exercising the serving/distribution
+   machinery at high request rates: one box, tag-only records (no field
+   codecs needed on the wire), a pure arithmetic response. *)
+let ping () =
+  Net.box
+    (Snet.Box.make ~name:"ping" ~input:[ Snet.Box.T "x" ]
+       ~outputs:[ [ Snet.Box.T "y" ] ] (fun ~emit -> function
+      | [ Snet.Box.Tag x ] -> emit 1 [ Snet.Box.Tag (x + 1) ]
+      | _ -> assert false))
+
 let solved_boards records =
   List.filter_map
     (fun r ->

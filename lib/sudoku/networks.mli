@@ -36,5 +36,11 @@ val fig3 :
     [0 <= cutoff < side²] ([side] defaults to 9) — a cutoff at or
     beyond the cell count would loop solved boards forever. *)
 
+val ping : unit -> Snet.Net.t
+(** A one-box network answering [{<x>}] with [{<y>=x+1}]. Not from the
+    paper: a minimal, codec-free workload for driving the serving and
+    distribution layers at high request rates (the [snet_serve] load
+    bench and session tests). *)
+
 val solved_boards : Snet.Record.t list -> Board.t list
 (** Extract and keep the completed, valid boards of a network run. *)

@@ -35,5 +35,6 @@ let () =
       ("faults", Test_faults.suite);
       ("obsv", Test_obsv.suite);
       ("dist", Test_dist.suite);
+      ("serve", Test_serve.suite);
       ("detcheck", Test_detcheck.suite);
     ]
