@@ -50,6 +50,15 @@ echo "== serving smoke =="
 # see Done, exit 0), recorded into BENCH_serve.json.
 dune build @serve-smoke
 
+echo "== durability smoke =="
+# Durable test tier (journal fuzzing, the crash-point matrix over
+# every journaling seam, real snet_serve SIGKILLed mid-stream and
+# resumed from its journal) plus the durability benchmark: the
+# partitioned fig2 solve bare vs journaled with the <= 10% overhead
+# bar enforced, journal read + dedupe throughput and an end-to-end
+# serve recovery replay, recorded into BENCH_durable.json.
+dune build @durable-smoke
+
 echo "== detcheck seed matrix: $SEEDS =="
 dune build @detcheck   # default seed, exercises the alias itself
 for seed in $SEEDS; do

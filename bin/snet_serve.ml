@@ -10,7 +10,8 @@ module Server = Serve.Server
 
 let stop = Atomic.make false
 
-let run spec domains port http_port max_sessions credits batch idle metrics =
+let run spec domains port http_port max_sessions credits batch idle metrics
+    journal snapshot_every fsync_every =
   Sudoku.Netspec.register_codecs ();
   if metrics then Obsv.Metrics.enable ();
   (* A server streams responses while idle at the front door, so the
@@ -39,7 +40,24 @@ let run spec domains port http_port max_sessions credits batch idle metrics =
       Printf.eprintf "snet_serve: --spec: %s\n%!" e;
       exit 2
   in
-  let srv = Server.create ?pool ~cfg net in
+  let durability =
+    match journal with
+    | None -> None
+    | Some dir ->
+        Some { Server.dir; fsync_every; snapshot_every; spec }
+  in
+  let srv = Server.create ?pool ~cfg ?durability net in
+  (match Server.recovery srv with
+  | Some r ->
+      Printf.printf
+        "snet_serve: recovered from journal (snapshot=%b sessions=%d \
+         replayed=%d redelivered=%d%s)\n%!"
+        r.Server.from_snapshot r.Server.restored_sessions r.Server.replayed
+        r.Server.redelivered
+        (match r.Server.journal_damage with
+        | Some d -> ", damage: " ^ d
+        | None -> "")
+  | None -> ());
   let listener = Dist.Transport.Tcp.listen ~port () in
   let gw = Serve.Http_gw.start ~port:http_port srv in
   (* The drain must not run inside the signal handler (it takes locks
@@ -134,11 +152,39 @@ let cmd =
   let metrics =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Enable metrics collection.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Durable mode: journal every submission, delivery and \
+             session event under $(docv); on startup, recover sessions \
+             and undelivered responses from an existing journal.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 256
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "With --journal: snapshot the net state every $(docv) \
+             journaled submissions, bounding recovery replay (0 \
+             disables snapshots).")
+  in
+  let fsync_every =
+    Arg.(
+      value & opt int 0
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:
+            "With --journal: fsync the journal every $(docv) appends \
+             (0 = flush to the OS only; sufficient for process \
+             crashes).")
+  in
   Cmd.v
     (Cmd.info "snet-serve"
        ~doc:"Serve one S-Net network to many concurrent client sessions")
     Term.(
       const run $ spec $ domains $ port $ http_port $ max_sessions $ credits
-      $ batch $ idle $ metrics)
+      $ batch $ idle $ metrics $ journal $ snapshot_every $ fsync_every)
 
 let () = exit (Cmd.eval cmd)

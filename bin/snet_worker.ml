@@ -20,9 +20,23 @@ let endpoint_conv =
   Arg.conv
     (parse_endpoint, fun fmt (h, p) -> Format.fprintf fmt "%s:%d" h p)
 
-let run_worker (host, port) domains =
+let run_worker (host, port) domains journal =
   Sudoku.Netspec.register_codecs ();
   let pool = Scheduler.Pool.create ~num_domains:domains () in
+  let tap =
+    match journal with
+    | None -> None
+    | Some dir ->
+        let w = Durable.Journal.open_writer dir in
+        Some
+          (fun ~edge r ->
+            try
+              ignore
+                (Durable.Journal.append w ~kind:Durable.Journal.Input ~edge
+                   (Dist.Wire.render r)
+                  : int)
+            with Durable.Journal.Killed -> ())
+  in
   let conn =
     try
       Dist.Transport.erase
@@ -33,7 +47,7 @@ let run_worker (host, port) domains =
         (Printexc.to_string e);
       exit 1
   in
-  Dist.Engine_dist.serve ~pool ~conn
+  Dist.Engine_dist.serve ~pool ?tap ~conn
     ~resolve:(fun spec -> Sudoku.Netspec.resolve ~pool spec)
     ();
   Scheduler.Pool.shutdown pool
@@ -51,9 +65,18 @@ let cmd =
       value & opt int 1
       & info [ "domains"; "d" ] ~doc:"Worker pool domains.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal every consumed input record under $(docv) (one \
+             Input entry per record on this worker's cut edge).")
+  in
   Cmd.v
     (Cmd.info "snet-worker"
        ~doc:"S-Net partition worker (spawned by the coordinator)")
-    Term.(const run_worker $ connect $ domains)
+    Term.(const run_worker $ connect $ domains $ journal)
 
 let () = exit (Cmd.eval cmd)

@@ -23,7 +23,32 @@ type instance = {
   net : Net.t;
   (* Input variants already admission-checked via Typecheck.flow. *)
   checked : (string list * string list, unit) Hashtbl.t;
+  (* Prior run state replayed into components as they build; lazily
+     built star stages / split replicas consult it too (build runs
+     inside actor handlers then), so restored unfolding re-creates the
+     sync cells nested inside. The cap_* getters snapshot component
+     state; they read actor-private storage, so {!capture} is only
+     sound at quiescence. *)
+  restore : Netstate.t;
+  mutable cap_syncs : (string * (unit -> Netstate.sync_cell)) list;
+  mutable cap_splits : (string * (unit -> int list)) list;
+  mutable cap_stars : (string * (unit -> int)) list;
 }
+
+let reg_sync eng path f =
+  Mutex.lock eng.imutex;
+  eng.cap_syncs <- (path, f) :: eng.cap_syncs;
+  Mutex.unlock eng.imutex
+
+let reg_split eng path f =
+  Mutex.lock eng.imutex;
+  eng.cap_splits <- (path, f) :: eng.cap_splits;
+  Mutex.unlock eng.imutex
+
+let reg_star eng path f =
+  Mutex.lock eng.imutex;
+  eng.cap_stars <- (path, f) :: eng.cap_stars;
+  Mutex.unlock eng.imutex
 
 let send_outputs ~down meta outs =
   List.iteri
@@ -123,6 +148,15 @@ let rec build eng path net ~down : target =
       Stats.record_instance eng.istats;
       let slots = Array.make (List.length patterns) None in
       let spent = ref false in
+      (match Netstate.sync_cell eng.restore path with
+      | None -> ()
+      | Some c ->
+          spent := c.Netstate.spent;
+          List.iteri
+            (fun i s -> if i < Array.length slots then slots.(i) <- s)
+            c.Netstate.slots);
+      reg_sync eng path (fun () ->
+          { Netstate.slots = Array.to_list slots; spent = !spent });
       let pats = Array.of_list patterns in
       let handler = function
         | Complete _ -> stray path
@@ -222,6 +256,24 @@ let rec build eng path net ~down : target =
         | None -> down
       in
       let replicas : (int, target) Hashtbl.t = Hashtbl.create 8 in
+      let replica_for v =
+        match Hashtbl.find_opt replicas v with
+        | Some t -> t
+        | None ->
+            let t =
+              build eng
+                (Printf.sprintf "%s/split[%s=%d]" path tag v)
+                body ~down:merge_down
+            in
+            Hashtbl.add replicas v t;
+            Stats.record_split_replica eng.istats;
+            t
+      in
+      List.iter
+        (fun v -> ignore (replica_for v))
+        (Netstate.split_tags eng.restore path);
+      reg_split eng path (fun () ->
+          Hashtbl.fold (fun v _ acc -> v :: acc) replicas []);
       let handler = function
         | Complete _ -> stray path
         | Data (meta, r) when Supervise.is_error r ->
@@ -243,19 +295,7 @@ let rec build eng path net ~down : target =
                        (Printf.sprintf "record %s lacks split tag <%s> at %s"
                           (Record.to_string r) tag path))
             in
-            let replica =
-              match Hashtbl.find_opt replicas v with
-              | Some t -> t
-              | None ->
-                  let t =
-                    build eng
-                      (Printf.sprintf "%s/split[%s=%d]" path tag v)
-                      body ~down:merge_down
-                  in
-                  Hashtbl.add replicas v t;
-                  Stats.record_split_replica eng.istats;
-                  t
-            in
+            let replica = replica_for v in
             let meta =
               match region with
               | None -> meta
@@ -271,11 +311,32 @@ let rec build eng path net ~down : target =
         | Some rg -> make_collector eng ~name:(path ^ "/star-col") rg ~down
         | None -> down
       in
+      let depth = ref 0 in
+      reg_star eng path (fun () -> !depth);
+      let restore_depth = Netstate.star_depth eng.restore path in
       (* Tap [d] sits before replica [d+1]; tap 0 is the star's entry
          and, for a deterministic star, the region entry. *)
       let rec make_tap d : target =
         let tap_path = Printf.sprintf "%s/star@%d" path d in
         let next_stage : target option ref = ref None in
+        let force_stage () =
+          match !next_stage with
+          | Some s -> s
+          | None ->
+              let next_tap = make_tap (d + 1) in
+              let s =
+                build eng
+                  (Printf.sprintf "%s/stage@%d" path (d + 1))
+                  body ~down:next_tap
+              in
+              next_stage := Some s;
+              Mutex.lock eng.imutex;
+              if d + 1 > !depth then depth := d + 1;
+              Mutex.unlock eng.imutex;
+              Stats.record_star_stage eng.istats ~depth:(d + 1);
+              Obsv.Probe.star_depth ~depth:(d + 1);
+              s
+        in
         let handler = function
           | Complete _ -> stray tap_path
           | Data (meta, r) ->
@@ -288,31 +349,18 @@ let rec build eng path net ~down : target =
                  through the body would unfold stages forever. *)
               if Supervise.is_error r || Pattern.matches exit r then
                 Streams.Actors.send exit_target (Data (meta, r))
-              else begin
-                let stage =
-                  match !next_stage with
-                  | Some s -> s
-                  | None ->
-                      let next_tap = make_tap (d + 1) in
-                      let s =
-                        build eng
-                          (Printf.sprintf "%s/stage@%d" path (d + 1))
-                          body ~down:next_tap
-                      in
-                      next_stage := Some s;
-                      Stats.record_star_stage eng.istats ~depth:(d + 1);
-                      Obsv.Probe.star_depth ~depth:(d + 1);
-                      s
-                in
-                Streams.Actors.send stage (Data (meta, r))
-              end
+              else Streams.Actors.send (force_stage ()) (Data (meta, r))
         in
-        Streams.Actors.spawn eng.sys ~name:tap_path handler
+        let tap = Streams.Actors.spawn eng.sys ~name:tap_path handler in
+        (* Restored unfolding: build the recorded stages eagerly so
+           the sync cells inside them exist to receive their state. *)
+        if restore_depth > d then ignore (force_stage ());
+        tap
       in
       make_tap 0
 
 let start ?pool ?exec ?batch ?mailbox ?observer ?on_output ?stats ?supervision
-    net =
+    ?(restore = Netstate.empty) net =
   let net =
     match supervision with
     | Some config -> Net.with_supervision config net
@@ -334,6 +382,10 @@ let start ?pool ?exec ?batch ?mailbox ?observer ?on_output ?stats ?supervision
       entry = None;
       net;
       checked = Hashtbl.create 8;
+      restore;
+      cap_syncs = [];
+      cap_splits = [];
+      cap_stars = [];
     }
   in
   let results_actor =
@@ -405,6 +457,21 @@ let finish eng =
   results
 
 let stats eng = Stats.snapshot eng.istats
+
+(* Only sound at quiescence: the getters read slot arrays and replica
+   tables that are otherwise private to their component's actor. *)
+let capture eng =
+  Mutex.lock eng.imutex;
+  let syncs = eng.cap_syncs
+  and splits = eng.cap_splits
+  and stars = eng.cap_stars in
+  Mutex.unlock eng.imutex;
+  Netstate.normalize
+    {
+      Netstate.syncs = List.map (fun (p, f) -> (p, f ())) syncs;
+      splits = List.map (fun (p, f) -> (p, f ())) splits;
+      stars = List.map (fun (p, f) -> (p, f ())) stars;
+    }
 
 let run ?pool ?exec ?batch ?mailbox ?observer ?on_output ?stats ?supervision
     net inputs =

@@ -44,6 +44,7 @@ val start :
   ?on_output:(Record.t -> unit) ->
   ?stats:Stats.t ->
   ?supervision:Supervise.config ->
+  ?restore:Netstate.t ->
   Net.t ->
   instance
 (** Build the network's initial actor graph. Actors run on [exec] when
@@ -60,7 +61,12 @@ val start :
     ([snet_serve]) use to route responses without waiting for
     quiescence. It runs on the output actor: keep it non-blocking, or
     the network's tail stalls. Records still accumulate for
-    {!finish}. *)
+    {!finish}. [restore], when given, replays a previously captured
+    {!Netstate.t} into the actor graph as it builds: sync cells refill
+    their stores, and recorded star stages / split replicas are built
+    eagerly (their nested sync cells restore through the same
+    mechanism). The capture must come from this engine (see
+    {!capture}); paths are engine-local. *)
 
 val feed : instance -> Record.t -> unit
 (** Inject one record into the network's input stream. May block
@@ -79,6 +85,13 @@ val finish : instance -> Record.t list
     {!feed}s in between; outputs accumulate. *)
 
 val stats : instance -> Stats.snapshot
+
+val capture : instance -> Netstate.t
+(** Snapshot the network's runtime state — sync-cell stores and
+    star/split unfolding extents — as a {!Netstate.t} suitable for
+    [?restore] on a fresh instance of the same network. Only sound at
+    quiescence (after {!finish}, with no concurrent {!feed}s): the
+    capture reads storage otherwise private to component actors. *)
 
 val run :
   ?pool:Scheduler.Pool.t ->

@@ -8,6 +8,13 @@ type ctx = {
   (* Component instances that have already seen a record, keyed by
      path; used to count dynamic unfolding. *)
   seen : (string, unit) Hashtbl.t;
+  (* Prior run state replayed into components as they compile; lazily
+     compiled star stages / split replicas consult it too, so restored
+     unfolding re-creates the sync cells nested inside. *)
+  restore : Netstate.t;
+  mutable cap_syncs : (string * (unit -> Netstate.sync_cell)) list;
+  mutable cap_splits : (string * (unit -> int list)) list;
+  mutable cap_stars : (string * (unit -> int)) list;
 }
 
 let observe ctx path r =
@@ -67,6 +74,17 @@ and compile_node ctx path net : comp =
       let path = path ^ "/sync" in
       let slots = Array.make (List.length patterns) None in
       let spent = ref false in
+      (match Netstate.sync_cell ctx.restore path with
+      | None -> ()
+      | Some c ->
+          spent := c.Netstate.spent;
+          List.iteri
+            (fun i s -> if i < Array.length slots then slots.(i) <- s)
+            c.Netstate.slots);
+      ctx.cap_syncs <-
+        ( path,
+          fun () -> { Netstate.slots = Array.to_list slots; spent = !spent } )
+        :: ctx.cap_syncs;
       let pats = Array.of_list patterns in
       fun emit r ->
         observe ctx path r;
@@ -136,14 +154,20 @@ and compile_node ctx path net : comp =
       (* Stage [d] of the unfolding compiles the body lazily on first
          use — the demand-driven unfolding of the paper. *)
       let stages : (int, comp) Hashtbl.t = Hashtbl.create 8 in
+      let depth = ref 0 in
       let stage_body ctx d =
         match Hashtbl.find_opt stages d with
         | Some c -> c
         | None ->
             let c = compile ctx (Printf.sprintf "%s@%d" star_path d) body in
             Hashtbl.add stages d c;
+            if d > !depth then depth := d;
             c
       in
+      for d = 1 to Netstate.star_depth ctx.restore path do
+        ignore (stage_body ctx d : comp)
+      done;
+      ctx.cap_stars <- (path, fun () -> !depth) :: ctx.cap_stars;
       fun emit r ->
         let rec tap d r =
           (* An error record exits the replication pipeline at the next
@@ -162,6 +186,24 @@ and compile_node ctx path net : comp =
   | Net.Split { body; tag; det = _ } ->
       let split_path = path ^ "/split" in
       let replicas : (int, comp) Hashtbl.t = Hashtbl.create 8 in
+      let replica_for v =
+        match Hashtbl.find_opt replicas v with
+        | Some c -> c
+        | None ->
+            let c =
+              compile ctx (Printf.sprintf "%s[%s=%d]" split_path tag v) body
+            in
+            Hashtbl.add replicas v c;
+            Stats.record_split_replica ctx.stats;
+            c
+      in
+      List.iter
+        (fun v -> ignore (replica_for v : comp))
+        (Netstate.split_tags ctx.restore path);
+      ctx.cap_splits <-
+        ( path,
+          fun () -> Hashtbl.fold (fun v _ acc -> v :: acc) replicas [] )
+        :: ctx.cap_splits;
       fun emit r ->
         let v =
           match Record.tag tag r with
@@ -172,20 +214,18 @@ and compile_node ctx path net : comp =
                    (Printf.sprintf "record %s lacks split tag <%s> at %s"
                       (Record.to_string r) tag path))
         in
-        let replica =
-          match Hashtbl.find_opt replicas v with
-          | Some c -> c
-          | None ->
-              let c =
-                compile ctx (Printf.sprintf "%s[%s=%d]" split_path tag v) body
-              in
-              Hashtbl.add replicas v c;
-              Stats.record_split_replica ctx.stats;
-              c
-        in
-        replica emit r
+        replica_for v emit r
 
-let run ?observer ?stats ?supervision net inputs =
+let capture_ctx ctx =
+  Netstate.normalize
+    {
+      Netstate.syncs = List.map (fun (p, f) -> (p, f ())) ctx.cap_syncs;
+      splits = List.map (fun (p, f) -> (p, f ())) ctx.cap_splits;
+      stars = List.map (fun (p, f) -> (p, f ())) ctx.cap_stars;
+    }
+
+let run_state ?observer ?stats ?supervision ?(restore = Netstate.empty) net
+    inputs =
   let net =
     match supervision with
     | Some config -> Net.with_supervision config net
@@ -196,8 +236,21 @@ let run ?observer ?stats ?supervision net inputs =
   let variants = List.map Rectype.Variant.of_record inputs in
   if variants <> [] then ignore (Typecheck.flow variants net);
   let stats = match stats with Some s -> s | None -> Stats.create () in
-  let ctx = { observer; stats; seen = Hashtbl.create 64 } in
+  let ctx =
+    {
+      observer;
+      stats;
+      seen = Hashtbl.create 64;
+      restore;
+      cap_syncs = [];
+      cap_splits = [];
+      cap_stars = [];
+    }
+  in
   let compiled = compile ctx "" net in
   let out = ref [] in
   List.iter (fun r -> compiled (fun o -> out := o :: !out) r) inputs;
-  List.rev !out
+  (List.rev !out, capture_ctx ctx)
+
+let run ?observer ?stats ?supervision ?restore net inputs =
+  fst (run_state ?observer ?stats ?supervision ?restore net inputs)

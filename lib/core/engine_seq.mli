@@ -26,6 +26,7 @@ val run :
   ?observer:observer ->
   ?stats:Stats.t ->
   ?supervision:Supervise.config ->
+  ?restore:Netstate.t ->
   Net.t ->
   Record.t list ->
   Record.t list
@@ -34,7 +35,27 @@ val run :
     order. [supervision], when given, overrides every box's own config
     ({!Net.with_supervision}); error records emitted by supervised
     boxes bypass the remaining components and appear in the output.
+    [restore], when given, replays a previously captured
+    {!Netstate.t} into the freshly compiled network before any input
+    flows: sync cells refill their stores and star/split unfoldings
+    are re-created, so running the suffix of an input stream over the
+    captured prefix state is equivalent to one uninterrupted run.
     @raise Typecheck.Type_error on ill-typed networks.
     @raise Route_error on routing failures the static check cannot
     exclude (records supplied at run time may carry fewer labels than
     any branch wants). *)
+
+val run_state :
+  ?observer:observer ->
+  ?stats:Stats.t ->
+  ?supervision:Supervise.config ->
+  ?restore:Netstate.t ->
+  Net.t ->
+  Record.t list ->
+  Record.t list * Netstate.t
+(** Like {!run}, additionally returning the network state after the
+    last input — the snapshot primitive: for any cut point [k] of an
+    input stream [xs],
+    [run_state net (take k xs)] followed by
+    [run ~restore:(snd …) net (drop k xs)] emits exactly what
+    [run net xs] emits after position [k]. *)

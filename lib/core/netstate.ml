@@ -1,0 +1,79 @@
+type sync_cell = { slots : Record.t option list; spent : bool }
+
+type t = {
+  syncs : (string * sync_cell) list;
+  splits : (string * int list) list;
+  stars : (string * int) list;
+}
+
+let empty = { syncs = []; splits = []; stars = [] }
+
+let trivial_sync c = (not c.spent) && List.for_all Option.is_none c.slots
+
+let normalize s =
+  let sorted key l = List.sort (fun a b -> compare (key a) (key b)) l in
+  {
+    syncs = sorted fst (List.filter (fun (_, c) -> not (trivial_sync c)) s.syncs);
+    splits =
+      sorted fst
+        (List.filter_map
+           (fun (p, tags) ->
+             match List.sort_uniq compare tags with
+             | [] -> None
+             | tags -> Some (p, tags))
+           s.splits);
+    stars = sorted fst (List.filter (fun (_, d) -> d > 0) s.stars);
+  }
+
+let is_empty s =
+  let s = normalize s in
+  s.syncs = [] && s.splits = [] && s.stars = []
+
+let sync_cell s path = List.assoc_opt path s.syncs
+let split_tags s path = Option.value ~default:[] (List.assoc_opt path s.splits)
+let star_depth s path = Option.value ~default:0 (List.assoc_opt path s.stars)
+
+let equal_cell a b =
+  a.spent = b.spent
+  && List.length a.slots = List.length b.slots
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some x, Some y -> Record.equal x y
+         | _ -> false)
+       a.slots b.slots
+
+let equal a b =
+  let a = normalize a and b = normalize b in
+  List.length a.syncs = List.length b.syncs
+  && List.for_all2
+       (fun (p, c) (q, d) -> p = q && equal_cell c d)
+       a.syncs b.syncs
+  && a.splits = b.splits
+  && a.stars = b.stars
+
+let to_string s =
+  let s = normalize s in
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (p, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "sync %s spent=%b slots=[%s]\n" p c.spent
+           (String.concat "; "
+              (List.map
+                 (function
+                   | None -> "_" | Some r -> Record.to_string r)
+                 c.slots))))
+    s.syncs;
+  List.iter
+    (fun (p, tags) ->
+      Buffer.add_string buf
+        (Printf.sprintf "split %s tags=[%s]\n" p
+           (String.concat ";" (List.map string_of_int tags))))
+    s.splits;
+  List.iter
+    (fun (p, d) ->
+      Buffer.add_string buf (Printf.sprintf "star %s depth=%d\n" p d))
+    s.stars;
+  Buffer.contents buf

@@ -43,6 +43,7 @@ module Pattern = Pattern
 module Filter = Filter
 module Box = Box
 module Net = Net
+module Netstate = Netstate
 module Typecheck = Typecheck
 module Optimize = Optimize
 module Stats = Stats

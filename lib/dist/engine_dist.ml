@@ -98,6 +98,22 @@ let data_msgs ~ctx ~batch rs =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Sequence stamping                                                   *)
+
+(* Every record the coordinator enqueues onto a cut edge carries a
+   monotone sequence number in this tag. Outputs inherit it through
+   the worker's subnet (flow inheritance), which gives the coordinator
+   a per-worker watermark: when an output stamped [s] has come back,
+   every input that worker received with a stamp at or below [s] has
+   been fully processed — workers consume their input strictly in
+   order and flush outputs only at quiescent envelope boundaries. A
+   respawn then resends only the uncredited suffix ABOVE the
+   watermark instead of the whole in-flight window, which is what
+   makes Retry recovery exactly-once for processed-but-uncredited
+   records. The tag is stripped again at the global output. *)
+let seq_tag = "dist_seq"
+
+(* ------------------------------------------------------------------ *)
 (* Worker side                                                         *)
 
 exception Crash_injected
@@ -108,7 +124,7 @@ let rec drop n l =
 let attempt_send conn msg =
   try Transport.send conn (Proto.encode msg) with _ -> ()
 
-let serve ?pool ~conn ~resolve () =
+let serve ?pool ?tap ~conn ~resolve () =
   let cleanup () = Transport.close conn in
   match Transport.recv conn with
   | `Closed -> cleanup ()
@@ -158,10 +174,14 @@ let serve ?pool ~conn ~resolve () =
                 sent := List.length outs;
                 data_msgs ~ctx ~batch fresh
               in
+              let in_edge = Printf.sprintf "dist:w%d.in" h.Proto.part in
               let consume r =
                 incr consumed;
                 if h.Proto.crash_after >= 0 && !consumed > h.Proto.crash_after
                 then raise Crash_injected;
+                (match tap with
+                | Some f -> f ~edge:in_edge r
+                | None -> ());
                 let sp = Obsv.Probe.span_start () in
                 Snet.Engine_conc.feed inst r;
                 Obsv.Probe.span_end ~cat:"dist" ~name:"worker.record" sp
@@ -197,7 +217,17 @@ let serve ?pool ~conn ~resolve () =
                     | Error e -> attempt_send conn (Proto.Crash ("protocol error: " ^ e)))
               in
               (try loop () with
-              | Crash_injected -> () (* abrupt death: no Crash, no Done *)
+              | Crash_injected ->
+                  (* Abrupt death: no Crash, no Done. Under
+                     [crash_flush] the outputs of records already fed
+                     still escape — but NOT the envelope's credit, so
+                     the coordinator's in-flight window keeps records
+                     whose outputs it will nonetheless receive. That
+                     is the duplicate-delivery window the sequence
+                     watermark dedupes on respawn. *)
+                  if h.Proto.crash_flush then
+                    (try Transport.send_many conn (fresh_out_msgs ())
+                     with _ -> ())
               | Transport.Closed_conn -> ()
               | e -> attempt_send conn (Proto.Crash (Printexc.to_string e)));
               cleanup ())
@@ -230,6 +260,10 @@ type wstate = {
   pending : Snet.Record.t Queue.t;
   (* Written but not yet credited; resent on respawn. *)
   inflight : Snet.Record.t Queue.t;
+  (* Highest [seq_tag] stamp seen on this worker's outputs. Everything
+     in [inflight] at or below it was fully processed before the
+     crash — only the credit was lost — and must NOT be resent. *)
+  mutable watermark : int;
   mutable retries_left : int;
 }
 
@@ -243,18 +277,27 @@ type coord = {
   init_credits : int;
   batch : int;
   respawn : int -> Transport.conn option;
+  (* Durability hook: called (outside hot-path allocation, under the
+     coordinator lock for cut edges, lock-free for the global output)
+     with every record crossing a named cut edge and every record
+     reaching the global output edge [out_edge]. *)
+  tap : (edge:string -> Snet.Record.t -> unit) option;
+  mutable next_seq : int;
   mutable outputs_rev : Snet.Record.t list;
   mutable failure : string option;
 }
 
 let edge_in i = Printf.sprintf "dist:w%d.in" i
 let edge_out i = Printf.sprintf "dist:w%d.out" i
+let out_edge = "dist:out"
 
 let locked c f =
   Mutex.lock c.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.mu) f
 
 let record_output c r =
+  let r = Snet.Record.without_tag seq_tag r in
+  (match c.tap with Some f -> f ~edge:out_edge r | None -> ());
   locked c (fun () ->
       c.outputs_rev <- r :: c.outputs_rev;
       Condition.broadcast c.cv)
@@ -264,7 +307,8 @@ let worker_name i = Printf.sprintf "dist:worker%d" i
 let stamp_dead c i r reason =
   Option.iter Snet.Stats.record_box_error c.stats;
   let e =
-    Snet.Supervise.error_record ~box:(worker_name i) ~input:r
+    Snet.Supervise.error_record ~box:(worker_name i)
+      ~input:(Snet.Record.without_tag seq_tag r)
       (Failure reason)
   in
   c.outputs_rev <- e :: c.outputs_rev
@@ -301,7 +345,15 @@ let send_data c i r =
                   stamp_dead c i r "worker died";
                   Condition.broadcast c.cv)
           | Alive | Respawning ->
+              (* Stamp under the lock so a worker's queue order is
+                 also its stamp order — the watermark proof needs
+                 per-worker monotonicity, not the global sequence. *)
+              let r = Snet.Record.with_tag seq_tag c.next_seq r in
+              c.next_seq <- c.next_seq + 1;
               Queue.push r w.pending;
+              (match c.tap with
+              | Some f -> f ~edge:(edge_in i) r
+              | None -> ());
               Obsv.Probe.edge_send ~name:(edge_in i)
                 ~depth:(Queue.length w.pending + Queue.length w.inflight);
               Condition.broadcast c.cv)
@@ -407,6 +459,11 @@ let pump c i =
   loop ()
 
 let forward_record c i r =
+  (match Snet.Record.tag seq_tag r with
+  | Some s ->
+      let w = c.ws.(i) in
+      locked c (fun () -> if s > w.watermark then w.watermark <- s)
+  | None -> ());
   Obsv.Probe.edge_recv ~name:(edge_out i)
     ~depth:(Queue.length c.ws.(i).inflight);
   send_data c (i + 1) r
@@ -468,12 +525,28 @@ and handle_death c i conn reason =
         let resend, resend_eof =
           locked c (fun () ->
               w.conn <- conn';
+              (* Drop in-flight records at or below the watermark:
+                 their outputs came back before the crash, so the dead
+                 worker provably processed them — only the credit was
+                 lost. Resending them would deliver their outputs a
+                 second time (the crash_flush window). Keep the rest
+                 in stamp order. *)
+              let keep =
+                List.rev
+                  (Queue.fold
+                     (fun acc r ->
+                       match Snet.Record.tag seq_tag r with
+                       | Some s when s <= w.watermark -> acc
+                       | _ -> r :: acc)
+                     [] w.inflight)
+              in
+              Queue.clear w.inflight;
+              List.iter (fun r -> Queue.push r w.inflight) keep;
               w.credits <- c.init_credits - Queue.length w.inflight;
-              let rs = List.rev (Queue.fold (fun acc r -> r :: acc) [] w.inflight) in
               (* An Eof already on the dead wire must be replayed; an
                  Eof merely requested stays with the pump, which sends
                  it once pending drains on the fresh connection. *)
-              (rs, w.eof_sent))
+              (keep, w.eof_sent))
         in
         (try
            let ctx = Wire.ctx () in
@@ -488,7 +561,8 @@ and handle_death c i conn reason =
 
 (* [conns] already carry a delivered Hello; [respawn i] must likewise
    hand back a freshly greeted connection. *)
-let coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs =
+let coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
+    inputs =
   let c =
     {
       mu = Mutex.create ();
@@ -506,6 +580,7 @@ let coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs =
               credits;
               pending = Queue.create ();
               inflight = Queue.create ();
+              watermark = -1;
               retries_left =
                 (match policy with Snet.Supervise.Retry n -> n | _ -> 0);
             })
@@ -516,6 +591,8 @@ let coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs =
       init_credits = credits;
       batch;
       respawn;
+      tap;
+      next_seq = 0;
       outputs_rev = [];
       failure = None;
     }
@@ -564,7 +641,7 @@ let split_supervision = function
         Snet.Supervise.policy_to_string c.Snet.Supervise.policy )
 
 let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
-    ?kill_worker net inputs =
+    ?kill_worker ?(crash_flush = false) ?tap net inputs =
   if credits <= 0 then invalid_arg "Engine_dist.run: credits must be positive";
   let batch = resolve_batch batch in
   let parts = List.length (partition ~parts:workers net) in
@@ -587,6 +664,7 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
               timeout;
               credits;
               crash_after;
+              crash_flush = crash_flush && crash_after >= 0;
               batch;
             }));
     a
@@ -608,14 +686,15 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
   Fun.protect
     ~finally:(fun () -> List.iter Thread.join !threads)
     (fun () ->
-      coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs)
+      coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
+        inputs)
 
 (* ------------------------------------------------------------------ *)
 (* Spawned runner: real worker processes over TCP                      *)
 
 let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
-    ?(credits = 32) ?batch ?stats ?supervision ?crash_after ?(worker_args = [])
-    net inputs =
+    ?(credits = 32) ?batch ?stats ?supervision ?crash_after
+    ?(crash_flush = false) ?tap ?(worker_args = []) net inputs =
   if credits <= 0 then
     invalid_arg "Engine_dist.run_spawned: credits must be positive";
   let batch = resolve_batch batch in
@@ -652,6 +731,7 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
               timeout;
               credits;
               crash_after;
+              crash_flush = crash_flush && crash_after >= 0;
               batch;
             }));
     conn
@@ -699,4 +779,5 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
         | conn -> Some conn
         | exception _ -> None
       in
-      coordinate ~parts ~conns ~policy ~stats ~credits ~batch ~respawn inputs)
+      coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
+        inputs)

@@ -56,7 +56,32 @@
       in the output; downstream partitions keep running;
     - [Retry n]: the worker is respawned and the uncredited in-flight
       records are resent, up to [n] times per worker, after which the
-      [Error_record] behaviour applies. *)
+      [Error_record] behaviour applies.
+
+    {2 Exactly-once resend (sequence watermark)}
+
+    Every record the coordinator puts on a cut edge is stamped with a
+    monotone sequence number (tag [dist_seq], stripped again at the
+    global output); outputs inherit the stamp of the input that
+    produced them through the worker's subnet. Workers consume their
+    input strictly in order and flush outputs only at quiescent
+    envelope boundaries, so when an output stamped [s] has come back
+    from worker [i], every input that worker received with a stamp at
+    or below [s] was fully processed. On a [Retry] respawn the
+    coordinator therefore resends only the uncredited in-flight
+    records {e above} this per-worker watermark: a worker that died
+    after flushing an envelope's outputs but before its credit was
+    observed (the [crash_flush] fault-injection window, and the
+    natural TCP race) no longer causes those outputs to be delivered
+    twice.
+
+    {2 Durability taps}
+
+    [?tap] on {!run}/{!run_spawned} observes every record crossing a
+    cut edge ([dist:wN.in], stamped) and every record reaching the
+    global output ([dist:out], stripped). The [durable] library layers
+    its cut-edge journal on this hook; the engine itself stays free of
+    journalling policy. *)
 
 (** {2 Batch cap validation}
 
@@ -93,6 +118,7 @@ val partition : parts:int -> Snet.Net.t -> Snet.Net.t list
 
 val serve :
   ?pool:Scheduler.Pool.t ->
+  ?tap:(edge:string -> Snet.Record.t -> unit) ->
   conn:Transport.conn ->
   resolve:(string -> Snet.Net.t) ->
   unit ->
@@ -102,7 +128,9 @@ val serve :
     [part]/[parts] on {!Snet.Engine_conc}, stream records until [Eof],
     answer [Done], exit on [Shutdown] or connection close. Subnet
     failures are reported as [Crash] messages; the connection is
-    always closed on return. *)
+    always closed on return. [tap] observes every input record this
+    worker consumes (edge [dist:wN.in] for partition [N]), before it
+    is fed — [snet_worker --journal] hangs its local journal here. *)
 
 val run :
   ?pool:Scheduler.Pool.t ->
@@ -112,6 +140,8 @@ val run :
   ?stats:Snet.Stats.t ->
   ?supervision:Snet.Supervise.config ->
   ?kill_worker:int * int ->
+  ?crash_flush:bool ->
+  ?tap:(edge:string -> Snet.Record.t -> unit) ->
   Snet.Net.t ->
   Snet.Record.t list ->
   Snet.Record.t list
@@ -123,9 +153,12 @@ val run :
     envelope. [kill_worker (i, k)]
     is the fault-injection hook: worker [i] dies abruptly after fully
     processing [k] records (the respawned worker, under [Retry], is
-    not re-killed). Output is multiset-equal to
-    {!Snet.Engine_seq.run} on the same network and inputs (modulo
-    stamped error records when workers are killed). *)
+    not re-killed); [crash_flush] refines it so the dying worker still
+    flushes the crashing envelope's outputs but never its credit — the
+    duplicate-delivery window the sequence watermark dedupes. [tap]
+    observes cut-edge and global-output records (see above). Output is
+    multiset-equal to {!Snet.Engine_seq.run} on the same network and
+    inputs (modulo stamped error records when workers are killed). *)
 
 val run_spawned :
   worker_exe:string ->
@@ -137,6 +170,8 @@ val run_spawned :
   ?stats:Snet.Stats.t ->
   ?supervision:Snet.Supervise.config ->
   ?crash_after:int * int ->
+  ?crash_flush:bool ->
+  ?tap:(edge:string -> Snet.Record.t -> unit) ->
   ?worker_args:string list ->
   Snet.Net.t ->
   Snet.Record.t list ->

@@ -6,6 +6,7 @@ type hello = {
   timeout : float option;
   credits : int;
   crash_after : int;
+  crash_flush : bool;
   batch : int;
 }
 
@@ -27,7 +28,7 @@ type msg =
   | Crash of string
   | Shutdown
   | Data_batch of Snet.Record.t list
-  | Open_session of { credits : int; batch : int }
+  | Open_session of { credits : int; batch : int; resume : int }
   | Session_ack of session_ack
   | Close_session of { session : int }
 
@@ -72,6 +73,7 @@ let encode ?ctx m =
           Buffer.add_int64_be b (Int64.bits_of_float t));
       add_u32 b h.credits;
       add_u32 b (h.crash_after land 0xFFFFFFFF);
+      Buffer.add_uint8 b (if h.crash_flush then 1 else 0);
       add_u32 b h.batch
   | Hello_ack { part } ->
       Buffer.add_uint8 b k_hello_ack;
@@ -109,10 +111,12 @@ let encode ?ctx m =
       Buffer.add_uint8 b k_crash;
       add_str b msg
   | Shutdown -> Buffer.add_uint8 b k_shutdown
-  | Open_session { credits; batch } ->
+  | Open_session { credits; batch; resume } ->
       Buffer.add_uint8 b k_open_session;
       add_u32 b credits;
-      add_u32 b batch
+      add_u32 b batch;
+      (* [-1] (no resume) rides as 0 so the field stays unsigned. *)
+      add_u32 b (resume + 1)
   | Session_ack a ->
       Buffer.add_uint8 b k_session_ack;
       add_u32 b a.session;
@@ -177,9 +181,21 @@ let decode ?ctx s =
           let v = u32 () in
           if v = 0xFFFFFFFF then -1 else v
         in
+        let crash_flush = u8 () <> 0 in
         let batch = u32 () in
         finish
-          (Hello { spec; part; parts; policy; timeout; credits; crash_after; batch })
+          (Hello
+             {
+               spec;
+               part;
+               parts;
+               policy;
+               timeout;
+               credits;
+               crash_after;
+               crash_flush;
+               batch;
+             })
     | k when k = k_hello_ack -> finish (Hello_ack { part = u32 () })
     | k when k = k_data -> (
         let dec c =
@@ -216,7 +232,8 @@ let decode ?ctx s =
     | k when k = k_open_session ->
         let credits = u32 () in
         let batch = u32 () in
-        finish (Open_session { credits; batch })
+        let resume = u32 () - 1 in
+        finish (Open_session { credits; batch; resume })
     | k when k = k_session_ack ->
         let session = u32 () in
         let ok = u8 () <> 0 in
@@ -243,8 +260,11 @@ let to_string = function
   | Done -> "Done"
   | Crash m -> Printf.sprintf "Crash %S" m
   | Shutdown -> "Shutdown"
-  | Open_session { credits; batch } ->
-      Printf.sprintf "Open_session{credits=%d batch=%d}" credits batch
+  | Open_session { credits; batch; resume } ->
+      if resume >= 0 then
+        Printf.sprintf "Open_session{resume=%d credits=%d batch=%d}" resume
+          credits batch
+      else Printf.sprintf "Open_session{credits=%d batch=%d}" credits batch
   | Session_ack a ->
       if a.ok then
         Printf.sprintf "Session_ack{session=%d credits=%d batch=%d}" a.session

@@ -26,6 +26,12 @@ type hello = {
       (** Fault-injection hook: the worker exits abruptly (no [Done],
           no close handshake beyond the transport's) after consuming
           this many input records. [-1] disables. *)
+  crash_flush : bool;
+      (** Refines [crash_after]: the worker still flushes the crashing
+          envelope's output records before dying, but not the credit —
+          the duplicate-delivery window a respawn-and-resend
+          supervisor must dedupe (see the sequence watermark in
+          {!Engine_dist}). *)
   batch : int;
       (** Cut-edge batching cap: the most records either side packs
           into one [Data_batch] envelope. [1] disables batching — both
@@ -61,11 +67,14 @@ type msg =
   | Data_batch of Snet.Record.t list
       (** Either direction: a run of records in one envelope,
           multiset-equivalent to sending each as [Data]. *)
-  | Open_session of { credits : int; batch : int }
+  | Open_session of { credits : int; batch : int; resume : int }
       (** client → server ([snet_serve]): request a session after a
           [Hello] whose [spec] is {!serve_spec}. [credits] is the
           submit window the client asks for ([<= 0] defers to the
-          server), [batch] its preferred response-envelope cap. *)
+          server), [batch] its preferred response-envelope cap.
+          [resume >= 0] asks to re-attach to that session id after a
+          server restart from journal (the session must have been
+          restored); [-1] opens a fresh session. *)
   | Session_ack of session_ack  (** server → client. *)
   | Close_session of { session : int }
       (** client → server: no further submissions; the server flushes

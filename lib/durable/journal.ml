@@ -1,0 +1,278 @@
+let magic = "SNJ1"
+
+type kind = Input | Delivered | Open_session | Close_session | Mark
+
+let kind_to_byte = function
+  | Input -> 1
+  | Delivered -> 2
+  | Open_session -> 3
+  | Close_session -> 4
+  | Mark -> 5
+
+let kind_of_byte = function
+  | 1 -> Some Input
+  | 2 -> Some Delivered
+  | 3 -> Some Open_session
+  | 4 -> Some Close_session
+  | 5 -> Some Mark
+  | _ -> None
+
+let kind_to_string = function
+  | Input -> "input"
+  | Delivered -> "delivered"
+  | Open_session -> "open"
+  | Close_session -> "close"
+  | Mark -> "mark"
+
+type entry = { seq : int; kind : kind; edge : string; payload : string }
+
+exception Killed
+
+(* Test seam: the crash-point matrix installs a hook here and kills the
+   writer at a chosen seam crossing, simulating process death at that
+   exact point. Labels: "append" (before the entry is persisted),
+   "append.post" (after), "snapshot.pre"/"snapshot.post" (around a
+   snapshot save), "ack" (before a credit grant leaves the server). *)
+let seam_hook : (string -> unit) ref = ref (fun _ -> ())
+let seam label = !seam_hook label
+
+let journal_path dir = Filename.concat dir "journal.snj"
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                             *)
+
+exception Damaged of string
+
+let crc_of_sub s pos len =
+  Int32.to_int (Dist.Wire.crc32 (String.sub s pos len)) land 0xFFFFFFFF
+
+let parse s =
+  let n = String.length s in
+  let entries = ref [] in
+  let pos = ref 0 in
+  let damage = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Damaged m)) fmt in
+  (try
+     while !pos < n do
+       let p = !pos in
+       if n - p < 4 then fail "truncated entry header at %d" p;
+       if String.sub s p 4 <> magic then fail "bad entry magic at %d" p;
+       if n - p < 15 then fail "truncated entry header at %d" p;
+       let kind_byte = Char.code s.[p + 4] in
+       let kind =
+         match kind_of_byte kind_byte with
+         | Some k -> k
+         | None -> fail "bad entry kind %d at %d" kind_byte p
+       in
+       let seq = Int64.to_int (String.get_int64_be s (p + 5)) in
+       if seq < 0 then fail "bad sequence number at %d" p;
+       let elen = String.get_uint16_be s (p + 13) in
+       if n - (p + 15) < elen + 4 then fail "truncated edge name at %d" p;
+       let edge = String.sub s (p + 15) elen in
+       let pp = p + 15 + elen in
+       let plen = Int32.to_int (String.get_int32_be s pp) land 0xFFFFFFFF in
+       if n - (pp + 4) < plen + 4 then fail "truncated payload at %d" p;
+       let payload = String.sub s (pp + 4) plen in
+       let body_len = 1 + 8 + 2 + elen + 4 + plen in
+       let crc_stored =
+         Int32.to_int (String.get_int32_be s (pp + 4 + plen)) land 0xFFFFFFFF
+       in
+       if crc_of_sub s (p + 4) body_len <> crc_stored then
+         fail "CRC mismatch at %d" p;
+       entries := { seq; kind; edge; payload } :: !entries;
+       pos := pp + 4 + plen + 4
+     done
+   with Damaged m -> damage := Some m);
+  (List.rev !entries, !damage)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> ([], None)
+  | exception End_of_file -> ([], Some "short read")
+  | s -> parse s
+
+let read_dir dir = read_file (journal_path dir)
+
+let dedupe entries =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e.seq then false
+      else begin
+        Hashtbl.add seen e.seq ();
+        true
+      end)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                             *)
+
+type writer = {
+  dir : string;
+  fd : Unix.file_descr;
+  scratch : Buffer.t;
+  pending : Buffer.t;
+  flush_every : int;
+  fsync_every : int;
+  mutable unflushed : int;
+  mutable unsynced : int;
+  mutable next_seq : int;
+  mutable wkilled : bool;
+  wmu : Mutex.t;
+}
+
+(* Entries accumulate in [pending] (userspace) and reach the OS in one
+   write per [flush_every] entries. A killed writer's pending bytes
+   are dropped, never written — a process crash takes its userspace
+   buffers with it. Callers must hold [wmu]. *)
+let write_pending w =
+  let len = Buffer.length w.pending in
+  if len > 0 then begin
+    let s = Buffer.contents w.pending in
+    let rec go off =
+      if off < len then go (off + Unix.write_substring w.fd s off (len - off))
+    in
+    go 0;
+    Buffer.clear w.pending;
+    w.unflushed <- 0
+  end
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let registry_mu = Mutex.create ()
+let registry : writer list ref = ref []
+
+let register w =
+  Mutex.protect registry_mu (fun () -> registry := w :: !registry)
+
+let open_writer ?(flush_every = 1) ?(fsync_every = 0) dir =
+  mkdir_p dir;
+  let entries, _damage = read_dir dir in
+  let last = List.fold_left (fun acc e -> max acc e.seq) 0 entries in
+  let fd =
+    Unix.openfile (journal_path dir)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  let w =
+    {
+      dir;
+      fd;
+      scratch = Buffer.create 256;
+      pending = Buffer.create 4096;
+      flush_every = max 1 flush_every;
+      fsync_every;
+      unflushed = 0;
+      unsynced = 0;
+      next_seq = last + 1;
+      wkilled = false;
+      wmu = Mutex.create ();
+    }
+  in
+  register w;
+  w
+
+let kill w = w.wkilled <- true
+let killed w = w.wkilled
+let next_seq w = w.next_seq
+let dir w = w.dir
+
+(* ------------------------------------------------------------------ *)
+(* Crash arming: whole-process death at a chosen seam crossing.
+
+   Tests cannot reach the writer a server or replay wrapper holds
+   internally, but a real crash would not be so selective anyway — it
+   takes every journal in the process down at once. [arm_crash]
+   therefore installs a seam hook that, at the [crossing]-th crossing
+   of the named seam, [kill]s every live writer: from that exact point
+   nothing is persisted anywhere, and each durability layer observes
+   [Killed] (or swallows it, per its contract) just as it would a
+   dying process. *)
+
+let live_writers () =
+  Mutex.protect registry_mu (fun () ->
+      registry := List.filter (fun w -> not w.wkilled) !registry;
+      !registry)
+
+let arm_crash ~seam:target ~crossing =
+  let seen = ref 0 in
+  let mu = Mutex.create () in
+  seam_hook :=
+    fun label ->
+      if String.equal label target then begin
+        let fire =
+          Mutex.protect mu (fun () ->
+              incr seen;
+              !seen = crossing)
+        in
+        if fire then List.iter kill (live_writers ())
+      end
+
+let disarm_crash () = seam_hook := fun _ -> ()
+
+let append w ~kind ~edge payload =
+  Mutex.protect w.wmu @@ fun () ->
+  seam "append";
+  if w.wkilled then raise Killed;
+  let t0 = Obsv.Probe.span_start () in
+  let seq = w.next_seq in
+  let b = w.scratch in
+  Buffer.clear b;
+  Buffer.add_string b magic;
+  Buffer.add_uint8 b (kind_to_byte kind);
+  Buffer.add_int64_be b (Int64.of_int seq);
+  Buffer.add_uint16_be b (String.length edge);
+  Buffer.add_string b edge;
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  let body = Buffer.contents b in
+  let crc = crc_of_sub body 4 (String.length body - 4) in
+  Buffer.add_string w.pending body;
+  let crcb = Bytes.create 4 in
+  Bytes.set_int32_be crcb 0 (Int32.of_int crc);
+  Buffer.add_bytes w.pending crcb;
+  w.unflushed <- w.unflushed + 1;
+  if w.unflushed >= w.flush_every then write_pending w;
+  w.next_seq <- seq + 1;
+  Obsv.Journal_stats.record_append ~bytes:(String.length body + 4);
+  if w.fsync_every > 0 then begin
+    w.unsynced <- w.unsynced + 1;
+    if w.unsynced >= w.fsync_every then begin
+      write_pending w;
+      Unix.fsync w.fd;
+      w.unsynced <- 0;
+      Obsv.Journal_stats.record_fsync ()
+    end
+  end;
+  Obsv.Probe.span_end ~cat:"journal" ~name:"append" t0;
+  seam "append.post";
+  if w.wkilled then raise Killed;
+  seq
+
+let sync w =
+  Mutex.protect w.wmu @@ fun () ->
+  if not w.wkilled then begin
+    write_pending w;
+    Unix.fsync w.fd;
+    w.unsynced <- 0;
+    Obsv.Journal_stats.record_fsync ()
+  end
+
+let close w =
+  Mutex.protect w.wmu @@ fun () ->
+  if not w.wkilled then
+    (try write_pending w with Unix.Unix_error _ -> ());
+  w.wkilled <- true;
+  try Unix.close w.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,126 @@
+(** Append-only edge journal.
+
+    One entry per record crossing a journaled edge — the serve ingress
+    edge, response delivery, or a distributed cut edge — carrying the
+    record's canonical {!Dist.Wire} frame as an opaque payload, under
+    a small header with a process-wide monotone sequence number and a
+    CRC-32 of the whole entry:
+
+    {v
+    "SNJ1" | kind u8 | seq u64 BE | elen u16 BE | edge | plen u32 BE
+           | payload | CRC-32 u32 BE over kind..payload
+    v}
+
+    Because record frames are canonical (frame byte-equality is record
+    equality), journals diff and dedupe by plain string comparison.
+
+    The reader never raises and never invents data: it returns the
+    longest valid prefix of the file plus a description of the damage
+    that stopped it, so a torn or truncated tail — the expected state
+    after a crash mid-append — costs at most the final partial entry.
+    {!dedupe} drops repeated sequence numbers (first occurrence wins),
+    so a corrupt or replayed suffix cannot double-deliver.
+
+    The writer flushes every entry to the OS by default (sufficient
+    for the process-crash fault model); [flush_every] batches entries
+    in userspace for callers that can recompute what a crash loses,
+    and [fsync_every] adds periodic [Unix.fsync] for machine-crash
+    durability. Appends are serialized by an internal mutex and feed
+    {!Obsv.Journal_stats}. *)
+
+type kind = Input | Delivered | Open_session | Close_session | Mark
+
+val kind_to_string : kind -> string
+
+type entry = { seq : int; kind : kind; edge : string; payload : string }
+
+exception Killed
+(** Raised by {!append} on a writer that has been {!kill}ed — the
+    crash-point tests' stand-in for the process dying: whether the
+    entry hit the disk depends on which side of the persist the kill
+    landed, exactly like a real crash. *)
+
+val seam_hook : (string -> unit) ref
+(** Crash-injection seam, called with a label at every durability
+    decision point: ["append"] (entry not yet persisted),
+    ["append.post"] (persisted), ["snapshot.pre"], ["snapshot.post"],
+    ["ack"]. Defaults to ignore; the detcheck crash-point matrix
+    installs a counter that {!kill}s the writer at the chosen
+    crossing. *)
+
+val seam : string -> unit
+(** [seam label] invokes the current hook. *)
+
+val journal_path : string -> string
+(** The journal file inside a journal directory. *)
+
+(** {1 Reading} *)
+
+val parse : string -> entry list * string option
+(** Longest valid prefix of a raw journal image, plus [Some damage]
+    if anything (truncation, torn write, CRC mismatch, bad kind)
+    stopped the scan early. Never raises. *)
+
+val read_file : string -> entry list * string option
+(** [parse] of a file's contents; a missing file is an empty journal. *)
+
+val read_dir : string -> entry list * string option
+(** [read_file] of {!journal_path}. *)
+
+val dedupe : entry list -> entry list
+(** Drop entries whose sequence number already appeared (first
+    occurrence wins). *)
+
+(** {1 Writing} *)
+
+type writer
+
+val open_writer : ?flush_every:int -> ?fsync_every:int -> string -> writer
+(** Open (creating directory and file as needed) the journal of a
+    directory for appending. The next sequence number continues after
+    the highest in the existing valid prefix.
+
+    [flush_every] (default 1) batches that many entries in userspace
+    before they reach the OS in one write — a write-ahead caller that
+    acknowledges after {!append} returns must keep the default, while
+    a recomputing caller (see {!Replay.run_dist}) can batch because a
+    crash merely loses entries its next incarnation re-derives. A
+    killed writer's pending entries are dropped, never written, like
+    any userspace buffer in a dying process. [fsync_every] > 0 fsyncs
+    after every that many appends (flushing first); 0 (default)
+    never. *)
+
+val append : writer -> kind:kind -> edge:string -> string -> int
+(** Append one entry, flush it to the OS (or batch it, per
+    [flush_every]), and return its sequence number. Thread-safe.
+    @raise Killed after {!kill}. *)
+
+val next_seq : writer -> int
+val dir : writer -> string
+
+val sync : writer -> unit
+(** Force an [fsync] now. *)
+
+val kill : writer -> unit
+(** Simulate process death: every later {!append} raises {!Killed}
+    and nothing further is persisted. Used by crash-point tests. *)
+
+val killed : writer -> bool
+
+val live_writers : unit -> writer list
+(** Every writer opened in this process and not yet killed or closed.
+    A real crash is not selective, so the crash-point tests kill them
+    all at once. *)
+
+val arm_crash : seam:string -> crossing:int -> unit
+(** Install a {!seam_hook} that, at the [crossing]-th crossing of the
+    named seam, {!kill}s every live writer — whole-process death at
+    that exact durability decision point. The hook fires once; later
+    crossings are counted but harmless. Pair with {!disarm_crash} in a
+    [Fun.protect]. *)
+
+val disarm_crash : unit -> unit
+(** Reset {!seam_hook} to a no-op. *)
+
+val close : writer -> unit
+(** Flush and close; the writer behaves as {!kill}ed afterwards. *)

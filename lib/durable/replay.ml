@@ -1,0 +1,75 @@
+(* Journal-backed exactly-once wrapper for distributed runs.
+
+   [run_dist] threads a journaling tap through a coordinator run
+   (Engine_dist.run/run_spawned): every record put on a cut edge is
+   appended as Input, every record reaching the global output as
+   Delivered — except outputs whose frame is still owed a dedupe
+   credit from a PRIOR incarnation's Delivered entries. Re-running the
+   same inputs after a crash therefore recomputes everything but
+   journals each output exactly once across incarnations: the deduped
+   Delivered stream is the run's exactly-once output history, even
+   though each incarnation's return value is its own full recomputed
+   multiset.
+
+   A writer killed mid-run (the crash-point tests' process death)
+   simply stops journaling — the taps swallow [Journal.Killed] so the
+   doomed incarnation can wind down, and nothing it "produced" after
+   the death is visible in the journal, exactly like a real crash. *)
+
+let out_edge = "dist:out"
+
+let delivered_frames entries =
+  List.filter_map
+    (fun e ->
+      if e.Journal.kind = Journal.Delivered then Some e.Journal.payload
+      else None)
+    (Journal.dedupe entries)
+
+let is_complete entries =
+  List.exists
+    (fun e -> e.Journal.kind = Journal.Mark && e.Journal.payload = "complete")
+    (Journal.dedupe entries)
+
+let run_dist ~dir ?(flush_every = 64) ?fsync_every run =
+  let prior, _damage = Journal.read_dir dir in
+  let prior = Journal.dedupe prior in
+  let owed : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.Journal.kind = Journal.Delivered then
+        Hashtbl.replace owed e.Journal.payload
+          (1 + Option.value ~default:0 (Hashtbl.find_opt owed e.Journal.payload)))
+    prior;
+  let w = Journal.open_writer ~flush_every ?fsync_every dir in
+  let mu = Mutex.create () in
+  let tap ~edge r =
+    if not (Journal.killed w) then begin
+      let frame = Dist.Wire.render r in
+      let skip =
+        edge = out_edge
+        && Mutex.protect mu (fun () ->
+               match Hashtbl.find_opt owed frame with
+               | Some n when n > 0 ->
+                   Hashtbl.replace owed frame (n - 1);
+                   true
+               | _ -> false)
+      in
+      if not skip then
+        let kind =
+          if edge = out_edge then Journal.Delivered else Journal.Input
+        in
+        try ignore (Journal.append w ~kind ~edge frame : int)
+        with Journal.Killed -> ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> Journal.close w)
+    (fun () ->
+      let outs = run ~tap in
+      if not (Journal.killed w) then
+        (try
+           ignore
+             (Journal.append w ~kind:Journal.Mark ~edge:"dist:run" "complete"
+               : int)
+         with Journal.Killed -> ());
+      outs)

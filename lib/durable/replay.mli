@@ -1,0 +1,47 @@
+(** Journal-backed exactly-once wrapper for distributed runs.
+
+    {!run_dist} threads a journaling tap through a coordinator run —
+    pass it a closure over {!Dist.Engine_dist.run} (or [run_spawned])
+    that forwards the tap. Cut-edge crossings are journaled as
+    [Input]; global outputs as [Delivered], {e deduped} against the
+    prior incarnations' [Delivered] entries by canonical frame
+    byte-equality. The contract: across any sequence of crashed
+    incarnations followed by one that completes, the deduped
+    [Delivered] payload multiset equals the output multiset of one
+    uninterrupted run — each incarnation recomputes from its own
+    inputs, but every output is journaled exactly once.
+
+    A {!Journal.kill}ed writer (the crash-point tests' process death)
+    stops all journaling from that point; the taps swallow
+    {!Journal.Killed} so the doomed run winds down quietly, and
+    nothing after the death is visible in the journal. *)
+
+val out_edge : string
+(** The coordinator's global-output edge name (["dist:out"]). *)
+
+val delivered_frames : Journal.entry list -> string list
+(** The deduped [Delivered] payloads, in journal order — the
+    exactly-once output history. *)
+
+val is_complete : Journal.entry list -> bool
+(** Whether a [Mark "complete"] entry records a finished run. *)
+
+val run_dist :
+  dir:string ->
+  ?flush_every:int ->
+  ?fsync_every:int ->
+  (tap:(edge:string -> Snet.Record.t -> unit) -> 'a) ->
+  'a
+(** [run_dist ~dir run] opens the journal of [dir], builds the dedupe
+    budget from its existing [Delivered] entries, invokes [run ~tap],
+    appends [Mark "complete"] if the writer survived, and closes the
+    writer (also on exception). Returns [run]'s result — the full
+    recomputed output multiset, {e not} the deduped stream; read the
+    journal for that.
+
+    [flush_every] (default 64) batches journal writes in userspace,
+    keeping write syscalls off the engine's record path: a crash loses
+    at most the unflushed tail, which the next incarnation recomputes
+    and the dedupe budget keeps exactly-once. Pass [~flush_every:1]
+    for entry-by-entry persistence (the crash-point tests do, to pin
+    down exactly which entries survive a kill). *)

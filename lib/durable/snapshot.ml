@@ -1,0 +1,199 @@
+let magic = "SNS1"
+
+type t = {
+  spec : string;
+  watermark : int;
+  state : Snet.Netstate.t;
+  sessions : (int * int) list;
+  queued : (int * string list) list;
+}
+
+let path dir = Filename.concat dir "snapshot.sns"
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* --- encode -------------------------------------------------------- *)
+
+let put_int b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_str b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_list b put l =
+  put_int b (List.length l);
+  List.iter (put b) l
+
+let encode t =
+  let b = Buffer.create 1024 in
+  put_str b t.spec;
+  put_int b t.watermark;
+  let st = Snet.Netstate.normalize t.state in
+  put_list b
+    (fun b (p, (c : Snet.Netstate.sync_cell)) ->
+      put_str b p;
+      Buffer.add_uint8 b (if c.spent then 1 else 0);
+      put_list b
+        (fun b slot ->
+          match slot with
+          | None -> Buffer.add_uint8 b 0
+          | Some r ->
+              Buffer.add_uint8 b 1;
+              put_str b (Dist.Wire.render r))
+        c.slots)
+    st.Snet.Netstate.syncs;
+  put_list b
+    (fun b (p, tags) ->
+      put_str b p;
+      put_list b put_int tags)
+    st.Snet.Netstate.splits;
+  put_list b
+    (fun b (p, d) ->
+      put_str b p;
+      put_int b d)
+    st.Snet.Netstate.stars;
+  put_list b
+    (fun b (id, window) ->
+      put_int b id;
+      put_int b window)
+    t.sessions;
+  put_list b
+    (fun b (id, frames) ->
+      put_int b id;
+      put_list b put_str frames)
+    t.queued;
+  Buffer.contents b
+
+(* --- decode -------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let get_int c =
+  if String.length c.s - c.pos < 8 then fail "truncated int at %d" c.pos;
+  let v = Int64.to_int (String.get_int64_be c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_u8 c =
+  if String.length c.s - c.pos < 1 then fail "truncated byte at %d" c.pos;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_str c =
+  let n = get_int c in
+  if n < 0 || String.length c.s - c.pos < n then
+    fail "truncated string at %d" c.pos;
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let get_list c get =
+  let n = get_int c in
+  if n < 0 || n > String.length c.s then fail "bad list length at %d" c.pos;
+  List.init n (fun _ -> get c)
+
+let get_record c =
+  let frame = get_str c in
+  match Dist.Wire.read frame with
+  | Ok r -> r
+  | Error m -> fail "bad record frame: %s" m
+
+let decode s =
+  let c = { s; pos = 0 } in
+  let spec = get_str c in
+  let watermark = get_int c in
+  let syncs =
+    get_list c (fun c ->
+        let p = get_str c in
+        let spent = get_u8 c = 1 in
+        let slots =
+          get_list c (fun c ->
+              match get_u8 c with 0 -> None | _ -> Some (get_record c))
+        in
+        (p, { Snet.Netstate.slots; spent }))
+  in
+  let splits =
+    get_list c (fun c ->
+        let p = get_str c in
+        (p, get_list c get_int))
+  in
+  let stars =
+    get_list c (fun c ->
+        let p = get_str c in
+        (p, get_int c))
+  in
+  let sessions =
+    get_list c (fun c ->
+        let id = get_int c in
+        (id, get_int c))
+  in
+  let queued =
+    get_list c (fun c ->
+        let id = get_int c in
+        (id, get_list c get_str))
+  in
+  if c.pos <> String.length s then fail "trailing bytes at %d" c.pos;
+  {
+    spec;
+    watermark;
+    state = { Snet.Netstate.syncs; splits; stars };
+    sessions;
+    queued;
+  }
+
+(* --- files --------------------------------------------------------- *)
+
+let save ?journal ~dir t =
+  Journal.seam "snapshot.pre";
+  (* A kill at the pre seam means the process died before writing
+     anything: honour it by not persisting. A kill at the post seam
+     lands after the rename — the snapshot survives the "crash",
+     exactly like the real thing. *)
+  (match journal with
+  | Some w when Journal.killed w -> raise Journal.Killed
+  | _ -> ());
+  let t0 = Obsv.Probe.span_start () in
+  let body = encode t in
+  let crc = Int32.to_int (Dist.Wire.crc32 body) land 0xFFFFFFFF in
+  let tmp = Filename.concat dir "snapshot.tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_string oc body;
+      let crcb = Bytes.create 4 in
+      Bytes.set_int32_be crcb 0 (Int32.of_int crc);
+      output_bytes oc crcb);
+  (* Atomic replace: a crash mid-save leaves the previous snapshot. *)
+  Sys.rename tmp (path dir);
+  Obsv.Journal_stats.record_snapshot ();
+  Obsv.Probe.span_end ~cat:"journal" ~name:"snapshot" t0;
+  Journal.seam "snapshot.post";
+  match journal with
+  | Some w when Journal.killed w -> raise Journal.Killed
+  | _ -> ()
+
+let load ~dir =
+  match
+    let ic = open_in_bin (path dir) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> None
+  | exception End_of_file -> None
+  | raw -> (
+      let n = String.length raw in
+      if n < 8 || String.sub raw 0 4 <> magic then None
+      else
+        let body = String.sub raw 4 (n - 8) in
+        let crc_stored =
+          Int32.to_int (String.get_int32_be raw (n - 4)) land 0xFFFFFFFF
+        in
+        if Int32.to_int (Dist.Wire.crc32 body) land 0xFFFFFFFF <> crc_stored
+        then None
+        else match decode body with s -> Some s | exception Bad _ -> None)

@@ -1,0 +1,43 @@
+(** Periodic net snapshots.
+
+    A snapshot bounds recovery replay: it captures the network's
+    runtime state ({!Snet.Netstate.t} — sync-cell stores plus
+    star/split unfolding extents), the journal watermark (the highest
+    {!Journal} sequence number whose effects the state already
+    includes), the open-session table, and each session's undelivered
+    response frames. Recovery rebuilds the net from the spec string,
+    restores the state, and replays only journal entries above the
+    watermark.
+
+    Snapshots are written to a temporary file and atomically renamed
+    over the previous one, so a crash mid-save costs nothing; a
+    damaged or torn snapshot file fails its CRC and loads as [None],
+    in which case recovery replays the journal from the beginning. *)
+
+type t = {
+  spec : string;  (** network spec string the state belongs to *)
+  watermark : int;  (** journal entries [<= watermark] are folded in *)
+  state : Snet.Netstate.t;
+  sessions : (int * int) list;  (** open sessions: id, credit window *)
+  queued : (int * string list) list;
+      (** per session: response frames produced but not yet delivered *)
+}
+
+val path : string -> string
+(** The snapshot file inside a journal directory. *)
+
+val save : ?journal:Journal.writer -> dir:string -> t -> unit
+(** Serialize, CRC, write-and-rename. Calls the ["snapshot.pre"] /
+    ["snapshot.post"] crash seams around the persist; when [journal]
+    is given and a seam {!Journal.kill}s it, raises {!Journal.Killed}
+    — {e before} the persist at the pre seam (the file is untouched,
+    like a real pre-write death) and after it at the post seam (the
+    snapshot survives the crash). *)
+
+val load : dir:string -> t option
+(** [None] if absent, torn, or CRC-invalid — never raises. *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raw codec, exposed for fuzzing. [decode] raises on malformed
+    input; {!load} wraps it. *)

@@ -1,0 +1,59 @@
+type snapshot = {
+  appends : int;
+  append_bytes : int;
+  fsyncs : int;
+  replays : int;
+  snapshots : int;
+  lag : int;
+}
+
+let appends = Atomic.make 0
+let append_bytes = Atomic.make 0
+let fsyncs = Atomic.make 0
+let replays = Atomic.make 0
+let snapshots = Atomic.make 0
+let lag = Atomic.make 0
+let lag_hwm = Atomic.make 0
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let record_append ~bytes =
+  Atomic.incr appends;
+  ignore (Atomic.fetch_and_add append_bytes bytes);
+  let l = 1 + Atomic.fetch_and_add lag 1 in
+  atomic_max lag_hwm l
+
+let record_fsync () = Atomic.incr fsyncs
+let record_replay () = Atomic.incr replays
+
+let record_snapshot () =
+  Atomic.incr snapshots;
+  Atomic.set lag 0
+
+let current_lag () = Atomic.get lag
+
+let snapshot () =
+  {
+    appends = Atomic.get appends;
+    append_bytes = Atomic.get append_bytes;
+    fsyncs = Atomic.get fsyncs;
+    replays = Atomic.get replays;
+    snapshots = Atomic.get snapshots;
+    lag = Atomic.get lag_hwm;
+  }
+
+let clear () =
+  Atomic.set appends 0;
+  Atomic.set append_bytes 0;
+  Atomic.set fsyncs 0;
+  Atomic.set replays 0;
+  Atomic.set snapshots 0;
+  Atomic.set lag 0;
+  Atomic.set lag_hwm 0
+
+let pp ppf s =
+  Format.fprintf ppf
+    "journal: appends=%d bytes=%d fsyncs=%d replays=%d snapshots=%d lag_hwm=%d"
+    s.appends s.append_bytes s.fsyncs s.replays s.snapshots s.lag

@@ -1,0 +1,31 @@
+(** Durability counters: edge-journal activity, process-global.
+
+    The journal writer ({!Durable.Journal}) calls the [record_*]
+    functions; they are single atomic operations, cheap enough for the
+    append hot path. [lag] tracks entries appended since the last
+    snapshot — the length of the journal suffix a recovery would have
+    to replay — and the snapshot reports its high-water mark.
+    Latency distributions (append, fsync, replay, snapshot save) go
+    through the ordinary span probes under the ["journal"] category;
+    this module only owns the monotone counters. *)
+
+type snapshot = {
+  appends : int;  (** journal entries written *)
+  append_bytes : int;  (** payload + framing bytes written *)
+  fsyncs : int;
+  replays : int;  (** entries re-read and re-applied during recovery *)
+  snapshots : int;  (** net snapshots persisted *)
+  lag : int;  (** high-water mark of entries since last snapshot *)
+}
+
+val record_append : bytes:int -> unit
+val record_fsync : unit -> unit
+val record_replay : unit -> unit
+val record_snapshot : unit -> unit
+
+val current_lag : unit -> int
+(** Entries appended since the last recorded snapshot. *)
+
+val snapshot : unit -> snapshot
+val clear : unit -> unit
+val pp : Format.formatter -> snapshot -> unit

@@ -23,7 +23,7 @@ type t = {
 let session t = t.session
 let window t = t.sa_credits
 
-let connect ?(credits = 0) ?(batch = 0) conn =
+let connect ?(credits = 0) ?(batch = 0) ?(resume = -1) conn =
   let ctx = Dist.Wire.ctx () in
   let hello =
     Proto.Hello
@@ -35,6 +35,7 @@ let connect ?(credits = 0) ?(batch = 0) conn =
         timeout = None;
         credits;
         crash_after = -1;
+        crash_flush = false;
         batch;
       }
   in
@@ -44,7 +45,8 @@ let connect ?(credits = 0) ?(batch = 0) conn =
   | `Msg m -> (
       match Proto.decode m with
       | Ok (Proto.Hello_ack _) -> (
-          Transport.send conn (Proto.encode (Proto.Open_session { credits; batch }));
+          Transport.send conn
+            (Proto.encode (Proto.Open_session { credits; batch; resume }));
           match Transport.recv conn with
           | `Closed -> Error "connection closed during open"
           | `Msg m -> (

@@ -8,11 +8,19 @@
 
 type t
 
-val connect : ?credits:int -> ?batch:int -> Dist.Transport.conn -> (t, string) result
+val connect :
+  ?credits:int ->
+  ?batch:int ->
+  ?resume:int ->
+  Dist.Transport.conn ->
+  (t, string) result
 (** Handshake ([Hello]/[Open_session]) on an established connection.
     [credits]/[batch] [<= 0] defer to the server's configuration.
-    [Error reason] on rejection (admission control, drain, protocol
-    mismatch). *)
+    [resume >= 0] asks to re-attach to that session id after a server
+    restart from journal — the server must have restored the session;
+    responses the old incarnation still owed are redelivered. [Error
+    reason] on rejection (admission control, drain, protocol
+    mismatch, unknown resume id). *)
 
 val session : t -> int
 (** The server-assigned session id. *)

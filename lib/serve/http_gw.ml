@@ -233,7 +233,18 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let lookup t id = locked t (fun () -> Hashtbl.find_opt t.sessions id)
+(* A session may predate this gateway instance: after a crash,
+   recovery restores sessions inside the Server, and the client that
+   re-polls over HTTP never re-opens. Fall back to resuming. *)
+let lookup t id =
+  match locked t (fun () -> Hashtbl.find_opt t.sessions id) with
+  | Some s -> Some s
+  | None -> (
+      match Server.resume_session t.srv id with
+      | Ok s ->
+          locked t (fun () -> Hashtbl.replace t.sessions id s);
+          Some s
+      | Error `Unknown -> None)
 let forget t id = locked t (fun () -> Hashtbl.remove t.sessions id)
 
 let health_json h =

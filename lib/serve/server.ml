@@ -30,6 +30,21 @@ let default_config =
     idle_timeout = 300.;
   }
 
+type durability = {
+  dir : string;
+  fsync_every : int;
+  snapshot_every : int;
+  spec : string;
+}
+
+type recovery_stats = {
+  from_snapshot : bool;
+  restored_sessions : int;
+  replayed : int;
+  redelivered : int;
+  journal_damage : string option;
+}
+
 type session = {
   id : int;
   window : int;
@@ -40,7 +55,12 @@ type session = {
   mutable submitted : int;
   mutable delivered : int;
   mutable dropped : int;
-  on_evict : unit -> unit;
+  (* Highest client request number accepted ([submit ~req]); replayed
+     from the journal on recovery so a client retrying a submission it
+     cannot know the fate of (the ack was lost in the crash) is
+     idempotent. *)
+  mutable last_req : int;
+  mutable on_evict : unit -> unit;
 }
 
 type health = {
@@ -63,6 +83,14 @@ type t = {
   mutable inst : Snet.Engine_conc.instance option;
   mutable draining : bool;
   mutable inflight_feeds : int;
+  (* durability (all None/idle when the server is not journaled) *)
+  durability : durability option;
+  mutable journal : Durable.Journal.writer option;
+  mutable snapshotting : bool;
+  mutable inputs_since_snap : int;
+  mutable recovering : bool;
+  mutable recovery_rev : Record.t list;
+  mutable recovery : recovery_stats option;
   (* lifetime totals; per-session counters fold in on close/reap *)
   mutable n_opened : int;
   mutable n_rejected : int;
@@ -93,6 +121,16 @@ let instance t =
    into more responses than the queue's headroom holds, and is counted
    as a stall. *)
 let route_output t r =
+  let buffered =
+    locked t (fun () ->
+        if t.recovering then begin
+          t.recovery_rev <- r :: t.recovery_rev;
+          true
+        end
+        else false)
+  in
+  if buffered then ()
+  else
   let target =
     match Record.tag session_tag r with
     | None -> None
@@ -111,12 +149,234 @@ let route_output t r =
           try Streams.Channel.send s.out_q r
           with Streams.Channel.Closed -> s.dropped <- s.dropped + 1))
 
-let create ?pool ?exec ?(cfg = default_config) net =
+(* Journal edge names carry the session id (and, for idempotent
+   submissions, the client request number), so recovery can rebuild
+   the session bookkeeping from edge strings alone, without decoding
+   payloads it will not replay. *)
+let journal_edge_in ?req id =
+  match req with
+  | Some q -> Printf.sprintf "serve:s%d.in#%d" id q
+  | None -> Printf.sprintf "serve:s%d.in" id
+let journal_edge_session id = Printf.sprintf "serve:s%d" id
+
+let sid_of_edge edge =
+  try Scanf.sscanf edge "serve:s%d" (fun id -> Some id) with _ -> None
+
+let req_of_edge edge =
+  match String.index_opt edge '#' with
+  | None -> None
+  | Some i ->
+      int_of_string_opt (String.sub edge (i + 1) (String.length edge - i - 1))
+
+let mk_session ~id ~window ~capacity ~on_evict =
+  {
+    id;
+    window;
+    out_q = Streams.Channel.create ~capacity ();
+    last_activity = Scheduler.Clock.now ();
+    closing = false;
+    withheld = 0;
+    submitted = 0;
+    delivered = 0;
+    dropped = 0;
+    last_req = -1;
+    on_evict;
+  }
+
+(* Rebuild a journaled server: load the latest snapshot (if its spec
+   matches), restore the engine's net state from it, re-feed the
+   journal's Input suffix above the snapshot watermark, and requeue
+   for each restored session exactly the responses the previous
+   incarnation had not yet delivered — (snapshot queue ++ replay
+   outputs) minus the Delivered entries above the watermark, as a
+   frame multiset with a floor at zero (frames are canonical, so
+   byte-equality is record equality). *)
+let recover t d ?pool ?exec wrapped =
+  let snap =
+    match Durable.Snapshot.load ~dir:d.dir with
+    | Some s when s.Durable.Snapshot.spec = d.spec -> Some s
+    | Some _ | None -> None
+  in
+  let entries, damage = Durable.Journal.read_dir d.dir in
+  let entries = Durable.Journal.dedupe entries in
+  let wm =
+    match snap with Some s -> s.Durable.Snapshot.watermark | None -> -1
+  in
+  let live =
+    List.filter (fun e -> e.Durable.Journal.seq > wm) entries
+  in
+  (* Open-session table: snapshot sessions plus the journal suffix. *)
+  let alive : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (match snap with
+  | Some s ->
+      List.iter
+        (fun (id, window) -> Hashtbl.replace alive id window)
+        s.Durable.Snapshot.sessions
+  | None -> ());
+  List.iter
+    (fun e ->
+      match (e.Durable.Journal.kind, sid_of_edge e.Durable.Journal.edge) with
+      | Durable.Journal.Open_session, Some id ->
+          let window =
+            match int_of_string_opt e.Durable.Journal.payload with
+            | Some w when w > 0 -> w
+            | _ -> t.cfg.credits
+          in
+          Hashtbl.replace alive id window
+      | Durable.Journal.Close_session, Some id -> Hashtbl.remove alive id
+      | _ -> ())
+    live;
+  (* Highest accepted request number per session, over the WHOLE
+     journal — the journal is never truncated, so this survives any
+     number of snapshots. *)
+  let last_reqs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.Durable.Journal.kind = Durable.Journal.Input then
+        match
+          (sid_of_edge e.Durable.Journal.edge, req_of_edge e.Durable.Journal.edge)
+        with
+        | Some id, Some q ->
+            let cur =
+              Option.value ~default:(-1) (Hashtbl.find_opt last_reqs id)
+            in
+            if q > cur then Hashtbl.replace last_reqs id q
+        | _ -> ())
+    entries;
+  (* Engine with the snapshot's net state pre-built, outputs buffered
+     until the replay settles. *)
+  t.recovering <- true;
+  let restore =
+    match snap with
+    | Some s -> s.Durable.Snapshot.state
+    | None -> Snet.Netstate.empty
+  in
+  t.inst <-
+    Some
+      (Snet.Engine_conc.start ?pool ?exec ~restore
+         ~on_output:(route_output t) wrapped);
+  let replayed = ref 0 in
+  List.iter
+    (fun e ->
+      if e.Durable.Journal.kind = Durable.Journal.Input then
+        match Dist.Wire.read e.Durable.Journal.payload with
+        | Ok r ->
+            incr replayed;
+            Obsv.Journal_stats.record_replay ();
+            Snet.Engine_conc.feed (instance t) r
+        | Error _ -> ())
+    live;
+  ignore (Snet.Engine_conc.finish (instance t) : Record.t list);
+  let outputs = List.rev t.recovery_rev in
+  t.recovery_rev <- [];
+  t.recovering <- false;
+  (* Undelivered = (snapshot queue ++ replay outputs) - Delivered
+     entries above the watermark, per session, floor at zero. *)
+  let delivered_after : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.Durable.Journal.kind = Durable.Journal.Delivered then
+        match sid_of_edge e.Durable.Journal.edge with
+        | Some id ->
+            let k = (id, e.Durable.Journal.payload) in
+            Hashtbl.replace delivered_after k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt delivered_after k))
+        | None -> ())
+    live;
+  let cands : (int, (string * Record.t) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let add_cand id fr =
+    match Hashtbl.find_opt cands id with
+    | Some l -> l := fr :: !l
+    | None -> Hashtbl.replace cands id (ref [ fr ])
+  in
+  (match snap with
+  | Some s ->
+      List.iter
+        (fun (id, frames) ->
+          List.iter
+            (fun f ->
+              match Dist.Wire.read f with
+              | Ok r -> add_cand id (f, r)
+              | Error _ -> ())
+            frames)
+        s.Durable.Snapshot.queued
+  | None -> ());
+  List.iter
+    (fun r ->
+      match Record.tag session_tag r with
+      | Some id -> add_cand id (Dist.Wire.render r, r)
+      | None -> t.n_orphaned <- t.n_orphaned + 1)
+    outputs;
+  let redelivered = ref 0 in
+  Hashtbl.iter
+    (fun id window ->
+      let pending =
+        match Hashtbl.find_opt cands id with
+        | Some l -> List.rev !l
+        | None -> []
+      in
+      let keep =
+        List.filter
+          (fun (f, _) ->
+            match Hashtbl.find_opt delivered_after (id, f) with
+            | Some n when n > 0 ->
+                Hashtbl.replace delivered_after (id, f) (n - 1);
+                false
+            | _ -> true)
+          pending
+      in
+      let s =
+        mk_session ~id ~window
+          ~capacity:(max (8 * window) (2 * List.length keep))
+          ~on_evict:(fun () -> ())
+      in
+      (match Hashtbl.find_opt last_reqs id with
+      | Some q -> s.last_req <- q
+      | None -> ());
+      List.iter
+        (fun (_, r) ->
+          redelivered := !redelivered + 1;
+          match Streams.Channel.try_send s.out_q r with
+          | `Ok -> ()
+          | `Full | `Closed -> s.dropped <- s.dropped + 1)
+        keep;
+      Hashtbl.replace t.sessions id s)
+    alive;
+  (* Responses owed to sessions the journal says were closed. *)
+  Hashtbl.iter
+    (fun id l ->
+      if not (Hashtbl.mem alive id) then
+        t.n_dropped <- t.n_dropped + List.length !l)
+    cands;
+  t.journal <- Some (Durable.Journal.open_writer ~fsync_every:d.fsync_every d.dir);
+  (* A directory with no prior journal or snapshot is a fresh start,
+     not a recovery — report None so callers can tell the two apart. *)
+  t.recovery <-
+    (if entries = [] && snap = None then None
+     else
+       Some
+         {
+           from_snapshot = snap <> None;
+           restored_sessions = Hashtbl.length alive;
+           replayed = !replayed;
+           redelivered = !redelivered;
+           journal_damage = damage;
+         })
+
+let create ?pool ?exec ?(cfg = default_config) ?durability net =
   if cfg.max_sessions < 1 then invalid_arg "Serve.create: max_sessions < 1";
   if cfg.credits < 1 then invalid_arg "Serve.create: credits < 1";
   (match Dist.Engine_dist.batch_of_string (string_of_int cfg.batch) with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Serve.create: " ^ e));
+  (match durability with
+  | Some d ->
+      if d.fsync_every < 0 then invalid_arg "Serve.create: fsync_every < 0";
+      if d.snapshot_every < 0 then
+        invalid_arg "Serve.create: snapshot_every < 0"
+  | None -> ());
   let t =
     {
       mu = Mutex.create ();
@@ -125,6 +385,13 @@ let create ?pool ?exec ?(cfg = default_config) net =
       inst = None;
       draining = false;
       inflight_feeds = 0;
+      durability;
+      journal = None;
+      snapshotting = false;
+      inputs_since_snap = 0;
+      recovering = false;
+      recovery_rev = [];
+      recovery = None;
       n_opened = 0;
       n_rejected = 0;
       n_closed = 0;
@@ -136,10 +403,16 @@ let create ?pool ?exec ?(cfg = default_config) net =
     }
   in
   let wrapped = Snet.Net.split net session_tag in
-  t.inst <-
-    Some
-      (Snet.Engine_conc.start ?pool ?exec ~on_output:(route_output t) wrapped);
+  (match durability with
+  | None ->
+      t.inst <-
+        Some
+          (Snet.Engine_conc.start ?pool ?exec ~on_output:(route_output t)
+             wrapped)
+  | Some d -> recover t d ?pool ?exec wrapped);
   t
+
+let recovery t = t.recovery
 
 (* Session ids are the smallest free ones, not monotonic: the engine
    unfolds one net replica per distinct tag value and never folds it
@@ -168,51 +441,143 @@ let open_session ?credits ?(on_evict = fun () -> ()) t =
       end
       else begin
         let id = alloc_id t in
-        let s =
-          {
-            id;
-            window;
-            (* Headroom above the credit window: fan-out nets may
-               answer one input with several records. *)
-            out_q = Streams.Channel.create ~capacity:(8 * window) ();
-            last_activity = Scheduler.Clock.now ();
-            closing = false;
-            withheld = 0;
-            submitted = 0;
-            delivered = 0;
-            dropped = 0;
-            on_evict;
-          }
-        in
+        (* Write-ahead: the open must be durable before the session is
+           visible, or a crash right after the ack would restore a
+           server that denies the session ever existed. *)
+        (match t.journal with
+        | Some w ->
+            ignore
+              (Durable.Journal.append w ~kind:Durable.Journal.Open_session
+                 ~edge:(journal_edge_session id) (string_of_int window)
+                : int)
+        | None -> ());
+        (* Headroom above the credit window: fan-out nets may answer
+           one input with several records. *)
+        let s = mk_session ~id ~window ~capacity:(8 * window) ~on_evict in
         Hashtbl.replace t.sessions id s;
         t.n_opened <- t.n_opened + 1;
         Obsv.Probe.instant ~cat:"serve" ~name:"session.open" ~value:id ();
         Ok s
       end)
 
-let submit t s r =
-  let admitted =
-    locked t (fun () ->
-        if s.closing then `Closed
-        else if t.draining then `Draining
-        else begin
+(* Re-attach to a session restored from the journal (or simply still
+   open) after the original connection — or the original process —
+   went away. *)
+let resume_session ?(on_evict = fun () -> ()) t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.sessions id with
+      | Some s when not s.closing ->
+          s.on_evict <- on_evict;
           s.last_activity <- Scheduler.Clock.now ();
-          s.submitted <- s.submitted + 1;
-          t.n_submitted <- t.n_submitted + 1;
-          t.inflight_feeds <- t.inflight_feeds + 1;
-          `Admit
-        end)
+          Ok s
+      | Some _ | None -> Error `Unknown)
+
+(* Quiesce the engine and persist a snapshot: block new admissions
+   (the [snapshotting] barrier below), let in-flight feeds land, run
+   the net to quiescence, then capture — journal watermark first, so a
+   response delivered while we are peeking the queues is above the
+   watermark and recovery's floor-at-zero subtraction corrects the
+   double-count. *)
+let snapshot_now t w d =
+  Fun.protect
+    ~finally:(fun () ->
+      locked t (fun () ->
+          t.snapshotting <- false;
+          t.inputs_since_snap <- 0))
+    (fun () ->
+      let rec settle () =
+        if locked t (fun () -> t.inflight_feeds > 0) then begin
+          Scheduler.Clock.sleep 0.001;
+          settle ()
+        end
+      in
+      settle ();
+      ignore (Snet.Engine_conc.finish (instance t) : Record.t list);
+      let watermark = Durable.Journal.next_seq w - 1 in
+      let state = Snet.Engine_conc.capture (instance t) in
+      let sessions, queued =
+        locked t (fun () ->
+            Hashtbl.fold
+              (fun _ s (ss, qs) ->
+                ( (s.id, s.window) :: ss,
+                  (s.id, List.map Dist.Wire.render (Streams.Channel.peek s.out_q))
+                  :: qs ))
+              t.sessions ([], []))
+      in
+      Durable.Snapshot.save ~journal:w ~dir:d.dir
+        { Durable.Snapshot.spec = d.spec; watermark; state; sessions; queued })
+
+let maybe_snapshot t =
+  match (t.journal, t.durability) with
+  | Some w, Some d when d.snapshot_every > 0 ->
+      let due =
+        locked t (fun () ->
+            if t.inputs_since_snap >= d.snapshot_every && not t.snapshotting
+            then begin
+              t.snapshotting <- true;
+              true
+            end
+            else false)
+      in
+      if due then snapshot_now t w d
+  | _ -> ()
+
+let submit ?req t s r =
+  let rec admitted () =
+    let a =
+      locked t (fun () ->
+          if s.closing then `Closed
+          else if t.draining then `Draining
+          else if t.snapshotting then `Wait
+          else
+            match req with
+            | Some q when q <= s.last_req -> `Duplicate
+            | _ ->
+                (match req with Some q -> s.last_req <- q | None -> ());
+                s.last_activity <- Scheduler.Clock.now ();
+                s.submitted <- s.submitted + 1;
+                t.n_submitted <- t.n_submitted + 1;
+                t.inflight_feeds <- t.inflight_feeds + 1;
+                if t.journal <> None then
+                  t.inputs_since_snap <- t.inputs_since_snap + 1;
+                `Admit)
+    in
+    match a with
+    | `Wait ->
+        (* A snapshot is capturing: wait it out ([Clock.sleep] keeps
+           the retry schedulable under detcheck's virtual clock). *)
+        Scheduler.Clock.sleep 0.001;
+        admitted ()
+    | (`Closed | `Draining | `Duplicate | `Admit) as x -> x
   in
-  match admitted with
+  match admitted () with
   | (`Closed | `Draining) as x -> x
+  | `Duplicate ->
+      (* Already accepted (and journaled) before a crash or a lost
+         ack: the retry succeeds without re-feeding. *)
+      `Ok
   | `Admit ->
       let tagged = Record.with_tag session_tag s.id r in
       Obsv.Probe.edge_send ~name:edge_in ~depth:(s.submitted - s.delivered);
       Fun.protect
         ~finally:(fun () ->
           locked t (fun () -> t.inflight_feeds <- t.inflight_feeds - 1))
-        (fun () -> Snet.Engine_conc.feed (instance t) tagged);
+        (fun () ->
+          (* Write-ahead: the entry is durable before the record's
+             effects can become visible. [Journal.Killed] (a simulated
+             crash) propagates — the record was neither persisted nor
+             fed, exactly like a real pre-append death. *)
+          (match t.journal with
+          | Some w ->
+              ignore
+                (Durable.Journal.append w ~kind:Durable.Journal.Input
+                   ~edge:(journal_edge_in ?req s.id)
+                   (Dist.Wire.render tagged)
+                  : int)
+          | None -> ());
+          Snet.Engine_conc.feed (instance t) tagged);
       locked t (fun () -> s.withheld <- s.withheld + 1);
+      maybe_snapshot t;
       `Ok
 
 (* Each admitted record earns one credit, granted back to the client
@@ -221,6 +586,9 @@ let submit t s r =
    therefore stops submitting — per-session backpressure that never
    touches the net. *)
 let take_grants t s =
+  (* Crash seam: a death here loses the grant but not the work — the
+     client retries under its idempotency key. *)
+  if t.journal <> None then Durable.Journal.seam "ack";
   locked t (fun () ->
       if Streams.Channel.length s.out_q >= s.window then 0
       else begin
@@ -233,10 +601,28 @@ let backlog s = Streams.Channel.length s.out_q
 let window s = s.window
 let closed s = Streams.Channel.is_closed s.out_q
 
-let note_delivered t s n =
+let note_delivered t s rs =
+  let n = List.length rs in
   if n > 0 then begin
     Obsv.Probe.edge_recv ~name:(edge_out s) ~depth:(Streams.Channel.length s.out_q);
     Obsv.Probe.edge_batch ~name:(edge_out s) ~size:n;
+    (* A journaled delivery is what recovery subtracts from the owed
+       set. [Killed] is swallowed: a dead process journals nothing,
+       and deliveries the journal missed are simply redelivered after
+       restart (at-least-once; frames are canonical, so the client can
+       recognise the duplicate byte-for-byte). *)
+    (match t.journal with
+    | Some w -> (
+        try
+          List.iter
+            (fun r ->
+              ignore
+                (Durable.Journal.append w ~kind:Durable.Journal.Delivered
+                   ~edge:(edge_out s) (Dist.Wire.render r)
+                  : int))
+            rs
+        with Durable.Journal.Killed -> ())
+    | None -> ());
     locked t (fun () ->
         s.delivered <- s.delivered + n;
         t.n_delivered <- t.n_delivered + n)
@@ -244,7 +630,7 @@ let note_delivered t s n =
 
 let poll t s ~max =
   let rs = Streams.Channel.drain s.out_q ~max in
-  note_delivered t s (List.length rs);
+  note_delivered t s rs;
   (match rs with
   | [] -> ()
   | _ :: _ -> locked t (fun () -> s.last_activity <- Scheduler.Clock.now ()));
@@ -254,7 +640,7 @@ let recv_outputs t s ~max =
   match Streams.Channel.recv_batch s.out_q ~max with
   | `Closed -> `Closed
   | `Batch rs ->
-      note_delivered t s (List.length rs);
+      note_delivered t s rs;
       `Batch rs
 
 let fold_counters t (s : session) ~reaped =
@@ -274,6 +660,19 @@ let close_session t s =
         end)
   in
   if fresh then begin
+    (* At-least-once close: a crash between the in-memory close and
+       the append restores the session as open — the client simply
+       closes it again. [Killed] swallowed for the same reason as in
+       [note_delivered]. *)
+    (match t.journal with
+    | Some w -> (
+        try
+          ignore
+            (Durable.Journal.append w ~kind:Durable.Journal.Close_session
+               ~edge:(journal_edge_session s.id) ""
+              : int)
+        with Durable.Journal.Killed -> ())
+    | None -> ());
     Streams.Channel.close s.out_q;
     Obsv.Probe.instant ~cat:"serve" ~name:"session.close" ~value:s.id ()
   end
@@ -304,6 +703,15 @@ let reap_idle t =
     in
     List.iter
       (fun s ->
+        (match t.journal with
+        | Some w -> (
+            try
+              ignore
+                (Durable.Journal.append w ~kind:Durable.Journal.Close_session
+                   ~edge:(journal_edge_session s.id) ""
+                  : int)
+            with Durable.Journal.Killed -> ())
+        | None -> ());
         Streams.Channel.close s.out_q;
         Obsv.Probe.instant ~cat:"serve" ~name:"session.reap" ~value:s.id ();
         s.on_evict ())
@@ -401,7 +809,7 @@ let attempt f = try f () with _ -> ()
 let session_writer t s conn ~batch () =
   let ctx = Dist.Wire.ctx () in
   let rec loop () =
-    match recv_outputs t s ~max:(max 1 batch) with
+    match Streams.Channel.recv_batch s.out_q ~max:(max 1 batch) with
     | `Batch rs ->
         let grants = take_grants t s in
         let msgs =
@@ -410,7 +818,18 @@ let session_writer t s conn ~batch () =
           if grants > 0 then [ Dist.Proto.encode (Dist.Proto.Credit grants) ]
           else []
         in
-        attempt (fun () -> Dist.Transport.send_many conn msgs);
+        let sent =
+          try
+            Dist.Transport.send_many conn msgs;
+            true
+          with _ -> false
+        in
+        (* Count (and journal) the delivery only once the frames
+           reached the transport: a crash between the send and the
+           journal append redelivers after restart rather than losing
+           the response — at-least-once toward the client, who can
+           dedupe byte-identical frames. *)
+        if sent then note_delivered t s rs;
         loop ()
     | `Closed ->
         attempt (fun () ->
@@ -491,31 +910,39 @@ let serve_conn t conn =
           | `Closed -> Dist.Transport.close conn
           | `Msg m -> (
               match Dist.Proto.decode m with
-              | Ok (Dist.Proto.Open_session { credits; batch }) -> (
+              | Ok (Dist.Proto.Open_session { credits; batch; resume }) -> (
                   let batch =
                     if batch <= 0 then t.cfg.batch else min batch t.cfg.batch
                   in
                   let on_evict () = Dist.Transport.close conn in
-                  match
-                    open_session
-                      ~credits:(if credits <= 0 then t.cfg.credits else credits)
-                      ~on_evict t
-                  with
-                  | Error `Draining -> fail "draining"
-                  | Error `Full -> fail "session limit reached"
-                  | Ok s ->
-                      attempt (fun () ->
-                          Dist.Transport.send conn
-                            (Dist.Proto.encode
-                               (Dist.Proto.Session_ack
-                                  {
-                                    session = s.id;
-                                    ok = true;
-                                    sa_credits = s.window;
-                                    sa_batch = batch;
-                                    reason = "";
-                                  })));
-                      serve_session t conn ~window:s.window ~batch s)
+                  let ack_and_serve s =
+                    attempt (fun () ->
+                        Dist.Transport.send conn
+                          (Dist.Proto.encode
+                             (Dist.Proto.Session_ack
+                                {
+                                  session = s.id;
+                                  ok = true;
+                                  sa_credits = s.window;
+                                  sa_batch = batch;
+                                  reason = "";
+                                })));
+                    serve_session t conn ~window:s.window ~batch s
+                  in
+                  if resume >= 0 then
+                    match resume_session ~on_evict t resume with
+                    | Ok s -> ack_and_serve s
+                    | Error `Unknown -> fail "unknown resume session"
+                  else
+                    match
+                      open_session
+                        ~credits:
+                          (if credits <= 0 then t.cfg.credits else credits)
+                        ~on_evict t
+                    with
+                    | Error `Draining -> fail "draining"
+                    | Error `Full -> fail "session limit reached"
+                    | Ok s -> ack_and_serve s)
               | Ok _ | Error _ -> fail "expected Open_session"))
       | Ok (Dist.Proto.Hello _) -> fail "unsupported hello spec"
       | Ok _ | Error _ -> fail "expected Hello")

@@ -31,6 +31,30 @@ val default_config : config
 (** 64 sessions, window 32, batch {!Dist.Engine_dist.default_batch},
     5-minute idle timeout. *)
 
+type durability = {
+  dir : string;  (** Journal directory (created as needed). *)
+  fsync_every : int;
+      (** [> 0]: [fsync] every that many appends; [0] flushes to the
+          OS only (sufficient for the process-crash fault model). *)
+  snapshot_every : int;
+      (** Take a net snapshot every that many journaled submissions;
+          [0] disables snapshots (recovery replays the whole
+          journal). *)
+  spec : string;
+      (** Network spec string stored in snapshots; a snapshot whose
+          spec differs is ignored on recovery. *)
+}
+
+type recovery_stats = {
+  from_snapshot : bool;  (** A valid, spec-matching snapshot loaded. *)
+  restored_sessions : int;
+  replayed : int;  (** Input entries re-fed above the watermark. *)
+  redelivered : int;  (** Responses requeued as still-undelivered. *)
+  journal_damage : string option;
+      (** Damage description when the journal had a torn/corrupt tail
+          (the valid prefix was still recovered). *)
+}
+
 type t
 (** A serving instance: the running engine plus its session table. *)
 
@@ -40,6 +64,7 @@ val create :
   ?pool:Scheduler.Pool.t ->
   ?exec:Scheduler.Exec.t ->
   ?cfg:config ->
+  ?durability:durability ->
   Snet.Net.t ->
   t
 (** Wrap [net] in the session replicator and start it. [exec] runs the
@@ -50,7 +75,27 @@ val create :
     with its own drivers): under the zero-worker default pool of a
     single-core host, actors only progress inside [finish], and
     responses would sit in the net until {!drain}.
-    @raise Invalid_argument on nonsensical [cfg] bounds. *)
+
+    [durability] makes the server journal-backed: every accepted
+    submission is appended (write-ahead) to the edge journal before it
+    is fed, every delivered response and session open/close is
+    journaled, and a net snapshot is taken every [snapshot_every]
+    inputs. If the directory already holds a journal, [create]
+    {e recovers}: the net state is restored from the latest snapshot,
+    the journal's Input suffix is replayed, open sessions are
+    re-created, and exactly the responses the previous incarnation had
+    not delivered are requeued — the union of responses over
+    crash-separated incarnations is multiset-identical to an
+    uninterrupted run ({!recovery} reports what was restored).
+    Deliveries are journaled {e after} the frames reach the consumer
+    (or transport), so a crash in between redelivers rather than
+    loses: at-least-once per response, exactly-once for responses
+    whose delivery was journaled.
+    @raise Invalid_argument on nonsensical [cfg]/[durability] bounds. *)
+
+val recovery : t -> recovery_stats option
+(** What {!create} restored, when [durability] was given and the
+    directory held prior state; [None] for a fresh start. *)
 
 val open_session :
   ?credits:int ->
@@ -67,10 +112,27 @@ val open_session :
 
 val session_id : session -> int
 
-val submit : t -> session -> Snet.Record.t -> [ `Ok | `Closed | `Draining ]
+val resume_session :
+  ?on_evict:(unit -> unit) ->
+  t ->
+  int ->
+  (session, [ `Unknown ]) result
+(** Re-attach to an open session by id — typically one restored from
+    the journal after a restart ([Open_session] with [resume] on the
+    wire). Undelivered responses are waiting in its queue. *)
+
+val submit :
+  ?req:int -> t -> session -> Snet.Record.t -> [ `Ok | `Closed | `Draining ]
 (** Stamp the record with the session tag and feed the net. [`Closed]
     after the session closed, [`Draining] once a drain began (the
-    record is {e not} accepted). *)
+    record is {e not} accepted). [req] is an idempotency key: a
+    monotone per-session client request number. A submission whose
+    [req] is at or below the highest already accepted (including
+    accepted by a {e previous incarnation}, via the journal) returns
+    [`Ok] without re-feeding — the safe retry after a crash or lost
+    ack. Journal-backed servers persist the entry before feeding;
+    {!Durable.Journal.Killed} propagates from a writer killed by the
+    crash-point tests. *)
 
 val take_grants : t -> session -> int
 (** Credits earned since the last call — one per admitted record — but

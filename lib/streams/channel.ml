@@ -22,6 +22,7 @@ module type S = sig
   val is_closed : 'a t -> bool
   val length : 'a t -> int
   val to_list : 'a t -> 'a list
+  val peek : 'a t -> 'a list
   val of_list : ?close:bool -> 'a list -> 'a t
 end
 
@@ -155,6 +156,12 @@ module Make (P : Scheduler.Platform.S) = struct
     let n = Queue.length t.queue in
     P.unlock t.mutex;
     n
+
+  let peek t =
+    P.lock t.mutex;
+    let xs = Queue.fold (fun acc v -> v :: acc) [] t.queue in
+    P.unlock t.mutex;
+    List.rev xs
 
   let to_list t =
     let rec go acc =

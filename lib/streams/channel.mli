@@ -78,6 +78,12 @@ module type S = sig
   (** Receive until end-of-stream; only sensible on a channel that
       will be closed by its producer. *)
 
+  val peek : 'a t -> 'a list
+  (** Non-destructive snapshot of the buffered elements, oldest first.
+      Consistent (taken under the channel lock) but immediately stale
+      against concurrent peers; meant for quiescent-point capture
+      (net snapshots of undelivered responses). *)
+
   val of_list : ?close:bool -> 'a list -> 'a t
   (** A channel pre-filled with the list (capacity is sized with
       headroom above the list), closed afterwards unless

@@ -37,4 +37,5 @@ let () =
       ("dist", Test_dist.suite);
       ("serve", Test_serve.suite);
       ("detcheck", Test_detcheck.suite);
+      ("durable", Test_durable.suite);
     ]

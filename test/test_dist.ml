@@ -229,6 +229,7 @@ let test_proto_roundtrip () =
           timeout = Some 1.5;
           credits = 32;
           crash_after = -1;
+          crash_flush = true;
           batch = 16;
         };
       Proto.Hello_ack { part = 1 };
