@@ -46,7 +46,7 @@ exception Damaged of string
 let crc_of_sub s pos len =
   Int32.to_int (Dist.Wire.crc32 (String.sub s pos len)) land 0xFFFFFFFF
 
-let parse s =
+let parse_prefix s =
   let n = String.length s in
   let entries = ref [] in
   let pos = ref 0 in
@@ -83,18 +83,48 @@ let parse s =
        pos := pp + 4 + plen + 4
      done
    with Damaged m -> damage := Some m);
-  (List.rev !entries, !damage)
+  (* [pos] only advances past fully-validated entries, so on exit it is
+     the byte length of the longest valid prefix. *)
+  (List.rev !entries, !pos, !damage)
+
+let parse s =
+  let entries, _, damage = parse_prefix s in
+  (entries, damage)
+
+(* Reading the raw image distinguishes a missing journal (an empty,
+   undamaged one) from an unreadable one (EACCES, EIO, ...): treating
+   the latter as empty would silently discard history — and restart
+   sequence numbering over it. *)
+let read_raw path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Missing
+  | exception Unix.Unix_error (e, _, _) -> `Unreadable (Unix.error_message e)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            let len = (Unix.fstat fd).Unix.st_size in
+            let b = Bytes.create len in
+            let rec go off =
+              if off >= len then off
+              else
+                match Unix.read fd b off (len - off) with
+                | 0 -> off
+                | k -> go (off + k)
+            in
+            Bytes.sub_string b 0 (go 0)
+          with
+          | exception Unix.Unix_error (e, _, _) ->
+              `Unreadable (Unix.error_message e)
+          | s -> `Raw s)
 
 let read_file path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error _ -> ([], None)
-  | exception End_of_file -> ([], Some "short read")
-  | s -> parse s
+  match read_raw path with
+  | `Missing -> ([], None)
+  | `Unreadable m -> ([], Some ("unreadable journal: " ^ m))
+  | `Raw s -> parse s
 
 let read_dir dir = read_file (journal_path dir)
 
@@ -151,6 +181,14 @@ let mkdir_p dir =
   in
   go dir
 
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+
 let registry_mu = Mutex.create ()
 let registry : writer list ref = ref []
 
@@ -159,13 +197,35 @@ let register w =
 
 let open_writer ?(flush_every = 1) ?(fsync_every = 0) dir =
   mkdir_p dir;
-  let entries, _damage = read_dir dir in
+  let path = journal_path dir in
+  let entries, valid_len, damage =
+    match read_raw path with
+    | `Missing -> ([], 0, None)
+    | `Unreadable m ->
+        (* Appending over a journal we cannot read would restart
+           sequence numbering mid-history; fail loudly instead. *)
+        failwith
+          (Printf.sprintf "Journal.open_writer: unreadable journal %s: %s"
+             path m)
+    | `Raw s -> parse_prefix s
+  in
   let last = List.fold_left (fun acc e -> max acc e.seq) 0 entries in
   let fd =
-    Unix.openfile (journal_path dir)
-      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
-      0o644
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
   in
+  (* Repair a torn tail before the first append: the reader stops at
+     the first damaged entry, so any bytes left beyond the valid
+     prefix would make every entry appended after this reopen
+     unreachable to recovery (and reuse the sequence numbers buried in
+     the unreachable region). Truncating to the valid prefix keeps
+     damage at "the final partial entry" across restarts, as the
+     reader contract promises. *)
+  (match damage with
+  | Some _ ->
+      Unix.ftruncate fd valid_len;
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      fsync_dir dir
+  | None -> ());
   let w =
     {
       dir;

@@ -61,8 +61,14 @@ val parse : string -> entry list * string option
     if anything (truncation, torn write, CRC mismatch, bad kind)
     stopped the scan early. Never raises. *)
 
+val parse_prefix : string -> entry list * int * string option
+(** Like {!parse}, additionally returning the byte length of the
+    valid prefix — the offset at which the scan stopped. *)
+
 val read_file : string -> entry list * string option
-(** [parse] of a file's contents; a missing file is an empty journal. *)
+(** [parse] of a file's contents. A missing file is an empty,
+    undamaged journal; any other I/O error (permissions, disk) is
+    reported as damage, never as emptiness. *)
 
 val read_dir : string -> entry list * string option
 (** [read_file] of {!journal_path}. *)
@@ -78,7 +84,12 @@ type writer
 val open_writer : ?flush_every:int -> ?fsync_every:int -> string -> writer
 (** Open (creating directory and file as needed) the journal of a
     directory for appending. The next sequence number continues after
-    the highest in the existing valid prefix.
+    the highest in the existing valid prefix. A damaged tail (the
+    expected state after a crash mid-append) is repaired first: the
+    file is truncated to its valid prefix and fsynced, so entries
+    appended after the reopen stay reachable to every later reader.
+    Raises [Failure] on a journal that exists but cannot be read —
+    appending over unreadable history would silently discard it.
 
     [flush_every] (default 1) batches that many entries in userspace
     before they reach the OS in one write — a write-ahead caller that
@@ -100,6 +111,11 @@ val dir : writer -> string
 
 val sync : writer -> unit
 (** Force an [fsync] now. *)
+
+val fsync_dir : string -> unit
+(** Best-effort [fsync] of a directory, making renames and creations
+    inside it durable. Swallows errors (not every filesystem supports
+    syncing a directory fd). *)
 
 val kill : writer -> unit
 (** Simulate process death: every later {!append} raises {!Killed}

@@ -167,9 +167,17 @@ let save ?journal ~dir t =
       output_string oc body;
       let crcb = Bytes.create 4 in
       Bytes.set_int32_be crcb 0 (Int32.of_int crc);
-      output_bytes oc crcb);
+      output_bytes oc crcb;
+      (* The rename below destroys the previous snapshot, so the new
+         bytes must be on disk first: a machine crash straddling an
+         unsynced rename could otherwise replace the only good
+         snapshot with one whose contents never made it down. *)
+      flush oc;
+      try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
   (* Atomic replace: a crash mid-save leaves the previous snapshot. *)
   Sys.rename tmp (path dir);
+  Journal.fsync_dir dir;
   Obsv.Journal_stats.record_snapshot ();
   Obsv.Probe.span_end ~cat:"journal" ~name:"snapshot" t0;
   Journal.seam "snapshot.post";

@@ -9,8 +9,9 @@
     restores the state, and replays only journal entries above the
     watermark.
 
-    Snapshots are written to a temporary file and atomically renamed
-    over the previous one, so a crash mid-save costs nothing; a
+    Snapshots are written to a temporary file, fsynced, and atomically
+    renamed over the previous one (with a directory fsync after), so a
+    crash mid-save — even a machine crash — costs nothing; a
     damaged or torn snapshot file fails its CRC and loads as [None],
     in which case recovery replays the journal from the beginning. *)
 

@@ -226,22 +226,29 @@ let recover t d ?pool ?exec wrapped =
       | Durable.Journal.Close_session, Some id -> Hashtbl.remove alive id
       | _ -> ())
     live;
-  (* Highest accepted request number per session, over the WHOLE
-     journal — the journal is never truncated, so this survives any
-     number of snapshots. *)
+  (* Highest accepted request number per session INCARNATION: the scan
+     covers the whole journal (snapshots never truncate it), but resets
+     at every Open/Close_session for the id — [alloc_id] reuses the
+     smallest free id after a close, and a fresh client on a recycled
+     id must not inherit the previous incarnation's idempotency floor
+     (its early request numbers would be swallowed as "duplicates"
+     without ever being journaled or fed). *)
   let last_reqs : (int, int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun e ->
-      if e.Durable.Journal.kind = Durable.Journal.Input then
-        match
-          (sid_of_edge e.Durable.Journal.edge, req_of_edge e.Durable.Journal.edge)
-        with
-        | Some id, Some q ->
-            let cur =
-              Option.value ~default:(-1) (Hashtbl.find_opt last_reqs id)
-            in
-            if q > cur then Hashtbl.replace last_reqs id q
-        | _ -> ())
+      match (e.Durable.Journal.kind, sid_of_edge e.Durable.Journal.edge) with
+      | Durable.Journal.Input, Some id -> (
+          match req_of_edge e.Durable.Journal.edge with
+          | Some q ->
+              let cur =
+                Option.value ~default:(-1) (Hashtbl.find_opt last_reqs id)
+              in
+              if q > cur then Hashtbl.replace last_reqs id q
+          | None -> ())
+      | ( (Durable.Journal.Open_session | Durable.Journal.Close_session),
+          Some id ) ->
+          Hashtbl.remove last_reqs id
+      | _ -> ())
     entries;
   (* Engine with the snapshot's net state pre-built, outputs buffered
      until the replay settles. *)
@@ -493,6 +500,13 @@ let snapshot_now t w d =
       in
       settle ();
       ignore (Snet.Engine_conc.finish (instance t) : Record.t list);
+      (* The watermark asserts that every journal entry <= it is
+         recoverable. Under machine-crash durability that means the
+         journal must be synced up to the watermark before the
+         snapshot may claim it — otherwise a crash could persist a
+         snapshot whose watermark exceeds the fsynced journal prefix,
+         hiding Open_session/last_req entries below it. *)
+      if d.fsync_every > 0 then Durable.Journal.sync w;
       let watermark = Durable.Journal.next_seq w - 1 in
       let state = Snet.Engine_conc.capture (instance t) in
       let sessions, queued =

@@ -138,6 +138,54 @@ let test_journal_killed_writer () =
       Alcotest.(check int) "nothing persisted after the kill" 1
         (List.length entries))
 
+(* A reopen over a torn tail repairs the file: the damaged bytes are
+   truncated away before the first append, so entries written after
+   the restart stay reachable — otherwise every post-restart
+   write-ahead ack would hide behind the damage forever. *)
+let test_journal_torn_tail_repair () =
+  with_dir (fun dir ->
+      let written =
+        write_entries dir
+          [ (Journal.Input, "e", "one"); (Journal.Input, "e", "two") ]
+      in
+      let oc =
+        open_out_gen
+          [ Open_append; Open_binary ]
+          0o644 (Journal.journal_path dir)
+      in
+      output_string oc "SNJ1\x01garbage-torn";
+      close_out oc;
+      (let entries, damage = Journal.read_dir dir in
+       Alcotest.(check bool) "tail reads as damage" true (damage <> None);
+       Alcotest.(check bool) "prefix intact" true (entries = written));
+      let w = Journal.open_writer dir in
+      let seq = Journal.append w ~kind:Journal.Input ~edge:"e" "three" in
+      Journal.close w;
+      Alcotest.(check int) "sequence continues past the repair" 3 seq;
+      let entries, damage = Journal.read_dir dir in
+      Alcotest.(check (option string)) "tail repaired" None damage;
+      Alcotest.(check (list string))
+        "pre-crash prefix + post-restart appends all visible"
+        [ "one"; "two"; "three" ]
+        (List.map (fun e -> e.Journal.payload) entries))
+
+(* An unreadable journal (here: the journal path is a directory) must
+   read as damage, never as emptiness, and [open_writer] must refuse
+   to append over history it cannot read — restarting sequence
+   numbering at 1 over an existing journal would corrupt it. *)
+let test_journal_unreadable () =
+  with_dir (fun dir ->
+      let path = Journal.journal_path dir in
+      Unix.mkdir path 0o755;
+      let entries, damage = Journal.read_file path in
+      Alcotest.(check bool) "reported as damage" true (damage <> None);
+      Alcotest.(check int) "no entries invented" 0 (List.length entries);
+      match Journal.open_writer dir with
+      | exception Failure _ -> ()
+      | w ->
+          Journal.close w;
+          Alcotest.fail "open_writer over an unreadable journal succeeded")
+
 (* --- journal: fuzzed damage --------------------------------------- *)
 
 let gen_kind =
@@ -664,6 +712,59 @@ let test_req_idempotency () =
           let rs = Server.poll srv s ~max:100 in
           Alcotest.check ints "exactly one response" [ 2 ] (List.map y_exn rs)))
 
+(* A recycled session id must not inherit the closed incarnation's
+   idempotency floor across a restart: recovery scopes the journal's
+   last-req scan to the id's current incarnation (reset at each
+   Open/Close_session), so a fresh client's low request numbers are
+   real submissions, not "duplicates" to swallow. *)
+let test_id_reuse_fresh_reqs () =
+  with_dir (fun dir ->
+      with_pool (fun pool ->
+          let dur =
+            { Server.dir; fsync_every = 0; snapshot_every = 0; spec = "ping" }
+          in
+          let srv =
+            Server.create ~pool ~durability:dur (Sudoku.Networks.ping ())
+          in
+          (* First incarnation of the id: high request numbers, fully
+             delivered, then closed. *)
+          let s = ok_or_fail "open" (Server.open_session srv) in
+          let id = Server.session_id s in
+          List.iteri
+            (fun i x ->
+              match Server.submit ~req:(i + 40) srv s (ping_record x) with
+              | `Ok -> ()
+              | _ -> Alcotest.fail "submit rejected")
+            [ 1; 2; 3 ];
+          let got = ref [] in
+          await "three responses" (fun () ->
+              got := !got @ Server.poll srv s ~max:8;
+              List.length !got >= 3);
+          Server.close_session srv s;
+          (* Second incarnation reuses the id; the process dies before
+             it submits anything. *)
+          let s' = ok_or_fail "reopen" (Server.open_session srv) in
+          Alcotest.(check int) "id recycled" id (Server.session_id s');
+          List.iter Journal.kill (Journal.live_writers ());
+          (try Server.drain srv with _ -> ());
+          let srv2 =
+            Server.create ~pool ~durability:dur (Sudoku.Networks.ping ())
+          in
+          let s2 =
+            match Server.resume_session srv2 id with
+            | Ok s2 -> s2
+            | Error `Unknown -> Alcotest.fail "restored session unknown"
+          in
+          (* req 0 is below the OLD incarnation's floor (40..42): it
+             must be journaled and fed, not acked as a duplicate. *)
+          (match Server.submit ~req:0 srv2 s2 (ping_record 10) with
+          | `Ok -> ()
+          | _ -> Alcotest.fail "fresh req rejected");
+          Server.drain srv2;
+          let rs = Server.poll srv2 s2 ~max:100 in
+          Alcotest.check ints "fresh req actually fed" [ 11 ]
+            (List.map y_exn rs)))
+
 let test_snapshot_bounds_replay () =
   with_dir (fun dir ->
       with_pool (fun pool ->
@@ -984,6 +1085,10 @@ let suite =
       test_journal_missing_file;
     Alcotest.test_case "killed writer persists nothing further" `Quick
       test_journal_killed_writer;
+    Alcotest.test_case "torn tail repaired on reopen" `Quick
+      test_journal_torn_tail_repair;
+    Alcotest.test_case "unreadable journal is damage, not emptiness" `Quick
+      test_journal_unreadable;
     Seeded.to_alcotest prop_torn_tail;
     Seeded.to_alcotest prop_bit_flip;
     Seeded.to_alcotest prop_duplicate_seqs;
@@ -999,6 +1104,8 @@ let suite =
       test_crash_matrix;
     Alcotest.test_case "embedded durable restart" `Quick test_embedded_restart;
     Alcotest.test_case "request idempotency" `Quick test_req_idempotency;
+    Alcotest.test_case "recycled id resets idempotency floor" `Quick
+      test_id_reuse_fresh_reqs;
     Alcotest.test_case "snapshot bounds recovery replay" `Quick
       test_snapshot_bounds_replay;
     Alcotest.test_case "replay_dist: complete run journaled once" `Quick
