@@ -22,9 +22,10 @@ echo "== fault-injection smoke =="
 dune build @fault-smoke
 
 echo "== observability smoke =="
-# fig2/medium with tracing on, the exported trace validated through the
-# exporter's own reader, and the tracing-off overhead (bar: <= 2%)
-# recorded into BENCH_obsv.json.
+# fig2/medium with tracing on vs off in paired interleaved rounds, a
+# 2-worker loopback solve with cluster shipping on (merged trace
+# validated in-run, shipping-on overhead bar: <= 2%), and the
+# tracing-off overhead (bar: <= 2%) recorded into BENCH_obsv.json.
 dune build @obsv-smoke
 
 echo "== distribution smoke =="

@@ -11,9 +11,9 @@ module Server = Serve.Server
 let stop = Atomic.make false
 
 let run spec domains port http_port max_sessions credits batch idle metrics
-    journal snapshot_every fsync_every =
+    metrics_out metrics_every journal snapshot_every fsync_every =
   Sudoku.Netspec.register_codecs ();
-  if metrics then Obsv.Metrics.enable ();
+  if metrics || metrics_out <> None then Obsv.Metrics.enable ();
   (* A server streams responses while idle at the front door, so the
      engine must always have at least one worker domain driving the
      actors — the zero-worker default pool only makes progress while
@@ -70,6 +70,41 @@ let run spec domains port http_port max_sessions credits batch idle metrics
   Printf.printf "snet_serve: listening tcp=%d http=%d spec=%s\n%!"
     (Dist.Transport.Tcp.port listener)
     (Serve.Http_gw.port gw) spec;
+  (* Periodic cluster snapshot for snet_top --cluster --watch: merged
+     metrics plus the per-session health table, atomically renamed so
+     a watcher never reads a torn file. *)
+  let stop_metrics_writer =
+    match metrics_out with
+    | None -> None
+    | Some path ->
+        let writer_stop = Atomic.make false in
+        let period = Float.max 0.05 metrics_every in
+        let write () =
+          let c =
+            {
+              Obsv.Agg.merged = Obsv.Metrics.snapshot ();
+              parts = Server.health_parts srv;
+              workers_seen = 0;
+            }
+          in
+          let tmp = path ^ ".tmp" in
+          let oc = open_out tmp in
+          output_string oc (Obsv.Agg.cluster_to_json c);
+          close_out oc;
+          Sys.rename tmp path
+        in
+        let t =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get writer_stop) do
+                (try write () with _ -> ());
+                Thread.delay period
+              done;
+              try write () with _ -> ())
+            ()
+        in
+        Some (writer_stop, t)
+  in
   let conns = ref [] in
   let reap_every = if idle > 0. then Float.min 1.0 (idle /. 4.) else 1.0 in
   let last_reap = ref (Scheduler.Clock.now ()) in
@@ -98,6 +133,11 @@ let run spec domains port http_port max_sessions credits batch idle metrics
   (* Connection writers flush their sessions' remaining responses and
      answer Done on their own once drain closed the queues. *)
   List.iter Thread.join !conns;
+  (match stop_metrics_writer with
+  | None -> ()
+  | Some (writer_stop, t) ->
+      Atomic.set writer_stop true;
+      Thread.join t);
   let h = Server.health srv in
   Printf.printf
     "snet_serve: drained (sessions opened=%d closed=%d reaped=%d rejected=%d, \
@@ -152,6 +192,22 @@ let cmd =
   let metrics =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Enable metrics collection.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Periodically write a cluster snapshot (merged metrics + \
+             per-session health rows) to $(docv); view live with \
+             snet_top --cluster --watch $(docv). Implies --metrics.")
+  in
+  let metrics_every =
+    Arg.(
+      value & opt float 0.5
+      & info [ "metrics-every" ]
+          ~doc:"Seconds between --metrics-out snapshots.")
+  in
   let journal =
     Arg.(
       value
@@ -185,6 +241,7 @@ let cmd =
        ~doc:"Serve one S-Net network to many concurrent client sessions")
     Term.(
       const run $ spec $ domains $ port $ http_port $ max_sessions $ credits
-      $ batch $ idle $ metrics $ journal $ snapshot_every $ fsync_every)
+      $ batch $ idle $ metrics $ metrics_out $ metrics_every $ journal
+      $ snapshot_every $ fsync_every)
 
 let () = exit (Cmd.eval cmd)

@@ -58,9 +58,31 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
   let board = load_board puzzle file in
   let side = Sudoku.Board.side board in
   (* Observability: the event sink feeds --trace-out, the aggregated
-     metrics feed --metrics / --metrics-out (which snet_top reads). *)
+     metrics feed --metrics / --metrics-out (which snet_top reads).
+     With --workers a collector aggregates what the worker processes
+     ship back: --metrics-out then carries a cluster snapshot
+     (snet_top --cluster) and --trace-out the merged Chrome trace. *)
   if trace_out <> None then Obsv.Sink.enable ();
   if metrics_flag || metrics_out <> None then Obsv.Metrics.enable ();
+  let collector =
+    if
+      workers > 0
+      && (trace_out <> None || metrics_flag || metrics_out <> None)
+    then Some (Obsv.Agg.create ())
+    else None
+  in
+  let write_snapshot path =
+    match collector with
+    | Some col ->
+        (* Atomic rename, like Export.write_metrics: a watching
+           snet_top never reads a torn cluster file. *)
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        output_string oc (Obsv.Agg.cluster_to_json (Obsv.Agg.cluster col));
+        close_out oc;
+        Sys.rename tmp path
+    | None -> Obsv.Export.write_metrics ~path (Obsv.Metrics.snapshot ())
+  in
   let stop_metrics_writer =
     match metrics_out with
     | None -> None
@@ -71,10 +93,10 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
           Thread.create
             (fun () ->
               while not (Atomic.get stop) do
-                Obsv.Export.write_metrics ~path (Obsv.Metrics.snapshot ());
+                write_snapshot path;
                 Thread.delay period
               done;
-              Obsv.Export.write_metrics ~path (Obsv.Metrics.snapshot ()))
+              write_snapshot path)
             ()
         in
         Some (stop, t)
@@ -138,7 +160,7 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
             let outputs =
               Dist.Engine_dist.run_spawned ~worker_exe:(find_worker_exe ())
                 ~spec ~workers ~stats ?supervision ?crash_after:kill_worker
-                ?batch
+                ?batch ?collector
                 ~worker_args:[ "--domains"; string_of_int domains ]
                 net inputs
             in
@@ -187,17 +209,30 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
       Thread.join t);
   match trace_out with
   | None -> ()
-  | Some path ->
+  | Some path -> (
       Obsv.Sink.disable ();
       let events = Obsv.Sink.events () in
-      if String.length path > 6
-         && String.sub path (String.length path - 6) 6 = ".jsonl"
-      then Obsv.Export.write_jsonl ~path events
-      else Obsv.Export.write_chrome ~path events;
-      let d = Obsv.Sink.dropped () in
-      Printf.printf "trace: %d events -> %s%s\n" (List.length events) path
-        (if d > 0 then Printf.sprintf " (%d oldest dropped; raise ring capacity)" d
-         else "")
+      let jsonl =
+        String.length path > 6
+        && String.sub path (String.length path - 6) 6 = ".jsonl"
+      in
+      match collector with
+      | Some col when not jsonl ->
+          (* Merged cluster trace: coordinator events on pid 1, each
+             worker's shipped chunk on its own process row, flow
+             arrows crossing the cut edges. *)
+          let items = Obsv.Agg.merged_trace col ~local_events:events in
+          Obsv.Export.write_items ~path items;
+          Printf.printf "trace: %d merged cluster items -> %s\n"
+            (List.length items) path
+      | Some _ | None ->
+          if jsonl then Obsv.Export.write_jsonl ~path events
+          else Obsv.Export.write_chrome ~path events;
+          let d = Obsv.Sink.dropped () in
+          Printf.printf "trace: %d events -> %s%s\n" (List.length events) path
+            (if d > 0 then
+               Printf.sprintf " (%d oldest dropped; raise ring capacity)" d
+             else ""))
 
 let network_conv =
   Arg.enum

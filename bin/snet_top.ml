@@ -72,20 +72,60 @@ let render (snap : Obsv.Metrics.snapshot) =
        snap.Obsv.Metrics.star_stages snap.Obsv.Metrics.star_depth_hwm);
   Buffer.contents b
 
+(* Cluster snapshots (written by `snet-sudoku --workers N --metrics-out`
+   or snet_serve) add a per-partition health table above the merged
+   metrics: liveness, coordinator-side queue depth, credit occupancy,
+   stall rate and journal lag per worker. *)
+let render_cluster (c : Obsv.Agg.cluster) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "cluster - %d worker report(s) merged\n" c.workers_seen);
+  Buffer.add_string b
+    (Printf.sprintf "%4s %-6s %6s %9s %7s %7s %7s %6s %6s %6s %6s %7s\n" "PART"
+       "STATE" "QUEUE" "CREDITS" "SENDS" "RECVS" "STALLS" "RATE" "B-P50"
+       "B-P95" "J-LAG" "AGE");
+  List.iter
+    (fun (p : Obsv.Health.part) ->
+      let state = if p.alive then "up" else clip 6 ("DOWN") in
+      Buffer.add_string b
+        (Printf.sprintf "%4d %-6s %6d %5d/%-3d %7d %7d %7d %5.1f%% %6d %6d %6d %6.1fs\n"
+           p.part state p.queue_depth
+           (p.window - p.credits_free)
+           p.window p.sends p.recvs p.stalls
+           (100. *. p.stall_rate)
+           p.batch_p50 p.batch_p95 p.journal_lag
+           (if p.age < 0. then 0. else p.age));
+      if (not p.alive) && p.reason <> "" then
+        Buffer.add_string b
+          (Printf.sprintf "     last report retained; died: %s\n"
+             (clip 60 p.reason)))
+    c.parts;
+  if c.parts = [] then Buffer.add_string b "(no partitions yet)\n";
+  Buffer.add_char b '\n';
+  Buffer.add_string b (render c.merged);
+  Buffer.contents b
+
 (* A producer rewrite can race our read: the file may be mid-rename
    (missing), truncated between [in_channel_length] and the read
    ([End_of_file]), or syntactically torn (parse error). All of these
    are transient — report them as [Error] and let the caller retry,
    never let them escape. *)
-let load_file path =
-  match Obsv.Metrics.of_json (read_file path) with
-  | Ok snap -> Ok (render snap)
+let load_file ~cluster path =
+  match
+    let s = read_file path in
+    if Obsv.Agg.is_cluster_json s then
+      Result.map render_cluster (Obsv.Agg.cluster_of_json s)
+    else if cluster then
+      Error "not a cluster snapshot (producer run without workers?)"
+    else Result.map render (Obsv.Metrics.of_json s)
+  with
+  | Ok frame -> Ok frame
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
   | exception Sys_error e -> Error e
   | exception End_of_file -> Error (Printf.sprintf "%s: truncated read" path)
   | exception e -> Error (Printf.sprintf "%s: %s" path (Printexc.to_string e))
 
-let show_file path = Result.map print_string (load_file path)
+let show_file ~cluster path = Result.map print_string (load_file ~cluster path)
 
 let clear_screen () = print_string "\027[2J\027[H"
 
@@ -102,7 +142,7 @@ let demo_producer () =
       done)
     ()
 
-let top file watch interval demo =
+let top file watch interval demo cluster =
   let interval = Float.max 0.1 interval in
   match (file, demo) with
   | None, false ->
@@ -115,7 +155,7 @@ let top file watch interval demo =
       exit 2
   | Some path, false ->
       if not watch then (
-        match show_file path with
+        match show_file ~cluster path with
         | Ok () -> ()
         | Error e ->
             prerr_endline ("snet_top: " ^ e);
@@ -127,7 +167,7 @@ let top file watch interval demo =
            a crash; the next rewrite fixes it. *)
         let last = ref None in
         while true do
-          (match (load_file path, !last) with
+          (match (load_file ~cluster path, !last) with
           | Ok frame, _ ->
               last := Some frame;
               clear_screen ();
@@ -182,9 +222,19 @@ let cmd =
             "Run the fig2 sudoku network in-process and watch its \
              metrics (no producer needed).")
   in
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Expect a cluster snapshot (per-partition health table + \
+             merged metrics). Cluster files are auto-detected either \
+             way; the flag makes a plain metrics file an error instead \
+             of a silent fallback.")
+  in
   Cmd.v
     (Cmd.info "snet_top"
        ~doc:"Live metrics view for S-Net networks (top(1)-style)")
-    Term.(const top $ file $ watch $ interval $ demo)
+    Term.(const top $ file $ watch $ interval $ demo $ cluster)
 
 let () = exit (Cmd.eval cmd)

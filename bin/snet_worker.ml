@@ -20,7 +20,7 @@ let endpoint_conv =
   Arg.conv
     (parse_endpoint, fun fmt (h, p) -> Format.fprintf fmt "%s:%d" h p)
 
-let run_worker (host, port) domains journal =
+let run_worker (host, port) domains journal report_every =
   Sudoku.Netspec.register_codecs ();
   let pool = Scheduler.Pool.create ~num_domains:domains () in
   let tap =
@@ -47,7 +47,7 @@ let run_worker (host, port) domains journal =
         (Printexc.to_string e);
       exit 1
   in
-  Dist.Engine_dist.serve ~pool ?tap ~conn
+  Dist.Engine_dist.serve ~pool ?tap ~report_every ~conn
     ~resolve:(fun spec -> Sudoku.Netspec.resolve ~pool spec)
     ();
   Scheduler.Pool.shutdown pool
@@ -74,9 +74,18 @@ let cmd =
             "Journal every consumed input record under $(docv) (one \
              Input entry per record on this worker's cut edge).")
   in
+  let report_every =
+    Arg.(
+      value & opt float 0.5
+      & info [ "report-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Interval between metrics reports shipped to the \
+             coordinator when it requests observability in its Hello \
+             (<= 0 keeps only the initial and final reports).")
+  in
   Cmd.v
     (Cmd.info "snet-worker"
        ~doc:"S-Net partition worker (spawned by the coordinator)")
-    Term.(const run_worker $ connect $ domains $ journal)
+    Term.(const run_worker $ connect $ domains $ journal $ report_every)
 
 let () = exit (Cmd.eval cmd)

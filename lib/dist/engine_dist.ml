@@ -124,13 +124,36 @@ let rec drop n l =
 let attempt_send conn msg =
   try Transport.send conn (Proto.encode msg) with _ -> ()
 
-let serve ?pool ?tap ~conn ~resolve () =
+let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
   let cleanup () = Transport.close conn in
   match Transport.recv conn with
   | `Closed -> cleanup ()
   | `Msg m -> (
       match Proto.decode m with
       | Ok (Proto.Hello h) -> (
+          (* Clock-rebase anchor: the coordinator noted its own clock
+             just before sending this Hello; our local receipt time
+             rides in every report so the coordinator can estimate the
+             offset between the two clocks. *)
+          let hello_ts = Obsv.Sink.now () in
+          if h.Proto.obsv land Obsv.Sink.metrics_bit <> 0
+             && not (Obsv.Metrics.on ())
+          then Obsv.Metrics.enable ();
+          if h.Proto.obsv land Obsv.Sink.events_bit <> 0
+             && not (Obsv.Sink.events_on ())
+          then Obsv.Sink.enable ();
+          (* Ship telemetry only when the coordinator asked for it (a
+             non-zero Hello obsv byte, i.e. a collector is attached):
+             a worker whose operator enabled observability locally
+             keeps its tables local rather than pushing frames at a
+             coordinator that will drop them. *)
+          let shipping = h.Proto.obsv <> 0 in
+          (* An in-process coordinator (loopback transports) reads the
+             shared metrics/sink tables directly and discards same-pid
+             payloads — ship it slim liveness reports and no chunks. *)
+          let local =
+            h.Proto.coord_pid <> 0 && h.Proto.coord_pid = Unix.getpid ()
+          in
           let prepared =
             try
               let net = resolve h.Proto.spec in
@@ -163,18 +186,82 @@ let serve ?pool ?tap ~conn ~resolve () =
           | Ok (subnet, supervision) ->
               attempt_send conn (Proto.Hello_ack { part = h.Proto.part });
               let ctx = Wire.ctx () in
+              let part = h.Proto.part in
               let batch = max 1 h.Proto.batch in
               let inst = Snet.Engine_conc.start ?pool ?supervision subnet in
               let sent = ref 0 and consumed = ref 0 in
+              let report_msg () =
+                Proto.encode
+                  (Proto.Metrics_report
+                     {
+                       part;
+                       payload =
+                         Obsv.Agg.encode_report
+                           (Obsv.Agg.self_report ~slim:local ~part ~hello_ts
+                              ());
+                     })
+              in
+              let chunk_msgs () =
+                if Obsv.Sink.events_on () && not local then
+                  [
+                    Proto.encode
+                      (Proto.Trace_chunk
+                         {
+                           part;
+                           payload =
+                             Obsv.Agg.encode_chunk
+                               (Obsv.Agg.self_chunk ~part ~hello_ts ());
+                         });
+                  ]
+                else []
+              in
+              (* An immediate first report guarantees a partition that
+                 dies mid-run still has a "last report" on the
+                 coordinator. Periodic refreshes come from a detached
+                 ticker: stopped via flag at teardown (or on a dead
+                 connection), never joined, so run teardown is not
+                 delayed by its sleep. *)
+              let ticker_stop = Atomic.make false in
+              if shipping then begin
+                (try Transport.send conn (report_msg ())
+                 with _ -> ());
+                if report_every > 0. then
+                  ignore
+                    (Thread.create
+                       (fun () ->
+                         let slept = ref 0. in
+                         while not (Atomic.get ticker_stop) do
+                           Thread.delay 0.02;
+                           slept := !slept +. 0.02;
+                           if
+                             !slept >= report_every
+                             && not (Atomic.get ticker_stop)
+                           then begin
+                             slept := 0.;
+                             try Transport.send conn (report_msg ())
+                             with _ -> Atomic.set ticker_stop true
+                           end
+                         done)
+                       ())
+              end;
               (* finish accumulates all outputs so far; collect only
                  the fresh suffix, as batch-capped envelopes. *)
               let fresh_out_msgs () =
                 let outs = Snet.Engine_conc.finish inst in
                 let fresh = drop !sent outs in
                 sent := List.length outs;
+                if Obsv.Sink.events_on () then
+                  List.iter
+                    (fun r ->
+                      match Snet.Record.tag Obsv.Probe.trace_tag r with
+                      | Some t ->
+                          Obsv.Probe.flow_start ~cat:"dist" ~name:"rec"
+                            ~id:((t * 1024) + (2 * part) + 1)
+                      | None -> ())
+                    fresh;
                 data_msgs ~ctx ~batch fresh
               in
-              let in_edge = Printf.sprintf "dist:w%d.in" h.Proto.part in
+              let in_edge = Printf.sprintf "dist:w%d.in" part in
               let consume r =
                 incr consumed;
                 if h.Proto.crash_after >= 0 && !consumed > h.Proto.crash_after
@@ -183,6 +270,13 @@ let serve ?pool ?tap ~conn ~resolve () =
                 | Some f -> f ~edge:in_edge r
                 | None -> ());
                 let sp = Obsv.Probe.span_start () in
+                if Obsv.Sink.events_on () then
+                  (* Inside the span so the arrow binds to this slice. *)
+                  (match Snet.Record.tag Obsv.Probe.trace_tag r with
+                  | Some t ->
+                      Obsv.Probe.flow_end ~cat:"dist" ~name:"rec"
+                        ~id:((t * 1024) + (2 * part))
+                  | None -> ());
                 Snet.Engine_conc.feed inst r;
                 Obsv.Probe.span_end ~cat:"dist" ~name:"worker.record" sp
               in
@@ -206,13 +300,20 @@ let serve ?pool ?tap ~conn ~resolve () =
                         flush_and_credit (List.length rs);
                         loop ()
                     | Ok Proto.Eof ->
+                        (* Final report and trace ride ahead of Done in
+                           the same write, so the coordinator has both
+                           before it treats this partition as finished. *)
                         Transport.send_many conn
-                          (fresh_out_msgs () @ [ Proto.encode Proto.Done ]);
+                          (fresh_out_msgs ()
+                          @ (if shipping then report_msg () :: chunk_msgs ()
+                             else [])
+                          @ [ Proto.encode Proto.Done ]);
                         loop ()
                     | Ok Proto.Shutdown -> ()
                     | Ok (Proto.Hello _ | Proto.Hello_ack _ | Proto.Credit _
                          | Proto.Done | Proto.Crash _ | Proto.Open_session _
-                         | Proto.Session_ack _ | Proto.Close_session _) ->
+                         | Proto.Session_ack _ | Proto.Close_session _
+                         | Proto.Metrics_report _ | Proto.Trace_chunk _) ->
                         loop ()
                     | Error e -> attempt_send conn (Proto.Crash ("protocol error: " ^ e)))
               in
@@ -230,6 +331,11 @@ let serve ?pool ?tap ~conn ~resolve () =
                      with _ -> ())
               | Transport.Closed_conn -> ()
               | e -> attempt_send conn (Proto.Crash (Printexc.to_string e)));
+              (* Deterministic ticker teardown: without this, the
+                 detached thread outlives the connection by up to
+                 [report_every] — a caller running many short jobs
+                 would accumulate pointlessly waking threads. *)
+              Atomic.set ticker_stop true;
               cleanup ())
       | Ok _ | Error _ ->
           attempt_send conn (Proto.Crash "expected Hello");
@@ -282,6 +388,9 @@ type coord = {
      with every record crossing a named cut edge and every record
      reaching the global output edge [out_edge]. *)
   tap : (edge:string -> Snet.Record.t -> unit) option;
+  (* Cluster-observability sink: worker reports and trace chunks land
+     here; [None] keeps the shipping path fully disabled. *)
+  collector : Obsv.Agg.collector option;
   mutable next_seq : int;
   mutable outputs_rev : Snet.Record.t list;
   mutable failure : string option;
@@ -297,6 +406,7 @@ let locked c f =
 
 let record_output c r =
   let r = Snet.Record.without_tag seq_tag r in
+  let r = Snet.Record.without_tag Obsv.Probe.trace_tag r in
   (match c.tap with Some f -> f ~edge:out_edge r | None -> ());
   locked c (fun () ->
       c.outputs_rev <- r :: c.outputs_rev;
@@ -345,6 +455,19 @@ let send_data c i r =
                   stamp_dead c i r "worker died";
                   Condition.broadcast c.cv)
           | Alive | Respawning ->
+              (* Trace ingress: stamp a fresh trace id only if the
+                 record doesn't already carry one — a record forwarded
+                 from an upstream partition keeps its id, which is what
+                 links its spans causally across workers. *)
+              let r =
+                if
+                  Obsv.Sink.events_on ()
+                  && Snet.Record.tag Obsv.Probe.trace_tag r = None
+                then
+                  Snet.Record.with_tag Obsv.Probe.trace_tag
+                    (Obsv.Probe.fresh_trace ()) r
+                else r
+              in
               (* Stamp under the lock so a worker's queue order is
                  also its stamp order — the watermark proof needs
                  per-worker monotonicity, not the global sequence. *)
@@ -356,6 +479,12 @@ let send_data c i r =
               | None -> ());
               Obsv.Probe.edge_send ~name:(edge_in i)
                 ~depth:(Queue.length w.pending + Queue.length w.inflight);
+              if Obsv.Sink.events_on () then
+                (match Snet.Record.tag Obsv.Probe.trace_tag r with
+                | Some t ->
+                    Obsv.Probe.flow_start ~cat:"dist" ~name:"rec"
+                      ~id:((t * 1024) + (2 * i))
+                | None -> ());
               Condition.broadcast c.cv)
   end
 
@@ -378,6 +507,9 @@ let rec finish_upstream c i =
   end
 
 let give_up c i reason =
+  (match c.collector with
+  | Some col -> Obsv.Agg.note_death col ~part:i ~reason
+  | None -> ());
   let eof_was_requested =
     locked c (fun () ->
         let w = c.ws.(i) in
@@ -466,6 +598,12 @@ let forward_record c i r =
   | None -> ());
   Obsv.Probe.edge_recv ~name:(edge_out i)
     ~depth:(Queue.length c.ws.(i).inflight);
+  if Obsv.Sink.events_on () then
+    (match Snet.Record.tag Obsv.Probe.trace_tag r with
+    | Some t ->
+        Obsv.Probe.flow_end ~cat:"dist" ~name:"rec"
+          ~id:((t * 1024) + (2 * i) + 1)
+    | None -> ());
   send_data c (i + 1) r
 
 let rec reader c i conn =
@@ -498,6 +636,32 @@ let rec reader c i conn =
           finish_upstream c (i + 1)
       | Ok (Proto.Crash msg) -> handle_death c i conn msg
       | Ok (Proto.Hello_ack _) -> reader c i conn
+      | Ok (Proto.Metrics_report { payload; _ }) ->
+          (match c.collector with
+          | Some col -> (
+              match Obsv.Agg.decode_report payload with
+              | Ok rep ->
+                  Obsv.Agg.note_report col rep;
+                  (* Pair the report with the coordinator-side view of
+                     this partition's cut edge. *)
+                  let queue, credits =
+                    locked c (fun () ->
+                        ( Queue.length w.pending + Queue.length w.inflight,
+                          w.credits ))
+                  in
+                  Obsv.Agg.note_gauges col ~part:i ~queue ~credits
+                    ~window:c.init_credits
+              | Error _ -> ())
+          | None -> ());
+          reader c i conn
+      | Ok (Proto.Trace_chunk { payload; _ }) ->
+          (match c.collector with
+          | Some col -> (
+              match Obsv.Agg.decode_chunk payload with
+              | Ok ch -> Obsv.Agg.note_chunk col ch
+              | Error _ -> ())
+          | None -> ());
+          reader c i conn
       | Ok
           (Proto.Hello _ | Proto.Eof | Proto.Shutdown | Proto.Open_session _
           | Proto.Session_ack _ | Proto.Close_session _) ->
@@ -561,8 +725,8 @@ and handle_death c i conn reason =
 
 (* [conns] already carry a delivered Hello; [respawn i] must likewise
    hand back a freshly greeted connection. *)
-let coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
-    inputs =
+let coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
+    ~respawn inputs =
   let c =
     {
       mu = Mutex.create ();
@@ -592,6 +756,7 @@ let coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
       batch;
       respawn;
       tap;
+      collector;
       next_seq = 0;
       outputs_rev = [];
       failure = None;
@@ -626,6 +791,20 @@ let coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
     c.ws;
   Array.iter (fun w -> Transport.close w.conn) c.ws;
   List.iter Thread.join readers;
+  (* Final gauge sweep: every partition's health row reflects the edge
+     state at the end of the run, even if it never sent a report. *)
+  (match c.collector with
+  | Some col ->
+      Array.iter
+        (fun w ->
+          let queue, credits =
+            locked c (fun () ->
+                (Queue.length w.pending + Queue.length w.inflight, w.credits))
+          in
+          Obsv.Agg.note_gauges col ~part:w.idx ~queue ~credits
+            ~window:c.init_credits)
+        c.ws
+  | None -> ());
   match c.failure with
   | Some msg -> failwith ("Engine_dist: " ^ msg)
   | None -> List.rev c.outputs_rev
@@ -640,8 +819,20 @@ let split_supervision = function
         c.Snet.Supervise.timeout,
         Snet.Supervise.policy_to_string c.Snet.Supervise.policy )
 
+(* The Hello obsv byte: with a collector, workers mirror whichever
+   subsystems are on here — at minimum metrics, so a collector always
+   receives reports even when the coordinator runs with tracing off. *)
+let obsv_flags = function
+  | None -> 0
+  | Some _ ->
+      let f =
+        (if Obsv.Sink.events_on () then Obsv.Sink.events_bit else 0)
+        lor if Obsv.Metrics.on () then Obsv.Sink.metrics_bit else 0
+      in
+      if f = 0 then Obsv.Sink.metrics_bit else f
+
 let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
-    ?kill_worker ?(crash_flush = false) ?tap net inputs =
+    ?kill_worker ?(crash_flush = false) ?tap ?collector net inputs =
   if credits <= 0 then invalid_arg "Engine_dist.run: credits must be positive";
   let batch = resolve_batch batch in
   let parts = List.length (partition ~parts:workers net) in
@@ -653,6 +844,9 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
     Mutex.lock threads_mu;
     threads := t :: !threads;
     Mutex.unlock threads_mu;
+    (match collector with
+    | Some col -> Obsv.Agg.note_hello col ~part:i
+    | None -> ());
     Transport.send a
       (Proto.encode
          (Proto.Hello
@@ -666,6 +860,8 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
               crash_after;
               crash_flush = crash_flush && crash_after >= 0;
               batch;
+              obsv = obsv_flags collector;
+              coord_pid = Unix.getpid ();
             }));
     a
   in
@@ -686,15 +882,15 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
   Fun.protect
     ~finally:(fun () -> List.iter Thread.join !threads)
     (fun () ->
-      coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
-        inputs)
+      coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
+        ~respawn inputs)
 
 (* ------------------------------------------------------------------ *)
 (* Spawned runner: real worker processes over TCP                      *)
 
 let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
     ?(credits = 32) ?batch ?stats ?supervision ?crash_after
-    ?(crash_flush = false) ?tap ?(worker_args = []) net inputs =
+    ?(crash_flush = false) ?tap ?collector ?(worker_args = []) net inputs =
   if credits <= 0 then
     invalid_arg "Engine_dist.run_spawned: credits must be positive";
   let batch = resolve_batch batch in
@@ -720,6 +916,9 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
         (module Transport.Tcp)
         (Transport.Tcp.accept ~timeout_s:30.0 listener)
     in
+    (match collector with
+    | Some col -> Obsv.Agg.note_hello col ~part:i
+    | None -> ());
     Transport.send conn
       (Proto.encode
          (Proto.Hello
@@ -733,6 +932,11 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
               crash_after;
               crash_flush = crash_flush && crash_after >= 0;
               batch;
+              obsv = obsv_flags collector;
+              (* Spawned workers are separate processes: 0 tells them
+                 the coordinator is remote, so they ship full
+                 payloads. *)
+              coord_pid = 0;
             }));
     conn
   in
@@ -779,5 +983,5 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
         | conn -> Some conn
         | exception _ -> None
       in
-      coordinate ?tap ~parts ~conns ~policy ~stats ~credits ~batch ~respawn
-        inputs)
+      coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
+        ~respawn inputs)

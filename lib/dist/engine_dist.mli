@@ -81,7 +81,25 @@
     cut edge ([dist:wN.in], stamped) and every record reaching the
     global output ([dist:out], stripped). The [durable] library layers
     its cut-edge journal on this hook; the engine itself stays free of
-    journalling policy. *)
+    journalling policy.
+
+    {2 Cluster observability}
+
+    [?collector] on {!run}/{!run_spawned} turns on metric/trace
+    shipping: the Hello each worker receives carries the coordinator's
+    [Obsv.Sink] flag byte, the worker mirrors those subsystems locally
+    and ships [Proto.Metrics_report] frames (immediately after
+    [Hello_ack], every [report_every] seconds, and just before [Done])
+    plus one [Proto.Trace_chunk] of its retained sink events when
+    tracing is on. The coordinator feeds them into the
+    [Obsv.Agg.collector] — merged HDR histograms, per-partition
+    {!Obsv.Health} rows (queue depth, credits, stall rate, journal
+    lag), and a merged Chrome trace whose cross-worker flow arrows are
+    stitched from a per-record trace id (tag [Obsv.Probe.trace_tag],
+    stamped at ingress only when absent, carried across every cut
+    edge, stripped at the global output). Without a collector — and
+    with observability off — the record path keeps its single atomic
+    flag read and the wire format carries one extra Hello byte. *)
 
 (** {2 Batch cap validation}
 
@@ -119,6 +137,7 @@ val partition : parts:int -> Snet.Net.t -> Snet.Net.t list
 val serve :
   ?pool:Scheduler.Pool.t ->
   ?tap:(edge:string -> Snet.Record.t -> unit) ->
+  ?report_every:float ->
   conn:Transport.conn ->
   resolve:(string -> Snet.Net.t) ->
   unit ->
@@ -130,7 +149,10 @@ val serve :
     failures are reported as [Crash] messages; the connection is
     always closed on return. [tap] observes every input record this
     worker consumes (edge [dist:wN.in] for partition [N]), before it
-    is fed — [snet_worker --journal] hangs its local journal here. *)
+    is fed — [snet_worker --journal] hangs its local journal here.
+    When the Hello requests shipping, a metrics report goes out every
+    [report_every] seconds (default [0.5]; [<= 0] disables the
+    periodic ticker, keeping the first and final reports). *)
 
 val run :
   ?pool:Scheduler.Pool.t ->
@@ -142,6 +164,7 @@ val run :
   ?kill_worker:int * int ->
   ?crash_flush:bool ->
   ?tap:(edge:string -> Snet.Record.t -> unit) ->
+  ?collector:Obsv.Agg.collector ->
   Snet.Net.t ->
   Snet.Record.t list ->
   Snet.Record.t list
@@ -172,6 +195,7 @@ val run_spawned :
   ?crash_after:int * int ->
   ?crash_flush:bool ->
   ?tap:(edge:string -> Snet.Record.t -> unit) ->
+  ?collector:Obsv.Agg.collector ->
   ?worker_args:string list ->
   Snet.Net.t ->
   Snet.Record.t list ->

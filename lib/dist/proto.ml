@@ -8,6 +8,8 @@ type hello = {
   crash_after : int;
   crash_flush : bool;
   batch : int;
+  obsv : int;
+  coord_pid : int;
 }
 
 type session_ack = {
@@ -31,6 +33,8 @@ type msg =
   | Open_session of { credits : int; batch : int; resume : int }
   | Session_ack of session_ack
   | Close_session of { session : int }
+  | Metrics_report of { part : int; payload : string }
+  | Trace_chunk of { part : int; payload : string }
 
 let k_hello = 1
 let k_hello_ack = 2
@@ -44,6 +48,8 @@ let k_data_batch = 9
 let k_open_session = 10
 let k_session_ack = 11
 let k_close_session = 12
+let k_metrics_report = 13
+let k_trace_chunk = 14
 
 (* The Hello spec under which a connection negotiates the session
    sub-protocol (Open_session/Session_ack/Close_session) instead of a
@@ -74,7 +80,9 @@ let encode ?ctx m =
       add_u32 b h.credits;
       add_u32 b (h.crash_after land 0xFFFFFFFF);
       Buffer.add_uint8 b (if h.crash_flush then 1 else 0);
-      add_u32 b h.batch
+      add_u32 b h.batch;
+      Buffer.add_uint8 b (h.obsv land 0xFF);
+      add_u32 b h.coord_pid
   | Hello_ack { part } ->
       Buffer.add_uint8 b k_hello_ack;
       add_u32 b part
@@ -126,7 +134,19 @@ let encode ?ctx m =
       add_str b a.reason
   | Close_session { session } ->
       Buffer.add_uint8 b k_close_session;
-      add_u32 b session);
+      add_u32 b session
+  | Metrics_report { part; payload } ->
+      (* Observability payloads use u32 lengths: a raw-bucket report or
+         trace chunk routinely exceeds the u16 string cap. *)
+      Buffer.add_uint8 b k_metrics_report;
+      add_u32 b part;
+      add_u32 b (String.length payload);
+      Buffer.add_string b payload
+  | Trace_chunk { part; payload } ->
+      Buffer.add_uint8 b k_trace_chunk;
+      add_u32 b part;
+      add_u32 b (String.length payload);
+      Buffer.add_string b payload);
   Buffer.contents b
 
 exception Bad of string
@@ -183,6 +203,8 @@ let decode ?ctx s =
         in
         let crash_flush = u8 () <> 0 in
         let batch = u32 () in
+        let obsv = u8 () in
+        let coord_pid = u32 () in
         finish
           (Hello
              {
@@ -195,6 +217,8 @@ let decode ?ctx s =
                crash_after;
                crash_flush;
                batch;
+               obsv;
+               coord_pid;
              })
     | k when k = k_hello_ack -> finish (Hello_ack { part = u32 () })
     | k when k = k_data -> (
@@ -242,6 +266,15 @@ let decode ?ctx s =
         let reason = str () in
         finish (Session_ack { session; ok; sa_credits; sa_batch; reason })
     | k when k = k_close_session -> finish (Close_session { session = u32 () })
+    | k when k = k_metrics_report || k = k_trace_chunk ->
+        let part = u32 () in
+        let n = u32 () in
+        need n;
+        let payload = String.sub s !pos n in
+        pos := !pos + n;
+        finish
+          (if k = k_metrics_report then Metrics_report { part; payload }
+           else Trace_chunk { part; payload })
     | k -> raise (Bad (Printf.sprintf "unknown message kind %d" k))
   with
   | m -> Ok m
@@ -271,3 +304,7 @@ let to_string = function
           a.sa_credits a.sa_batch
       else Printf.sprintf "Session_ack{rejected: %s}" a.reason
   | Close_session { session } -> Printf.sprintf "Close_session{session=%d}" session
+  | Metrics_report { part; payload } ->
+      Printf.sprintf "Metrics_report{part=%d %dB}" part (String.length payload)
+  | Trace_chunk { part; payload } ->
+      Printf.sprintf "Trace_chunk{part=%d %dB}" part (String.length payload)

@@ -36,6 +36,21 @@ type hello = {
       (** Cut-edge batching cap: the most records either side packs
           into one [Data_batch] envelope. [1] disables batching — both
           sides then send plain [Data] frames. *)
+  obsv : int;
+      (** The coordinator's observability flags ([Obsv.Sink] bit set:
+          events and/or metrics). A non-zero value asks the worker to
+          enable the matching subsystems locally (unless already on,
+          e.g. loopback workers sharing the process) and ship
+          {!msg.Metrics_report} / {!msg.Trace_chunk} frames back. [0]
+          keeps the worker's off-path at one atomic flag read. *)
+  coord_pid : int;
+      (** The coordinator's OS pid when it shares this worker's
+          process (loopback transports), [0] for remote coordinators.
+          An in-process worker recognises itself ([coord_pid] equals
+          its own pid) and ships {e slim} reports — liveness, clock
+          and journal counters but no metrics buckets or trace events,
+          since the coordinator reads the shared process-global tables
+          directly and would discard same-pid payloads anyway. *)
 }
 
 type session_ack = {
@@ -79,6 +94,16 @@ type msg =
   | Close_session of { session : int }
       (** client → server: no further submissions; the server flushes
           queued responses, answers [Done] and frees the slot. *)
+  | Metrics_report of { part : int; payload : string }
+      (** worker → coordinator: an [Obsv.Agg] report (raw histogram
+          buckets + journal counters), sent right after [Hello_ack],
+          periodically while running, and just before [Done]. The
+          payload is opaque to the protocol and carries its own u32
+          length — reports exceed the u16 string cap. *)
+  | Trace_chunk of { part : int; payload : string }
+      (** worker → coordinator: the worker's retained sink events
+          ([Obsv.Agg.chunk]), sent just before [Done] when event
+          tracing is on. *)
 
 val serve_spec : string
 (** The {!hello.spec} value (["serve/1"]) under which a connection

@@ -1,0 +1,114 @@
+(** Cluster aggregation: what workers ship to the coordinator and how
+    the coordinator merges it.
+
+    Workers periodically (and with [Done]) encode a {!report} — their
+    raw metrics buckets plus journal counters — and, once, a trace
+    {!chunk} of their sink events; both travel as opaque payloads
+    inside [Proto.Metrics_report]/[Proto.Trace_chunk] control frames.
+    The coordinator feeds them into a {!collector}, which
+
+    - merges the per-worker HDR histograms by vector addition (every
+      process shares the {!Metrics} bucket layout),
+    - rebases worker clocks against a Hello-time offset estimate
+      ({!note_hello} records the coordinator clock as each Hello goes
+      out; reports carry the worker-local receipt time),
+    - keeps a dead worker's last report, flagged via {!Health.part},
+      and
+    - emits one Perfetto-loadable Chrome trace with per-worker
+      process rows and cross-cut-edge flow arrows ({!merged_trace}).
+
+    Loopback workers share the coordinator's process and therefore its
+    process-global metrics and sink; their reports carry the same pid
+    and are skipped during metric/trace merging (but still count for
+    liveness and health). *)
+
+(** {1 Reports} *)
+
+type report = {
+  part : int;
+  pid : int;  (** Sender process id — loopback dedupe key. *)
+  hello_ts : float;  (** Worker clock when it processed Hello. *)
+  sent_ts : float;  (** Worker clock when the report was built. *)
+  metrics : Metrics.raw;
+  journal : Journal_stats.snapshot;
+  journal_lag_now : int;  (** Entries currently pending a snapshot. *)
+}
+
+val encode_report : report -> string
+val decode_report : string -> (report, string) result
+
+val self_report : ?slim:bool -> part:int -> hello_ts:float -> unit -> report
+(** Snapshot this process's metrics and journal counters as a report.
+    [~slim:true] (in-process workers, see [Proto.hello.coord_pid])
+    skips the metrics bucket merge and ships {!Metrics.empty_raw}:
+    the collector discards same-pid metrics payloads, so a loopback
+    worker only needs the liveness/clock/journal envelope. *)
+
+(** {1 Trace chunks} *)
+
+type chunk = {
+  c_part : int;
+  c_pid : int;
+  c_hello_ts : float;
+  c_events : Sink.event list;
+}
+
+val encode_chunk : chunk -> string
+val decode_chunk : string -> (chunk, string) result
+
+val self_chunk : part:int -> hello_ts:float -> unit -> chunk
+(** This process's retained sink events as a chunk. *)
+
+(** {1 Collector (coordinator side)} *)
+
+type collector
+
+val create : unit -> collector
+
+val note_hello : collector -> part:int -> unit
+(** Call immediately before sending Hello to [part]: records the
+    coordinator clock for that partition's offset estimate and marks
+    it alive (a respawn re-arms both). *)
+
+val note_report : collector -> report -> unit
+(** Install the partition's latest report (replaced atomically under
+    the collector lock — a reader never sees a torn merge). *)
+
+val note_chunk : collector -> chunk -> unit
+
+val note_gauges :
+  collector -> part:int -> queue:int -> credits:int -> window:int -> unit
+(** Coordinator-side view of the partition's cut edge: queued+inflight
+    records, free credits, window size. *)
+
+val note_death : collector -> part:int -> reason:string -> unit
+(** Mark the partition dead; its last report is retained and its
+    {!Health.part} row flags [alive = false] with this reason. *)
+
+(** {1 Aggregated snapshot} *)
+
+type cluster = {
+  merged : Metrics.snapshot;
+      (** Coordinator-local metrics vector-added with every distinct
+          worker process's last report. *)
+  parts : Health.part list;
+  workers_seen : int;
+}
+
+val cluster : collector -> cluster
+(** Merge now; also refreshes the process-global {!Health} registry. *)
+
+val cluster_to_json : cluster -> string
+val cluster_of_json : string -> (cluster, string) result
+
+val is_cluster_json : string -> bool
+(** Cheap sniff used by [snet_top] to tell a cluster snapshot from a
+    plain metrics file. *)
+
+(** {1 Merged trace} *)
+
+val merged_trace : collector -> local_events:Sink.event list -> Export.t
+(** One Chrome trace: the coordinator's events on pid 1 plus each
+    remote worker chunk on pid [part+2], worker timestamps shifted by
+    the per-partition Hello offset, all rebased to a single global
+    origin so cross-process flow arrows line up. *)

@@ -2,10 +2,41 @@
    read-render round trip. See export.mli. *)
 
 type item =
-  | Complete of { ts : float; dur : float; tid : int; cat : string; name : string }
-  | Counter of { ts : float; tid : int; name : string; value : int }
-  | Instant of { ts : float; tid : int; cat : string; name : string; value : int }
-  | Meta of { tid : int; thread_name : string }
+  | Complete of {
+      ts : float;
+      dur : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+    }
+  | Counter of { ts : float; pid : int; tid : int; name : string; value : int }
+  | Instant of {
+      ts : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+      value : int;
+    }
+  | Flow_start of {
+      ts : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+      id : int;
+    }
+  | Flow_end of {
+      ts : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+      id : int;
+    }
+  | Meta of { pid : int; tid : int; thread_name : string }
+  | Process of { pid : int; process_name : string }
 
 type t = item list
 
@@ -17,11 +48,12 @@ let track_label tid =
 
 (* --- sink events -> trace items ------------------------------------- *)
 
-let of_events (events : Sink.event list) =
-  let t0 =
-    List.fold_left (fun acc (e : Sink.event) -> Float.min acc e.ts) infinity
-      events
-  in
+let earliest (events : Sink.event list) =
+  List.fold_left (fun acc (e : Sink.event) -> Float.min acc e.ts) infinity
+    events
+
+let of_events ?(pid = 1) ?t0 (events : Sink.event list) =
+  let t0 = match t0 with Some t -> t | None -> earliest events in
   let us ts = Float.max 0. ((ts -. t0) *. 1e6) in
   (* Probe.span_end emits Begin then End back-to-back from one thread,
      so per track the pending Begin is always the one the next End
@@ -43,50 +75,100 @@ let of_events (events : Sink.event list) =
                      {
                        ts = us b.ts;
                        dur = Float.max 0. ((e.ts -. b.ts) *. 1e6);
+                       pid;
                        tid = e.track;
                        cat = e.cat;
                        name = e.name;
                      })
             | None -> None)
         | Sink.Counter ->
-            Some (Counter { ts = us e.ts; tid = e.track; name = e.name; value = e.value })
+            Some
+              (Counter
+                 { ts = us e.ts; pid; tid = e.track; name = e.name; value = e.value })
         | Sink.Instant ->
             Some
               (Instant
-                 { ts = us e.ts; tid = e.track; cat = e.cat; name = e.name; value = e.value }))
+                 {
+                   ts = us e.ts;
+                   pid;
+                   tid = e.track;
+                   cat = e.cat;
+                   name = e.name;
+                   value = e.value;
+                 })
+        | Sink.Flow_start ->
+            Some
+              (Flow_start
+                 {
+                   ts = us e.ts;
+                   pid;
+                   tid = e.track;
+                   cat = e.cat;
+                   name = e.name;
+                   id = e.value;
+                 })
+        | Sink.Flow_end ->
+            Some
+              (Flow_end
+                 {
+                   ts = us e.ts;
+                   pid;
+                   tid = e.track;
+                   cat = e.cat;
+                   name = e.name;
+                   id = e.value;
+                 }))
       events
   in
   let tids =
     List.sort_uniq compare
-      (List.map
+      (List.filter_map
          (function
-           | Complete { tid; _ } | Counter { tid; _ } | Instant { tid; _ }
+           | Complete { tid; _ }
+           | Counter { tid; _ }
+           | Instant { tid; _ }
+           | Flow_start { tid; _ }
+           | Flow_end { tid; _ }
            | Meta { tid; _ } ->
-               tid)
+               Some tid
+           | Process _ -> None)
          items)
   in
-  List.map (fun tid -> Meta { tid; thread_name = track_label tid }) tids @ items
+  List.map (fun tid -> Meta { pid; tid; thread_name = track_label tid }) tids
+  @ items
 
 (* --- rendering ------------------------------------------------------- *)
 
 let render_item b item =
   (match item with
-  | Complete { ts; dur; tid; cat; name } ->
+  | Complete { ts; dur; pid; tid; cat; name } ->
       Printf.bprintf b
-        "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"cat\":\"%s\",\"name\":\"%s\"}"
-        tid ts dur (Jsonx.escape cat) (Jsonx.escape name)
-  | Counter { ts; tid; name; value } ->
+        "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"cat\":\"%s\",\"name\":\"%s\"}"
+        pid tid ts dur (Jsonx.escape cat) (Jsonx.escape name)
+  | Counter { ts; pid; tid; name; value } ->
       Printf.bprintf b
-        "{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%d}}"
-        tid ts (Jsonx.escape name) value
-  | Instant { ts; tid; cat; name; value } ->
+        "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"args\":{\"value\":%d}}"
+        pid tid ts (Jsonx.escape name) value
+  | Instant { ts; pid; tid; cat; name; value } ->
       Printf.bprintf b
-        "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\",\"cat\":\"%s\",\"name\":\"%s\",\"args\":{\"value\":%d}}"
-        tid ts (Jsonx.escape cat) (Jsonx.escape name) value
-  | Meta { tid; thread_name } ->
+        "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\",\"cat\":\"%s\",\"name\":\"%s\",\"args\":{\"value\":%d}}"
+        pid tid ts (Jsonx.escape cat) (Jsonx.escape name) value
+  | Flow_start { ts; pid; tid; cat; name; id } ->
       Printf.bprintf b
-        "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
-        tid (Jsonx.escape thread_name));
+        "{\"ph\":\"s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"cat\":\"%s\",\"name\":\"%s\",\"id\":%d}"
+        pid tid ts (Jsonx.escape cat) (Jsonx.escape name) id
+  | Flow_end { ts; pid; tid; cat; name; id } ->
+      Printf.bprintf b
+        "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"cat\":\"%s\",\"name\":\"%s\",\"id\":%d}"
+        pid tid ts (Jsonx.escape cat) (Jsonx.escape name) id
+  | Meta { pid; tid; thread_name } ->
+      Printf.bprintf b
+        "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+        pid tid (Jsonx.escape thread_name)
+  | Process { pid; process_name } ->
+      Printf.bprintf b
+        "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+        pid (Jsonx.escape process_name));
   ()
 
 let render items =
@@ -112,31 +194,52 @@ let read s =
       | Some evs ->
           let item_of ev =
             let* ph = Option.bind (Jsonx.member "ph" ev) Jsonx.to_string in
-            let* tid = Option.bind (Jsonx.member "tid" ev) Jsonx.to_int in
+            let* pid = Option.bind (Jsonx.member "pid" ev) Jsonx.to_int in
             let arg key =
               Option.bind (Jsonx.member "args" ev) (Jsonx.member key)
             in
             match ph with
             | "X" ->
+                let* tid = Option.bind (Jsonx.member "tid" ev) Jsonx.to_int in
                 let* ts = Option.bind (Jsonx.member "ts" ev) Jsonx.to_float in
                 let* dur = Option.bind (Jsonx.member "dur" ev) Jsonx.to_float in
                 let* cat = Option.bind (Jsonx.member "cat" ev) Jsonx.to_string in
                 let* name = Option.bind (Jsonx.member "name" ev) Jsonx.to_string in
-                Ok (Complete { ts; dur; tid; cat; name })
+                Ok (Complete { ts; dur; pid; tid; cat; name })
             | "C" ->
+                let* tid = Option.bind (Jsonx.member "tid" ev) Jsonx.to_int in
                 let* ts = Option.bind (Jsonx.member "ts" ev) Jsonx.to_float in
                 let* name = Option.bind (Jsonx.member "name" ev) Jsonx.to_string in
                 let* value = Option.bind (arg "value") Jsonx.to_int in
-                Ok (Counter { ts; tid; name; value })
+                Ok (Counter { ts; pid; tid; name; value })
             | "i" ->
+                let* tid = Option.bind (Jsonx.member "tid" ev) Jsonx.to_int in
                 let* ts = Option.bind (Jsonx.member "ts" ev) Jsonx.to_float in
                 let* cat = Option.bind (Jsonx.member "cat" ev) Jsonx.to_string in
                 let* name = Option.bind (Jsonx.member "name" ev) Jsonx.to_string in
                 let* value = Option.bind (arg "value") Jsonx.to_int in
-                Ok (Instant { ts; tid; cat; name; value })
-            | "M" ->
-                let* thread_name = Option.bind (arg "name") Jsonx.to_string in
-                Ok (Meta { tid; thread_name })
+                Ok (Instant { ts; pid; tid; cat; name; value })
+            | "s" | "f" ->
+                let* tid = Option.bind (Jsonx.member "tid" ev) Jsonx.to_int in
+                let* ts = Option.bind (Jsonx.member "ts" ev) Jsonx.to_float in
+                let* cat = Option.bind (Jsonx.member "cat" ev) Jsonx.to_string in
+                let* name = Option.bind (Jsonx.member "name" ev) Jsonx.to_string in
+                let* id = Option.bind (Jsonx.member "id" ev) Jsonx.to_int in
+                if ph = "s" then Ok (Flow_start { ts; pid; tid; cat; name; id })
+                else Ok (Flow_end { ts; pid; tid; cat; name; id })
+            | "M" -> (
+                let* meta_name =
+                  Option.bind (Jsonx.member "name" ev) Jsonx.to_string
+                in
+                let* arg_name = Option.bind (arg "name") Jsonx.to_string in
+                match meta_name with
+                | "thread_name" ->
+                    let* tid =
+                      Option.bind (Jsonx.member "tid" ev) Jsonx.to_int
+                    in
+                    Ok (Meta { pid; tid; thread_name = arg_name })
+                | "process_name" -> Ok (Process { pid; process_name = arg_name })
+                | m -> Error (Printf.sprintf "unknown metadata event %S" m))
             | ph -> Error (Printf.sprintf "unknown event phase %S" ph)
           in
           let rec go acc = function
@@ -155,17 +258,23 @@ let validate s =
   | Error e -> Error e
   | Ok items ->
       let named_tracks =
-        List.filter_map (function Meta { tid; _ } -> Some tid | _ -> None) items
+        List.filter_map
+          (function Meta { pid; tid; _ } -> Some (pid, tid) | _ -> None)
+          items
       in
+      let named pid tid = List.mem (pid, tid) named_tracks in
       let shape_error =
         List.find_map
           (function
             | Complete { ts; dur; name; _ } when ts < 0. || dur < 0. ->
                 Some (Printf.sprintf "span %S has negative ts/dur" name)
-            | (Counter { ts; tid; _ } | Instant { ts; tid; _ })
-              when ts < 0. || not (List.mem tid named_tracks) ->
+            | ( Counter { ts; pid; tid; _ }
+              | Instant { ts; pid; tid; _ }
+              | Flow_start { ts; pid; tid; _ }
+              | Flow_end { ts; pid; tid; _ } )
+              when ts < 0. || not (named pid tid) ->
                 Some (Printf.sprintf "event on unnamed track %d" tid)
-            | Complete { tid; name; _ } when not (List.mem tid named_tracks) ->
+            | Complete { pid; tid; name; _ } when not (named pid tid) ->
                 Some (Printf.sprintf "span %S on unnamed track %d" name tid)
             | _ -> None)
           items
@@ -185,11 +294,16 @@ let with_out path f =
 let write_chrome ~path events =
   with_out path (fun oc -> output_string oc (render (of_events events)))
 
+let write_items ~path items =
+  with_out path (fun oc -> output_string oc (render items))
+
 let kind_tag : Sink.kind -> string = function
   | Sink.Begin -> "B"
   | Sink.End -> "E"
   | Sink.Instant -> "i"
   | Sink.Counter -> "C"
+  | Sink.Flow_start -> "s"
+  | Sink.Flow_end -> "f"
 
 let write_jsonl ~path events =
   with_out path (fun oc ->

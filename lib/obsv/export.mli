@@ -14,23 +14,63 @@
     identical bytes. *)
 
 type item =
-  | Complete of { ts : float; dur : float; tid : int; cat : string; name : string }
+  | Complete of {
+      ts : float;
+      dur : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+    }
       (** ["X"] — a closed span; [ts]/[dur] in microseconds (rebased). *)
-  | Counter of { ts : float; tid : int; name : string; value : int }
+  | Counter of { ts : float; pid : int; tid : int; name : string; value : int }
       (** ["C"] — a sampled series value (edge queue depth, star depth). *)
-  | Instant of { ts : float; tid : int; cat : string; name : string; value : int }
+  | Instant of {
+      ts : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+      value : int;
+    }
       (** ["i"] — a point event (steal, park, retry, stall). *)
-  | Meta of { tid : int; thread_name : string }
+  | Flow_start of {
+      ts : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+      id : int;
+    }
+      (** ["s"] — a causal arrow leaves the slice enclosing this point. *)
+  | Flow_end of {
+      ts : float;
+      pid : int;
+      tid : int;
+      cat : string;
+      name : string;
+      id : int;
+    }
+      (** ["f"] (binding ["e"]) — the arrow with the same [id] arrives,
+          possibly on another process's track. *)
+  | Meta of { pid : int; tid : int; thread_name : string }
       (** ["M"] — track naming metadata, one per referenced track. *)
+  | Process of { pid : int; process_name : string }
+      (** ["M"]/[process_name] — names a process row in the merged
+          cluster trace (coordinator is pid 1, worker [i] is [i+2]). *)
 
 type t = item list
 
-val of_events : Sink.event list -> t
+val of_events : ?pid:int -> ?t0:float -> Sink.event list -> t
 (** Convert sink events (in [seq] order): adjacent [Begin]/[End] pairs
     on the same track become {!Complete} spans ([Probe.span_end] emits
     them adjacently, so pairing is by construction; a dangling [Begin]
     — e.g. the sink filled mid-span — is dropped), [Counter]/[Instant]
-    map directly, and one {!Meta} per track is prepended. *)
+    and flow events map directly, and one {!Meta} per track is
+    prepended. All items carry [pid] (default 1, the single-process
+    case). Timestamps rebase against [t0] (default: the earliest event
+    in this call) — the cluster merger passes one global [t0] so
+    already-rebased worker events stay aligned with the coordinator's. *)
 
 val render : t -> string
 (** Deterministic Chrome-trace JSON: fixed key order, fixed number
@@ -48,12 +88,20 @@ val track_domain : int -> int
 val track_thread : int -> int
 (** Decompose a track id (domain in the high bits, thread id low). *)
 
+val earliest : Sink.event list -> float
+(** Smallest timestamp in the list ([infinity] when empty) — the
+    cluster merger computes one global [t0] with this. *)
+
 (** {1 File output} *)
 
 val write_chrome : path:string -> Sink.event list -> unit
+
+val write_items : path:string -> t -> unit
+(** Write pre-built items (the merged cluster trace) as Chrome JSON. *)
+
 val write_jsonl : path:string -> Sink.event list -> unit
 (** One raw event per line:
-    [{"seq":..,"ts":..,"track":..,"kind":"B"|"E"|"i"|"C","cat":..,"name":..,"value":..}]. *)
+    [{"seq":..,"ts":..,"track":..,"kind":"B"|"E"|"i"|"C"|"s"|"f","cat":..,"name":..,"value":..}]. *)
 
 val write_metrics : path:string -> Metrics.snapshot -> unit
 (** Atomic-rename write of {!Metrics.to_json} (so [snet_top --watch]

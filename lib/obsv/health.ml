@@ -1,0 +1,119 @@
+(* Per-partition health registry. See health.mli. *)
+
+type part = {
+  part : int;
+  alive : bool;
+  reason : string;
+  queue_depth : int;
+  window : int;
+  credits_free : int;
+  sends : int;
+  recvs : int;
+  stalls : int;
+  stall_rate : float;
+  batch_p50 : int;
+  batch_p95 : int;
+  journal_lag : int;
+  age : float;
+}
+
+let make ?(alive = true) ?(reason = "") ?(queue_depth = 0) ?(window = 0)
+    ?(credits_free = 0) ?(sends = 0) ?(recvs = 0) ?(stalls = 0)
+    ?(batch_p50 = 0) ?(batch_p95 = 0) ?(journal_lag = 0) ?(age = -1.) ~part ()
+    =
+  let stall_rate =
+    if sends <= 0 then 0. else float_of_int stalls /. float_of_int sends
+  in
+  {
+    part;
+    alive;
+    reason;
+    queue_depth;
+    window;
+    credits_free;
+    sends;
+    recvs;
+    stalls;
+    stall_rate;
+    batch_p50;
+    batch_p95;
+    journal_lag;
+    age;
+  }
+
+(* --- registry --------------------------------------------------------- *)
+
+let registry : part list ref = ref []
+let mu = Mutex.create ()
+
+let set parts =
+  let parts = List.sort (fun a b -> compare a.part b.part) parts in
+  Mutex.protect mu (fun () -> registry := parts)
+
+let update p =
+  Mutex.protect mu (fun () ->
+      registry :=
+        p :: List.filter (fun q -> q.part <> p.part) !registry
+        |> List.sort (fun a b -> compare a.part b.part))
+
+let get () = Mutex.protect mu (fun () -> !registry)
+let clear () = Mutex.protect mu (fun () -> registry := [])
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let to_json p =
+  Jsonx.Obj
+    [
+      ("part", Jsonx.Num (float_of_int p.part));
+      ("alive", Jsonx.Bool p.alive);
+      ("reason", Jsonx.Str p.reason);
+      ("queue_depth", Jsonx.Num (float_of_int p.queue_depth));
+      ("window", Jsonx.Num (float_of_int p.window));
+      ("credits_free", Jsonx.Num (float_of_int p.credits_free));
+      ("sends", Jsonx.Num (float_of_int p.sends));
+      ("recvs", Jsonx.Num (float_of_int p.recvs));
+      ("stalls", Jsonx.Num (float_of_int p.stalls));
+      ("stall_rate", Jsonx.Num p.stall_rate);
+      ("batch_p50", Jsonx.Num (float_of_int p.batch_p50));
+      ("batch_p95", Jsonx.Num (float_of_int p.batch_p95));
+      ("journal_lag", Jsonx.Num (float_of_int p.journal_lag));
+      ("age", Jsonx.Num p.age);
+    ]
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
+  let num k = Option.bind (Jsonx.member k j) Jsonx.to_float in
+  let* part = int "part" in
+  let* alive =
+    match Jsonx.member "alive" j with Some (Jsonx.Bool b) -> Some b | _ -> None
+  in
+  let* reason = Option.bind (Jsonx.member "reason" j) Jsonx.to_string in
+  let* queue_depth = int "queue_depth" in
+  let* window = int "window" in
+  let* credits_free = int "credits_free" in
+  let* sends = int "sends" in
+  let* recvs = int "recvs" in
+  let* stalls = int "stalls" in
+  let* stall_rate = num "stall_rate" in
+  let* batch_p50 = int "batch_p50" in
+  let* batch_p95 = int "batch_p95" in
+  let* journal_lag = int "journal_lag" in
+  let* age = num "age" in
+  Some
+    {
+      part;
+      alive;
+      reason;
+      queue_depth;
+      window;
+      credits_free;
+      sends;
+      recvs;
+      stalls;
+      stall_rate;
+      batch_p50;
+      batch_p95;
+      journal_lag;
+      age;
+    }

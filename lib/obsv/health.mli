@@ -1,0 +1,61 @@
+(** The partition health registry: the per-partition signals ROADMAP's
+    future rebalancer consumes, queryable in-process.
+
+    One {!part} summarises one partition (a distributed worker, or one
+    serve session): liveness, coordinator-side queue depth,
+    credit-window occupancy, stall rate, batch-size percentiles and
+    journal lag. Producers ({!Agg.cluster} on the distributed
+    coordinator, [Serve.Server.health_parts] on the daemon) refresh the
+    process-global registry; consumers ([Prom], a future rebalancer)
+    read it with {!get}. *)
+
+type part = {
+  part : int;  (** Partition / session index. *)
+  alive : bool;
+  reason : string;  (** Why the partition died; [""] while alive. *)
+  queue_depth : int;  (** Records queued + in flight toward the partition. *)
+  window : int;  (** Credit window size. *)
+  credits_free : int;  (** Unused credits; occupancy = window - free. *)
+  sends : int;
+  recvs : int;
+  stalls : int;  (** Backpressure stalls observed at its edges. *)
+  stall_rate : float;  (** stalls / sends, 0 when no sends. *)
+  batch_p50 : int;
+  batch_p95 : int;  (** Batch-size percentiles across its edges. *)
+  journal_lag : int;  (** Journal entries since the last snapshot. *)
+  age : float;  (** Seconds since its last report; [-1.] if unknown. *)
+}
+
+val make :
+  ?alive:bool ->
+  ?reason:string ->
+  ?queue_depth:int ->
+  ?window:int ->
+  ?credits_free:int ->
+  ?sends:int ->
+  ?recvs:int ->
+  ?stalls:int ->
+  ?batch_p50:int ->
+  ?batch_p95:int ->
+  ?journal_lag:int ->
+  ?age:float ->
+  part:int ->
+  unit ->
+  part
+(** Build a part row; [stall_rate] is derived from [stalls]/[sends]. *)
+
+(** {1 Registry} *)
+
+val set : part list -> unit
+(** Replace the registry (sorted by partition). *)
+
+val update : part -> unit
+(** Upsert one partition's row. *)
+
+val get : unit -> part list
+val clear : unit -> unit
+
+(** {1 JSON} *)
+
+val to_json : part -> Jsonx.t
+val of_json : Jsonx.t -> part option

@@ -111,9 +111,25 @@ type edge_cell = {
 
 module SMap = Map.Make (String)
 
+(* Per-shard direct-mapped cell cache, verified by PHYSICAL string
+   equality. Call sites pass literal categories and component paths
+   built once at net construction, so the same string objects arrive
+   on every record; a hit skips the key concatenation (an allocation)
+   and the string-keyed map walk that otherwise dominate the record
+   path. A miss — cold slot, collision, or a caller with fresh string
+   objects — falls through to the map and installs the slot, so the
+   cache is only ever a shortcut, never a source of truth. *)
+(* 1024 slots: wide nets with expanded star stages reach hundreds of
+   distinct span keys, and a direct-mapped cache only pays off while
+   collisions stay rare. *)
+let cache_size = 1024
+let cache_idx s = Hashtbl.hash s land (cache_size - 1)
+
 type shard = {
   mutable spans : span_cell SMap.t;
   mutable edges : edge_cell SMap.t;
+  span_cache : (string * string * span_cell) option array;
+  edge_cache : (string * edge_cell) option array;
   shard_gen : int;
 }
 
@@ -129,7 +145,13 @@ let star_stages = Atomic.make 0
 
 let new_shard () =
   let s =
-    { spans = SMap.empty; edges = SMap.empty; shard_gen = Atomic.get generation }
+    {
+      spans = SMap.empty;
+      edges = SMap.empty;
+      span_cache = Array.make cache_size None;
+      edge_cache = Array.make cache_size None;
+      shard_gen = Atomic.get generation;
+    }
   in
   Mutex.protect registry_mutex (fun () -> registry := s :: !registry);
   s
@@ -217,8 +239,28 @@ let disable () = Sink.set_flag Sink.metrics_bit false
 
 (* --- recording ------------------------------------------------------- *)
 
+let my_span_cell ~cat ~name =
+  let s = my_shard () in
+  let i = cache_idx name in
+  match Array.unsafe_get s.span_cache i with
+  | Some (c, n, cell) when c == cat && n == name -> cell
+  | _ ->
+      let cell = span_cell s (span_key ~cat ~name) in
+      Array.unsafe_set s.span_cache i (Some (cat, name, cell));
+      cell
+
+let my_edge_cell ~name =
+  let s = my_shard () in
+  let i = cache_idx name in
+  match Array.unsafe_get s.edge_cache i with
+  | Some (n, cell) when n == name -> cell
+  | _ ->
+      let cell = edge_cell s name in
+      Array.unsafe_set s.edge_cache i (Some (name, cell));
+      cell
+
 let record_span ~cat ~name ~dt =
-  let cell = span_cell (my_shard ()) (span_key ~cat ~name) in
+  let cell = my_span_cell ~cat ~name in
   let ns = int_of_float (Float.max 0. (dt *. 1e9)) in
   let b = bucket_of_ns ns in
   cell.buckets.(b) <- cell.buckets.(b) + 1;
@@ -226,21 +268,21 @@ let record_span ~cat ~name ~dt =
   if ns > cell.max_ns then cell.max_ns <- ns
 
 let record_edge_send ~name ~depth =
-  let cell = edge_cell (my_shard ()) name in
+  let cell = my_edge_cell ~name in
   cell.sends <- cell.sends + 1;
   if depth > cell.hwm then cell.hwm <- depth
 
 let record_edge_recv ~name ~depth =
-  let cell = edge_cell (my_shard ()) name in
+  let cell = my_edge_cell ~name in
   cell.recvs <- cell.recvs + 1;
   if depth > cell.hwm then cell.hwm <- depth
 
 let record_edge_stall ~name =
-  let cell = edge_cell (my_shard ()) name in
+  let cell = my_edge_cell ~name in
   cell.stalls <- cell.stalls + 1
 
 let record_edge_batch ~name ~size =
-  let cell = edge_cell (my_shard ()) name in
+  let cell = my_edge_cell ~name in
   cell.batches <- cell.batches + 1;
   let s = if size > batch_max then batch_max else max 1 size in
   cell.bsizes.(s) <- cell.bsizes.(s) + 1
@@ -287,33 +329,63 @@ type snapshot = {
   star_stages : int;
 }
 
+(* --- raw snapshots ---------------------------------------------------
+   A raw snapshot keeps the full bucket arrays instead of derived
+   percentiles, so snapshots from different processes sharing this
+   bucket layout merge losslessly by vector addition; the coordinator
+   converts the merged raw back to a [snapshot] at the end. *)
+
+type raw_span = { r_buckets : int array; r_total_ns : int; r_max_ns : int }
+
+type raw_edge = {
+  r_sends : int;
+  r_recvs : int;
+  r_stalls : int;
+  r_hwm : int;
+  r_batches : int;
+  r_bsizes : int array;  (* length batch_max + 1 *)
+}
+
+type raw = {
+  raw_spans : (string * raw_span) list;  (* key = [span_key] packed *)
+  raw_edges : (string * raw_edge) list;
+  raw_star_hwm : int;
+  raw_star_stages : int;
+}
+
 (* Merge all live shards. Reads race with writers (see the cell-layer
    note): each value read is some value the owner wrote, so merged
    counters are per-field monotone and exact once writers quiesce. *)
-let snapshot () =
+let raw_snapshot () =
   let shards = Mutex.protect registry_mutex (fun () -> !registry) in
   let gen = Atomic.get generation in
   let shards = List.filter (fun s -> s.shard_gen = gen) shards in
-  let span_acc : (string, int array * float ref * float ref) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  (* Accumulate into spare edge_cells, then convert with percentiles. *)
+  let span_acc : (string, span_cell) Hashtbl.t = Hashtbl.create 64 in
   let edge_acc : (string, edge_cell) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (s : shard) ->
       SMap.iter
-        (fun key c ->
-          let buckets, total, max_s =
+        (fun key (c : span_cell) ->
+          let acc =
             match Hashtbl.find_opt span_acc key with
             | Some acc -> acc
             | None ->
-                let acc = (Array.make n_buckets 0, ref 0., ref 0.) in
+                let acc =
+                  { buckets = Array.make n_buckets 0; total_ns = 0; max_ns = 0 }
+                in
                 Hashtbl.add span_acc key acc;
                 acc
           in
-          Array.iteri (fun i n -> buckets.(i) <- buckets.(i) + n) c.buckets;
-          total := !total +. (float_of_int c.total_ns *. 1e-9);
-          max_s := Float.max !max_s (float_of_int c.max_ns *. 1e-9))
+          (* Hot for wide nets: hundreds of span keys x 344 buckets
+             per shard, snapshotted on every shipped report. Skipping
+             the (overwhelmingly) zero slots keeps a report tick
+             cheap. *)
+          for i = 0 to Array.length c.buckets - 1 do
+            let n = c.buckets.(i) in
+            if n <> 0 then acc.buckets.(i) <- acc.buckets.(i) + n
+          done;
+          acc.total_ns <- acc.total_ns + c.total_ns;
+          acc.max_ns <- max acc.max_ns c.max_ns)
         s.spans;
       SMap.iter
         (fun name (c : edge_cell) ->
@@ -339,40 +411,126 @@ let snapshot () =
           acc.stalls <- acc.stalls + c.stalls;
           acc.hwm <- max acc.hwm c.hwm;
           acc.batches <- acc.batches + c.batches;
-          Array.iteri (fun i n -> acc.bsizes.(i) <- acc.bsizes.(i) + n) c.bsizes)
+          for i = 0 to Array.length c.bsizes - 1 do
+            let n = c.bsizes.(i) in
+            if n <> 0 then acc.bsizes.(i) <- acc.bsizes.(i) + n
+          done)
         s.edges)
     shards;
-  let spans =
+  let raw_spans =
     Hashtbl.fold
-      (fun key (buckets, total, max_s) acc ->
-        let cat, name = split_span_key key in
-        (cat, name, hist_of_buckets buckets ~total:!total ~max_s:!max_s) :: acc)
+      (fun key (c : span_cell) acc ->
+        ( key,
+          { r_buckets = c.buckets; r_total_ns = c.total_ns; r_max_ns = c.max_ns }
+        )
+        :: acc)
       span_acc []
-    |> List.sort (fun (c1, n1, _) (c2, n2, _) -> compare (c1, n1) (c2, n2))
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
   in
-  let edges =
+  let raw_edges =
     Hashtbl.fold
       (fun name (c : edge_cell) acc ->
         ( name,
           {
-            sends = c.sends;
-            recvs = c.recvs;
-            stalls = c.stalls;
-            hwm = c.hwm;
-            batches = c.batches;
-            batch_p50 = batch_percentile 0.50 c.bsizes;
-            batch_p95 = batch_percentile 0.95 c.bsizes;
+            r_sends = c.sends;
+            r_recvs = c.recvs;
+            r_stalls = c.stalls;
+            r_hwm = c.hwm;
+            r_batches = c.batches;
+            r_bsizes = c.bsizes;
           } )
         :: acc)
       edge_acc []
     |> List.sort (fun (n1, _) (n2, _) -> compare n1 n2)
   in
   {
+    raw_spans;
+    raw_edges;
+    raw_star_hwm = Atomic.get star_hwm;
+    raw_star_stages = Atomic.get star_stages;
+  }
+
+let add_array a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i ->
+      (if i < Array.length a then a.(i) else 0)
+      + if i < Array.length b then b.(i) else 0)
+
+let merge_raw a b =
+  let merge_assoc merge xs ys =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) xs;
+    List.iter
+      (fun (k, v) ->
+        match Hashtbl.find_opt tbl k with
+        | None -> Hashtbl.replace tbl k v
+        | Some v0 -> Hashtbl.replace tbl k (merge v0 v))
+      ys;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  in
+  let merge_span (x : raw_span) (y : raw_span) =
+    {
+      r_buckets = add_array x.r_buckets y.r_buckets;
+      r_total_ns = x.r_total_ns + y.r_total_ns;
+      r_max_ns = max x.r_max_ns y.r_max_ns;
+    }
+  in
+  let merge_edge (x : raw_edge) (y : raw_edge) =
+    {
+      r_sends = x.r_sends + y.r_sends;
+      r_recvs = x.r_recvs + y.r_recvs;
+      r_stalls = x.r_stalls + y.r_stalls;
+      r_hwm = max x.r_hwm y.r_hwm;
+      r_batches = x.r_batches + y.r_batches;
+      r_bsizes = add_array x.r_bsizes y.r_bsizes;
+    }
+  in
+  {
+    raw_spans = merge_assoc merge_span a.raw_spans b.raw_spans;
+    raw_edges = merge_assoc merge_edge a.raw_edges b.raw_edges;
+    raw_star_hwm = max a.raw_star_hwm b.raw_star_hwm;
+    raw_star_stages = a.raw_star_stages + b.raw_star_stages;
+  }
+
+let snapshot_of_raw raw =
+  let spans =
+    List.map
+      (fun (key, (c : raw_span)) ->
+        let cat, name = split_span_key key in
+        ( cat,
+          name,
+          hist_of_buckets c.r_buckets
+            ~total:(float_of_int c.r_total_ns *. 1e-9)
+            ~max_s:(float_of_int c.r_max_ns *. 1e-9) ))
+      raw.raw_spans
+  in
+  let edges =
+    List.map
+      (fun (name, (c : raw_edge)) ->
+        ( name,
+          {
+            sends = c.r_sends;
+            recvs = c.r_recvs;
+            stalls = c.r_stalls;
+            hwm = c.r_hwm;
+            batches = c.r_batches;
+            batch_p50 = batch_percentile 0.50 c.r_bsizes;
+            batch_p95 = batch_percentile 0.95 c.r_bsizes;
+          } ))
+      raw.raw_edges
+  in
+  {
     spans;
     edges;
-    star_depth_hwm = Atomic.get star_hwm;
-    star_stages = Atomic.get star_stages;
+    star_depth_hwm = raw.raw_star_hwm;
+    star_stages = raw.raw_star_stages;
   }
+
+let empty_raw =
+  { raw_spans = []; raw_edges = []; raw_star_hwm = 0; raw_star_stages = 0 }
+
+let snapshot () = snapshot_of_raw (raw_snapshot ())
 
 (* --- rendering ------------------------------------------------------- *)
 

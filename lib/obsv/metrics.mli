@@ -86,9 +86,59 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Current aggregates; span and edge lists sorted by name. *)
 
+(** {1 Raw snapshots (cluster aggregation)} *)
+
+(** A raw snapshot keeps the full log-linear bucket arrays instead of
+    derived percentiles. Because every process uses the same bucket
+    layout ([sub]=8, 64 ns base), raw snapshots from different workers
+    merge losslessly by vector addition ({!merge_raw}); the coordinator
+    converts the merged result back to a {!snapshot} with
+    {!snapshot_of_raw}. {!Agg} ships these across the wire. *)
+
+type raw_span = {
+  r_buckets : int array;  (** Log-linear histogram counts. *)
+  r_total_ns : int;
+  r_max_ns : int;
+}
+
+type raw_edge = {
+  r_sends : int;
+  r_recvs : int;
+  r_stalls : int;
+  r_hwm : int;
+  r_batches : int;
+  r_bsizes : int array;  (** Exact batch-size histogram, slot 0 unused. *)
+}
+
+type raw = {
+  raw_spans : (string * raw_span) list;
+      (** Keyed by the packed ["cat\000name"] span key; sorted. *)
+  raw_edges : (string * raw_edge) list;  (** Keyed by edge name; sorted. *)
+  raw_star_hwm : int;
+  raw_star_stages : int;
+}
+
+val raw_snapshot : unit -> raw
+(** Current aggregates with full buckets (same racy-merge contract as
+    {!snapshot}). *)
+
+val merge_raw : raw -> raw -> raw
+(** Union of the two: counters and buckets vector-add, high-water
+    marks and maxima take the max. Commutative and associative. *)
+
+val snapshot_of_raw : raw -> snapshot
+(** Derive percentiles from a (possibly merged) raw snapshot. *)
+
+val empty_raw : raw
+(** The identity of {!merge_raw}. *)
+
 val percentile : float -> int array -> max_s:float -> float
 (** [percentile q buckets ~max_s] — exposed for the exporter and
     bench; [q] in [0,1], buckets as stored (log-linear). *)
+
+val batch_percentile : float -> int array -> int
+(** Percentile over an exact batch-size histogram (as in
+    {!raw_edge.r_bsizes}); used by the cluster aggregator. *)
 
 val hist_of_buckets : int array -> total:float -> max_s:float -> hist
 (** Build a {!hist} from raw bucket counts (used by bench to report

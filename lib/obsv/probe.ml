@@ -50,6 +50,19 @@ let edge_stall ~name =
       Sink.emit_now ~kind:Instant ~cat:"edge" ~name:(name ^ "!stall") ~value:0
   end
 
+let flow_start ~cat ~name ~id =
+  if Sink.events_on () then Sink.emit_now ~kind:Flow_start ~cat ~name ~value:id
+
+let flow_end ~cat ~name ~id =
+  if Sink.events_on () then Sink.emit_now ~kind:Flow_end ~cat ~name ~value:id
+
+(* --- trace context ---------------------------------------------------- *)
+
+let trace_tag = "obsv_trace"
+
+let trace_seq = Atomic.make 1
+let fresh_trace () = Atomic.fetch_and_add trace_seq 1
+
 let star_depth ~depth =
   if Sink.active () then begin
     if Sink.flag Sink.metrics_bit then Metrics.record_star_depth ~depth;

@@ -46,3 +46,31 @@ val edge_stall : name:string -> unit
 
 val star_depth : depth:int -> unit
 (** A star stage unfolded to [depth]. *)
+
+(** {1 Flow probes} — causal arrows between spans, possibly across
+    processes. A [flow_start]/[flow_end] pair sharing an [id] renders
+    as an arrow in the merged Chrome trace ({!Export}, ph ["s"]/["f"]),
+    linking the slice enclosing the start to the slice enclosing the
+    end even when the two halves were recorded by different workers. *)
+
+val flow_start : cat:string -> name:string -> id:int -> unit
+(** The causal arrow with the given [id] leaves the current track. *)
+
+val flow_end : cat:string -> name:string -> id:int -> unit
+(** The causal arrow with the given [id] arrives at the current track. *)
+
+(** {1 Trace context} — the record-level identity that survives cut
+    edges. The coordinator (or serve gateway) stamps each record at net
+    ingress with a fresh trace id under the reserved record tag
+    {!trace_tag}; the tag rides the wire like any other tag, is copied
+    to outputs by flow inheritance, and is stripped again before
+    records leave the net. Flow ids are derived from it as
+    [trace * 1024 + hop] so per-hop arrows stay unique. *)
+
+val trace_tag : string
+(** Reserved record tag carrying the trace id ("obsv_trace"). *)
+
+val fresh_trace : unit -> int
+(** Next trace id (process-global, starts at 1). Only the single
+    ingress process allocates ids for a run, so no cross-process
+    coordination is needed. *)

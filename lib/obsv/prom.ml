@@ -1,0 +1,149 @@
+(* Prometheus text exposition (version 0.0.4). See prom.mli. *)
+
+(* Label values: backslash, double-quote and newline must be escaped;
+   everything else passes through verbatim. *)
+let escape_label s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let header b name typ help =
+  Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n" name help name typ
+
+let line b name labels v =
+  (match labels with
+  | [] -> Buffer.add_string b name
+  | ls ->
+      Buffer.add_string b name;
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, value) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "%s=\"%s\"" k (escape_label value))
+        ls;
+      Buffer.add_char b '}');
+  Buffer.add_char b ' ';
+  Buffer.add_string b (num v);
+  Buffer.add_char b '\n'
+
+let render ?(parts = []) ?journal (snap : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  if snap.spans <> [] then begin
+    header b "snet_span_latency_seconds" "summary"
+      "Span latency per category and name.";
+    List.iter
+      (fun (cat, name, (h : Metrics.hist)) ->
+        let l q = [ ("cat", cat); ("name", name); ("quantile", q) ] in
+        line b "snet_span_latency_seconds" (l "0.5") h.p50;
+        line b "snet_span_latency_seconds" (l "0.95") h.p95;
+        line b "snet_span_latency_seconds" (l "0.99") h.p99;
+        line b "snet_span_latency_seconds_sum"
+          [ ("cat", cat); ("name", name) ]
+          h.total;
+        line b "snet_span_latency_seconds_count"
+          [ ("cat", cat); ("name", name) ]
+          (float_of_int h.count))
+      snap.spans
+  end;
+  if snap.edges <> [] then begin
+    let edge_counter field help pick =
+      header b field "counter" help;
+      List.iter
+        (fun (name, (e : Metrics.edge)) ->
+          line b field [ ("edge", name) ] (float_of_int (pick e)))
+        snap.edges
+    in
+    let edge_gauge field help pick =
+      header b field "gauge" help;
+      List.iter
+        (fun (name, (e : Metrics.edge)) ->
+          line b field [ ("edge", name) ] (float_of_int (pick e)))
+        snap.edges
+    in
+    edge_counter "snet_edge_sends_total" "Messages sent onto the edge."
+      (fun e -> e.sends);
+    edge_counter "snet_edge_recvs_total" "Messages received from the edge."
+      (fun e -> e.recvs);
+    edge_counter "snet_edge_stalls_total" "Producer backpressure stalls."
+      (fun e -> e.stalls);
+    edge_gauge "snet_edge_queue_hwm" "Queue-depth high-water mark." (fun e ->
+        e.hwm);
+    edge_counter "snet_edge_batches_total" "Consumer-side batch drains."
+      (fun e -> e.batches);
+    edge_gauge "snet_edge_batch_p50" "Median batch size (messages per drain)."
+      (fun e -> e.batch_p50);
+    edge_gauge "snet_edge_batch_p95" "p95 batch size (messages per drain)."
+      (fun e -> e.batch_p95)
+  end;
+  header b "snet_star_stages_total" "counter" "Star stages unfolded.";
+  line b "snet_star_stages_total" [] (float_of_int snap.star_stages);
+  header b "snet_star_depth_hwm" "gauge" "Star depth high-water mark.";
+  line b "snet_star_depth_hwm" [] (float_of_int snap.star_depth_hwm);
+  if parts <> [] then begin
+    let part_metric typ field help pick =
+      header b field typ help;
+      List.iter
+        (fun (p : Health.part) ->
+          line b field [ ("part", string_of_int p.part) ] (pick p))
+        parts
+    in
+    let fi pick (p : Health.part) = float_of_int (pick p) in
+    part_metric "gauge" "snet_partition_up"
+      "1 while the partition is alive, 0 after it died." (fun p ->
+        if p.alive then 1. else 0.);
+    part_metric "gauge" "snet_partition_queue_depth"
+      "Records queued plus in flight toward the partition."
+      (fi (fun p -> p.queue_depth));
+    part_metric "gauge" "snet_partition_credit_window" "Credit window size."
+      (fi (fun p -> p.window));
+    part_metric "gauge" "snet_partition_credits_free"
+      "Unused credits (occupancy = window - free)."
+      (fi (fun p -> p.credits_free));
+    part_metric "counter" "snet_partition_sends_total"
+      "Messages sent at the partition's edges." (fi (fun p -> p.sends));
+    part_metric "counter" "snet_partition_recvs_total"
+      "Messages received at the partition's edges." (fi (fun p -> p.recvs));
+    part_metric "counter" "snet_partition_stalls_total"
+      "Backpressure stalls at the partition's edges." (fi (fun p -> p.stalls));
+    part_metric "gauge" "snet_partition_stall_rate" "Stalls per send." (fun p ->
+        p.stall_rate);
+    part_metric "gauge" "snet_partition_batch_p50" "Median batch size."
+      (fi (fun p -> p.batch_p50));
+    part_metric "gauge" "snet_partition_batch_p95" "p95 batch size."
+      (fi (fun p -> p.batch_p95));
+    part_metric "gauge" "snet_partition_journal_lag"
+      "Journal entries since the partition's last snapshot."
+      (fi (fun p -> p.journal_lag));
+    part_metric "gauge" "snet_partition_report_age_seconds"
+      "Seconds since the partition's last report (-1 if none)." (fun p ->
+        p.age)
+  end;
+  (match journal with
+  | None -> ()
+  | Some (j : Journal_stats.snapshot) ->
+      let jc field help v =
+        header b field "counter" help;
+        line b field [] (float_of_int v)
+      in
+      jc "snet_journal_appends_total" "Journal entries written." j.appends;
+      jc "snet_journal_append_bytes_total" "Journal bytes written."
+        j.append_bytes;
+      jc "snet_journal_fsyncs_total" "Journal fsyncs." j.fsyncs;
+      jc "snet_journal_replays_total" "Entries replayed during recovery."
+        j.replays;
+      jc "snet_journal_snapshots_total" "Net snapshots persisted." j.snapshots;
+      header b "snet_journal_lag" "gauge"
+        "High-water mark of entries since the last snapshot.";
+      line b "snet_journal_lag" [] (float_of_int j.lag));
+  Buffer.contents b

@@ -1,0 +1,19 @@
+(** Prometheus text exposition (format version 0.0.4) of a metrics
+    snapshot, optionally joined with partition health rows and journal
+    counters. Served by the snet_serve HTTP gateway at
+    [/metrics?format=prometheus]; also usable for one-shot dumps.
+
+    Series: [snet_span_latency_seconds{cat,name,quantile}] summaries,
+    [snet_edge_*{edge}] counters/gauges, [snet_star_*],
+    [snet_partition_*{part}] health gauges (queue depth, credit window
+    occupancy, stall rate, batch percentiles, journal lag, liveness)
+    and [snet_journal_*] durability counters. *)
+
+val render :
+  ?parts:Health.part list ->
+  ?journal:Journal_stats.snapshot ->
+  Metrics.snapshot ->
+  string
+(** Render the exposition text; every line is [name{labels} value] or
+    a [# HELP]/[# TYPE] comment, and label values are escaped per the
+    exposition-format rules. *)

@@ -1,6 +1,6 @@
 (* Lock-free per-domain ring buffers of timed events. See sink.mli. *)
 
-type kind = Begin | End | Instant | Counter
+type kind = Begin | End | Instant | Counter | Flow_start | Flow_end
 
 type event = {
   seq : int;

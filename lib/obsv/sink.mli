@@ -27,6 +27,10 @@ type kind =
   | End  (** Span closed. *)
   | Instant  (** A point event (steal, park, retry, stall). *)
   | Counter  (** A sampled series value (queue depth, star depth). *)
+  | Flow_start
+      (** Causal arrow leaves this track; [value] is the flow id shared
+          with the matching {!Flow_end} (possibly in another process). *)
+  | Flow_end  (** Causal arrow arrives; [value] is the flow id. *)
 
 type event = {
   seq : int;  (** Global, monotone emission order across all domains. *)

@@ -37,6 +37,8 @@ let connect ?(credits = 0) ?(batch = 0) ?(resume = -1) conn =
         crash_after = -1;
         crash_flush = false;
         batch;
+        obsv = 0;
+        coord_pid = 0;
       }
   in
   Transport.send conn (Proto.encode hello);

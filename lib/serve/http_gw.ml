@@ -203,12 +203,18 @@ let status_text = function
   | 503 -> "Service Unavailable"
   | _ -> "Error"
 
-let respond fd status body =
+(* Responders return the status they wrote, so the per-request probe
+   in [handle_conn] can label its span without re-parsing anything. *)
+let respond_ct fd status ~ctype body =
   write_all fd
     (Printf.sprintf
-       "HTTP/1.1 %d %s\r\nContent-Type: application/json\r\nContent-Length: \
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: \
         %d\r\nConnection: close\r\n\r\n%s"
-       status (status_text status) (String.length body) body)
+       status (status_text status) ctype (String.length body) body);
+  status
+
+let respond fd status body =
+  respond_ct fd status ~ctype:"application/json" body
 
 let respond_json fd status j = respond fd status (J.render j)
 let err fd status msg = respond_json fd status (J.Obj [ ("error", J.Str msg) ])
@@ -281,8 +287,18 @@ let parse_records body ~ctx =
 let handle_request t ~ctx fd req =
   match (req.meth, req.path) with
   | "GET", [ "health" ] -> respond_json fd 200 (health_json (Server.health t.srv))
-  | "GET", [ "metrics" ] ->
-      respond fd 200 (Obsv.Metrics.to_json (Obsv.Metrics.snapshot ()))
+  | "GET", [ "metrics" ] -> (
+      match List.assoc_opt "format" req.query with
+      | Some "prometheus" ->
+          (* Prometheus exposition: the merged metrics joined with
+             per-session partition rows and journal counters. *)
+          respond_ct fd 200 ~ctype:"text/plain; version=0.0.4"
+            (Obsv.Prom.render
+               ~parts:(Server.health_parts t.srv)
+               ~journal:(Obsv.Journal_stats.snapshot ())
+               (Obsv.Metrics.snapshot ()))
+      | Some _ | None ->
+          respond fd 200 (Obsv.Metrics.to_json (Obsv.Metrics.snapshot ())))
   | "POST", [ "v1"; "session" ] -> (
       let credits =
         match J.parse req.body with
@@ -369,17 +385,34 @@ let handle_request t ~ctx fd req =
               | _ -> err fd 405 "method not allowed")))
   | _ -> err fd 404 "no such route"
 
+(* Route label for probes: numeric segments collapse to [:id] so the
+   span/metric key space stays bounded by the route table, not by
+   session ids. *)
+let route_label req =
+  let seg s = match int_of_string_opt s with Some _ -> ":id" | None -> s in
+  req.meth ^ " /" ^ String.concat "/" (List.map seg req.path)
+
 let handle_conn t fd =
   let ctx = Dist.Wire.ctx () in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       match read_request fd with
-      | None -> (try err fd 400 "malformed request" with _ -> ())
-      | Some req -> (
-          try handle_request t ~ctx fd req
-          with e ->
-            (try err fd 400 (Printexc.to_string e) with _ -> ())))
+      | None -> (try ignore (err fd 400 "malformed request" : int) with _ -> ())
+      | Some req ->
+          let sp = Obsv.Probe.span_start () in
+          let status =
+            try handle_request t ~ctx fd req
+            with e -> (
+              try err fd 400 (Printexc.to_string e) with _ -> 400)
+          in
+          (* One span per request, labelled route + status; 429s also
+             count as admission stalls on the gateway edge. *)
+          Obsv.Probe.edge_send ~name:"http:gw" ~depth:0;
+          if status = 429 then Obsv.Probe.edge_stall ~name:"http:gw";
+          Obsv.Probe.span_end ~cat:"http"
+            ~name:(Printf.sprintf "%s -> %d" (route_label req) status)
+            sp)
 
 let wait_readable fd timeout_s =
   match restart (fun () -> Unix.select [ fd ] [] [] timeout_s) with

@@ -121,6 +121,10 @@ let instance t =
    into more responses than the queue's headroom holds, and is counted
    as a stall. *)
 let route_output t r =
+  (* The trace id stamped at submit ingress has done its job once the
+     response reaches the global output — strip it so clients never
+     see the internal tag. *)
+  let r = Record.without_tag Obsv.Probe.trace_tag r in
   let buffered =
     locked t (fun () ->
         if t.recovering then begin
@@ -572,6 +576,18 @@ let submit ?req t s r =
       `Ok
   | `Admit ->
       let tagged = Record.with_tag session_tag s.id r in
+      (* Trace ingress (mirrors the distributed coordinator): a fresh
+         trace id per submission, kept if the caller already stamped
+         one, so spans this record touches share an id. *)
+      let tagged =
+        if
+          Obsv.Sink.events_on ()
+          && Record.tag Obsv.Probe.trace_tag tagged = None
+        then
+          Record.with_tag Obsv.Probe.trace_tag (Obsv.Probe.fresh_trace ())
+            tagged
+        else tagged
+      in
       Obsv.Probe.edge_send ~name:edge_in ~depth:(s.submitted - s.delivered);
       Fun.protect
         ~finally:(fun () ->
@@ -779,6 +795,44 @@ let health t =
       })
 
 let session_id s = s.id
+
+(* Per-session health rows: a serve session is this daemon's analogue
+   of a partition. Queue/credit figures are live; edge counters come
+   from the metrics registry when it is on (zeros otherwise). Also
+   refreshes the process-global Health registry, so Prom/snet_top see
+   the same rows. *)
+let health_parts t =
+  let edges =
+    if Obsv.Metrics.on () then (Obsv.Metrics.snapshot ()).Obsv.Metrics.edges
+    else []
+  in
+  let lag = Obsv.Journal_stats.current_lag () in
+  let parts =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun _ s acc ->
+            let backlog = Streams.Channel.length s.out_q in
+            let sends, recvs, stalls, bp50, bp95 =
+              match List.assoc_opt (edge_out s) edges with
+              | Some e ->
+                  ( e.Obsv.Metrics.sends,
+                    e.Obsv.Metrics.recvs,
+                    e.Obsv.Metrics.stalls,
+                    e.Obsv.Metrics.batch_p50,
+                    e.Obsv.Metrics.batch_p95 )
+              | None -> (0, 0, 0, 0, 0)
+            in
+            Obsv.Health.make ~alive:(not s.closing) ~queue_depth:backlog
+              ~window:s.window
+              ~credits_free:(max 0 (s.window - backlog))
+              ~sends ~recvs ~stalls ~batch_p50:bp50 ~batch_p95:bp95
+              ~journal_lag:lag ~age:0. ~part:s.id ()
+            :: acc)
+          t.sessions [])
+  in
+  let parts = List.sort (fun a b -> compare a.Obsv.Health.part b.Obsv.Health.part) parts in
+  Obsv.Health.set parts;
+  parts
 
 (* ------------------------------------------------------------------ *)
 (* Framed-TCP session service over Transport.conn                      *)

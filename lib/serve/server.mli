@@ -203,6 +203,13 @@ type health = {
 
 val health : t -> health
 
+val health_parts : t -> Obsv.Health.part list
+(** Per-session health rows (a serve session is this daemon's analogue
+    of a partition): live queue depth and credit occupancy, plus the
+    session's edge counters when metrics are on. Sorted by session id;
+    also refreshes the process-global {!Obsv.Health} registry so the
+    Prometheus endpoint and [snet_top] read the same rows. *)
+
 val session_tag : string
 (** The reserved routing tag (["serve_session"]). Records submitted
     through a session must not carry it themselves. *)

@@ -34,6 +34,7 @@ let () =
       ("propagate", Test_propagate.suite);
       ("faults", Test_faults.suite);
       ("obsv", Test_obsv.suite);
+      ("jsonx", Test_jsonx.suite);
       ("dist", Test_dist.suite);
       ("serve", Test_serve.suite);
       ("detcheck", Test_detcheck.suite);

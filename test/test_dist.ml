@@ -231,6 +231,8 @@ let test_proto_roundtrip () =
           crash_after = -1;
           crash_flush = true;
           batch = 16;
+          obsv = 3;
+          coord_pid = 12345;
         };
       Proto.Hello_ack { part = 1 };
       Proto.Data r;
@@ -240,6 +242,8 @@ let test_proto_roundtrip () =
       Proto.Done;
       Proto.Crash "it broke";
       Proto.Shutdown;
+      Proto.Metrics_report { part = 2; payload = String.make 70000 '\x42' };
+      Proto.Trace_chunk { part = 0; payload = "\x00\xff trace bytes" };
     ]
   in
   List.iter
@@ -253,6 +257,14 @@ let test_proto_roundtrip () =
           | Proto.Data_batch a, Proto.Data_batch b ->
               Alcotest.(check bool) "batch round-trip" true
                 (List.length a = List.length b && List.for_all2 frame_eq a b)
+          | ( Proto.Metrics_report { part = pa; payload = ya },
+              Proto.Metrics_report { part = pb; payload = yb } )
+          | ( Proto.Trace_chunk { part = pa; payload = ya },
+              Proto.Trace_chunk { part = pb; payload = yb } ) ->
+              (* Payloads are opaque (and may exceed the u16 string
+                 cap): compare the bytes, not the rendering. *)
+              Alcotest.(check int) "payload part" pa pb;
+              Alcotest.(check bool) "payload bytes" true (String.equal ya yb)
           | _ ->
               Alcotest.(check string) "round-trip" (Proto.to_string m)
                 (Proto.to_string m')))
@@ -602,6 +614,115 @@ let test_worker_kill_retry_recovers () =
     (multiset_eq reference outs)
 
 (* ------------------------------------------------------------------ *)
+(* Cluster telemetry                                                   *)
+
+(* Metrics aggregation under worker death, one run per supervision
+   policy: whatever the policy does with the run itself, the collector
+   must keep the dead partition's last report, flag it dead with a
+   reason (Retry re-arms it at respawn), and the cluster snapshot must
+   stay well-formed and JSON round-trippable. *)
+let test_collector_survives_worker_death () =
+  let board = Sudoku.Puzzles.easy in
+  let run_one supervision col =
+    try
+      ignore
+        (Engine_dist.run ~workers:2 ~kill_worker:(1, 0) ?supervision
+           ~collector:col (Sudoku.Networks.fig2 ()) (solve_inputs board))
+    with Failure _ -> ()
+  in
+  List.iter
+    (fun (label, supervision, expect_alive, check_survivor) ->
+      let col = Obsv.Agg.create () in
+      run_one supervision col;
+      let cl = Obsv.Agg.cluster col in
+      Alcotest.(check int)
+        (label ^ ": both partitions tracked")
+        2 cl.Obsv.Agg.workers_seen;
+      (match
+         List.find_opt (fun p -> p.Obsv.Health.part = 1) cl.Obsv.Agg.parts
+       with
+      | Some p ->
+          Alcotest.(check bool)
+            (label ^ ": liveness after the kill")
+            expect_alive p.Obsv.Health.alive;
+          if not expect_alive then
+            Alcotest.(check bool)
+              (label ^ ": death carries a reason")
+              true
+              (p.Obsv.Health.reason <> "")
+      | None -> Alcotest.failf "%s: killed partition missing" label);
+      (match
+         List.find_opt (fun p -> p.Obsv.Health.part = 0) cl.Obsv.Agg.parts
+       with
+      | Some p ->
+          (* Under fail-fast the whole run is torn down, which may
+             mark the innocent partition dead too — its liveness is
+             policy noise, not a collector property. *)
+          if check_survivor then
+            Alcotest.(check bool)
+              (label ^ ": surviving partition alive")
+              true p.Obsv.Health.alive
+      | None -> Alcotest.failf "%s: surviving partition missing" label);
+      match Obsv.Agg.cluster_of_json (Obsv.Agg.cluster_to_json cl) with
+      | Ok cl' ->
+          Alcotest.(check int)
+            (label ^ ": cluster json round-trips")
+            (List.length cl.Obsv.Agg.parts)
+            (List.length cl'.Obsv.Agg.parts)
+      | Error e -> Alcotest.failf "%s: cluster json broken: %s" label e)
+    [
+      ("fail-fast", None, false, false);
+      ("error-record", Some error_record_cfg, false, true);
+      ( "retry",
+        Some (Snet.Supervise.make ~policy:(Snet.Supervise.Retry 2) ()),
+        (* The respawned worker re-Hellos, which re-arms liveness. *)
+        true,
+        true );
+    ]
+
+(* Trace-context propagation across cut edges: the tag rides the wire
+   but never leaks into user-visible outputs, and the merged trace
+   pairs every cross-edge flow arrow start with exactly one end. *)
+let test_trace_propagation_loopback () =
+  Obsv.Sink.clear ();
+  Obsv.Sink.enable ();
+  let col = Obsv.Agg.create () in
+  let board = Sudoku.Puzzles.easy in
+  let outs =
+    Fun.protect
+      ~finally:(fun () -> Obsv.Sink.disable ())
+      (fun () ->
+        Engine_dist.run ~workers:2 ~collector:col (Sudoku.Networks.fig2 ())
+          (solve_inputs board))
+  in
+  Alcotest.(check bool) "outputs solved" true (outs <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option int))
+        "no trace tag on outputs" None
+        (Record.tag Obsv.Probe.trace_tag r))
+    outs;
+  let merged =
+    Obsv.Agg.merged_trace col ~local_events:(Obsv.Sink.events ())
+  in
+  Obsv.Sink.clear ();
+  (match Obsv.Export.validate (Obsv.Export.render merged) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged trace invalid: %s" e);
+  let starts, ends =
+    List.fold_left
+      (fun (s, e) -> function
+        | Obsv.Export.Flow_start { id; _ } -> (id :: s, e)
+        | Obsv.Export.Flow_end { id; _ } -> (s, id :: e)
+        | _ -> (s, e))
+      ([], []) merged
+  in
+  Alcotest.(check bool) "cut-edge flows present" true (starts <> []);
+  Alcotest.(check (list int))
+    "every flow start meets exactly one end"
+    (List.sort compare starts) (List.sort compare ends)
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -632,4 +753,8 @@ let suite =
       test_worker_kill_fail_fast;
     Alcotest.test_case "worker kill -> retry recovers" `Quick
       test_worker_kill_retry_recovers;
+    Alcotest.test_case "collector survives worker death (all policies)" `Quick
+      test_collector_survives_worker_death;
+    Alcotest.test_case "trace propagation: tags stripped, flows pair up"
+      `Quick test_trace_propagation_loopback;
   ]

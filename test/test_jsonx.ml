@@ -1,0 +1,177 @@
+(* Obsv.Jsonx edge cases. This codec backs every BENCH_*.json
+   artifact, the snet_top snapshot files and the serve HTTP gateway,
+   so it gets its own fuzz: escape handling, deep nesting, duplicate
+   keys, and a QCheck render/parse round-trip over arbitrary
+   documents. *)
+
+module J = Obsv.Jsonx
+
+let parse_ok s =
+  match J.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+(* --- string escapes ------------------------------------------------ *)
+
+let test_escaped_strings () =
+  (* Every escape form JSON defines, incl. \u with hex digits of both
+     cases, and a raw control byte the renderer must re-escape. *)
+  let cases =
+    [
+      ({|"\n\t\r\b\f"|}, "\n\t\r\b\012");
+      ({|"\\\"\/"|}, {|\"/|});
+      ({|"Az"|}, "Az");
+      ({|"é"|}, "\xc3\xa9");
+      (* é as UTF-8 *)
+      ({|"€"|}, "\xe2\x82\xac");
+      (* € as three-byte UTF-8 *)
+      ({|"\u0041"|}, "A");
+      ({|"\u00e9"|}, "\xc3\xa9");
+      ({|"\u20ac"|}, "\xe2\x82\xac");
+      ({|"mixed A and plain"|}, "mixed A and plain");
+    ]
+  in
+  List.iter
+    (fun (doc, want) ->
+      match parse_ok doc with
+      | J.Str got -> Alcotest.(check string) doc want got
+      | _ -> Alcotest.failf "%s did not parse to a string" doc)
+    cases;
+  (* Render must escape what it writes: control chars, quote,
+     backslash — and the result must parse back to the same value. *)
+  let nasty = "quote\" backslash\\ newline\n nul\x00 tab\t" in
+  let doc = J.render (J.Str nasty) in
+  (match J.parse doc with
+  | Ok (J.Str got) -> Alcotest.(check string) "nasty round-trip" nasty got
+  | Ok _ -> Alcotest.fail "nasty rendered to a non-string"
+  | Error e -> Alcotest.failf "nasty render does not parse: %s" e);
+  (* Malformed escapes are rejected, not silently dropped. *)
+  List.iter
+    (fun bad ->
+      match J.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed %s" bad)
+    [ {|"\q"|}; {|"\u12"|}; {|"\u12g4"|}; "\"unterminated" ]
+
+(* --- deep nesting -------------------------------------------------- *)
+
+let test_deep_nesting () =
+  let depth = 500 in
+  let doc =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "1"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let v = parse_ok doc in
+  let rec unwrap n = function
+    | J.List [ inner ] -> unwrap (n + 1) inner
+    | J.Num f when f = 1.0 -> n
+    | _ -> Alcotest.fail "unexpected shape while unwrapping"
+  in
+  Alcotest.(check int) "500 levels survive" depth (unwrap 0 v);
+  (* And the same document survives our own renderer. *)
+  Alcotest.(check bool)
+    "deep render reparses" true
+    (match J.parse (J.render v) with Ok v' -> v' = v | Error _ -> false);
+  (* Deep objects too. *)
+  let odoc =
+    String.concat "" (List.init depth (fun _ -> {|{"k":|}))
+    ^ "null"
+    ^ String.concat "" (List.init depth (fun _ -> "}"))
+  in
+  let rec ounwrap n = function
+    | J.Obj [ ("k", inner) ] -> ounwrap (n + 1) inner
+    | J.Null -> n
+    | _ -> Alcotest.fail "unexpected object shape"
+  in
+  Alcotest.(check int) "500 object levels" depth (ounwrap 0 (parse_ok odoc))
+
+(* --- duplicate keys ------------------------------------------------ *)
+
+let test_duplicate_keys () =
+  match parse_ok {|{"a":1,"b":2,"a":3}|} with
+  | J.Obj fields ->
+      (* The parser preserves duplicates in order; [member] answers
+         with the first binding, the way most JSON consumers do. *)
+      Alcotest.(check int) "all bindings kept" 3 (List.length fields);
+      Alcotest.(check (list string))
+        "order preserved" [ "a"; "b"; "a" ] (List.map fst fields);
+      (match J.member "a" (J.Obj fields) with
+      | Some (J.Num f) -> Alcotest.(check int) "member = first" 1
+            (int_of_float f)
+      | _ -> Alcotest.fail "member \"a\" missing")
+  | _ -> Alcotest.fail "not an object"
+
+(* --- QCheck render/parse round-trip -------------------------------- *)
+
+(* Arbitrary documents: finite floats only (JSON has no NaN/inf — the
+   renderer degrades NaN to null by design, so it is excluded rather
+   than asserted on) and printable-plus-control strings to exercise
+   the escaper. *)
+let gen_doc =
+  let open QCheck.Gen in
+  let gen_float =
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        map (fun f -> if Float.is_finite f then f else 0.5) float;
+        return 0.25;
+        return (-1.5e-7);
+      ]
+  in
+  let gen_string =
+    string_size ~gen:(map Char.chr (int_range 0 127)) (int_range 0 12)
+  in
+  let base =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun f -> J.Num f) gen_float;
+        map (fun s -> J.Str s) gen_string;
+      ]
+  in
+  let doc =
+    fix
+      (fun self depth ->
+        if depth = 0 then base
+        else
+          frequency
+            [
+              (2, base);
+              ( 1,
+                map (fun l -> J.List l) (list_size (int_range 0 4)
+                  (self (depth - 1))) );
+              ( 1,
+                map
+                  (fun kvs -> J.Obj kvs)
+                  (list_size (int_range 0 4)
+                     (pair gen_string (self (depth - 1)))) );
+            ])
+      3
+  in
+  doc
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"jsonx: parse (render v) = v" ~count:500
+    (QCheck.make gen_doc) (fun v ->
+      match J.parse (J.render v) with
+      | Ok v' -> v' = v
+      | Error _ -> false)
+
+let prop_roundtrip_indent =
+  QCheck.Test.make ~name:"jsonx: indented render parses to v" ~count:200
+    (QCheck.make gen_doc) (fun v ->
+      match J.parse (J.render ~indent:true v) with
+      | Ok v' -> v' = v
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "string escapes in and out" `Quick test_escaped_strings;
+    Alcotest.test_case "500-deep arrays and objects" `Quick test_deep_nesting;
+    Alcotest.test_case "duplicate keys preserved, member takes first" `Quick
+      test_duplicate_keys;
+    Seeded.to_alcotest prop_roundtrip;
+    Seeded.to_alcotest prop_roundtrip_indent;
+  ]

@@ -396,6 +396,218 @@ let prop_stats_relaxed =
       && final.Snet.Stats.records_emitted = ndomains * per
       && final.Snet.Stats.backpressure_stalls = ndomains * per)
 
+(* --- cluster aggregation (Agg / Health / Prom) --------------------- *)
+
+(* Two distinct raw snapshots built by really recording, then merged:
+   counts vector-add, maxima take the max, and the identity holds. *)
+let test_agg_merge_vector_add () =
+  let raw_a =
+    with_metrics (fun () ->
+        Probe.span_end ~cat:"box" ~name:"m" (Sink.now () -. 1e-6);
+        Probe.span_end ~cat:"box" ~name:"m" (Sink.now () -. 1e-6);
+        Probe.edge_send ~name:"/e" ~depth:4;
+        Metrics.raw_snapshot ())
+  in
+  let raw_b =
+    with_metrics (fun () ->
+        Probe.span_end ~cat:"box" ~name:"m" (Sink.now () -. 2e-3);
+        Probe.edge_send ~name:"/e" ~depth:9;
+        Probe.edge_stall ~name:"/e";
+        Metrics.raw_snapshot ())
+  in
+  let merged = Metrics.merge_raw raw_a raw_b in
+  let span key raw = List.assoc key raw.Metrics.raw_spans in
+  let key = "box\000m" in
+  let count r =
+    Array.fold_left ( + ) 0 (span key r).Metrics.r_buckets
+  in
+  Alcotest.(check int) "span counts add" (count raw_a + count raw_b)
+    (count merged);
+  Alcotest.(check int) "total_ns adds"
+    ((span key raw_a).Metrics.r_total_ns + (span key raw_b).Metrics.r_total_ns)
+    (span key merged).Metrics.r_total_ns;
+  Alcotest.(check int) "max_ns is max"
+    (max (span key raw_a).Metrics.r_max_ns (span key raw_b).Metrics.r_max_ns)
+    (span key merged).Metrics.r_max_ns;
+  let edge r = List.assoc "/e" r.Metrics.raw_edges in
+  Alcotest.(check int) "edge sends add" 2 (edge merged).Metrics.r_sends;
+  Alcotest.(check int) "edge stalls add" 1 (edge merged).Metrics.r_stalls;
+  Alcotest.(check int) "edge hwm is max" 9 (edge merged).Metrics.r_hwm;
+  Alcotest.(check bool) "empty_raw is left identity" true
+    (Metrics.merge_raw Metrics.empty_raw raw_a = raw_a);
+  Alcotest.(check bool) "empty_raw is right identity" true
+    (Metrics.merge_raw raw_a Metrics.empty_raw = raw_a);
+  Alcotest.(check bool) "merge commutes" true
+    (Metrics.merge_raw raw_a raw_b = Metrics.merge_raw raw_b raw_a)
+
+(* Report and chunk codecs: byte round-trip of a populated report
+   (exercising the sparse bucket-array encoding) and of a slim one. *)
+let test_agg_report_codec () =
+  let report =
+    with_metrics (fun () ->
+        for _ = 1 to 100 do
+          Probe.span_end ~cat:"box" ~name:"rt" (Sink.now () -. 1e-5)
+        done;
+        Probe.edge_send ~name:"/cut" ~depth:7;
+        Obsv.Agg.self_report ~part:3 ~hello_ts:123.456 ())
+  in
+  Alcotest.(check bool) "report carries metrics" true
+    (report.Obsv.Agg.metrics.Metrics.raw_spans <> []);
+  (match Obsv.Agg.decode_report (Obsv.Agg.encode_report report) with
+  | Ok r -> Alcotest.(check bool) "report round-trips" true (r = report)
+  | Error e -> Alcotest.failf "report decode failed: %s" e);
+  let slim = Obsv.Agg.self_report ~slim:true ~part:1 ~hello_ts:1. () in
+  Alcotest.(check bool) "slim report ships empty metrics" true
+    (slim.Obsv.Agg.metrics = Metrics.empty_raw);
+  (match Obsv.Agg.decode_report (Obsv.Agg.encode_report slim) with
+  | Ok r -> Alcotest.(check bool) "slim round-trips" true (r = slim)
+  | Error e -> Alcotest.failf "slim decode failed: %s" e);
+  match Obsv.Agg.decode_report "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded as a report"
+
+let test_agg_chunk_codec () =
+  let chunk =
+    with_sink (fun () ->
+        let t0 = Probe.span_start () in
+        Probe.span_end ~cat:"box" ~name:"c" t0;
+        Probe.instant ~cat:"pool" ~name:"steal" ~value:2 ();
+        Obsv.Agg.self_chunk ~part:2 ~hello_ts:9.75 ())
+  in
+  Alcotest.(check int) "chunk carries the events" 3
+    (List.length chunk.Obsv.Agg.c_events);
+  match Obsv.Agg.decode_chunk (Obsv.Agg.encode_chunk chunk) with
+  | Ok c -> Alcotest.(check bool) "chunk round-trips" true (c = chunk)
+  | Error e -> Alcotest.failf "chunk decode failed: %s" e
+
+(* Health registry: derivation, upsert and JSON. *)
+let test_health_registry () =
+  Obsv.Health.clear ();
+  let p0 =
+    Obsv.Health.make ~queue_depth:5 ~window:32 ~credits_free:12 ~sends:200
+      ~stalls:10 ~batch_p50:3 ~batch_p95:17 ~journal_lag:4 ~part:0 ()
+  in
+  Alcotest.(check bool) "stall rate derived" true
+    (abs_float (p0.Obsv.Health.stall_rate -. 0.05) < 1e-9);
+  let p1 =
+    Obsv.Health.make ~alive:false ~reason:"connection lost" ~part:1 ()
+  in
+  Obsv.Health.set [ p1; p0 ];
+  (match Obsv.Health.get () with
+  | [ a; b ] ->
+      Alcotest.(check int) "sorted by part" 0 a.Obsv.Health.part;
+      Alcotest.(check bool) "dead row kept" false b.Obsv.Health.alive;
+      Alcotest.(check string) "reason kept" "connection lost"
+        b.Obsv.Health.reason
+  | l -> Alcotest.failf "expected 2 rows, got %d" (List.length l));
+  Obsv.Health.update { p0 with Obsv.Health.queue_depth = 9 };
+  (match Obsv.Health.get () with
+  | a :: _ -> Alcotest.(check int) "upsert replaces" 9 a.Obsv.Health.queue_depth
+  | [] -> Alcotest.fail "registry emptied by upsert");
+  List.iter
+    (fun p ->
+      match Obsv.Health.of_json (Obsv.Health.to_json p) with
+      | Some p' -> Alcotest.(check bool) "health json round-trips" true (p' = p)
+      | None -> Alcotest.fail "health row did not parse back")
+    (Obsv.Health.get ());
+  Obsv.Health.clear ();
+  Alcotest.(check int) "clear empties" 0 (List.length (Obsv.Health.get ()))
+
+(* Prometheus exposition: structurally valid lines, the partition
+   series present, and label values escaped. *)
+let test_prom_render () =
+  let snap =
+    with_metrics (fun () ->
+        Probe.span_end ~cat:"box" ~name:{|odd"name\with|} (Sink.now () -. 1e-5);
+        Probe.edge_send ~name:"/cut:0" ~depth:3;
+        Metrics.snapshot ())
+  in
+  let parts =
+    [
+      Obsv.Health.make ~queue_depth:2 ~window:32 ~credits_free:30 ~sends:10
+        ~journal_lag:1 ~part:0 ();
+      Obsv.Health.make ~alive:false ~reason:"killed" ~part:1 ();
+    ]
+  in
+  let text = Obsv.Prom.render ~parts snap in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        (* name{labels} value  |  name value *)
+        let sp =
+          match String.rindex_opt line ' ' with
+          | Some i -> i
+          | None -> Alcotest.failf "no value separator: %s" line
+        in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        if float_of_string_opt value = None then
+          Alcotest.failf "unparseable value in: %s" line
+      end)
+    lines;
+  let has needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition has %s" needle) true
+        (has needle))
+    [
+      "snet_span_latency_seconds";
+      "snet_partition_queue_depth{part=\"0\"}";
+      "snet_partition_up{part=\"1\"} 0";
+      "snet_partition_journal_lag{part=\"0\"}";
+      (* Escaped quote and backslash inside a label value. *)
+      {|odd\"name\\with|};
+    ]
+
+(* Collector: hello/report/death bookkeeping feeding cluster and its
+   JSON round-trip. Reports from this very process are same-pid and
+   must be skipped during metric merging but count for liveness. *)
+let test_agg_collector_cluster () =
+  let col = Obsv.Agg.create () in
+  Obsv.Agg.note_hello col ~part:0;
+  Obsv.Agg.note_hello col ~part:1;
+  let rep =
+    with_metrics (fun () ->
+        Probe.span_end ~cat:"box" ~name:"col" (Sink.now () -. 1e-5);
+        Obsv.Agg.self_report ~part:0 ~hello_ts:(Sink.now ()) ())
+  in
+  Obsv.Agg.note_report col rep;
+  (* A "remote" report: same bytes, different pid, fresh metrics. *)
+  let remote = { rep with Obsv.Agg.part = 1; pid = rep.Obsv.Agg.pid + 1 } in
+  Obsv.Agg.note_report col remote;
+  Obsv.Agg.note_gauges col ~part:1 ~queue:5 ~credits:27 ~window:32;
+  Obsv.Agg.note_death col ~part:1 ~reason:"test kill";
+  let cl = Obsv.Agg.cluster col in
+  Alcotest.(check int) "both workers seen" 2 cl.Obsv.Agg.workers_seen;
+  (match
+     List.find_opt (fun p -> p.Obsv.Health.part = 1) cl.Obsv.Agg.parts
+   with
+  | Some p ->
+      Alcotest.(check bool) "dead part flagged" false p.Obsv.Health.alive;
+      Alcotest.(check string) "death reason kept" "test kill"
+        p.Obsv.Health.reason;
+      Alcotest.(check int) "gauges folded in" 5 p.Obsv.Health.queue_depth
+  | None -> Alcotest.fail "part 1 missing from cluster");
+  let j = Obsv.Agg.cluster_to_json cl in
+  Alcotest.(check bool) "sniffs as cluster json" true
+    (Obsv.Agg.is_cluster_json j);
+  Alcotest.(check bool) "plain text does not sniff" false
+    (Obsv.Agg.is_cluster_json "{\"spans\":[]}");
+  match Obsv.Agg.cluster_of_json j with
+  | Ok cl' ->
+      Alcotest.(check int) "json keeps workers_seen" cl.Obsv.Agg.workers_seen
+        cl'.Obsv.Agg.workers_seen;
+      Alcotest.(check int) "json keeps part rows"
+        (List.length cl.Obsv.Agg.parts)
+        (List.length cl'.Obsv.Agg.parts)
+  | Error e -> Alcotest.failf "cluster json round-trip failed: %s" e
+
 let suite =
   [
     Alcotest.test_case "sink records spans, instants, counters, edges" `Quick
@@ -422,5 +634,17 @@ let suite =
       test_metrics_without_sink;
     Alcotest.test_case "jsonx parses and rejects malformed input" `Quick
       test_jsonx;
+    Alcotest.test_case "agg: raw merge is vector addition" `Quick
+      test_agg_merge_vector_add;
+    Alcotest.test_case "agg: report codec round-trips (sparse buckets)" `Quick
+      test_agg_report_codec;
+    Alcotest.test_case "agg: trace chunk codec round-trips" `Quick
+      test_agg_chunk_codec;
+    Alcotest.test_case "health registry derives, upserts, round-trips" `Quick
+      test_health_registry;
+    Alcotest.test_case "prometheus exposition renders and escapes" `Quick
+      test_prom_render;
+    Alcotest.test_case "agg: collector cluster snapshot + json" `Quick
+      test_agg_collector_cluster;
     Seeded.to_alcotest prop_stats_relaxed;
   ]
