@@ -60,6 +60,19 @@ echo "== durability smoke =="
 # serve recovery replay, recorded into BENCH_durable.json.
 dune build @durable-smoke
 
+echo "== elasticity smoke =="
+# Elastic test tier (planner units, balancer end-to-end runs, the
+# 100+-schedule live-migration crash-point matrix) plus the
+# rebalancing benchmark: the sharded reference net with a throttled
+# hot partition, skewed vs balanced (at least one migration must
+# fire, per-migration downtime bar <= 2s enforced, both runs
+# multiset-checked against the sequential engine), recorded into
+# BENCH_elastic.json. Tops off with a real multi-process sharded
+# solve with the balancer attached.
+dune build @elastic-smoke
+./_build/default/bin/snet_sudoku.exe --network shard --shards 2 \
+  --workers 4 --count 200 --rebalance > /dev/null
+
 echo "== detcheck seed matrix: $SEEDS =="
 dune build @detcheck   # default seed, exercises the alias itself
 for seed in $SEEDS; do

@@ -50,6 +50,12 @@
                    percentiles, acceptance: p99 <= 100ms) plus a
                    SIGTERM graceful-drain check with sessions held
                    open. Emits BENCH_serve.json.
+     elastic       Elasticity layer: the sharded reference net with a
+                   throttled hot partition, run skewed vs with the
+                   health-driven balancer attached (acceptance: at
+                   least one live migration fires and per-migration
+                   downtime stays <= 2s; both runs multiset-identical
+                   to the sequential engine). Emits BENCH_elastic.json.
 
    Run all:        dune exec bench/main.exe
    Run one:        dune exec bench/main.exe -- fig3-sweep *)
@@ -2007,6 +2013,180 @@ let exp_durable () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* elastic: live repartitioning of a skewed sharded net                *)
+
+(* The reference elasticity workload: the shard net (route .. (work !!
+   <t>) @shards 2 .. merge) planned by Elastic.Plan, with partition 0
+   — the route segment every record crosses — throttled to simulate a
+   hot worker. Run once with nobody watching (the skewed baseline) and
+   once with the health-driven balancer attached, which must notice
+   the congested partition and migrate it onto a fresh, unthrottled
+   worker. Both runs must stay multiset-identical to the sequential
+   engine; the per-migration downtime bar catches freeze/restore
+   stalls, not scheduling jitter. *)
+
+let exp_elastic () =
+  Printf.printf
+    "\n== elastic: health-driven rebalancing of a skewed shard net ==\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let n = if smoke then 400 else 1200 in
+  let throttle_us = 4000 in
+  let downtime_bar_s = 2.0 in
+  let shards = 2 in
+  let net () = Sudoku.Networks.shard ~shards () in
+  let plan =
+    match Elastic.Plan.of_net ~workers:4 (net ()) with
+    | Ok p -> p
+    | Error e ->
+        Printf.eprintf "elastic: planning the shard net failed: %s\n" e;
+        exit 1
+  in
+  Printf.printf "  plan: %s over %d partitions\n" (Dist.Plan.to_string plan)
+    (Dist.Plan.parts plan);
+  let inputs =
+    List.init n (fun i -> Snet.Record.with_tag "x" i Snet.Record.empty)
+  in
+  let expect =
+    List.sort compare
+      (List.map Dist.Wire.render (Snet.Engine_seq.run (net ()) inputs))
+  in
+  let check_outputs label outs =
+    let got = List.sort compare (List.map Dist.Wire.render outs) in
+    if got <> expect then begin
+      Printf.eprintf
+        "elastic: %s run diverged from the sequential engine (%d records, \
+         expected %d)\n"
+        label (List.length got) (List.length expect);
+      exit 1
+    end
+  in
+  (* (a) Skewed baseline: the hot partition stays where it is. *)
+  let t0 = Unix.gettimeofday () in
+  let outs =
+    Dist.Engine_dist.run
+      ~workers:(Dist.Plan.parts plan)
+      ~plan
+      ~worker_throttle:(0, throttle_us)
+      (net ()) inputs
+  in
+  let skewed_s = Unix.gettimeofday () -. t0 in
+  check_outputs "skewed" outs;
+  (* (b) Same skew with the balancer watching the health rows. The
+     respawned worker is a fresh spawn, so the throttle (first-spawn
+     only) does not follow the partition to its new home. *)
+  let moves = ref [] in
+  let moves_mu = Mutex.create () in
+  let collector = Obsv.Agg.create () in
+  let policy =
+    {
+      Elastic.Balancer.default_policy with
+      tick = 0.05;
+      queue_hi = 4;
+      sustain = 2;
+      cooldown = 0.5;
+      max_migrations = 2;
+    }
+  in
+  let balancer = ref None in
+  let t0 = Unix.gettimeofday () in
+  let outs =
+    Dist.Engine_dist.run
+      ~workers:(Dist.Plan.parts plan)
+      ~plan
+      ~worker_throttle:(0, throttle_us)
+      ~collector
+      ~on_handle:(fun h ->
+        balancer :=
+          Some
+            (Elastic.Balancer.start ~policy
+               ~on_migrate:(fun ~part r ->
+                 Mutex.lock moves_mu;
+                 moves := (part, r) :: !moves;
+                 Mutex.unlock moves_mu)
+               ~collector ~handle:h ()))
+      (net ()) inputs
+  in
+  let rebalanced_s = Unix.gettimeofday () -. t0 in
+  (match !balancer with Some b -> Elastic.Balancer.stop b | None -> ());
+  check_outputs "rebalanced" outs;
+  let moves = List.rev !moves in
+  let downtimes =
+    List.filter_map (function _, Ok d -> Some d | _, Error _ -> None) moves
+  in
+  List.iter
+    (function
+      | part, Ok d ->
+          Printf.printf "  migrated partition %d: downtime %s\n" part
+            (pretty_ns (d *. 1e9))
+      | part, Error e ->
+          Printf.printf "  migration of partition %d refused: %s\n" part e)
+    moves;
+  let max_downtime = List.fold_left Float.max 0. downtimes in
+  let before_rps = float_of_int n /. skewed_s in
+  let after_rps = float_of_int n /. rebalanced_s in
+  let speedup = skewed_s /. rebalanced_s in
+  let rows =
+    [
+      ("/elastic/skewed", skewed_s *. 1e9);
+      ("/elastic/rebalanced", rebalanced_s *. 1e9);
+    ]
+    @ List.mapi
+        (fun i d -> (Printf.sprintf "/elastic/migration-%d" i, d *. 1e9))
+        downtimes
+  in
+  Printf.printf
+    "\n\
+    \  skewed (no balancer):   %.3fs  (%.0f records/s)\n\
+    \  rebalanced:             %.3fs  (%.0f records/s)  %.2fx\n\
+    \  migrations: %d moved, max downtime %s (bar: <= %s)\n"
+    skewed_s before_rps rebalanced_s after_rps speedup (List.length downtimes)
+    (pretty_ns (max_downtime *. 1e9))
+    (pretty_ns (downtime_bar_s *. 1e9));
+  if speedup < 1.0 then
+    Printf.printf
+      "  WARNING: the rebalanced run was slower than the skewed baseline \
+       (%.2fx): the migration fired too late to pay for itself on this box\n"
+      speedup;
+  write_bench_json "BENCH_elastic.json"
+    (Obsv.Jsonx.Obj
+       [
+         ("bench", Obsv.Jsonx.Str "elastic");
+         ("smoke", Obsv.Jsonx.Bool smoke);
+         ("records", jint n);
+         ("shards", jint shards);
+         ("parts", jint (Dist.Plan.parts plan));
+         ("plan", Obsv.Jsonx.Str (Dist.Plan.encode plan));
+         ("throttle_us", jint throttle_us);
+         ("skewed_s", jnum skewed_s);
+         ("rebalanced_s", jnum rebalanced_s);
+         ( "records_per_s",
+           Obsv.Jsonx.Obj
+             [ ("skewed", jnum before_rps); ("rebalanced", jnum after_rps) ] );
+         ("speedup", jnum speedup);
+         ("migrations", jint (List.length downtimes));
+         ( "migration_downtimes_s",
+           Obsv.Jsonx.List (List.map (fun d -> jnum d) downtimes) );
+         ("max_downtime_s", jnum max_downtime);
+         ("downtime_bar_s", jnum downtime_bar_s);
+         ("results", jrows rows);
+       ])
+    rows;
+  flush stdout;
+  if downtimes = [] then begin
+    Printf.eprintf
+      "elastic: the balancer never moved the hot partition (%d attempts)\n"
+      (List.length moves);
+    exit 1
+  end;
+  if max_downtime > downtime_bar_s then begin
+    Printf.eprintf
+      "elastic: migration downtime %s exceeds the %s bar\n"
+      (pretty_ns (max_downtime *. 1e9))
+      (pretty_ns (downtime_bar_s *. 1e9));
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2028,6 +2208,7 @@ let experiments =
     ("dist", exp_dist);
     ("serve", exp_serve);
     ("durable", exp_durable);
+    ("elastic", exp_elastic);
   ]
 
 let () =

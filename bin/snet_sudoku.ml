@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-type network_kind = Baseline | Fig1 | Fig2 | Fig3
+type network_kind = Baseline | Fig1 | Fig2 | Fig3 | Shard
 type engine_kind = Seq | Conc | Threads
 
 let load_board puzzle file =
@@ -27,12 +27,13 @@ let load_board puzzle file =
   | None, None -> Sudoku.Puzzles.easy
   | Some _, Some _ -> failwith "give either --puzzle or --file, not both"
 
-let build_network kind pool det throttle cutoff side =
+let build_network kind pool det throttle cutoff side shards spin =
   match kind with
   | Baseline -> None
   | Fig1 -> Some (Sudoku.Networks.fig1 ~pool ~det ())
   | Fig2 -> Some (Sudoku.Networks.fig2 ~pool ~det ())
   | Fig3 -> Some (Sudoku.Networks.fig3 ~pool ~det ~throttle ~cutoff ~side ())
+  | Shard -> Some (Sudoku.Networks.shard ?shards ~spin ())
 
 (* The worker binary lives next to this one (dune puts both in bin/,
    opam install renames to snet-worker); SNET_WORKER_EXE overrides. *)
@@ -54,9 +55,13 @@ let find_worker_exe () =
 
 let run_solver kind engine det throttle cutoff domains workers dist_batch
     kill_worker verbose stats_flag on_error box_timeout trace_out metrics_flag
-    metrics_out metrics_every puzzle file =
+    metrics_out metrics_every shards spin count rebalance puzzle file =
   let board = load_board puzzle file in
   let side = Sudoku.Board.side board in
+  if rebalance && workers <= 0 then begin
+    prerr_endline "snet-sudoku: --rebalance requires --workers";
+    exit 2
+  end;
   (* Observability: the event sink feeds --trace-out, the aggregated
      metrics feed --metrics / --metrics-out (which snet_top reads).
      With --workers a collector aggregates what the worker processes
@@ -64,10 +69,15 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
      (snet_top --cluster) and --trace-out the merged Chrome trace. *)
   if trace_out <> None then Obsv.Sink.enable ();
   if metrics_flag || metrics_out <> None then Obsv.Metrics.enable ();
+  (* --rebalance implies a collector: the balancer feeds on the
+     cluster health rows, and workers only ship reports when the
+     coordinator's Hello asks for observability. *)
+  if rebalance then Obsv.Metrics.enable ();
   let collector =
     if
       workers > 0
-      && (trace_out <> None || metrics_flag || metrics_out <> None)
+      && (rebalance || trace_out <> None || metrics_flag
+        || metrics_out <> None)
     then Some (Obsv.Agg.create ())
     else None
   in
@@ -116,7 +126,7 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
     | policy, timeout -> Some (Snet.Supervise.make ?policy ?timeout ())
   in
   let solutions, errors, label =
-    match build_network kind pool det throttle cutoff side with
+    match build_network kind pool det throttle cutoff side shards spin with
     | None ->
         let outcome = Sudoku.Solver.solve ~pool board in
         let sols =
@@ -125,7 +135,13 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
         in
         (sols, [], "baseline solver")
     | Some net ->
-        let inputs = [ Sudoku.Boxes.inject_board board ] in
+        let inputs =
+          match kind with
+          | Shard ->
+              List.init count (fun i ->
+                  Snet.Record.of_list ~fields:[] ~tags:[ ("x", i) ])
+          | _ -> [ Sudoku.Boxes.inject_board board ]
+        in
         let outputs, label =
           if workers > 0 then begin
             Sudoku.Netspec.register_codecs ();
@@ -134,14 +150,46 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
               | Fig1 -> "fig1"
               | Fig2 -> "fig2"
               | Fig3 -> "fig3"
+              | Shard -> "shard"
               | Baseline -> assert false
             in
             let spec =
               match kind with
               | Fig3 ->
                   Sudoku.Netspec.spec ~det ~throttle ~cutoff ~side name
+              | Shard ->
+                  Sudoku.Netspec.spec ?shards
+                    ?spin:(if spin = 0 then None else Some spin)
+                    name
               | _ -> Sudoku.Netspec.spec ~det name
             in
+            (* The plan: hints (from @place/@shards/@weight, or
+               --shards on the shard network) go through the elastic
+               planner; a hint-free net keeps the legacy contiguous
+               cut. Printed with --stats so placement is visible. *)
+            let plan =
+              if Elastic.Plan.has_hints net then
+                match Elastic.Plan.of_net ~workers net with
+                | Ok p -> Some p
+                | Error e ->
+                    prerr_endline ("snet-sudoku: placement: " ^ e);
+                    exit 2
+              else None
+            in
+            (match (plan, stats_flag) with
+            | Some p, true ->
+                print_string (Elastic.Plan.describe p net)
+            | None, true ->
+                let weights =
+                  List.map
+                    (fun s -> max 1 (Snet.Net.count_boxes s))
+                    (Dist.Engine_dist.segments net)
+                in
+                print_string
+                  (Elastic.Plan.describe
+                     (Dist.Plan.contiguous ~parts:workers ~weights)
+                     net)
+            | _ -> ());
             (* 0 defers to SNET_DIST_BATCH/the default; anything else
                must be a valid cap — a typo like -3 or garbage in a
                wrapper script should fail loudly, not silently run
@@ -157,12 +205,47 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
                     prerr_endline ("snet-sudoku: --dist-batch: " ^ e);
                     exit 2
             in
+            let balancer = ref None in
+            let on_handle =
+              if rebalance then
+                Some
+                  (fun h ->
+                    let col = Option.get collector in
+                    balancer :=
+                      Some
+                        (Elastic.Balancer.start ~collector:col ~handle:h
+                           ~on_migrate:(fun ~part r ->
+                             match r with
+                             | Ok dt ->
+                                 Printf.eprintf
+                                   "rebalance: partition %d migrated in \
+                                    %.3fs\n\
+                                    %!"
+                                   part dt
+                             | Error e ->
+                                 Printf.eprintf
+                                   "rebalance: partition %d not moved: %s\n%!"
+                                   part e)
+                           ()))
+              else None
+            in
             let outputs =
-              Dist.Engine_dist.run_spawned ~worker_exe:(find_worker_exe ())
-                ~spec ~workers ~stats ?supervision ?crash_after:kill_worker
-                ?batch ?collector
-                ~worker_args:[ "--domains"; string_of_int domains ]
-                net inputs
+              Fun.protect
+                ~finally:(fun () ->
+                  match !balancer with
+                  | Some b ->
+                      Elastic.Balancer.stop b;
+                      if Elastic.Balancer.migrations b > 0 then
+                        Printf.printf "rebalance: %d migration(s)\n"
+                          (Elastic.Balancer.migrations b)
+                  | None -> ())
+                (fun () ->
+                  Dist.Engine_dist.run_spawned
+                    ~worker_exe:(find_worker_exe ()) ~spec ~workers ~stats
+                    ?supervision ?crash_after:kill_worker ?batch ?collector
+                    ?plan ?on_handle
+                    ~worker_args:[ "--domains"; string_of_int domains ]
+                    net inputs)
             in
             (outputs, Printf.sprintf "distributed network (%d workers)" workers)
           end
@@ -181,17 +264,25 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
             (outputs, "network")
         in
         let errors = List.filter Snet.Supervise.is_error outputs in
-        (Sudoku.Networks.solved_boards outputs, errors, label)
+        if kind = Shard then begin
+          Printf.printf "shard network: %d record(s) in, %d out\n"
+            (List.length inputs)
+            (List.length outputs - List.length errors);
+          ([], errors, label)
+        end
+        else (Sudoku.Networks.solved_boards outputs, errors, label)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
-  Printf.printf "puzzle (%d givens):\n%s\n" (Sudoku.Board.count_filled board)
-    (Sudoku.Board.to_string board);
-  (match solutions with
-  | [] -> print_endline "no solution found"
-  | first :: rest ->
-      Printf.printf "solution:\n%s\n" (Sudoku.Board.to_string first);
-      if rest <> [] then
-        Printf.printf "(%d further solutions found)\n" (List.length rest));
+  if kind <> Shard then begin
+    Printf.printf "puzzle (%d givens):\n%s\n" (Sudoku.Board.count_filled board)
+      (Sudoku.Board.to_string board);
+    match solutions with
+    | [] -> print_endline "no solution found"
+    | first :: rest ->
+        Printf.printf "solution:\n%s\n" (Sudoku.Board.to_string first);
+        if rest <> [] then
+          Printf.printf "(%d further solutions found)\n" (List.length rest)
+  end;
   List.iter
     (fun r ->
       Printf.printf "error record: box %s failed: %s\n"
@@ -236,7 +327,13 @@ let run_solver kind engine det throttle cutoff domains workers dist_batch
 
 let network_conv =
   Arg.enum
-    [ ("baseline", Baseline); ("fig1", Fig1); ("fig2", Fig2); ("fig3", Fig3) ]
+    [
+      ("baseline", Baseline);
+      ("fig1", Fig1);
+      ("fig2", Fig2);
+      ("fig3", Fig3);
+      ("shard", Shard);
+    ]
 
 let engine_conv = Arg.enum [ ("seq", Seq); ("conc", Conc); ("threads", Threads) ]
 
@@ -356,6 +453,41 @@ let cmd =
       & info [ "metrics-every" ]
           ~doc:"Seconds between --metrics-out snapshots.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "For --network shard: attach an @shards placement hint so \
+             the replication is sharded across $(docv) partitions in \
+             distributed runs (tag-hash routing keeps equal tags on \
+             the same replica).")
+  in
+  let spin =
+    Arg.(
+      value & opt int 0
+      & info [ "spin" ] ~docv:"N"
+          ~doc:
+            "For --network shard: busy-loop $(docv) iterations per \
+             record inside the replicated box.")
+  in
+  let count =
+    Arg.(
+      value & opt int 64
+      & info [ "count" ] ~docv:"N"
+          ~doc:"For --network shard: feed $(docv) input records.")
+  in
+  let rebalance =
+    Arg.(
+      value & flag
+      & info [ "rebalance" ]
+          ~doc:
+            "With --workers: watch partition health and migrate \
+             congested partitions onto fresh workers while the run is \
+             in flight (drain-freeze-respawn; no record lost or \
+             duplicated).")
+  in
   let puzzle =
     Arg.(value & opt (some string) None & info [ "puzzle"; "p" ] ~doc:"Named corpus puzzle.")
   in
@@ -368,6 +500,6 @@ let cmd =
       const run_solver $ network $ engine $ det $ throttle $ cutoff $ domains
       $ workers $ dist_batch $ kill_worker $ verbose $ stats $ on_error
       $ box_timeout $ trace_out $ metrics $ metrics_out $ metrics_every
-      $ puzzle $ file)
+      $ shards $ spin $ count $ rebalance $ puzzle $ file)
 
 let () = exit (Cmd.eval cmd)

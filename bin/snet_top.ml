@@ -81,15 +81,19 @@ let render_cluster (c : Obsv.Agg.cluster) =
   Buffer.add_string b
     (Printf.sprintf "cluster - %d worker report(s) merged\n" c.workers_seen);
   Buffer.add_string b
-    (Printf.sprintf "%4s %-6s %6s %9s %7s %7s %7s %6s %6s %6s %6s %7s\n" "PART"
-       "STATE" "QUEUE" "CREDITS" "SENDS" "RECVS" "STALLS" "RATE" "B-P50"
-       "B-P95" "J-LAG" "AGE");
+    (Printf.sprintf
+       "%4s %-6s %-16s %3s %6s %9s %7s %7s %7s %6s %6s %6s %6s %7s\n" "PART"
+       "STATE" "PLACE" "MIG" "QUEUE" "CREDITS" "SENDS" "RECVS" "STALLS" "RATE"
+       "B-P50" "B-P95" "J-LAG" "AGE");
   List.iter
     (fun (p : Obsv.Health.part) ->
       let state = if p.alive then "up" else clip 6 ("DOWN") in
       Buffer.add_string b
-        (Printf.sprintf "%4d %-6s %6d %5d/%-3d %7d %7d %7d %5.1f%% %6d %6d %6d %6.1fs\n"
-           p.part state p.queue_depth
+        (Printf.sprintf
+           "%4d %-6s %-16s %3d %6d %5d/%-3d %7d %7d %7d %5.1f%% %6d %6d %6d %6.1fs\n"
+           p.part state
+           (clip 16 (if p.place = "" then "-" else p.place))
+           p.migrations p.queue_depth
            (p.window - p.credits_free)
            p.window p.sends p.recvs p.stalls
            (100. *. p.stall_rate)

@@ -198,6 +198,9 @@ let rec build eng path net ~down : target =
             end
       in
       Streams.Actors.spawn eng.sys ~name:path handler
+  (* Placement hints are extra-functional: build the body at the same
+     path so annotated and bare nets capture/restore identically. *)
+  | Net.Place { body; _ } -> build eng path body ~down
   | Net.Observe { tag; body } ->
       let opath = path ^ "/" ^ tag in
       let inner = build eng opath body ~down in

@@ -124,6 +124,9 @@ and compile_node ctx path net : comp =
       fun emit r ->
         observe ctx (path ^ "/" ^ tag) r;
         inner emit r
+  (* Placement hints are extra-functional: compile the body at the
+     same path so annotated and bare nets are indistinguishable. *)
+  | Net.Place { body; _ } -> compile ctx path body
   | Net.Serial (a, b) ->
       let ca = compile ctx (path ^ "/L") a in
       let cb = compile ctx (path ^ "/R") b in

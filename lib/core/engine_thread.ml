@@ -218,6 +218,9 @@ let rec build eng path net ~down : port =
                 end
                 else []
           end)
+  (* Placement hints are extra-functional: build the body at the same
+     path so annotated and bare nets behave identically. *)
+  | Net.Place { body; _ } -> build eng path body ~down
   | Net.Observe { tag; body } ->
       let opath = path ^ "/" ^ tag in
       let inner = build eng opath body ~down in

@@ -1,3 +1,9 @@
+type hints = {
+  place : int option;
+  shards : int option;
+  weight : int option;
+}
+
 type t =
   | Box of Box.t
   | Filter of Filter.t
@@ -7,6 +13,9 @@ type t =
   | Star of { body : t; exit : Pattern.t; det : bool }
   | Split of { body : t; tag : string; det : bool }
   | Observe of { tag : string; body : t }
+  | Place of { hints : hints; body : t }
+
+let no_hints = { place = None; shards = None; weight = None }
 
 let box b = Box b
 let filter f = Filter f
@@ -21,6 +30,29 @@ let choice ?(det = false) left right = Choice { left; right; det }
 let star ?(det = false) body exit = Star { body; exit; det }
 let split ?(det = false) body tag = Split { body; tag; det }
 let observe tag body = Observe { tag; body }
+
+let place ?place:p ?shards ?weight body =
+  let hints = { place = p; shards; weight } in
+  if hints = no_hints then body
+  else
+    match body with
+    | Place { hints = h; body } ->
+        (* Merge nested annotations; inner hints win per-field. *)
+        let pick a b = match a with Some _ -> a | None -> b in
+        Place
+          {
+            hints =
+              {
+                place = pick h.place hints.place;
+                shards = pick h.shards hints.shards;
+                weight = pick h.weight hints.weight;
+              };
+            body;
+          }
+    | _ -> Place { hints; body }
+
+let hints_of = function Place { hints; _ } -> hints | _ -> no_hints
+let rec unplace = function Place { body; _ } -> unplace body | t -> t
 
 let choice_list ?det = function
   | [] -> invalid_arg "Net.choice_list: empty"
@@ -54,6 +86,14 @@ let rec to_string = function
       let op = if det then " ! " else " !! " in
       "(" ^ to_string body ^ op ^ "<" ^ tag ^ ">)"
   | Observe { tag; body } -> "observe[" ^ tag ^ "](" ^ to_string body ^ ")"
+  | Place { hints; body } ->
+      let opt f = function None -> [] | Some v -> [ f v ] in
+      let anns =
+        opt (fun n -> "@place worker=" ^ string_of_int n) hints.place
+        @ opt (fun k -> "@shards " ^ string_of_int k) hints.shards
+        @ opt (fun w -> "@weight " ^ string_of_int w) hints.weight
+      in
+      "(" ^ to_string body ^ " " ^ String.concat " " anns ^ ")"
 
 let rec iter_components f t =
   f t;
@@ -65,7 +105,8 @@ let rec iter_components f t =
   | Choice { left; right; _ } ->
       iter_components f left;
       iter_components f right
-  | Star { body; _ } | Split { body; _ } | Observe { body; _ } ->
+  | Star { body; _ } | Split { body; _ } | Observe { body; _ }
+  | Place { body; _ } ->
       iter_components f body
 
 let rec map_boxes f = function
@@ -77,6 +118,7 @@ let rec map_boxes f = function
   | Star { body; exit; det } -> Star { body = map_boxes f body; exit; det }
   | Split { body; tag; det } -> Split { body = map_boxes f body; tag; det }
   | Observe { tag; body } -> Observe { tag; body = map_boxes f body }
+  | Place { hints; body } -> Place { hints; body = map_boxes f body }
 
 let with_supervision config t =
   map_boxes (Box.with_supervision config) t

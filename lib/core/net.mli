@@ -19,6 +19,15 @@
     order of records across the merge; nondeterministic variants merge
     output streams as soon as records arrive. *)
 
+type hints = {
+  place : int option;  (** [@place worker=N]: pin to partition [N]. *)
+  shards : int option;  (** [@shards k]: shard a [!!] over [k] workers. *)
+  weight : int option;  (** [@weight w]: relative cost for the planner. *)
+}
+(** Extra-functional placement hints (S+Net-style annotations). They
+    never change what a network computes — only where the distributed
+    planner puts it. *)
+
 type t =
   | Box of Box.t
   | Filter of Filter.t
@@ -41,6 +50,10 @@ type t =
       (** Transparent observation point: records entering [body] are
           reported to the engine's observer under [tag]. The paper's
           "all streams can be observed individually". *)
+  | Place of { hints : hints; body : t }
+      (** Placement annotation [body @place ... @shards ... @weight ...].
+          Semantically transparent: every engine runs [body] as if the
+          wrapper were absent; only {!Elastic}'s planner reads it. *)
 
 (** {1 Constructors} *)
 
@@ -63,6 +76,10 @@ val split : ?det:bool -> t -> string -> t
 (** [A !! <tag>]; [~det:true] is [A ! <tag>]. *)
 
 val observe : string -> t -> t
+
+val place : ?place:int -> ?shards:int -> ?weight:int -> t -> t
+(** Attach placement hints. With no hints this is the identity; on an
+    already-annotated body the hints merge (inner wins per field). *)
 
 val choice_list : ?det:bool -> t list -> t
 (** Right-nested parallel composition of two or more networks. *)
@@ -102,3 +119,13 @@ val iter_components : (t -> unit) -> t -> unit
 
 val count_boxes : t -> int
 (** Static box and filter count (replication not expanded). *)
+
+val no_hints : hints
+(** All-[None] hints. *)
+
+val hints_of : t -> hints
+(** The hints on an outermost {!Place} wrapper; {!no_hints} otherwise. *)
+
+val unplace : t -> t
+(** Strip any outermost {!Place} wrappers (not recursive into
+    combinators). *)

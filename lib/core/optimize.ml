@@ -105,6 +105,7 @@ let rec map_net f (net : Net.t) : Net.t =
     | Net.Split { body; tag; det } ->
         Net.Split { body = map_net f body; tag; det }
     | Net.Observe { tag; body } -> Net.Observe { tag; body = map_net f body }
+    | Net.Place { hints; body } -> Net.Place { hints; body = map_net f body }
   in
   f net
 

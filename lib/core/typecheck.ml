@@ -52,6 +52,37 @@ let rec infer net =
         output = Rectype.normalise (sync_merged patterns :: inputs);
       }
   | Net.Observe { body; _ } -> infer body
+  | Net.Place { hints; body } ->
+      (match hints.Net.place with
+      | Some n when n < 0 ->
+          fail "placement hint %s: @place worker=%d is negative"
+            (Net.to_string net) n
+      | _ -> ());
+      (match hints.Net.weight with
+      | Some w when w < 1 ->
+          fail "placement hint %s: @weight %d must be >= 1"
+            (Net.to_string net) w
+      | _ -> ());
+      (match hints.Net.shards with
+      | Some k when k < 1 ->
+          fail "placement hint %s: @shards %d must be >= 1"
+            (Net.to_string net) k
+      | Some _ -> (
+          match Net.unplace body with
+          | Net.Split { det = false; _ } -> ()
+          | Net.Split { det = true; _ } ->
+              fail
+                "placement hint %s: @shards cannot apply to a \
+                 deterministic split (!) — sharding would break its \
+                 causal merge order"
+                (Net.to_string net)
+          | _ ->
+              fail
+                "placement hint %s: @shards only applies to a parallel \
+                 replication (!!)"
+                (Net.to_string net))
+      | None -> ());
+      infer body
   | Net.Serial (a, b) ->
       let sa = infer a and sb = infer b in
       let outputs =
@@ -141,7 +172,7 @@ let rec input_type = function
   | Net.Filter f -> (Filter.signature f).Rectype.input
   | Net.Sync patterns ->
       Rectype.normalise (List.map (fun p -> p.Pattern.variant) patterns)
-  | Net.Observe { body; _ } -> input_type body
+  | Net.Observe { body; _ } | Net.Place { body; _ } -> input_type body
   | Net.Serial (a, _) -> input_type a
   | Net.Choice { left; right; _ } ->
       Rectype.union (input_type left) (input_type right)
@@ -183,7 +214,7 @@ and flow_variant v net =
       (* A record may pass through unchanged (spent or non-matching
          cell) or come out merged with the other stored records. *)
       [ v; Rectype.Variant.union v (sync_merged patterns) ]
-  | Net.Observe { body; _ } -> flow_variant v body
+  | Net.Observe { body; _ } | Net.Place { body; _ } -> flow_variant v body
   | Net.Serial (a, b) -> flow (flow_variant v a) b
   | Net.Choice { left; right; _ } ->
       let sl = variant_score (input_type left) v in

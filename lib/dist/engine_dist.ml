@@ -124,7 +124,39 @@ let rec drop n l =
 let attempt_send conn msg =
   try Transport.send conn (Proto.encode msg) with _ -> ()
 
-let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
+(* The subnet a partition runs, under a placement plan when the Hello
+   carries one (decode already validated plan/parts consistency), or
+   the legacy box-count-balanced contiguous cut otherwise. Both sides
+   derive the layout from the same pure inputs, so coordinator and
+   workers provably agree. *)
+let subnet_for ~plan ~part ~parts net =
+  if plan = "" then begin
+    let segs = partition ~parts net in
+    if List.length segs <> parts then
+      failwith
+        (Printf.sprintf
+           "partition disagreement: coordinator expects %d parts, local \
+            network yields %d"
+           parts (List.length segs));
+    List.nth segs part
+  end
+  else
+    match Plan.decode plan with
+    | Error e -> failwith e
+    | Ok p ->
+        let segs = Array.of_list (segments net) in
+        if Plan.nsegs p <> Array.length segs then
+          failwith
+            (Printf.sprintf
+               "plan disagreement: plan covers %d segments, local network \
+                yields %d"
+               (Plan.nsegs p) (Array.length segs));
+        let lo, hi = Plan.segments_of_part p part in
+        Snet.Net.serial_list
+          (Array.to_list (Array.sub segs lo (hi - lo + 1)))
+
+let serve ?pool ?tap ?(report_every = 0.5) ?throttle_us
+    ?(die_in_freeze = false) ~conn ~resolve () =
   let cleanup () = Transport.close conn in
   match Transport.recv conn with
   | `Closed -> cleanup ()
@@ -157,13 +189,10 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
           let prepared =
             try
               let net = resolve h.Proto.spec in
-              let segs = partition ~parts:h.Proto.parts net in
-              if List.length segs <> h.Proto.parts then
-                failwith
-                  (Printf.sprintf
-                     "partition disagreement: coordinator expects %d parts, \
-                      local network yields %d"
-                     h.Proto.parts (List.length segs));
+              let subnet =
+                subnet_for ~plan:h.Proto.plan ~part:h.Proto.part
+                  ~parts:h.Proto.parts net
+              in
               let supervision =
                 if h.Proto.policy = "" && h.Proto.timeout = None then None
                 else
@@ -176,7 +205,7 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
                   in
                   Some (Snet.Supervise.make ~policy ?timeout:h.Proto.timeout ())
               in
-              Ok (List.nth segs h.Proto.part, supervision)
+              Ok (subnet, supervision)
             with e -> Error (Printexc.to_string e)
           in
           match prepared with
@@ -188,7 +217,23 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
               let ctx = Wire.ctx () in
               let part = h.Proto.part in
               let batch = max 1 h.Proto.batch in
-              let inst = Snet.Engine_conc.start ?pool ?supervision subnet in
+              (* The engine instance starts lazily so a [Restore] frame
+                 arriving right after the handshake (a migrated-in
+                 partition) can seed the captured state of its
+                 predecessor before any component is built. *)
+              let restore = ref None in
+              let inst_ref = ref None in
+              let inst () =
+                match !inst_ref with
+                | Some i -> i
+                | None ->
+                    let i =
+                      Snet.Engine_conc.start ?pool ?supervision
+                        ?restore:!restore subnet
+                    in
+                    inst_ref := Some i;
+                    i
+              in
               let sent = ref 0 and consumed = ref 0 in
               let report_msg () =
                 Proto.encode
@@ -247,7 +292,7 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
               (* finish accumulates all outputs so far; collect only
                  the fresh suffix, as batch-capped envelopes. *)
               let fresh_out_msgs () =
-                let outs = Snet.Engine_conc.finish inst in
+                let outs = Snet.Engine_conc.finish (inst ()) in
                 let fresh = drop !sent outs in
                 sent := List.length outs;
                 if Obsv.Sink.events_on () then
@@ -266,6 +311,13 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
                 incr consumed;
                 if h.Proto.crash_after >= 0 && !consumed > h.Proto.crash_after
                 then raise Crash_injected;
+                (* Sick-worker simulation: a fixed per-record stall, so
+                   a deliberately skewed partition shows up in the
+                   health feed (queue depth, stall rate) and the
+                   balancer has something real to migrate away from. *)
+                (match throttle_us with
+                | Some us when us > 0 -> Thread.delay (float_of_int us /. 1e6)
+                | _ -> ());
                 (match tap with
                 | Some f -> f ~edge:in_edge r
                 | None -> ());
@@ -277,7 +329,7 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
                       Obsv.Probe.flow_end ~cat:"dist" ~name:"rec"
                         ~id:((t * 1024) + (2 * part))
                   | None -> ());
-                Snet.Engine_conc.feed inst r;
+                Snet.Engine_conc.feed (inst ()) r;
                 Obsv.Probe.span_end ~cat:"dist" ~name:"worker.record" sp
               in
               (* Outputs, then the credit grant for the whole input
@@ -310,10 +362,55 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
                           @ [ Proto.encode Proto.Done ]);
                         loop ()
                     | Ok Proto.Shutdown -> ()
+                    | Ok (Proto.Restore { state }) ->
+                        (* Only meaningful before the engine exists:
+                           restored state must seed a fresh instance. *)
+                        if !inst_ref <> None then
+                          attempt_send conn
+                            (Proto.Crash
+                               "protocol error: Restore after the engine \
+                                started")
+                        else begin
+                          match Statecodec.decode state with
+                          | Ok st ->
+                              restore := Some st;
+                              loop ()
+                          | Error e ->
+                              attempt_send conn
+                                (Proto.Crash ("bad restore state: " ^ e))
+                        end
+                    | Ok Proto.Migrate ->
+                        (* Freeze for live repartitioning. Everything
+                           received so far has been consumed and its
+                           outputs/credits flushed (this loop is
+                           strictly sequential), so the engine is
+                           quiescent: flush any remaining outputs,
+                           capture, ack, and stop — nothing is sent
+                           after the Freeze_ack. *)
+                        if die_in_freeze then raise Crash_injected;
+                        let state =
+                          match !inst_ref with
+                          | None ->
+                              (* Never started: hand back whatever we
+                                 were seeded with (a twice-migrated
+                                 partition must not lose its state). *)
+                              Statecodec.encode
+                                (Option.value !restore
+                                   ~default:Snet.Netstate.empty)
+                          | Some i ->
+                              let outs = fresh_out_msgs () in
+                              if outs <> [] then
+                                Transport.send_many conn outs;
+                              Statecodec.encode (Snet.Engine_conc.capture i)
+                        in
+                        Transport.send_many conn
+                          ((if shipping then [ report_msg () ] else [])
+                          @ [ Proto.encode (Proto.Freeze_ack { state }) ])
                     | Ok (Proto.Hello _ | Proto.Hello_ack _ | Proto.Credit _
                          | Proto.Done | Proto.Crash _ | Proto.Open_session _
                          | Proto.Session_ack _ | Proto.Close_session _
-                         | Proto.Metrics_report _ | Proto.Trace_chunk _) ->
+                         | Proto.Metrics_report _ | Proto.Trace_chunk _
+                         | Proto.Freeze_ack _) ->
                         loop ()
                     | Error e -> attempt_send conn (Proto.Crash ("protocol error: " ^ e)))
               in
@@ -344,7 +441,14 @@ let serve ?pool ?tap ?(report_every = 0.5) ~conn ~resolve () =
 (* ------------------------------------------------------------------ *)
 (* Coordinator                                                         *)
 
-type wst = Alive | Respawning | Dead
+type wst =
+  | Alive
+  | Respawning
+  | Migrating
+      (* Frozen for live repartitioning: the pump parks (it only sends
+         to [Alive] workers) while producers keep enqueueing onto
+         [pending], bounded by the credit window as usual. *)
+  | Dead
 
 type wstate = {
   idx : int;
@@ -371,7 +475,17 @@ type wstate = {
      crash — only the credit was lost — and must NOT be resent. *)
   mutable watermark : int;
   mutable retries_left : int;
+  (* Migration rendezvous between the reader (which receives the
+     Freeze_ack or observes the death) and the migrating thread. *)
+  mutable freeze_state : string option;
+  mutable freeze_failed : bool;
+  mutable migrations : int;
 }
+
+(* One pipeline stage of the placement plan, in routing form: the
+   stage owns partitions [r_base .. r_base + r_width - 1]; [r_tag] is
+   the split tag a sharded stage routes on. *)
+type stage_route = { r_base : int; r_width : int; r_tag : string option }
 
 type coord = {
   mu : Mutex.t;
@@ -391,9 +505,17 @@ type coord = {
   (* Cluster-observability sink: worker reports and trace chunks land
      here; [None] keeps the shipping path fully disabled. *)
   collector : Obsv.Agg.collector option;
+  (* The placement plan in routing form; [stage_of.(i)] is the stage
+     partition [i] belongs to. *)
+  stages : stage_route array;
+  stage_of : int array;
   mutable next_seq : int;
   mutable outputs_rev : Snet.Record.t list;
   mutable failure : string option;
+  (* Reader threads spawned after a migration; joined at run end. *)
+  mutable aux : Thread.t list;
+  (* Set once the run is over: migrations are refused from then on. *)
+  mutable closed : bool;
 }
 
 let edge_in i = Printf.sprintf "dist:w%d.in" i
@@ -454,7 +576,7 @@ let send_data c i r =
               | Snet.Supervise.Error_record | Snet.Supervise.Retry _ ->
                   stamp_dead c i r "worker died";
                   Condition.broadcast c.cv)
-          | Alive | Respawning ->
+          | Alive | Respawning | Migrating ->
               (* Trace ingress: stamp a fresh trace id only if the
                  record doesn't already carry one — a record forwarded
                  from an upstream partition keeps its id, which is what
@@ -488,29 +610,66 @@ let send_data c i r =
               Condition.broadcast c.cv)
   end
 
-(* Everything upstream of partition [i] has been delivered: mark
-   end-of-stream; the pump sends the wire Eof after draining pending.
-   Dead partitions are skipped so the marker propagates. *)
-let rec finish_upstream c i =
-  if i < c.parts then begin
-    let w = c.ws.(i) in
-    let skip =
-      locked c (fun () ->
-          if w.eof_requested then false
-          else begin
-            w.eof_requested <- true;
-            Condition.broadcast c.cv;
-            w.st = Dead
-          end)
+(* Route one record into stage [s] (s = stage count means the global
+   output): a width-1 stage has exactly one partition; a shard group
+   hashes the routing tag so equal tag values deterministically reach
+   the same replica partition. A record without the tag goes to shard
+   0 and lets the worker's own split node report it, exactly as a
+   single-process engine would. *)
+let send_stage c s r =
+  if s >= Array.length c.stages || Snet.Supervise.is_error r then
+    (* [send_data] also accepts out-of-range partitions; funnel
+       through it so error records take one path. *)
+    record_output c r
+  else begin
+    let st = c.stages.(s) in
+    let part =
+      if st.r_width = 1 then st.r_base
+      else
+        let v =
+          match st.r_tag with
+          | Some tag -> (
+              match Snet.Record.tag tag r with Some v -> v | None -> 0)
+          | None -> 0
+        in
+        st.r_base + Plan.shard_of ~shards:st.r_width v
     in
-    if skip then finish_upstream c (i + 1)
+    send_data c part r
   end
+
+let stage_members c s =
+  let st = c.stages.(s) in
+  List.init st.r_width (fun k -> c.ws.(st.r_base + k))
+
+(* Everything upstream of stage [s] has been delivered: mark
+   end-of-stream on every partition of the stage; each pump sends the
+   wire Eof after draining its pending queue. A stage whose partitions
+   are all dead is skipped so the marker propagates. *)
+let rec finish_stage c s =
+  if s < Array.length c.stages then begin
+    let all_dead =
+      locked c (fun () ->
+          let members = stage_members c s in
+          List.iter (fun w -> w.eof_requested <- true) members;
+          Condition.broadcast c.cv;
+          List.for_all (fun w -> w.st = Dead) members)
+    in
+    if all_dead then finish_stage c (s + 1)
+  end
+
+(* Must be called under the lock: has stage [s] finished — every
+   partition done or dead, with end-of-stream already requested — so
+   the next stage's Eof is due? *)
+let stage_finished c s =
+  List.for_all
+    (fun w -> w.eof_requested && (w.done_ || w.st = Dead))
+    (stage_members c s)
 
 let give_up c i reason =
   (match c.collector with
   | Some col -> Obsv.Agg.note_death col ~part:i ~reason
   | None -> ());
-  let eof_was_requested =
+  let propagate =
     locked c (fun () ->
         let w = c.ws.(i) in
         w.st <- Dead;
@@ -524,9 +683,9 @@ let give_up c i reason =
             Queue.iter (fun r -> stamp_dead c i r reason) w.pending;
             Queue.clear w.pending);
         Condition.broadcast c.cv;
-        w.eof_requested)
+        stage_finished c c.stage_of.(i))
   in
-  if eof_was_requested then finish_upstream c (i + 1)
+  if propagate then finish_stage c (c.stage_of.(i) + 1)
 
 (* Per-worker sender pump: coalesce whatever is queued — bounded by
    the credit window and the batch cap — into one transport write.
@@ -604,14 +763,14 @@ let forward_record c i r =
         Obsv.Probe.flow_end ~cat:"dist" ~name:"rec"
           ~id:((t * 1024) + (2 * i) + 1)
     | None -> ());
-  send_data c (i + 1) r
+  send_stage c (c.stage_of.(i) + 1) r
 
 let rec reader c i conn =
   let w = c.ws.(i) in
   match Transport.recv conn with
   | `Closed ->
       let was_done = locked c (fun () -> w.done_) in
-      if not was_done then handle_death c i conn "connection closed"
+      if not was_done then death c i conn "connection closed"
   | `Msg m -> (
       match Proto.decode m with
       | Ok (Proto.Data r) ->
@@ -630,11 +789,28 @@ let rec reader c i conn =
               Condition.broadcast c.cv);
           reader c i conn
       | Ok Proto.Done ->
-          locked c (fun () ->
-              w.done_ <- true;
-              Condition.broadcast c.cv);
-          finish_upstream c (i + 1)
-      | Ok (Proto.Crash msg) -> handle_death c i conn msg
+          let propagate =
+            locked c (fun () ->
+                w.done_ <- true;
+                Condition.broadcast c.cv;
+                stage_finished c c.stage_of.(i))
+          in
+          if propagate then finish_stage c (c.stage_of.(i) + 1)
+      | Ok (Proto.Crash msg) -> death c i conn msg
+      | Ok (Proto.Freeze_ack { state }) ->
+          (* Rendezvous with the migrating thread, which respawns the
+             partition and spawns a fresh reader on the new
+             connection — this reader's work is over. *)
+          let accepted =
+            locked c (fun () ->
+                if w.st = Migrating then begin
+                  w.freeze_state <- Some state;
+                  Condition.broadcast c.cv;
+                  true
+                end
+                else false)
+          in
+          if not accepted then reader c i conn
       | Ok (Proto.Hello_ack _) -> reader c i conn
       | Ok (Proto.Metrics_report { payload; _ }) ->
           (match c.collector with
@@ -664,9 +840,28 @@ let rec reader c i conn =
           reader c i conn
       | Ok
           (Proto.Hello _ | Proto.Eof | Proto.Shutdown | Proto.Open_session _
-          | Proto.Session_ack _ | Proto.Close_session _) ->
+          | Proto.Session_ack _ | Proto.Close_session _ | Proto.Migrate
+          | Proto.Restore _) ->
           reader c i conn
-      | Error e -> handle_death c i conn ("protocol error: " ^ e))
+      | Error e -> death c i conn ("protocol error: " ^ e))
+
+(* A worker failure seen by the reader. During a migration freeze the
+   migrating thread owns recovery: flag the failed freeze and get out
+   of its way; otherwise the usual crash path. *)
+and death c i conn reason =
+  let w = c.ws.(i) in
+  let freeze_racing =
+    locked c (fun () ->
+        if w.st = Migrating && w.freeze_state = None && not w.freeze_failed
+        then begin
+          w.freeze_failed <- true;
+          Condition.broadcast c.cv;
+          true
+        end
+        else false)
+  in
+  if freeze_racing then Transport.close conn
+  else handle_death c i conn reason
 
 and handle_death c i conn reason =
   Transport.close conn;
@@ -723,10 +918,210 @@ and handle_death c i conn reason =
             Condition.broadcast c.cv);
         reader c i conn'
 
+(* ------------------------------------------------------------------ *)
+(* Live migration: drain — freeze — respawn — resend                   *)
+
+(* Move partition [i] onto a fresh worker while the run is live:
+
+   1. mark the partition [Migrating]: its pump parks, producers keep
+      enqueueing (bounded by the credit window);
+   2. send [Migrate]; the worker finishes what it already received,
+      flushes outputs and credits, captures its engine state and
+      answers [Freeze_ack] — after which its inflight window is empty
+      (every envelope was credited before the ack, FIFO);
+   3. respawn via the run's respawn hook, seed the new worker with
+      [Restore], resend any uncredited inflight above the watermark
+      (belt and braces — empty after a clean freeze), and mark the
+      partition [Alive] so the pump resumes.
+
+   A worker that dies mid-freeze falls back to the ordinary crash
+   path (respawn without Restore under the retry budget), with the
+   same exactly-once guarantees as any other death. Returns the
+   downtime in seconds: freeze request to pump release. *)
+let coord_migrate c i =
+  if i < 0 || i >= c.parts then
+    Error (Printf.sprintf "partition %d out of range (parts=%d)" i c.parts)
+  else begin
+    let w = c.ws.(i) in
+    let started =
+      locked c (fun () ->
+          if c.closed then Error "run already finished"
+          else if c.failure <> None then Error "run already failed"
+          else if w.done_ then Error "partition already done"
+          else if w.eof_sent then Error "partition already at end of stream"
+          else if w.st <> Alive then Error "worker not alive"
+          else begin
+            w.st <- Migrating;
+            w.freeze_state <- None;
+            w.freeze_failed <- false;
+            Condition.broadcast c.cv;
+            Ok w.conn
+          end)
+    in
+    match started with
+    | Error _ as e -> e
+    | Ok old_conn -> (
+        let t0 = Unix.gettimeofday () in
+        (try Transport.send old_conn (Proto.encode Proto.Migrate)
+         with _ -> () (* the reader will observe the death *));
+        let state =
+          locked c (fun () ->
+              while
+                w.st = Migrating && w.freeze_state = None
+                && not w.freeze_failed && c.failure = None
+              do
+                Condition.wait c.cv c.mu
+              done;
+              w.freeze_state)
+        in
+        match state with
+        | None ->
+            if c.failure = None && w.freeze_failed then begin
+              (* Mid-freeze death: ordinary crash recovery, in its own
+                 thread — handle_death becomes the new reader. *)
+              let t =
+                Thread.create
+                  (fun () ->
+                    handle_death c i old_conn "worker died during freeze")
+                  ()
+              in
+              locked c (fun () -> c.aux <- t :: c.aux);
+              Error "worker died during freeze; crash recovery engaged"
+            end
+            else begin
+              locked c (fun () ->
+                  if w.st = Migrating then w.st <- Alive;
+                  Condition.broadcast c.cv);
+              Error "run failed during migration"
+            end
+        | Some state ->
+            Transport.close old_conn;
+            (match c.respawn i with
+            | None ->
+                give_up c i "respawn failed during migration";
+                Error "could not spawn a replacement worker"
+            | Some conn' ->
+                let resend =
+                  locked c (fun () ->
+                      w.conn <- conn';
+                      (* Same uncredited-suffix rebuild as a crash
+                         respawn; a clean freeze leaves it empty. *)
+                      let keep =
+                        List.rev
+                          (Queue.fold
+                             (fun acc r ->
+                               match Snet.Record.tag seq_tag r with
+                               | Some s when s <= w.watermark -> acc
+                               | _ -> r :: acc)
+                             [] w.inflight)
+                      in
+                      Queue.clear w.inflight;
+                      List.iter (fun r -> Queue.push r w.inflight) keep;
+                      w.credits <- c.init_credits - Queue.length w.inflight;
+                      keep)
+                in
+                let sent =
+                  try
+                    let ctx = Wire.ctx () in
+                    let restore_msgs =
+                      match Statecodec.decode state with
+                      | Ok st when Snet.Netstate.is_empty st ->
+                          (* A pristine capture: skip the frame so the
+                             fresh worker's path equals a cold start. *)
+                          []
+                      | _ -> [ Proto.encode (Proto.Restore { state }) ]
+                    in
+                    Transport.send_many conn'
+                      (restore_msgs @ data_msgs ~ctx ~batch:c.batch resend);
+                    true
+                  with _ -> false
+                in
+                let t =
+                  Thread.create (fun () -> reader c i conn') ()
+                in
+                let downtime =
+                  locked c (fun () ->
+                      c.aux <- t :: c.aux;
+                      if w.st = Migrating then w.st <- Alive;
+                      w.migrations <- w.migrations + 1;
+                      Condition.broadcast c.cv;
+                      Unix.gettimeofday () -. t0)
+                in
+                (match c.collector with
+                | Some col ->
+                    Obsv.Agg.note_migration col ~part:i ~downtime
+                | None -> ());
+                if sent then Ok downtime
+                else
+                  (* The replacement died immediately; its reader picks
+                     up the crash path. The migration itself happened. *)
+                  Ok downtime))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Run handle: the balancer's window into a live run                   *)
+
+type handle = { h_coord : coord; h_plan : Plan.t }
+
+let migrate h i = coord_migrate h.h_coord i
+let handle_parts h = h.h_coord.parts
+let handle_plan h = h.h_plan
+
+let handle_finished h =
+  locked h.h_coord (fun () ->
+      h.h_coord.closed || h.h_coord.failure <> None)
+
+(* ------------------------------------------------------------------ *)
+
+(* Routing form of a plan against the network it cuts: resolves each
+   shard stage's split tag, rejecting stages that shard anything but a
+   nondeterministic parallel replication. *)
+let routes_of ~plan net =
+  let segs = Array.of_list (segments net) in
+  Array.mapi
+    (fun si st ->
+      let base = Plan.base plan si in
+      match st with
+      | Plan.Run _ -> { r_base = base; r_width = 1; r_tag = None }
+      | Plan.Shard { seg; shards } -> (
+          match Snet.Net.unplace segs.(seg) with
+          | Snet.Net.Split { tag; det = false; _ } ->
+              { r_base = base; r_width = shards; r_tag = Some tag }
+          | Snet.Net.Split { det = true; _ } ->
+              invalid_arg
+                (Printf.sprintf
+                   "Engine_dist: plan stage %d shards a deterministic split \
+                    (!), which would break its causal merge order"
+                   si)
+          | _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Engine_dist: plan stage %d shards segment %d, which is \
+                    not a parallel replication (!!)"
+                   si seg)))
+    plan
+
+(* Human-readable placement of one partition under a plan — the PLACE
+   column of [snet_top --cluster]. *)
+let place_of ~plan part =
+  let s = Plan.stage_of_part plan part in
+  match plan.(s) with
+  | Plan.Run { lo; hi } when lo = hi -> Printf.sprintf "seg %d" lo
+  | Plan.Run { lo; hi } -> Printf.sprintf "segs %d-%d" lo hi
+  | Plan.Shard { seg; shards } ->
+      Printf.sprintf "seg %d shard %d/%d" seg (part - Plan.base plan s) shards
+
 (* [conns] already carry a delivered Hello; [respawn i] must likewise
    hand back a freshly greeted connection. *)
-let coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
-    ~respawn inputs =
+let coordinate ?tap ?collector ?on_handle ~plan ~routes ~parts ~conns ~policy
+    ~stats ~credits ~batch ~respawn inputs =
+  let stage_of = Array.make parts 0 in
+  Array.iteri
+    (fun s r ->
+      for k = 0 to r.r_width - 1 do
+        stage_of.(r.r_base + k) <- s
+      done)
+    routes;
   let c =
     {
       mu = Mutex.create ();
@@ -747,6 +1142,9 @@ let coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
               watermark = -1;
               retries_left =
                 (match policy with Snet.Supervise.Retry n -> n | _ -> 0);
+              freeze_state = None;
+              freeze_failed = false;
+              migrations = 0;
             })
           (Array.of_list conns);
       parts;
@@ -757,11 +1155,21 @@ let coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
       respawn;
       tap;
       collector;
+      stages = routes;
+      stage_of;
       next_seq = 0;
       outputs_rev = [];
       failure = None;
+      aux = [];
+      closed = false;
     }
   in
+  (match c.collector with
+  | Some col ->
+      Array.iteri
+        (fun i _ -> Obsv.Agg.note_place col ~part:i ~place:(place_of ~plan i))
+        c.ws
+  | None -> ());
   let readers =
     Array.to_list
       (Array.map
@@ -772,12 +1180,15 @@ let coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
     Array.to_list
       (Array.map (fun w -> Thread.create (fun () -> pump c w.idx) ()) c.ws)
   in
+  (match on_handle with
+  | Some f -> f { h_coord = c; h_plan = plan }
+  | None -> ());
   List.iter
     (fun r ->
       let stop = locked c (fun () -> c.failure <> None) in
-      if not stop then send_data c 0 r)
+      if not stop then send_stage c 0 r)
     inputs;
-  finish_upstream c 0;
+  finish_stage c 0;
   locked c (fun () ->
       while
         c.failure = None
@@ -785,12 +1196,14 @@ let coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
       do
         Condition.wait c.cv c.mu
       done);
+  locked c (fun () -> c.closed <- true);
   List.iter Thread.join pumps;
   Array.iter
     (fun w -> if w.st = Alive then attempt_send w.conn Proto.Shutdown)
     c.ws;
   Array.iter (fun w -> Transport.close w.conn) c.ws;
   List.iter Thread.join readers;
+  List.iter Thread.join (locked c (fun () -> c.aux));
   (* Final gauge sweep: every partition's health row reflects the edge
      state at the end of the run, even if it never sent a report. *)
   (match c.collector with
@@ -831,16 +1244,55 @@ let obsv_flags = function
       in
       if f = 0 then Obsv.Sink.metrics_bit else f
 
+(* The default plan replays the legacy box-count-balanced contiguous
+   cut, so runs without placement hints behave exactly as before. *)
+let resolve_plan ?plan ~workers net =
+  let nsegs = List.length (segments net) in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+        let weights =
+          List.map (fun s -> max 1 (Snet.Net.count_boxes s)) (segments net)
+        in
+        Plan.contiguous ~parts:workers ~weights
+  in
+  match Plan.validate ~nsegs plan with
+  | Ok () -> plan
+  | Error e -> invalid_arg ("Engine_dist: " ^ e)
+
 let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
-    ?kill_worker ?(crash_flush = false) ?tap ?collector net inputs =
+    ?kill_worker ?(crash_flush = false) ?tap ?collector ?plan ?on_handle
+    ?worker_throttle ?kill_in_freeze net inputs =
   if credits <= 0 then invalid_arg "Engine_dist.run: credits must be positive";
   let batch = resolve_batch batch in
-  let parts = List.length (partition ~parts:workers net) in
+  let plan = resolve_plan ?plan ~workers net in
+  let parts = Plan.parts plan in
+  let routes = routes_of ~plan net in
+  let plan_str = Plan.encode plan in
   let policy, timeout, policy_str = split_supervision supervision in
   let threads = ref [] and threads_mu = Mutex.create () in
-  let spawn_worker i ~crash_after =
+  (* Fault/skew injection (worker_throttle, kill_in_freeze) applies to
+     the FIRST spawn only: replacements run clean, so recovery and
+     rebalancing are honest. *)
+  let spawn_worker i ~crash_after ~fresh =
     let a, b = Transport.loopback_pair ~name:(Printf.sprintf "dist:w%d" i) () in
-    let t = Thread.create (fun () -> serve ?pool ~conn:b ~resolve:(fun _ -> net) ()) () in
+    let throttle_us =
+      if fresh then None
+      else
+        match worker_throttle with
+        | Some (j, us) when j = i -> Some us
+        | _ -> None
+    in
+    let die_in_freeze = (not fresh) && kill_in_freeze = Some i in
+    let t =
+      Thread.create
+        (fun () ->
+          serve ?pool ?throttle_us ~die_in_freeze ~conn:b
+            ~resolve:(fun _ -> net)
+            ())
+        ()
+    in
     Mutex.lock threads_mu;
     threads := t :: !threads;
     Mutex.unlock threads_mu;
@@ -862,6 +1314,7 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
               batch;
               obsv = obsv_flags collector;
               coord_pid = Unix.getpid ();
+              plan = plan_str;
             }));
     a
   in
@@ -872,29 +1325,33 @@ let run ?pool ?(workers = 2) ?(credits = 32) ?batch ?stats ?supervision
           | Some (j, k) when j = i -> k
           | _ -> -1
         in
-        spawn_worker i ~crash_after)
+        spawn_worker i ~crash_after ~fresh:false)
   in
   let respawn i =
-    match spawn_worker i ~crash_after:(-1) with
+    match spawn_worker i ~crash_after:(-1) ~fresh:true with
     | conn -> Some conn
     | exception _ -> None
   in
   Fun.protect
     ~finally:(fun () -> List.iter Thread.join !threads)
     (fun () ->
-      coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
-        ~respawn inputs)
+      coordinate ?tap ?collector ?on_handle ~plan ~routes ~parts ~conns ~policy
+        ~stats ~credits ~batch ~respawn inputs)
 
 (* ------------------------------------------------------------------ *)
 (* Spawned runner: real worker processes over TCP                      *)
 
 let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
     ?(credits = 32) ?batch ?stats ?supervision ?crash_after
-    ?(crash_flush = false) ?tap ?collector ?(worker_args = []) net inputs =
+    ?(crash_flush = false) ?tap ?collector ?plan ?on_handle
+    ?(worker_args = []) net inputs =
   if credits <= 0 then
     invalid_arg "Engine_dist.run_spawned: credits must be positive";
   let batch = resolve_batch batch in
-  let parts = List.length (partition ~parts:workers net) in
+  let plan = resolve_plan ?plan ~workers net in
+  let parts = Plan.parts plan in
+  let routes = routes_of ~plan net in
+  let plan_str = Plan.encode plan in
   let policy, timeout, policy_str = split_supervision supervision in
   let listener = Transport.Tcp.listen ~host () in
   let port = Transport.Tcp.port listener in
@@ -937,6 +1394,7 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
                  the coordinator is remote, so they ship full
                  payloads. *)
               coord_pid = 0;
+              plan = plan_str;
             }));
     conn
   in
@@ -983,5 +1441,5 @@ let run_spawned ~worker_exe ~spec ?(host = "127.0.0.1") ?(workers = 2)
         | conn -> Some conn
         | exception _ -> None
       in
-      coordinate ?tap ?collector ~parts ~conns ~policy ~stats ~credits ~batch
-        ~respawn inputs)
+      coordinate ?tap ?collector ?on_handle ~plan ~routes ~parts ~conns
+        ~policy ~stats ~credits ~batch ~respawn inputs)

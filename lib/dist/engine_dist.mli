@@ -134,10 +134,64 @@ val partition : parts:int -> Snet.Net.t -> Snet.Net.t list
     the cut locally and agree.
     @raise Invalid_argument when [parts <= 0]. *)
 
+val segments : Snet.Net.t -> Snet.Net.t list
+(** Flatten the top-level serial spine [A .. B .. C] into its
+    segments, in pipeline order — the unit {!Plan} stages index into. *)
+
+(** {2 Live repartitioning}
+
+    A {!handle} (delivered via [?on_handle] below) lets an external
+    controller — [Elastic.Balancer], a test, a REPL — move partitions
+    while the run is in flight. {!migrate} executes the three-step
+    drain/freeze/respawn protocol on one partition:
+
+    + the partition is marked migrating: its sender pump parks while
+      producers keep enqueueing, bounded by the credit window as
+      usual, and a [Proto.Migrate] frame is sent;
+    + the worker finishes every input it already received, flushes the
+      outputs and credits, captures its engine state at quiescence and
+      answers [Proto.Freeze_ack] (workers process strictly in order
+      and the transport is FIFO, so all credits precede the ack — the
+      in-flight queue is empty after a clean freeze);
+    + the coordinator respawns the partition, seeds the replacement
+      with [Proto.Restore] (skipped when the captured state is empty)
+      and resends any uncredited in-flight records above the sequence
+      watermark, then marks it alive — queued records flow again.
+
+    No record is lost or duplicated: the same watermark argument that
+    covers crash respawns applies, with the simplification that a
+    clean freeze leaves nothing uncredited. A worker that dies mid
+    freeze falls back to ordinary crash recovery under the run's
+    supervision policy. *)
+
+type handle
+
+val migrate : handle -> int -> (float, string) result
+(** [migrate h part] moves [part] onto a freshly spawned worker and
+    returns the downtime in seconds (freeze request to alive again).
+    [Error] reasons include: the run already finished or failed, the
+    partition is at end of stream or already migrating/dead, no
+    replacement could be spawned, or the worker died during the
+    freeze (crash recovery then proceeds per the supervision policy).
+    Blocks its caller for the duration; safe to call from any thread,
+    one migration per partition at a time. *)
+
+val handle_parts : handle -> int
+(** Partition count of the running net. *)
+
+val handle_plan : handle -> Plan.t
+(** The placement plan the run was cut under. *)
+
+val handle_finished : handle -> bool
+(** True once the run has completed or failed — migrations are
+    refused from then on. *)
+
 val serve :
   ?pool:Scheduler.Pool.t ->
   ?tap:(edge:string -> Snet.Record.t -> unit) ->
   ?report_every:float ->
+  ?throttle_us:int ->
+  ?die_in_freeze:bool ->
   conn:Transport.conn ->
   resolve:(string -> Snet.Net.t) ->
   unit ->
@@ -152,7 +206,21 @@ val serve :
     is fed — [snet_worker --journal] hangs its local journal here.
     When the Hello requests shipping, a metrics report goes out every
     [report_every] seconds (default [0.5]; [<= 0] disables the
-    periodic ticker, keeping the first and final reports). *)
+    periodic ticker, keeping the first and final reports).
+
+    A Hello with a non-empty [plan] selects this worker's subnet from
+    the plan's stage for its partition (a shard replica runs its whole
+    replicated segment); [Proto.Restore] before the first record seeds
+    the engine with a migrated partition's captured state, and
+    [Proto.Migrate] freezes the partition: outputs flush, the engine
+    state is captured ({!Statecodec}) and returned in
+    [Proto.Freeze_ack], and the worker exits.
+
+    [throttle_us] delays each consumed record by that many
+    microseconds — the skew-injection knob bench and tests use to
+    provoke rebalancing. [die_in_freeze] makes the worker die abruptly
+    instead of answering a [Migrate] — fault injection for the
+    freeze/death race. *)
 
 val run :
   ?pool:Scheduler.Pool.t ->
@@ -165,21 +233,34 @@ val run :
   ?crash_flush:bool ->
   ?tap:(edge:string -> Snet.Record.t -> unit) ->
   ?collector:Obsv.Agg.collector ->
+  ?plan:Plan.t ->
+  ?on_handle:(handle -> unit) ->
+  ?worker_throttle:int * int ->
+  ?kill_in_freeze:int ->
   Snet.Net.t ->
   Snet.Record.t list ->
   Snet.Record.t list
-(** Hermetic in-process distributed run: [workers] (default 2)
-    simulated workers over {!Transport.Loopback} pairs, each a thread
-    running {!serve} on its partition, coordinated as described above.
-    [credits] (default 32) is the per-edge window; [batch] (default
-    [SNET_DIST_BATCH] or 64, minimum 1) caps records per cut-edge
-    envelope. [kill_worker (i, k)]
+(** Hermetic in-process distributed run: simulated workers over
+    {!Transport.Loopback} pairs, each a thread running {!serve} on its
+    partition, coordinated as described above. Without [?plan] the
+    layout is the legacy box-count-balanced contiguous cut over
+    [workers] (default 2) partitions; with it, the plan's stages
+    decide both the cut and the shard groups ([workers] is then
+    ignored). [credits] (default 32) is the per-edge window; [batch]
+    (default [SNET_DIST_BATCH] or 64, minimum 1) caps records per
+    cut-edge envelope. [kill_worker (i, k)]
     is the fault-injection hook: worker [i] dies abruptly after fully
     processing [k] records (the respawned worker, under [Retry], is
     not re-killed); [crash_flush] refines it so the dying worker still
     flushes the crashing envelope's outputs but never its credit — the
     duplicate-delivery window the sequence watermark dedupes. [tap]
-    observes cut-edge and global-output records (see above). Output is
+    observes cut-edge and global-output records (see above).
+    [on_handle] receives the live-repartitioning {!handle} once the
+    coordinator is up (before the first input is fed).
+    [worker_throttle (i, us)] slows worker [i] by [us] microseconds
+    per record; [kill_in_freeze i] makes worker [i] die instead of
+    acking its first [Migrate]. Both apply to first spawns only —
+    replacements run clean. Output is
     multiset-equal to {!Snet.Engine_seq.run} on the same network and
     inputs (modulo stamped error records when workers are killed). *)
 
@@ -196,17 +277,20 @@ val run_spawned :
   ?crash_flush:bool ->
   ?tap:(edge:string -> Snet.Record.t -> unit) ->
   ?collector:Obsv.Agg.collector ->
+  ?plan:Plan.t ->
+  ?on_handle:(handle -> unit) ->
   ?worker_args:string list ->
   Snet.Net.t ->
   Snet.Record.t list ->
   Snet.Record.t list
 (** Real multi-process run: listen on an ephemeral TCP port, spawn
-    [workers] copies of [worker_exe] (each told [--connect host:port]
-    plus [worker_args]), assign partitions in accept order, and
-    coordinate over {!Transport.Tcp}. [net] must be the same network
-    the worker binary resolves from [spec] — both sides compute
-    {!partition} locally. [crash_after (i, k)] injects a worker crash
-    (see {!run}); worker processes are reaped on return, by force if
-    they outlive the shutdown handshake.
+    enough copies of [worker_exe] (each told [--connect host:port]
+    plus [worker_args]) for the plan's partitions, assign them in
+    accept order, and coordinate over {!Transport.Tcp}. [net] must be
+    the same network the worker binary resolves from [spec]; the plan
+    travels in each Hello, so both sides provably run the same cut.
+    [crash_after (i, k)] injects a worker crash (see {!run}); worker
+    processes are reaped on return, by force if they outlive the
+    shutdown handshake.
     @raise Failure when a worker fails to connect within 30s, or on
     worker death under [Fail_fast]. *)

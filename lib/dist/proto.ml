@@ -10,6 +10,7 @@ type hello = {
   batch : int;
   obsv : int;
   coord_pid : int;
+  plan : string;
 }
 
 type session_ack = {
@@ -35,6 +36,9 @@ type msg =
   | Close_session of { session : int }
   | Metrics_report of { part : int; payload : string }
   | Trace_chunk of { part : int; payload : string }
+  | Migrate
+  | Freeze_ack of { state : string }
+  | Restore of { state : string }
 
 let k_hello = 1
 let k_hello_ack = 2
@@ -50,6 +54,9 @@ let k_session_ack = 11
 let k_close_session = 12
 let k_metrics_report = 13
 let k_trace_chunk = 14
+let k_migrate = 15
+let k_freeze_ack = 16
+let k_restore = 17
 
 (* The Hello spec under which a connection negotiates the session
    sub-protocol (Open_session/Session_ack/Close_session) instead of a
@@ -82,7 +89,8 @@ let encode ?ctx m =
       Buffer.add_uint8 b (if h.crash_flush then 1 else 0);
       add_u32 b h.batch;
       Buffer.add_uint8 b (h.obsv land 0xFF);
-      add_u32 b h.coord_pid
+      add_u32 b h.coord_pid;
+      add_str b h.plan
   | Hello_ack { part } ->
       Buffer.add_uint8 b k_hello_ack;
       add_u32 b part
@@ -146,7 +154,18 @@ let encode ?ctx m =
       Buffer.add_uint8 b k_trace_chunk;
       add_u32 b part;
       add_u32 b (String.length payload);
-      Buffer.add_string b payload);
+      Buffer.add_string b payload
+  | Migrate -> Buffer.add_uint8 b k_migrate
+  | Freeze_ack { state } ->
+      (* Captured engine state uses a u32 length like the other
+         observability payloads: it scales with live synchrocells. *)
+      Buffer.add_uint8 b k_freeze_ack;
+      add_u32 b (String.length state);
+      Buffer.add_string b state
+  | Restore { state } ->
+      Buffer.add_uint8 b k_restore;
+      add_u32 b (String.length state);
+      Buffer.add_string b state);
   Buffer.contents b
 
 exception Bad of string
@@ -205,6 +224,29 @@ let decode ?ctx s =
         let batch = u32 () in
         let obsv = u8 () in
         let coord_pid = u32 () in
+        let plan = str () in
+        (* Reject a malformed or inconsistent shard map here, with a
+           message that names the problem, instead of letting the
+           worker crash on an out-of-bounds partition lookup later. *)
+        if plan <> "" then begin
+          match Plan.decode plan with
+          | Error e -> raise (Bad e)
+          | Ok p ->
+              let pparts = Plan.parts p in
+              if pparts <> parts then
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "shard map %S implies %d partitions but Hello says \
+                         parts=%d"
+                        plan pparts parts));
+              if part >= parts then
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "Hello partition index %d out of range (parts=%d)"
+                        part parts))
+        end;
         finish
           (Hello
              {
@@ -219,6 +261,7 @@ let decode ?ctx s =
                batch;
                obsv;
                coord_pid;
+               plan;
              })
     | k when k = k_hello_ack -> finish (Hello_ack { part = u32 () })
     | k when k = k_data -> (
@@ -275,6 +318,15 @@ let decode ?ctx s =
         finish
           (if k = k_metrics_report then Metrics_report { part; payload }
            else Trace_chunk { part; payload })
+    | k when k = k_migrate -> finish Migrate
+    | k when k = k_freeze_ack || k = k_restore ->
+        let n = u32 () in
+        need n;
+        let state = String.sub s !pos n in
+        pos := !pos + n;
+        finish
+          (if k = k_freeze_ack then Freeze_ack { state }
+           else Restore { state })
     | k -> raise (Bad (Printf.sprintf "unknown message kind %d" k))
   with
   | m -> Ok m
@@ -283,8 +335,9 @@ let decode ?ctx s =
 
 let to_string = function
   | Hello h ->
-      Printf.sprintf "Hello{spec=%s part=%d/%d policy=%S credits=%d batch=%d}"
+      Printf.sprintf "Hello{spec=%s part=%d/%d policy=%S credits=%d batch=%d%s}"
         h.spec h.part h.parts h.policy h.credits h.batch
+        (if h.plan = "" then "" else Printf.sprintf " plan=%S" h.plan)
   | Hello_ack { part } -> Printf.sprintf "Hello_ack{part=%d}" part
   | Data r -> "Data " ^ Snet.Record.to_string r
   | Data_batch rs -> Printf.sprintf "Data_batch[%d]" (List.length rs)
@@ -308,3 +361,7 @@ let to_string = function
       Printf.sprintf "Metrics_report{part=%d %dB}" part (String.length payload)
   | Trace_chunk { part; payload } ->
       Printf.sprintf "Trace_chunk{part=%d %dB}" part (String.length payload)
+  | Migrate -> "Migrate"
+  | Freeze_ack { state } ->
+      Printf.sprintf "Freeze_ack{%dB}" (String.length state)
+  | Restore { state } -> Printf.sprintf "Restore{%dB}" (String.length state)

@@ -51,6 +51,13 @@ type hello = {
           and journal counters but no metrics buckets or trace events,
           since the coordinator reads the shared process-global tables
           directly and would discard same-pid payloads anyway. *)
+  plan : string;
+      (** The placement plan ({!Plan.encode}) under which this run was
+          cut, [""] for the legacy box-count-balanced contiguous cut.
+          Decode validates a non-empty plan eagerly: a malformed map,
+          a map whose partition count disagrees with [parts], or a
+          [part] outside [0, parts) is rejected as a decode error —
+          never a late array-bounds crash in the worker. *)
 }
 
 type session_ack = {
@@ -104,6 +111,20 @@ type msg =
       (** worker → coordinator: the worker's retained sink events
           ([Obsv.Agg.chunk]), sent just before [Done] when event
           tracing is on. *)
+  | Migrate
+      (** coordinator → worker: freeze for live repartitioning. The
+          worker finishes the inputs it has already received (credits
+          for them have been or will be flushed as usual), flushes all
+          pending outputs, captures its engine state and answers
+          {!msg.Freeze_ack}; it sends nothing after the ack. *)
+  | Freeze_ack of { state : string }
+      (** worker → coordinator: the frozen partition's captured
+          {!Snet.Netstate} ([Statecodec.encode]), sent after all
+          outputs for consumed inputs have been flushed. *)
+  | Restore of { state : string }
+      (** coordinator → worker: seed the engine with a migrated
+          partition's captured state. Only valid directly after
+          [Hello]/[Hello_ack], before any [Data]. *)
 
 val serve_spec : string
 (** The {!hello.spec} value (["serve/1"]) under which a connection

@@ -1,0 +1,114 @@
+(* Wire codec for {!Snet.Netstate.t}: the payload of the migration
+   frames ([Proto.Freeze_ack] / [Proto.Restore]).
+
+   Layout: a magic byte and version, then the three component tables,
+   each length-prefixed. Stored records are complete {!Wire} frames,
+   so the record layer's magic/version/CRC protection applies to
+   state that crosses a process boundary, exactly as it does to
+   records on the cut edges. *)
+
+let magic = 0xA8
+let version = 1
+
+exception Bad of string
+
+let add_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode (st : Snet.Netstate.t) =
+  let st = Snet.Netstate.normalize st in
+  let b = Buffer.create 256 in
+  Buffer.add_uint8 b magic;
+  Buffer.add_uint8 b version;
+  add_u32 b (List.length st.syncs);
+  List.iter
+    (fun (path, (cell : Snet.Netstate.sync_cell)) ->
+      add_str b path;
+      Buffer.add_uint8 b (if cell.spent then 1 else 0);
+      add_u32 b (List.length cell.slots);
+      List.iter
+        (function
+          | None -> Buffer.add_uint8 b 0
+          | Some r ->
+              Buffer.add_uint8 b 1;
+              add_str b (Wire.render r))
+        cell.slots)
+    st.syncs;
+  add_u32 b (List.length st.splits);
+  List.iter
+    (fun (path, tags) ->
+      add_str b path;
+      add_u32 b (List.length tags);
+      List.iter (fun t -> Buffer.add_int64_be b (Int64.of_int t)) tags)
+    st.splits;
+  add_u32 b (List.length st.stars);
+  List.iter
+    (fun (path, depth) ->
+      add_str b path;
+      add_u32 b depth)
+    st.stars;
+  Buffer.contents b
+
+let decode s =
+  match
+    let len = String.length s in
+    let pos = ref 0 in
+    let need n = if !pos + n > len then raise (Bad "truncated state") in
+    let u8 () = need 1; let v = Char.code s.[!pos] in incr pos; v in
+    let u32 () =
+      need 4;
+      let v = Int32.to_int (String.get_int32_be s !pos) land 0xFFFFFFFF in
+      pos := !pos + 4;
+      v
+    in
+    let i64 () =
+      need 8;
+      let v = Int64.to_int (String.get_int64_be s !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let str () =
+      let n = u32 () in
+      need n;
+      let v = String.sub s !pos n in
+      pos := !pos + n;
+      v
+    in
+    if u8 () <> magic then raise (Bad "bad state magic");
+    let v = u8 () in
+    if v <> version then
+      raise (Bad (Printf.sprintf "unsupported state version %d" v));
+    let syncs =
+      List.init (u32 ()) (fun _ ->
+          let path = str () in
+          let spent = u8 () <> 0 in
+          let slots =
+            List.init (u32 ()) (fun _ ->
+                match u8 () with
+                | 0 -> None
+                | _ -> (
+                    match Wire.read (str ()) with
+                    | Ok r -> Some r
+                    | Error e -> raise (Bad ("bad stored record: " ^ e))))
+          in
+          (path, { Snet.Netstate.slots; spent }))
+    in
+    let splits =
+      List.init (u32 ()) (fun _ ->
+          let path = str () in
+          (path, List.init (u32 ()) (fun _ -> i64 ())))
+    in
+    let stars =
+      List.init (u32 ()) (fun _ ->
+          let path = str () in
+          (path, u32 ()))
+    in
+    if !pos <> len then raise (Bad "trailing bytes in state");
+    { Snet.Netstate.syncs; splits; stars }
+  with
+  | st -> Ok st
+  | exception Bad e -> Error e
+  | exception e -> Error (Printexc.to_string e)

@@ -1,0 +1,13 @@
+(** Wire codec for {!Snet.Netstate.t}, the payload of the migration
+    frames ([Proto.Freeze_ack] / [Proto.Restore]).
+
+    Stored records travel as complete {!Wire} frames, keeping the
+    record layer's CRC protection on captured state. [encode]
+    normalizes first, so a pristine capture encodes to the same bytes
+    regardless of execution order. *)
+
+val encode : Snet.Netstate.t -> string
+
+val decode : string -> (Snet.Netstate.t, string) result
+(** Rejects bad magic, unsupported versions, truncation, trailing
+    bytes, and corrupt stored-record frames. *)

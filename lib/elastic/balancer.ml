@@ -1,0 +1,117 @@
+(* Health-driven live repartitioning. See balancer.mli. *)
+
+type policy = {
+  tick : float;
+  queue_hi : int;
+  stall_hi : float;
+  age_hi : float;
+  sustain : int;
+  cooldown : float;
+  max_migrations : int;
+}
+
+let default_policy =
+  {
+    tick = 0.25;
+    queue_hi = 24;
+    stall_hi = 0.5;
+    age_hi = 5.0;
+    sustain = 2;
+    cooldown = 2.0;
+    max_migrations = 4;
+  }
+
+type t = {
+  stop_flag : bool Atomic.t;
+  migrated : int Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+(* One partition is "hot" when the coordinator-side queue toward it
+   sits at or above [queue_hi], or its interval stall rate is at or
+   above [stall_hi]. Signals older than [age_hi] seconds are ignored —
+   a partition that stopped reporting is a supervision problem, not a
+   balancing one. *)
+let hot policy (p : Obsv.Health.part) =
+  p.alive
+  && p.age >= 0.
+  && p.age <= policy.age_hi
+  && (p.queue_depth >= policy.queue_hi || p.stall_rate >= policy.stall_hi)
+
+let scan ~policy ~collector ~handle ~on_migrate t streaks last_mig =
+  let cl = Obsv.Agg.cluster collector in
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun (p : Obsv.Health.part) ->
+      let i = p.part in
+      if i >= 0 && i < Array.length streaks then
+        if hot policy p then streaks.(i) <- streaks.(i) + 1
+        else streaks.(i) <- 0)
+    cl.Obsv.Agg.parts;
+  (* Hysteresis, three layers: a partition must be hot for [sustain]
+     consecutive ticks; a just-moved partition is immune for
+     [cooldown] seconds; and at most one migration fires per tick, so
+     the rebalanced pipeline settles before anyone else is judged. *)
+  let candidate =
+    let best = ref None in
+    Array.iteri
+      (fun i s ->
+        if
+          s >= policy.sustain
+          && now -. last_mig.(i) >= policy.cooldown
+          && Atomic.get t.migrated < policy.max_migrations
+        then
+          match !best with
+          | Some (_, s') when s' >= s -> ()
+          | _ -> best := Some (i, s))
+      streaks;
+    Option.map fst !best
+  in
+  match candidate with
+  | None -> ()
+  | Some i ->
+      streaks.(i) <- 0;
+      last_mig.(i) <- now;
+      let r = Dist.Engine_dist.migrate handle i in
+      (match r with Ok _ -> Atomic.incr t.migrated | Error _ -> ());
+      on_migrate ~part:i r
+
+let start ?(policy = default_policy)
+    ?(on_migrate = fun ~part:_ (_ : (float, string) result) -> ())
+    ~collector ~handle () =
+  let parts = Dist.Engine_dist.handle_parts handle in
+  let streaks = Array.make parts 0 in
+  let last_mig = Array.make parts neg_infinity in
+  let t = { stop_flag = Atomic.make false; migrated = Atomic.make 0; thread = None } in
+  let stopped () =
+    Atomic.get t.stop_flag || Dist.Engine_dist.handle_finished handle
+  in
+  (* Interruptible sleep: check the stop flag every 20ms so stop()
+     returns promptly even under a long tick. *)
+  let sleep_tick () =
+    let deadline = Unix.gettimeofday () +. policy.tick in
+    while (not (stopped ())) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.02
+    done
+  in
+  t.thread <-
+    Some
+      (Thread.create
+         (fun () ->
+           (* The first tick waits too: workers need a report cycle
+              before health rows mean anything. *)
+           sleep_tick ();
+           while not (stopped ()) do
+             (try
+                scan ~policy ~collector ~handle ~on_migrate t streaks last_mig
+              with _ -> ());
+             sleep_tick ()
+           done)
+         ());
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  match t.thread with Some th -> Thread.join th | None -> ()
+
+let migrations t = Atomic.get t.migrated

@@ -1,0 +1,48 @@
+(** Health-driven live repartitioning: a coordinator-side ticker that
+    reads the cluster health rows ({!Obsv.Agg.cluster} →
+    {!Obsv.Health.part}) and moves congested partitions onto fresh
+    workers via {!Dist.Engine_dist.migrate}.
+
+    The decision loop is deliberately conservative (hysteresis over
+    reaction speed): a partition must look hot — queue depth or
+    interval stall rate over threshold, on a fresh report — for
+    [sustain] consecutive ticks before it is moved; a moved partition
+    is immune for [cooldown] seconds; at most one migration fires per
+    tick and at most [max_migrations] per run. Dead or silent
+    partitions are never touched — that's the supervision policy's
+    job, not the balancer's. *)
+
+type policy = {
+  tick : float;  (** Seconds between health scans. *)
+  queue_hi : int;  (** Coordinator-side queue depth considered hot. *)
+  stall_hi : float;  (** Interval stall rate considered hot. *)
+  age_hi : float;  (** Ignore health rows older than this (seconds). *)
+  sustain : int;  (** Consecutive hot ticks before migrating. *)
+  cooldown : float;  (** Per-partition immunity after a move (seconds). *)
+  max_migrations : int;  (** Total migration budget for the run. *)
+}
+
+val default_policy : policy
+(** [tick 0.25s; queue_hi 24; stall_hi 0.5; age_hi 5s; sustain 2;
+    cooldown 2s; max_migrations 4]. *)
+
+type t
+
+val start :
+  ?policy:policy ->
+  ?on_migrate:(part:int -> (float, string) result -> unit) ->
+  collector:Obsv.Agg.collector ->
+  handle:Dist.Engine_dist.handle ->
+  unit ->
+  t
+(** Spawn the ticker. [on_migrate] observes every attempted move with
+    its result (downtime seconds, or the refusal/failure reason). The
+    ticker exits on its own once the run finishes
+    ({!Dist.Engine_dist.handle_finished}). *)
+
+val stop : t -> unit
+(** Signal and join the ticker. Idempotent in effect; returns once the
+    thread is gone. *)
+
+val migrations : t -> int
+(** Successful migrations so far. *)

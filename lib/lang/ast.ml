@@ -33,6 +33,12 @@ type expr =
   | ChoiceE of { left : expr; right : expr; det : bool }
   | StarE of { body : expr; exit : pattern; det : bool }
   | SplitE of { body : expr; tag : string; det : bool }
+  | PlaceE of {
+      body : expr;
+      place : int option;  (** [@place worker=N] *)
+      shards : int option;  (** [@shards k] *)
+      weight : int option;  (** [@weight w] *)
+    }
 
 type box_decl = {
   box_name : string;
@@ -101,6 +107,14 @@ let rec expr_to_string = function
   | SplitE { body; tag; det } ->
       let op = if det then " ! " else " !! " in
       "(" ^ expr_to_string body ^ op ^ "<" ^ tag ^ ">)"
+  | PlaceE { body; place; shards; weight } ->
+      let opt f = function None -> [] | Some v -> [ f v ] in
+      let anns =
+        opt (Printf.sprintf "@place worker=%d") place
+        @ opt (Printf.sprintf "@shards %d") shards
+        @ opt (Printf.sprintf "@weight %d") weight
+      in
+      "(" ^ expr_to_string body ^ " " ^ String.concat " " anns ^ ")"
 
 let box_decl_to_string b =
   let tuple ls = "(" ^ String.concat "," (List.map label_to_string ls) ^ ")" in

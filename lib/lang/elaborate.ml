@@ -58,6 +58,8 @@ let rec expr_to_net registry ~declared e =
   | Ast.StarE { body; exit; det } ->
       Snet.Net.star ~det (recurse body) (pattern exit)
   | Ast.SplitE { body; tag; det } -> Snet.Net.split ~det (recurse body) tag
+  | Ast.PlaceE { body; place; shards; weight } ->
+      Snet.Net.place ?place ?shards ?weight (recurse body)
 
 let rec elaborate_net lookup_box (nd : Ast.net_def) =
   let declared =

@@ -222,6 +222,9 @@ let tokenize src =
         | '%', _ ->
             one Token.PERCENT;
             loop ()
+        | '@', _ ->
+            one Token.AT;
+            loop ()
         | c, _ when is_digit c ->
             let p = position st in
             let digits = read_while st is_digit in

@@ -266,9 +266,68 @@ and parse_post st =
     | Token.BANG ->
         advance st;
         go (Ast.SplitE { body; tag = tag st "parallel replication"; det = true })
+    | Token.AT -> go (parse_annotation st body)
     | _ -> body
   in
   go atom
+
+(* Placement annotations bind like the other postfix operators:
+   [A !! <t> @shards 4 .. B] annotates the replication, not the
+   pipeline. The annotation names are contextual identifiers. *)
+and parse_annotation st body =
+  advance st;
+  let pos_int what =
+    match peek st with
+    | Token.INT n ->
+        advance st;
+        n
+    | t ->
+        error st
+          (Printf.sprintf "expected an integer after %s, found %s" what
+             (Token.to_string t))
+  in
+  let merge ~place ~shards ~weight =
+    match body with
+    | Ast.PlaceE p ->
+        let dup what = error st ("duplicate " ^ what ^ " annotation") in
+        let pick what a b =
+          match (a, b) with
+          | Some _, Some _ -> dup what
+          | Some _, None -> a
+          | None, _ -> b
+        in
+        Ast.PlaceE
+          {
+            p with
+            place = pick "@place" place p.place;
+            shards = pick "@shards" shards p.shards;
+            weight = pick "@weight" weight p.weight;
+          }
+    | _ -> Ast.PlaceE { body; place; shards; weight }
+  in
+  match peek st with
+  | Token.IDENT "place" ->
+      advance st;
+      (match peek st with
+      | Token.IDENT "worker" -> advance st
+      | t ->
+          error st
+            ("expected 'worker=' after @place, found " ^ Token.to_string t));
+      expect st Token.EQ "@place annotation";
+      let n = pos_int "@place worker=" in
+      merge ~place:(Some n) ~shards:None ~weight:None
+  | Token.IDENT "shards" ->
+      advance st;
+      let k = pos_int "@shards" in
+      merge ~place:None ~shards:(Some k) ~weight:None
+  | Token.IDENT "weight" ->
+      advance st;
+      let w = pos_int "@weight" in
+      merge ~place:None ~shards:None ~weight:(Some w)
+  | t ->
+      error st
+        ("expected place, shards or weight after '@', found "
+        ^ Token.to_string t)
 
 and parse_atom st =
   match peek st with

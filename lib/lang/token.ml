@@ -37,6 +37,7 @@ type t =
   | SLASH
   | PERCENT
   | ANDAND  (** [&&] *)
+  | AT  (** [@] — placement annotations *)
   | EOF
 
 let to_string = function
@@ -76,4 +77,5 @@ let to_string = function
   | SLASH -> "'/'"
   | PERCENT -> "'%'"
   | ANDAND -> "'&&'"
+  | AT -> "'@'"
   | EOF -> "end of input"

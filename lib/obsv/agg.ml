@@ -305,10 +305,17 @@ type wstate = {
   mutable hello_sent_ts : float;
   mutable last_report : report option;
   mutable last_report_at : float;
+  (* The report before [last_report]: stall rate is derived from the
+     delta between the two, so a partition that stalled heavily during
+     warm-up but runs clean now reads as healthy. *)
+  mutable prev_report : report option;
   mutable chunks : chunk list;
   mutable g_queue : int;
   mutable g_credits : int;
   mutable g_window : int;
+  mutable place : string;
+  mutable migrations : int;
+  mutable mig_downtime : float;
 }
 
 type collector = {
@@ -331,10 +338,14 @@ let wstate col part =
           hello_sent_ts = nan;
           last_report = None;
           last_report_at = nan;
+          prev_report = None;
           chunks = [];
           g_queue = 0;
           g_credits = 0;
           g_window = 0;
+          place = "";
+          migrations = 0;
+          mig_downtime = 0.;
         }
       in
       Hashtbl.replace col.workers part w;
@@ -353,6 +364,7 @@ let note_hello col ~part =
 let note_report col (r : report) =
   Mutex.protect col.mu (fun () ->
       let w = wstate col r.part in
+      w.prev_report <- w.last_report;
       w.last_report <- Some r;
       w.last_report_at <- Sink.now ())
 
@@ -374,6 +386,23 @@ let note_death col ~part ~reason =
       w.alive <- false;
       w.reason <- reason)
 
+let note_place col ~part ~place =
+  Mutex.protect col.mu (fun () ->
+      let w = wstate col part in
+      w.place <- place)
+
+let note_migration col ~part ~downtime =
+  Mutex.protect col.mu (fun () ->
+      let w = wstate col part in
+      w.migrations <- w.migrations + 1;
+      w.mig_downtime <- w.mig_downtime +. downtime)
+
+let migration_downtime col ~part =
+  Mutex.protect col.mu (fun () ->
+      match Hashtbl.find_opt col.workers part with
+      | Some w -> w.mig_downtime
+      | None -> 0.)
+
 (* --- cluster snapshot ------------------------------------------------- *)
 
 type cluster = {
@@ -386,31 +415,55 @@ let sorted_workers col =
   Hashtbl.fold (fun part w acc -> (part, w) :: acc) col.workers []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let edge_totals (r : report) =
+  let bs = ref [||] in
+  let add_bsizes a =
+    let n = max (Array.length !bs) (Array.length a) in
+    let prev = !bs in
+    bs :=
+      Array.init n (fun i ->
+          (if i < Array.length prev then prev.(i) else 0)
+          + if i < Array.length a then a.(i) else 0)
+  in
+  let s, rv, st =
+    List.fold_left
+      (fun (s, rv, st) (_, (e : Metrics.raw_edge)) ->
+        add_bsizes e.r_bsizes;
+        (s + e.r_sends, rv + e.r_recvs, st + e.r_stalls))
+      (0, 0, 0) r.metrics.Metrics.raw_edges
+  in
+  (s, rv, st, !bs)
+
 let part_of_wstate now part w =
   let sends, recvs, stalls, bsizes, jlag =
     match w.last_report with
     | None -> (0, 0, 0, [||], 0)
     | Some r ->
-        let bs = ref [||] in
-        let add_bsizes a =
-          let n = max (Array.length !bs) (Array.length a) in
-          let prev = !bs in
-          bs :=
-            Array.init n (fun i ->
-                (if i < Array.length prev then prev.(i) else 0)
-                + if i < Array.length a then a.(i) else 0)
-        in
-        let s, rv, st =
-          List.fold_left
-            (fun (s, rv, st) (_, (e : Metrics.raw_edge)) ->
-              add_bsizes e.r_bsizes;
-              (s + e.r_sends, rv + e.r_recvs, st + e.r_stalls))
-            (0, 0, 0) r.metrics.Metrics.raw_edges
-        in
-        (s, rv, st, !bs, r.journal_lag_now)
+        let s, rv, st, bs = edge_totals r in
+        (s, rv, st, bs, r.journal_lag_now)
   in
-  Health.make ~part ~alive:w.alive ~reason:w.reason ~queue_depth:w.g_queue
-    ~window:w.g_window ~credits_free:w.g_credits ~sends ~recvs ~stalls
+  (* Stall rate over the last reporting interval, not since birth:
+     deltas against the previous report. A 0/0 interval (reports faster
+     than any sends, or a respawned worker whose counters reset) must
+     not leak nan/inf downstream — guard the denominator here, and
+     Health.make clamps non-finite overrides besides. *)
+  let stall_rate =
+    match (w.last_report, w.prev_report) with
+    | Some cur, Some prev ->
+        let cs, _, cst, _ = edge_totals cur in
+        let ps, _, pst, _ = edge_totals prev in
+        let ds = cs - ps and dst = cst - pst in
+        if ds > 0 && dst >= 0 then
+          Some (float_of_int dst /. float_of_int ds)
+        else Some 0.
+    | _ ->
+        (* Fewer than two reports: fall back to the cumulative rate
+           Health.make derives from ~stalls/~sends. *)
+        None
+  in
+  Health.make ~part ~alive:w.alive ~reason:w.reason ~place:w.place
+    ~migrations:w.migrations ~queue_depth:w.g_queue ~window:w.g_window
+    ~credits_free:w.g_credits ~sends ~recvs ~stalls ?stall_rate
     ~batch_p50:(if bsizes = [||] then 0 else Metrics.batch_percentile 0.50 bsizes)
     ~batch_p95:(if bsizes = [||] then 0 else Metrics.batch_percentile 0.95 bsizes)
     ~journal_lag:jlag

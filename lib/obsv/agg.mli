@@ -85,6 +85,17 @@ val note_death : collector -> part:int -> reason:string -> unit
 (** Mark the partition dead; its last report is retained and its
     {!Health.part} row flags [alive = false] with this reason. *)
 
+val note_place : collector -> part:int -> place:string -> unit
+(** Record the partition's placement ({!Health.part.place}): which
+    spine segments it runs, or its shard slot. *)
+
+val note_migration : collector -> part:int -> downtime:float -> unit
+(** Count one live repartitioning of [part], accumulating its
+    freeze-to-alive [downtime] (seconds). *)
+
+val migration_downtime : collector -> part:int -> float
+(** Total migration downtime accumulated for [part], 0 if unknown. *)
+
 (** {1 Aggregated snapshot} *)
 
 type cluster = {

@@ -4,6 +4,8 @@ type part = {
   part : int;
   alive : bool;
   reason : string;
+  place : string;
+  migrations : int;
   queue_depth : int;
   window : int;
   credits_free : int;
@@ -17,17 +19,28 @@ type part = {
   age : float;
 }
 
-let make ?(alive = true) ?(reason = "") ?(queue_depth = 0) ?(window = 0)
-    ?(credits_free = 0) ?(sends = 0) ?(recvs = 0) ?(stalls = 0)
-    ?(batch_p50 = 0) ?(batch_p95 = 0) ?(journal_lag = 0) ?(age = -1.) ~part ()
-    =
+let make ?(alive = true) ?(reason = "") ?(place = "") ?(migrations = 0)
+    ?(queue_depth = 0) ?(window = 0) ?(credits_free = 0) ?(sends = 0)
+    ?(recvs = 0) ?(stalls = 0) ?stall_rate ?(batch_p50 = 0) ?(batch_p95 = 0)
+    ?(journal_lag = 0) ?(age = -1.) ~part () =
+  (* Never let a nan/inf escape into the registry: it would render as
+     "nan" in Prometheus text and as an invalid JSON number in cluster
+     snapshots. Non-finite overrides (0/0 deltas and the like) fall
+     back to 0, as does the derived rate when there are no sends. *)
   let stall_rate =
-    if sends <= 0 then 0. else float_of_int stalls /. float_of_int sends
+    match stall_rate with
+    | Some r when Float.is_finite r -> r
+    | Some _ -> 0.
+    | None ->
+        if sends <= 0 then 0.
+        else float_of_int stalls /. float_of_int sends
   in
   {
     part;
     alive;
     reason;
+    place;
+    migrations;
     queue_depth;
     window;
     credits_free;
@@ -67,6 +80,8 @@ let to_json p =
       ("part", Jsonx.Num (float_of_int p.part));
       ("alive", Jsonx.Bool p.alive);
       ("reason", Jsonx.Str p.reason);
+      ("place", Jsonx.Str p.place);
+      ("migrations", Jsonx.Num (float_of_int p.migrations));
       ("queue_depth", Jsonx.Num (float_of_int p.queue_depth));
       ("window", Jsonx.Num (float_of_int p.window));
       ("credits_free", Jsonx.Num (float_of_int p.credits_free));
@@ -89,6 +104,12 @@ let of_json j =
     match Jsonx.member "alive" j with Some (Jsonx.Bool b) -> Some b | _ -> None
   in
   let* reason = Option.bind (Jsonx.member "reason" j) Jsonx.to_string in
+  (* Absent in snapshots written before placement landed. *)
+  let place =
+    Option.value ~default:""
+      (Option.bind (Jsonx.member "place" j) Jsonx.to_string)
+  in
+  let migrations = Option.value ~default:0 (int "migrations") in
   let* queue_depth = int "queue_depth" in
   let* window = int "window" in
   let* credits_free = int "credits_free" in
@@ -105,6 +126,8 @@ let of_json j =
       part;
       alive;
       reason;
+      place;
+      migrations;
       queue_depth;
       window;
       credits_free;

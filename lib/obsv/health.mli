@@ -13,13 +13,17 @@ type part = {
   part : int;  (** Partition / session index. *)
   alive : bool;
   reason : string;  (** Why the partition died; [""] while alive. *)
+  place : string;
+      (** Human-readable placement ("seg 2", "seg 1 shard 0/4"); [""]
+          when the producer doesn't track placement. *)
+  migrations : int;  (** Live repartitionings this partition survived. *)
   queue_depth : int;  (** Records queued + in flight toward the partition. *)
   window : int;  (** Credit window size. *)
   credits_free : int;  (** Unused credits; occupancy = window - free. *)
   sends : int;
   recvs : int;
   stalls : int;  (** Backpressure stalls observed at its edges. *)
-  stall_rate : float;  (** stalls / sends, 0 when no sends. *)
+  stall_rate : float;  (** stalls / sends, 0 when no sends. Always finite. *)
   batch_p50 : int;
   batch_p95 : int;  (** Batch-size percentiles across its edges. *)
   journal_lag : int;  (** Journal entries since the last snapshot. *)
@@ -29,12 +33,15 @@ type part = {
 val make :
   ?alive:bool ->
   ?reason:string ->
+  ?place:string ->
+  ?migrations:int ->
   ?queue_depth:int ->
   ?window:int ->
   ?credits_free:int ->
   ?sends:int ->
   ?recvs:int ->
   ?stalls:int ->
+  ?stall_rate:float ->
   ?batch_p50:int ->
   ?batch_p95:int ->
   ?journal_lag:int ->
@@ -42,7 +49,11 @@ val make :
   part:int ->
   unit ->
   part
-(** Build a part row; [stall_rate] is derived from [stalls]/[sends]. *)
+(** Build a part row. Without [?stall_rate] the rate is derived from
+    [stalls]/[sends] (0 when there are no sends); with it, the override
+    is used as-is — unless non-finite (a 0/0 interval delta), which is
+    clamped to 0 so nan/inf never reach Prometheus text or cluster
+    JSON. *)
 
 (** {1 Registry} *)
 

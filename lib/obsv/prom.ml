@@ -118,6 +118,9 @@ let render ?(parts = []) ?journal (snap : Metrics.snapshot) =
       "Backpressure stalls at the partition's edges." (fi (fun p -> p.stalls));
     part_metric "gauge" "snet_partition_stall_rate" "Stalls per send." (fun p ->
         p.stall_rate);
+    part_metric "counter" "snet_partition_migrations_total"
+      "Live repartitionings the partition went through."
+      (fi (fun p -> p.migrations));
     part_metric "gauge" "snet_partition_batch_p50" "Median batch size."
       (fi (fun p -> p.batch_p50));
     part_metric "gauge" "snet_partition_batch_p95" "p95 batch size."

@@ -39,6 +39,7 @@ let connect ?(credits = 0) ?(batch = 0) ?(resume = -1) conn =
         batch;
         obsv = 0;
         coord_pid = 0;
+        plan = "";
       }
   in
   Transport.send conn (Proto.encode hello);

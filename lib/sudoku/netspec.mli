@@ -18,14 +18,17 @@ val spec :
   ?throttle:int ->
   ?cutoff:int ->
   ?side:int ->
+  ?shards:int ->
+  ?spin:int ->
   string ->
   string
 (** [spec name] renders a spec string, e.g.
     [spec ~det:true "fig2" = "fig2:det"] or
     [spec ~throttle:4 ~cutoff:40 ~side:9 "fig3" =
      "fig3:throttle=4:cutoff=40:side=9"]. [name] must be [fig1],
-    [fig2], [fig3] or [ping] (the codec-free load-test network,
-    {!Networks.ping}). *)
+    [fig2], [fig3], [ping] (the codec-free load-test network,
+    {!Networks.ping}) or [shard] (the replication-on-a-cut-boundary
+    network, {!Networks.shard}; takes [shards]/[spin]). *)
 
 val resolve : ?pool:Scheduler.Pool.t -> string -> Snet.Net.t
 (** Parse a {!spec} string and build the network.

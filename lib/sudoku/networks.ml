@@ -72,6 +72,49 @@ let ping () =
       | [ Snet.Box.Tag x ] -> emit 1 [ Snet.Box.Tag (x + 1) ]
       | _ -> assert false))
 
+(* A three-segment pipeline whose middle segment is a parallel
+   replication — the minimal network that puts a [!!] on a cut
+   boundary. Tag-only records (no field codecs), deterministic
+   arithmetic, so distributed runs diff cleanly against Engine_seq.
+   [shards] attaches an [@shards] placement hint to the split segment;
+   [spin] adds per-record busy work inside the replicated box (without
+   changing its output), so shard replicas have something to win. *)
+let shard ?shards ?(spin = 0) () =
+  if spin < 0 then invalid_arg "Networks.shard: spin < 0";
+  let route =
+    Net.box
+      (Snet.Box.make ~name:"route" ~input:[ Snet.Box.T "x" ]
+         ~outputs:[ [ Snet.Box.T "x"; Snet.Box.T "t" ] ] (fun ~emit -> function
+        | [ Snet.Box.Tag x ] ->
+            emit 1 [ Snet.Box.Tag x; Snet.Box.Tag (((x mod 8) + 8) mod 8) ]
+        | _ -> assert false))
+  in
+  let work =
+    Net.box
+      (Snet.Box.make ~name:"work"
+         ~input:[ Snet.Box.T "x"; Snet.Box.T "t" ]
+         ~outputs:[ [ Snet.Box.T "y"; Snet.Box.T "t" ] ]
+         (fun ~emit -> function
+        | [ Snet.Box.Tag x; Snet.Box.Tag t ] ->
+            let acc = ref x in
+            for _ = 1 to spin do
+              acc := ((!acc * 1103515245) + 12345) land 0xFFFF
+            done;
+            ignore (Sys.opaque_identity !acc);
+            emit 1 [ Snet.Box.Tag ((3 * x) + 1); Snet.Box.Tag t ]
+        | _ -> assert false))
+  in
+  let merge =
+    Net.box
+      (Snet.Box.make ~name:"merge"
+         ~input:[ Snet.Box.T "y"; Snet.Box.T "t" ]
+         ~outputs:[ [ Snet.Box.T "z" ] ] (fun ~emit -> function
+        | [ Snet.Box.Tag y; Snet.Box.Tag t ] ->
+            emit 1 [ Snet.Box.Tag ((y * 10) + t) ]
+        | _ -> assert false))
+  in
+  Net.serial_list [ route; Net.place ?shards (Net.split work "t"); merge ]
+
 let solved_boards records =
   List.filter_map
     (fun r ->

@@ -42,5 +42,17 @@ val ping : unit -> Snet.Net.t
     distribution layers at high request rates (the [snet_serve] load
     bench and session tests). *)
 
+val shard : ?shards:int -> ?spin:int -> unit -> Snet.Net.t
+(** [route .. ((work !! <t>) @shards k) .. merge] — a three-segment
+    pipeline with a parallel replication on a cut boundary, the
+    reference workload for distributed [!!] sharding and live
+    repartitioning. Records are tag-only ([{<x>}] in, [{<z>}] out,
+    [z = (3x+1)·10 + (x mod 8)]), so no field codecs are needed on the
+    wire and outputs diff deterministically against {!Snet.Engine_seq}.
+    [shards] attaches the [@shards] placement hint to the split
+    segment (omitted: no hint); [spin] busy-loops that many iterations
+    per record inside [work] without changing its output.
+    @raise Invalid_argument when [spin < 0]. *)
+
 val solved_boards : Snet.Record.t list -> Board.t list
 (** Extract and keep the completed, valid boards of a network run. *)

@@ -36,6 +36,7 @@ let () =
       ("obsv", Test_obsv.suite);
       ("jsonx", Test_jsonx.suite);
       ("dist", Test_dist.suite);
+      ("elastic", Test_elastic.suite);
       ("serve", Test_serve.suite);
       ("detcheck", Test_detcheck.suite);
       ("durable", Test_durable.suite);

@@ -233,6 +233,9 @@ let test_proto_roundtrip () =
           batch = 16;
           obsv = 3;
           coord_pid = 12345;
+          (* 1 + 2 + 1 partitions: must agree with [parts] above, or
+             decode (correctly) rejects the Hello. *)
+          plan = "0,1!2,2-3";
         };
       Proto.Hello_ack { part = 1 };
       Proto.Data r;
@@ -723,6 +726,449 @@ let test_trace_propagation_loopback () =
     (List.sort compare starts) (List.sort compare ends)
 
 (* ------------------------------------------------------------------ *)
+(* Placement plans                                                     *)
+
+module Plan = Dist.Plan
+
+let test_plan_codec () =
+  let samples =
+    [
+      [| Plan.Run { lo = 0; hi = 0 } |];
+      [| Plan.Run { lo = 0; hi = 1 }; Plan.Run { lo = 2; hi = 4 } |];
+      [|
+        Plan.Run { lo = 0; hi = 0 };
+        Plan.Shard { seg = 1; shards = 4 };
+        Plan.Run { lo = 2; hi = 3 };
+      |];
+      [| Plan.Shard { seg = 0; shards = 2 } |];
+    ]
+  in
+  List.iter
+    (fun p ->
+      (match Plan.validate p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "sample plan invalid: %s" e);
+      match Plan.decode (Plan.encode p) with
+      | Error e -> Alcotest.failf "decode %S: %s" (Plan.encode p) e
+      | Ok p' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S round-trips" (Plan.encode p))
+            true (p = p'))
+    samples;
+  Alcotest.(check string) "wire form" "0,1!4,2-3"
+    (Plan.encode
+       [|
+         Plan.Run { lo = 0; hi = 0 };
+         Plan.Shard { seg = 1; shards = 4 };
+         Plan.Run { lo = 2; hi = 3 };
+       |]);
+  List.iter
+    (fun s ->
+      match Plan.decode s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S rejected as bad plan" s)
+            true
+            (String.length e >= 8 && String.sub e 0 8 = "bad plan"))
+    [ ""; "x"; "1-0"; "0,2"; "1,0-1"; "0!0"; "0,1!-3"; "0,,1"; "0-1-2" ]
+
+let test_plan_arithmetic () =
+  let p =
+    [|
+      Plan.Run { lo = 0; hi = 1 };
+      Plan.Shard { seg = 2; shards = 3 };
+      Plan.Run { lo = 3; hi = 3 };
+    |]
+  in
+  Alcotest.(check int) "parts" 5 (Plan.parts p);
+  Alcotest.(check int) "nsegs" 4 (Plan.nsegs p);
+  Alcotest.(check int) "base of shard stage" 1 (Plan.base p 1);
+  Alcotest.(check int) "base of last stage" 4 (Plan.base p 2);
+  Alcotest.(check (list int))
+    "stage of each partition" [ 0; 1; 1; 1; 2 ]
+    (List.init 5 (Plan.stage_of_part p));
+  Alcotest.(check bool) "every shard replica runs the shard segment" true
+    (List.for_all
+       (fun part -> Plan.segments_of_part p part = (2, 2))
+       [ 1; 2; 3 ]);
+  Alcotest.(check bool) "run partition owns its range" true
+    (Plan.segments_of_part p 0 = (0, 1) && Plan.segments_of_part p 4 = (3, 3));
+  Alcotest.(check bool) "partition out of range" true
+    (try
+       ignore (Plan.stage_of_part p 5);
+       false
+     with Invalid_argument _ -> true);
+  (* shard_of: in range, deterministic, and actually spreading. *)
+  let shards = 4 in
+  let hits = Array.make shards 0 in
+  for v = -16 to 64 do
+    let s = Plan.shard_of ~shards v in
+    Alcotest.(check bool) "shard in range" true (s >= 0 && s < shards);
+    Alcotest.(check int) "shard deterministic" s (Plan.shard_of ~shards v);
+    hits.(s) <- hits.(s) + 1
+  done;
+  Alcotest.(check bool) "hash spreads over replicas" true
+    (Array.for_all (fun n -> n > 0) hits);
+  Alcotest.(check int) "single shard degenerates" 0 (Plan.shard_of ~shards:1 42)
+
+(* The default plan is the legacy cut: [Plan.contiguous] over the
+   per-segment box counts must reproduce exactly the partitions the
+   pre-plan engine computed, for every worker count. *)
+let test_plan_contiguous_matches_partition () =
+  let net = Sudoku.Networks.fig3 () in
+  let segs = Array.of_list (Engine_dist.segments net) in
+  let weights =
+    Array.to_list (Array.map (fun s -> max 1 (Snet.Net.count_boxes s)) segs)
+  in
+  for parts = 1 to 6 do
+    let legacy = Engine_dist.partition ~parts net in
+    let plan = Plan.contiguous ~parts ~weights in
+    Alcotest.(check int)
+      (Printf.sprintf "stage count (%d)" parts)
+      (List.length legacy) (Array.length plan);
+    List.iteri
+      (fun i sub ->
+        match plan.(i) with
+        | Plan.Shard _ -> Alcotest.fail "contiguous produced a shard stage"
+        | Plan.Run { lo; hi } ->
+            let rebuilt =
+              Snet.Net.serial_list
+                (Array.to_list (Array.sub segs lo (hi - lo + 1)))
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "partition %d of %d" i parts)
+              (Snet.Net.to_string sub)
+              (Snet.Net.to_string rebuilt))
+      legacy
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Netstate wire codec (migration payloads)                            *)
+
+let sample_netstate () =
+  let r = Record.of_list ~fields:[] ~tags:[ ("k", 3) ] in
+  {
+    Snet.Netstate.syncs =
+      [
+        ( "serial.0/sync",
+          { Snet.Netstate.slots = [ Some r; None ]; spent = false } );
+      ];
+    splits = [ ("split.1", [ 0; 2; 5 ]) ];
+    stars = [ ("star.2", 3) ];
+  }
+
+let test_statecodec_roundtrip () =
+  let st = sample_netstate () in
+  (match Dist.Statecodec.decode (Dist.Statecodec.encode st) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok st' ->
+      Alcotest.(check bool) "state round-trips" true
+        (Snet.Netstate.equal st st'));
+  (match Dist.Statecodec.decode (Dist.Statecodec.encode Snet.Netstate.empty) with
+  | Error e -> Alcotest.failf "empty decode failed: %s" e
+  | Ok st' ->
+      Alcotest.(check bool) "empty stays empty" true
+        (Snet.Netstate.is_empty st'));
+  let enc = Dist.Statecodec.encode st in
+  let reject label img =
+    match Dist.Statecodec.decode img with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" label
+  in
+  reject "bad magic" ("\x00" ^ String.sub enc 1 (String.length enc - 1));
+  reject "truncated" (String.sub enc 0 (String.length enc / 2));
+  reject "trailing bytes" (enc ^ "\x00");
+  (* Flip every byte position in turn. Metadata flips (paths, counts,
+     markers) may legitimately decode to a different well-formed state
+     or be rejected — but a stored record can never be silently
+     corrupted: its bytes are a complete Wire frame with its own CRC,
+     so every surviving record must render back to the original
+     frame. The decoder must also never raise. *)
+  let original_frame =
+    Wire.render (Record.of_list ~fields:[] ~tags:[ ("k", 3) ])
+  in
+  for pos = 0 to String.length enc - 1 do
+    let b = Bytes.of_string enc in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+    match Dist.Statecodec.decode (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok st' ->
+        List.iter
+          (fun (_, cell) ->
+            List.iter
+              (function
+                | None -> ()
+                | Some r ->
+                    if not (String.equal (Wire.render r) original_frame) then
+                      Alcotest.failf
+                        "flip at %d silently corrupted a stored record" pos)
+              cell.Snet.Netstate.slots)
+          st'.Snet.Netstate.syncs
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Hello shard-map validation                                          *)
+
+(* A worker must reject a Hello whose shard map is malformed or
+   inconsistent with the Hello's own part/parts fields at decode time,
+   instead of crashing on an out-of-bounds lookup later. *)
+let test_hello_rejects_bad_shard_map () =
+  let hello ~part ~parts ~plan =
+    Proto.encode
+      (Proto.Hello
+         {
+           spec = "shard:shards=2";
+           part;
+           parts;
+           policy = "";
+           timeout = None;
+           credits = 32;
+           crash_after = -1;
+           crash_flush = false;
+           batch = 16;
+           obsv = 0;
+           coord_pid = 1;
+           plan;
+         })
+  in
+  let expect_reject label msg ~part ~parts ~plan =
+    match Proto.decode (hello ~part ~parts ~plan) with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: message names the problem (%s)" label e)
+          true (contains e msg)
+  in
+  (* Consistent map: accepted. *)
+  (match Proto.decode (hello ~part:3 ~parts:4 ~plan:"0,1!2,2") with
+  | Ok (Proto.Hello h) ->
+      Alcotest.(check string) "plan carried" "0,1!2,2" h.Proto.plan
+  | Ok _ -> Alcotest.fail "decoded as something else"
+  | Error e -> Alcotest.failf "consistent Hello rejected: %s" e);
+  expect_reject "plan/parts mismatch" "implies 4 partitions" ~part:0 ~parts:3
+    ~plan:"0,1!2,2";
+  expect_reject "partition out of range" "out of range" ~part:7 ~parts:4
+    ~plan:"0,1!2,2";
+  expect_reject "malformed map" "bad plan" ~part:0 ~parts:2 ~plan:"0,huh"
+
+(* ------------------------------------------------------------------ *)
+(* Differential: sharded [!!] across workers vs sequential reference   *)
+
+let shard_inputs n =
+  List.init n (fun i -> Record.of_list ~fields:[] ~tags:[ ("x", i) ])
+
+let shard_plan shards =
+  [|
+    Plan.Run { lo = 0; hi = 0 };
+    Plan.Shard { seg = 1; shards };
+    Plan.Run { lo = 2; hi = 2 };
+  |]
+
+let test_dist_shard_vs_seq () =
+  let inputs = shard_inputs 48 in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.shard ()) inputs
+  in
+  List.iter
+    (fun shards ->
+      let plan = shard_plan shards in
+      let outs =
+        Engine_dist.run
+          ~workers:(Plan.parts plan)
+          ~plan (Sudoku.Networks.shard ()) inputs
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "every record accounted for (x%d)" shards)
+        (List.length reference) (List.length outs);
+      Alcotest.(check bool)
+        (Printf.sprintf "shard x%d multiset equal" shards)
+        true
+        (multiset_eq reference outs))
+    [ 1; 2; 4 ]
+
+(* Same differential over real worker processes and TCP, gated like
+   the other socket tests; needs the worker binary (the @dist-smoke
+   alias points SNET_WORKER_EXE at it). *)
+let test_dist_shard_tcp () =
+  match Sys.getenv_opt "SNET_WORKER_EXE" with
+  | None -> Alcotest.skip ()
+  | Some _ when not (tcp_enabled ()) -> Alcotest.skip ()
+  | Some worker_exe ->
+      let inputs = shard_inputs 32 in
+      let net = Sudoku.Networks.shard ~shards:2 () in
+      let reference = Snet.Engine_seq.run net inputs in
+      let plan = shard_plan 2 in
+      let outs =
+        Engine_dist.run_spawned ~worker_exe
+          ~spec:(Sudoku.Netspec.spec ~shards:2 "shard")
+          ~workers:(Plan.parts plan) ~plan net inputs
+      in
+      Alcotest.(check bool) "spawned shard multiset equal" true
+        (multiset_eq reference outs)
+
+(* Kill one shard replica under each supervision policy: the sharded
+   cut must behave exactly like the contiguous one did — stamped error
+   records name the dead replica, fail-fast tears the run down naming
+   it, retry recovers the full output. Partition 2 is the second
+   replica of the shard stage. *)
+let test_dist_shard_kill_worker () =
+  let inputs = shard_inputs 48 in
+  let plan = shard_plan 2 in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.shard ()) inputs
+  in
+  (* error-record *)
+  let outs =
+    Engine_dist.run
+      ~workers:(Plan.parts plan)
+      ~plan ~kill_worker:(2, 0) ~supervision:error_record_cfg
+      (Sudoku.Networks.shard ()) inputs
+  in
+  let errors = List.filter Snet.Supervise.is_error outs in
+  Alcotest.(check bool) "shard kill: error records delivered" true
+    (errors <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "shard kill: origin names the dead replica" (Some "dist:worker2")
+        (Snet.Supervise.error_origin e))
+    errors;
+  (* fail-fast *)
+  Alcotest.(check bool) "shard kill: fail-fast raises" true
+    (try
+       ignore
+         (Engine_dist.run
+            ~workers:(Plan.parts plan)
+            ~plan ~kill_worker:(2, 0)
+            (Sudoku.Networks.shard ()) inputs);
+       false
+     with Failure m -> contains m "dist:worker2");
+  (* retry *)
+  let outs =
+    Engine_dist.run
+      ~workers:(Plan.parts plan)
+      ~plan ~kill_worker:(2, 0)
+      ~supervision:(Snet.Supervise.make ~policy:(Snet.Supervise.Retry 2) ())
+      (Sudoku.Networks.shard ()) inputs
+  in
+  Alcotest.(check bool) "shard kill: retry recovers" true
+    (multiset_eq reference outs)
+
+(* ------------------------------------------------------------------ *)
+(* Live migration                                                      *)
+
+(* Move a partition mid-run: output stays multiset-identical, the
+   migration reports a downtime, and the collector rows show the move
+   with its placement label. Partition 0 (the route segment) is
+   throttled so the stream is provably still in flight when the
+   migration fires. *)
+let test_migrate_mid_run () =
+  let inputs = shard_inputs 64 in
+  let plan = shard_plan 2 in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.shard ()) inputs
+  in
+  let col = Obsv.Agg.create () in
+  let result = ref (Error "migration never attempted") in
+  let migrator = ref None in
+  let outs =
+    Engine_dist.run
+      ~workers:(Plan.parts plan)
+      ~plan ~collector:col ~worker_throttle:(0, 800)
+      ~on_handle:(fun h ->
+        migrator :=
+          Some (Thread.create (fun () -> result := Engine_dist.migrate h 0) ()))
+      (Sudoku.Networks.shard ()) inputs
+  in
+  (match !migrator with
+  | Some t -> Thread.join t
+  | None -> Alcotest.fail "on_handle never called");
+  (match !result with
+  | Ok d -> Alcotest.(check bool) "downtime measured" true (d >= 0.)
+  | Error e -> Alcotest.failf "migrate failed: %s" e);
+  Alcotest.(check bool) "migrated run multiset equal" true
+    (multiset_eq reference outs);
+  match
+    List.find_opt
+      (fun p -> p.Obsv.Health.part = 0)
+      (Obsv.Agg.cluster col).Obsv.Agg.parts
+  with
+  | Some p ->
+      Alcotest.(check int) "health row counts the move" 1
+        p.Obsv.Health.migrations;
+      Alcotest.(check bool) "health row carries a placement" true
+        (p.Obsv.Health.place <> "")
+  | None -> Alcotest.fail "migrated partition missing from cluster"
+
+(* Every refusal path answers with a reason instead of raising or
+   wedging the run. *)
+let test_migrate_refusals () =
+  let inputs = shard_inputs 16 in
+  let plan = shard_plan 2 in
+  let handle = ref None in
+  let oor = ref (Ok 0.) and finished = ref (Ok 0.) in
+  ignore
+    (Engine_dist.run
+       ~workers:(Plan.parts plan)
+       ~plan
+       ~on_handle:(fun h ->
+         handle := Some h;
+         oor := Engine_dist.migrate h 99)
+       (Sudoku.Networks.shard ()) inputs);
+  (match !handle with
+  | Some h ->
+      Alcotest.(check bool) "handle reports the run finished" true
+        (Engine_dist.handle_finished h);
+      Alcotest.(check int) "handle exposes the partition count" 4
+        (Engine_dist.handle_parts h);
+      Alcotest.(check bool) "handle exposes the plan" true
+        (Engine_dist.handle_plan h = plan);
+      finished := Engine_dist.migrate h 1
+  | None -> Alcotest.fail "on_handle never called");
+  (match !oor with
+  | Error e ->
+      Alcotest.(check bool) "out of range named" true (contains e "out of range")
+  | Ok _ -> Alcotest.fail "out-of-range migration accepted");
+  match !finished with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "migration accepted after the run finished"
+
+(* A worker that dies instead of answering the freeze: the migration
+   fails with a reason, crash recovery takes over, and under Retry the
+   run still completes with the full output. *)
+let test_migrate_freeze_death_recovers () =
+  let inputs = shard_inputs 48 in
+  let plan = shard_plan 2 in
+  let reference =
+    Snet.Engine_seq.run (Sudoku.Networks.shard ()) inputs
+  in
+  let result = ref (Ok 0.) in
+  let migrator = ref None in
+  let outs =
+    Engine_dist.run
+      ~workers:(Plan.parts plan)
+      ~plan ~worker_throttle:(0, 800) ~kill_in_freeze:0
+      ~supervision:(Snet.Supervise.make ~policy:(Snet.Supervise.Retry 2) ())
+      ~on_handle:(fun h ->
+        migrator :=
+          Some (Thread.create (fun () -> result := Engine_dist.migrate h 0) ()))
+      (Sudoku.Networks.shard ()) inputs
+  in
+  (match !migrator with
+  | Some t -> Thread.join t
+  | None -> Alcotest.fail "on_handle never called");
+  (match !result with
+  | Ok _ -> Alcotest.fail "freeze death reported as success"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "freeze death named (%s)" e)
+        true
+        (contains e "died during freeze"));
+  Alcotest.(check bool) "crash recovery completes the run" true
+    (multiset_eq reference outs)
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -757,4 +1203,21 @@ let suite =
       test_collector_survives_worker_death;
     Alcotest.test_case "trace propagation: tags stripped, flows pair up"
       `Quick test_trace_propagation_loopback;
+    Alcotest.test_case "plan codec" `Quick test_plan_codec;
+    Alcotest.test_case "plan arithmetic + shard hash" `Quick
+      test_plan_arithmetic;
+    Alcotest.test_case "plan contiguous = legacy partition" `Quick
+      test_plan_contiguous_matches_partition;
+    Alcotest.test_case "statecodec round-trip + corruption" `Quick
+      test_statecodec_roundtrip;
+    Alcotest.test_case "hello rejects bad shard map" `Quick
+      test_hello_rejects_bad_shard_map;
+    Alcotest.test_case "shard=seq x{1,2,4}" `Quick test_dist_shard_vs_seq;
+    Alcotest.test_case "shard=seq over TCP (smoke)" `Quick test_dist_shard_tcp;
+    Alcotest.test_case "shard replica kill (all policies)" `Quick
+      test_dist_shard_kill_worker;
+    Alcotest.test_case "migrate mid-run" `Quick test_migrate_mid_run;
+    Alcotest.test_case "migrate refusals" `Quick test_migrate_refusals;
+    Alcotest.test_case "migrate freeze death -> crash recovery" `Quick
+      test_migrate_freeze_death_recovers;
   ]

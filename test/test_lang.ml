@@ -128,6 +128,81 @@ let test_parse_print_roundtrip () =
   Alcotest.(check string) "print/parse fixpoint"
     (Ast.net_to_string once) (Ast.net_to_string again)
 
+(* Placement annotations: postfix binding, merging, duplicates, and
+   the elaborated Net.Place hints plus their typechecker validation. *)
+let test_parser_annotations () =
+  Alcotest.(check string) "shards binds to the replication"
+    "(((a !! <t>) @shards 4) .. b)"
+    (roundtrip "a !! <t> @shards 4 .. b");
+  Alcotest.(check string) "annotations merge into one wrapper"
+    "(a @place worker=2 @weight 3)"
+    (roundtrip "a @place worker=2 @weight 3");
+  Alcotest.(check string) "annotation survives print/parse"
+    (roundtrip "(a !! <t>) @shards 2")
+    (roundtrip (roundtrip "(a !! <t>) @shards 2"));
+  let bad src =
+    try
+      ignore (Parser.parse_expr_string src);
+      false
+    with Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "duplicate annotation rejected" true
+    (bad "a @shards 2 @shards 3");
+  Alcotest.(check bool) "place needs worker=" true (bad "a @place 3");
+  Alcotest.(check bool) "unknown annotation rejected" true (bad "a @colour 1");
+  Alcotest.(check bool) "annotation needs an integer" true (bad "a @weight x")
+
+let test_annotations_elaborate_and_typecheck () =
+  let nd =
+    Parser.parse_string
+      {|
+      net n {
+        box f ((<x>) -> (<x>));
+      } connect (f !! <x>) @shards 3 @weight 2;
+    |}
+  in
+  let net = E.elaborate_with_stubs nd in
+  let hints = Snet.Net.hints_of net in
+  Alcotest.(check (option int)) "shards hint carried" (Some 3)
+    hints.Snet.Net.shards;
+  Alcotest.(check (option int)) "weight hint carried" (Some 2)
+    hints.Snet.Net.weight;
+  Alcotest.(check (option int)) "no place hint" None hints.Snet.Net.place;
+  (* Hints are extra-functional: the typed signature is the body's. *)
+  Alcotest.(check string) "typed through the wrapper" "{<x>} -> {<x>}"
+    (Snet.Rectype.signature_to_string (Snet.Typecheck.infer net));
+  let tc_error net needle =
+    try
+      ignore (Snet.Typecheck.infer net);
+      Alcotest.failf "typecheck accepted (wanted %S)" needle
+    with Snet.Typecheck.Type_error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the problem: %s" m)
+        true
+        (let nh = String.length m and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub m i nn = needle || go (i + 1))
+         in
+         go 0)
+  in
+  let f =
+    Snet.Box.make ~name:"f" ~input:[ Snet.Box.T "x" ]
+      ~outputs:[ [ Snet.Box.T "x" ] ]
+      (fun ~emit:_ _ -> ())
+  in
+  tc_error
+    (Snet.Net.place ~shards:2 (Snet.Net.box f))
+    "only applies to a parallel replication";
+  tc_error
+    (Snet.Net.place ~shards:2 (Snet.Net.split ~det:true (Snet.Net.box f) "x"))
+    "deterministic split";
+  tc_error
+    (Snet.Net.place ~weight:0 (Snet.Net.box f))
+    "@weight 0 must be >= 1";
+  tc_error
+    (Snet.Net.place ~place:(-1) (Snet.Net.box f))
+    "is negative"
+
 let id_box name ~input ~outputs =
   Snet.Box.make ~name ~input ~outputs (fun ~emit:_ _ -> ())
 
@@ -232,6 +307,10 @@ let suite =
     Alcotest.test_case "parser: errors" `Quick test_parser_errors;
     Alcotest.test_case "parser: net definitions" `Quick test_parser_net_def;
     Alcotest.test_case "print/parse roundtrip" `Quick test_parse_print_roundtrip;
+    Alcotest.test_case "parser: placement annotations" `Quick
+      test_parser_annotations;
+    Alcotest.test_case "annotations: elaborate + typecheck" `Quick
+      test_annotations_elaborate_and_typecheck;
     Alcotest.test_case "elaborate" `Quick test_elaborate;
     Alcotest.test_case "elaborate errors" `Quick test_elaborate_errors;
     Alcotest.test_case "elaborate with stubs" `Quick test_elaborate_stubs;

@@ -608,6 +608,53 @@ let test_agg_collector_cluster () =
         (List.length cl'.Obsv.Agg.parts)
   | Error e -> Alcotest.failf "cluster json round-trip failed: %s" e
 
+(* stall_rate must always be finite: the explicit override clamps
+   non-finite values (a 0/0 interval delta), zero sends derive 0, and
+   a collector fed two reports with identical edge totals (a
+   zero-interval delta) still produces 0 — nan/inf must never reach
+   the cluster JSON or the Prometheus text. *)
+let test_stall_rate_always_finite () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let rate p = p.Obsv.Health.stall_rate in
+  Alcotest.(check (float 0.)) "nan override clamped" 0.
+    (rate (Obsv.Health.make ~stall_rate:(0. /. 0.) ~part:0 ()));
+  Alcotest.(check (float 0.)) "inf override clamped" 0.
+    (rate (Obsv.Health.make ~stall_rate:infinity ~part:0 ()));
+  Alcotest.(check (float 0.)) "no sends derives 0" 0.
+    (rate (Obsv.Health.make ~sends:0 ~stalls:7 ~part:0 ()));
+  Alcotest.(check (float 1e-9)) "finite override kept" 0.25
+    (rate (Obsv.Health.make ~stall_rate:0.25 ~part:0 ()));
+  let col = Obsv.Agg.create () in
+  Obsv.Agg.note_hello col ~part:0;
+  let rep =
+    with_metrics (fun () ->
+        Probe.edge_send ~name:"/cut:0" ~depth:2;
+        Probe.edge_stall ~name:"/cut:0";
+        Obsv.Agg.self_report ~part:0 ~hello_ts:(Sink.now ()) ())
+  in
+  Obsv.Agg.note_report col rep;
+  (* Same totals again: the interval delta is 0 sends / 0 stalls. *)
+  Obsv.Agg.note_report col rep;
+  let cl = Obsv.Agg.cluster col in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "interval rate finite" true
+        (Float.is_finite (rate p));
+      Alcotest.(check (float 0.)) "zero-interval delta is 0" 0. (rate p))
+    cl.Obsv.Agg.parts;
+  let j = Obsv.Agg.cluster_to_json cl in
+  Alcotest.(check bool) "no nan in cluster json" false
+    (contains j "nan" || contains j "inf");
+  let text = Obsv.Prom.render ~parts:cl.Obsv.Agg.parts cl.Obsv.Agg.merged in
+  Alcotest.(check bool) "no nan in prometheus text" false
+    (contains text "nan" || contains text "inf")
+
 let suite =
   [
     Alcotest.test_case "sink records spans, instants, counters, edges" `Quick
@@ -646,5 +693,7 @@ let suite =
       test_prom_render;
     Alcotest.test_case "agg: collector cluster snapshot + json" `Quick
       test_agg_collector_cluster;
+    Alcotest.test_case "stall rate is always finite" `Quick
+      test_stall_rate_always_finite;
     Seeded.to_alcotest prop_stats_relaxed;
   ]
